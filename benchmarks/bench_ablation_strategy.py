@@ -1,0 +1,104 @@
+"""E5 — ablation: what the collapse strategy and selection rule buy.
+
+Section 3 of the paper picks nodes by (variance-ranked) scores and
+replaces them by averages or maxima.  This ablation quantifies those
+choices at one fixed size budget:
+
+- ``avg`` vs ``random`` node selection (does variance guidance matter?);
+- mass-weighted vs the paper's unweighted ranking (does weighting by the
+  fraction of input space reaching a node matter?);
+- ``max``-value replacement (bound) vs ``avg`` replacement, showing the
+  accuracy price paid for conservatism.
+"""
+
+from __future__ import annotations
+
+from _common import bench_sequence_length, write_result
+
+import repro.dd.approx as approx
+from repro.circuits import load_circuit
+from repro.eval import SweepConfig, ascii_table, compute_truth_runs, evaluate_models_on_runs
+from repro.models import build_add_model
+from repro.models.addmodel import AddPowerModel
+
+BUDGET = 300
+CIRCUITS = ("cm85", "parity", "cmb")
+
+
+def shrink_variant(exact, budget, strategy, weighted):
+    root = approx.approximate(
+        exact.manager,
+        exact.root,
+        budget,
+        strategy,
+        weighted=weighted,
+        weight_fn=exact.weight_fn if weighted else None,
+    )
+    model = AddPowerModel(
+        exact.macro_name,
+        exact.space,
+        root,
+        strategy,
+        input_names=exact.input_names,
+    )
+    return model
+
+
+def run_ablation() -> list:
+    config = SweepConfig(
+        sp_values=(0.5,),
+        st_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+        sequence_length=bench_sequence_length(),
+        seed=373,
+    )
+    results = []
+    for name in CIRCUITS:
+        netlist = load_circuit(name)
+        exact = build_add_model(netlist)
+        runs = compute_truth_runs(netlist, config)
+        variants = {
+            "avg+weighted": shrink_variant(exact, BUDGET, "avg", True),
+            "avg+unweighted": shrink_variant(exact, BUDGET, "avg", False),
+            "random": shrink_variant(exact, BUDGET, "random", False),
+            "max (bound)": shrink_variant(exact, BUDGET, "max", True),
+        }
+        sweep = evaluate_models_on_runs(name, dict(variants), runs)
+        results.append(
+            {
+                "name": name,
+                "exact_nodes": exact.size,
+                "are": {
+                    label: 100.0 * sweep.are_average(label)
+                    for label in variants
+                },
+            }
+        )
+    return results
+
+
+def test_ablation_collapse_strategy(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    headers = ["circuit", "exact", "avg+weighted%", "avg+unweighted%",
+               "random%", "max-bound%"]
+    body = [
+        [
+            r["name"], r["exact_nodes"],
+            r["are"]["avg+weighted"], r["are"]["avg+unweighted"],
+            r["are"]["random"], r["are"]["max (bound)"],
+        ]
+        for r in results
+    ]
+    text = (
+        f"E5 / ablation — collapse strategy at a fixed {BUDGET}-node budget\n"
+        "(ARE of average-power estimates, sp = 0.5 sweep)\n\n"
+        + ascii_table(headers, body)
+    )
+    path = write_result("ablation_strategy", text)
+    print("\n" + text + f"\n[written to {path}]")
+
+    for r in results:
+        # Score-guided selection must beat random selection...
+        assert r["are"]["avg+weighted"] <= r["are"]["random"] + 1.0, r["name"]
+        # ...and average replacement must beat max replacement on
+        # average-power accuracy (the bound trades accuracy for safety).
+        assert r["are"]["avg+weighted"] < r["are"]["max (bound)"], r["name"]

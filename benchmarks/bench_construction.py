@@ -1,0 +1,81 @@
+"""E9 — model-construction cost (the CPU column of Table 1).
+
+Times :func:`build_add_model` itself — the paper's Fig.-6 loop including
+symbolic sweeps and size-bounded approximation — across circuits and MAX
+budgets.  This is the one experiment where pytest-benchmark's repeated
+timing is the point, so it uses multiple rounds on the smaller circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import write_result
+
+from repro.circuits import load_circuit
+from repro.eval import ascii_table
+from repro.models import build_add_model
+
+
+@pytest.mark.parametrize("name", ["cm85", "cmb", "decod"])
+def test_build_time_small_circuits(benchmark, name):
+    netlist = load_circuit(name)
+    model = benchmark(build_add_model, netlist, max_nodes=500)
+    assert model.size <= 500
+
+
+@pytest.mark.parametrize("max_nodes", [200, 1000, 5000])
+def test_build_time_vs_budget_alu2(benchmark, max_nodes):
+    netlist = load_circuit("alu2")
+    model = benchmark.pedantic(
+        build_add_model,
+        args=(netlist,),
+        kwargs={"max_nodes": max_nodes},
+        rounds=2,
+        iterations=1,
+    )
+    assert model.size <= max_nodes
+
+
+def test_construction_cost_table(benchmark):
+    """One-shot build-cost survey written to the results directory."""
+
+    def survey():
+        rows = []
+        for name, max_nodes in (
+            ("decod", 200),
+            ("cm85", 1000),
+            ("cmb", 800),
+            ("parity", 1200),
+            ("pcle", 1500),
+            ("alu2", 2000),
+            ("comp", 2000),
+        ):
+            netlist = load_circuit(name)
+            model = build_add_model(netlist, max_nodes=max_nodes)
+            report = model.report
+            rows.append(
+                [
+                    name,
+                    netlist.num_gates,
+                    max_nodes,
+                    report.final_nodes,
+                    report.peak_nodes,
+                    report.num_approximations,
+                    round(report.cpu_seconds, 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(survey, rounds=1, iterations=1)
+    text = (
+        "E9 / construction cost — build_add_model wall time\n\n"
+        + ascii_table(
+            ["circuit", "gates", "MAX", "nodes", "peak", "approx", "CPU(s)"],
+            rows,
+            precision=2,
+        )
+    )
+    path = write_result("construction_cost", text)
+    print("\n" + text + f"\n[written to {path}]")
+    assert all(row[6] >= 0 for row in rows)

@@ -1,0 +1,74 @@
+"""E1 — Figure 7a: relative error vs transition probability on cm85.
+
+Regenerates the paper's Fig. 7a: the relative error of the characterized
+``Con`` and ``Lin`` estimators explodes once the input statistics leave
+the characterization point (st = 0.5), while the analytically built ADD
+model stays flat across the whole st range at sp = 0.5.
+"""
+
+from __future__ import annotations
+
+from _common import bench_sequence_length, write_result
+
+from repro.circuits import load_circuit
+from repro.circuits.mcnc import SUGGESTED_MAX_NODES
+from repro.eval import SweepConfig, ascii_table, multi_series_plot, run_sweep
+from repro.models import ConstantModel, LinearModel, build_add_model, generate_training_data
+
+ST_GRID = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def run_fig7a() -> dict:
+    netlist = load_circuit("cm85")
+    training = generate_training_data(
+        netlist, length=bench_sequence_length(), seed=5
+    )
+    models = {
+        "Con": ConstantModel.characterize(netlist, training),
+        "Lin": LinearModel.characterize(netlist, training),
+        "ADD": build_add_model(
+            netlist, max_nodes=SUGGESTED_MAX_NODES["cm85"][0]
+        ),
+    }
+    config = SweepConfig(
+        sp_values=(0.5,),
+        st_values=ST_GRID,
+        sequence_length=bench_sequence_length(),
+        seed=171,
+    )
+    sweep = run_sweep(netlist, models, config)
+    curves = {name: dict(sweep.re_curve(name, sp=0.5)) for name in models}
+    return {"curves": curves, "sweep": sweep}
+
+
+def test_fig7a_re_vs_st(benchmark):
+    result = benchmark.pedantic(run_fig7a, rounds=1, iterations=1)
+    curves = result["curves"]
+    rows = [
+        [f"{st:.2f}"]
+        + [100.0 * curves[name][st] for name in ("Con", "Lin", "ADD")]
+        for st in ST_GRID
+    ]
+    table = ascii_table(["st", "RE Con (%)", "RE Lin (%)", "RE ADD (%)"], rows)
+    plot = multi_series_plot(
+        {
+            name: sorted(curves[name].items())
+            for name in ("Con", "Lin", "ADD")
+        },
+        label_x="st",
+    )
+    text = (
+        "E1 / Figure 7a — relative error of average-power estimates vs st\n"
+        "circuit cm85, sp = 0.5; Con and Lin characterized at sp=st=0.5\n\n"
+        + table
+        + "\n\nall three curves (flat ADD is the paper's headline shape):\n"
+        + plot
+    )
+    path = write_result("fig7a_re_vs_st", text)
+    print("\n" + text + f"\n[written to {path}]")
+
+    # Shape assertions from the paper: baselines blow up at low st
+    # (">100% when st < 0.2"), the ADD curve does not.
+    assert curves["Con"][0.05] > 1.0
+    assert curves["Lin"][0.05] > 3 * curves["ADD"][0.05]
+    assert max(curves["ADD"].values()) < min(1.0, 0.4 * max(curves["Con"].values()))

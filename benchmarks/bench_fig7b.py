@@ -1,0 +1,54 @@
+"""E2 — Figure 7b: accuracy/size trade-off of the cm85 power model.
+
+Regenerates the paper's Fig. 7b: one (near-)exact ADD model of cm85 is
+shrunk through a ladder of node budgets and each size is scored (ARE over
+the sweep grid) against shared golden runs.
+"""
+
+from __future__ import annotations
+
+from _common import bench_sequence_length, write_result
+
+from repro.circuits import load_circuit
+from repro.eval import SweepConfig, ascii_table, series_plot, size_accuracy_tradeoff
+
+SIZES = (2000, 1500, 1000, 500, 200, 100, 50, 20, 10, 5)
+
+
+def run_fig7b() -> list:
+    netlist = load_circuit("cm85")
+    config = SweepConfig(
+        sp_values=(0.3, 0.5, 0.7),
+        st_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+        sequence_length=bench_sequence_length(),
+        seed=272,
+    )
+    return size_accuracy_tradeoff(netlist, SIZES, config=config)
+
+
+def test_fig7b_size_accuracy_tradeoff(benchmark):
+    points = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)
+    rows = [[p.target_nodes, p.actual_nodes, p.are_percent] for p in points]
+    text = (
+        "E2 / Figure 7b — ARE vs ADD model size, circuit cm85\n"
+        "(paper: exact model >10000 nodes; 5-10 node models reach "
+        "ARE < 20%)\n\n"
+        + ascii_table(["target", "nodes", "ARE (%)"], rows)
+        + "\n\n"
+        + series_plot(
+            [(p.actual_nodes, p.are_percent) for p in points],
+            label_x="nodes",
+            label_y="ARE %",
+        )
+    )
+    path = write_result("fig7b_tradeoff", text)
+    print("\n" + text + f"\n[written to {path}]")
+
+    # Shape: ARE decreases (weakly) as the budget grows, spanning from a
+    # crude constant-like model down to near-exactness.
+    ordered = sorted(points, key=lambda p: p.target_nodes)
+    assert ordered[-1].are_average < 0.1
+    assert ordered[0].are_average > ordered[-1].are_average
+    # Allow small non-monotonic wiggles from sampling, nothing structural.
+    for small, large in zip(ordered, ordered[1:]):
+        assert large.are_average <= small.are_average * 1.25 + 0.01

@@ -1,0 +1,83 @@
+"""E11 — the C6288 limitation: multiplier ADDs blow up (paper Sec. 4 close).
+
+The paper concedes that "for some circuits (e.g., C6288) ADDs with more
+than 100000 nodes were required to bring the ARE below 30%" — arithmetic
+multipliers are the known worst case for decision-diagram methods.  This
+experiment reproduces that limitation quantitatively on array
+multipliers: the exact switching-capacitance ADD grows geometrically with
+operand width (roughly an order of magnitude per extra bit), and a
+fixed-size approximated model pays for the missing nodes with ARE.
+"""
+
+from __future__ import annotations
+
+from _common import bench_sequence_length, write_result
+
+from repro.circuits import array_multiplier
+from repro.eval import SweepConfig, ascii_table, compute_truth_runs, evaluate_models_on_runs
+from repro.models import build_add_model
+
+WIDTHS = (2, 3, 4)
+BUDGET = 500
+
+
+def run_blowup() -> list:
+    rows = []
+    for width in WIDTHS:
+        netlist = array_multiplier(width)
+        exact = build_add_model(netlist)
+        config = SweepConfig(
+            sp_values=(0.5,),
+            st_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+            sequence_length=min(bench_sequence_length(), 1500),
+            seed=777,
+        )
+        runs = compute_truth_runs(netlist, config)
+        bounded = build_add_model(netlist, max_nodes=BUDGET)
+        sweep = evaluate_models_on_runs(
+            netlist.name, {"small": bounded, "exact": exact}, runs
+        )
+        rows.append(
+            {
+                "width": width,
+                "inputs": netlist.num_inputs,
+                "gates": netlist.num_gates,
+                "exact_nodes": exact.size,
+                "small_are": 100.0 * sweep.are_average("small"),
+                "exact_are": 100.0 * sweep.are_average("exact"),
+            }
+        )
+    return rows
+
+
+def test_multiplier_add_blowup(benchmark):
+    rows = benchmark.pedantic(run_blowup, rounds=1, iterations=1)
+    body = [
+        [
+            f"mult{r['width']}", r["inputs"], r["gates"], r["exact_nodes"],
+            r["small_are"], r["exact_are"],
+        ]
+        for r in rows
+    ]
+    text = (
+        "E11 / limitation study — array multipliers (the C6288 effect)\n"
+        f"(ARE of a {BUDGET}-node model vs the exact model; exact model "
+        "size grows ~an order of magnitude per operand bit)\n\n"
+        + ascii_table(
+            ["circuit", "n", "gates", "exact ADD nodes",
+             f"ARE@{BUDGET} (%)", "ARE exact (%)"],
+            body,
+        )
+    )
+    path = write_result("multiplier_blowup", text)
+    print("\n" + text + f"\n[written to {path}]")
+
+    # Geometric growth: each extra operand bit multiplies the exact size
+    # by a large factor (the paper's qualitative claim).
+    sizes = [r["exact_nodes"] for r in rows]
+    for smaller, larger in zip(sizes, sizes[1:]):
+        assert larger > 5 * smaller
+    # The exact model is exact; the budgeted model degrades with width.
+    for r in rows:
+        assert r["exact_are"] < 1e-6
+    assert rows[-1]["small_are"] > rows[0]["small_are"]

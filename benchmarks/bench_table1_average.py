@@ -1,0 +1,60 @@
+"""E3 — Table 1, columns 4-8: average-power estimator accuracy.
+
+Regenerates the left half of the paper's Table 1 over the benchmark
+suite: ARE of the characterized constant (Con) and linear (Lin)
+estimators and of the analytical ADD model, plus the MAX node budget and
+the model-construction CPU time.  Paper reference values are printed
+alongside for the shape comparison recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from _common import bench_circuits, table1_row, write_result
+
+from repro.eval import ascii_table
+
+
+def run_average_table() -> list:
+    return [table1_row(name) for name in bench_circuits()]
+
+
+def test_table1_average_estimators(benchmark):
+    rows = benchmark.pedantic(run_average_table, rounds=1, iterations=1)
+    headers = [
+        "circuit", "n", "N",
+        "Con%", "Lin%", "ADD%", "MAX", "CPU(s)",
+        "paper:Con%", "paper:Lin%", "paper:ADD%",
+    ]
+    body = []
+    for row in rows:
+        stats = row["netlist"].stats()
+        paper = row["paper"]
+        body.append([
+            row["name"], stats.num_inputs, stats.num_gates,
+            row["are_con"], row["are_lin"], row["are_add"],
+            row["avg_max"], round(row["cpu_avg"], 1),
+            paper.are_con_percent, paper.are_lin_percent, paper.are_add_percent,
+        ])
+    text = (
+        "E3 / Table 1 (average estimators) — measured vs paper\n"
+        "N differs from the paper: MCNC netlists are substituted by "
+        "functional equivalents (DESIGN.md §4)\n\n" + ascii_table(headers, body)
+    )
+    path = write_result("table1_average", text)
+    print("\n" + text + f"\n[written to {path}]")
+
+    # Shape assertions: the ADD model must beat Lin which must beat Con on
+    # every circuit, as in every row of the paper's table.  Parity-style
+    # circuits are a knife edge for Lin vs Con (XOR-tree power is not
+    # linear in per-bit activity; the paper's parity row also shows its
+    # smallest Lin/Con gap), so the Lin < Con check gets 10% slack.
+    for row in rows:
+        assert row["are_add"] < row["are_lin"], row["name"]
+        assert row["are_lin"] < 1.1 * row["are_con"], row["name"]
+    # Aggregate factor: the paper reports ~10x Lin->ADD and ~50x Con->ADD;
+    # require clear order-of-magnitude-style separation on the mean.
+    mean_add = sum(r["are_add"] for r in rows) / len(rows)
+    mean_lin = sum(r["are_lin"] for r in rows) / len(rows)
+    mean_con = sum(r["are_con"] for r in rows) / len(rows)
+    assert mean_add < 0.5 * mean_lin
+    assert mean_add < 0.2 * mean_con

@@ -1,0 +1,54 @@
+"""E4 — Table 1, columns 9-12: conservative upper-bound accuracy.
+
+Regenerates the right half of the paper's Table 1: the ARE on
+maximum-power estimates of the constant bound (the global maximum of the
+pattern-dependent ADD bound, reported for every run) versus the
+pattern-dependent ADD bound itself, plus the bound model's MAX and build
+CPU.  Also asserts the defining property: zero conservatism violations.
+"""
+
+from __future__ import annotations
+
+from _common import bench_circuits, table1_row, write_result
+
+from repro.eval import ascii_table
+
+
+def run_bounds_table() -> list:
+    return [table1_row(name) for name in bench_circuits()]
+
+
+def test_table1_upper_bounds(benchmark):
+    rows = benchmark.pedantic(run_bounds_table, rounds=1, iterations=1)
+    headers = [
+        "circuit", "n",
+        "Con%", "ADD%", "MAX", "CPU(s)", "violations",
+        "paper:Con%", "paper:ADD%",
+    ]
+    body = []
+    for row in rows:
+        paper = row["paper"]
+        body.append([
+            row["name"], row["netlist"].num_inputs,
+            row["ub_are_con"], row["ub_are_add"],
+            row["ub_max"], round(row["cpu_ub"], 1),
+            row["bound_violations"],
+            paper.ub_are_con_percent, paper.ub_are_add_percent,
+        ])
+    text = (
+        "E4 / Table 1 (upper bounds) — ARE on maximum-power estimates,\n"
+        "measured vs paper (Con = constant bound from the ADD's global max)\n\n"
+        + ascii_table(headers, body)
+    )
+    path = write_result("table1_bounds", text)
+    print("\n" + text + f"\n[written to {path}]")
+
+    for row in rows:
+        # Conservatism is non-negotiable: a violated bound is a bug.
+        assert row["bound_violations"] == 0, row["name"]
+        # The pattern-dependent bound is at least as tight as the constant
+        # bound (strictly better on every paper row).
+        assert row["ub_are_add"] <= row["ub_are_con"] + 1e-9, row["name"]
+    mean_add = sum(r["ub_are_add"] for r in rows) / len(rows)
+    mean_con = sum(r["ub_are_con"] for r in rows) / len(rows)
+    assert mean_add < mean_con

@@ -1,0 +1,69 @@
+"""Analytic activity analysis and worst-case vector extraction.
+
+Two things a white-box power model enables that black-box characterized
+models cannot:
+
+1. *closed-form average power* under specified input statistics — both an
+   exact symbolic estimator and the classic (cheap, independence-assuming)
+   propagation, compared against simulation;
+2. *worst-case vector extraction*: the input transition that maximises the
+   macro's switching capacitance, read straight off the ADD in linear
+   time — the query the paper calls "unfeasible" for exhaustive
+   simulation.
+
+Run with:  python examples/activity_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_add_model, load_circuit, markov_sequence
+from repro.sim import (
+    exact_activity,
+    propagated_activity,
+    sequence_switching_capacitances,
+    switching_capacitance,
+)
+
+
+def main() -> None:
+    netlist = load_circuit("cmb")
+    print(f"macro: {netlist.name} ({netlist.num_inputs} inputs, "
+          f"{netlist.num_gates} gates)")
+
+    print("\naverage switching capacitance (fF/cycle):")
+    print(f"  {'sp':>4} {'st':>4} {'simulated':>10} {'exact':>8} "
+          f"{'propagated':>11}")
+    for sp, st in [(0.5, 0.5), (0.5, 0.2), (0.3, 0.3), (0.7, 0.15)]:
+        sequence = markov_sequence(netlist.num_inputs, 4000, sp=sp, st=st, seed=5)
+        simulated = float(
+            np.mean(sequence_switching_capacitances(netlist, sequence))
+        )
+        exact = exact_activity(netlist, sp, st).average_capacitance_fF
+        cheap = propagated_activity(netlist, sp, st).average_capacitance_fF
+        print(f"  {sp:4.2f} {st:4.2f} {simulated:10.2f} {exact:8.2f} "
+              f"{cheap:11.2f}")
+    print("  (exact = symbolic, no simulation; propagated = independence "
+          "assumption,\n   its deviation measures reconvergence correlation)")
+
+    model = build_add_model(netlist)
+    initial, final, value = model.worst_case_transition()
+    verified = switching_capacitance(netlist, initial, final)
+    print(f"\nworst-case transition (extracted from the {model.size}-node ADD):")
+    print(f"  x_i = {''.join(str(b) for b in initial)}")
+    print(f"  x_f = {''.join(str(b) for b in final)}")
+    print(f"  C   = {value:.1f} fF (gate-level check: {verified:.1f} fF)")
+
+    quiet_i, quiet_f, quiet_c = model.quietest_transition()
+    print(f"quietest non-trivial query works too: C = {quiet_c:.1f} fF")
+
+    hot = exact_activity(netlist, 0.5, 0.5)
+    top = sorted(hot.rising_probability.items(), key=lambda kv: -kv[1])[:5]
+    print("\nmost active nets at sp = st = 0.5 (P(rising) per cycle):")
+    for net, probability in top:
+        print(f"  {net:12s} {probability:.3f}")
+
+
+if __name__ == "__main__":
+    main()

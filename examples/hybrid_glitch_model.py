@@ -1,0 +1,71 @@
+"""Hybrid modeling: analytical structural core + characterized glitch residual.
+
+The paper's golden model is zero-delay, so glitches are a *parasitic*
+phenomenon its analytical model cannot see — but Section 2 argues the
+analytical approach composes with characterization: keep the ADD for the
+(dominant, strongly pattern-dependent) structural power, and characterize
+only the (smaller, smoother) parasitic remainder.
+
+This example quantifies that split on a glitch-prone carry chain: it
+measures how much energy the event-driven simulator attributes to
+glitches, then shows the hybrid model recovering most of the gap left by
+the purely structural ADD.
+
+Run with:  python examples/hybrid_glitch_model.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_add_model, markov_sequence
+from repro.circuits import ripple_adder
+from repro.models import HybridModel
+from repro.sim import (
+    sequence_glitch_capacitances,
+    sequence_switching_capacitances,
+)
+
+
+def main() -> None:
+    netlist = ripple_adder(6, name="add6")
+    print(f"macro: {netlist.name} ({netlist.num_inputs} inputs, "
+          f"{netlist.num_gates} gates) — a carry chain, so glitchy")
+
+    sequence = markov_sequence(netlist.num_inputs, 1200, sp=0.5, st=0.4, seed=3)
+    structural = sequence_switching_capacitances(netlist, sequence)
+    total = sequence_glitch_capacitances(netlist, sequence)
+    glitch_share = 100.0 * (total.mean() - structural.mean()) / total.mean()
+    print(f"\nevent-driven simulation over {len(total)} cycles:")
+    print(f"  structural (zero-delay) component: {structural.mean():7.1f} fF/cycle")
+    print(f"  total incl. glitches:              {total.mean():7.1f} fF/cycle")
+    print(f"  -> glitches are {glitch_share:.1f}% of the energy here")
+
+    add_model = build_add_model(netlist, max_nodes=2000)
+    hybrid = HybridModel.characterize(
+        netlist, structural=add_model, training_length=400
+    )
+
+    print("\naverage error vs glitch-aware truth "
+          "(residual trained at sp=0.5, st=0.5):")
+    print(f"  {'sp':>5} {'st':>5} {'pure ADD':>9} {'hybrid':>7}")
+    for sp, st in [(0.5, 0.5), (0.5, 0.45), (0.5, 0.3), (0.6, 0.5), (0.35, 0.45)]:
+        test = markov_sequence(netlist.num_inputs, 800, sp=sp, st=st, seed=9)
+        truth = sequence_glitch_capacitances(netlist, test)
+        pure = 100 * abs(
+            add_model.sequence_capacitances(test).mean() - truth.mean()
+        ) / truth.mean()
+        mixed = 100 * abs(
+            hybrid.sequence_capacitances(test).mean() - truth.mean()
+        ) / truth.mean()
+        print(f"  {sp:5.2f} {st:5.2f} {pure:8.1f}% {mixed:6.1f}%")
+
+    print("\nthe residual needed only a 400-vector characterization and")
+    print("holds up under moderate statistics shifts; the last row shows a")
+    print("large sp shift where even the residual drifts — exactly the")
+    print("out-of-sample fragility the paper attributes to characterized")
+    print("components (the structural core, note, never drifts).")
+
+
+if __name__ == "__main__":
+    main()

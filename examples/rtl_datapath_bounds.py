@@ -1,0 +1,90 @@
+"""Worst-case power budgeting for a multi-macro RTL datapath.
+
+Section 1.2 of the paper: summing per-macro *constant* worst cases gives a
+uselessly loose design-level bound ("no compensation occurs"), while
+summing *pattern-dependent* upper bounds — evaluated on the patterns each
+macro actually sees — stays conservative and is far tighter.
+
+This example builds a small datapath (two adders feeding a comparator and
+a parity checker), attaches conservative ADD bound models to every macro,
+and compares the two bounding styles cycle by cycle against gate-level
+truth.
+
+Run with:  python examples/rtl_datapath_bounds.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RTLDesign, build_upper_bound_model, markov_sequence
+from repro.circuits import comparator, parity, ripple_adder
+
+
+def build_datapath() -> RTLDesign:
+    adder = ripple_adder(4, carry_in=False, name="add4")
+    compare = comparator(4, name="cmp4")
+    par = parity(4, name="par4")
+
+    inputs = [f"{bus}{k}" for bus in ("a", "b", "c", "d") for k in range(4)]
+    design = RTLDesign("datapath", inputs)
+    design.add_instance(
+        "sum_ab", adder,
+        {f"a{k}": f"a{k}" for k in range(4)} | {f"b{k}": f"b{k}" for k in range(4)},
+    )
+    design.add_instance(
+        "sum_cd", adder,
+        {f"a{k}": f"c{k}" for k in range(4)} | {f"b{k}": f"d{k}" for k in range(4)},
+    )
+    design.add_instance(
+        "cmp", compare,
+        {f"a{k}": f"sum_ab.s{k}" for k in range(4)}
+        | {f"b{k}": f"sum_cd.s{k}" for k in range(4)},
+    )
+    design.add_instance(
+        "par", par,
+        {
+            "x0": "sum_ab.cout",
+            "x1": "sum_cd.cout",
+            "x2": "cmp.gt",
+            "x3": "cmp.eq",
+        },
+    )
+    return design
+
+
+def main() -> None:
+    design = build_datapath()
+    print(f"design {design.name!r}: {len(design.instances)} macro instances, "
+          f"{len(design.primary_inputs)} inputs")
+
+    for instance in design.instances:
+        bound = build_upper_bound_model(instance.netlist, max_nodes=300)
+        design.attach_model(instance.name, bound)
+        print(f"  {instance.name:8s} -> bound model, {bound.size} nodes, "
+              f"worst case {bound.global_maximum():.0f} fF")
+
+    constant_bound = design.constant_worst_case()
+    print(f"\nclassical composition (sum of worst cases): "
+          f"{constant_bound:8.0f} fF every cycle")
+
+    sequence = markov_sequence(
+        len(design.primary_inputs), 2000, sp=0.5, st=0.25, seed=7
+    )
+    pattern_bound = design.estimated_capacitances(sequence)
+    golden = design.golden_capacitances(sequence)
+
+    violations = int(np.sum(pattern_bound < golden - 1e-9))
+    print(f"pattern-dependent composed bound over {len(golden)} cycles:")
+    print(f"  mean bound {pattern_bound.mean():8.0f} fF   "
+          f"(true mean {golden.mean():8.0f} fF)")
+    print(f"  peak bound {pattern_bound.max():8.0f} fF   "
+          f"(true peak {golden.max():8.0f} fF)")
+    print(f"  conservatism violations: {violations}")
+    print(f"\ntightening vs constant bound: "
+          f"{constant_bound / pattern_bound.mean():.1f}x on the average cycle, "
+          f"{constant_bound / pattern_bound.max():.1f}x at the observed peak")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""repro — characterization-free behavioral power modeling.
+
+A from-scratch Python implementation of the RT-level power modeling
+approach of Bogliolo, Benini and De Micheli (DATE 1998): the switching
+capacitance of a combinational macro is constructed *analytically* from
+its gate-level netlist as an Algebraic Decision Diagram, compressed by
+variance-guided node collapsing, and evaluated pattern by pattern in time
+linear in the number of inputs — with no simulation-based
+characterization, statistics-independent accuracy, and conservative
+pattern-dependent upper bounds.
+
+Quickstart::
+
+    from repro import load_circuit, build_add_model
+
+    netlist = load_circuit("cm85")
+    model = build_add_model(netlist, max_nodes=500)          # avg-accurate
+    bound = build_add_model(netlist, max_nodes=500, strategy="max")
+    c = model.switching_capacitance([0] * 11, [1] * 11)      # fF
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every reproduced table and figure.
+"""
+
+from repro.circuits import (
+    PAPER_TABLE1,
+    available_circuits,
+    load_circuit,
+    load_suite,
+)
+from repro.dd import DDFunction, DDManager, TransitionSpace, approximate
+from repro.errors import (
+    CharacterizationError,
+    DDError,
+    ModelError,
+    NetlistError,
+    ParseError,
+    ReproError,
+    SequenceError,
+    SimulationError,
+)
+from repro.eval import (
+    SweepConfig,
+    SweepResult,
+    run_sweep,
+    size_accuracy_tradeoff,
+)
+from repro.models import (
+    AddPowerModel,
+    ConstantModel,
+    HybridModel,
+    LinearModel,
+    PowerModel,
+    StatsLUTModel,
+    build_add_model,
+    build_lower_bound_model,
+    build_upper_bound_model,
+    constant_bound_from_model,
+    generate_training_data,
+    shrink_model,
+    verify_upper_bound,
+)
+from repro.netlist import (
+    TEST_LIBRARY,
+    Cell,
+    GateOp,
+    Library,
+    Netlist,
+    NetlistBuilder,
+    parse_blif,
+    read_blif,
+    save_blif,
+    write_blif,
+)
+from repro.rtl import RTLDesign
+from repro.sim import (
+    DEFAULT_VDD,
+    markov_sequence,
+    sequence_switching_capacitances,
+    simulate_sequence_power,
+    switching_capacitance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "DDError",
+    "NetlistError",
+    "ParseError",
+    "SimulationError",
+    "ModelError",
+    "CharacterizationError",
+    "SequenceError",
+    # decision diagrams
+    "DDManager",
+    "DDFunction",
+    "TransitionSpace",
+    "approximate",
+    # netlists
+    "Netlist",
+    "NetlistBuilder",
+    "GateOp",
+    "Cell",
+    "Library",
+    "TEST_LIBRARY",
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "save_blif",
+    # simulation
+    "markov_sequence",
+    "switching_capacitance",
+    "sequence_switching_capacitances",
+    "simulate_sequence_power",
+    "DEFAULT_VDD",
+    # models
+    "PowerModel",
+    "AddPowerModel",
+    "build_add_model",
+    "shrink_model",
+    "ConstantModel",
+    "LinearModel",
+    "StatsLUTModel",
+    "HybridModel",
+    "build_upper_bound_model",
+    "build_lower_bound_model",
+    "constant_bound_from_model",
+    "verify_upper_bound",
+    "generate_training_data",
+    # evaluation
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
+    "size_accuracy_tradeoff",
+    # circuits
+    "load_circuit",
+    "load_suite",
+    "available_circuits",
+    "PAPER_TABLE1",
+    # RTL composition
+    "RTLDesign",
+]

@@ -1,0 +1,39 @@
+"""Benchmark circuits: functional MCNC substitutes and generators."""
+
+from repro.circuits.generators import (
+    address_match_block,
+    alu,
+    array_multiplier,
+    comparator,
+    decoder,
+    multiplexer,
+    parity,
+    parity_check_enable,
+    ripple_adder,
+)
+from repro.circuits.mcnc import (
+    PAPER_TABLE1,
+    PaperRow,
+    available_circuits,
+    load_circuit,
+    load_suite,
+)
+from repro.circuits.random_logic import random_logic
+
+__all__ = [
+    "multiplexer",
+    "parity",
+    "decoder",
+    "comparator",
+    "ripple_adder",
+    "alu",
+    "array_multiplier",
+    "address_match_block",
+    "parity_check_enable",
+    "random_logic",
+    "PAPER_TABLE1",
+    "PaperRow",
+    "available_circuits",
+    "load_circuit",
+    "load_suite",
+]

@@ -1,0 +1,317 @@
+"""Parameterised functional circuit generators.
+
+These produce the mapped gate-level netlists the experiments run on:
+multiplexers, parity trees, decoders, comparators, adders, ALUs and array
+multipliers.  The MCNC suite is not redistributable here, so
+:mod:`repro.circuits.mcnc` instantiates these generators (plus seeded
+random logic) with the same input counts as the paper's Table 1 circuits —
+see DESIGN.md §4 for the substitution rationale.
+
+All generators return a validated :class:`~repro.netlist.netlist.Netlist`
+built on :data:`~repro.netlist.library.TEST_LIBRARY`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+from repro.netlist.synth import NetlistBuilder
+
+
+def multiplexer(
+    select_bits: int,
+    enable: bool = False,
+    style: Literal["mux", "gates"] = "mux",
+    name: str | None = None,
+) -> Netlist:
+    """``2**select_bits``:1 multiplexer.
+
+    ``style='mux'`` builds a tree of MUX2 cells (the natural mapping);
+    ``style='gates'`` builds the AND-OR decoded form — same function,
+    different structure and hence different power profile, which is
+    useful for structure-sensitivity experiments.
+    """
+    if select_bits < 1:
+        raise NetlistError("select_bits must be >= 1")
+    data_count = 2 ** select_bits
+    builder = NetlistBuilder(name or f"mux{data_count}")
+    data = builder.bus("d", data_count)
+    select = builder.bus("s", select_bits)
+    enable_net = builder.input("en") if enable else None
+
+    if style == "mux":
+        layer = data
+        # Select bit 0 is the least significant: it picks within pairs.
+        for bit in range(select_bits):
+            layer = [
+                builder.mux(select[bit], layer[i], layer[i + 1])
+                for i in range(0, len(layer), 2)
+            ]
+        result = layer[0]
+    elif style == "gates":
+        inverted = [builder.inv(s) for s in select]
+        terms = []
+        for index in range(data_count):
+            literals = [
+                select[bit] if (index >> bit) & 1 else inverted[bit]
+                for bit in range(select_bits)
+            ]
+            minterm = builder.and_tree(literals)
+            terms.append(builder.and2(minterm, data[index]))
+        result = builder.or_tree(terms)
+    else:
+        raise NetlistError(f"unknown multiplexer style {style!r}")
+
+    if enable_net is not None:
+        result = builder.and2(result, enable_net)
+    builder.output("y", result)
+    return builder.build()
+
+
+def parity(width: int, name: str | None = None) -> Netlist:
+    """``width``-input parity (XOR) tree."""
+    if width < 2:
+        raise NetlistError("parity needs at least 2 inputs")
+    builder = NetlistBuilder(name or f"parity{width}")
+    bits = builder.bus("x", width)
+    builder.output("p", builder.xor_tree(bits))
+    return builder.build()
+
+
+def decoder(
+    address_bits: int, enable: bool = True, name: str | None = None
+) -> Netlist:
+    """``address_bits``-to-``2**address_bits`` line decoder with predecode.
+
+    With ``enable=True`` the enable input gates every output (the decod
+    benchmark's 5-input shape for 4 address bits).
+    """
+    if address_bits < 2:
+        raise NetlistError("address_bits must be >= 2")
+    builder = NetlistBuilder(name or f"decod{address_bits}")
+    address = builder.bus("a", address_bits)
+    enable_net = builder.input("en") if enable else None
+    inverted = [builder.inv(a) for a in address]
+
+    # Predecode pairs of address bits into 1-hot groups of four.
+    groups: List[List[str]] = []
+    bit = 0
+    while bit < address_bits:
+        if bit + 1 < address_bits:
+            lo, hi = address[bit], address[bit + 1]
+            lo_n, hi_n = inverted[bit], inverted[bit + 1]
+            groups.append(
+                [
+                    builder.and2(hi_n, lo_n),
+                    builder.and2(hi_n, lo),
+                    builder.and2(hi, lo_n),
+                    builder.and2(hi, lo),
+                ]
+            )
+            bit += 2
+        else:
+            groups.append([inverted[bit], address[bit]])
+            bit += 1
+    if enable_net is not None:
+        groups[-1] = [builder.and2(net, enable_net) for net in groups[-1]]
+
+    lines = groups[0]
+    for group in groups[1:]:
+        lines = [builder.and2(low, high) for high in group for low in lines]
+    for index, line in enumerate(lines):
+        builder.output(f"y{index}", line)
+    return builder.build()
+
+
+def comparator(
+    width: int,
+    carry_in: bool = False,
+    name: str | None = None,
+) -> Netlist:
+    """Magnitude comparator of two ``width``-bit operands.
+
+    Outputs ``gt``, ``eq``, ``lt`` (a > b, a == b, a < b).  With
+    ``carry_in`` an extra ``gin`` input seeds the greater-than chain, so
+    comparators can be cascaded (this gives the odd input count of the
+    cm85-style circuit: ``2 * width + 1``).
+    """
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    builder = NetlistBuilder(name or f"comp{width}")
+    a = builder.bus("a", width)
+    b = builder.bus("b", width)
+    gin = builder.input("gin") if carry_in else None
+
+    # MSB-first ripple: gt picks up the first position where a > b while
+    # all higher positions are equal.
+    eq_chain: str | None = None
+    gt_chain: str | None = None
+    for i in range(width - 1, -1, -1):
+        bit_eq = builder.xnor2(a[i], b[i])
+        bit_gt = builder.and2(a[i], builder.inv(b[i]))
+        if eq_chain is None:
+            eq_chain = bit_eq
+            gt_chain = bit_gt
+        else:
+            gt_chain = builder.or2(gt_chain, builder.and2(eq_chain, bit_gt))
+            eq_chain = builder.and2(eq_chain, bit_eq)
+    assert eq_chain is not None and gt_chain is not None
+    if gin is not None:
+        gt_chain = builder.or2(gt_chain, builder.and2(eq_chain, gin))
+        eq_chain = builder.and2(eq_chain, builder.inv(gin))
+    lt = builder.nor2(gt_chain, eq_chain)
+    builder.output("gt", gt_chain)
+    builder.output("eq", eq_chain)
+    builder.output("lt", lt)
+    return builder.build()
+
+
+def _full_adder(
+    builder: NetlistBuilder, a: str, b: str, carry: str
+) -> Tuple[str, str]:
+    """Full adder from two half adders; returns (sum, carry_out)."""
+    partial = builder.xor2(a, b)
+    total = builder.xor2(partial, carry)
+    carry_out = builder.or2(
+        builder.and2(a, b), builder.and2(partial, carry)
+    )
+    return total, carry_out
+
+
+def ripple_adder(
+    width: int, carry_in: bool = True, name: str | None = None
+) -> Netlist:
+    """Ripple-carry adder: ``a + b (+ cin)`` with sum and carry-out."""
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    builder = NetlistBuilder(name or f"add{width}")
+    a = builder.bus("a", width)
+    b = builder.bus("b", width)
+    carry = builder.input("cin") if carry_in else builder.const(False)
+    for i in range(width):
+        total, carry = _full_adder(builder, a[i], b[i], carry)
+        builder.output(f"s{i}", total)
+    builder.output("cout", carry)
+    return builder.build()
+
+
+def alu(
+    width: int,
+    name: str | None = None,
+) -> Netlist:
+    """Four-function ALU: ADD, AND, OR, XOR selected by ``op1 op0``.
+
+    Inputs: two ``width``-bit operands plus two control bits —
+    ``2 * width + 2`` primary inputs, matching the alu2 (width 4) and
+    alu4 (width 6) rows of Table 1.
+    """
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    builder = NetlistBuilder(name or f"alu{width}")
+    a = builder.bus("a", width)
+    b = builder.bus("b", width)
+    op0 = builder.input("op0")
+    op1 = builder.input("op1")
+
+    carry = builder.const(False)
+    sums: List[str] = []
+    for i in range(width):
+        total, carry = _full_adder(builder, a[i], b[i], carry)
+        sums.append(total)
+    for i in range(width):
+        and_i = builder.and2(a[i], b[i])
+        or_i = builder.or2(a[i], b[i])
+        xor_i = builder.xor2(a[i], b[i])
+        # op1 op0: 00 -> add, 01 -> and, 10 -> or, 11 -> xor
+        low = builder.mux(op0, sums[i], and_i)
+        high = builder.mux(op0, or_i, xor_i)
+        builder.output(f"y{i}", builder.mux(op1, low, high))
+    # Carry out is only meaningful for ADD; gate it with the op decode.
+    is_add = builder.nor2(op0, op1)
+    builder.output("cout", builder.and2(carry, is_add))
+    return builder.build()
+
+
+def array_multiplier(width: int, name: str | None = None) -> Netlist:
+    """Unsigned array multiplier (``width x width -> 2*width`` bits).
+
+    The C6288-style structure the paper cites as the hard case for
+    ADD-based models: small widths already produce deep reconvergence.
+    """
+    if width < 2:
+        raise NetlistError("width must be >= 2")
+    builder = NetlistBuilder(name or f"mult{width}")
+    a = builder.bus("a", width)
+    b = builder.bus("b", width)
+    # Partial products.
+    partial = [[builder.and2(a[i], b[j]) for i in range(width)] for j in range(width)]
+    # Row-by-row carry-save style accumulation with ripple rows.
+    sums = list(partial[0])
+    builder.output("p0", sums[0])
+    for j in range(1, width):
+        row = partial[j]
+        carry = builder.const(False)
+        next_sums: List[str] = []
+        for i in range(width):
+            high = sums[i + 1] if i + 1 < len(sums) else builder.const(False)
+            total, carry = _full_adder_3(builder, row[i], high, carry)
+            next_sums.append(total)
+        next_sums.append(carry)
+        builder.output(f"p{j}", next_sums[0])
+        sums = next_sums
+    for k in range(1, len(sums)):
+        builder.output(f"p{width - 1 + k}", sums[k])
+    return builder.build()
+
+
+def _full_adder_3(
+    builder: NetlistBuilder, a: str, b: str, c: str
+) -> Tuple[str, str]:
+    return _full_adder(builder, a, b, c)
+
+
+def address_match_block(
+    address_bits: int, enable_bits: int, name: str | None = None
+) -> Netlist:
+    """Wide address comparator with gating — the cmb-style shape.
+
+    Matches an ``address_bits``-wide input against the all-ones pattern,
+    gated by the conjunction of ``enable_bits`` enables; also exposes the
+    raw match and an address-nibble parity.
+    """
+    if address_bits < 4 or enable_bits < 1:
+        raise NetlistError("need address_bits >= 4 and enable_bits >= 1")
+    builder = NetlistBuilder(name or "cmb_like")
+    address = builder.bus("addr", address_bits)
+    enables = builder.bus("en", enable_bits)
+    match = builder.and_tree(address)
+    gate = builder.and_tree(enables) if enable_bits > 1 else enables[0]
+    builder.output("match", match)
+    builder.output("valid", builder.and2(match, gate))
+    builder.output("par", builder.xor_tree(address[:4]))
+    builder.output("any_hi", builder.or_tree(address[: address_bits // 2]))
+    return builder.build()
+
+
+def parity_check_enable(
+    data_bits: int, name: str | None = None
+) -> Netlist:
+    """Per-bit enabled data path with global parity — the pcle-style shape.
+
+    Inputs: ``data_bits`` data, ``data_bits`` enables and one control bit
+    (``2 * data_bits + 1`` total).  Outputs the gated data bits and the
+    control-inverted parity of the gated word.
+    """
+    if data_bits < 2:
+        raise NetlistError("data_bits must be >= 2")
+    builder = NetlistBuilder(name or "pcle_like")
+    data = builder.bus("d", data_bits)
+    enables = builder.bus("e", data_bits)
+    control = builder.input("ctl")
+    gated = [builder.and2(d, e) for d, e in zip(data, enables)]
+    for i, net in enumerate(gated):
+        builder.output(f"q{i}", net)
+    builder.output("par", builder.xor2(builder.xor_tree(gated), control))
+    return builder.build()

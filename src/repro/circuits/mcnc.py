@@ -1,0 +1,161 @@
+"""The Table-1 benchmark suite (MCNC substitutes).
+
+Maps every circuit name of the paper's Table 1 to a generated functional
+equivalent with the *same primary-input count* and a comparable flavour
+(ALU / mux / comparator / decoder / parity / random control logic).  The
+original MCNC'91 netlists are not redistributable, so gate counts differ;
+DESIGN.md §4 explains why the measured shapes are preserved.
+
+:data:`PAPER_TABLE1` stores the numbers printed in the paper so the
+benchmark harness can put "paper" and "measured" columns side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.circuits.generators import (
+    address_match_block,
+    alu,
+    comparator,
+    decoder,
+    multiplexer,
+    parity,
+    parity_check_enable,
+)
+from repro.circuits.random_logic import random_logic
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 1 (reference values, % errors).
+
+    ``avg_max_nodes`` / ``ub_max_nodes`` are the MAX size budgets the
+    paper used for the average and upper-bound models; ``None`` fields
+    were not reported.
+    """
+
+    name: str
+    num_inputs: int
+    num_gates: int
+    are_con_percent: float
+    are_lin_percent: float
+    are_add_percent: float
+    avg_max_nodes: int
+    avg_cpu_seconds: float
+    ub_are_con_percent: float
+    ub_are_add_percent: float
+    ub_max_nodes: int
+    ub_cpu_seconds: Optional[float]
+
+
+#: Reference values transcribed from Table 1 of the paper.
+PAPER_TABLE1: Dict[str, PaperRow] = {
+    row.name: row
+    for row in [
+        PaperRow("alu2", 10, 252, 464.8, 135.7, 4.8, 1000, 496, 154.0, 21.0, 5000, 2766),
+        PaperRow("alu4", 14, 460, 465.1, 242.5, 7.8, 2000, 5087, 201.0, 59.2, 15000, 6470),
+        PaperRow("cmb", 16, 34, 585.7, 88.9, 10.7, 200, 12, 237.1, 47.0, 1000, 9),
+        PaperRow("cm150", 21, 46, 647.3, 270.4, 12.2, 1000, 664, 193.0, 47.6, 2000, 30),
+        PaperRow("cm85", 11, 31, 518.7, 195.2, 5.7, 500, 9, 167.8, 30.9, 500, 5.6),
+        PaperRow("comp", 32, 93, 460.9, 193.8, 15.0, 5000, 1614, 211.6, 54.9, 10000, 596),
+        PaperRow("decod", 5, 23, 812.6, 80.2, 3.2, 200, 5, 156.1, 4.6, 200, 2),
+        PaperRow("k2", 45, 1206, 622.5, 78.5, 14.3, 10000, 7511, 188.6, 2.1, 10000, 4375),
+        PaperRow("mux", 21, 61, 596.8, 161.1, 18.7, 1000, 571, 167.9, 43.9, 5000, 92),
+        PaperRow("parity", 16, 36, 316.5, 219.0, 6.8, 3000, 98.4, 177.3, 37.9, 500, 70),
+        PaperRow("pcle", 19, 45, 591.0, 248.6, 8.0, 5000, 281, 186.1, 40.9, 10000, 10143),
+        PaperRow("x1", 49, 228, 682.8, 200.7, 12.3, 1000, 9505, 318.9, 56.7, 50000, 22),
+        PaperRow("x2", 10, 40, 738.4, 204.9, 8.9, 200, 15, 138.7, 10.3, 2500, None),
+    ]
+}
+
+
+_GENERATORS: Dict[str, Callable[[], Netlist]] = {
+    # alu2/alu4: four-function ALUs, 2*w + 2 inputs.
+    "alu2": lambda: alu(4, name="alu2"),
+    "alu4": lambda: alu(6, name="alu4"),
+    # cmb: wide address match with gating; 13 + 3 = 16 inputs.
+    "cmb": lambda: address_match_block(13, 3, name="cmb"),
+    # cm150: 16:1 multiplexer with enable (21 inputs), AND-OR form.
+    "cm150": lambda: multiplexer(4, enable=True, style="gates", name="cm150"),
+    # cm85: cascadable 5-bit comparator (11 inputs).
+    "cm85": lambda: comparator(5, carry_in=True, name="cm85"),
+    # comp: 16-bit comparator (32 inputs).
+    "comp": lambda: comparator(16, name="comp"),
+    # decod: 4-to-16 decoder with enable (5 inputs).
+    "decod": lambda: decoder(4, enable=True, name="decod"),
+    # k2: large random control logic (45 inputs).  Cone/window settings
+    # give MCNC-like compressibility (see DESIGN.md §4).
+    "k2": lambda: random_logic(
+        "k2", 45, 1206, seed=9245, cone_limit=12, window=16
+    ),
+    # mux: 16:1 multiplexer with enable (21 inputs), MUX-tree form.
+    "mux": lambda: multiplexer(4, enable=True, style="mux", name="mux"),
+    # parity: 16-input parity tree.
+    "parity": lambda: parity(16, name="parity"),
+    # pcle: enabled data path with parity (2*9 + 1 = 19 inputs).
+    "pcle": lambda: parity_check_enable(9, name="pcle"),
+    # x1 / x2: random control logic of the reported arity.
+    "x1": lambda: random_logic(
+        "x1", 49, 228, seed=9149, cone_limit=10, window=12
+    ),
+    "x2": lambda: random_logic(
+        "x2", 10, 40, seed=9110, cone_limit=8, window=10
+    ),
+}
+
+
+#: Node budgets (avg model, upper-bound model) used by the benchmark
+#: harness for *our* substituted netlists.  The paper's MAX column was
+#: tuned for the original MCNC gate lists ("size comparable with that of
+#: the functional description"); these follow the same rule against the
+#: generated circuits' exact ADD sizes.
+SUGGESTED_MAX_NODES: Dict[str, tuple] = {
+    "alu2": (2000, 2000),   # exact ADD ~ 38k nodes -> ~5% kept
+    "alu4": (4000, 4000),   # exact ~ 269k -> ~1.5% kept
+    "cmb": (800, 800),      # exact ~ 3.2k
+    "cm150": (500, 500),    # exact ~ 0.8k
+    "cm85": (1000, 1000),   # exact ~ 2.2k
+    "comp": (4000, 4000),   # exact ~ 28k
+    "decod": (200, 200),    # exact 87 (fits exactly)
+    "k2": (4000, 4000),     # exact beyond pure-Python reach
+    "mux": (2000, 2000),    # exact ~ 35k
+    "parity": (1200, 1200), # exact ~ 3.7k
+    "pcle": (1500, 1500),   # exact ~ 6.4k
+    "x1": (1500, 1500),     # exact ~ 5.1k
+    "x2": (400, 400),       # exact ~ 0.6k
+}
+
+
+def available_circuits() -> List[str]:
+    """Names of all Table-1 benchmark circuits, in the paper's order."""
+    return list(PAPER_TABLE1)
+
+
+def load_circuit(name: str) -> Netlist:
+    """Instantiate one benchmark circuit by its Table-1 name."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise NetlistError(
+            f"unknown benchmark {name!r}; available: {available_circuits()}"
+        ) from None
+    netlist = generator()
+    expected = PAPER_TABLE1[name].num_inputs
+    if netlist.num_inputs != expected:
+        raise NetlistError(
+            f"generator for {name} produced {netlist.num_inputs} inputs, "
+            f"paper has {expected}"
+        )
+    return netlist
+
+
+def load_suite(names: List[str] | None = None) -> Dict[str, Netlist]:
+    """Instantiate several benchmarks (default: the whole Table-1 suite)."""
+    return {
+        name: load_circuit(name)
+        for name in (names if names is not None else available_circuits())
+    }

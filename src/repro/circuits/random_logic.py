@@ -1,0 +1,127 @@
+"""Seeded random-logic circuits with bounded input cones.
+
+Stands in for the irregular MCNC control-logic benchmarks (k2, x1, x2,
+pcle, cmb) that cannot be redistributed.  The generator draws gates with
+operands biased toward recently created nets (locality, which creates the
+reconvergent fanout that makes power pattern-dependent) while rejecting
+operand choices whose combined *input cone* would exceed ``cone_limit``
+primary inputs.  The cone bound keeps every node function's BDD over at
+most ``cone_limit`` variables — the knob that makes pure-Python symbolic
+construction of 1000-gate circuits tractable without changing the
+phenomena under study (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateOp
+from repro.netlist.netlist import Netlist
+from repro.netlist.synth import NetlistBuilder
+
+#: Relative frequency of each gate type.  XOR-rich logic blows BDDs up;
+#: real control logic is AND/OR dominated, which this mix mirrors.
+_GATE_WEIGHTS = [
+    (GateOp.AND, 22),
+    (GateOp.OR, 22),
+    (GateOp.NAND, 18),
+    (GateOp.NOR, 14),
+    (GateOp.XOR, 8),
+    (GateOp.INV, 16),
+]
+
+
+def random_logic(
+    name: str,
+    num_inputs: int,
+    num_gates: int,
+    seed: int,
+    window: int = 24,
+    cone_limit: int = 18,
+    long_range_probability: float = 0.08,
+    max_outputs: int = 40,
+) -> Netlist:
+    """Generate a reproducible random combinational circuit.
+
+    Parameters
+    ----------
+    name, num_inputs, num_gates, seed:
+        Identity of the circuit; identical arguments always produce the
+        identical netlist.
+    window:
+        Operands are usually drawn from the last ``window`` created nets,
+        giving depth and reconvergence.
+    cone_limit:
+        Maximum number of primary inputs any single net may transitively
+        depend on.
+    long_range_probability:
+        Chance of drawing an operand uniformly from *all* nets instead of
+        the recent window (adds global structure).
+    max_outputs:
+        Dangling nets become primary outputs, newest first, up to this
+        count; remaining dangling nets are ORed into one extra output so
+        that every gate carries load.
+    """
+    if num_inputs < 2:
+        raise NetlistError("random logic needs at least 2 inputs")
+    if num_gates < 1:
+        raise NetlistError("num_gates must be >= 1")
+    if cone_limit < 2:
+        raise NetlistError("cone_limit must be >= 2")
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name, share_structure=False)
+    nets: List[str] = builder.bus("x", num_inputs)
+    # Input cone per net as a bitmask over primary-input indices.
+    cone: Dict[str, int] = {net: 1 << i for i, net in enumerate(nets)}
+    ops, weights = zip(*_GATE_WEIGHTS)
+
+    def pick_operand() -> str:
+        if rng.random() < long_range_probability or len(nets) <= window:
+            return nets[rng.randrange(len(nets))]
+        return nets[rng.randrange(len(nets) - window, len(nets))]
+
+    created = 0
+    attempts = 0
+    while created < num_gates:
+        attempts += 1
+        if attempts > 50 * num_gates:
+            raise NetlistError(
+                f"cone_limit={cone_limit} too tight to place {num_gates} gates"
+            )
+        op = rng.choices(ops, weights)[0]
+        if op is GateOp.INV:
+            operands = [pick_operand()]
+        else:
+            first, second = pick_operand(), pick_operand()
+            if first == second:
+                continue
+            operands = [first, second]
+        mask = 0
+        for operand in operands:
+            mask |= cone[operand]
+        if mask.bit_count() > cone_limit:
+            continue
+        net = builder.gate(op, operands)
+        cone[net] = mask
+        nets.append(net)
+        created += 1
+
+    used = set()
+    for gate in builder.netlist.gates:
+        used.update(gate.inputs)
+    dangling = [
+        gate.output
+        for gate in builder.netlist.gates
+        if gate.output not in used
+    ]
+    if not dangling:
+        dangling = [nets[-1]]
+    primary = dangling[-max_outputs:]
+    leftovers = dangling[:-max_outputs]
+    for index, net in enumerate(primary):
+        builder.netlist.add_output(net)
+    if leftovers:
+        builder.netlist.add_output(builder.or_tree(leftovers))
+    return builder.build()

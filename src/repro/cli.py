@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro`` / ``repro-power``.
+
+Subcommands
+-----------
+``info <circuit|file.blif>``
+    Print netlist statistics (inputs, gates, depth, capacitance).
+``build <circuit|file.blif>``
+    Build an ADD power model and report its size, leaves and build cost.
+``evaluate <circuit|file.blif>``
+    Run the (sp, st) accuracy sweep against Con/Lin baselines.
+``bound <circuit|file.blif>``
+    Build a conservative upper-bound model and verify it on samples.
+``worst-case <circuit|file.blif>``
+    Extract a maximum-power input transition from the exact model.
+``activity <circuit|file.blif>``
+    Analytic per-net switching activity and average power.
+``save-model <circuit|file.blif> <model.json>`` / ``eval-model <model.json>``
+    Serialise a model to JSON; evaluate a shipped model without the netlist.
+``list``
+    Show the available Table-1 benchmark circuits.
+
+Circuits are referenced by benchmark name (see ``list``), or by a path to
+a ``.blif`` or ISCAS-85 ``.isc`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.circuits import available_circuits, load_circuit
+from repro.errors import ReproError
+from repro.eval import SweepConfig, ascii_table, run_sweep
+from repro.models import (
+    ConstantModel,
+    LinearModel,
+    build_add_model,
+    constant_bound_from_model,
+    generate_training_data,
+    verify_upper_bound,
+)
+from repro.netlist import Netlist, read_blif
+from repro.sim import uniform_pairs
+
+
+def _load(identifier: str) -> Netlist:
+    if identifier.endswith(".blif"):
+        return read_blif(identifier)
+    if identifier.endswith(".isc"):
+        from repro.netlist import read_iscas
+
+        return read_iscas(identifier)
+    return load_circuit(identifier)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in available_circuits():
+        print(name)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    stats = netlist.stats()
+    print(f"name:        {stats.name}")
+    print(f"inputs:      {stats.num_inputs}")
+    print(f"outputs:     {stats.num_outputs}")
+    print(f"gates:       {stats.num_gates}")
+    print(f"depth:       {stats.depth}")
+    print(f"total load:  {stats.total_load_capacitance_fF:.1f} fF")
+    for cell, count in sorted(netlist.counts_by_cell().items()):
+        print(f"  {cell:8s} x {count}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    model = build_add_model(
+        netlist, max_nodes=args.max_nodes, strategy=args.strategy
+    )
+    report = model.report
+    assert report is not None
+    print(f"macro:        {report.macro_name}")
+    print(f"strategy:     {report.strategy}")
+    print(f"MAX:          {report.max_nodes}")
+    print(f"final nodes:  {report.final_nodes}")
+    print(f"peak nodes:   {report.peak_nodes}")
+    print(f"approx calls: {report.num_approximations}")
+    print(f"build time:   {report.cpu_seconds:.2f} s")
+    print(f"avg C (unif): {model.average_capacitance_uniform():.2f} fF")
+    print(f"max C:        {model.global_maximum():.2f} fF")
+    print(f"leaf count:   {len(model.leaf_values())}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    training = generate_training_data(netlist, length=args.train_length)
+    models = {
+        "Con": ConstantModel.characterize(netlist, training),
+        "Lin": LinearModel.characterize(netlist, training),
+        "ADD": build_add_model(netlist, max_nodes=args.max_nodes),
+    }
+    config = SweepConfig(sequence_length=args.sequence_length)
+    result = run_sweep(netlist, models, config)
+    rows = [
+        [name, 100.0 * result.are_average(name)] for name in models
+    ]
+    print(ascii_table(["model", "ARE avg (%)"], rows))
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    model = build_add_model(
+        netlist, max_nodes=args.max_nodes, strategy="max"
+    )
+    constant = constant_bound_from_model(model)
+    initial, final = uniform_pairs(
+        netlist.num_inputs, args.samples, seed=2024
+    )
+    check = verify_upper_bound(model, netlist, initial, final)
+    print(f"bound nodes:     {model.size}")
+    print(f"global max:      {constant.value_fF:.2f} fF")
+    print(f"samples checked: {check.num_samples}")
+    print(f"violations:      {check.violations}")
+    print(f"mean slack:      {check.mean_slack_fF:.2f} fF")
+    print(f"max slack:       {check.max_slack_fF:.2f} fF")
+    return 0 if check.conservative else 1
+
+
+def _cmd_worst_case(args: argparse.Namespace) -> int:
+    netlist = _load(args.circuit)
+    model = build_add_model(netlist, max_nodes=args.max_nodes)
+    initial, final, value = model.worst_case_transition()
+    print(f"x_i:        {''.join(str(b) for b in initial)}")
+    print(f"x_f:        {''.join(str(b) for b in final)}")
+    print(f"C:          {value:.2f} fF")
+    if args.max_nodes is None:
+        from repro.sim import switching_capacitance
+
+        check = switching_capacitance(netlist, initial, final)
+        print(f"gate-level: {check:.2f} fF (exact model: values must match)")
+    return 0
+
+
+def _cmd_activity(args: argparse.Namespace) -> int:
+    from repro.sim import exact_activity
+
+    netlist = _load(args.circuit)
+    report = exact_activity(netlist, sp=args.sp, st=args.st)
+    print(f"inputs sp={args.sp} st={args.st}")
+    print(f"average switching capacitance: "
+          f"{report.average_capacitance_fF:.2f} fF/cycle")
+    busiest = sorted(
+        report.rising_probability.items(), key=lambda kv: -kv[1]
+    )[: args.top]
+    print(f"top {len(busiest)} nets by P(rising):")
+    for net, probability in busiest:
+        print(f"  {net:16s} {probability:.4f}")
+    return 0
+
+
+def _cmd_save_model(args: argparse.Namespace) -> int:
+    from repro.models import save_model
+
+    netlist = _load(args.circuit)
+    model = build_add_model(
+        netlist, max_nodes=args.max_nodes, strategy=args.strategy
+    )
+    save_model(model, args.output)
+    print(f"wrote {args.output} ({model.size} nodes, strategy {model.strategy})")
+    return 0
+
+
+def _cmd_eval_model(args: argparse.Namespace) -> int:
+    from repro.models import read_model
+
+    model = read_model(args.model)
+    print(f"macro:    {model.macro_name} ({model.num_inputs} inputs)")
+    print(f"strategy: {model.strategy}  nodes: {model.size}")
+    print(f"max C:    {model.global_maximum():.2f} fF")
+    print(f"avg C:    {model.average_capacitance_uniform():.2f} fF (uniform)")
+    if args.transition:
+        bits = args.transition
+        if len(bits) != 2 * model.num_inputs or set(bits) - {"0", "1"}:
+            print(
+                f"error: transition must be {2 * model.num_inputs} bits "
+                "(x_i then x_f)",
+                file=sys.stderr,
+            )
+            return 2
+        initial = [int(b) for b in bits[: model.num_inputs]]
+        final = [int(b) for b in bits[model.num_inputs:]]
+        print(f"C(x_i, x_f) = "
+              f"{model.switching_capacitance(initial, final):.2f} fF")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description="Characterization-free RTL power modeling (DATE 1998 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark circuits").set_defaults(
+        func=_cmd_list
+    )
+
+    info = sub.add_parser("info", help="print netlist statistics")
+    info.add_argument("circuit", help="benchmark name or BLIF path")
+    info.set_defaults(func=_cmd_info)
+
+    build = sub.add_parser("build", help="build an ADD power model")
+    build.add_argument("circuit", help="benchmark name or BLIF path")
+    build.add_argument("--max-nodes", type=int, default=1000)
+    build.add_argument(
+        "--strategy", choices=("avg", "max", "min"), default="avg"
+    )
+    build.set_defaults(func=_cmd_build)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="accuracy sweep vs Con/Lin baselines"
+    )
+    evaluate.add_argument("circuit", help="benchmark name or BLIF path")
+    evaluate.add_argument("--max-nodes", type=int, default=1000)
+    evaluate.add_argument("--sequence-length", type=int, default=1500)
+    evaluate.add_argument("--train-length", type=int, default=1500)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    bound = sub.add_parser("bound", help="build and verify an upper bound")
+    bound.add_argument("circuit", help="benchmark name or BLIF path")
+    bound.add_argument("--max-nodes", type=int, default=1000)
+    bound.add_argument("--samples", type=int, default=500)
+    bound.set_defaults(func=_cmd_bound)
+
+    worst = sub.add_parser(
+        "worst-case", help="extract a maximum-power transition"
+    )
+    worst.add_argument("circuit", help="benchmark name or netlist path")
+    worst.add_argument("--max-nodes", type=int, default=None)
+    worst.set_defaults(func=_cmd_worst_case)
+
+    activity = sub.add_parser(
+        "activity", help="analytic switching activity per net"
+    )
+    activity.add_argument("circuit", help="benchmark name or netlist path")
+    activity.add_argument("--sp", type=float, default=0.5)
+    activity.add_argument("--st", type=float, default=0.5)
+    activity.add_argument("--top", type=int, default=10)
+    activity.set_defaults(func=_cmd_activity)
+
+    save = sub.add_parser("save-model", help="serialise a model to JSON")
+    save.add_argument("circuit", help="benchmark name or netlist path")
+    save.add_argument("output", help="output JSON path")
+    save.add_argument("--max-nodes", type=int, default=1000)
+    save.add_argument(
+        "--strategy", choices=("avg", "max", "min"), default="avg"
+    )
+    save.set_defaults(func=_cmd_save_model)
+
+    evaluate_model = sub.add_parser(
+        "eval-model", help="inspect / evaluate a shipped model JSON"
+    )
+    evaluate_model.add_argument("model", help="model JSON path")
+    evaluate_model.add_argument(
+        "--transition",
+        help="2n bits: x_i concatenated with x_f",
+        default=None,
+    )
+    evaluate_model.set_defaults(func=_cmd_eval_model)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

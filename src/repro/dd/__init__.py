@@ -1,0 +1,74 @@
+"""Decision-diagram engine: ROBDDs and ADDs with approximation.
+
+This subpackage replaces the CUDD library the paper built on.  The main
+entry points are:
+
+- :class:`~repro.dd.manager.DDManager` — hash-consed node store with
+  Boolean (BDD) and arithmetic (ADD) operations;
+- :class:`~repro.dd.function.DDFunction` — operator-overloading wrapper;
+- :func:`~repro.dd.approx.approximate` — size-targeted node collapsing
+  (the paper's ``add_approx``);
+- :mod:`~repro.dd.stats` — per-node average / variance / max recursions
+  (Eq. 5-8);
+- :class:`~repro.dd.ordering.TransitionSpace` — variable bookkeeping for
+  the doubled ``(x_i, x_f)`` input space.
+"""
+
+from repro.dd.approx import (
+    approximate,
+    collapse_by_threshold,
+    collapse_nodes,
+    node_weights,
+    quantize_leaves,
+    rebuild_with_replacements,
+)
+from repro.dd.reorder import (
+    random_order_search,
+    sift_order_search,
+    size_under_order,
+    transfer,
+)
+from repro.dd.dot import to_dot, write_dot
+from repro.dd.function import DDFunction
+from repro.dd.manager import TERMINAL_LEVEL, DDManager
+from repro.dd.ordering import TransitionSpace, fanin_dfs_input_order
+from repro.dd.stats import (
+    NodeStats,
+    average,
+    compute_stats,
+    expected_value_biased,
+    function_stats,
+    leaf_histogram,
+    maximum,
+    minimum,
+    variance,
+)
+
+__all__ = [
+    "DDManager",
+    "DDFunction",
+    "TERMINAL_LEVEL",
+    "TransitionSpace",
+    "fanin_dfs_input_order",
+    "NodeStats",
+    "compute_stats",
+    "function_stats",
+    "average",
+    "variance",
+    "maximum",
+    "minimum",
+    "leaf_histogram",
+    "expected_value_biased",
+    "approximate",
+    "collapse_nodes",
+    "collapse_by_threshold",
+    "quantize_leaves",
+    "rebuild_with_replacements",
+    "to_dot",
+    "write_dot",
+    "node_weights",
+    "transfer",
+    "size_under_order",
+    "random_order_search",
+    "sift_order_search",
+]

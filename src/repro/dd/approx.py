@@ -1,0 +1,347 @@
+"""ADD approximation by node collapsing (Section 3 of the paper).
+
+Collapsing replaces the sub-ADD rooted at a node with a single constant
+leaf.  The *strategy* decides which nodes to collapse and which constant to
+write:
+
+``avg``
+    Collapse minimum-variance nodes to their average value.  Preserves the
+    global average exactly (``avg(a) + avg(b) = avg(a + b)``) and minimises
+    the mean square error for a given set of collapsed nodes — the paper's
+    choice for accurate average-power models.
+``max``
+    Collapse minimum-``mse`` nodes (``mse = var + (max - avg)^2``, Eq. 8)
+    to their maximum value.  Every collapsed model value only increases, so
+    the result is a *conservative pattern-dependent upper bound*.
+``min``
+    Dual of ``max``: conservative lower bound.
+``random``
+    Random node selection with average replacement values; the ablation
+    baseline showing that variance-guided selection matters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Iterable, List, Literal, Optional
+
+from repro.dd.manager import DDManager
+from repro.dd.stats import NodeStats, compute_stats
+from repro.errors import DDError
+
+Strategy = Literal["avg", "max", "min", "random"]
+
+_STRATEGIES = ("avg", "max", "min", "random")
+
+
+def _score(strategy: str, stats: NodeStats, rng: Optional[random.Random]) -> float:
+    if strategy == "avg":
+        return stats.var
+    if strategy == "max":
+        return stats.mse_max
+    if strategy == "min":
+        return stats.mse_min
+    assert rng is not None
+    return rng.random()
+
+
+def _replacement_value(strategy: str, stats: NodeStats) -> float:
+    if strategy == "max":
+        return stats.max
+    if strategy == "min":
+        return stats.min
+    return stats.avg
+
+
+def _snap(value: float, step: float, mode: str) -> float:
+    """Round a replacement value onto a grid of pitch ``step``."""
+    scaled = value / step
+    if mode == "up":
+        return math.ceil(scaled - 1e-12) * step
+    if mode == "down":
+        return math.floor(scaled + 1e-12) * step
+    return round(scaled) * step
+
+
+def rebuild_with_replacements(
+    manager: DDManager, root: int, replacement: Dict[int, int]
+) -> int:
+    """Rebuild the diagram at ``root`` substituting some nodes.
+
+    ``replacement`` maps node ids to the node that should stand in for
+    them (typically terminals).  If both a node and one of its descendants
+    are replaced, the ancestor wins — its subtree is never visited.
+    Rebuilding is bottom-up and linear in the diagram size.
+    """
+    memo: Dict[int, int] = {}
+    # Iterative DFS to keep stack depth independent of diagram depth.
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in memo:
+            continue
+        target = replacement.get(node)
+        if target is not None:
+            memo[node] = target
+            continue
+        if manager.is_terminal(node):
+            memo[node] = node
+            continue
+        lo, hi = manager.lo(node), manager.hi(node)
+        if not expanded:
+            stack.append((node, True))
+            stack.append((lo, False))
+            stack.append((hi, False))
+            continue
+        memo[node] = manager.node(manager.top_var(node), memo[lo], memo[hi])
+    return memo[root]
+
+
+def collapse_nodes(
+    manager: DDManager,
+    root: int,
+    nodes: Iterable[int],
+    strategy: Strategy = "avg",
+) -> int:
+    """Collapse an explicit set of nodes with the given strategy's values."""
+    stats = compute_stats(manager, root)
+    replacement = {
+        n: manager.terminal(_replacement_value(strategy, stats[n]))
+        for n in nodes
+        if n in stats and not manager.is_terminal(n)
+    }
+    return rebuild_with_replacements(manager, root, replacement)
+
+
+def node_weights(manager: DDManager, root: int) -> Dict[int, float]:
+    """Fraction of the input space whose evaluation path crosses each node.
+
+    ``weight(root) = 1``; each decision halves the mass along both edges.
+    Shared nodes accumulate mass from all their parents.  The product
+    ``weight(n) * var(n)`` is the exact global mean-square error incurred
+    by collapsing the (path-disjoint) sub-ADD at ``n`` to its average.
+    """
+    nodes = [n for n in manager.iter_nodes(root) if not manager.is_terminal(n)]
+    nodes.sort(key=manager.top_var)  # edges always point to larger levels
+    weights: Dict[int, float] = {n: 0.0 for n in nodes}
+    weights[root] = 1.0
+    for node in nodes:
+        half = weights[node] * 0.5
+        for child in (manager.lo(node), manager.hi(node)):
+            if child in weights:
+                weights[child] += half
+    return weights
+
+
+#: Type of the optional weight callback: given (manager, root) it returns
+#: a per-node mass used to scale collapse scores.
+WeightFn = Callable[[DDManager, int], Dict[int, float]]
+
+
+def approximate(
+    manager: DDManager,
+    root: int,
+    max_size: int,
+    strategy: Strategy = "avg",
+    seed: int = 0,
+    weighted: bool = True,
+    weight_fn: Optional[WeightFn] = None,
+) -> int:
+    """Reduce the diagram at ``root`` to at most ``max_size`` nodes.
+
+    This is the paper's ``add_approx``: nodes are collapsed in ascending
+    order of score (variance for ``avg``, Eq. 8 mse for ``max``/``min``)
+    until the size target is met.  Node count includes leaves, matching
+    the MAX bounds reported in Table 1.
+
+    With ``weighted=True`` (default) each node's score is multiplied by
+    the fraction of the input space that reaches it, making the score the
+    node's *actual* contribution to the global mean-square error.  The
+    paper's plain unweighted criterion (``weighted=False``) can rank a
+    moderately-varying root below high-variance deep nodes and collapse
+    the whole diagram to a constant; the ablation benchmark E5 compares
+    the two.  ``weight_fn`` overrides the mass computation entirely
+    (e.g. with a non-uniform input-statistics measure — see
+    :func:`repro.models.addmodel.mixture_weight_fn`).
+
+    Returns the (possibly unchanged) root of the approximated diagram.
+    """
+    if max_size < 1:
+        raise DDError(f"max_size must be >= 1, got {max_size}")
+    if strategy not in _STRATEGIES:
+        raise DDError(f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}")
+    rng = random.Random(seed) if strategy == "random" else None
+
+    current = root
+    while True:
+        size = manager.size(current)
+        if size <= max_size:
+            return current
+        stats = compute_stats(manager, current)
+        candidates: List[int] = [
+            n for n in stats if not manager.is_terminal(n)
+        ]
+        if weighted and strategy != "random":
+            resolver = weight_fn if weight_fn is not None else node_weights
+            weights = resolver(manager, current)
+            candidates.sort(
+                key=lambda n: (
+                    weights.get(n, 0.0) * _score(strategy, stats[n], rng),
+                    n,
+                )
+            )
+        else:
+            candidates.sort(key=lambda n: (_score(strategy, stats[n], rng), n))
+
+        def smallest_feasible(terminals: List[int]) -> Optional[int]:
+            """Binary-search the shortest low-score prefix whose collapse
+            meets the size target; None if even a full collapse misses.
+
+            Collapsing as few (and lowest-score) nodes as possible keeps
+            the approximation error minimal and lands the final size just
+            under max_size (important for the Fig.-7b trade-off curve).
+            Size is monotone non-increasing in the prefix length up to
+            rare terminal-sharing effects, which the outer loop absorbs.
+            """
+
+            def rebuild_with_first(k: int) -> int:
+                replacement = dict(zip(candidates[:k], terminals[:k]))
+                return rebuild_with_replacements(manager, current, replacement)
+
+            low, high = 1, len(candidates)
+            best = rebuild_with_first(high)
+            if manager.size(best) > max_size:
+                return None
+            while low < high:
+                mid = (low + high) // 2
+                attempt = rebuild_with_first(mid)
+                if manager.size(attempt) <= max_size:
+                    best = attempt
+                    high = mid
+                else:
+                    low = mid + 1
+            return best
+
+        exact_terminals = [
+            manager.terminal(_replacement_value(strategy, stats[n]))
+            for n in candidates
+        ]
+        rebuilt = smallest_feasible(exact_terminals)
+
+        # Exact replacement values are all distinct floats, so collapsing
+        # many sub-ADDs can *add* one leaf per collapse and the size only
+        # drops once a near-root node falls — a catastrophic loss of
+        # pattern dependence.  When that happens, retry with replacement
+        # values snapped to a coarse grid: collapsed leaves merge, far
+        # fewer (and lower-score) nodes need to fall, and conservatism is
+        # kept by rounding up for ``max`` / down for ``min``.
+        degenerate = rebuilt is None or (
+            manager.size(rebuilt) <= max(3, max_size // 4) and size > max_size
+        )
+        # The avg strategy never snaps: exact average values keep the
+        # model's global average identical to the original function's, a
+        # documented invariant.  Bound strategies trade that for tightness.
+        if degenerate and strategy in ("max", "min"):
+            root_stats = stats[current]
+            span = root_stats.max - root_stats.min
+            if span > 0.0:
+                step = span / max(2.0, max_size / 2.0)
+                mode = {"max": "up", "min": "down"}.get(strategy, "nearest")
+                grid_terminals = [
+                    manager.terminal(
+                        _snap(_replacement_value(strategy, stats[n]), step, mode)
+                    )
+                    for n in candidates
+                ]
+                regridded = smallest_feasible(grid_terminals)
+                if regridded is not None and (
+                    rebuilt is None
+                    or manager.size(regridded) > manager.size(rebuilt)
+                ):
+                    rebuilt = regridded
+        if rebuilt is None:
+            # Even a full collapse could not reach the target (an ocean of
+            # distinct pre-existing leaves).  Merge leaves directly with a
+            # coarsening grid until the budget is met.
+            mode = {"max": "up", "min": "down"}.get(strategy, "nearest")
+            root_stats = stats[current]
+            step = max(root_stats.max - root_stats.min, 1.0) / max(
+                2.0, max_size / 2.0
+            )
+            rebuilt = current
+            while manager.size(rebuilt) > max_size:
+                rebuilt = quantize_leaves(manager, current, step, mode)
+                step *= 2.0
+        if rebuilt == current:
+            # No candidate collapse changed the diagram; cannot shrink
+            # further (degenerate input) — stop safely.
+            return current
+        current = rebuilt
+        if manager.is_terminal(current):
+            return current
+
+
+def collapse_by_threshold(
+    manager: DDManager,
+    root: int,
+    threshold: float,
+    strategy: Strategy = "avg",
+) -> int:
+    """Collapse every node whose score does not exceed ``threshold``.
+
+    Unlike :func:`approximate`, this bounds the local approximation error
+    instead of the diagram size: with the ``avg`` strategy the variance of
+    every replaced sub-function is at most ``threshold``.
+    """
+    if strategy == "random":
+        raise DDError("threshold collapsing is undefined for the random strategy")
+    stats = compute_stats(manager, root)
+    marked = [
+        n
+        for n, s in stats.items()
+        if not manager.is_terminal(n) and _score(strategy, s, None) <= threshold
+    ]
+    return collapse_nodes(manager, root, marked, strategy)
+
+
+def quantize_leaves(
+    manager: DDManager,
+    root: int,
+    step: float,
+    mode: Literal["nearest", "up", "down"] = "nearest",
+) -> int:
+    """Round every leaf value to a multiple of ``step``.
+
+    A complementary approximation that merges nearby leaves (and thereby
+    the nodes above them).  ``mode='up'`` preserves upper-bound
+    conservatism, ``mode='down'`` lower-bound conservatism.
+    """
+    if step <= 0:
+        raise DDError(f"step must be positive, got {step}")
+    memo: Dict[int, int] = {}
+
+    def quantize(value: float) -> float:
+        scaled = value / step
+        if mode == "up":
+            return math.ceil(scaled - 1e-12) * step
+        if mode == "down":
+            return math.floor(scaled + 1e-12) * step
+        return round(scaled) * step
+
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in memo:
+            continue
+        if manager.is_terminal(node):
+            memo[node] = manager.terminal(quantize(manager.value(node)))
+            continue
+        lo, hi = manager.lo(node), manager.hi(node)
+        if not expanded:
+            stack.append((node, True))
+            stack.append((lo, False))
+            stack.append((hi, False))
+            continue
+        memo[node] = manager.node(manager.top_var(node), memo[lo], memo[hi])
+    return memo[root]

@@ -1,0 +1,155 @@
+"""Operator-overloading wrapper around manager node ids.
+
+:class:`DDFunction` is the user-facing handle for a decision diagram: it
+pairs a node id with its :class:`~repro.dd.manager.DDManager` and provides
+Python operators for the common Boolean and arithmetic combinations.  All
+heavy algorithms in this package work on raw integer ids for speed; wrap
+and unwrap at API boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set
+
+from repro.dd.manager import DDManager
+from repro.errors import DDError
+
+
+class DDFunction:
+    """A decision diagram (BDD or ADD) bound to its manager.
+
+    Instances are immutable value objects: operators return new
+    instances, and equality is structural (same manager, same node id —
+    which, by canonicity, means the same function).
+    """
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: DDManager, node: int):
+        self.manager = manager
+        self.node = node
+
+    # -- helpers -------------------------------------------------------
+    def _wrap(self, node: int) -> "DDFunction":
+        return DDFunction(self.manager, node)
+
+    def _unwrap(self, other: "DDFunction | float | int") -> int:
+        if isinstance(other, DDFunction):
+            if other.manager is not self.manager:
+                raise DDError("cannot combine diagrams from different managers")
+            return other.node
+        return self.manager.terminal(float(other))
+
+    # -- Boolean operators ----------------------------------------------
+    def __and__(self, other: "DDFunction") -> "DDFunction":
+        return self._wrap(self.manager.bdd_and(self.node, self._unwrap(other)))
+
+    def __or__(self, other: "DDFunction") -> "DDFunction":
+        return self._wrap(self.manager.bdd_or(self.node, self._unwrap(other)))
+
+    def __xor__(self, other: "DDFunction") -> "DDFunction":
+        return self._wrap(self.manager.bdd_xor(self.node, self._unwrap(other)))
+
+    def __invert__(self) -> "DDFunction":
+        return self._wrap(self.manager.bdd_not(self.node))
+
+    def ite(self, then_dd: "DDFunction", else_dd: "DDFunction") -> "DDFunction":
+        """``self ? then_dd : else_dd`` (self must be a BDD)."""
+        return self._wrap(
+            self.manager.ite(self.node, self._unwrap(then_dd), self._unwrap(else_dd))
+        )
+
+    # -- arithmetic operators ---------------------------------------------
+    def __add__(self, other: "DDFunction | float") -> "DDFunction":
+        return self._wrap(self.manager.add_plus(self.node, self._unwrap(other)))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "DDFunction | float") -> "DDFunction":
+        return self._wrap(self.manager.add_minus(self.node, self._unwrap(other)))
+
+    def __mul__(self, other: "DDFunction | float") -> "DDFunction":
+        return self._wrap(self.manager.add_times(self.node, self._unwrap(other)))
+
+    __rmul__ = __mul__
+
+    def maximum(self, other: "DDFunction | float") -> "DDFunction":
+        """Pointwise maximum with another diagram or constant."""
+        return self._wrap(self.manager.add_max(self.node, self._unwrap(other)))
+
+    def minimum(self, other: "DDFunction | float") -> "DDFunction":
+        """Pointwise minimum with another diagram or constant."""
+        return self._wrap(self.manager.add_min(self.node, self._unwrap(other)))
+
+    # -- structural ------------------------------------------------------
+    def restrict(self, var: int, phase: bool) -> "DDFunction":
+        """Cofactor with respect to ``var = phase``."""
+        return self._wrap(self.manager.restrict(self.node, var, phase))
+
+    def rename(self, mapping: Dict[int, int]) -> "DDFunction":
+        """Monotone variable rename (see :meth:`DDManager.rename`)."""
+        return self._wrap(self.manager.rename(self.node, mapping))
+
+    def exists(self, variables: Iterable[int]) -> "DDFunction":
+        """Existential quantification over ``variables`` (BDDs only)."""
+        return self._wrap(self.manager.exists(self.node, variables))
+
+    def forall(self, variables: Iterable[int]) -> "DDFunction":
+        """Universal quantification over ``variables`` (BDDs only)."""
+        return self._wrap(self.manager.forall(self.node, variables))
+
+    # -- queries ---------------------------------------------------------
+    def evaluate(self, assignment: Sequence[int]) -> float:
+        """Evaluate for a 0/1 assignment indexed by variable index."""
+        return self.manager.evaluate(self.node, assignment)
+
+    def __call__(self, assignment: Sequence[int]) -> float:
+        return self.evaluate(assignment)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes (internal + leaves) in this diagram."""
+        return self.manager.size(self.node)
+
+    @property
+    def support(self) -> Set[int]:
+        """Variable indices this function depends on."""
+        return self.manager.support(self.node)
+
+    @property
+    def leaves(self) -> Set[float]:
+        """Distinct terminal values of this diagram."""
+        return self.manager.leaves(self.node)
+
+    @property
+    def is_boolean(self) -> bool:
+        """True if all leaves are 0/1."""
+        return self.manager.is_boolean(self.node)
+
+    @property
+    def is_constant(self) -> bool:
+        """True if this diagram is a single leaf."""
+        return self.manager.is_terminal(self.node)
+
+    def constant_value(self) -> float:
+        """Value of a constant diagram (raises if not constant)."""
+        return self.manager.value(self.node)
+
+    def sat_count(self, num_vars: int | None = None) -> float:
+        """Satisfying-assignment count of a BDD."""
+        return self.manager.sat_count(self.node, num_vars)
+
+    # -- dunder plumbing ---------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DDFunction)
+            and other.manager is self.manager
+            and other.node == self.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "BDD" if self.is_boolean else "ADD"
+        return f"<{kind} node={self.node} size={self.size}>"

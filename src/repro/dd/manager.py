@@ -1,0 +1,644 @@
+"""Hash-consed decision-diagram manager (ROBDDs and ADDs).
+
+This module is a from-scratch replacement for the CUDD package used by the
+paper.  A single :class:`DDManager` stores both Boolean functions (BDDs,
+i.e. diagrams whose terminals are 0 and 1) and discrete real-valued
+functions (ADDs) in one shared, reduced, ordered node store.
+
+Nodes are identified by small integers.  Node 0 is the terminal ``0.0`` and
+node 1 the terminal ``1.0``; further terminals and internal nodes are
+allocated on demand and hash-consed, so diagrams are canonical: two
+equivalent functions always have the same node id.
+
+The manager exposes the raw integer-id interface used by the algorithms in
+this package; :class:`DDFunction` (see :mod:`repro.dd.function`) wraps ids
+with operator overloading for the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import DDError, NotBooleanError, VariableOrderError
+
+#: Sentinel "variable index" stored for terminal nodes.  It compares greater
+#: than every real variable index so level comparisons need no special case.
+TERMINAL_LEVEL = 1 << 30
+
+#: Number of decimal digits used to canonicalise terminal values.  Rounding
+#: keeps float noise (e.g. ``0.1 + 0.2``) from creating spuriously distinct
+#: leaves, which would destroy sharing without changing semantics.
+_VALUE_DIGITS = 9
+
+
+def _canonical(value: float) -> float:
+    rounded = round(float(value), _VALUE_DIGITS)
+    # Avoid the separate -0.0 key.
+    return rounded + 0.0 if rounded != 0 else 0.0
+
+
+class DDManager:
+    """A store of reduced, ordered decision diagrams over named variables.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables initially declared.  More can be added with
+        :meth:`add_var`.
+    var_names:
+        Optional names, one per variable; defaults to ``v0, v1, ...``.
+        Names are used only for display (dot export, debugging).
+    """
+
+    def __init__(self, num_vars: int = 0, var_names: Sequence[str] | None = None):
+        if num_vars < 0:
+            raise DDError(f"num_vars must be non-negative, got {num_vars}")
+        if var_names is not None and len(var_names) != num_vars:
+            raise DDError(
+                f"{len(var_names)} names given for {num_vars} variables"
+            )
+        # Parallel arrays indexed by node id.
+        self._var: List[int] = []
+        self._lo: List[int] = []
+        self._hi: List[int] = []
+        # Unique tables.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._terminal_ids: Dict[float, int] = {}
+        self._terminal_values: Dict[int, float] = {}
+        # Operation caches (persist across calls; cleared via clear_caches).
+        self._op_cache: Dict[Tuple, int] = {}
+        self.var_names: List[str] = (
+            list(var_names) if var_names is not None else [f"v{i}" for i in range(num_vars)]
+        )
+        self._num_vars = num_vars
+        # Preallocate the 0.0 and 1.0 terminals so BDD constants are stable.
+        self.zero = self.terminal(0.0)
+        self.one = self.terminal(1.0)
+
+    # ------------------------------------------------------------------
+    # Node store primitives
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return self._num_vars
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes ever allocated in this manager (terminals included)."""
+        return len(self._var)
+
+    def add_var(self, name: str | None = None) -> int:
+        """Declare a new variable *after* all existing ones; return its index."""
+        index = self._num_vars
+        self._num_vars += 1
+        self.var_names.append(name if name is not None else f"v{index}")
+        return index
+
+    def terminal(self, value: float) -> int:
+        """Return the (hash-consed) terminal node for ``value``."""
+        key = _canonical(value)
+        node = self._terminal_ids.get(key)
+        if node is None:
+            node = self._alloc(TERMINAL_LEVEL, 0, 0)
+            self._terminal_ids[key] = node
+            self._terminal_values[node] = key
+        return node
+
+    def _alloc(self, var: int, lo: int, hi: int) -> int:
+        self._var.append(var)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        return len(self._var) - 1
+
+    def node(self, var: int, lo: int, hi: int) -> int:
+        """Return the reduced, hash-consed node ``(var, lo, hi)``.
+
+        Applies the two ROBDD reduction rules: redundant tests
+        (``lo == hi``) collapse to the child, and structurally identical
+        nodes are shared.  Children must sit strictly below ``var`` in the
+        order; violating that is a programming error and raises.
+        """
+        if lo == hi:
+            return lo
+        if not 0 <= var < self._num_vars:
+            raise VariableOrderError(f"variable index {var} out of range")
+        if self._var[lo] <= var or self._var[hi] <= var:
+            raise VariableOrderError(
+                f"children of variable {var} must have strictly larger level"
+            )
+        key = (var, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = self._alloc(var, lo, hi)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """Return the BDD of the projection function for variable ``index``."""
+        return self.node(index, self.zero, self.one)
+
+    def nvar(self, index: int) -> int:
+        """Return the BDD of the *negated* projection of variable ``index``."""
+        return self.node(index, self.one, self.zero)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_terminal(self, u: int) -> bool:
+        """True if ``u`` is a leaf node."""
+        return self._var[u] == TERMINAL_LEVEL
+
+    def value(self, u: int) -> float:
+        """Value of a terminal node ``u``."""
+        try:
+            return self._terminal_values[u]
+        except KeyError:
+            raise DDError(f"node {u} is not a terminal") from None
+
+    def top_var(self, u: int) -> int:
+        """Variable index tested at node ``u`` (``TERMINAL_LEVEL`` for leaves)."""
+        return self._var[u]
+
+    def lo(self, u: int) -> int:
+        """Child of ``u`` for the 0-assignment of its variable."""
+        return self._lo[u]
+
+    def hi(self, u: int) -> int:
+        """Child of ``u`` for the 1-assignment of its variable."""
+        return self._hi[u]
+
+    def cofactors(self, u: int, var: int) -> Tuple[int, int]:
+        """The (lo, hi) cofactors of ``u`` with respect to ``var``.
+
+        If ``u`` does not test ``var`` at its root (the diagram skips the
+        level), both cofactors equal ``u`` itself.
+        """
+        if self._var[u] == var:
+            return self._lo[u], self._hi[u]
+        return u, u
+
+    def iter_nodes(self, u: int) -> Iterator[int]:
+        """Iterate all nodes reachable from ``u`` (terminals included), each once.
+
+        Order is depth-first; parents are yielded before their children.
+        """
+        seen: Set[int] = set()
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            yield n
+            if not self.is_terminal(n):
+                stack.append(self._lo[n])
+                stack.append(self._hi[n])
+
+    def size(self, u: int) -> int:
+        """Number of distinct nodes in the diagram rooted at ``u``.
+
+        Both internal nodes and leaves are counted, matching the node
+        counts the paper reports for its MAX size bounds.
+        """
+        # Hot path during model construction: inline traversal on the raw
+        # arrays instead of going through iter_nodes.
+        var, lo, hi = self._var, self._lo, self._hi
+        seen = {u}
+        stack = [u]
+        push = stack.append
+        pop = stack.pop
+        add = seen.add
+        while stack:
+            n = pop()
+            if var[n] != TERMINAL_LEVEL:
+                child = lo[n]
+                if child not in seen:
+                    add(child)
+                    push(child)
+                child = hi[n]
+                if child not in seen:
+                    add(child)
+                    push(child)
+        return len(seen)
+
+    def internal_size(self, u: int) -> int:
+        """Number of internal (decision) nodes in the diagram rooted at ``u``."""
+        return sum(1 for n in self.iter_nodes(u) if not self.is_terminal(n))
+
+    def support(self, u: int) -> Set[int]:
+        """Set of variable indices the function rooted at ``u`` depends on."""
+        return {self._var[n] for n in self.iter_nodes(u) if not self.is_terminal(n)}
+
+    def leaves(self, u: int) -> Set[float]:
+        """Set of terminal values reachable from ``u``."""
+        return {self._terminal_values[n] for n in self.iter_nodes(u) if self.is_terminal(n)}
+
+    def is_boolean(self, u: int) -> bool:
+        """True if every leaf of ``u`` is 0.0 or 1.0 (i.e. ``u`` is a BDD)."""
+        return self.leaves(u) <= {0.0, 1.0}
+
+    def clear_caches(self) -> None:
+        """Drop all memoised operation results (frees memory; semantics unchanged)."""
+        self._op_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Generic apply
+    # ------------------------------------------------------------------
+    def apply(self, name: str, op: Callable[[float, float], float], u: int, v: int) -> int:
+        """Pointwise combination of two diagrams with a binary operator.
+
+        ``name`` keys the memoisation cache and must uniquely identify
+        ``op``'s semantics.  The recursion is the classic Bryant apply:
+        descend on the smaller top variable, combine terminal pairs with
+        ``op``.
+        """
+        if self.is_terminal(u) and self.is_terminal(v):
+            return self.terminal(op(self._terminal_values[u], self._terminal_values[v]))
+        key = (name, u, v)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        var = min(self._var[u], self._var[v])
+        u0, u1 = self.cofactors(u, var)
+        v0, v1 = self.cofactors(v, var)
+        result = self.node(
+            var,
+            self.apply(name, op, u0, v0),
+            self.apply(name, op, u1, v1),
+        )
+        self._op_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Boolean operations (on 0/1 diagrams)
+    # ------------------------------------------------------------------
+    def bdd_and(self, u: int, v: int) -> int:
+        """Logical AND of two BDDs."""
+        if u == self.zero or v == self.zero:
+            return self.zero
+        if u == self.one:
+            return v
+        if v == self.one or u == v:
+            return u
+        if u > v:  # commutative: canonicalise cache key
+            u, v = v, u
+        return self.apply("and", lambda a, b: float(bool(a) and bool(b)), u, v)
+
+    def bdd_or(self, u: int, v: int) -> int:
+        """Logical OR of two BDDs."""
+        if u == self.one or v == self.one:
+            return self.one
+        if u == self.zero:
+            return v
+        if v == self.zero or u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        return self.apply("or", lambda a, b: float(bool(a) or bool(b)), u, v)
+
+    def bdd_xor(self, u: int, v: int) -> int:
+        """Logical XOR of two BDDs."""
+        if u == v:
+            return self.zero
+        if u == self.zero:
+            return v
+        if v == self.zero:
+            return u
+        if u > v:
+            u, v = v, u
+        return self.apply("xor", lambda a, b: float(bool(a) != bool(b)), u, v)
+
+    def bdd_not(self, u: int) -> int:
+        """Logical NOT of a BDD."""
+        if u == self.zero:
+            return self.one
+        if u == self.one:
+            return self.zero
+        key = ("not", u, u)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.is_terminal(u):
+            raise NotBooleanError(
+                f"bdd_not applied to non-Boolean terminal {self.value(u)}"
+            )
+        result = self.node(
+            self._var[u], self.bdd_not(self._lo[u]), self.bdd_not(self._hi[u])
+        )
+        self._op_cache[key] = result
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` where ``f`` is a BDD.
+
+        ``g`` and ``h`` may be general ADDs, so this also serves as the
+        ADD multiplexer.
+        """
+        if f == self.one:
+            return g
+        if f == self.zero:
+            return h
+        if g == h:
+            return g
+        key = ("ite", f, g, h)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        var = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self.cofactors(f, var)
+        g0, g1 = self.cofactors(g, var)
+        h0, h1 = self.cofactors(h, var)
+        result = self.node(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._op_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Arithmetic operations (ADDs)
+    # ------------------------------------------------------------------
+    def add_plus(self, u: int, v: int) -> int:
+        """Pointwise sum of two ADDs."""
+        if u == self.zero:
+            return v
+        if v == self.zero:
+            return u
+        if u > v:
+            u, v = v, u
+        return self.apply("plus", lambda a, b: a + b, u, v)
+
+    def add_minus(self, u: int, v: int) -> int:
+        """Pointwise difference ``u - v``."""
+        return self.apply("minus", lambda a, b: a - b, u, v)
+
+    def add_times(self, u: int, v: int) -> int:
+        """Pointwise product of two ADDs."""
+        if u == self.zero or v == self.zero:
+            return self.zero
+        if u == self.one:
+            return v
+        if v == self.one:
+            return u
+        if u > v:
+            u, v = v, u
+        return self.apply("times", lambda a, b: a * b, u, v)
+
+    def add_const_times(self, u: int, c: float) -> int:
+        """Multiply an ADD by a scalar constant."""
+        return self.add_times(u, self.terminal(c))
+
+    def add_max(self, u: int, v: int) -> int:
+        """Pointwise maximum of two ADDs."""
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        return self.apply("max", max, u, v)
+
+    def add_min(self, u: int, v: int) -> int:
+        """Pointwise minimum of two ADDs."""
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u
+        return self.apply("min", min, u, v)
+
+    def to_01(self, u: int, threshold: float = 0.5) -> int:
+        """Threshold an ADD into a BDD: leaf >= threshold maps to 1."""
+        return self.apply(
+            f"ge{_canonical(threshold)}",
+            lambda a, _: float(a >= threshold),
+            u,
+            self.zero,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def restrict(self, u: int, var: int, phase: bool) -> int:
+        """Cofactor ``u`` with respect to ``var = phase``."""
+        key = ("restrict", u, var * 2 + int(phase))
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._var[u] > var:
+            # u does not depend on var (terminals included).
+            return u
+        if self._var[u] == var:
+            result = self._hi[u] if phase else self._lo[u]
+        else:
+            result = self.node(
+                self._var[u],
+                self.restrict(self._lo[u], var, phase),
+                self.restrict(self._hi[u], var, phase),
+            )
+        self._op_cache[key] = result
+        return result
+
+    def rename(self, u: int, mapping: Dict[int, int]) -> int:
+        """Rename variables of ``u`` according to ``mapping`` (old -> new).
+
+        The mapping must be *monotone* on the support of ``u``: whenever
+        ``a < b`` both in the support, ``mapping[a] < mapping[b]`` must
+        hold, so the renamed diagram is still ordered and can be rebuilt in
+        one traversal.  Variables not in the mapping are kept unchanged.
+        A non-monotone mapping raises :class:`VariableOrderError`.
+        """
+        sup = sorted(self.support(u))
+        images = [mapping.get(v, v) for v in sup]
+        if any(b <= a for a, b in zip(images, images[1:])):
+            raise VariableOrderError(
+                f"rename mapping is not monotone on support {sup}"
+            )
+        memo: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if self.is_terminal(n):
+                return n
+            hit = memo.get(n)
+            if hit is not None:
+                return hit
+            result = self.node(
+                mapping.get(self._var[n], self._var[n]),
+                walk(self._lo[n]),
+                walk(self._hi[n]),
+            )
+            memo[n] = result
+            return result
+
+        return walk(u)
+
+    def exists(self, u: int, variables: Iterable[int]) -> int:
+        """Existential quantification of a BDD over ``variables``."""
+        result = u
+        for var in sorted(variables, reverse=True):
+            result = self.bdd_or(
+                self.restrict(result, var, False), self.restrict(result, var, True)
+            )
+        return result
+
+    def forall(self, u: int, variables: Iterable[int]) -> int:
+        """Universal quantification of a BDD over ``variables``."""
+        result = u
+        for var in sorted(variables, reverse=True):
+            result = self.bdd_and(
+                self.restrict(result, var, False), self.restrict(result, var, True)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation and counting
+    # ------------------------------------------------------------------
+    def evaluate(self, u: int, assignment: Sequence[int]) -> float:
+        """Evaluate the diagram for a full variable assignment.
+
+        ``assignment`` is indexed by variable index and holds 0/1 (or
+        booleans).  Runs in time linear in the number of variables on the
+        chosen path — this is the paper's "negligible" run-time model
+        evaluation.
+        """
+        n = u
+        while not self.is_terminal(n):
+            var = self._var[n]
+            try:
+                bit = assignment[var]
+            except IndexError:
+                raise DDError(
+                    f"assignment of length {len(assignment)} lacks variable {var}"
+                ) from None
+            n = self._hi[n] if bit else self._lo[n]
+        return self._terminal_values[n]
+
+    def evaluate_batch(self, u: int, assignments) -> "np.ndarray":
+        """Evaluate many assignments at once (vectorised traversal).
+
+        ``assignments`` is a ``(P, num_vars)`` 0/1 array.  Rows are routed
+        through the diagram together: each node partitions the row set it
+        receives by its variable's column.  This wins when many rows share
+        long path prefixes (shallow, wide diagrams with large batches);
+        for deep narrow diagrams the per-group numpy overhead makes the
+        plain per-row :meth:`evaluate` loop faster — measure before
+        switching.
+        """
+        import numpy as np
+
+        matrix = np.asarray(assignments)
+        if matrix.ndim != 2:
+            raise DDError("assignments must be a (P, num_vars) matrix")
+        rows = matrix.shape[0]
+        result = np.empty(rows, dtype=float)
+        if rows == 0:
+            return result
+        matrix = matrix.astype(bool)
+        # Frontier: node -> array of row indices currently at that node.
+        frontier: Dict[int, "np.ndarray"] = {u: np.arange(rows)}
+        var, lo, hi = self._var, self._lo, self._hi
+        values = self._terminal_values
+        while frontier:
+            next_frontier: Dict[int, "np.ndarray"] = {}
+            for node, indices in frontier.items():
+                if var[node] == TERMINAL_LEVEL:
+                    result[indices] = values[node]
+                    continue
+                column = var[node]
+                if column >= matrix.shape[1]:
+                    raise DDError(
+                        f"assignments lack variable column {column}"
+                    )
+                mask = matrix[indices, column]
+                for child, subset in (
+                    (lo[node], indices[~mask]),
+                    (hi[node], indices[mask]),
+                ):
+                    if subset.size == 0:
+                        continue
+                    existing = next_frontier.get(child)
+                    if existing is None:
+                        next_frontier[child] = subset
+                    else:
+                        next_frontier[child] = np.concatenate(
+                            (existing, subset)
+                        )
+            frontier = next_frontier
+        return result
+
+    def sat_count(self, u: int, num_vars: int | None = None) -> float:
+        """Number of satisfying assignments of a BDD over ``num_vars`` variables."""
+        if not self.is_boolean(u):
+            raise NotBooleanError("sat_count requires a 0/1 diagram")
+        total_vars = self._num_vars if num_vars is None else num_vars
+        memo: Dict[int, float] = {}
+
+        def walk(n: int) -> float:
+            """Count over the variables strictly below (and including) level of n."""
+            if n == self.one:
+                return 1.0
+            if n == self.zero:
+                return 0.0
+            hit = memo.get(n)
+            if hit is not None:
+                return hit
+            lo_n, hi_n = self._lo[n], self._hi[n]
+            lo_count = walk(lo_n) * 2.0 ** (self._level_gap(n, lo_n))
+            hi_count = walk(hi_n) * 2.0 ** (self._level_gap(n, hi_n))
+            result = lo_count + hi_count
+            memo[n] = result
+            return result
+
+        if self.is_terminal(u):
+            return (2.0 ** total_vars) if u == self.one else 0.0
+        # walk() counts over the manager's full variable range; rescale if the
+        # caller declares a different universe size.
+        base = walk(u) * 2.0 ** self._var[u]
+        return base * 2.0 ** (total_vars - self._num_vars)
+
+    def _level_gap(self, parent: int, child: int) -> int:
+        """Number of skipped variable levels between parent and child."""
+        child_level = self._var[child]
+        if child_level == TERMINAL_LEVEL:
+            child_level = self._num_vars
+        return child_level - self._var[parent] - 1
+
+    # ------------------------------------------------------------------
+    # Constructors from truth data
+    # ------------------------------------------------------------------
+    def from_truth_table(self, variables: Sequence[int], values: Sequence[float]) -> int:
+        """Build an ADD from an explicit truth table.
+
+        ``values`` has ``2**len(variables)`` entries ordered with the first
+        variable as the most-significant selector.  Intended for tests and
+        tiny functions; symbolic construction should be used otherwise.
+        """
+        k = len(variables)
+        if len(values) != 2 ** k:
+            raise DDError(
+                f"truth table needs {2 ** k} entries, got {len(values)}"
+            )
+        order = sorted(range(k), key=lambda i: variables[i])
+        if [variables[i] for i in order] != list(variables):
+            raise VariableOrderError(
+                "truth-table variables must be listed in manager order"
+            )
+
+        def build(level: int, offset: int) -> int:
+            if level == k:
+                return self.terminal(values[offset])
+            span = 2 ** (k - level - 1)
+            lo = build(level + 1, offset)
+            hi = build(level + 1, offset + span)
+            return self.node(variables[level], lo, hi)
+
+        return build(0, 0)
+
+    def cube(self, literals: Dict[int, bool]) -> int:
+        """BDD of a conjunction of literals, ``{var: phase}``."""
+        result = self.one
+        for var in sorted(literals, reverse=True):
+            node_var = self.var(var) if literals[var] else self.nvar(var)
+            result = self.bdd_and(node_var, result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DDManager(num_vars={self._num_vars}, nodes={self.num_nodes}, "
+            f"terminals={len(self._terminal_ids)})"
+        )

@@ -1,0 +1,151 @@
+"""Variable-ordering support for transition functions.
+
+The switching-capacitance function ``C(x_i, x_f)`` lives over two copies of
+the primary inputs: their values before (``x_i``) and after (``x_f``) the
+transition.  :class:`TransitionSpace` owns the manager for that doubled
+variable set and fixes how the two copies are woven into one global order:
+
+``interleaved`` (default)
+    ``xi_1, xf_1, xi_2, xf_2, ...`` — keeps the factors of
+    ``g'(x_i) · g(x_f)`` small because corresponding before/after bits sit
+    next to each other.
+``blocked``
+    ``xi_1, ..., xi_n, xf_1, ..., xf_n`` — the naive order, kept for the
+    ordering ablation (experiment E6 in DESIGN.md).
+
+Also provided is the classic fanin-DFS static ordering heuristic for the
+primary inputs of a netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Sequence
+
+from repro.dd.manager import DDManager
+from repro.errors import DDError
+
+Scheme = Literal["interleaved", "blocked"]
+
+
+class TransitionSpace:
+    """Manager plus variable bookkeeping for ``(x_i, x_f)`` pairs.
+
+    Parameters
+    ----------
+    input_names:
+        Primary-input names in the order they should appear in the
+        diagram (use :func:`fanin_dfs_input_order` for a good order).
+    scheme:
+        How the before/after copies interleave; see module docstring.
+    """
+
+    def __init__(self, input_names: Sequence[str], scheme: Scheme = "interleaved"):
+        if scheme not in ("interleaved", "blocked"):
+            raise DDError(f"unknown ordering scheme {scheme!r}")
+        if len(set(input_names)) != len(input_names):
+            raise DDError("input names must be unique")
+        self.input_names: List[str] = list(input_names)
+        self.scheme: Scheme = scheme
+        n = len(self.input_names)
+        names = [""] * (2 * n)
+        for k, base in enumerate(self.input_names):
+            names[self._xi_index(k, n)] = f"{base}@i"
+            names[self._xf_index(k, n)] = f"{base}@f"
+        self.manager = DDManager(2 * n, names)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs (half the number of DD variables)."""
+        return len(self.input_names)
+
+    def _xi_index(self, k: int, n: int) -> int:
+        return 2 * k if self.scheme == "interleaved" else k
+
+    def _xf_index(self, k: int, n: int) -> int:
+        return 2 * k + 1 if self.scheme == "interleaved" else n + k
+
+    def xi(self, k: int) -> int:
+        """Variable index of input ``k`` in the *initial* vector."""
+        self._check(k)
+        return self._xi_index(k, self.num_inputs)
+
+    def xf(self, k: int) -> int:
+        """Variable index of input ``k`` in the *final* vector."""
+        self._check(k)
+        return self._xf_index(k, self.num_inputs)
+
+    def _check(self, k: int) -> None:
+        if not 0 <= k < self.num_inputs:
+            raise DDError(f"input index {k} out of range")
+
+    def i_to_f_mapping(self) -> Dict[int, int]:
+        """Monotone rename mapping from xi-variables to xf-variables.
+
+        Both schemes keep relative order between corresponding variables,
+        so node functions can be built once over the ``x_i`` copy and
+        renamed to the ``x_f`` copy in a single traversal.
+        """
+        n = self.num_inputs
+        return {self.xi(k): self.xf(k) for k in range(n)}
+
+    def assignment(self, initial: Sequence[int], final: Sequence[int]) -> List[int]:
+        """Pack two input vectors into a full DD-variable assignment.
+
+        ``initial[k]`` / ``final[k]`` are the 0/1 values of input ``k``
+        before and after the transition, in ``input_names`` order.
+        """
+        n = self.num_inputs
+        if len(initial) != n or len(final) != n:
+            raise DDError(
+                f"expected two vectors of length {n}, got {len(initial)} and {len(final)}"
+            )
+        packed = [0] * (2 * n)
+        for k in range(n):
+            packed[self.xi(k)] = int(initial[k])
+            packed[self.xf(k)] = int(final[k])
+        return packed
+
+
+def fanin_dfs_input_order(
+    outputs: Sequence[str],
+    fanins: Dict[str, Sequence[str]],
+    inputs: Sequence[str],
+) -> List[str]:
+    """Order primary inputs by depth-first traversal from the outputs.
+
+    The classic static BDD-ordering heuristic: inputs encountered close
+    together in a DFS of the circuit's fanin cones end up adjacent in the
+    variable order, which keeps reconvergent functions small.
+
+    Parameters
+    ----------
+    outputs:
+        Signal names of the primary outputs, traversal roots.
+    fanins:
+        Map from signal name to the names it depends on (empty / missing
+        for primary inputs).
+    inputs:
+        All primary-input names; any not reached by the traversal are
+        appended in their given order.
+    """
+    input_set = set(inputs)
+    order: List[str] = []
+    seen = set()
+
+    for out in outputs:
+        # Iterative DFS so circuit depth cannot overflow the Python stack.
+        stack = [out]
+        while stack:
+            signal = stack.pop()
+            if signal in seen:
+                continue
+            seen.add(signal)
+            if signal in input_set:
+                order.append(signal)
+                continue
+            # Reversed so the first fanin is visited first (stack order).
+            stack.extend(reversed(list(fanins.get(signal, ()))))
+    for name in inputs:
+        if name not in seen:
+            order.append(name)
+    return order

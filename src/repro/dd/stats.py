@@ -1,0 +1,175 @@
+"""Statistics of the discrete functions represented by ADD nodes.
+
+These are the quantities driving the paper's approximation strategies
+(Section 3): for each node the average and variance of the represented
+sub-function (Eq. 5-7), its maximum and minimum, and the mean square error
+incurred by replacing it with its maximum (Eq. 8).
+
+All recursions operate directly on *reduced* diagrams: ``avg``, ``var``,
+``max`` and ``min`` of a function are invariant under adding variables the
+function does not depend on, so skipped levels need no correction, and
+because a node always represents the same function, per-node memoisation
+across shared subgraphs is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from repro.dd.manager import DDManager
+
+
+class NodeStats(NamedTuple):
+    """Statistics of the sub-function rooted at one ADD node.
+
+    A NamedTuple (not a dataclass) because millions are created on the
+    model-construction hot path.
+
+    Attributes
+    ----------
+    avg:
+        Average of the sub-function over its full Boolean domain (Eq. 6).
+    var:
+        Variance over the domain (Eq. 5); equals the mean square error of
+        approximating the sub-function by ``avg``.
+    max:
+        Maximum leaf value reachable from the node.
+    min:
+        Minimum leaf value reachable from the node.
+    """
+
+    avg: float
+    var: float
+    max: float
+    min: float
+
+    @property
+    def mse_max(self) -> float:
+        """MSE of approximating the sub-function by its maximum (Eq. 8)."""
+        return self.var + (self.max - self.avg) ** 2
+
+    @property
+    def mse_min(self) -> float:
+        """MSE of approximating the sub-function by its minimum (Eq. 8 dual)."""
+        return self.var + (self.min - self.avg) ** 2
+
+
+def compute_stats(manager: DDManager, root: int) -> Dict[int, NodeStats]:
+    """Compute :class:`NodeStats` for every node reachable from ``root``.
+
+    Single bottom-up traversal (the first of the paper's "two ADD
+    traversals"); returns a dict keyed by node id, terminals included.
+    """
+    stats: Dict[int, NodeStats] = {}
+    # Iterative post-order to avoid recursion limits on deep diagrams.
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in stats:
+            continue
+        if manager.is_terminal(node):
+            value = manager.value(node)
+            stats[node] = NodeStats(avg=value, var=0.0, max=value, min=value)
+            continue
+        lo, hi = manager.lo(node), manager.hi(node)
+        if not expanded:
+            stack.append((node, True))
+            stack.append((lo, False))
+            stack.append((hi, False))
+            continue
+        stats[node] = _combine(stats[lo], stats[hi])
+    return stats
+
+
+def _combine(lo: NodeStats, hi: NodeStats) -> NodeStats:
+    """Merge child statistics per the paper's recursive formulas (Eq. 7)."""
+    avg = 0.5 * (lo.avg + hi.avg)
+    var = 0.5 * (
+        lo.var
+        + (lo.avg - avg) ** 2
+        + hi.var
+        + (hi.avg - avg) ** 2
+    )
+    return NodeStats(
+        avg=avg,
+        var=var,
+        max=max(lo.max, hi.max),
+        min=min(lo.min, hi.min),
+    )
+
+
+def function_stats(manager: DDManager, root: int) -> NodeStats:
+    """Statistics of the whole function rooted at ``root``."""
+    return compute_stats(manager, root)[root]
+
+
+def average(manager: DDManager, root: int) -> float:
+    """Average of the function over its full Boolean domain (Eq. 6)."""
+    return function_stats(manager, root).avg
+
+
+def variance(manager: DDManager, root: int) -> float:
+    """Variance of the function over its full Boolean domain (Eq. 5)."""
+    return function_stats(manager, root).var
+
+
+def maximum(manager: DDManager, root: int) -> float:
+    """Maximum value the function attains."""
+    return function_stats(manager, root).max
+
+
+def minimum(manager: DDManager, root: int) -> float:
+    """Minimum value the function attains."""
+    return function_stats(manager, root).min
+
+
+def leaf_histogram(manager: DDManager, root: int) -> Dict[float, float]:
+    """Fraction of the input space mapped to each leaf value.
+
+    Returns ``{leaf_value: probability}`` with probabilities summing to 1
+    (under uniformly random inputs).  Useful for inspecting how much
+    pattern dependence an approximated model retains.
+    """
+    memo: Dict[int, Dict[float, float]] = {}
+
+    def walk(node: int) -> Dict[float, float]:
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        if manager.is_terminal(node):
+            result = {manager.value(node): 1.0}
+        else:
+            result = {}
+            for child in (manager.lo(node), manager.hi(node)):
+                for value, mass in walk(child).items():
+                    result[value] = result.get(value, 0.0) + 0.5 * mass
+        memo[node] = result
+        return result
+
+    return walk(root)
+
+
+def expected_value_biased(
+    manager: DDManager, root: int, one_probability: Dict[int, float]
+) -> float:
+    """Expected value of the function under independent biased inputs.
+
+    ``one_probability`` maps variable index to P(var = 1); variables not
+    listed default to 0.5.  This generalises Eq. 6 to non-uniform input
+    statistics and is used for analytic average-power prediction.
+    """
+    memo: Dict[int, float] = {}
+
+    def walk(node: int) -> float:
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        if manager.is_terminal(node):
+            result = manager.value(node)
+        else:
+            p = one_probability.get(manager.top_var(node), 0.5)
+            result = (1.0 - p) * walk(manager.lo(node)) + p * walk(manager.hi(node))
+        memo[node] = result
+        return result
+
+    return walk(root)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DDError(ReproError):
+    """Base class for decision-diagram errors."""
+
+
+class VariableOrderError(DDError):
+    """A variable index or rename mapping violates the manager's order."""
+
+
+class NotBooleanError(DDError):
+    """An operation that requires a 0/1-valued diagram got a general ADD."""
+
+
+class NetlistError(ReproError):
+    """Base class for netlist construction / validation errors."""
+
+
+class ParseError(ReproError):
+    """A netlist description (BLIF / structural Verilog) could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """A simulation was configured or invoked inconsistently."""
+
+
+class ModelError(ReproError):
+    """A power model was built or evaluated inconsistently."""
+
+
+class CharacterizationError(ModelError):
+    """A characterized model was used before fitting, or fit on bad data."""
+
+
+class SequenceError(ReproError):
+    """An input-sequence specification is infeasible (e.g. st > 2*min(sp,1-sp))."""

@@ -1,0 +1,48 @@
+"""Evaluation harness: metrics, (sp, st) sweeps, trade-off curves, tables."""
+
+from repro.eval.metrics import (
+    average_relative_error,
+    mean_absolute_error,
+    relative_error,
+    relative_error_percent,
+    root_mean_square_error,
+)
+from repro.eval.runner import (
+    SweepConfig,
+    SweepResult,
+    SweepRow,
+    TruthRun,
+    compute_truth_runs,
+    evaluate_models_on_runs,
+    run_sweep,
+)
+from repro.eval.tables import (
+    ascii_table,
+    format_cell,
+    markdown_table,
+    multi_series_plot,
+    series_plot,
+)
+from repro.eval.tradeoff import TradeoffPoint, size_accuracy_tradeoff
+
+__all__ = [
+    "relative_error",
+    "relative_error_percent",
+    "average_relative_error",
+    "root_mean_square_error",
+    "mean_absolute_error",
+    "SweepConfig",
+    "SweepResult",
+    "SweepRow",
+    "TruthRun",
+    "compute_truth_runs",
+    "evaluate_models_on_runs",
+    "run_sweep",
+    "TradeoffPoint",
+    "size_accuracy_tradeoff",
+    "ascii_table",
+    "markdown_table",
+    "format_cell",
+    "series_plot",
+    "multi_series_plot",
+]

@@ -1,0 +1,62 @@
+"""Error metrics of the paper's evaluation protocol (Section 4).
+
+For every simulation run (one input statistics point, one sequence) the
+*relative error* ``RE`` compares a model's average (or maximum) estimate
+with the gate-level reference.  The *average relative error* ``ARE``
+averages ``RE`` over all runs of a sweep and is the headline quality
+number of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` (dimensionless, not percent).
+
+    A zero reference with a nonzero estimate returns ``inf``; zero/zero
+    is a perfect estimate (0.0).
+    """
+    if truth == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def relative_error_percent(estimate: float, truth: float) -> float:
+    """Relative error in percent, as the paper's tables report it."""
+    return 100.0 * relative_error(estimate, truth)
+
+
+def average_relative_error(errors: Iterable[float]) -> float:
+    """ARE: mean of per-run relative errors (ignores infinities-free input)."""
+    values = np.asarray(list(errors), dtype=float)
+    if values.size == 0:
+        raise ModelError("ARE of an empty error list is undefined")
+    return float(np.mean(values))
+
+
+def root_mean_square_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """RMS error between per-pattern estimates and references (fF)."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ModelError("estimate/truth arrays differ in shape")
+    if estimates.size == 0:
+        raise ModelError("RMSE of empty arrays is undefined")
+    return float(np.sqrt(np.mean((estimates - truths) ** 2)))
+
+
+def mean_absolute_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean absolute per-pattern error (fF)."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ModelError("estimate/truth arrays differ in shape")
+    if estimates.size == 0:
+        raise ModelError("MAE of empty arrays is undefined")
+    return float(np.mean(np.abs(estimates - truths)))

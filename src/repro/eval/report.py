@@ -1,0 +1,190 @@
+"""Assembly of the experiment report (EXPERIMENTS.md) from bench results.
+
+Every benchmark under ``benchmarks/`` writes its regenerated table to
+``benchmarks/results/<experiment>.txt``.  This module stitches those
+artifacts into one markdown report with the experiment inventory from
+DESIGN.md, so `EXPERIMENTS.md` is reproducible with two commands::
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro.eval.report benchmarks/results EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: The experiment inventory: (results file stem, title, paper artifact,
+#: what a successful reproduction shows).
+EXPERIMENTS = [
+    (
+        "fig7a_re_vs_st",
+        "E1 — Figure 7a: relative error vs transition probability (cm85)",
+        "Fig. 7a",
+        "Con/Lin blow past 100% once st leaves the characterization point; "
+        "the ADD curve stays flat.",
+    ),
+    (
+        "fig7b_tradeoff",
+        "E2 — Figure 7b: accuracy/size trade-off (cm85)",
+        "Fig. 7b",
+        "ARE falls monotonically with the node budget, spanning "
+        "constant-estimator quality down to near-exactness.",
+    ),
+    (
+        "table1_average",
+        "E3 — Table 1 (average estimators)",
+        "Table 1, cols 4-8",
+        "ADD < Lin < Con on every circuit; order-of-magnitude mean gaps.",
+    ),
+    (
+        "table1_bounds",
+        "E4 — Table 1 (upper bounds)",
+        "Table 1, cols 9-12",
+        "zero conservatism violations; the pattern-dependent bound is "
+        "tighter than the constant bound.",
+    ),
+    (
+        "ablation_strategy",
+        "E5 — ablation: collapse strategy",
+        "Sec. 3 design choices",
+        "score-guided collapsing beats random; average replacement beats "
+        "max replacement on average accuracy.",
+    ),
+    (
+        "ablation_ordering",
+        "E6 — ablation: variable ordering",
+        "Sec. 2.1 remark",
+        "interleaved xi/xf and fanin-DFS input order dominate the "
+        "alternatives; some alternatives are exponentially infeasible.",
+    ),
+    (
+        "rtl_composition",
+        "E7 — RTL composition of bounds",
+        "Sec. 1.2 argument",
+        "summed pattern-dependent bounds stay conservative and beat the "
+        "summed-worst-case bound, most at low activity.",
+    ),
+    (
+        "hybrid_glitch",
+        "E8 — hybrid structural + characterized residual",
+        "Sec. 2 remark",
+        "the analytical core plus a small characterized residual recovers "
+        "glitch power near the characterization point.",
+    ),
+    (
+        "construction_cost",
+        "E9 — model construction cost",
+        "Table 1 CPU columns",
+        "build time grows with circuit size and budget, staying "
+        "laptop-scale for the suite.",
+    ),
+    (
+        "workloads",
+        "E10 — correlated realistic workloads (extension)",
+        "Sec. 1 out-of-sample argument, amplified",
+        "the exact ADD model has zero error on counters/bursts/one-hot "
+        "streams; the characterized baselines drift badly; a compressed "
+        "ADD sits in between.",
+    ),
+    (
+        "multiplier_blowup",
+        "E11 — multiplier ADD blowup (the C6288 limitation)",
+        "Sec. 4 closing remark",
+        "exact ADD size grows geometrically with operand width; a "
+        "fixed-budget model's ARE grows with it.",
+    ),
+]
+
+
+@dataclass
+class ReportSection:
+    """One experiment's rendered section."""
+
+    title: str
+    body: str
+    missing: bool
+
+
+def load_sections(results_dir: str) -> List[ReportSection]:
+    """Read every experiment artifact (missing ones are flagged)."""
+    sections = []
+    for stem, title, artifact, expectation in EXPERIMENTS:
+        path = os.path.join(results_dir, f"{stem}.txt")
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                content = handle.read().rstrip()
+            body = (
+                f"*Paper artifact: {artifact}.  Expected shape: {expectation}*\n\n"
+                "```\n" + content + "\n```"
+            )
+            sections.append(ReportSection(title, body, missing=False))
+        else:
+            body = (
+                f"*Paper artifact: {artifact}.*\n\n"
+                f"_not yet generated — run `pytest benchmarks/ "
+                f"--benchmark-only` to produce `{path}`_"
+            )
+            sections.append(ReportSection(title, body, missing=True))
+    return sections
+
+
+def render_report(results_dir: str, preamble: Optional[str] = None) -> str:
+    """Render the full markdown report."""
+    sections = load_sections(results_dir)
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        preamble
+        or (
+            "Reproduction of every table and figure of Bogliolo, Benini, "
+            "De Micheli, *Characterization-Free Behavioral Power Modeling* "
+            "(DATE 1998).  Absolute numbers are not expected to match the "
+            "paper (substituted MCNC netlists, different gate library, pure "
+            "Python on modern hardware — see DESIGN.md §4); the *shapes* "
+            "are the reproduction target and each section states the "
+            "expected shape.  Regenerate with "
+            "`pytest benchmarks/ --benchmark-only` followed by "
+            "`python -m repro.eval.report`."
+        ),
+        "",
+    ]
+    generated = sum(1 for s in sections if not s.missing)
+    lines.append(
+        f"Artifacts present: {generated}/{len(sections)}."
+    )
+    lines.append("")
+    for section in sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        lines.append(section.body)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: str, output_path: str, preamble: Optional[str] = None
+) -> str:
+    """Render and write the report; returns the output path."""
+    text = render_report(results_dir, preamble)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return output_path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.eval.report [results_dir] [output.md]``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    results_dir = args[0] if args else "benchmarks/results"
+    output = args[1] if len(args) > 1 else "EXPERIMENTS.md"
+    path = write_report(results_dir, output)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

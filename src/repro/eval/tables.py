@@ -1,0 +1,126 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints its results as fixed-width ASCII tables (and
+optionally GitHub-flavored markdown) shaped like the paper's Table 1, so
+the reproduction can be compared with the original side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_cell(value: object, precision: int = 1) -> str:
+    """Human-friendly cell text: floats rounded, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 1,
+) -> str:
+    """Render a fixed-width table with a header separator."""
+    text_rows = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 1,
+) -> str:
+    """Render the same data as a GitHub-flavored markdown table."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        cells = [format_cell(cell, precision) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def multi_series_plot(
+    series: dict,
+    width: int = 60,
+    label_x: str = "x",
+) -> str:
+    """ASCII rendering of several (x, y) series sharing one y-scale.
+
+    ``series`` maps a label to its point list.  Each series gets its own
+    marker character; overlapping cells show the later series' marker.
+    Intended for the two-curve comparisons of Fig. 7a (flat ADD vs
+    exploding Con) where relative magnitude is the message.
+    """
+    markers = "#*+o%@"
+    all_points = [p for points in series.values() for p in points]
+    if not all_points:
+        return "(no data)"
+    xs = sorted({x for x, _ in all_points})
+    peak = max(y for _, y in all_points)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = []
+    for index, (label, points) in enumerate(series.items()):
+        lines.append(f"{markers[index % len(markers)]} = {label}")
+    lines.append(f"{label_x:>8}")
+    lookup = {
+        label: dict(points) for label, points in series.items()
+    }
+    for x in xs:
+        row = [" "] * (width + 1)
+        annotations = []
+        for index, label in enumerate(series):
+            y = lookup[label].get(x)
+            if y is None:
+                continue
+            column = min(width, int(round(y * scale)))
+            row[column] = markers[index % len(markers)]
+            annotations.append(f"{label}={y:.3g}")
+        lines.append(f"{x:>8.3g} |{''.join(row)}| {' '.join(annotations)}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    points: Sequence[tuple],
+    width: int = 60,
+    label_x: str = "x",
+    label_y: str = "y",
+) -> str:
+    """Poor-man's log-free ASCII rendering of an (x, y) series.
+
+    One line per point with a proportional bar — enough to eyeball the
+    shapes the paper's figures show (flat vs U-shaped error curves)
+    directly in benchmark output.
+    """
+    if not points:
+        return "(no data)"
+    peak = max(y for _, y in points)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [f"{label_x:>8}  {label_y}"]
+    for x, y in points:
+        bar = "#" * max(0, int(round(y * scale)))
+        lines.append(f"{x:>8.3g}  {y:>10.4g} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Size/accuracy trade-off exploration (Fig. 7b of the paper).
+
+One exact (or large) ADD model is built once and progressively shrunk to
+a ladder of node budgets; every size is evaluated on the *same* golden
+runs, so the resulting curve isolates the effect of the approximation
+degree exactly as the paper's Figure 7b does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.eval.runner import SweepConfig, compute_truth_runs, evaluate_models_on_runs
+from repro.models.addmodel import AddPowerModel, build_add_model, shrink_model
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the size/accuracy curve."""
+
+    target_nodes: int
+    actual_nodes: int
+    are_average: float
+
+    @property
+    def are_percent(self) -> float:
+        """ARE in percent, as the paper plots it."""
+        return 100.0 * self.are_average
+
+
+def size_accuracy_tradeoff(
+    netlist: Netlist,
+    sizes: Sequence[int],
+    config: SweepConfig | None = None,
+    strategy: str = "avg",
+    base_model: Optional[AddPowerModel] = None,
+    base_max_nodes: Optional[int] = None,
+) -> List[TradeoffPoint]:
+    """ARE of ADD models across a ladder of node budgets.
+
+    Parameters
+    ----------
+    netlist:
+        Circuit under study.
+    sizes:
+        Node budgets to evaluate (any order; deduplicated, evaluated
+        descending so each model shrinks from the previous one).
+    config:
+        Evaluation sweep; defaults to :class:`SweepConfig`.
+    strategy:
+        Collapse strategy for all points (``avg`` reproduces Fig. 7b).
+    base_model / base_max_nodes:
+        Start from an existing model, or build one bounded by
+        ``base_max_nodes`` (``None`` = exact) first.
+    """
+    if not sizes:
+        raise ModelError("no sizes requested")
+    config = config if config is not None else SweepConfig()
+    if base_model is None:
+        base_model = build_add_model(
+            netlist, max_nodes=base_max_nodes, strategy=strategy
+        )
+    runs = compute_truth_runs(netlist, config)
+    points = []
+    current = base_model
+    for target in sorted(set(int(s) for s in sizes), reverse=True):
+        if target < 1:
+            raise ModelError(f"size target must be >= 1, got {target}")
+        current = shrink_model(current, target)
+        result = evaluate_models_on_runs(
+            netlist.name, {"ADD": current}, runs
+        )
+        points.append(
+            TradeoffPoint(
+                target_nodes=target,
+                actual_nodes=current.size,
+                are_average=result.are_average("ADD"),
+            )
+        )
+    return sorted(points, key=lambda p: p.target_nodes)

@@ -1,0 +1,86 @@
+"""RTL power models: the paper's analytical ADD model and its baselines.
+
+- :func:`~repro.models.addmodel.build_add_model` /
+  :class:`~repro.models.addmodel.AddPowerModel` — the characterization-free
+  contribution (exact, average-approximated, upper- or lower-bound);
+- :class:`~repro.models.constant.ConstantModel` (``Con``) and
+  :class:`~repro.models.linear.LinearModel` (``Lin``) — the characterized
+  baselines of Section 4;
+- :class:`~repro.models.lut.StatsLUTModel` — the [5]-style LUT baseline;
+- :class:`~repro.models.hybrid.HybridModel` — analytical structural core
+  plus characterized parasitic residual (Section 2 remark);
+- :mod:`~repro.models.bounds` — conservative worst-case utilities.
+"""
+
+from repro.models.addmodel import (
+    AddPowerModel,
+    BuildReport,
+    build_add_model,
+    shrink_model,
+)
+from repro.models.base import PowerModel
+from repro.models.bounds import (
+    BoundCheck,
+    build_lower_bound_model,
+    build_upper_bound_model,
+    constant_bound_from_model,
+    summed_constant_bound,
+    summed_pattern_bound,
+    verify_upper_bound,
+)
+from repro.models.characterize import (
+    TrainingData,
+    characterization_sequence,
+    generate_training_data,
+)
+from repro.models.accuracy import (
+    ErrorReport,
+    exact_error_report,
+    sampled_error_report,
+)
+from repro.models.addmodel import markov_node_weights, mixture_weight_fn
+from repro.models.constant import ConstantModel
+from repro.models.hybrid import HybridModel
+from repro.models.linear import LinearModel
+from repro.models.lut import StatsLUTModel
+from repro.models.serialize import (
+    dump_model,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    read_model,
+    save_model,
+)
+
+__all__ = [
+    "PowerModel",
+    "AddPowerModel",
+    "BuildReport",
+    "build_add_model",
+    "shrink_model",
+    "ConstantModel",
+    "LinearModel",
+    "StatsLUTModel",
+    "HybridModel",
+    "TrainingData",
+    "generate_training_data",
+    "characterization_sequence",
+    "build_upper_bound_model",
+    "build_lower_bound_model",
+    "constant_bound_from_model",
+    "verify_upper_bound",
+    "BoundCheck",
+    "summed_constant_bound",
+    "summed_pattern_bound",
+    "markov_node_weights",
+    "mixture_weight_fn",
+    "model_to_dict",
+    "model_from_dict",
+    "dump_model",
+    "load_model",
+    "save_model",
+    "read_model",
+    "ErrorReport",
+    "exact_error_report",
+    "sampled_error_report",
+]

@@ -1,0 +1,543 @@
+"""The paper's contribution: analytical ADD-based power models.
+
+:func:`build_add_model` implements the iterative symbolic construction of
+Figure 6: for each gate ``g_j`` of the golden netlist it forms the BDD
+product ``g_j'(x_i) * g_j(x_f)`` (a rising-output indicator), scales it by
+the gate's load ``C_j``, and accumulates the result into the switching-
+capacitance ADD ``C(x_i, x_f)``.  Whenever an intermediate ADD exceeds the
+size budget ``MAX``, it is compressed by node collapsing
+(:func:`repro.dd.approx.approximate`) with the chosen strategy:
+
+- ``avg``  — average-preserving approximation (accurate average power);
+- ``max``  — conservative approximation (pattern-dependent upper bound);
+- ``min``  — conservative lower bound (dual extension);
+- ``None`` max_nodes — exact model, bit-true to gate-level simulation.
+
+No simulation is involved anywhere: the model is *characterization-free*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.dd.approx import Strategy, WeightFn, approximate, node_weights
+from repro.dd.manager import DDManager
+from repro.dd.ordering import Scheme, TransitionSpace, fanin_dfs_input_order
+from repro.dd.stats import compute_stats, function_stats
+from repro.errors import ModelError
+from repro.models.base import PowerModel
+from repro.netlist.netlist import Netlist
+from repro.netlist.symbolic import build_node_functions
+
+
+def markov_node_weights(
+    manager: DDManager,
+    root: int,
+    space: TransitionSpace,
+    sp: float,
+    st: float,
+) -> Dict[int, float]:
+    """Per-node visit mass under independent per-bit Markov input statistics.
+
+    The uniform :func:`repro.dd.approx.node_weights` weighs every branch
+    1/2; here ``x_i`` branches carry probability ``sp`` and ``x_f``
+    branches the chain's conditional toggle probabilities, so a node's
+    weight is the fraction of *operating* transitions that reach it.
+    Requires the interleaved variable order (the ``x_f`` conditional
+    needs its ``x_i`` partner to sit directly above).
+    """
+    if space.scheme != "interleaved":
+        raise ModelError("markov weights require the interleaved order")
+    p01 = st / (2.0 * (1.0 - sp)) if sp < 1.0 else 0.0
+    p10 = st / (2.0 * sp) if sp > 0.0 else 0.0
+    n = space.num_inputs
+    xi_position = {space.xi(k): k for k in range(n)}
+
+    nodes = [u for u in manager.iter_nodes(root) if not manager.is_terminal(u)]
+    nodes.sort(key=manager.top_var)
+    # Mass per (node, pending-xi-bit) state; -1 = no pending conditioning.
+    mass: Dict[tuple, float] = {(root, -1): 1.0}
+    weights: Dict[int, float] = {u: 0.0 for u in nodes}
+    for node in nodes:
+        var = manager.top_var(node)
+        lo, hi = manager.lo(node), manager.hi(node)
+        for pending in (-1, 0, 1):
+            amount = mass.pop((node, pending), 0.0)
+            if amount == 0.0:
+                continue
+            weights[node] += amount
+            if var in xi_position:
+                xf_var = space.xf(xi_position[var])
+                lo_state = 0 if manager.top_var(lo) == xf_var else -1
+                hi_state = 1 if manager.top_var(hi) == xf_var else -1
+                branches = (
+                    (lo, lo_state, 1.0 - sp),
+                    (hi, hi_state, sp),
+                )
+            else:
+                if pending == 1:
+                    p_one = 1.0 - p10
+                elif pending == 0:
+                    p_one = p01
+                else:
+                    p_one = sp
+                branches = ((lo, -1, 1.0 - p_one), (hi, -1, p_one))
+            for child, state, probability in branches:
+                if not manager.is_terminal(child):
+                    key = (child, state)
+                    mass[key] = mass.get(key, 0.0) + amount * probability
+    return weights
+
+
+def mixture_weight_fn(
+    space: TransitionSpace,
+    components: Sequence[tuple] = ((0.5, 0.5), (0.5, 0.15), (0.5, 0.05)),
+) -> WeightFn:
+    """Weight callback for :func:`repro.dd.approx.approximate`.
+
+    Averages node masses over several ``(sp, st)`` operating points, so
+    collapse selection minimises the approximation error across the whole
+    statistics range instead of only the uniform point.  The default
+    mixture of the uniform point and a low-activity point is what keeps
+    the Fig.-7a error curve flat at small ``st`` (where the true power is
+    tiny and uniform weighting would sacrifice exactly that region).
+    """
+
+    def compute(manager: DDManager, root: int) -> Dict[int, float]:
+        combined: Dict[int, float] = {}
+        share = 1.0 / len(components)
+        for sp, st in components:
+            for node, weight in markov_node_weights(
+                manager, root, space, sp, st
+            ).items():
+                combined[node] = combined.get(node, 0.0) + share * weight
+        return combined
+
+    return compute
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Bookkeeping from one model construction run.
+
+    ``cpu_seconds`` corresponds to the CPU column of Table 1;
+    ``num_approximations`` counts ``add_approx`` invocations;
+    ``peak_nodes`` is the largest intermediate ADD encountered.
+    """
+
+    macro_name: str
+    strategy: str
+    max_nodes: Optional[int]
+    final_nodes: int
+    peak_nodes: int
+    num_approximations: int
+    cpu_seconds: float
+    num_gates: int
+
+
+class AddPowerModel(PowerModel):
+    """Pattern-dependent RTL power model backed by one ADD.
+
+    Evaluation is a root-to-leaf walk — linear in the number of inputs,
+    the "negligible time" run-time cost the paper advertises.
+    """
+
+    def __init__(
+        self,
+        macro_name: str,
+        space: TransitionSpace,
+        root: int,
+        strategy: str = "avg",
+        report: Optional[BuildReport] = None,
+        input_names: Optional[Sequence[str]] = None,
+    ):
+        """``input_names`` fixes the *external* pattern convention (the
+        netlist's primary-input order); the transition space may hold the
+        same inputs in a different (DD-ordering-heuristic) order."""
+        external = list(input_names) if input_names is not None else list(space.input_names)
+        if sorted(external) != sorted(space.input_names):
+            raise ModelError(
+                "input_names must be a permutation of the space's inputs"
+            )
+        super().__init__(macro_name, external)
+        self.space = space
+        self.manager = space.manager
+        self.root = root
+        self.strategy = strategy
+        self.report = report
+        position = {name: k for k, name in enumerate(space.input_names)}
+        # External input index -> position inside the transition space.
+        self._space_position = [position[name] for name in external]
+        #: Weight callback used for any further shrinking of this model.
+        self.weight_fn: Optional[WeightFn] = None
+
+    # ------------------------------------------------------------------
+    # PowerModel interface
+    # ------------------------------------------------------------------
+    def switching_capacitance(
+        self, initial: Sequence[int], final: Sequence[int]
+    ) -> float:
+        if len(initial) != self.num_inputs or len(final) != self.num_inputs:
+            raise ModelError(
+                f"patterns must have {self.num_inputs} bits"
+            )
+        packed = [0] * (2 * self.num_inputs)
+        for k, pos in enumerate(self._space_position):
+            packed[self.space.xi(pos)] = int(initial[k])
+            packed[self.space.xf(pos)] = int(final[k])
+        return self.manager.evaluate(self.root, packed)
+
+    def pair_capacitances(self, initial, final) -> np.ndarray:
+        initial = self._check_width(initial)
+        final = self._check_width(final)
+        if initial.shape != final.shape:
+            raise ModelError("initial and final batches differ in shape")
+        n = self.num_inputs
+        packed = np.empty((initial.shape[0], 2 * n), dtype=np.int8)
+        xi_cols = [self.space.xi(pos) for pos in self._space_position]
+        xf_cols = [self.space.xf(pos) for pos in self._space_position]
+        packed[:, xi_cols] = initial
+        packed[:, xf_cols] = final
+        # Row-by-row walks beat the vectorised evaluate_batch here: the
+        # interleaved transition ADDs are deep and narrow, so batch row
+        # groups fragment to a handful of rows per node almost immediately.
+        evaluate = self.manager.evaluate
+        root = self.root
+        return np.array([evaluate(root, row) for row in packed])
+
+    # ------------------------------------------------------------------
+    # Analytic queries (no simulation needed)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Node count of the model (leaves included), the paper's size metric."""
+        return self.manager.size(self.root)
+
+    @property
+    def is_upper_bound(self) -> bool:
+        """True if built with the conservative ``max`` strategy."""
+        return self.strategy == "max"
+
+    @property
+    def is_lower_bound(self) -> bool:
+        """True if built with the conservative ``min`` strategy."""
+        return self.strategy == "min"
+
+    def global_maximum(self) -> float:
+        """Largest capacitance the model can report.
+
+        For a ``max``-strategy model this is a conservative worst case
+        over *all* transitions — the paper's constant bound baseline.
+        """
+        return function_stats(self.manager, self.root).max
+
+    def global_minimum(self) -> float:
+        """Smallest capacitance the model can report."""
+        return function_stats(self.manager, self.root).min
+
+    def average_capacitance_uniform(self) -> float:
+        """Exact average under uniform independent inputs (Eq. 6 at the root)."""
+        return function_stats(self.manager, self.root).avg
+
+    def expected_capacitance(self, sp: float, st: float) -> float:
+        """Closed-form expected capacitance under ``(sp, st)`` input statistics.
+
+        Assumes independent per-bit stationary Markov inputs (the
+        distribution :func:`repro.sim.sequences.markov_sequence` draws
+        from) and walks the ADD once, weighting branches with the chain's
+        marginal and conditional probabilities.  An analytical average-
+        power predictor with *no* simulation — an extension enabled by the
+        white-box model.
+        """
+        if self.space.scheme != "interleaved":
+            raise ModelError(
+                "expected_capacitance requires the interleaved variable order"
+            )
+        from repro.sim.sequences import feasible_st_range
+
+        low, high = feasible_st_range(sp)
+        if not low <= st <= high + 1e-12:
+            raise ModelError(f"st={st} infeasible for sp={sp}")
+        p01 = st / (2.0 * (1.0 - sp)) if sp < 1.0 else 0.0
+        p10 = st / (2.0 * sp) if sp > 0.0 else 0.0
+        manager = self.manager
+        n = self.num_inputs
+        # xi variable index -> input position k (to locate its xf partner).
+        xi_position = {self.space.xi(k): k for k in range(n)}
+
+        memo: Dict[tuple, float] = {}
+
+        def walk(node: int, pending_bit: int) -> float:
+            """Expected value below ``node``.
+
+            ``pending_bit`` is -1 if no xi-branch is awaiting its xf
+            partner, else the 0/1 value just taken by the partner xi
+            variable of the *next* xf level.
+            """
+            key = (node, pending_bit)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            if manager.is_terminal(node):
+                result = manager.value(node)
+            else:
+                var = manager.top_var(node)
+                lo, hi = manager.lo(node), manager.hi(node)
+                if var in xi_position:
+                    k = xi_position[var]
+                    xf_var = self.space.xf(k)
+                    lo_pending = 0 if manager.top_var(lo) == xf_var else -1
+                    hi_pending = 1 if manager.top_var(hi) == xf_var else -1
+                    result = (1.0 - sp) * walk(lo, lo_pending) + sp * walk(
+                        hi, hi_pending
+                    )
+                else:
+                    if pending_bit == 1:
+                        p_one = 1.0 - p10
+                    elif pending_bit == 0:
+                        p_one = p01
+                    else:
+                        # xi partner skipped: function independent of it,
+                        # so the marginal P(xf = 1) = sp applies.
+                        p_one = sp
+                    result = (1.0 - p_one) * walk(lo, -1) + p_one * walk(hi, -1)
+            memo[key] = result
+            return result
+
+        # A root testing an xf variable has its xi partner skipped, so the
+        # marginal branch (pending = -1) is the right entry state.
+        return walk(self.root, -1)
+
+    def leaf_values(self) -> List[float]:
+        """Sorted distinct capacitance levels the model distinguishes."""
+        return sorted(self.manager.leaves(self.root))
+
+    def to_dot(self, name: str | None = None) -> str:
+        """Graphviz DOT rendering of the model's ADD (Fig. 3b-style)."""
+        from repro.dd.dot import to_dot
+
+        safe = (name or self.macro_name).replace("-", "_")
+        return to_dot(self.manager, self.root, safe)
+
+    def worst_case_transition(self) -> tuple:
+        """A transition attaining the model's global maximum.
+
+        Returns ``(initial, final, capacitance_fF)`` with the patterns in
+        this model's external input order.  For an exact model this is a
+        true maximum-power vector pair — the answer to the exhaustive
+        search the paper calls "unfeasible", extracted from the ADD in
+        time linear in its size; for a ``max``-strategy model it is the
+        pattern at which the *bound* peaks (a stress-test candidate).
+        """
+        manager = self.manager
+        stats = compute_stats(manager, self.root)
+        assignment: Dict[int, int] = {}
+        node = self.root
+        while not manager.is_terminal(node):
+            lo, hi = manager.lo(node), manager.hi(node)
+            branch = int(stats[hi].max >= stats[lo].max)
+            assignment[manager.top_var(node)] = branch
+            node = hi if branch else lo
+        initial = [0] * self.num_inputs
+        final = [0] * self.num_inputs
+        for k, pos in enumerate(self._space_position):
+            initial[k] = assignment.get(self.space.xi(pos), 0)
+            final[k] = assignment.get(self.space.xf(pos), 0)
+        return initial, final, manager.value(node)
+
+    def quietest_transition(self) -> tuple:
+        """A transition attaining the model's global minimum (dual query)."""
+        manager = self.manager
+        stats = compute_stats(manager, self.root)
+        assignment: Dict[int, int] = {}
+        node = self.root
+        while not manager.is_terminal(node):
+            lo, hi = manager.lo(node), manager.hi(node)
+            branch = int(stats[hi].min < stats[lo].min)
+            assignment[manager.top_var(node)] = branch
+            node = hi if branch else lo
+        initial = [0] * self.num_inputs
+        final = [0] * self.num_inputs
+        for k, pos in enumerate(self._space_position):
+            initial[k] = assignment.get(self.space.xi(pos), 0)
+            final[k] = assignment.get(self.space.xf(pos), 0)
+        return initial, final, manager.value(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AddPowerModel macro={self.macro_name!r} strategy={self.strategy} "
+            f"size={self.size}>"
+        )
+
+
+def build_add_model(
+    netlist: Netlist,
+    max_nodes: Optional[int] = None,
+    strategy: Strategy = "avg",
+    scheme: Scheme = "interleaved",
+    input_order: Optional[Sequence[str]] = None,
+    accumulation: Literal["tree", "linear"] = "tree",
+) -> AddPowerModel:
+    """Analytically construct the switching-capacitance ADD (paper Fig. 6).
+
+    Parameters
+    ----------
+    netlist:
+        Golden model: mapped gate-level netlist with load capacitances.
+    max_nodes:
+        The paper's ``MAX``: intermediate and final ADDs are compressed by
+        node collapsing whenever they exceed this node count.  ``None``
+        builds the exact model (gate-level-simulation accuracy).
+    strategy:
+        Collapse strategy; ``avg`` for average-accurate models, ``max``
+        for conservative upper bounds, ``min`` for lower bounds.
+    scheme:
+        Variable interleaving for the doubled input space.
+    input_order:
+        Optional explicit primary-input order; defaults to the fanin-DFS
+        heuristic over the netlist.
+    accumulation:
+        ``"tree"`` (default) sums the per-gate contributions pairwise in a
+        balanced tree; ``"linear"`` follows the paper's Fig.-6 loop
+        verbatim.  Both compute the same function and preserve the same
+        conservatism/average invariants; the tree is asymptotically
+        cheaper under a size budget.
+
+    Returns the model; build metadata is attached as ``model.report``.
+    """
+    if max_nodes is not None and max_nodes < 1:
+        raise ModelError(f"max_nodes must be >= 1, got {max_nodes}")
+    if accumulation not in ("tree", "linear"):
+        raise ModelError(f"unknown accumulation mode {accumulation!r}")
+    if netlist.num_inputs == 0:
+        raise ModelError("cannot model a netlist with no inputs")
+    started = time.perf_counter()
+
+    if input_order is None:
+        order = fanin_dfs_input_order(
+            netlist.outputs, netlist.fanin_map(), netlist.inputs
+        )
+    else:
+        if sorted(input_order) != sorted(netlist.inputs):
+            raise ModelError(
+                "input_order must be a permutation of the netlist inputs"
+            )
+        order = list(input_order)
+
+    space = TransitionSpace(order, scheme)
+    manager = space.manager
+    position = {name: k for k, name in enumerate(order)}
+    xi_vars = {name: space.xi(position[name]) for name in netlist.inputs}
+    xf_vars = {name: space.xf(position[name]) for name in netlist.inputs}
+
+    # Two symbolic sweeps: node functions over the x_i copy and the x_f
+    # copy of the inputs (equivalent to the paper's g(x_i) / g(x_f)).
+    functions_i = build_node_functions(netlist, manager, xi_vars)
+    functions_f = build_node_functions(netlist, manager, xf_vars)
+
+    loads = netlist.load_capacitances()
+    peak = 1
+    num_approx = 0
+    # Hysteresis: compress below the budget so the very next addition does
+    # not immediately trigger another approximation round.  The model still
+    # never exceeds max_nodes; it just is not re-approximated every sum.
+    compress_target = max(1, (3 * max_nodes) // 4) if max_nodes is not None else None
+
+    # Collapse selection minimises error over a mixture of operating
+    # statistics (uniform + low activity) rather than the uniform point
+    # alone; see mixture_weight_fn.  Blocked-order models fall back to
+    # uniform weights.
+    weight_fn = mixture_weight_fn(space) if scheme == "interleaved" else None
+
+    def bounded(node: int, limit: Optional[int]) -> int:
+        nonlocal peak, num_approx
+        if max_nodes is None:
+            return node
+        size = manager.size(node)
+        peak = max(peak, size)
+        if size > max_nodes:
+            node = approximate(manager, node, limit, strategy, weight_fn=weight_fn)
+            num_approx += 1
+        return node
+
+    # Per-gate contributions g_j'(x_i) * g_j(x_f) * C_j (paper Fig. 6).
+    deltas = []
+    for gate in netlist.topological_order():
+        load = loads[gate.name]
+        if load == 0.0:
+            continue  # gate with no fanout cannot draw structural power
+        g_i = functions_i[gate.output]
+        g_f = functions_f[gate.output]
+        rising = manager.bdd_and(manager.bdd_not(g_i), g_f)
+        deltas.append(bounded(manager.add_const_times(rising, load), max_nodes))
+
+    if accumulation == "linear":
+        # Verbatim Fig.-6 loop: one running sum, compressed on overflow.
+        total = manager.zero
+        for delta in deltas:
+            total = bounded(manager.add_plus(total, delta), compress_target)
+    else:
+        # Balanced-tree accumulation: algebraically identical (addition is
+        # associative, and the collapse strategies commute with addition:
+        # avg(a)+avg(b) = avg(a+b), max(a)+max(b) >= max(a+b)), but only
+        # O(log N) of the partial sums are budget-sized instead of O(N),
+        # which is what makes 1000-gate circuits tractable in pure Python.
+        layer: List[int] = deltas if deltas else [manager.zero]
+        while len(layer) > 1:
+            next_layer: List[int] = []
+            for k in range(0, len(layer) - 1, 2):
+                merged = manager.add_plus(layer[k], layer[k + 1])
+                next_layer.append(bounded(merged, compress_target))
+            if len(layer) % 2:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        total = layer[0]
+    final_size = manager.size(total)
+    peak = max(peak, final_size)
+    report = BuildReport(
+        macro_name=netlist.name,
+        strategy=strategy,
+        max_nodes=max_nodes,
+        final_nodes=final_size,
+        peak_nodes=peak,
+        num_approximations=num_approx,
+        cpu_seconds=time.perf_counter() - started,
+        num_gates=netlist.num_gates,
+    )
+    model = AddPowerModel(
+        netlist.name, space, total, strategy, report, input_names=netlist.inputs
+    )
+    model.weight_fn = weight_fn
+    return model
+
+
+def shrink_model(model: AddPowerModel, max_nodes: int) -> AddPowerModel:
+    """Further compress an existing model to a smaller size budget.
+
+    Reuses the model's own strategy, so bound models stay conservative.
+    Used by the size/accuracy trade-off experiment (Fig. 7b) to derive a
+    whole family of models from one exact construction.
+    """
+    if model.strategy == "random":
+        raise ModelError("cannot meaningfully shrink a random-strategy model")
+    root = approximate(
+        model.manager,
+        model.root,
+        max_nodes,
+        model.strategy,
+        weight_fn=model.weight_fn,
+    )
+    shrunk = AddPowerModel(
+        model.macro_name,
+        model.space,
+        root,
+        model.strategy,
+        model.report,
+        input_names=model.input_names,
+    )
+    shrunk.weight_fn = model.weight_fn
+    return shrunk

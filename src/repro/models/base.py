@@ -1,0 +1,99 @@
+"""Abstract interface shared by all RTL power models.
+
+A *power model* maps an input transition ``(x_i, x_f)`` of a combinational
+macro to an estimate of its switching capacitance in fF (energy follows as
+``Vdd^2 * C``, Eq. 1).  Pattern-dependent models (ADD, Lin) implement
+:meth:`PowerModel.switching_capacitance`; pattern-independent models (Con,
+the statistics LUT) additionally override the sequence-average hook, which
+is what the paper's accuracy experiments ultimately measure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.sim.power_sim import DEFAULT_VDD
+
+
+class PowerModel(ABC):
+    """Estimator of per-transition switching capacitance for one macro."""
+
+    def __init__(self, macro_name: str, input_names: Sequence[str]):
+        self.macro_name = macro_name
+        self.input_names = list(input_names)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs of the modeled macro."""
+        return len(self.input_names)
+
+    # ------------------------------------------------------------------
+    # Pattern-level interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def switching_capacitance(
+        self, initial: Sequence[int], final: Sequence[int]
+    ) -> float:
+        """Estimated ``C(x_i, x_f)`` in fF for one transition."""
+
+    def energy_fJ(
+        self,
+        initial: Sequence[int],
+        final: Sequence[int],
+        vdd: float = DEFAULT_VDD,
+    ) -> float:
+        """Estimated supply energy in fJ (Eq. 1)."""
+        return self.switching_capacitance(initial, final) * vdd * vdd
+
+    def _check_width(self, patterns: np.ndarray) -> np.ndarray:
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=bool))
+        if patterns.shape[1] != self.num_inputs:
+            raise ModelError(
+                f"model {self.macro_name!r} expects {self.num_inputs}-bit "
+                f"patterns, got width {patterns.shape[1]}"
+            )
+        return patterns
+
+    # ------------------------------------------------------------------
+    # Batch interface (default: per-pattern loop; override when vectorisable)
+    # ------------------------------------------------------------------
+    def pair_capacitances(
+        self, initial: np.ndarray, final: np.ndarray
+    ) -> np.ndarray:
+        """Estimates for a batch of independent transitions."""
+        initial = self._check_width(initial)
+        final = self._check_width(final)
+        if initial.shape != final.shape:
+            raise ModelError("initial and final batches differ in shape")
+        return np.array(
+            [
+                self.switching_capacitance(initial[k], final[k])
+                for k in range(initial.shape[0])
+            ]
+        )
+
+    def sequence_capacitances(self, sequence: np.ndarray) -> np.ndarray:
+        """Per-cycle estimates along a vector sequence (length - 1 values)."""
+        sequence = self._check_width(sequence)
+        if sequence.shape[0] < 2:
+            raise ModelError("sequence must hold at least two vectors")
+        return self.pair_capacitances(sequence[:-1], sequence[1:])
+
+    # ------------------------------------------------------------------
+    # Sequence-level summaries (what the paper's RE/ARE metrics consume)
+    # ------------------------------------------------------------------
+    def average_capacitance(self, sequence: np.ndarray) -> float:
+        """Average estimated C over a sequence (pattern-independent models
+        override this to return their closed-form value)."""
+        return float(np.mean(self.sequence_capacitances(sequence)))
+
+    def maximum_capacitance(self, sequence: np.ndarray) -> float:
+        """Maximum estimated C over a sequence (peak-power estimation)."""
+        return float(np.max(self.sequence_capacitances(sequence)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} macro={self.macro_name!r}>"

@@ -1,0 +1,100 @@
+"""Simulation-based characterization harness.
+
+The paper's baselines (``Con``, ``Lin``) are *characterized*: their
+parameters are fitted to golden-model power samples from a training
+sequence — here, as in the paper, a random sequence with 0.5 signal and
+transition probabilities.  :class:`TrainingData` packages such a sample;
+the model classes consume it in their ``characterize`` constructors.
+
+The same machinery supports the paper's Section-2 remark that the
+analytical model *composes* with characterization: a hybrid model (see
+:class:`~repro.models.hybrid.HybridModel`) keeps the ADD for the
+structural component and characterizes only the parasitic residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.netlist.netlist import Netlist
+from repro.sim.power_sim import sequence_switching_capacitances
+from repro.sim.sequences import markov_sequence
+
+
+@dataclass(frozen=True)
+class TrainingData:
+    """A characterization sample: transitions plus golden-model answers.
+
+    Attributes
+    ----------
+    initial, final:
+        ``(P, n)`` boolean matrices of transition endpoints.
+    capacitances:
+        ``(P,)`` golden-model switching capacitances in fF.
+    """
+
+    initial: np.ndarray
+    final: np.ndarray
+    capacitances: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.initial.shape != self.final.shape:
+            raise CharacterizationError("initial/final shapes differ")
+        if self.initial.ndim != 2:
+            raise CharacterizationError("patterns must be (P, n) matrices")
+        if len(self.capacitances) != self.initial.shape[0]:
+            raise CharacterizationError(
+                "one capacitance per transition required"
+            )
+        if self.initial.shape[0] == 0:
+            raise CharacterizationError("empty training set")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of training transitions."""
+        return self.initial.shape[0]
+
+    @property
+    def num_inputs(self) -> int:
+        """Width of the training patterns."""
+        return self.initial.shape[1]
+
+    @property
+    def activities(self) -> np.ndarray:
+        """Per-bit transition activities ``a_j = x_i_j XOR x_f_j`` (P, n)."""
+        return (self.initial ^ self.final).astype(float)
+
+
+def characterization_sequence(
+    netlist: Netlist,
+    length: int = 2000,
+    sp: float = 0.5,
+    st: float = 0.5,
+    seed: int = 12345,
+) -> np.ndarray:
+    """The paper's training stimulus: random vectors with sp = st = 0.5."""
+    return markov_sequence(netlist.num_inputs, length, sp=sp, st=st, seed=seed)
+
+
+def generate_training_data(
+    netlist: Netlist,
+    length: int = 2000,
+    sp: float = 0.5,
+    st: float = 0.5,
+    seed: int = 12345,
+) -> TrainingData:
+    """Simulate the golden model on a training sequence.
+
+    This is the (expensive, statistics-bound) step the paper's approach
+    eliminates; it exists here to characterize the comparison baselines.
+    """
+    sequence = characterization_sequence(netlist, length, sp, st, seed)
+    capacitances = sequence_switching_capacitances(netlist, sequence)
+    return TrainingData(
+        initial=sequence[:-1],
+        final=sequence[1:],
+        capacitances=np.asarray(capacitances, dtype=float),
+    )

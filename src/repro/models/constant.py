@@ -1,0 +1,80 @@
+"""``Con`` — the characterized constant estimator (paper Section 4).
+
+Predicts the same switching capacitance for every input transition: the
+average observed during characterization.  In-sample it is unbiased by
+construction; out of sample its error tracks how far the actual input
+statistics drift from the training statistics — exactly the failure mode
+Figure 7a demonstrates.
+
+A constant model around a *maximum* is also the paper's baseline for
+worst-case bounds (Table 1, column "Con" under Upper bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.models.base import PowerModel
+from repro.models.characterize import TrainingData, generate_training_data
+from repro.netlist.netlist import Netlist
+
+
+class ConstantModel(PowerModel):
+    """Pattern-independent constant capacitance estimator."""
+
+    def __init__(self, macro_name: str, input_names: Sequence[str], value_fF: float):
+        super().__init__(macro_name, input_names)
+        if value_fF < 0:
+            raise CharacterizationError(
+                f"constant capacitance must be non-negative, got {value_fF}"
+            )
+        self.value_fF = float(value_fF)
+
+    @classmethod
+    def characterize(
+        cls, netlist: Netlist, training: TrainingData | None = None
+    ) -> "ConstantModel":
+        """Fit to the mean golden-model capacitance of a training sample.
+
+        With no sample given, the paper's default stimulus
+        (random, sp = st = 0.5) is generated.
+        """
+        if training is None:
+            training = generate_training_data(netlist)
+        return cls(
+            netlist.name, netlist.inputs, float(np.mean(training.capacitances))
+        )
+
+    @classmethod
+    def worst_case(
+        cls, netlist: Netlist, training: TrainingData
+    ) -> "ConstantModel":
+        """Constant estimator of the *maximum* observed capacitance.
+
+        Note this is NOT conservative: simulation can only lower-bound the
+        true worst case.  The paper's conservative constant bound instead
+        takes the global maximum of the ADD upper bound — see
+        :func:`repro.models.bounds.constant_bound_from_model`.
+        """
+        return cls(
+            netlist.name, netlist.inputs, float(np.max(training.capacitances))
+        )
+
+    def switching_capacitance(
+        self, initial: Sequence[int], final: Sequence[int]
+    ) -> float:
+        return self.value_fF
+
+    # Closed forms: no need to walk the sequence.
+    def pair_capacitances(self, initial, final) -> np.ndarray:
+        initial = self._check_width(initial)
+        return np.full(initial.shape[0], self.value_fF)
+
+    def average_capacitance(self, sequence: np.ndarray) -> float:
+        return self.value_fF
+
+    def maximum_capacitance(self, sequence: np.ndarray) -> float:
+        return self.value_fF

@@ -1,0 +1,103 @@
+"""Hybrid model: analytical structural core + characterized parasitic residual.
+
+Section 2 of the paper argues its approach *partitions* the modeling task
+rather than replacing characterization: the ADD captures the zero-delay
+structural power exactly (or conservatively), while parasitic phenomena —
+glitches, short-circuit currents — have a smoother statistics dependence
+and are "much simpler" to characterize on top.
+
+:class:`HybridModel` realises that partition against this package's
+event-driven glitch simulator: the residual between glitch-aware power and
+the structural ADD estimate is fitted with a small linear-in-activity
+correction (or a constant, when ``linear_residual=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.models.addmodel import AddPowerModel, build_add_model
+from repro.models.base import PowerModel
+from repro.netlist.netlist import Netlist
+from repro.sim.glitch_sim import sequence_glitch_capacitances
+from repro.sim.sequences import markov_sequence
+
+
+class HybridModel(PowerModel):
+    """ADD structural model plus characterized residual correction."""
+
+    def __init__(
+        self,
+        structural: AddPowerModel,
+        residual_intercept_fF: float,
+        residual_coefficients_fF: np.ndarray,
+    ):
+        super().__init__(structural.macro_name, structural.input_names)
+        if len(residual_coefficients_fF) != structural.num_inputs:
+            raise CharacterizationError(
+                "one residual coefficient per input is required"
+            )
+        self.structural = structural
+        self.residual_intercept_fF = float(residual_intercept_fF)
+        self.residual_coefficients_fF = np.asarray(
+            residual_coefficients_fF, dtype=float
+        )
+
+    @classmethod
+    def characterize(
+        cls,
+        netlist: Netlist,
+        structural: Optional[AddPowerModel] = None,
+        training_length: int = 300,
+        linear_residual: bool = True,
+        seed: int = 20211,
+    ) -> "HybridModel":
+        """Fit the parasitic residual on glitch-aware simulation data.
+
+        The structural part is never fitted — it comes from the analytical
+        construction.  Only the (small, smooth) difference between the
+        event-driven total and the structural estimate is regressed.
+        """
+        if structural is None:
+            structural = build_add_model(netlist)
+        sequence = markov_sequence(
+            netlist.num_inputs, training_length, sp=0.5, st=0.5, seed=seed
+        )
+        total = sequence_glitch_capacitances(netlist, sequence)
+        structural_estimates = structural.sequence_capacitances(sequence)
+        residual = total - structural_estimates
+        if linear_residual:
+            activities = (sequence[:-1] ^ sequence[1:]).astype(float)
+            design = np.hstack([np.ones((len(residual), 1)), activities])
+            solution, *_ = np.linalg.lstsq(design, residual, rcond=None)
+            return cls(structural, solution[0], solution[1:])
+        return cls(
+            structural,
+            float(np.mean(residual)),
+            np.zeros(netlist.num_inputs),
+        )
+
+    def switching_capacitance(
+        self, initial: Sequence[int], final: Sequence[int]
+    ) -> float:
+        """Structural estimate plus the characterized glitch correction."""
+        structural = self.structural.switching_capacitance(initial, final)
+        activity = np.asarray(initial, dtype=bool) ^ np.asarray(final, dtype=bool)
+        residual = self.residual_intercept_fF + float(
+            activity @ self.residual_coefficients_fF
+        )
+        return structural + residual
+
+    def pair_capacitances(self, initial, final) -> np.ndarray:
+        initial = self._check_width(initial)
+        final = self._check_width(final)
+        structural = self.structural.pair_capacitances(initial, final)
+        activities = (initial ^ final).astype(float)
+        residual = (
+            self.residual_intercept_fF
+            + activities @ self.residual_coefficients_fF
+        )
+        return structural + residual

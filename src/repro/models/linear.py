@@ -1,0 +1,79 @@
+"""``Lin`` — the characterized linear model (paper Section 4).
+
+Estimates capacitance as a linear function of the per-input transition
+activities:
+
+    C = c0 + c1*a1 + ... + cn*an,   a_j = x_i_j XOR x_f_j
+
+The coefficients are fitted by least squares against golden-model samples.
+With ``n`` inputs the model has ``n + 1`` fitting coefficients — the
+"linear model with 12 fitting coefficients" the paper mentions for cm85
+(11 inputs).  It is pattern-dependent (unlike ``Con``) but its accuracy
+still hinges on the training statistics, as Figure 7a shows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.models.base import PowerModel
+from repro.models.characterize import TrainingData, generate_training_data
+from repro.netlist.netlist import Netlist
+
+
+class LinearModel(PowerModel):
+    """Linear-in-activity capacitance estimator."""
+
+    def __init__(
+        self,
+        macro_name: str,
+        input_names: Sequence[str],
+        intercept_fF: float,
+        coefficients_fF: Sequence[float],
+    ):
+        super().__init__(macro_name, input_names)
+        if len(coefficients_fF) != len(input_names):
+            raise CharacterizationError(
+                f"{len(coefficients_fF)} coefficients for "
+                f"{len(input_names)} inputs"
+            )
+        self.intercept_fF = float(intercept_fF)
+        self.coefficients_fF = np.asarray(coefficients_fF, dtype=float)
+
+    @classmethod
+    def characterize(
+        cls, netlist: Netlist, training: TrainingData | None = None
+    ) -> "LinearModel":
+        """Least-squares fit on golden-model training transitions."""
+        if training is None:
+            training = generate_training_data(netlist)
+        if training.num_inputs != netlist.num_inputs:
+            raise CharacterizationError(
+                "training data width does not match the netlist"
+            )
+        activities = training.activities
+        design = np.hstack(
+            [np.ones((training.num_samples, 1)), activities]
+        )
+        solution, *_ = np.linalg.lstsq(design, training.capacitances, rcond=None)
+        return cls(netlist.name, netlist.inputs, solution[0], solution[1:])
+
+    @property
+    def num_coefficients(self) -> int:
+        """Fitting-parameter count (n + 1), as reported by the paper."""
+        return 1 + len(self.coefficients_fF)
+
+    def switching_capacitance(
+        self, initial: Sequence[int], final: Sequence[int]
+    ) -> float:
+        activity = np.asarray(initial, dtype=bool) ^ np.asarray(final, dtype=bool)
+        return float(self.intercept_fF + activity @ self.coefficients_fF)
+
+    def pair_capacitances(self, initial, final) -> np.ndarray:
+        initial = self._check_width(initial)
+        final = self._check_width(final)
+        activity = (initial ^ final).astype(float)
+        return self.intercept_fF + activity @ self.coefficients_fF

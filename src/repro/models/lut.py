@@ -1,0 +1,123 @@
+"""Statistics-indexed look-up-table model (Gupta-Najm style, ref. [5]).
+
+The second characterized baseline family the paper discusses: instead of a
+single constant, a table of constant estimators is pre-characterized under
+a grid of input conditions — here ``(sp, st)`` cells — and the estimate
+for a sequence interpolates the table at the sequence's *measured*
+statistics.  It repairs much of ``Con``'s out-of-sample error at the price
+of a much longer characterization (one simulation per grid cell), and it
+remains a black-box average model: per-pattern estimates are just the
+interpolated cell value.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.models.base import PowerModel
+from repro.netlist.netlist import Netlist
+from repro.sim.power_sim import sequence_switching_capacitances
+from repro.sim.sequences import feasible_st_range, markov_sequence, measure
+
+
+class StatsLUTModel(PowerModel):
+    """LUT of constant estimators indexed by ``(sp, st)``."""
+
+    def __init__(
+        self,
+        macro_name: str,
+        input_names: Sequence[str],
+        sp_grid: np.ndarray,
+        st_grid: np.ndarray,
+        table_fF: np.ndarray,
+    ):
+        super().__init__(macro_name, input_names)
+        sp_grid = np.asarray(sp_grid, dtype=float)
+        st_grid = np.asarray(st_grid, dtype=float)
+        table_fF = np.asarray(table_fF, dtype=float)
+        if table_fF.shape != (len(sp_grid), len(st_grid)):
+            raise CharacterizationError(
+                f"table shape {table_fF.shape} does not match grid "
+                f"({len(sp_grid)}, {len(st_grid)})"
+            )
+        if len(sp_grid) < 2 or len(st_grid) < 2:
+            raise CharacterizationError("grids need at least two points each")
+        self.sp_grid = sp_grid
+        self.st_grid = st_grid
+        self.table_fF = table_fF
+
+    @classmethod
+    def characterize(
+        cls,
+        netlist: Netlist,
+        sp_grid: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8),
+        st_grid: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+        sequence_length: int = 600,
+        seed: int = 777,
+    ) -> "StatsLUTModel":
+        """Simulate one training sequence per feasible grid cell.
+
+        Infeasible cells (``st > 2 min(sp, 1-sp)``) are filled with the
+        value at the largest feasible ``st`` for that ``sp`` row.
+        """
+        table = np.zeros((len(sp_grid), len(st_grid)))
+        for i, sp in enumerate(sp_grid):
+            _, st_max = feasible_st_range(sp)
+            last = 0.0
+            for j, st in enumerate(st_grid):
+                effective_st = min(st, st_max)
+                sequence = markov_sequence(
+                    netlist.num_inputs,
+                    sequence_length,
+                    sp=sp,
+                    st=effective_st,
+                    seed=seed + 31 * i + j,
+                )
+                value = float(
+                    np.mean(sequence_switching_capacitances(netlist, sequence))
+                )
+                table[i, j] = value
+                last = value
+        return cls(netlist.name, netlist.inputs, np.asarray(sp_grid),
+                   np.asarray(st_grid), table)
+
+    def lookup(self, sp: float, st: float) -> float:
+        """Bilinear interpolation of the table, clamped at the grid edges."""
+        return float(_bilinear(self.sp_grid, self.st_grid, self.table_fF, sp, st))
+
+    def switching_capacitance(
+        self, initial: Sequence[int], final: Sequence[int]
+    ) -> float:
+        """Per-pattern estimate: the cell value at the pair's own statistics.
+
+        A transition pair carries ``sp = mean(bits)`` and
+        ``st = mean(activity)`` — coarse, but the best a statistics-indexed
+        black box can do pattern by pattern.
+        """
+        initial = np.asarray(initial, dtype=bool)
+        final = np.asarray(final, dtype=bool)
+        sp = float((initial.mean() + final.mean()) / 2.0)
+        st = float((initial ^ final).mean())
+        return self.lookup(sp, st)
+
+    def average_capacitance(self, sequence: np.ndarray) -> float:
+        """Interpolate at the sequence's measured ``(sp, st)``."""
+        stats = measure(np.asarray(sequence, dtype=bool))
+        return self.lookup(stats.signal_probability, stats.transition_probability)
+
+
+def _bilinear(
+    xs: np.ndarray, ys: np.ndarray, table: np.ndarray, x: float, y: float
+) -> float:
+    x = float(np.clip(x, xs[0], xs[-1]))
+    y = float(np.clip(y, ys[0], ys[-1]))
+    i = int(np.clip(np.searchsorted(xs, x) - 1, 0, len(xs) - 2))
+    j = int(np.clip(np.searchsorted(ys, y) - 1, 0, len(ys) - 2))
+    tx = (x - xs[i]) / (xs[i + 1] - xs[i])
+    ty = (y - ys[j]) / (ys[j + 1] - ys[j])
+    top = table[i, j] * (1 - ty) + table[i, j + 1] * ty
+    bottom = table[i + 1, j] * (1 - ty) + table[i + 1, j + 1] * ty
+    return top * (1 - tx) + bottom * tx

@@ -1,0 +1,169 @@
+"""Persistence of ADD power models (JSON).
+
+This is what makes the paper's IP argument practical: a macro vendor
+builds the model once from the confidential netlist, serialises it, and
+ships *only the model*.  The JSON carries the ADD graph (variables, node
+triples, leaf values), the input names and ordering scheme, and the build
+metadata — everything needed to evaluate, shrink or compose the model,
+and nothing that reveals the gate-level implementation beyond the
+aggregate switching-capacitance function itself.
+
+The format is versioned; loaders reject unknown versions instead of
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from repro.dd.manager import DDManager
+from repro.dd.ordering import TransitionSpace
+from repro.errors import ModelError
+from repro.models.addmodel import AddPowerModel, BuildReport
+
+FORMAT_NAME = "repro-add-power-model"
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: AddPowerModel) -> dict:
+    """Serialise a model to a JSON-compatible dictionary.
+
+    Nodes are emitted in topological (parents-first) order and renumbered
+    densely; leaves carry their float value, internal nodes the variable
+    index plus child references.
+    """
+    manager = model.manager
+    order: List[int] = list(manager.iter_nodes(model.root))
+    index = {node: k for k, node in enumerate(order)}
+    nodes = []
+    for node in order:
+        if manager.is_terminal(node):
+            nodes.append({"leaf": manager.value(node)})
+        else:
+            nodes.append(
+                {
+                    "var": manager.top_var(node),
+                    "lo": index[manager.lo(node)],
+                    "hi": index[manager.hi(node)],
+                }
+            )
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "macro_name": model.macro_name,
+        "strategy": model.strategy,
+        "scheme": model.space.scheme,
+        "space_inputs": list(model.space.input_names),
+        "input_names": list(model.input_names),
+        "root": index[model.root],
+        "nodes": nodes,
+    }
+    if model.report is not None:
+        report = model.report
+        payload["report"] = {
+            "macro_name": report.macro_name,
+            "strategy": report.strategy,
+            "max_nodes": report.max_nodes,
+            "final_nodes": report.final_nodes,
+            "peak_nodes": report.peak_nodes,
+            "num_approximations": report.num_approximations,
+            "cpu_seconds": report.cpu_seconds,
+            "num_gates": report.num_gates,
+        }
+    return payload
+
+
+def model_from_dict(payload: dict) -> AddPowerModel:
+    """Reconstruct a model from :func:`model_to_dict` output."""
+    if payload.get("format") != FORMAT_NAME:
+        raise ModelError(
+            f"not a {FORMAT_NAME} payload (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format version {payload.get('version')!r}"
+        )
+    space = TransitionSpace(payload["space_inputs"], payload["scheme"])
+    manager = space.manager
+    raw_nodes = payload["nodes"]
+    rebuilt: Dict[int, int] = {}
+
+    # Resolve children before parents with an explicit stack: the
+    # serialised order is DFS preorder, which is not topological for
+    # shared nodes.  A bounded iteration count rejects cyclic payloads.
+    stack = [int(payload["root"])]
+    steps = 0
+    limit = 10 * len(raw_nodes) + 16
+    while stack:
+        steps += 1
+        if steps > limit:
+            raise ModelError("malformed model payload: node graph is cyclic")
+        position = stack[-1]
+        if position in rebuilt:
+            stack.pop()
+            continue
+        try:
+            raw = raw_nodes[position]
+        except IndexError:
+            raise ModelError(
+                f"malformed model payload: node reference {position} out of range"
+            ) from None
+        if "leaf" in raw:
+            rebuilt[position] = manager.terminal(float(raw["leaf"]))
+            stack.pop()
+            continue
+        children = [int(raw["lo"]), int(raw["hi"])]
+        unresolved = [c for c in children if c not in rebuilt]
+        if unresolved:
+            stack.extend(unresolved)
+            continue
+        rebuilt[position] = manager.node(
+            int(raw["var"]), rebuilt[children[0]], rebuilt[children[1]]
+        )
+        stack.pop()
+    root = rebuilt[int(payload["root"])]
+
+    report = None
+    if "report" in payload:
+        raw_report = payload["report"]
+        report = BuildReport(
+            macro_name=raw_report["macro_name"],
+            strategy=raw_report["strategy"],
+            max_nodes=raw_report["max_nodes"],
+            final_nodes=raw_report["final_nodes"],
+            peak_nodes=raw_report["peak_nodes"],
+            num_approximations=raw_report["num_approximations"],
+            cpu_seconds=raw_report["cpu_seconds"],
+            num_gates=raw_report["num_gates"],
+        )
+    return AddPowerModel(
+        payload["macro_name"],
+        space,
+        root,
+        payload["strategy"],
+        report,
+        input_names=payload["input_names"],
+    )
+
+
+def dump_model(model: AddPowerModel, stream: TextIO) -> None:
+    """Write a model as JSON to an open text stream."""
+    json.dump(model_to_dict(model), stream)
+
+
+def load_model(stream: TextIO) -> AddPowerModel:
+    """Read a model from an open JSON text stream."""
+    return model_from_dict(json.load(stream))
+
+
+def save_model(model: AddPowerModel, path: str) -> None:
+    """Write a model to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        dump_model(model, handle)
+
+
+def read_model(path: str) -> AddPowerModel:
+    """Load a model from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_model(handle)

@@ -1,0 +1,70 @@
+"""Gate-level netlist substrate: the paper's *golden model* layer.
+
+Cells and capacitances (:mod:`~repro.netlist.library`), the netlist data
+structure with load back-annotation (:mod:`~repro.netlist.netlist`),
+construction helpers with structural hashing
+(:mod:`~repro.netlist.synth`), BLIF and structural-Verilog I/O, symbolic
+node functions, and validation.
+"""
+
+from repro.netlist.blif import parse_blif, read_blif, save_blif, write_blif
+from repro.netlist.gates import GateOp, check_arity, eval_numpy, eval_python, eval_symbolic
+from repro.netlist.library import (
+    DEFAULT_OUTPUT_LOAD_FF,
+    TEST_LIBRARY,
+    Cell,
+    Library,
+)
+from repro.netlist.iscas import parse_iscas, read_iscas
+from repro.netlist.minimize import literal_count, minimize_cover
+from repro.netlist.netlist import Gate, Netlist, NetlistStats
+from repro.netlist.sop import Cover, minterm_cover
+from repro.netlist.symbolic import (
+    build_node_functions,
+    build_output_functions,
+    check_equivalent,
+)
+from repro.netlist.synth import NetlistBuilder
+from repro.netlist.validate import ValidationReport, assert_valid, check_netlist
+from repro.netlist.verilog import (
+    parse_verilog,
+    read_verilog,
+    save_verilog,
+    write_verilog,
+)
+
+__all__ = [
+    "GateOp",
+    "check_arity",
+    "eval_python",
+    "eval_numpy",
+    "eval_symbolic",
+    "Cell",
+    "Library",
+    "TEST_LIBRARY",
+    "DEFAULT_OUTPUT_LOAD_FF",
+    "Gate",
+    "Netlist",
+    "NetlistStats",
+    "NetlistBuilder",
+    "Cover",
+    "minterm_cover",
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "save_blif",
+    "parse_iscas",
+    "read_iscas",
+    "minimize_cover",
+    "literal_count",
+    "parse_verilog",
+    "read_verilog",
+    "write_verilog",
+    "save_verilog",
+    "build_node_functions",
+    "build_output_functions",
+    "check_equivalent",
+    "ValidationReport",
+    "check_netlist",
+    "assert_valid",
+]

@@ -1,0 +1,266 @@
+"""BLIF reader and writer.
+
+BLIF (Berkeley Logic Interchange Format) is how the MCNC'91 benchmark
+suite the paper evaluates on is distributed.  The reader accepts the
+combinational subset — ``.model``, ``.inputs``, ``.outputs``, ``.names``
+with SOP cube rows, ``.end``, line continuations with ``\\`` and ``#``
+comments — and *maps* every logic node onto the gate library through
+:class:`~repro.netlist.synth.NetlistBuilder`, mirroring the paper's
+"mapping the circuits on a test gate library" step.
+
+Latches (``.latch``) are rejected: the paper (and this library) models
+combinational macros.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence, TextIO, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.gates import GateOp
+from repro.netlist.library import DEFAULT_OUTPUT_LOAD_FF, Library, TEST_LIBRARY
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.sop import Cover
+from repro.netlist.synth import NetlistBuilder
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """Split text into (line number, logical line) pairs.
+
+    Strips comments, joins ``\\`` continuations, drops blanks.  The line
+    number refers to the first physical line of each logical line.
+    """
+    result: List[Tuple[int, str]] = []
+    pending = ""
+    pending_start = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not pending:
+            pending_start = number
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        stripped = pending.strip()
+        if stripped:
+            result.append((pending_start, stripped))
+        pending = ""
+    if pending.strip():
+        result.append((pending_start, pending.strip()))
+    return result
+
+
+def parse_blif(
+    text: str,
+    library: Library = TEST_LIBRARY,
+    output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+    minimize: bool = False,
+) -> Netlist:
+    """Parse BLIF text into a mapped :class:`Netlist`.
+
+    With ``minimize=True`` every node's cover goes through the two-level
+    minimiser (:func:`repro.netlist.minimize.minimize_cover`) before
+    decomposition — the espresso step of the classic MCNC flow, usually
+    yielding noticeably fewer mapped gates.
+    """
+    model_name = "blif_model"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    # Each .names block: (line, output net, input nets, cube rows)
+    names_blocks: List[Tuple[int, str, List[str], List[str]]] = []
+    current: Tuple[int, str, List[str], List[str]] | None = None
+    seen_model = False
+    ended = False
+
+    for number, line in _logical_lines(text):
+        if ended:
+            raise ParseError("content after .end", number)
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".model":
+                if seen_model:
+                    raise ParseError("multiple .model directives", number)
+                seen_model = True
+                if len(parts) > 1:
+                    model_name = parts[1]
+            elif directive == ".inputs":
+                inputs.extend(parts[1:])
+            elif directive == ".outputs":
+                outputs.extend(parts[1:])
+            elif directive == ".names":
+                if len(parts) < 2:
+                    raise ParseError(".names requires an output net", number)
+                current = (number, parts[-1], parts[1:-1], [])
+                names_blocks.append(current)
+            elif directive == ".latch":
+                raise ParseError(
+                    "sequential elements (.latch) are not supported; "
+                    "extract the combinational macro first",
+                    number,
+                )
+            elif directive == ".end":
+                ended = True
+                current = None
+            elif directive in (".exdc", ".gate", ".mlatch", ".subckt"):
+                raise ParseError(f"unsupported directive {directive}", number)
+            else:
+                # Unknown dot-directives (e.g. .default_input_arrival) are
+                # timing/area annotations — ignore them.
+                current = None
+        else:
+            if current is None:
+                raise ParseError(f"cube row outside .names block: {line!r}", number)
+            current[3].append(line)
+
+    if not inputs:
+        raise ParseError("no .inputs declared")
+    if not outputs:
+        raise ParseError("no .outputs declared")
+
+    builder = NetlistBuilder(model_name, library, output_load_fF)
+    reserved = set(inputs) | set(outputs)
+    for _, block_output, block_nets, _rows in names_blocks:
+        reserved.add(block_output)
+        reserved.update(block_nets)
+    builder.reserve_names(reserved)
+    builder.inputs(inputs)
+    driven = set(inputs)
+    for number, output, nets, rows in names_blocks:
+        if output in driven:
+            raise ParseError(f"net {output!r} defined twice", number)
+        driven.add(output)
+        cover = _rows_to_cover(number, len(nets), rows)
+        if minimize:
+            from repro.netlist.minimize import minimize_cover
+
+            cover = minimize_cover(cover)
+        _instantiate_cover(builder, nets, output, cover)
+    for net in outputs:
+        if net not in driven:
+            raise ParseError(f"primary output {net!r} is never defined")
+        builder.netlist.add_output(net)
+    return builder.build()
+
+
+def _rows_to_cover(line: int, num_inputs: int, rows: Sequence[str]) -> Cover:
+    """Convert raw .names rows to a :class:`Cover`."""
+    if not rows:
+        return Cover(num_inputs, (), covers_onset=True)  # constant 0
+    cubes: List[str] = []
+    polarity: str | None = None
+    for row in rows:
+        parts = row.split()
+        if num_inputs == 0:
+            if len(parts) != 1:
+                raise ParseError(f"bad constant row {row!r}", line)
+            in_bits, out_bit = "", parts[0]
+        elif len(parts) == 2:
+            in_bits, out_bit = parts
+        else:
+            raise ParseError(f"bad cube row {row!r}", line)
+        if out_bit not in ("0", "1"):
+            raise ParseError(f"output bit must be 0 or 1 in {row!r}", line)
+        if polarity is None:
+            polarity = out_bit
+        elif polarity != out_bit:
+            raise ParseError("mixed-polarity cover in one .names block", line)
+        if len(in_bits) != num_inputs:
+            raise ParseError(
+                f"cube width {len(in_bits)} != {num_inputs} inputs in {row!r}",
+                line,
+            )
+        cubes.append(in_bits)
+    return Cover(num_inputs, tuple(cubes), covers_onset=(polarity == "1"))
+
+
+def _instantiate_cover(
+    builder: NetlistBuilder, nets: List[str], output: str, cover: Cover
+) -> None:
+    """Decompose a cover onto the library, driving net ``output``."""
+    if cover.num_inputs == 0:
+        value = cover.evaluate([]) == 1
+        op = GateOp.CONST1 if value else GateOp.CONST0
+        builder.gate(op, [], output=output)
+        return
+    # Single positive/negative literal covers map to BUF/INV directly.
+    if len(cover.cubes) == 1 and cover.num_literals == 1:
+        position = next(
+            i for i, char in enumerate(cover.cubes[0]) if char != "-"
+        )
+        positive = (cover.cubes[0][position] == "1") == cover.covers_onset
+        op = GateOp.BUF if positive else GateOp.INV
+        builder.gate(op, [nets[position]], output=output)
+        return
+    result = builder.sop(nets, list(cover.cubes), invert=not cover.covers_onset)
+    builder.gate(GateOp.BUF, [result], output=output)
+
+
+def read_blif(
+    path: str,
+    library: Library = TEST_LIBRARY,
+    output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+    minimize: bool = False,
+) -> Netlist:
+    """Read and parse a BLIF file (see :func:`parse_blif`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_blif(handle.read(), library, output_load_fF, minimize)
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def _gate_rows(gate: Gate) -> List[str]:
+    """BLIF cube rows implementing one library gate."""
+    op = gate.cell.op
+    k = len(gate.inputs)
+    if op is GateOp.CONST0:
+        return []
+    if op is GateOp.CONST1:
+        return ["1"]
+    if op is GateOp.BUF:
+        return ["1 1"]
+    if op is GateOp.INV:
+        return ["0 1"]
+    if op is GateOp.AND:
+        return ["1" * k + " 1"]
+    if op is GateOp.NAND:
+        return ["1" * k + " 0"]
+    if op is GateOp.OR:
+        return [("-" * i + "1" + "-" * (k - i - 1)) + " 1" for i in range(k)]
+    if op is GateOp.NOR:
+        return ["0" * k + " 1"]
+    if op in (GateOp.XOR, GateOp.XNOR):
+        want = 1 if op is GateOp.XOR else 0
+        rows = []
+        for value in range(2 ** k):
+            bits = format(value, f"0{k}b")
+            if bits.count("1") % 2 == want:
+                rows.append(bits + " 1")
+        return rows
+    if op is GateOp.MUX:
+        # Pin order (select, when0, when1).
+        return ["01- 1", "1-1 1"]
+    raise ParseError(f"cannot serialise operator {op}")  # pragma: no cover
+
+
+def write_blif(netlist: Netlist, stream: TextIO | None = None) -> str:
+    """Serialise a netlist as BLIF; returns the text (and writes to stream)."""
+    out = stream if stream is not None else io.StringIO()
+    out.write(f".model {netlist.name}\n")
+    out.write(".inputs " + " ".join(netlist.inputs) + "\n")
+    out.write(".outputs " + " ".join(netlist.outputs) + "\n")
+    for gate in netlist.topological_order():
+        header = " ".join((".names",) + gate.inputs + (gate.output,))
+        out.write(header + "\n")
+        for row in _gate_rows(gate):
+            out.write(row + "\n")
+    out.write(".end\n")
+    return out.getvalue() if isinstance(out, io.StringIO) else ""
+
+
+def save_blif(netlist: Netlist, path: str) -> None:
+    """Write a netlist to a BLIF file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_blif(netlist, handle)

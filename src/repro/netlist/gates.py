@@ -1,0 +1,162 @@
+"""Gate operators: Boolean semantics in three evaluation domains.
+
+Every combinational cell in the library computes one of the operators
+defined here.  Each operator knows how to evaluate itself
+
+- on Python ints/bools (single pattern),
+- on numpy boolean arrays (batch simulation), and
+- on decision-diagram nodes (symbolic model construction),
+
+so the logic simulator, the power simulator and the ADD model builder all
+share one definition of gate semantics and cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.dd.manager import DDManager
+from repro.errors import NetlistError
+
+
+class GateOp(Enum):
+    """Supported combinational operators.
+
+    ``AND``/``OR``/``NAND``/``NOR``/``XOR``/``XNOR`` accept two or more
+    inputs; ``BUF``/``INV`` exactly one; ``MUX`` exactly three, ordered
+    ``(select, when0, when1)``; ``CONST0``/``CONST1`` none.
+    """
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    INV = "inv"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"
+
+
+#: Operators whose arity is fixed by definition; value is the arity.
+_FIXED_ARITY = {
+    GateOp.CONST0: 0,
+    GateOp.CONST1: 0,
+    GateOp.BUF: 1,
+    GateOp.INV: 1,
+    GateOp.MUX: 3,
+}
+
+#: Minimum arity for the associative operators.
+_MIN_ARITY = 2
+
+
+def check_arity(op: GateOp, num_inputs: int) -> None:
+    """Raise :class:`NetlistError` if ``num_inputs`` is invalid for ``op``."""
+    fixed = _FIXED_ARITY.get(op)
+    if fixed is not None:
+        if num_inputs != fixed:
+            raise NetlistError(
+                f"{op.value} requires exactly {fixed} inputs, got {num_inputs}"
+            )
+    elif num_inputs < _MIN_ARITY:
+        raise NetlistError(
+            f"{op.value} requires at least {_MIN_ARITY} inputs, got {num_inputs}"
+        )
+
+
+def eval_python(op: GateOp, inputs: Sequence[int]) -> int:
+    """Evaluate one pattern; inputs and result are 0/1 ints."""
+    check_arity(op, len(inputs))
+    if op is GateOp.CONST0:
+        return 0
+    if op is GateOp.CONST1:
+        return 1
+    if op is GateOp.BUF:
+        return int(bool(inputs[0]))
+    if op is GateOp.INV:
+        return int(not inputs[0])
+    if op is GateOp.AND:
+        return int(all(inputs))
+    if op is GateOp.NAND:
+        return int(not all(inputs))
+    if op is GateOp.OR:
+        return int(any(inputs))
+    if op is GateOp.NOR:
+        return int(not any(inputs))
+    if op in (GateOp.XOR, GateOp.XNOR):
+        parity = sum(1 for bit in inputs if bit) % 2
+        return parity if op is GateOp.XOR else 1 - parity
+    if op is GateOp.MUX:
+        select, when0, when1 = inputs
+        return int(bool(when1 if select else when0))
+    raise NetlistError(f"unhandled operator {op}")  # pragma: no cover
+
+
+def eval_numpy(op: GateOp, inputs: Sequence[np.ndarray], num_patterns: int) -> np.ndarray:
+    """Evaluate a batch of patterns; inputs and result are boolean arrays."""
+    check_arity(op, len(inputs))
+    if op is GateOp.CONST0:
+        return np.zeros(num_patterns, dtype=bool)
+    if op is GateOp.CONST1:
+        return np.ones(num_patterns, dtype=bool)
+    if op is GateOp.BUF:
+        return inputs[0].copy()
+    if op is GateOp.INV:
+        return ~inputs[0]
+    if op in (GateOp.AND, GateOp.NAND):
+        acc = inputs[0] & inputs[1]
+        for arr in inputs[2:]:
+            acc = acc & arr
+        return ~acc if op is GateOp.NAND else acc
+    if op in (GateOp.OR, GateOp.NOR):
+        acc = inputs[0] | inputs[1]
+        for arr in inputs[2:]:
+            acc = acc | arr
+        return ~acc if op is GateOp.NOR else acc
+    if op in (GateOp.XOR, GateOp.XNOR):
+        acc = inputs[0] ^ inputs[1]
+        for arr in inputs[2:]:
+            acc = acc ^ arr
+        return ~acc if op is GateOp.XNOR else acc
+    if op is GateOp.MUX:
+        select, when0, when1 = inputs
+        return np.where(select, when1, when0)
+    raise NetlistError(f"unhandled operator {op}")  # pragma: no cover
+
+
+def eval_symbolic(op: GateOp, manager: DDManager, inputs: Sequence[int]) -> int:
+    """Evaluate on BDD node ids; returns the output function's node id."""
+    check_arity(op, len(inputs))
+    if op is GateOp.CONST0:
+        return manager.zero
+    if op is GateOp.CONST1:
+        return manager.one
+    if op is GateOp.BUF:
+        return inputs[0]
+    if op is GateOp.INV:
+        return manager.bdd_not(inputs[0])
+    if op in (GateOp.AND, GateOp.NAND):
+        acc = inputs[0]
+        for node in inputs[1:]:
+            acc = manager.bdd_and(acc, node)
+        return manager.bdd_not(acc) if op is GateOp.NAND else acc
+    if op in (GateOp.OR, GateOp.NOR):
+        acc = inputs[0]
+        for node in inputs[1:]:
+            acc = manager.bdd_or(acc, node)
+        return manager.bdd_not(acc) if op is GateOp.NOR else acc
+    if op in (GateOp.XOR, GateOp.XNOR):
+        acc = inputs[0]
+        for node in inputs[1:]:
+            acc = manager.bdd_xor(acc, node)
+        return manager.bdd_not(acc) if op is GateOp.XNOR else acc
+    if op is GateOp.MUX:
+        select, when0, when1 = inputs
+        return manager.ite(select, when1, when0)
+    raise NetlistError(f"unhandled operator {op}")  # pragma: no cover

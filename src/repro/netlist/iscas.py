@@ -1,0 +1,197 @@
+"""Reader for the ISCAS-85 ``.isc`` netlist format.
+
+The ISCAS-85 combinational benchmarks (C432 ... C6288 — the paper names
+C6288 as the hard case for ADD sizes) are distributed in a line-oriented
+format: each signal is declared with an address, a name, a gate type, its
+fanout/fanin counts and a fault list, followed by a line of fanin
+addresses; heavily loaded signals additionally get explicit ``from``
+branch lines naming their stem.
+
+This reader maps those declarations onto the gate library: ``inpt``
+becomes a primary input, ``from`` branches collapse into their stem net,
+and signals with zero declared fanout become primary outputs (the
+convention the suite uses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.gates import GateOp
+from repro.netlist.library import DEFAULT_OUTPUT_LOAD_FF, Library, TEST_LIBRARY
+from repro.netlist.netlist import Netlist
+
+_OP_BY_TYPE = {
+    "and": GateOp.AND,
+    "nand": GateOp.NAND,
+    "or": GateOp.OR,
+    "nor": GateOp.NOR,
+    "xor": GateOp.XOR,
+    "xnor": GateOp.XNOR,
+    "not": GateOp.INV,
+    "buff": GateOp.BUF,
+    "buf": GateOp.BUF,
+}
+
+
+def parse_iscas(
+    text: str,
+    name: str = "iscas_circuit",
+    library: Library = TEST_LIBRARY,
+    output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+) -> Netlist:
+    """Parse ISCAS-85 text into a mapped :class:`Netlist`."""
+    lines = text.splitlines()
+    # First pass: collect declarations.
+    declarations: Dict[int, dict] = {}
+    order: List[int] = []
+    index = 0
+    while index < len(lines):
+        line = lines[index].split("*", 1)[0].rstrip()
+        index += 1
+        if not line.strip():
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            raise ParseError(f"malformed declaration {line!r}", index)
+        try:
+            address = int(parts[0])
+        except ValueError:
+            raise ParseError(f"bad signal address in {line!r}", index) from None
+        signal_name, kind = parts[1], parts[2].lower()
+        if kind == "from":
+            if len(parts) < 4:
+                raise ParseError(f"'from' branch needs a stem: {line!r}", index)
+            declarations[address] = {
+                "name": signal_name,
+                "kind": "from",
+                "stem": parts[3],
+            }
+            order.append(address)
+            continue
+        if kind == "inpt":
+            if len(parts) < 5:
+                raise ParseError(f"malformed input declaration {line!r}", index)
+            declarations[address] = {
+                "name": signal_name,
+                "kind": "inpt",
+                "fanout": int(parts[3]),
+            }
+            order.append(address)
+            continue
+        if kind not in _OP_BY_TYPE:
+            raise ParseError(f"unknown gate type {kind!r}", index)
+        if len(parts) < 5:
+            raise ParseError(f"malformed gate declaration {line!r}", index)
+        fanout, fanin = int(parts[3]), int(parts[4])
+        if fanin < 1:
+            raise ParseError(f"gate {signal_name!r} declares no fanins", index)
+        # The next non-empty line carries the fanin addresses.
+        while index < len(lines) and not lines[index].split("*", 1)[0].strip():
+            index += 1
+        if index >= len(lines):
+            raise ParseError(f"missing fanin list for {signal_name!r}", index)
+        fanin_line = lines[index].split("*", 1)[0]
+        index += 1
+        try:
+            fanins = [int(tok) for tok in fanin_line.split()]
+        except ValueError:
+            raise ParseError(
+                f"bad fanin list for {signal_name!r}: {fanin_line!r}", index
+            ) from None
+        if len(fanins) != fanin:
+            raise ParseError(
+                f"gate {signal_name!r} declares {fanin} fanins but lists "
+                f"{len(fanins)}",
+                index,
+            )
+        declarations[address] = {
+            "name": signal_name,
+            "kind": kind,
+            "fanout": fanout,
+            "fanins": fanins,
+        }
+        order.append(address)
+
+    if not declarations:
+        raise ParseError("empty ISCAS description")
+
+    # Resolve 'from' branches to their stem addresses (branches are pure
+    # fanout bookkeeping; electrically they are the same net).
+    name_to_address = {}
+    for address in order:
+        declaration = declarations[address]
+        if declaration["kind"] != "from":
+            name_to_address[declaration["name"]] = address
+
+    def resolve(address: int) -> int:
+        seen = set()
+        while declarations[address]["kind"] == "from":
+            if address in seen:
+                raise ParseError("cyclic 'from' branch chain")
+            seen.add(address)
+            stem_name = declarations[address]["stem"]
+            try:
+                address = name_to_address[stem_name]
+            except KeyError:
+                raise ParseError(
+                    f"'from' branch references unknown stem {stem_name!r}"
+                ) from None
+        return address
+
+    # Second pass: build the netlist.
+    netlist = Netlist(name, library, output_load_fF)
+    net_of: Dict[int, str] = {}
+    for address in order:
+        declaration = declarations[address]
+        if declaration["kind"] == "inpt":
+            net = declaration["name"]
+            netlist.add_input(net)
+            net_of[address] = net
+    for address in order:
+        declaration = declarations[address]
+        if declaration["kind"] in ("inpt", "from"):
+            continue
+        op = _OP_BY_TYPE[declaration["kind"]]
+        sources = []
+        for fanin_address in declaration["fanins"]:
+            if fanin_address not in declarations:
+                raise ParseError(
+                    f"gate {declaration['name']!r} references unknown "
+                    f"address {fanin_address}"
+                )
+            sources.append(net_of[resolve(fanin_address)])
+        if op in (GateOp.BUF, GateOp.INV) and len(sources) != 1:
+            raise ParseError(
+                f"gate {declaration['name']!r}: {op.value} needs one fanin"
+            )
+        cell = library.cell_for_op(op, len(sources))
+        net = declaration["name"]
+        netlist.add_gate(cell, sources, net)
+        net_of[address] = net
+    # Outputs: signals declared with zero fanout.
+    for address in order:
+        declaration = declarations[address]
+        if declaration["kind"] in ("from",):
+            continue
+        if declaration.get("fanout", 1) == 0:
+            netlist.add_output(net_of[address])
+    if not netlist.outputs:
+        raise ParseError("no zero-fanout signals; cannot infer outputs")
+    netlist.topological_order()
+    return netlist
+
+
+def read_iscas(
+    path: str,
+    name: str | None = None,
+    library: Library = TEST_LIBRARY,
+    output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+) -> Netlist:
+    """Read and parse an ISCAS-85 ``.isc`` file."""
+    if name is None:
+        base = path.rsplit("/", 1)[-1]
+        name = base.rsplit(".", 1)[0]
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_iscas(handle.read(), name, library, output_load_fF)

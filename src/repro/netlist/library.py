@@ -1,0 +1,134 @@
+"""Technology library: cells with per-input capacitances.
+
+The paper maps the MCNC circuits "on a test gate library" and uses the
+input capacitances of fanout gates as the load capacitance of the driving
+gate.  :data:`TEST_LIBRARY` plays the role of that test library; its
+capacitance values are representative of a mid-1990s standard-cell process
+(a few tens of femtofarads per pin) — absolute values only scale the
+energy axis, never the relative accuracies the experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateOp, check_arity
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    Attributes
+    ----------
+    name:
+        Unique cell name, e.g. ``"NAND2"``.
+    op:
+        The Boolean operator the cell computes.
+    num_inputs:
+        Pin count; validated against the operator's arity rules.
+    input_capacitance_fF:
+        Capacitance of each input pin in femtofarads.  A single float
+        applies to all pins; a tuple gives per-pin values (ordered like
+        the gate's input list).
+    area:
+        Relative cell area (arbitrary units), for reporting only.
+    """
+
+    name: str
+    op: GateOp
+    num_inputs: int
+    input_capacitance_fF: float | Tuple[float, ...] = 8.0
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_arity(self.op, self.num_inputs)
+        caps = self.input_capacitance_fF
+        if isinstance(caps, tuple):
+            if len(caps) != self.num_inputs:
+                raise NetlistError(
+                    f"cell {self.name}: {len(caps)} pin capacitances for "
+                    f"{self.num_inputs} inputs"
+                )
+            if any(c < 0 for c in caps):
+                raise NetlistError(f"cell {self.name}: negative pin capacitance")
+        elif caps < 0:
+            raise NetlistError(f"cell {self.name}: negative pin capacitance")
+
+    def pin_capacitance(self, pin: int) -> float:
+        """Capacitance of input pin ``pin`` in fF."""
+        if not 0 <= pin < self.num_inputs:
+            raise NetlistError(f"cell {self.name}: pin {pin} out of range")
+        caps = self.input_capacitance_fF
+        return caps[pin] if isinstance(caps, tuple) else caps
+
+    @property
+    def total_input_capacitance(self) -> float:
+        """Sum of all pin capacitances in fF."""
+        return sum(self.pin_capacitance(i) for i in range(self.num_inputs))
+
+
+class Library:
+    """A named collection of :class:`Cell` objects."""
+
+    def __init__(self, name: str, cells: Sequence[Cell]):
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise NetlistError(f"duplicate cell name {cell.name!r}")
+            self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(
+                f"library {self.name!r} has no cell {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell_for_op(self, op: GateOp, num_inputs: int) -> Cell:
+        """Find a cell implementing ``op`` with the given pin count."""
+        for cell in self._cells.values():
+            if cell.op is op and cell.num_inputs == num_inputs:
+                return cell
+        raise NetlistError(
+            f"library {self.name!r} has no {num_inputs}-input {op.value} cell"
+        )
+
+
+#: Default test library used throughout the experiments.  Capacitances in
+#: fF; inverting CMOS gates are cheap, XOR/MUX pay for their pass-gate or
+#: dual-stage structure with higher pin loads.
+TEST_LIBRARY = Library(
+    "test_lib",
+    [
+        Cell("TIE0", GateOp.CONST0, 0, input_capacitance_fF=(), area=0.25),
+        Cell("TIE1", GateOp.CONST1, 0, input_capacitance_fF=(), area=0.25),
+        Cell("BUF1", GateOp.BUF, 1, input_capacitance_fF=6.0, area=1.0),
+        Cell("INV1", GateOp.INV, 1, input_capacitance_fF=5.0, area=0.5),
+        Cell("AND2", GateOp.AND, 2, input_capacitance_fF=9.0, area=1.5),
+        Cell("OR2", GateOp.OR, 2, input_capacitance_fF=9.0, area=1.5),
+        Cell("NAND2", GateOp.NAND, 2, input_capacitance_fF=7.0, area=1.0),
+        Cell("NOR2", GateOp.NOR, 2, input_capacitance_fF=8.0, area=1.0),
+        Cell("XOR2", GateOp.XOR, 2, input_capacitance_fF=13.0, area=2.5),
+        Cell("XNOR2", GateOp.XNOR, 2, input_capacitance_fF=13.0, area=2.5),
+        Cell("MUX2", GateOp.MUX, 3, input_capacitance_fF=(8.0, 10.0, 10.0), area=2.5),
+    ],
+)
+
+#: Load seen by a primary-output net, in fF (models the pad / register it
+#: drives).  Without it, gates feeding only primary outputs would have zero
+#: load and contribute no structural power at all.
+DEFAULT_OUTPUT_LOAD_FF = 15.0

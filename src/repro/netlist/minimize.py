@@ -1,0 +1,146 @@
+"""Two-level SOP minimisation (a light Quine-McCluskey / espresso step).
+
+MCNC benchmark flows minimise each node's cover before technology
+mapping; this module provides that step for the BLIF front-end.  It is a
+cube-level minimiser: iterated distance-1 merging (the Quine-McCluskey
+combining rule generalised to cubes), single-cube containment removal,
+and a greedy irredundant-cover pass.  Exact minimality is not the goal —
+the output is a functionally identical cover with (usually far) fewer
+literals, which decomposes into fewer gates.
+
+All operations treat a cube as a string over ``{'0', '1', '-'}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.sop import Cover
+
+
+def cube_contains(outer: str, inner: str) -> bool:
+    """True if every minterm of ``inner`` lies inside ``outer``."""
+    for o, i in zip(outer, inner):
+        if o != "-" and o != i:
+            return False
+    return True
+
+
+def cubes_intersect(left: str, right: str) -> bool:
+    """True if the two cubes share at least one minterm."""
+    for l, r in zip(left, right):
+        if l != "-" and r != "-" and l != r:
+            return False
+    return True
+
+
+def merge_distance_one(left: str, right: str) -> Optional[str]:
+    """Combine two cubes differing in exactly one *specified* position.
+
+    ``10-0`` and ``11-0`` merge to ``1--0``; cubes that differ in their
+    don't-care pattern or in more than one care position do not merge.
+    """
+    if len(left) != len(right):
+        raise NetlistError("cubes must have equal width")
+    difference = -1
+    for k, (l, r) in enumerate(zip(left, right)):
+        if l == r:
+            continue
+        if l == "-" or r == "-" or difference >= 0:
+            return None
+        difference = k
+    if difference < 0:
+        return None  # identical cubes
+    return left[:difference] + "-" + left[difference + 1 :]
+
+
+def remove_contained(cubes: Sequence[str]) -> List[str]:
+    """Drop cubes entirely covered by another single cube."""
+    kept: List[str] = []
+    # Wider cubes (more don't-cares) first, so they absorb narrower ones.
+    for cube in sorted(set(cubes), key=lambda c: -c.count("-")):
+        if not any(cube_contains(existing, cube) for existing in kept):
+            kept.append(cube)
+    return kept
+
+
+def expand_cubes(cubes: Sequence[str]) -> List[str]:
+    """Iterate distance-1 merging to a fixed point (prime-ish cubes)."""
+    current: Set[str] = set(cubes)
+    while True:
+        merged: Set[str] = set()
+        used: Set[str] = set()
+        items = sorted(current)
+        for i, left in enumerate(items):
+            for right in items[i + 1 :]:
+                combined = merge_distance_one(left, right)
+                if combined is not None:
+                    merged.add(combined)
+                    used.add(left)
+                    used.add(right)
+        if not merged:
+            return remove_contained(sorted(current))
+        # Keep unmerged cubes; merged pairs are replaced by their union.
+        current = (current - used) | merged
+
+
+def _cube_minterm_count(cube: str) -> int:
+    return 2 ** cube.count("-")
+
+
+def irredundant(cubes: Sequence[str], width: int) -> List[str]:
+    """Greedy irredundant cover: drop cubes whose minterms are covered.
+
+    Exact for the cover sizes BLIF nodes have (set-cover greedy over
+    explicit minterms); refuses covers too wide to enumerate.
+    """
+    if width > 16:
+        # Enumeration would explode; containment removal already ran.
+        return list(cubes)
+
+    def minterms(cube: str) -> Set[int]:
+        positions = [k for k, c in enumerate(cube) if c == "-"]
+        base = int(cube.replace("-", "0"), 2) if width else 0
+        result = set()
+        for mask in range(2 ** len(positions)):
+            value = base
+            for bit, position in enumerate(positions):
+                if (mask >> bit) & 1:
+                    value |= 1 << (width - 1 - position)
+            result.add(value)
+        return result
+
+    cube_terms = {cube: minterms(cube) for cube in set(cubes)}
+    target: Set[int] = set()
+    for terms in cube_terms.values():
+        target |= terms
+    chosen: List[str] = []
+    covered: Set[int] = set()
+    remaining = dict(cube_terms)
+    while covered != target:
+        best_cube = max(
+            remaining,
+            key=lambda c: (len(remaining[c] - covered), c.count("-"), c),
+        )
+        gain = remaining[best_cube] - covered
+        if not gain:
+            break
+        chosen.append(best_cube)
+        covered |= gain
+        del remaining[best_cube]
+    return sorted(chosen)
+
+
+def minimize_cover(cover: Cover) -> Cover:
+    """Functionally identical cover with merged, irredundant cubes."""
+    if not cover.cubes:
+        return cover
+    expanded = expand_cubes(cover.cubes)
+    reduced = irredundant(expanded, cover.num_inputs)
+    return Cover(cover.num_inputs, tuple(reduced), cover.covers_onset)
+
+
+def literal_count(cubes: Iterable[str]) -> int:
+    """Total specified literals across cubes (the cost being minimised)."""
+    return sum(len(c) - c.count("-") for c in cubes)

@@ -1,0 +1,313 @@
+"""Gate-level netlist: the paper's *golden model*.
+
+A :class:`Netlist` is a combinational network of library cells connected
+by named nets.  It is the abstraction level at which the paper defines
+structural power: zero propagation delays, back-annotated capacitances,
+dynamic charging of rising nodes as the only modeled phenomenon.
+
+The load capacitance of a gate ``g_j`` (the ``C_j`` of Eq. 2-4) is derived
+exactly as in the paper's experimental setup: the sum of the input-pin
+capacitances of its fanout gates, plus a fixed pad/register load if its
+output net is a primary output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateOp, eval_python
+from repro.netlist.library import (
+    DEFAULT_OUTPUT_LOAD_FF,
+    Cell,
+    Library,
+    TEST_LIBRARY,
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One cell instance: ``output = cell.op(inputs)``."""
+
+    name: str
+    cell: Cell
+    inputs: Tuple[str, ...]
+    output: str
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics of a netlist (the ``n`` / ``N`` of Table 1)."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    depth: int
+    total_load_capacitance_fF: float
+
+
+class Netlist:
+    """A combinational gate-level circuit.
+
+    Build incrementally with :meth:`add_input`, :meth:`add_gate` and
+    :meth:`add_output`; gates may reference nets defined later, cycles are
+    rejected when a topological order is first requested.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        library: Library = TEST_LIBRARY,
+        output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+    ):
+        self.name = name
+        self.library = library
+        self.output_load_fF = output_load_fF
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: List[Gate] = []
+        self._driver: Dict[str, Gate] = {}
+        self._input_set: set[str] = set()
+        self._gate_names: set[str] = set()
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net; returns its name."""
+        if name in self._input_set:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        if name in self._driver:
+            raise NetlistError(f"net {name!r} is already driven by a gate")
+        self.inputs.append(name)
+        self._input_set.add(name)
+        self._topo_cache = None
+        return name
+
+    def add_gate(
+        self,
+        cell: str | Cell,
+        inputs: Sequence[str],
+        output: str,
+        name: str | None = None,
+    ) -> str:
+        """Instantiate a cell; returns the output net name.
+
+        ``cell`` may be a cell name looked up in the netlist's library or
+        a :class:`Cell` object directly.
+        """
+        resolved = self.library[cell] if isinstance(cell, str) else cell
+        if len(inputs) != resolved.num_inputs:
+            raise NetlistError(
+                f"cell {resolved.name} expects {resolved.num_inputs} inputs, "
+                f"got {len(inputs)}"
+            )
+        if output in self._driver:
+            raise NetlistError(f"net {output!r} already has a driver")
+        if output in self._input_set:
+            raise NetlistError(f"net {output!r} is a primary input")
+        if name is not None:
+            gate_name = name
+            if gate_name in self._gate_names:
+                raise NetlistError(f"duplicate gate name {gate_name!r}")
+        else:
+            # Auto names must dodge explicitly supplied ones.
+            counter = len(self.gates)
+            gate_name = f"g{counter}"
+            while gate_name in self._gate_names:
+                counter += 1
+                gate_name = f"g{counter}"
+        gate = Gate(gate_name, resolved, tuple(inputs), output)
+        self.gates.append(gate)
+        self._gate_names.add(gate_name)
+        self._driver[output] = gate
+        self._topo_cache = None
+        return output
+
+    def add_output(self, net: str) -> None:
+        """Mark a net as a primary output."""
+        if net in self.outputs:
+            raise NetlistError(f"net {net!r} is already a primary output")
+        self.outputs.append(net)
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Primary-input count (the ``n`` of Table 1)."""
+        return len(self.inputs)
+
+    @property
+    def num_gates(self) -> int:
+        """Gate count (the ``N`` of Table 1)."""
+        return len(self.gates)
+
+    def driver(self, net: str) -> Optional[Gate]:
+        """Gate driving ``net``, or None for primary inputs."""
+        return self._driver.get(net)
+
+    def is_primary_input(self, net: str) -> bool:
+        """True if ``net`` is a declared primary input."""
+        return net in self._input_set
+
+    def has_gate_name(self, name: str) -> bool:
+        """True if a gate with this instance name exists."""
+        return name in self._gate_names
+
+    def fanout_pins(self, net: str) -> List[Tuple[Gate, int]]:
+        """All (gate, pin index) pairs where ``net`` is an input."""
+        result = []
+        for gate in self.gates:
+            for pin, source in enumerate(gate.inputs):
+                if source == net:
+                    result.append((gate, pin))
+        return result
+
+    def fanin_map(self) -> Dict[str, Tuple[str, ...]]:
+        """Net name -> names it directly depends on (for ordering heuristics)."""
+        return {gate.output: gate.inputs for gate in self.gates}
+
+    def topological_order(self) -> List[Gate]:
+        """Gates ordered so every gate follows its fanin drivers.
+
+        Raises :class:`NetlistError` on combinational cycles or undriven
+        internal nets.  The result is cached until the netlist mutates.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        remaining_deps: Dict[str, int] = {}
+        dependents: Dict[str, List[Gate]] = {}
+        for gate in self.gates:
+            internal = 0
+            for net in set(gate.inputs):
+                if net in self._input_set:
+                    continue
+                if net not in self._driver:
+                    raise NetlistError(
+                        f"gate {gate.name}: input net {net!r} has no driver "
+                        "and is not a primary input"
+                    )
+                internal += 1
+                dependents.setdefault(net, []).append(gate)
+            remaining_deps[gate.name] = internal
+        ready = [g for g in self.gates if remaining_deps[g.name] == 0]
+        order: List[Gate] = []
+        cursor = 0
+        while cursor < len(ready):
+            gate = ready[cursor]
+            cursor += 1
+            order.append(gate)
+            for dependent in dependents.get(gate.output, ()):  # one driver per net
+                remaining_deps[dependent.name] -= 1
+                if remaining_deps[dependent.name] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self.gates):
+            stuck = [g.name for g in self.gates if remaining_deps[g.name] > 0]
+            raise NetlistError(f"combinational cycle through gates {stuck[:5]}")
+        self._topo_cache = order
+        return order
+
+    def depth(self) -> int:
+        """Longest path length in gates from any input to any output."""
+        level: Dict[str, int] = {net: 0 for net in self.inputs}
+        longest = 0
+        for gate in self.topological_order():
+            gate_level = 1 + max(
+                (level.get(net, 0) for net in gate.inputs), default=0
+            )
+            level[gate.output] = gate_level
+            longest = max(longest, gate_level)
+        return longest
+
+    # ------------------------------------------------------------------
+    # Capacitance back-annotation
+    # ------------------------------------------------------------------
+    def load_capacitances(self) -> Dict[str, float]:
+        """The ``C_j`` of Eq. 2: load per gate name, in fF.
+
+        Each gate's load is the sum of its fanout pins' input capacitances;
+        primary-output nets additionally carry ``output_load_fF``.
+        """
+        loads = {gate.name: 0.0 for gate in self.gates}
+        for gate in self.gates:
+            for pin, net in enumerate(gate.inputs):
+                driving = self._driver.get(net)
+                if driving is not None:
+                    loads[driving.name] += gate.cell.pin_capacitance(pin)
+        output_counts: Dict[str, int] = {}
+        for net in self.outputs:
+            output_counts[net] = output_counts.get(net, 0) + 1
+        for net, count in output_counts.items():
+            driving = self._driver.get(net)
+            if driving is not None:
+                loads[driving.name] += self.output_load_fF * count
+        return loads
+
+    def total_load_capacitance(self) -> float:
+        """Sum of all gate loads in fF (max possible switching capacitance)."""
+        return sum(self.load_capacitances().values())
+
+    # ------------------------------------------------------------------
+    # Evaluation (single pattern; batch evaluation lives in repro.sim)
+    # ------------------------------------------------------------------
+    def evaluate(self, pattern: Mapping[str, int] | Sequence[int]) -> Dict[str, int]:
+        """Evaluate every net for one input pattern.
+
+        ``pattern`` is either a mapping from input name to 0/1 or a
+        sequence in primary-input order.  Returns values for all nets.
+        """
+        if isinstance(pattern, Mapping):
+            values: Dict[str, int] = {
+                net: int(bool(pattern[net])) for net in self.inputs
+            }
+        else:
+            if len(pattern) != self.num_inputs:
+                raise NetlistError(
+                    f"pattern length {len(pattern)} != {self.num_inputs} inputs"
+                )
+            values = {
+                net: int(bool(bit)) for net, bit in zip(self.inputs, pattern)
+            }
+        for gate in self.topological_order():
+            operands = [values[net] for net in gate.inputs]
+            values[gate.output] = eval_python(gate.cell.op, operands)
+        return values
+
+    def evaluate_outputs(
+        self, pattern: Mapping[str, int] | Sequence[int]
+    ) -> Dict[str, int]:
+        """Evaluate and return primary-output values only."""
+        values = self.evaluate(pattern)
+        return {net: values[net] for net in self.outputs}
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> NetlistStats:
+        """Summary statistics for tables and reports."""
+        return NetlistStats(
+            name=self.name,
+            num_inputs=self.num_inputs,
+            num_outputs=len(self.outputs),
+            num_gates=self.num_gates,
+            depth=self.depth() if self.gates else 0,
+            total_load_capacitance_fF=self.total_load_capacitance(),
+        )
+
+    def counts_by_cell(self) -> Dict[str, int]:
+        """Instance count per cell name."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.cell.name] = counts.get(gate.cell.name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={len(self.outputs)}, gates={self.num_gates})"
+        )

@@ -1,0 +1,96 @@
+"""Sum-of-products covers (the logic representation inside BLIF files).
+
+A :class:`Cover` is a PLA-style description of one single-output Boolean
+function: a list of cubes over the function's inputs plus the polarity of
+the covered set.  The MCNC benchmark format (BLIF) describes every logic
+node this way; :mod:`repro.netlist.blif` parses files into covers and then
+decomposes them onto the gate library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import NetlistError
+
+_VALID_CHARS = frozenset("01-")
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A single-output SOP cover.
+
+    Attributes
+    ----------
+    num_inputs:
+        Number of input variables.
+    cubes:
+        Rows of ``0`` / ``1`` / ``-`` characters, one per input, each
+        describing a product term.
+    covers_onset:
+        True if the cubes describe where the function is 1 (the usual
+        case); False if they describe the 0-set, i.e. the function is the
+        complement of the cube union.
+    """
+
+    num_inputs: int
+    cubes: Tuple[str, ...]
+    covers_onset: bool = True
+
+    def __post_init__(self) -> None:
+        for cube in self.cubes:
+            if len(cube) != self.num_inputs:
+                raise NetlistError(
+                    f"cube {cube!r} has width {len(cube)}, expected {self.num_inputs}"
+                )
+            bad = set(cube) - _VALID_CHARS
+            if bad:
+                raise NetlistError(f"cube {cube!r} has invalid characters {bad}")
+
+    @staticmethod
+    def constant(value: bool) -> "Cover":
+        """Cover of a constant function of zero inputs."""
+        return Cover(0, ("",) if value else (), covers_onset=True)
+
+    def cube_matches(self, cube: str, bits: Sequence[int]) -> bool:
+        """True if ``bits`` lies inside ``cube``."""
+        for char, bit in zip(cube, bits):
+            if char == "1" and not bit:
+                return False
+            if char == "0" and bit:
+                return False
+        return True
+
+    def evaluate(self, bits: Sequence[int]) -> int:
+        """Evaluate the cover for one input assignment."""
+        if len(bits) != self.num_inputs:
+            raise NetlistError(
+                f"assignment width {len(bits)} != {self.num_inputs} inputs"
+            )
+        covered = any(self.cube_matches(cube, bits) for cube in self.cubes)
+        return int(covered == self.covers_onset)
+
+    @property
+    def num_literals(self) -> int:
+        """Total literal count (a standard cover-size measure)."""
+        return sum(
+            sum(1 for char in cube if char != "-") for cube in self.cubes
+        )
+
+    def complement_polarity(self) -> "Cover":
+        """Same cube list interpreted with opposite polarity."""
+        return Cover(self.num_inputs, self.cubes, not self.covers_onset)
+
+
+def minterm_cover(num_inputs: int, minterms: Iterable[int]) -> Cover:
+    """Build a cover from explicit minterm indices (MSB-first variable order)."""
+    cubes: List[str] = []
+    for term in sorted(set(minterms)):
+        if not 0 <= term < 2 ** num_inputs:
+            raise NetlistError(
+                f"minterm {term} out of range for {num_inputs} inputs"
+            )
+        bits = format(term, f"0{num_inputs}b") if num_inputs else ""
+        cubes.append(bits)
+    return Cover(num_inputs, tuple(cubes))

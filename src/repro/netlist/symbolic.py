@@ -1,0 +1,77 @@
+"""Symbolic evaluation of a netlist: node-function BDDs.
+
+This computes the ``g_j(x)`` of Eq. 3-4 — the Boolean function each gate's
+output realises in terms of the primary inputs — as BDDs, by a single
+topological sweep that applies each gate's operator symbolically.
+
+Used by the ADD model builder (over the ``x_i`` variable copy, then
+renamed to ``x_f``) and by equivalence checks in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.dd.manager import DDManager
+from repro.errors import NetlistError
+from repro.netlist.gates import eval_symbolic
+from repro.netlist.netlist import Netlist
+
+
+def build_node_functions(
+    netlist: Netlist,
+    manager: DDManager,
+    input_vars: Mapping[str, int],
+) -> Dict[str, int]:
+    """BDD node id of every net's function over the primary inputs.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit to abstract.
+    manager:
+        Decision-diagram manager to build in.
+    input_vars:
+        Map from primary-input name to its DD variable index.
+
+    Returns a dict from net name (inputs included) to BDD node id.
+    """
+    missing = [name for name in netlist.inputs if name not in input_vars]
+    if missing:
+        raise NetlistError(f"no DD variable given for inputs {missing[:5]}")
+    functions: Dict[str, int] = {
+        name: manager.var(input_vars[name]) for name in netlist.inputs
+    }
+    for gate in netlist.topological_order():
+        operands = [functions[net] for net in gate.inputs]
+        functions[gate.output] = eval_symbolic(gate.cell.op, manager, operands)
+    return functions
+
+
+def build_output_functions(
+    netlist: Netlist,
+    manager: DDManager,
+    input_vars: Mapping[str, int],
+) -> Dict[str, int]:
+    """BDDs of the primary outputs only (functional signature of the macro)."""
+    functions = build_node_functions(netlist, manager, input_vars)
+    return {net: functions[net] for net in netlist.outputs}
+
+
+def check_equivalent(left: Netlist, right: Netlist) -> bool:
+    """True if two netlists compute identical primary-output functions.
+
+    Both must have the same primary-input and output names.  Comparison is
+    exact (canonical BDDs), so this is a complete combinational
+    equivalence check.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise NetlistError("netlists have different primary inputs")
+    if list(left.outputs) != list(right.outputs):
+        raise NetlistError("netlists have different primary outputs")
+    names = sorted(left.inputs)
+    manager = DDManager(len(names), names)
+    variables = {name: index for index, name in enumerate(names)}
+    left_funcs = build_output_functions(left, manager, variables)
+    right_funcs = build_output_functions(right, manager, variables)
+    return all(left_funcs[net] == right_funcs[net] for net in left.outputs)

@@ -1,0 +1,233 @@
+"""Netlist construction helpers and naive technology decomposition.
+
+:class:`NetlistBuilder` is the programmatic way to assemble mapped
+netlists: it instantiates library cells, auto-names nets, and performs
+*structural hashing* — asking twice for ``AND(a, b)`` returns the same net
+instead of duplicating the gate, like the hash-consing step of a
+technology mapper.
+
+The tree builders (:meth:`NetlistBuilder.and_tree` etc.) produce balanced
+two-input decompositions of wide operators, which is how the benchmark
+generators and the BLIF front-end "map onto the test gate library" as the
+paper's experimental setup describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateOp
+from repro.netlist.library import DEFAULT_OUTPUT_LOAD_FF, Library, TEST_LIBRARY
+from repro.netlist.netlist import Netlist
+
+
+class NetlistBuilder:
+    """Incremental construction of a mapped :class:`Netlist`.
+
+    All gate methods take *net names* and return the output net name, so
+    expressions compose naturally::
+
+        b = NetlistBuilder("half_adder")
+        a, c = b.input("a"), b.input("c")
+        b.output("sum", b.xor2(a, c))
+        b.output("carry", b.and2(a, c))
+        netlist = b.build()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        library: Library = TEST_LIBRARY,
+        output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+        share_structure: bool = True,
+    ):
+        self.netlist = Netlist(name, library, output_load_fF)
+        self.share_structure = share_structure
+        self._next_net = 0
+        self._structure: Dict[Tuple, str] = {}
+        self._const_nets: Dict[bool, str] = {}
+        self._reserved: set[str] = set()
+
+    def reserve_names(self, names) -> None:
+        """Declare net names :meth:`fresh_net` must never produce.
+
+        File front-ends (BLIF/Verilog) reserve every name appearing in
+        the source so generated internal nets cannot collide with nets
+        defined later in the file.
+        """
+        self._reserved.update(names)
+
+    # ------------------------------------------------------------------
+    # Net plumbing
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        """Declare a primary input."""
+        return self.netlist.add_input(name)
+
+    def inputs(self, names: Sequence[str]) -> List[str]:
+        """Declare several primary inputs; returns their names."""
+        return [self.input(name) for name in names]
+
+    def bus(self, prefix: str, width: int) -> List[str]:
+        """Declare ``width`` inputs named ``prefix0 .. prefix{width-1}``."""
+        return self.inputs([f"{prefix}{i}" for i in range(width)])
+
+    def output(self, name: str, net: str) -> str:
+        """Expose ``net`` as primary output ``name`` (buffering if needed).
+
+        If the net name already matches, it is marked directly; otherwise
+        a BUF is inserted so the output carries the requested name.
+        """
+        if net != name:
+            net = self.gate(GateOp.BUF, [net], output=name)
+        self.netlist.add_output(net)
+        return net
+
+    def fresh_net(self, hint: str = "n") -> str:
+        """Allocate a unique internal net name (avoiding reserved names)."""
+        while True:
+            self._next_net += 1
+            candidate = f"{hint}_{self._next_net}"
+            if candidate not in self._reserved:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Gate instantiation
+    # ------------------------------------------------------------------
+    def gate(self, op: GateOp, inputs: Sequence[str], output: str | None = None) -> str:
+        """Instantiate the library cell for ``op``; returns the output net.
+
+        With structural sharing on (default), a commutative gate with the
+        same operand set reuses the existing instance — unless a specific
+        ``output`` name is requested.
+        """
+        cell = self.netlist.library.cell_for_op(op, len(inputs))
+        key = self._structure_key(op, inputs)
+        if output is None and self.share_structure:
+            existing = self._structure.get(key)
+            if existing is not None:
+                return existing
+        net = output if output is not None else self.fresh_net(op.value)
+        self.netlist.add_gate(cell, inputs, net)
+        if self.share_structure and key not in self._structure:
+            self._structure[key] = net
+        return net
+
+    def _structure_key(self, op: GateOp, inputs: Sequence[str]) -> Tuple:
+        if op in (GateOp.AND, GateOp.OR, GateOp.NAND, GateOp.NOR, GateOp.XOR, GateOp.XNOR):
+            return (op, tuple(sorted(inputs)))
+        return (op, tuple(inputs))
+
+    def const(self, value: bool) -> str:
+        """Net tied to constant 0 or 1."""
+        key = bool(value)
+        if key not in self._const_nets:
+            op = GateOp.CONST1 if key else GateOp.CONST0
+            self._const_nets[key] = self.gate(op, [])
+        return self._const_nets[key]
+
+    def buf(self, a: str) -> str:
+        """Buffer."""
+        return self.gate(GateOp.BUF, [a])
+
+    def inv(self, a: str) -> str:
+        """Inverter."""
+        return self.gate(GateOp.INV, [a])
+
+    def and2(self, a: str, b: str) -> str:
+        """2-input AND."""
+        return self.gate(GateOp.AND, [a, b])
+
+    def or2(self, a: str, b: str) -> str:
+        """2-input OR."""
+        return self.gate(GateOp.OR, [a, b])
+
+    def nand2(self, a: str, b: str) -> str:
+        """2-input NAND."""
+        return self.gate(GateOp.NAND, [a, b])
+
+    def nor2(self, a: str, b: str) -> str:
+        """2-input NOR."""
+        return self.gate(GateOp.NOR, [a, b])
+
+    def xor2(self, a: str, b: str) -> str:
+        """2-input XOR."""
+        return self.gate(GateOp.XOR, [a, b])
+
+    def xnor2(self, a: str, b: str) -> str:
+        """2-input XNOR."""
+        return self.gate(GateOp.XNOR, [a, b])
+
+    def mux(self, select: str, when0: str, when1: str) -> str:
+        """2:1 multiplexer: ``select ? when1 : when0``."""
+        return self.gate(GateOp.MUX, [select, when0, when1])
+
+    # ------------------------------------------------------------------
+    # Balanced trees of associative operators
+    # ------------------------------------------------------------------
+    def _tree(self, op: GateOp, nets: Sequence[str]) -> str:
+        if not nets:
+            raise NetlistError(f"{op.value} tree needs at least one operand")
+        layer = list(nets)
+        while len(layer) > 1:
+            next_layer = []
+            for i in range(0, len(layer) - 1, 2):
+                next_layer.append(self.gate(op, [layer[i], layer[i + 1]]))
+            if len(layer) % 2:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        return layer[0]
+
+    def and_tree(self, nets: Sequence[str]) -> str:
+        """Balanced AND of any number of nets."""
+        return self._tree(GateOp.AND, nets)
+
+    def or_tree(self, nets: Sequence[str]) -> str:
+        """Balanced OR of any number of nets."""
+        return self._tree(GateOp.OR, nets)
+
+    def xor_tree(self, nets: Sequence[str]) -> str:
+        """Balanced XOR (parity) of any number of nets."""
+        return self._tree(GateOp.XOR, nets)
+
+    # ------------------------------------------------------------------
+    # SOP decomposition (used by the BLIF front-end)
+    # ------------------------------------------------------------------
+    def sop(self, inputs: Sequence[str], cubes: Sequence[str], invert: bool = False) -> str:
+        """Instantiate a sum-of-products over ``inputs``.
+
+        ``cubes`` are BLIF-style rows (characters ``0``, ``1``, ``-`` per
+        input); the result is OR of ANDs, optionally inverted (for
+        covers of the OFF-set).  An empty cube list yields constant 0.
+        """
+        if not cubes:
+            result = self.const(False)
+            return self.inv(result) if invert else result
+        products = []
+        for cube in cubes:
+            if len(cube) != len(inputs):
+                raise NetlistError(
+                    f"cube {cube!r} width {len(cube)} != {len(inputs)} inputs"
+                )
+            literals = []
+            for net, char in zip(inputs, cube):
+                if char == "1":
+                    literals.append(net)
+                elif char == "0":
+                    literals.append(self.inv(net))
+                elif char != "-":
+                    raise NetlistError(f"invalid cube character {char!r}")
+            if not literals:
+                # A cube with no literals covers everything: constant 1.
+                result = self.const(True)
+                return self.inv(result) if invert else result
+            products.append(self.and_tree(literals))
+        result = self.or_tree(products)
+        return self.inv(result) if invert else result
+
+    # ------------------------------------------------------------------
+    def build(self) -> Netlist:
+        """Validate and return the constructed netlist."""
+        self.netlist.topological_order()  # raises on cycles / undriven nets
+        return self.netlist

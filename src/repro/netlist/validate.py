@@ -1,0 +1,76 @@
+"""Netlist sanity checks beyond what construction enforces.
+
+:class:`Netlist` already rejects duplicate drivers, bad arities and
+cycles.  The checks here catch the *quiet* problems — dangling logic,
+undriven outputs, inputs that never feed anything — which usually indicate
+a bug in a generator or a mangled BLIF file rather than an invalid data
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`check_netlist`.
+
+    ``errors`` make the netlist unusable as a power-model golden model;
+    ``warnings`` are suspicious but legal (e.g. an unused primary input).
+    """
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True if no errors were found (warnings allowed)."""
+        return not self.errors
+
+
+def check_netlist(netlist: Netlist) -> ValidationReport:
+    """Run all structural checks; never raises."""
+    report = ValidationReport()
+    try:
+        netlist.topological_order()
+    except NetlistError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    driven = set(netlist.inputs) | {gate.output for gate in netlist.gates}
+    for net in netlist.outputs:
+        if net not in driven:
+            report.errors.append(f"primary output {net!r} is undriven")
+
+    used = set(netlist.outputs)
+    for gate in netlist.gates:
+        used.update(gate.inputs)
+    for name in netlist.inputs:
+        if name not in used:
+            report.warnings.append(f"primary input {name!r} drives nothing")
+    for gate in netlist.gates:
+        if gate.output not in used:
+            report.warnings.append(
+                f"gate {gate.name} output {gate.output!r} is dangling"
+            )
+
+    if not netlist.outputs:
+        report.errors.append("netlist has no primary outputs")
+    if not netlist.inputs:
+        report.errors.append("netlist has no primary inputs")
+    return report
+
+
+def assert_valid(netlist: Netlist) -> None:
+    """Raise :class:`NetlistError` if :func:`check_netlist` finds errors."""
+    report = check_netlist(netlist)
+    if not report.ok:
+        raise NetlistError(
+            f"netlist {netlist.name!r} failed validation: "
+            + "; ".join(report.errors)
+        )

@@ -1,0 +1,207 @@
+"""Structural Verilog writer and reader (gate-level subset).
+
+An interoperability extension beyond the paper: netlists can be exported
+for inspection in standard EDA tools and re-imported.  The supported
+subset is exactly what the writer emits — Verilog gate primitives
+(``and``, ``or``, ``nand``, ``nor``, ``xor``, ``xnor``, ``not``, ``buf``)
+plus conditional ``assign`` for multiplexers and constant assigns.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, List, TextIO
+
+from repro.errors import ParseError
+from repro.netlist.gates import GateOp
+from repro.netlist.library import DEFAULT_OUTPUT_LOAD_FF, Library, TEST_LIBRARY
+from repro.netlist.netlist import Netlist
+
+_PRIMITIVE_BY_OP = {
+    GateOp.AND: "and",
+    GateOp.OR: "or",
+    GateOp.NAND: "nand",
+    GateOp.NOR: "nor",
+    GateOp.XOR: "xor",
+    GateOp.XNOR: "xnor",
+    GateOp.INV: "not",
+    GateOp.BUF: "buf",
+}
+_OP_BY_PRIMITIVE = {v: k for k, v in _PRIMITIVE_BY_OP.items()}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+
+
+def _sanitize(net: str) -> str:
+    """Make a net name a legal Verilog identifier (deterministic)."""
+    clean = re.sub(r"[^A-Za-z0-9_$]", "_", net)
+    if not re.match(r"[A-Za-z_]", clean):
+        clean = "n_" + clean
+    return clean
+
+
+def write_verilog(netlist: Netlist, stream: TextIO | None = None) -> str:
+    """Serialise a netlist as structural Verilog; returns the text."""
+    out = stream if stream is not None else io.StringIO()
+    names: Dict[str, str] = {}
+    used: set[str] = set()
+    all_nets = (
+        list(netlist.inputs)
+        + [g.output for g in netlist.gates]
+        + list(netlist.outputs)
+    )
+    for net in all_nets:
+        if net in names:
+            continue
+        candidate = _sanitize(net)
+        while candidate in used:
+            candidate += "_"
+        names[net] = candidate
+        used.add(candidate)
+
+    module = _sanitize(netlist.name)
+    ports = [names[n] for n in netlist.inputs] + [names[n] for n in netlist.outputs]
+    out.write(f"module {module} ({', '.join(ports)});\n")
+    for net in netlist.inputs:
+        out.write(f"  input {names[net]};\n")
+    for net in netlist.outputs:
+        out.write(f"  output {names[net]};\n")
+    internal = [
+        g.output
+        for g in netlist.gates
+        if g.output not in netlist.outputs
+    ]
+    for net in internal:
+        out.write(f"  wire {names[net]};\n")
+    for gate in netlist.topological_order():
+        op = gate.cell.op
+        target = names[gate.output]
+        if op is GateOp.CONST0:
+            out.write(f"  assign {target} = 1'b0;\n")
+        elif op is GateOp.CONST1:
+            out.write(f"  assign {target} = 1'b1;\n")
+        elif op is GateOp.MUX:
+            select, when0, when1 = (names[n] for n in gate.inputs)
+            out.write(
+                f"  assign {target} = {select} ? {when1} : {when0};\n"
+            )
+        else:
+            primitive = _PRIMITIVE_BY_OP[op]
+            operands = ", ".join(names[n] for n in gate.inputs)
+            out.write(f"  {primitive} {gate.name} ({target}, {operands});\n")
+    out.write("endmodule\n")
+    return out.getvalue() if isinstance(out, io.StringIO) else ""
+
+
+def save_verilog(netlist: Netlist, path: str) -> None:
+    """Write a netlist to a Verilog file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_verilog(netlist, handle)
+
+
+def parse_verilog(
+    text: str,
+    library: Library = TEST_LIBRARY,
+    output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+) -> Netlist:
+    """Parse the structural subset emitted by :func:`write_verilog`."""
+    # Strip comments, join into statements on ';'.
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+    module_match = re.search(
+        rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", text, flags=re.DOTALL
+    )
+    if not module_match:
+        raise ParseError("no module declaration found")
+    name = module_match.group(1)
+    body_start = module_match.end()
+    end_match = re.search(r"endmodule", text)
+    if not end_match:
+        raise ParseError("missing endmodule")
+    body = text[body_start : end_match.start()]
+
+    netlist = Netlist(name, library, output_load_fF)
+    outputs: List[str] = []
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    for statement in statements:
+        decl = re.match(rf"(input|output|wire)\s+(.+)$", statement, flags=re.DOTALL)
+        if decl:
+            kind, nets_text = decl.groups()
+            nets = [n.strip() for n in nets_text.split(",") if n.strip()]
+            for net in nets:
+                if not re.fullmatch(_IDENT, net):
+                    raise ParseError(f"bad net name {net!r} in {kind} declaration")
+                if kind == "input":
+                    netlist.add_input(net)
+                elif kind == "output":
+                    outputs.append(net)
+            continue
+        assign = re.match(
+            rf"assign\s+({_IDENT})\s*=\s*(.+)$", statement, flags=re.DOTALL
+        )
+        if assign:
+            target, expression = assign.group(1), assign.group(2).strip()
+            _parse_assign(netlist, target, expression)
+            continue
+        instance = re.match(
+            rf"({_IDENT})\s+({_IDENT})\s*\(\s*({_IDENT})\s*,\s*(.+)\)$",
+            statement,
+            flags=re.DOTALL,
+        )
+        if instance:
+            primitive, gate_name, target, operand_text = instance.groups()
+            op = _OP_BY_PRIMITIVE.get(primitive)
+            if op is None:
+                raise ParseError(f"unsupported primitive {primitive!r}")
+            operands = [o.strip() for o in operand_text.split(",") if o.strip()]
+            cell = library.cell_for_op(op, len(operands))
+            netlist.add_gate(cell, operands, target, name=gate_name)
+            continue
+        raise ParseError(f"cannot parse statement {statement!r}")
+    for net in outputs:
+        netlist.add_output(net)
+    netlist.topological_order()
+    return netlist
+
+
+def _assign_gate_name(netlist: Netlist, target: str) -> str:
+    """Deterministic, collision-free instance name for an assign gate."""
+    name = f"assign_{target}"
+    while netlist.has_gate_name(name):
+        name += "_"
+    return name
+
+
+def _parse_assign(netlist: Netlist, target: str, expression: str) -> None:
+    """Handle constant and mux assigns."""
+    if expression in ("1'b0", "1'b1"):
+        op = GateOp.CONST1 if expression.endswith("1") else GateOp.CONST0
+        cell = netlist.library.cell_for_op(op, 0)
+        netlist.add_gate(cell, [], target, name=_assign_gate_name(netlist, target))
+        return
+    mux = re.match(
+        rf"({_IDENT})\s*\?\s*({_IDENT})\s*:\s*({_IDENT})$", expression
+    )
+    if mux:
+        select, when1, when0 = mux.groups()
+        cell = netlist.library.cell_for_op(GateOp.MUX, 3)
+        netlist.add_gate(
+            cell,
+            [select, when0, when1],
+            target,
+            name=_assign_gate_name(netlist, target),
+        )
+        return
+    raise ParseError(f"cannot parse assign expression {expression!r}")
+
+
+def read_verilog(
+    path: str,
+    library: Library = TEST_LIBRARY,
+    output_load_fF: float = DEFAULT_OUTPUT_LOAD_FF,
+) -> Netlist:
+    """Read and parse a structural Verilog file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read(), library, output_load_fF)

@@ -1,0 +1,6 @@
+"""RTL-level composition of macro power models (combinational and registered)."""
+
+from repro.rtl.design import MacroInstance, RTLDesign
+from repro.rtl.sequential import Register, SequentialDesign
+
+__all__ = ["RTLDesign", "MacroInstance", "SequentialDesign", "Register"]

@@ -1,0 +1,216 @@
+"""RTL designs: networks of macro instances with composed power models.
+
+Section 1.2 of the paper argues the practical payoff of pattern-dependent
+bounds: for an RTL design containing many macro instances, summing each
+instance's *pattern-dependent* bound for the patterns it actually sees is
+conservative yet far tighter than summing the per-macro global worst
+cases, where "no compensation occurs" and error grows with the number of
+components.
+
+:class:`RTLDesign` wires macro instances (each backed by a gate-level
+netlist and any number of per-instance power models) into one
+combinational design, simulates it functionally, and composes estimates
+and bounds across instances cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, NetlistError
+from repro.models.base import PowerModel
+from repro.netlist.netlist import Netlist
+from repro.sim.logic_sim import simulate
+from repro.sim.power_sim import sequence_switching_capacitances
+
+
+@dataclass
+class MacroInstance:
+    """One instantiation of a macro netlist inside a design.
+
+    ``connections`` maps each macro input name to a design-level signal:
+    either a design primary input or ``"instance.output"`` of another
+    instance.
+    """
+
+    name: str
+    netlist: Netlist
+    connections: Dict[str, str]
+
+    def __post_init__(self) -> None:
+        missing = [p for p in self.netlist.inputs if p not in self.connections]
+        if missing:
+            raise NetlistError(
+                f"instance {self.name}: unconnected inputs {missing[:5]}"
+            )
+
+
+class RTLDesign:
+    """A DAG of macro instances evaluated at the RT level."""
+
+    def __init__(self, name: str, primary_inputs: Sequence[str]):
+        self.name = name
+        self.primary_inputs = list(primary_inputs)
+        if len(set(self.primary_inputs)) != len(self.primary_inputs):
+            raise NetlistError("duplicate design input names")
+        self.instances: List[MacroInstance] = []
+        self._instance_by_name: Dict[str, MacroInstance] = {}
+        self.models: Dict[str, PowerModel] = {}
+
+    def add_instance(
+        self,
+        name: str,
+        netlist: Netlist,
+        connections: Mapping[str, str],
+        model: Optional[PowerModel] = None,
+    ) -> MacroInstance:
+        """Instantiate a macro; optionally attach its power model."""
+        if name in self._instance_by_name:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        instance = MacroInstance(name, netlist, dict(connections))
+        for signal in instance.connections.values():
+            self._check_signal(signal, up_to=len(self.instances))
+        self.instances.append(instance)
+        self._instance_by_name[name] = instance
+        if model is not None:
+            self.attach_model(name, model)
+        return instance
+
+    def attach_model(self, instance_name: str, model: PowerModel) -> None:
+        """Attach (or replace) the power model of one instance."""
+        instance = self._instance_by_name.get(instance_name)
+        if instance is None:
+            raise ModelError(f"no instance named {instance_name!r}")
+        if model.num_inputs != instance.netlist.num_inputs:
+            raise ModelError(
+                f"model for {instance_name!r} expects {model.num_inputs} "
+                f"inputs, macro has {instance.netlist.num_inputs}"
+            )
+        self.models[instance_name] = model
+
+    def _check_signal(self, signal: str, up_to: int) -> None:
+        if signal in self.primary_inputs:
+            return
+        if "." in signal:
+            instance_name, output = signal.split(".", 1)
+            for instance in self.instances[:up_to]:
+                if instance.name == instance_name:
+                    if output not in instance.netlist.outputs:
+                        raise NetlistError(
+                            f"instance {instance_name!r} has no output {output!r}"
+                        )
+                    return
+            raise NetlistError(
+                f"signal {signal!r} references an instance defined later "
+                "or not at all (instances must be added in topological order)"
+            )
+        raise NetlistError(f"unknown design signal {signal!r}")
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def simulate_signals(
+        self, sequence: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Waveforms of all design signals for a primary-input sequence.
+
+        Returns design inputs by name and macro outputs as
+        ``"instance.output"``.
+        """
+        sequence = np.atleast_2d(np.asarray(sequence, dtype=bool))
+        if sequence.shape[1] != len(self.primary_inputs):
+            raise ModelError(
+                f"sequence width {sequence.shape[1]} != "
+                f"{len(self.primary_inputs)} design inputs"
+            )
+        signals: Dict[str, np.ndarray] = {
+            name: sequence[:, k] for k, name in enumerate(self.primary_inputs)
+        }
+        for instance in self.instances:
+            macro_inputs = np.stack(
+                [
+                    signals[instance.connections[port]]
+                    for port in instance.netlist.inputs
+                ],
+                axis=1,
+            )
+            result = simulate(instance.netlist, macro_inputs)
+            for output in instance.netlist.outputs:
+                signals[f"{instance.name}.{output}"] = result.values[output]
+        return signals
+
+    def instance_input_sequences(
+        self, sequence: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Per-instance input sequences induced by a design-level sequence."""
+        signals = self.simulate_signals(sequence)
+        result = {}
+        for instance in self.instances:
+            result[instance.name] = np.stack(
+                [
+                    signals[instance.connections[port]]
+                    for port in instance.netlist.inputs
+                ],
+                axis=1,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Power composition
+    # ------------------------------------------------------------------
+    def golden_capacitances(self, sequence: np.ndarray) -> np.ndarray:
+        """Gate-level reference: per-cycle total C over all instances."""
+        per_instance = self.instance_input_sequences(sequence)
+        total = None
+        for instance in self.instances:
+            caps = sequence_switching_capacitances(
+                instance.netlist, per_instance[instance.name]
+            )
+            total = caps if total is None else total + caps
+        if total is None:
+            raise ModelError("design has no instances")
+        return total
+
+    def estimated_capacitances(self, sequence: np.ndarray) -> np.ndarray:
+        """Composed model estimate: per-cycle sum of per-instance estimates.
+
+        Every instance must have a model attached.  If all models are
+        ``max``-strategy bounds, the result is a conservative per-cycle
+        upper bound for the whole design (Section 1.2).
+        """
+        missing = [
+            i.name for i in self.instances if i.name not in self.models
+        ]
+        if missing:
+            raise ModelError(f"instances without models: {missing[:5]}")
+        per_instance = self.instance_input_sequences(sequence)
+        total = None
+        for instance in self.instances:
+            caps = self.models[instance.name].sequence_capacitances(
+                per_instance[instance.name]
+            )
+            total = caps if total is None else total + caps
+        assert total is not None
+        return total
+
+    def constant_worst_case(self) -> float:
+        """Loose classical bound: sum of per-instance global maxima.
+
+        Requires every attached model to expose ``global_maximum`` (ADD
+        bound models do).
+        """
+        total = 0.0
+        for instance in self.instances:
+            model = self.models.get(instance.name)
+            if model is None:
+                raise ModelError(f"instance {instance.name!r} has no model")
+            maximum = getattr(model, "global_maximum", None)
+            if maximum is None:
+                raise ModelError(
+                    f"model of {instance.name!r} cannot report a global maximum"
+                )
+            total += maximum()
+        return total

@@ -1,0 +1,252 @@
+"""Sequential RTL designs: macros separated by registers.
+
+The paper models combinational macros; in a real RTL design those macros
+sit between register banks, and each macro's input transition per clock
+cycle is *defined* by the registers feeding it.  This module extends
+:class:`~repro.rtl.design.RTLDesign` with registered signals so composed
+power estimation (and conservative bounding) works on pipelined designs:
+the transition a macro sees in cycle ``t`` runs from the register state
+after cycle ``t-1`` to the state after cycle ``t``.
+
+Register power itself (clock tree, flip-flop internals) is outside the
+golden model, matching the paper's macro-centric scope; registered
+signals carry a configurable load that is charged on every rising edge
+of the stored value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, NetlistError
+from repro.models.base import PowerModel
+from repro.netlist.netlist import Netlist
+from repro.sim.logic_sim import simulate
+from repro.sim.power_sim import sequence_switching_capacitances
+
+
+@dataclass
+class Register:
+    """A one-bit register: stores ``source`` and exposes it next cycle."""
+
+    name: str
+    source: str
+    initial_value: int = 0
+    load_fF: float = 0.0
+
+
+class SequentialDesign:
+    """Macros plus registers, evaluated cycle by cycle.
+
+    Signals available for connection:
+
+    - design primary inputs,
+    - ``"instance.output"`` macro outputs (combinational, same cycle),
+    - register names (the value captured at the *end of the previous
+      cycle*).
+
+    Instances must be added in combinational topological order; register
+    sources may reference any signal (that is what breaks the cycles).
+    """
+
+    def __init__(self, name: str, primary_inputs: Sequence[str]):
+        self.name = name
+        self.primary_inputs = list(primary_inputs)
+        if len(set(self.primary_inputs)) != len(self.primary_inputs):
+            raise NetlistError("duplicate design input names")
+        self.instances: List = []
+        self._instance_by_name: Dict[str, object] = {}
+        self.registers: List[Register] = []
+        self._register_by_name: Dict[str, Register] = {}
+        self.models: Dict[str, PowerModel] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_register(
+        self,
+        name: str,
+        source: str,
+        initial_value: int = 0,
+        load_fF: float = 0.0,
+    ) -> Register:
+        """Declare a register; its ``source`` is validated lazily (it may
+        reference instances added later — that is the point of state)."""
+        if name in self._register_by_name or name in self.primary_inputs:
+            raise NetlistError(f"signal name {name!r} already in use")
+        register = Register(name, source, int(bool(initial_value)), load_fF)
+        self.registers.append(register)
+        self._register_by_name[name] = register
+        return register
+
+    def add_instance(
+        self,
+        name: str,
+        netlist: Netlist,
+        connections: Mapping[str, str],
+        model: Optional[PowerModel] = None,
+    ):
+        """Instantiate a macro fed by inputs, registers or earlier macros."""
+        from repro.rtl.design import MacroInstance
+
+        if name in self._instance_by_name:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        instance = MacroInstance(name, netlist, dict(connections))
+        for signal in instance.connections.values():
+            self._check_combinational_signal(signal)
+        self.instances.append(instance)
+        self._instance_by_name[name] = instance
+        if model is not None:
+            self.attach_model(name, model)
+        return instance
+
+    def attach_model(self, instance_name: str, model: PowerModel) -> None:
+        """Attach (or replace) the power model of one instance."""
+        instance = self._instance_by_name.get(instance_name)
+        if instance is None:
+            raise ModelError(f"no instance named {instance_name!r}")
+        if model.num_inputs != instance.netlist.num_inputs:
+            raise ModelError(
+                f"model for {instance_name!r} expects {model.num_inputs} "
+                f"inputs, macro has {instance.netlist.num_inputs}"
+            )
+        self.models[instance_name] = model
+
+    def _check_combinational_signal(self, signal: str) -> None:
+        if signal in self.primary_inputs or signal in self._register_by_name:
+            return
+        if "." in signal:
+            instance_name, output = signal.split(".", 1)
+            instance = self._instance_by_name.get(instance_name)
+            if instance is None:
+                raise NetlistError(
+                    f"signal {signal!r}: instance not defined yet "
+                    "(add instances in topological order)"
+                )
+            if output not in instance.netlist.outputs:
+                raise NetlistError(
+                    f"instance {instance_name!r} has no output {output!r}"
+                )
+            return
+        raise NetlistError(f"unknown design signal {signal!r}")
+
+    def _validate_register_sources(self) -> None:
+        for register in self.registers:
+            self._check_combinational_signal(register.source)
+
+    # ------------------------------------------------------------------
+    # Cycle-accurate simulation
+    # ------------------------------------------------------------------
+    def simulate(self, sequence: np.ndarray) -> Dict[str, np.ndarray]:
+        """Waveforms of every signal over a primary-input sequence.
+
+        ``sequence`` has one row per clock cycle.  Register signals carry
+        the value visible *during* each cycle (i.e. captured at the end
+        of the previous one).
+        """
+        self._validate_register_sources()
+        sequence = np.atleast_2d(np.asarray(sequence, dtype=bool))
+        if sequence.shape[1] != len(self.primary_inputs):
+            raise ModelError(
+                f"sequence width {sequence.shape[1]} != "
+                f"{len(self.primary_inputs)} design inputs"
+            )
+        cycles = sequence.shape[0]
+        signals: Dict[str, np.ndarray] = {
+            name: sequence[:, k] for k, name in enumerate(self.primary_inputs)
+        }
+        for register in self.registers:
+            signals[register.name] = np.empty(cycles, dtype=bool)
+
+        state = {
+            r.name: bool(r.initial_value) for r in self.registers
+        }
+        # Row-by-row evaluation: macro outputs depend on the current
+        # register state, register next-state on macro outputs.
+        row_values: Dict[str, np.ndarray] = {}
+        for t in range(cycles):
+            current: Dict[str, bool] = {
+                name: bool(sequence[t, k])
+                for k, name in enumerate(self.primary_inputs)
+            }
+            for register in self.registers:
+                current[register.name] = state[register.name]
+                signals[register.name][t] = state[register.name]
+            for instance in self.instances:
+                pattern = [
+                    int(current[instance.connections[port]])
+                    for port in instance.netlist.inputs
+                ]
+                outputs = instance.netlist.evaluate_outputs(pattern)
+                for net, value in outputs.items():
+                    current[f"{instance.name}.{net}"] = bool(value)
+            for register in self.registers:
+                state[register.name] = current[register.source]
+            for key, value in current.items():
+                if key not in signals:
+                    signals[key] = np.empty(cycles, dtype=bool)
+                signals[key][t] = value
+        return signals
+
+    def instance_input_sequences(
+        self, sequence: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Per-instance input waveforms induced by a design sequence."""
+        signals = self.simulate(sequence)
+        result = {}
+        for instance in self.instances:
+            result[instance.name] = np.stack(
+                [
+                    signals[instance.connections[port]]
+                    for port in instance.netlist.inputs
+                ],
+                axis=1,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def register_capacitances(self, sequence: np.ndarray) -> np.ndarray:
+        """Per-cycle capacitance charged by rising register outputs."""
+        signals = self.simulate(sequence)
+        cycles = np.atleast_2d(sequence).shape[0]
+        totals = np.zeros(max(cycles - 1, 0))
+        for register in self.registers:
+            wave = signals[register.name]
+            rising = ~wave[:-1] & wave[1:]
+            totals += rising * register.load_fF
+        return totals
+
+    def golden_capacitances(self, sequence: np.ndarray) -> np.ndarray:
+        """Gate-level per-cycle switching capacitance of all macros."""
+        per_instance = self.instance_input_sequences(sequence)
+        total = None
+        for instance in self.instances:
+            caps = sequence_switching_capacitances(
+                instance.netlist, per_instance[instance.name]
+            )
+            total = caps if total is None else total + caps
+        if total is None:
+            raise ModelError("design has no instances")
+        return total + self.register_capacitances(sequence)
+
+    def estimated_capacitances(self, sequence: np.ndarray) -> np.ndarray:
+        """Composed per-cycle model estimate (plus exact register part)."""
+        missing = [
+            i.name for i in self.instances if i.name not in self.models
+        ]
+        if missing:
+            raise ModelError(f"instances without models: {missing[:5]}")
+        per_instance = self.instance_input_sequences(sequence)
+        total = None
+        for instance in self.instances:
+            caps = self.models[instance.name].sequence_capacitances(
+                per_instance[instance.name]
+            )
+            total = caps if total is None else total + caps
+        assert total is not None
+        return total + self.register_capacitances(sequence)

@@ -1,0 +1,84 @@
+"""Simulation layer: logic, power and glitch simulators plus sequence generators.
+
+- :mod:`~repro.sim.logic_sim` — numpy batch zero-delay logic simulation;
+- :mod:`~repro.sim.power_sim` — golden-model switching capacitance /
+  energy per Eq. 1-4 (the reference every model is measured against);
+- :mod:`~repro.sim.glitch_sim` — event-driven transport-delay simulation
+  quantifying the parasitic (glitch) component;
+- :mod:`~repro.sim.sequences` — random input sequences with controlled
+  signal probability ``sp`` and transition probability ``st``.
+"""
+
+from repro.sim.activity import (
+    ActivityReport,
+    exact_activity,
+    propagated_activity,
+)
+from repro.sim.glitch_sim import (
+    TransitionTrace,
+    sequence_glitch_capacitances,
+    simulate_transition,
+)
+from repro.sim.logic_sim import (
+    SimulationResult,
+    simulate,
+    simulate_outputs,
+    simulate_sequence_gate_outputs,
+)
+from repro.sim.power_sim import (
+    DEFAULT_VDD,
+    SequencePowerReport,
+    energy_fJ,
+    exhaustive_max_capacitance,
+    gate_load_vector,
+    pair_switching_capacitances,
+    sequence_switching_capacitances,
+    simulate_sequence_power,
+    switching_capacitance,
+)
+from repro.sim.sequences import (
+    SequenceStats,
+    address_burst_sequence,
+    all_patterns,
+    counter_sequence,
+    exhaustive_pairs,
+    feasible_st_range,
+    gray_sequence,
+    markov_sequence,
+    measure,
+    onehot_rotation_sequence,
+    uniform_pairs,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_outputs",
+    "simulate_sequence_gate_outputs",
+    "SimulationResult",
+    "switching_capacitance",
+    "pair_switching_capacitances",
+    "sequence_switching_capacitances",
+    "simulate_sequence_power",
+    "exhaustive_max_capacitance",
+    "gate_load_vector",
+    "energy_fJ",
+    "SequencePowerReport",
+    "DEFAULT_VDD",
+    "simulate_transition",
+    "sequence_glitch_capacitances",
+    "TransitionTrace",
+    "markov_sequence",
+    "uniform_pairs",
+    "exhaustive_pairs",
+    "all_patterns",
+    "gray_sequence",
+    "counter_sequence",
+    "address_burst_sequence",
+    "onehot_rotation_sequence",
+    "measure",
+    "feasible_st_range",
+    "SequenceStats",
+    "ActivityReport",
+    "exact_activity",
+    "propagated_activity",
+]

@@ -1,0 +1,187 @@
+"""Event-driven gate-level simulation with glitch accounting.
+
+The paper deliberately restricts its golden model to *zero-delay*
+semantics, classifying glitches (spurious transitions caused by unequal
+path delays) as a parasitic phenomenon that characterization may add back
+on top of the analytical structural model.  This simulator provides that
+reference: a transport-delay event-driven simulation whose extra rising
+transitions, relative to the zero-delay count, measure the glitch power
+the structural model cannot see.
+
+Used by the hybrid-model experiment (E8 in DESIGN.md): the analytical ADD
+model captures the structural component, a small characterized residual
+captures the glitch component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.gates import eval_python
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TransitionTrace:
+    """Outcome of one event-driven input transition.
+
+    Attributes
+    ----------
+    switching_capacitance_fF:
+        Total capacitance charged by *all* rising output transitions,
+        glitches included.
+    zero_delay_capacitance_fF:
+        The structural component: capacitance the zero-delay golden model
+        would report for the same transition (Eq. 2-4).
+    num_output_transitions:
+        Total gate-output value changes observed.
+    num_settled_transitions:
+        Output changes that survive at settling (initial != final value).
+    """
+
+    switching_capacitance_fF: float
+    zero_delay_capacitance_fF: float
+    num_output_transitions: int
+    num_settled_transitions: int
+
+    @property
+    def glitch_capacitance_fF(self) -> float:
+        """Parasitic (glitch) component of the switching capacitance."""
+        return self.switching_capacitance_fF - self.zero_delay_capacitance_fF
+
+    @property
+    def num_glitch_transitions(self) -> int:
+        """Transitions that cancel out before settling."""
+        return self.num_output_transitions - self.num_settled_transitions
+
+
+def _gate_delays(netlist: Netlist, delays: Mapping[str, int] | None) -> Dict[str, int]:
+    if delays is None:
+        return {gate.name: 1 for gate in netlist.gates}
+    resolved = {}
+    for gate in netlist.gates:
+        delay = int(delays.get(gate.name, 1))
+        if delay < 1:
+            raise SimulationError(
+                f"gate {gate.name}: delay must be >= 1, got {delay}"
+            )
+        resolved[gate.name] = delay
+    return resolved
+
+
+def simulate_transition(
+    netlist: Netlist,
+    initial: Sequence[int],
+    final: Sequence[int],
+    delays: Mapping[str, int] | None = None,
+) -> TransitionTrace:
+    """Event-driven simulation of one ``x_i -> x_f`` input transition.
+
+    The circuit is first settled at ``x_i`` (zero-delay), then the inputs
+    change to ``x_f`` at time 0 and events propagate with per-gate
+    transport delays (default: 1 unit each).  Every rising gate-output
+    edge charges that gate's load capacitance.
+    """
+    if len(initial) != netlist.num_inputs or len(final) != netlist.num_inputs:
+        raise SimulationError(
+            f"patterns must have {netlist.num_inputs} bits"
+        )
+    gate_delay = _gate_delays(netlist, delays)
+    loads = netlist.load_capacitances()
+    order = netlist.topological_order()
+    fanout: Dict[str, list] = {}
+    for gate in order:
+        for net in set(gate.inputs):
+            fanout.setdefault(net, []).append(gate)
+
+    values = netlist.evaluate(list(initial))
+    settled_final = netlist.evaluate(list(final))
+
+    # Structural reference (Eq. 2-3): rising settled outputs.
+    zero_delay_cap = sum(
+        loads[g.name]
+        for g in order
+        if not values[g.output] and settled_final[g.output]
+    )
+    settled_count = sum(
+        1 for g in order if values[g.output] != settled_final[g.output]
+    )
+
+    # Schedule the primary-input changes at time 0.
+    pending: Dict[int, Dict[str, int]] = {}
+    for name, bit in zip(netlist.inputs, final):
+        bit = int(bool(bit))
+        if values[name] != bit:
+            pending.setdefault(0, {})[name] = bit
+    # preview[net] = value the net will hold once its last scheduled event
+    # fires; used to suppress scheduling no-change events.
+    preview = {net: value for net, value in values.items()}
+
+    total_cap = 0.0
+    total_transitions = 0
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 4 * len(order) * max(gate_delay.values(), default=1) + 16:
+            raise SimulationError(
+                "event simulation did not settle (combinational feedback?)"
+            )
+        now = min(pending)
+        changes = pending.pop(now)
+        touched_gates = []
+        for net, value in changes.items():
+            if values[net] == value:
+                continue
+            driver = None if netlist.is_primary_input(net) else netlist.driver(net)
+            if driver is not None:
+                total_transitions += 1
+                if not values[net] and value:
+                    total_cap += loads[driver.name]
+            values[net] = value
+            touched_gates.extend(fanout.get(net, ()))
+        seen = set()
+        for gate in touched_gates:
+            if gate.name in seen:
+                continue
+            seen.add(gate.name)
+            new_value = eval_python(
+                gate.cell.op, [values[net] for net in gate.inputs]
+            )
+            if new_value != preview[gate.output]:
+                fire = now + gate_delay[gate.name]
+                pending.setdefault(fire, {})[gate.output] = new_value
+                preview[gate.output] = new_value
+
+    return TransitionTrace(
+        switching_capacitance_fF=total_cap,
+        zero_delay_capacitance_fF=float(zero_delay_cap),
+        num_output_transitions=total_transitions,
+        num_settled_transitions=settled_count,
+    )
+
+
+def sequence_glitch_capacitances(
+    netlist: Netlist,
+    sequence: np.ndarray,
+    delays: Mapping[str, int] | None = None,
+) -> np.ndarray:
+    """Per-cycle *total* (structural + glitch) switching capacitance.
+
+    Returns an array of length ``len(sequence) - 1``; element ``t`` is the
+    event-driven capacitance of the transition from vector ``t`` to
+    ``t + 1``.
+    """
+    sequence = np.asarray(sequence, dtype=bool)
+    if sequence.ndim != 2 or sequence.shape[0] < 2:
+        raise SimulationError("sequence must hold at least two vectors")
+    result = np.empty(sequence.shape[0] - 1, dtype=float)
+    for t in range(sequence.shape[0] - 1):
+        trace = simulate_transition(
+            netlist, sequence[t].tolist(), sequence[t + 1].tolist(), delays
+        )
+        result[t] = trace.switching_capacitance_fF
+    return result

@@ -1,0 +1,86 @@
+"""Zero-delay batch logic simulation.
+
+Evaluates every net of a netlist for a whole batch of input patterns at
+once using numpy boolean vectors — one topological sweep, one vector
+operation per gate.  This is the reference ("gate-level") simulator that
+the paper's characterized baselines are fitted against and that the
+power experiments compare to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.gates import eval_numpy
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class SimulationResult:
+    """Net waveforms for a batch of patterns.
+
+    ``values[name]`` is a boolean array over patterns for net ``name``;
+    available for all primary inputs and all gate outputs.
+    """
+
+    netlist: Netlist
+    values: Dict[str, np.ndarray]
+    num_patterns: int
+
+    def output_matrix(self) -> np.ndarray:
+        """Primary outputs as a ``(num_patterns, num_outputs)`` matrix."""
+        return np.stack(
+            [self.values[net] for net in self.netlist.outputs], axis=1
+        )
+
+    def gate_output_matrix(self) -> np.ndarray:
+        """Gate outputs as a ``(num_patterns, num_gates)`` matrix.
+
+        Columns follow :meth:`Netlist.topological_order`.
+        """
+        order = self.netlist.topological_order()
+        return np.stack([self.values[g.output] for g in order], axis=1)
+
+
+def _pattern_matrix(netlist: Netlist, patterns: np.ndarray) -> np.ndarray:
+    array = np.asarray(patterns)
+    if array.ndim == 1:
+        array = array[None, :]
+    if array.ndim != 2 or array.shape[1] != netlist.num_inputs:
+        raise SimulationError(
+            f"pattern matrix must be (P, {netlist.num_inputs}), got {array.shape}"
+        )
+    return array.astype(bool)
+
+
+def simulate(netlist: Netlist, patterns: np.ndarray) -> SimulationResult:
+    """Simulate a batch of input patterns.
+
+    ``patterns`` is a ``(P, n)`` 0/1 or boolean matrix with columns in
+    ``netlist.inputs`` order.  Returns values for every net.
+    """
+    matrix = _pattern_matrix(netlist, patterns)
+    num_patterns = matrix.shape[0]
+    values: Dict[str, np.ndarray] = {
+        name: matrix[:, k] for k, name in enumerate(netlist.inputs)
+    }
+    for gate in netlist.topological_order():
+        operands = [values[net] for net in gate.inputs]
+        values[gate.output] = eval_numpy(gate.cell.op, operands, num_patterns)
+    return SimulationResult(netlist, values, num_patterns)
+
+
+def simulate_outputs(netlist: Netlist, patterns: np.ndarray) -> np.ndarray:
+    """Primary-output matrix for a batch of patterns."""
+    return simulate(netlist, patterns).output_matrix()
+
+
+def simulate_sequence_gate_outputs(
+    netlist: Netlist, sequence: np.ndarray
+) -> np.ndarray:
+    """Gate-output waveforms for a vector sequence (helper for power sim)."""
+    return simulate(netlist, sequence).gate_output_matrix()

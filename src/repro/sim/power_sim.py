@@ -1,0 +1,165 @@
+"""Reference (golden-model) power computation — Eq. 1-4 of the paper.
+
+At the zero-delay gate-level abstraction the supply energy of an input
+transition is ``e(x_i, x_f) = Vdd^2 * C(x_i, x_f)`` where the switching
+capacitance ``C`` sums the loads of all gates whose output *rises*
+between the two stable states (Eq. 2-3).  These routines compute that
+quantity exactly by simulation; the whole point of the paper is to
+abstract them into a compact RTL model, and the test suite checks the
+ADD model against these functions pattern by pattern.
+
+Units: capacitances in fF, voltages in V, energies in fJ
+(``1 fF * 1 V^2 = 1 fJ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.netlist import Netlist
+from repro.sim.logic_sim import simulate
+
+#: Default supply voltage (V); a typical 1998-era value.  Only scales the
+#: energy axis — all the paper's metrics are relative errors.
+DEFAULT_VDD = 3.3
+
+
+def gate_load_vector(netlist: Netlist) -> np.ndarray:
+    """Load capacitances (fF) ordered like :meth:`Netlist.topological_order`."""
+    loads = netlist.load_capacitances()
+    return np.array(
+        [loads[g.name] for g in netlist.topological_order()], dtype=float
+    )
+
+
+def switching_capacitance(
+    netlist: Netlist, initial: Sequence[int], final: Sequence[int]
+) -> float:
+    """Exact ``C(x_i, x_f)`` in fF for one transition (Eq. 2-4)."""
+    patterns = np.array([initial, final], dtype=bool)
+    result = simulate(netlist, patterns).gate_output_matrix()
+    rising = ~result[0] & result[1]
+    return float(rising @ gate_load_vector(netlist))
+
+
+def pair_switching_capacitances(
+    netlist: Netlist, initial: np.ndarray, final: np.ndarray
+) -> np.ndarray:
+    """Exact ``C`` for a batch of independent transitions.
+
+    ``initial`` and ``final`` are ``(P, n)`` matrices; returns ``(P,)``
+    capacitances in fF.
+    """
+    initial = np.atleast_2d(np.asarray(initial, dtype=bool))
+    final = np.atleast_2d(np.asarray(final, dtype=bool))
+    if initial.shape != final.shape:
+        raise SimulationError(
+            f"pattern shapes differ: {initial.shape} vs {final.shape}"
+        )
+    before = simulate(netlist, initial).gate_output_matrix()
+    after = simulate(netlist, final).gate_output_matrix()
+    rising = ~before & after
+    return rising @ gate_load_vector(netlist)
+
+
+def sequence_switching_capacitances(
+    netlist: Netlist, sequence: np.ndarray
+) -> np.ndarray:
+    """Per-cycle ``C`` along a vector sequence.
+
+    For a sequence of ``P`` vectors returns ``P - 1`` capacitances, one per
+    consecutive transition.  The whole sequence is simulated in one batch.
+    """
+    sequence = np.asarray(sequence, dtype=bool)
+    if sequence.ndim != 2 or sequence.shape[0] < 2:
+        raise SimulationError("sequence must hold at least two vectors")
+    waves = simulate(netlist, sequence).gate_output_matrix()
+    rising = ~waves[:-1] & waves[1:]
+    return rising @ gate_load_vector(netlist)
+
+
+def energy_fJ(capacitance_fF: float | np.ndarray, vdd: float = DEFAULT_VDD) -> float | np.ndarray:
+    """Eq. 1: supply energy in fJ for a switching capacitance in fF."""
+    return capacitance_fF * vdd * vdd
+
+
+@dataclass(frozen=True)
+class SequencePowerReport:
+    """Power summary of one simulated sequence (the per-run ground truth)."""
+
+    average_capacitance_fF: float
+    peak_capacitance_fF: float
+    total_energy_fJ: float
+    average_power_uW: float
+    peak_power_uW: float
+    num_transitions: int
+
+    @staticmethod
+    def from_capacitances(
+        capacitances: np.ndarray,
+        vdd: float = DEFAULT_VDD,
+        cycle_time_ns: float = 10.0,
+    ) -> "SequencePowerReport":
+        """Summarise per-cycle switching capacitances.
+
+        ``P = E / T``: with energies in fJ and the cycle time in ns, power
+        comes out in uW.
+        """
+        if len(capacitances) == 0:
+            raise SimulationError("no transitions to summarise")
+        energies = energy_fJ(capacitances, vdd)
+        return SequencePowerReport(
+            average_capacitance_fF=float(np.mean(capacitances)),
+            peak_capacitance_fF=float(np.max(capacitances)),
+            total_energy_fJ=float(np.sum(energies)),
+            average_power_uW=float(np.mean(energies)) / cycle_time_ns,
+            peak_power_uW=float(np.max(energies)) / cycle_time_ns,
+            num_transitions=len(capacitances),
+        )
+
+
+def simulate_sequence_power(
+    netlist: Netlist,
+    sequence: np.ndarray,
+    vdd: float = DEFAULT_VDD,
+    cycle_time_ns: float = 10.0,
+) -> SequencePowerReport:
+    """Golden-model power report for a vector sequence."""
+    capacitances = sequence_switching_capacitances(netlist, sequence)
+    return SequencePowerReport.from_capacitances(capacitances, vdd, cycle_time_ns)
+
+
+def exhaustive_max_capacitance(netlist: Netlist) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Exact worst-case ``C`` by enumerating all transition pairs.
+
+    The exhaustive search the paper calls "unfeasible even for small
+    circuits" — provided for circuits small enough (n <= 8) to verify
+    that the ADD upper bound's global maximum is exact.
+
+    Returns ``(C_max, x_i, x_f)`` for one maximising pair.
+    """
+    n = netlist.num_inputs
+    if n > 8:
+        raise SimulationError(
+            f"exhaustive search over {n} inputs is 4**{n} pairs; refusing above 8"
+        )
+    from repro.sim.sequences import all_patterns
+
+    patterns = all_patterns(n)
+    span = patterns.shape[0]
+    waves = simulate(netlist, patterns).gate_output_matrix()
+    loads = gate_load_vector(netlist)
+    best = -1.0
+    best_pair = (patterns[0], patterns[0])
+    for i in range(span):
+        rising = ~waves[i][None, :] & waves
+        totals = rising @ loads
+        j = int(np.argmax(totals))
+        if totals[j] > best:
+            best = float(totals[j])
+            best_pair = (patterns[i], patterns[j])
+    return best, best_pair[0], best_pair[1]

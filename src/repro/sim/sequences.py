@@ -1,0 +1,214 @@
+"""Input-sequence generators with controlled statistics.
+
+The paper's evaluation protocol sweeps the *average signal probability*
+``sp`` (fraction of time a bit is 1) and the *average transition
+probability* ``st`` (fraction of cycles a bit toggles) of random input
+sequences.  :func:`markov_sequence` realises a pair ``(sp, st)`` exactly in
+expectation with one stationary two-state Markov chain per input bit:
+
+- ``P(0 -> 1) = st / (2 (1 - sp))``
+- ``P(1 -> 0) = st / (2 sp)``
+
+which gives stationary probability ``sp`` and toggle rate ``st`` per step.
+Feasibility requires ``st <= 2 * min(sp, 1 - sp)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import SequenceError
+
+
+def feasible_st_range(sp: float) -> Tuple[float, float]:
+    """Inclusive range of transition probabilities achievable at ``sp``."""
+    if not 0.0 <= sp <= 1.0:
+        raise SequenceError(f"signal probability {sp} outside [0, 1]")
+    return (0.0, 2.0 * min(sp, 1.0 - sp))
+
+
+def markov_sequence(
+    num_bits: int,
+    length: int,
+    sp: float = 0.5,
+    st: float = 0.5,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Random sequence with given per-bit signal/transition probabilities.
+
+    Returns a boolean array of shape ``(length, num_bits)``.  Bits are
+    mutually independent; each follows a stationary Markov chain with
+    marginal ``P(bit = 1) = sp`` and ``P(toggle) = st``.
+    """
+    if num_bits <= 0:
+        raise SequenceError(f"num_bits must be positive, got {num_bits}")
+    if length <= 0:
+        raise SequenceError(f"length must be positive, got {length}")
+    low, high = feasible_st_range(sp)
+    if not low <= st <= high + 1e-12:
+        raise SequenceError(
+            f"st={st} infeasible for sp={sp}; feasible range is [{low}, {high:.4g}]"
+        )
+    rng = np.random.default_rng(seed)
+    sequence = np.empty((length, num_bits), dtype=bool)
+    sequence[0] = rng.random(num_bits) < sp
+    if st == 0.0:
+        sequence[1:] = sequence[0]
+        return sequence
+    p01 = st / (2.0 * (1.0 - sp)) if sp < 1.0 else 0.0
+    p10 = st / (2.0 * sp) if sp > 0.0 else 0.0
+    draws = rng.random((length - 1, num_bits))
+    for t in range(1, length):
+        previous = sequence[t - 1]
+        toggle = np.where(previous, draws[t - 1] < p10, draws[t - 1] < p01)
+        sequence[t] = previous ^ toggle
+    return sequence
+
+
+def uniform_pairs(
+    num_bits: int, count: int, seed: int | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``count`` independent uniformly random ``(x_i, x_f)`` pattern pairs.
+
+    Returns two boolean arrays of shape ``(count, num_bits)``.
+    """
+    if num_bits <= 0 or count <= 0:
+        raise SequenceError("num_bits and count must be positive")
+    rng = np.random.default_rng(seed)
+    initial = rng.random((count, num_bits)) < 0.5
+    final = rng.random((count, num_bits)) < 0.5
+    return initial, final
+
+
+def exhaustive_pairs(num_bits: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """All ``4**num_bits`` transition pairs, for exact checks on tiny circuits."""
+    if num_bits > 10:
+        raise SequenceError(
+            f"exhaustive enumeration of {num_bits} bits is {4 ** num_bits} pairs; "
+            "refusing above 10 bits"
+        )
+    span = 2 ** num_bits
+    for i in range(span):
+        bits_i = np.array(
+            [(i >> (num_bits - 1 - k)) & 1 for k in range(num_bits)], dtype=bool
+        )
+        for f in range(span):
+            bits_f = np.array(
+                [(f >> (num_bits - 1 - k)) & 1 for k in range(num_bits)], dtype=bool
+            )
+            yield bits_i, bits_f
+
+
+def all_patterns(num_bits: int) -> np.ndarray:
+    """All ``2**num_bits`` patterns as a boolean matrix (MSB-first rows)."""
+    if num_bits > 20:
+        raise SequenceError(f"refusing to enumerate 2**{num_bits} patterns")
+    span = 2 ** num_bits
+    values = np.arange(span, dtype=np.int64)
+    shifts = np.arange(num_bits - 1, -1, -1)
+    return ((values[:, None] >> shifts[None, :]) & 1).astype(bool)
+
+
+def gray_sequence(num_bits: int, length: int) -> np.ndarray:
+    """Deterministic sequence following a Gray-code walk (one toggle/step).
+
+    Useful as a minimal-activity stress pattern (``st = 1/num_bits``).
+    """
+    if num_bits <= 0 or length <= 0:
+        raise SequenceError("num_bits and length must be positive")
+    sequence = np.zeros((length, num_bits), dtype=bool)
+    for t in range(1, length):
+        gray = t ^ (t >> 1)
+        for k in range(num_bits):
+            sequence[t, num_bits - 1 - k] = bool((gray >> k) & 1)
+    return sequence
+
+
+def counter_sequence(
+    num_bits: int, length: int, start: int = 0, stride: int = 1
+) -> np.ndarray:
+    """Binary counter stream (LSB in column ``num_bits - 1``).
+
+    Real datapaths see counters constantly; their bit activities are
+    wildly non-uniform (LSB toggles every cycle, MSB almost never) and
+    temporally correlated — exactly the statistics mismatch that breaks
+    characterized models (see the workload experiment E10).
+    """
+    if num_bits <= 0 or length <= 0:
+        raise SequenceError("num_bits and length must be positive")
+    sequence = np.zeros((length, num_bits), dtype=bool)
+    value = start
+    mask = (1 << num_bits) - 1
+    for t in range(length):
+        current = value & mask
+        for k in range(num_bits):
+            sequence[t, num_bits - 1 - k] = bool((current >> k) & 1)
+        value += stride
+    return sequence
+
+
+def address_burst_sequence(
+    num_bits: int,
+    length: int,
+    burst_length: int = 8,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Memory-address-style stream: random bases, sequential bursts.
+
+    Each burst picks a uniformly random base address and then increments
+    it for ``burst_length`` cycles — high spatial locality with occasional
+    large jumps, like cache-line fills.
+    """
+    if num_bits <= 0 or length <= 0:
+        raise SequenceError("num_bits and length must be positive")
+    if burst_length < 1:
+        raise SequenceError("burst_length must be >= 1")
+    rng = np.random.default_rng(seed)
+    sequence = np.zeros((length, num_bits), dtype=bool)
+    mask = (1 << num_bits) - 1
+    value = 0
+    for t in range(length):
+        if t % burst_length == 0:
+            value = int(rng.integers(0, mask + 1))
+        else:
+            value += 1
+        current = value & mask
+        for k in range(num_bits):
+            sequence[t, num_bits - 1 - k] = bool((current >> k) & 1)
+    return sequence
+
+
+def onehot_rotation_sequence(num_bits: int, length: int) -> np.ndarray:
+    """Rotating one-hot token (control-FSM style): two toggles per cycle."""
+    if num_bits <= 0 or length <= 0:
+        raise SequenceError("num_bits and length must be positive")
+    sequence = np.zeros((length, num_bits), dtype=bool)
+    for t in range(length):
+        sequence[t, t % num_bits] = True
+    return sequence
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """Empirical statistics of a generated sequence."""
+
+    signal_probability: float
+    transition_probability: float
+    length: int
+    num_bits: int
+
+
+def measure(sequence: np.ndarray) -> SequenceStats:
+    """Empirical ``(sp, st)`` of a sequence (sanity check for generators)."""
+    if sequence.ndim != 2:
+        raise SequenceError("sequence must be a (length, num_bits) array")
+    length, num_bits = sequence.shape
+    sp = float(sequence.mean())
+    if length < 2:
+        st = 0.0
+    else:
+        st = float((sequence[1:] ^ sequence[:-1]).mean())
+    return SequenceStats(sp, st, length, num_bits)

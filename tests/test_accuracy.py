@@ -1,0 +1,87 @@
+"""Tests for exact / sampled accuracy certification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import comparator, parity
+from repro.errors import ModelError
+from repro.models import build_add_model, shrink_model
+from repro.models.accuracy import exact_error_report, sampled_error_report
+
+
+class TestExactErrorReport:
+    def test_model_against_itself_is_zero(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        report = exact_error_report(model, model)
+        assert report.rms_error_fF == 0.0
+        assert report.mean_shift_fF == 0.0
+        assert report.max_overestimate_fF == 0.0
+        assert report.max_underestimate_fF == 0.0
+
+    def test_avg_shrink_has_zero_mean_shift(self):
+        netlist = comparator(4)
+        exact = build_add_model(netlist)
+        small = shrink_model(exact, 40)
+        report = exact_error_report(exact, small)
+        assert report.mean_shift_fF == pytest.approx(0.0, abs=1e-6)
+        assert report.rms_error_fF > 0.0
+
+    def test_max_shrink_is_certified_upper_bound(self):
+        netlist = comparator(4)
+        exact = build_add_model(netlist, strategy="max")
+        small = shrink_model(exact, 40)
+        report = exact_error_report(exact, small)
+        assert report.is_upper_bound
+        assert not report.is_lower_bound
+        assert report.max_overestimate_fF > 0.0
+
+    def test_min_shrink_is_certified_lower_bound(self):
+        netlist = comparator(4)
+        exact = build_add_model(netlist, strategy="min")
+        small = shrink_model(exact, 40)
+        report = exact_error_report(exact, small)
+        assert report.is_lower_bound
+
+    def test_rms_matches_brute_force(self, fig2_netlist):
+        import numpy as np
+
+        from repro.sim import exhaustive_pairs
+
+        exact = build_add_model(fig2_netlist)
+        small = shrink_model(exact, 5)
+        report = exact_error_report(exact, small)
+        gaps = [
+            small.switching_capacitance(i, f) - exact.switching_capacitance(i, f)
+            for i, f in exhaustive_pairs(2)
+        ]
+        assert report.rms_error_fF == pytest.approx(
+            float(np.sqrt(np.mean(np.square(gaps))))
+        )
+        assert report.max_overestimate_fF == pytest.approx(max(max(gaps), 0))
+
+    def test_cross_manager_rejected(self, fig2_netlist):
+        one = build_add_model(fig2_netlist)
+        two = build_add_model(fig2_netlist)
+        with pytest.raises(ModelError):
+            exact_error_report(one, two)
+
+
+class TestSampledErrorReport:
+    def test_exact_model_certifies_clean(self):
+        netlist = parity(6)
+        model = build_add_model(netlist)
+        report = sampled_error_report(model, netlist, num_samples=500)
+        assert report.rms_error_fF == pytest.approx(0.0, abs=1e-9)
+
+    def test_bound_model_certifies_conservative(self):
+        netlist = parity(6)
+        model = build_add_model(netlist, max_nodes=30, strategy="max")
+        report = sampled_error_report(model, netlist, num_samples=500)
+        assert report.is_upper_bound
+        assert report.mean_shift_fF > 0.0  # bounds sit above the truth
+
+    def test_width_mismatch_rejected(self, fig2_netlist):
+        model = build_add_model(parity(3))
+        with pytest.raises(ModelError):
+            sampled_error_report(model, fig2_netlist)

@@ -1,0 +1,103 @@
+"""Tests for analytic switching-activity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import parity
+from repro.errors import SimulationError
+from repro.netlist import NetlistBuilder
+from repro.sim import markov_sequence, sequence_switching_capacitances, simulate
+from repro.sim.activity import exact_activity, propagated_activity
+
+
+class TestExactActivity:
+    @pytest.mark.parametrize("sp,st", [(0.5, 0.5), (0.5, 0.2), (0.3, 0.3)])
+    def test_matches_long_simulation(self, fig2_netlist, sp, st):
+        report = exact_activity(fig2_netlist, sp, st)
+        sequence = markov_sequence(2, 30000, sp=sp, st=st, seed=81)
+        golden = sequence_switching_capacitances(fig2_netlist, sequence)
+        assert report.average_capacitance_fF == pytest.approx(
+            float(np.mean(golden)), rel=0.05
+        )
+
+    def test_signal_probabilities_exact(self, fig2_netlist):
+        report = exact_activity(fig2_netlist, sp=0.5, st=0.5)
+        # g3 = x1 + x2 -> P = 3/4; inverters -> 1/2.
+        values = fig2_netlist.evaluate({"x1": 0, "x2": 0})  # touch nets
+        assert report.signal_probability["x1"] == pytest.approx(0.5)
+        or_net = [g.output for g in fig2_netlist.gates if g.cell.op.value == "or"][0]
+        assert report.signal_probability[or_net] == pytest.approx(0.75)
+
+    def test_rising_probability_zero_at_zero_activity(self, fig2_netlist):
+        report = exact_activity(fig2_netlist, sp=0.5, st=0.0)
+        assert all(v == pytest.approx(0.0) for v in report.rising_probability.values())
+        assert report.average_capacitance_fF == pytest.approx(0.0)
+
+    def test_agrees_with_add_model_expectation(self):
+        from repro.models import build_add_model
+
+        netlist = parity(5)
+        model = build_add_model(netlist)
+        for sp, st in [(0.5, 0.4), (0.4, 0.25)]:
+            assert exact_activity(netlist, sp, st).average_capacitance_fF == \
+                pytest.approx(model.expected_capacitance(sp, st))
+
+    def test_infeasible_statistics_rejected(self, fig2_netlist):
+        with pytest.raises(SimulationError):
+            exact_activity(fig2_netlist, sp=0.1, st=0.9)
+
+
+class TestPropagatedActivity:
+    def test_exact_on_tree_circuit(self):
+        """Without reconvergence the independence assumption is exact."""
+        netlist = parity(4)
+        for sp, st in [(0.5, 0.5), (0.5, 0.2)]:
+            cheap = propagated_activity(netlist, sp, st)
+            exact = exact_activity(netlist, sp, st)
+            assert cheap.average_capacitance_fF == pytest.approx(
+                exact.average_capacitance_fF, rel=0.02
+            )
+
+    def test_signal_probability_on_and_tree(self):
+        builder = NetlistBuilder("and4")
+        bits = builder.bus("x", 4)
+        builder.output("y", builder.and_tree(bits))
+        netlist = builder.build()
+        report = propagated_activity(netlist, sp=0.5, st=0.5)
+        and_output = [
+            g.output for g in netlist.gates if g.cell.op.value == "and"
+        ]
+        deepest = netlist.topological_order()[-2].output  # before out buffer
+        assert report.signal_probability[deepest] == pytest.approx(1 / 16)
+
+    def test_reconvergence_introduces_error(self, reconvergent_netlist):
+        """The cheap estimator must deviate where fanout reconverges,
+        and the exact one must not."""
+        sp, st = 0.5, 0.5
+        exact = exact_activity(reconvergent_netlist, sp, st)
+        sequence = markov_sequence(3, 30000, sp=sp, st=st, seed=82)
+        golden = float(
+            np.mean(sequence_switching_capacitances(reconvergent_netlist, sequence))
+        )
+        assert exact.average_capacitance_fF == pytest.approx(golden, rel=0.05)
+
+    def test_probabilities_stay_in_range(self):
+        from repro.circuits import alu
+
+        netlist = alu(3)
+        report = propagated_activity(netlist, sp=0.4, st=0.3)
+        for value in report.signal_probability.values():
+            assert 0.0 <= value <= 1.0
+        for value in report.rising_probability.values():
+            assert 0.0 <= value <= 0.5 + 1e-9
+
+    def test_mux_propagation(self):
+        builder = NetlistBuilder("m")
+        s, a, b = builder.input("s"), builder.input("a"), builder.input("b")
+        builder.output("y", builder.mux(s, a, b))
+        netlist = builder.build()
+        report = propagated_activity(netlist, sp=0.5, st=0.5)
+        mux_net = [g.output for g in netlist.gates if g.cell.op.value == "mux"][0]
+        assert report.signal_probability[mux_net] == pytest.approx(0.5)

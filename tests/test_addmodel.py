@@ -1,0 +1,225 @@
+"""Tests for the core contribution: ADD-based power model construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import comparator, parity
+from repro.errors import ModelError
+from repro.models import build_add_model, shrink_model
+from repro.sim import (
+    exhaustive_pairs,
+    markov_sequence,
+    pair_switching_capacitances,
+    sequence_switching_capacitances,
+    switching_capacitance,
+    uniform_pairs,
+)
+
+
+def assert_exact_on_all_pairs(netlist, model):
+    for initial, final in exhaustive_pairs(netlist.num_inputs):
+        truth = switching_capacitance(
+            netlist, initial.tolist(), final.tolist()
+        )
+        estimate = model.switching_capacitance(initial, final)
+        assert estimate == pytest.approx(truth), (initial, final)
+
+
+class TestExactModels:
+    def test_fig2_exact(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        assert_exact_on_all_pairs(fig2_netlist, model)
+
+    def test_xor_chain_exact(self, xor_chain_netlist):
+        model = build_add_model(xor_chain_netlist)
+        assert_exact_on_all_pairs(xor_chain_netlist, model)
+
+    def test_reconvergent_exact(self, reconvergent_netlist):
+        model = build_add_model(reconvergent_netlist)
+        assert_exact_on_all_pairs(reconvergent_netlist, model)
+
+    def test_parity_exact(self):
+        netlist = parity(5)
+        model = build_add_model(netlist)
+        assert_exact_on_all_pairs(netlist, model)
+
+    @pytest.mark.parametrize("scheme", ["interleaved", "blocked"])
+    def test_both_orderings_exact(self, fig2_netlist, scheme):
+        model = build_add_model(fig2_netlist, scheme=scheme)
+        assert_exact_on_all_pairs(fig2_netlist, model)
+
+    def test_explicit_input_order(self, fig2_netlist):
+        model = build_add_model(fig2_netlist, input_order=["x2", "x1"])
+        assert_exact_on_all_pairs(fig2_netlist, model)
+
+    def test_exact_model_average_is_analytic(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        pairs = list(exhaustive_pairs(2))
+        truth = np.mean(
+            [
+                switching_capacitance(fig2_netlist, i.tolist(), f.tolist())
+                for i, f in pairs
+            ]
+        )
+        assert model.average_capacitance_uniform() == pytest.approx(truth)
+
+
+class TestApproximatedModels:
+    def test_size_budget_respected(self):
+        netlist = comparator(4)
+        for max_nodes in (200, 50, 20):
+            model = build_add_model(netlist, max_nodes=max_nodes)
+            assert model.size <= max_nodes
+
+    def test_avg_model_preserves_global_average(self, fig2_netlist):
+        exact = build_add_model(fig2_netlist)
+        small = build_add_model(fig2_netlist, max_nodes=4)
+        assert small.average_capacitance_uniform() == pytest.approx(
+            exact.average_capacitance_uniform()
+        )
+
+    def test_upper_bound_conservative_exhaustive(self, reconvergent_netlist):
+        model = build_add_model(
+            reconvergent_netlist, max_nodes=5, strategy="max"
+        )
+        for initial, final in exhaustive_pairs(3):
+            truth = switching_capacitance(
+                reconvergent_netlist, initial.tolist(), final.tolist()
+            )
+            assert model.switching_capacitance(initial, final) >= truth - 1e-9
+
+    def test_lower_bound_conservative_exhaustive(self, reconvergent_netlist):
+        model = build_add_model(
+            reconvergent_netlist, max_nodes=5, strategy="min"
+        )
+        for initial, final in exhaustive_pairs(3):
+            truth = switching_capacitance(
+                reconvergent_netlist, initial.tolist(), final.tolist()
+            )
+            assert model.switching_capacitance(initial, final) <= truth + 1e-9
+
+    def test_upper_bound_on_larger_circuit_sampled(self):
+        netlist = comparator(6)
+        model = build_add_model(netlist, max_nodes=60, strategy="max")
+        initial, final = uniform_pairs(netlist.num_inputs, 300, seed=11)
+        truth = pair_switching_capacitances(netlist, initial, final)
+        estimates = model.pair_capacitances(initial, final)
+        assert np.all(estimates >= truth - 1e-9)
+
+    def test_report_metadata(self, fig2_netlist):
+        model = build_add_model(fig2_netlist, max_nodes=4)
+        report = model.report
+        assert report.macro_name == "fig2"
+        assert report.max_nodes == 4
+        assert report.final_nodes == model.size
+        assert report.peak_nodes >= report.final_nodes
+        assert report.cpu_seconds >= 0.0
+        assert report.num_gates == fig2_netlist.num_gates
+
+    def test_shrink_model_chain(self):
+        netlist = comparator(4)
+        exact = build_add_model(netlist)
+        sizes = []
+        model = exact
+        for target in (100, 40, 10, 3):
+            model = shrink_model(model, target)
+            sizes.append(model.size)
+            assert model.size <= target
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_shrunk_bound_stays_conservative(self, reconvergent_netlist):
+        bound = build_add_model(reconvergent_netlist, strategy="max")
+        small = shrink_model(bound, 3)
+        for initial, final in exhaustive_pairs(3):
+            truth = switching_capacitance(
+                reconvergent_netlist, initial.tolist(), final.tolist()
+            )
+            assert small.switching_capacitance(initial, final) >= truth - 1e-9
+
+
+class TestAnalyticQueries:
+    def test_global_extrema_bracket_samples(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        values = [
+            model.switching_capacitance(i, f) for i, f in exhaustive_pairs(2)
+        ]
+        assert model.global_maximum() == pytest.approx(max(values))
+        assert model.global_minimum() == pytest.approx(min(values))
+
+    def test_leaf_values_sorted_distinct(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        leaves = model.leaf_values()
+        assert leaves == sorted(set(leaves))
+
+    def test_expected_capacitance_matches_uniform(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        assert model.expected_capacitance(0.5, 0.5) == pytest.approx(
+            model.average_capacitance_uniform()
+        )
+
+    def test_expected_capacitance_matches_simulation(self):
+        netlist = parity(4)
+        model = build_add_model(netlist)
+        for sp, st in [(0.5, 0.2), (0.3, 0.3), (0.7, 0.1)]:
+            sequence = markov_sequence(4, 20000, sp=sp, st=st, seed=13)
+            empirical = sequence_switching_capacitances(
+                netlist, sequence
+            ).mean()
+            analytic = model.expected_capacitance(sp, st)
+            assert analytic == pytest.approx(empirical, rel=0.05)
+
+    def test_expected_capacitance_requires_interleaved(self, fig2_netlist):
+        model = build_add_model(fig2_netlist, scheme="blocked")
+        with pytest.raises(ModelError):
+            model.expected_capacitance(0.5, 0.5)
+
+    def test_expected_capacitance_validates_statistics(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        with pytest.raises(ModelError):
+            model.expected_capacitance(0.1, 0.9)
+
+    def test_zero_activity_means_zero_power(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        assert model.expected_capacitance(0.5, 0.0) == pytest.approx(0.0)
+
+
+class TestBatchEvaluation:
+    def test_pair_capacitances_matches_single(self, fig2_netlist, rng):
+        model = build_add_model(fig2_netlist)
+        initial = rng.random((30, 2)) < 0.5
+        final = rng.random((30, 2)) < 0.5
+        batch = model.pair_capacitances(initial, final)
+        for k in range(30):
+            assert batch[k] == model.switching_capacitance(initial[k], final[k])
+
+    def test_sequence_capacitances(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        sequence = markov_sequence(2, 40, seed=15)
+        truth = sequence_switching_capacitances(fig2_netlist, sequence)
+        estimates = model.sequence_capacitances(sequence)
+        assert np.allclose(estimates, truth)
+
+    def test_shape_mismatch_rejected(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        with pytest.raises(ModelError):
+            model.pair_capacitances(
+                np.zeros((2, 2), dtype=bool), np.zeros((3, 2), dtype=bool)
+            )
+
+
+class TestValidation:
+    def test_bad_max_nodes(self, fig2_netlist):
+        with pytest.raises(ModelError):
+            build_add_model(fig2_netlist, max_nodes=0)
+
+    def test_bad_input_order(self, fig2_netlist):
+        with pytest.raises(ModelError):
+            build_add_model(fig2_netlist, input_order=["x1"])
+
+    def test_shrink_random_rejected(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        model.strategy = "random"
+        with pytest.raises(ModelError):
+            shrink_model(model, 3)

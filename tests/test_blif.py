@@ -1,0 +1,231 @@
+"""Tests for the BLIF reader and writer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import check_equivalent, parse_blif, write_blif
+
+HALF_ADDER = """
+# a trivial half adder
+.model half_adder
+.inputs a b
+.outputs s c
+.names a b s
+10 1
+01 1
+.names a b c
+11 1
+.end
+"""
+
+
+class TestParsing:
+    def test_half_adder_semantics(self):
+        netlist = parse_blif(HALF_ADDER)
+        assert netlist.name == "half_adder"
+        assert netlist.inputs == ["a", "b"]
+        for a, b in itertools.product((0, 1), repeat=2):
+            outs = netlist.evaluate_outputs([a, b])
+            assert outs["s"] == (a ^ b)
+            assert outs["c"] == (a & b)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = HALF_ADDER.replace(".inputs a b", ".inputs a b  # the inputs\n\n")
+        netlist = parse_blif(text)
+        assert netlist.inputs == ["a", "b"]
+
+    def test_line_continuation(self):
+        text = HALF_ADDER.replace(".inputs a b", ".inputs a \\\nb")
+        netlist = parse_blif(text)
+        assert netlist.inputs == ["a", "b"]
+
+    def test_offset_cover(self):
+        text = """
+.model offs
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+"""
+        netlist = parse_blif(text)
+        # y = NOT(a AND b)
+        assert netlist.evaluate_outputs([1, 1])["y"] == 0
+        assert netlist.evaluate_outputs([1, 0])["y"] == 1
+
+    def test_constant_one_node(self):
+        text = """
+.model c1
+.inputs a
+.outputs y z
+.names y
+1
+.names a z
+1 1
+.end
+"""
+        netlist = parse_blif(text)
+        assert netlist.evaluate_outputs([0])["y"] == 1
+
+    def test_constant_zero_node(self):
+        text = """
+.model c0
+.inputs a
+.outputs y
+.names y
+.names a unused
+1 1
+.end
+"""
+        netlist = parse_blif(text)
+        assert netlist.evaluate_outputs([1])["y"] == 0
+
+    def test_single_literal_maps_to_buf_or_inv(self):
+        text = """
+.model wire
+.inputs a
+.outputs y z
+.names a y
+1 1
+.names a z
+0 1
+.end
+"""
+        netlist = parse_blif(text)
+        cells = netlist.counts_by_cell()
+        assert cells.get("BUF1", 0) >= 1
+        assert cells.get("INV1", 0) >= 1
+        assert netlist.evaluate_outputs([1]) == {"y": 1, "z": 0}
+
+
+class TestParseErrors:
+    def test_latch_rejected(self):
+        with pytest.raises(ParseError, match="latch"):
+            parse_blif(".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end")
+
+    def test_missing_inputs(self):
+        with pytest.raises(ParseError, match="inputs"):
+            parse_blif(".model m\n.outputs y\n.names y\n1\n.end")
+
+    def test_missing_outputs(self):
+        with pytest.raises(ParseError, match="outputs"):
+            parse_blif(".model m\n.inputs a\n.end")
+
+    def test_undefined_output(self):
+        with pytest.raises(ParseError, match="never defined"):
+            parse_blif(".model m\n.inputs a\n.outputs ghost\n.end")
+
+    def test_double_definition(self):
+        text = """
+.model m
+.inputs a
+.outputs y
+.names a y
+1 1
+.names a y
+0 1
+.end
+"""
+        with pytest.raises(ParseError, match="twice"):
+            parse_blif(text)
+
+    def test_mixed_polarity_cover(self):
+        text = """
+.model m
+.inputs a b
+.outputs y
+.names a b y
+11 1
+00 0
+.end
+"""
+        with pytest.raises(ParseError, match="polarity"):
+            parse_blif(text)
+
+    def test_cube_outside_names(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_blif(".model m\n.inputs a\n.outputs y\n11 1\n.end")
+
+    def test_content_after_end(self):
+        with pytest.raises(ParseError, match="after .end"):
+            parse_blif(HALF_ADDER + "\n.names x\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            parse_blif(".model m\n.inputs a\n.outputs y\n.subckt foo\n.end")
+
+    def test_bad_cube_width(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end"
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_blif(".model m\n.inputs a\n.outputs q\n.latch a q\n.end")
+        except ParseError as exc:
+            assert exc.line == 4
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrip:
+    def test_write_then_parse_is_equivalent(self, fig2_netlist):
+        text = write_blif(fig2_netlist)
+        again = parse_blif(text)
+        assert check_equivalent(fig2_netlist, again)
+
+    def test_roundtrip_xor_chain(self, xor_chain_netlist):
+        again = parse_blif(write_blif(xor_chain_netlist))
+        assert check_equivalent(xor_chain_netlist, again)
+
+    def test_roundtrip_mux_gate(self):
+        from repro.netlist import NetlistBuilder
+
+        builder = NetlistBuilder("muxy")
+        s, a, b = builder.input("s"), builder.input("a"), builder.input("b")
+        builder.output("y", builder.mux(s, a, b))
+        netlist = builder.build()
+        again = parse_blif(write_blif(netlist))
+        assert check_equivalent(netlist, again)
+
+    def test_roundtrip_benchmark(self):
+        from repro.circuits import load_circuit
+
+        netlist = load_circuit("decod")
+        again = parse_blif(write_blif(netlist))
+        assert check_equivalent(netlist, again)
+
+
+class TestMinimizedParsing:
+    REDUNDANT = """
+.model redundant
+.inputs a b c
+.outputs y
+.names a b c y
+110 1
+111 1
+011 1
+010 1
+.end
+"""
+
+    def test_minimize_reduces_gate_count(self):
+        plain = parse_blif(self.REDUNDANT)
+        small = parse_blif(self.REDUNDANT, minimize=True)
+        assert small.num_gates < plain.num_gates
+
+    def test_minimize_preserves_function(self):
+        plain = parse_blif(self.REDUNDANT)
+        small = parse_blif(self.REDUNDANT, minimize=True)
+        assert check_equivalent(plain, small)
+
+    def test_minimize_on_roundtrip_of_benchmark(self):
+        from repro.circuits import load_circuit
+
+        original = load_circuit("decod")
+        again = parse_blif(write_blif(original), minimize=True)
+        assert check_equivalent(original, again)

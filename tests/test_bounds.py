@@ -1,0 +1,121 @@
+"""Tests for conservative bound utilities and composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import parity
+from repro.errors import ModelError
+from repro.models import (
+    build_add_model,
+    build_lower_bound_model,
+    build_upper_bound_model,
+    constant_bound_from_model,
+    summed_constant_bound,
+    summed_pattern_bound,
+    verify_upper_bound,
+)
+from repro.sim import exhaustive_max_capacitance, uniform_pairs
+
+
+class TestBoundConstruction:
+    def test_upper_bound_builder_uses_max_strategy(self, fig2_netlist):
+        model = build_upper_bound_model(fig2_netlist, max_nodes=4)
+        assert model.is_upper_bound
+        assert not model.is_lower_bound
+
+    def test_lower_bound_builder_uses_min_strategy(self, fig2_netlist):
+        model = build_lower_bound_model(fig2_netlist, max_nodes=4)
+        assert model.is_lower_bound
+
+    def test_exact_bound_global_max_equals_true_worst_case(self, fig2_netlist):
+        model = build_upper_bound_model(fig2_netlist)
+        true_worst, _, _ = exhaustive_max_capacitance(fig2_netlist)
+        assert model.global_maximum() == pytest.approx(true_worst)
+
+    def test_approximate_bound_dominates_true_worst_case(self):
+        netlist = parity(6)
+        model = build_upper_bound_model(netlist, max_nodes=10)
+        true_worst, _, _ = exhaustive_max_capacitance(netlist)
+        assert model.global_maximum() >= true_worst - 1e-9
+
+
+class TestConstantBound:
+    def test_derives_from_global_maximum(self, fig2_netlist):
+        model = build_upper_bound_model(fig2_netlist, max_nodes=6)
+        constant = constant_bound_from_model(model)
+        assert constant.value_fF == pytest.approx(model.global_maximum())
+
+    def test_rejects_non_max_models(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)  # avg strategy
+        with pytest.raises(ModelError):
+            constant_bound_from_model(model)
+
+
+class TestVerification:
+    def test_verify_passes_for_bound(self, fig2_netlist):
+        model = build_upper_bound_model(fig2_netlist, max_nodes=4)
+        initial, final = uniform_pairs(2, 200, seed=21)
+        check = verify_upper_bound(model, fig2_netlist, initial, final)
+        assert check.conservative
+        assert check.violations == 0
+        assert check.max_violation_fF == 0.0
+        assert check.mean_slack_fF >= 0.0
+        assert check.max_slack_fF >= check.mean_slack_fF
+
+    def test_verify_flags_a_bad_bound(self, fig2_netlist):
+        # An avg model is NOT a bound; verification must catch that.
+        model = build_add_model(fig2_netlist, max_nodes=2, strategy="avg")
+        initial, final = uniform_pairs(2, 200, seed=22)
+        check = verify_upper_bound(model, fig2_netlist, initial, final)
+        assert not check.conservative
+        assert check.max_violation_fF > 0.0
+
+
+class TestComposition:
+    def test_pattern_bound_tighter_than_constant_bound(self, fig2_netlist):
+        models = [
+            build_upper_bound_model(fig2_netlist, max_nodes=8)
+            for _ in range(3)
+        ]
+        loose = summed_constant_bound(models)
+        # A quiet pattern (no transition) should compose to a much lower
+        # pattern-dependent bound.
+        quiet = summed_pattern_bound(
+            models,
+            [[0, 0]] * 3,
+            [[0, 0]] * 3,
+        )
+        assert quiet < loose
+        # And the composed bound is still above the true quiet power (0).
+        assert quiet >= 0.0
+
+    def test_composed_bound_is_conservative(self, fig2_netlist, rng):
+        from repro.sim import switching_capacitance
+
+        models = [
+            build_upper_bound_model(fig2_netlist, max_nodes=5)
+            for _ in range(2)
+        ]
+        for _ in range(30):
+            pairs = [
+                (
+                    (rng.random(2) < 0.5).tolist(),
+                    (rng.random(2) < 0.5).tolist(),
+                )
+                for _ in range(2)
+            ]
+            bound = summed_pattern_bound(
+                models, [p[0] for p in pairs], [p[1] for p in pairs]
+            )
+            truth = sum(
+                switching_capacitance(fig2_netlist, xi, xf)
+                for xi, xf in pairs
+            )
+            assert bound >= truth - 1e-9
+
+    def test_length_mismatch_rejected(self, fig2_netlist):
+        model = build_upper_bound_model(fig2_netlist, max_nodes=4)
+        with pytest.raises(ModelError):
+            summed_pattern_bound([model], [], [])

@@ -1,0 +1,254 @@
+"""Functional correctness of the benchmark-circuit generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    PAPER_TABLE1,
+    address_match_block,
+    alu,
+    array_multiplier,
+    available_circuits,
+    comparator,
+    decoder,
+    load_circuit,
+    multiplexer,
+    parity,
+    parity_check_enable,
+    random_logic,
+    ripple_adder,
+)
+from repro.errors import NetlistError
+from repro.netlist import assert_valid, check_netlist
+
+
+def drive(netlist, assignment):
+    return netlist.evaluate_outputs(assignment)
+
+
+class TestMultiplexer:
+    @pytest.mark.parametrize("style", ["mux", "gates"])
+    def test_selects_correct_data_line(self, style):
+        netlist = multiplexer(2, style=style)
+        for select in range(4):
+            for hot in range(4):
+                data = [int(i == hot) for i in range(4)]
+                pattern = {f"d{i}": data[i] for i in range(4)}
+                pattern["s0"] = select & 1
+                pattern["s1"] = (select >> 1) & 1
+                assert drive(netlist, pattern)["y"] == int(select == hot)
+
+    def test_styles_are_equivalent(self):
+        from repro.netlist import check_equivalent
+
+        tree = multiplexer(3, style="mux", name="m")
+        gates = multiplexer(3, style="gates", name="m")
+        # Output names coincide ('y'); input sets coincide.
+        assert check_equivalent(tree, gates)
+
+    def test_enable_gates_output(self):
+        netlist = multiplexer(2, enable=True)
+        pattern = {f"d{i}": 1 for i in range(4)}
+        pattern.update(s0=0, s1=0, en=0)
+        assert drive(netlist, pattern)["y"] == 0
+        pattern["en"] = 1
+        assert drive(netlist, pattern)["y"] == 1
+
+    def test_bad_width(self):
+        with pytest.raises(NetlistError):
+            multiplexer(0)
+
+
+class TestParityAndDecoder:
+    @pytest.mark.parametrize("width", [2, 3, 8])
+    def test_parity(self, width):
+        netlist = parity(width)
+        for bits in itertools.product((0, 1), repeat=width):
+            assert drive(netlist, list(bits))["p"] == sum(bits) % 2
+
+    def test_decoder_one_hot(self):
+        netlist = decoder(3, enable=False)
+        for address in range(8):
+            bits = [(address >> k) & 1 for k in range(3)]
+            outs = drive(netlist, {f"a{k}": bits[k] for k in range(3)})
+            assert sum(outs.values()) == 1
+            assert outs[f"y{address}"] == 1
+
+    def test_decoder_enable(self):
+        netlist = decoder(2, enable=True)
+        outs = drive(netlist, {"a0": 1, "a1": 0, "en": 0})
+        assert sum(outs.values()) == 0
+        outs = drive(netlist, {"a0": 1, "a1": 0, "en": 1})
+        assert outs["y1"] == 1
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_against_integer_comparison(self, width):
+        netlist = comparator(width)
+        for a in range(2 ** width):
+            for b in range(2 ** width):
+                pattern = {}
+                for k in range(width):
+                    pattern[f"a{k}"] = (a >> k) & 1
+                    pattern[f"b{k}"] = (b >> k) & 1
+                outs = drive(netlist, pattern)
+                assert outs["gt"] == int(a > b)
+                assert outs["eq"] == int(a == b)
+                assert outs["lt"] == int(a < b)
+
+    def test_carry_in_cascade(self):
+        netlist = comparator(2, carry_in=True)
+        # Equal operands defer to the carry-in.
+        pattern = {"a0": 1, "a1": 0, "b0": 1, "b1": 0, "gin": 1}
+        outs = drive(netlist, pattern)
+        assert outs["gt"] == 1 and outs["eq"] == 0
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("width", [1, 3])
+    def test_ripple_adder(self, width):
+        netlist = ripple_adder(width)
+        for a in range(2 ** width):
+            for b in range(2 ** width):
+                for cin in (0, 1):
+                    pattern = {"cin": cin}
+                    for k in range(width):
+                        pattern[f"a{k}"] = (a >> k) & 1
+                        pattern[f"b{k}"] = (b >> k) & 1
+                    outs = drive(netlist, pattern)
+                    total = sum(outs[f"s{k}"] << k for k in range(width))
+                    total += outs["cout"] << width
+                    assert total == a + b + cin
+
+    def test_alu_operations(self):
+        width = 3
+        netlist = alu(width)
+        for a in range(8):
+            for b in range(8):
+                for op, func in enumerate(
+                    [lambda x, y: (x + y) % 8, lambda x, y: x & y,
+                     lambda x, y: x | y, lambda x, y: x ^ y]
+                ):
+                    pattern = {"op0": op & 1, "op1": (op >> 1) & 1}
+                    for k in range(width):
+                        pattern[f"a{k}"] = (a >> k) & 1
+                        pattern[f"b{k}"] = (b >> k) & 1
+                    outs = drive(netlist, pattern)
+                    result = sum(outs[f"y{k}"] << k for k in range(width))
+                    assert result == func(a, b), (a, b, op)
+
+    def test_alu_carry_only_for_add(self):
+        netlist = alu(2)
+        pattern = {"a0": 1, "a1": 1, "b0": 1, "b1": 1, "op0": 0, "op1": 0}
+        assert drive(netlist, pattern)["cout"] == 1
+        pattern.update(op0=1)  # AND: carry gated off
+        assert drive(netlist, pattern)["cout"] == 0
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_array_multiplier(self, width):
+        netlist = array_multiplier(width)
+        for a in range(2 ** width):
+            for b in range(2 ** width):
+                pattern = {}
+                for k in range(width):
+                    pattern[f"a{k}"] = (a >> k) & 1
+                    pattern[f"b{k}"] = (b >> k) & 1
+                outs = drive(netlist, pattern)
+                product = sum(
+                    outs[f"p{k}"] << k for k in range(2 * width)
+                )
+                assert product == a * b, (a, b)
+
+
+class TestStructuredBlocks:
+    def test_address_match_block(self):
+        netlist = address_match_block(5, 2)
+        pattern = {f"addr{k}": 1 for k in range(5)}
+        pattern.update(en0=1, en1=1)
+        outs = drive(netlist, pattern)
+        assert outs["match"] == 1 and outs["valid"] == 1
+        pattern["en0"] = 0
+        outs = drive(netlist, pattern)
+        assert outs["match"] == 1 and outs["valid"] == 0
+
+    def test_parity_check_enable(self):
+        netlist = parity_check_enable(3)
+        pattern = {"d0": 1, "d1": 1, "d2": 0, "e0": 1, "e1": 0, "e2": 1, "ctl": 0}
+        outs = drive(netlist, pattern)
+        assert outs["q0"] == 1 and outs["q1"] == 0 and outs["q2"] == 0
+        assert outs["par"] == 1  # parity of gated word (1,0,0) is 1
+        pattern["ctl"] = 1
+        assert drive(netlist, pattern)["par"] == 0
+
+
+class TestRandomLogic:
+    def test_deterministic(self):
+        from repro.netlist import write_blif
+
+        one = random_logic("r", 8, 30, seed=5)
+        two = random_logic("r", 8, 30, seed=5)
+        assert write_blif(one) == write_blif(two)
+
+    def test_seed_changes_circuit(self):
+        from repro.netlist import write_blif
+
+        one = random_logic("r", 8, 30, seed=5)
+        two = random_logic("r", 8, 30, seed=6)
+        assert write_blif(one) != write_blif(two)
+
+    def test_cone_limit_respected(self):
+        from repro.dd import DDManager
+        from repro.netlist import build_node_functions
+
+        netlist = random_logic("r", 12, 60, seed=7, cone_limit=5)
+        manager = DDManager(12)
+        variables = {name: k for k, name in enumerate(netlist.inputs)}
+        functions = build_node_functions(netlist, manager, variables)
+        for node in functions.values():
+            assert len(manager.support(node)) <= 5
+
+    def test_every_gate_carries_load(self):
+        netlist = random_logic("r", 8, 40, seed=8)
+        loads = netlist.load_capacitances()
+        assert all(load > 0 for load in loads.values())
+
+    def test_validation_clean(self):
+        netlist = random_logic("r", 10, 50, seed=9)
+        report = check_netlist(netlist)
+        assert report.ok
+
+    def test_parameter_validation(self):
+        with pytest.raises(NetlistError):
+            random_logic("r", 1, 5, seed=1)
+        with pytest.raises(NetlistError):
+            random_logic("r", 4, 0, seed=1)
+        with pytest.raises(NetlistError):
+            random_logic("r", 4, 5, seed=1, cone_limit=1)
+
+
+class TestMCNCSuite:
+    def test_all_circuits_load_and_match_paper_arity(self):
+        for name in available_circuits():
+            netlist = load_circuit(name)
+            assert netlist.num_inputs == PAPER_TABLE1[name].num_inputs
+            assert_valid(netlist)
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            load_circuit("c17")
+
+    def test_load_suite_subset(self):
+        from repro.circuits import load_suite
+
+        suite = load_suite(["cm85", "decod"])
+        assert set(suite) == {"cm85", "decod"}
+
+    def test_paper_rows_complete(self):
+        for name, row in PAPER_TABLE1.items():
+            assert row.name == name
+            assert row.are_add_percent < row.are_lin_percent < row.are_con_percent

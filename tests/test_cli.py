@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import save_blif
+from repro.circuits import load_circuit
+
+
+class TestSubcommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cm85" in out and "k2" in out
+
+    def test_info_benchmark(self, capsys):
+        assert main(["info", "decod"]) == 0
+        out = capsys.readouterr().out
+        assert "inputs:      5" in out
+        assert "gates:" in out
+
+    def test_info_blif_file(self, tmp_path, capsys):
+        path = tmp_path / "decod.blif"
+        save_blif(load_circuit("decod"), str(path))
+        assert main(["info", str(path)]) == 0
+        assert "inputs:      5" in capsys.readouterr().out
+
+    def test_build(self, capsys):
+        assert main(["build", "decod", "--max-nodes", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "final nodes:" in out
+        assert "max C:" in out
+
+    def test_build_max_strategy(self, capsys):
+        assert main(["build", "decod", "--strategy", "max"]) == 0
+        assert "strategy:     max" in capsys.readouterr().out
+
+    def test_evaluate(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "decod",
+                "--sequence-length",
+                "200",
+                "--train-length",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ADD" in out and "Con" in out and "Lin" in out
+
+    def test_bound_conservative_exit_code(self, capsys):
+        code = main(["bound", "decod", "--samples", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violations:      0" in out
+
+    def test_unknown_circuit_reports_error(self, capsys):
+        assert main(["info", "nonesuch"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestNewSubcommands:
+    def test_worst_case(self, capsys):
+        assert main(["worst-case", "decod"]) == 0
+        out = capsys.readouterr().out
+        assert "x_i:" in out and "gate-level:" in out
+
+    def test_activity(self, capsys):
+        assert main(["activity", "decod", "--sp", "0.5", "--st", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "average switching capacitance" in out
+        assert "P(rising)" in out
+
+    def test_save_and_eval_model(self, tmp_path, capsys):
+        path = tmp_path / "decod.json"
+        assert main(["save-model", "decod", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["eval-model", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "macro:    decod" in out
+
+    def test_eval_model_with_transition(self, tmp_path, capsys):
+        path = tmp_path / "decod.json"
+        main(["save-model", "decod", str(path)])
+        capsys.readouterr()
+        assert main(["eval-model", str(path), "--transition", "0000011111"]) == 0
+        assert "C(x_i, x_f)" in capsys.readouterr().out
+
+    def test_eval_model_bad_transition_width(self, tmp_path, capsys):
+        path = tmp_path / "decod.json"
+        main(["save-model", "decod", str(path)])
+        capsys.readouterr()
+        assert main(["eval-model", str(path), "--transition", "01"]) == 2
+
+    def test_iscas_path(self, tmp_path, capsys):
+        from tests.test_iscas import C17
+
+        path = tmp_path / "c17.isc"
+        path.write_text(C17)
+        assert main(["info", str(path)]) == 0
+        assert "inputs:      5" in capsys.readouterr().out

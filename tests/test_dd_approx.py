@@ -1,0 +1,177 @@
+"""Tests for node-collapsing approximation (paper Section 3)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.dd import (
+    DDManager,
+    approximate,
+    average,
+    collapse_by_threshold,
+    collapse_nodes,
+    function_stats,
+    quantize_leaves,
+)
+from repro.errors import DDError
+
+
+def random_add(manager, rng, num_vars=5, terms=6):
+    node = manager.terminal(0.0)
+    for _ in range(terms):
+        chosen = rng.sample(range(num_vars), rng.randint(1, 3))
+        cube = manager.cube({v: rng.random() < 0.5 for v in chosen})
+        node = manager.add_plus(
+            node, manager.add_const_times(cube, rng.randint(1, 20))
+        )
+    return node
+
+
+def everywhere(manager, node, num_vars):
+    return [
+        manager.evaluate(node, list(x))
+        for x in itertools.product((0, 1), repeat=num_vars)
+    ]
+
+
+@pytest.fixture
+def m():
+    return DDManager(5)
+
+
+class TestApproximate:
+    def test_no_op_when_already_small(self, m):
+        f = m.var(0)
+        assert approximate(m, f, 100) == f
+
+    def test_size_target_respected(self, m):
+        rng = random.Random(3)
+        for seed in range(5):
+            rng.seed(seed)
+            f = random_add(m, rng)
+            for target in (20, 10, 5, 2, 1):
+                g = approximate(m, f, target, "avg")
+                assert m.size(g) <= target
+
+    def test_avg_strategy_preserves_global_average(self, m):
+        rng = random.Random(11)
+        f = random_add(m, rng)
+        original = average(m, f)
+        for target in (15, 8, 4, 1):
+            g = approximate(m, f, target, "avg")
+            assert average(m, g) == pytest.approx(original)
+
+    def test_max_strategy_is_conservative_upper_bound(self, m):
+        rng = random.Random(13)
+        f = random_add(m, rng)
+        truth = everywhere(m, f, 5)
+        for target in (15, 8, 4, 1):
+            g = approximate(m, f, target, "max")
+            estimates = everywhere(m, g, 5)
+            assert all(e >= t - 1e-9 for e, t in zip(estimates, truth))
+
+    def test_min_strategy_is_conservative_lower_bound(self, m):
+        rng = random.Random(17)
+        f = random_add(m, rng)
+        truth = everywhere(m, f, 5)
+        g = approximate(m, f, 5, "min")
+        estimates = everywhere(m, g, 5)
+        assert all(e <= t + 1e-9 for e, t in zip(estimates, truth))
+
+    def test_full_collapse_with_max_gives_global_maximum(self, m):
+        rng = random.Random(19)
+        f = random_add(m, rng)
+        g = approximate(m, f, 1, "max")
+        assert m.is_terminal(g)
+        assert m.value(g) == pytest.approx(function_stats(m, f).max)
+
+    def test_random_strategy_is_reproducible(self, m):
+        rng = random.Random(23)
+        f = random_add(m, rng)
+        a = approximate(m, f, 6, "random", seed=42)
+        b = approximate(m, f, 6, "random", seed=42)
+        assert a == b
+
+    def test_random_strategy_differs_across_seeds_sometimes(self, m):
+        rng = random.Random(29)
+        f = random_add(m, rng, terms=8)
+        results = {approximate(m, f, 6, "random", seed=s) for s in range(6)}
+        assert len(results) >= 1  # at minimum it runs; usually > 1
+
+    def test_invalid_target_rejected(self, m):
+        with pytest.raises(DDError):
+            approximate(m, m.var(0), 0)
+
+    def test_invalid_strategy_rejected(self, m):
+        with pytest.raises(DDError):
+            approximate(m, m.var(0), 1, "bogus")
+
+    def test_smaller_budget_never_increases_accuracy_class(self, m):
+        """Shrinking monotonically loses leaves (pattern dependence)."""
+        rng = random.Random(31)
+        f = random_add(m, rng, terms=8)
+        sizes = [m.size(approximate(m, f, t, "avg")) for t in (30, 12, 6, 1)]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestCollapseHelpers:
+    def test_collapse_nodes_explicit(self, m):
+        f = m.ite(m.var(0), m.terminal(10.0), m.var(1))
+        # Collapse the var-1 subtree to its average (0.5).
+        target = [n for n in m.iter_nodes(f) if m.top_var(n) == 1][0]
+        g = collapse_nodes(m, f, [target], "avg")
+        assert m.evaluate(g, [0, 0, 0, 0, 0]) == pytest.approx(0.5)
+        assert m.evaluate(g, [1, 0, 0, 0, 0]) == 10.0
+
+    def test_collapse_root_yields_constant(self, m):
+        f = m.ite(m.var(0), m.terminal(4.0), m.terminal(2.0))
+        g = collapse_nodes(m, f, [f], "avg")
+        assert m.is_terminal(g)
+        assert m.value(g) == pytest.approx(3.0)
+
+    def test_collapse_by_threshold_zero_keeps_function_when_varied(self, m):
+        f = m.ite(m.var(0), m.terminal(4.0), m.terminal(2.0))
+        assert collapse_by_threshold(m, f, -1.0, "avg") == f
+
+    def test_collapse_by_threshold_huge_collapses_everything(self, m):
+        rng = random.Random(37)
+        f = random_add(m, rng)
+        g = collapse_by_threshold(m, f, 1e12, "avg")
+        assert m.is_terminal(g)
+
+    def test_collapse_by_threshold_rejects_random(self, m):
+        with pytest.raises(DDError):
+            collapse_by_threshold(m, m.var(0), 1.0, "random")
+
+
+class TestQuantizeLeaves:
+    def test_nearest_rounds_to_grid(self, m):
+        f = m.ite(m.var(0), m.terminal(7.4), m.terminal(2.6))
+        g = quantize_leaves(m, f, 1.0)
+        assert m.leaves(g) == {7.0, 3.0}
+
+    def test_up_mode_is_conservative(self, m):
+        f = m.ite(m.var(0), m.terminal(7.4), m.terminal(2.6))
+        g = quantize_leaves(m, f, 5.0, mode="up")
+        truth = everywhere(m, f, 5)
+        bound = everywhere(m, g, 5)
+        assert all(b >= t for b, t in zip(bound, truth))
+
+    def test_down_mode_is_conservative(self, m):
+        f = m.ite(m.var(0), m.terminal(7.4), m.terminal(2.6))
+        g = quantize_leaves(m, f, 5.0, mode="down")
+        truth = everywhere(m, f, 5)
+        bound = everywhere(m, g, 5)
+        assert all(b <= t for b, t in zip(bound, truth))
+
+    def test_quantize_merges_nodes(self, m):
+        f = m.ite(m.var(0), m.terminal(5.01), m.terminal(4.99))
+        g = quantize_leaves(m, f, 1.0)
+        assert m.is_terminal(g)
+
+    def test_bad_step_rejected(self, m):
+        with pytest.raises(DDError):
+            quantize_leaves(m, m.var(0), 0.0)

@@ -1,0 +1,49 @@
+"""Tests for the DOT export of decision diagrams."""
+
+from __future__ import annotations
+
+import os
+
+from repro.dd import DDManager, to_dot, write_dot
+
+
+class TestToDot:
+    def test_contains_all_nodes_and_edges(self):
+        m = DDManager(2, ["a", "b"])
+        f = m.add_plus(m.var(0), m.add_const_times(m.var(1), 2.0))
+        text = to_dot(m, f, name="test")
+        assert text.startswith("digraph test {")
+        assert text.rstrip().endswith("}")
+        for node in m.iter_nodes(f):
+            assert f"n{node}" in text
+        # dashed 0-edges and solid 1-edges for every internal node
+        assert text.count("style=dashed") == m.internal_size(f)
+
+    def test_variable_names_used_as_labels(self):
+        m = DDManager(2, ["alpha", "beta"])
+        f = m.bdd_and(m.var(0), m.var(1))
+        text = to_dot(m, f)
+        assert 'label="alpha"' in text
+        assert 'label="beta"' in text
+
+    def test_leaves_are_boxes_with_values(self):
+        m = DDManager(1)
+        f = m.ite(m.var(0), m.terminal(7.5), m.terminal(0.0))
+        text = to_dot(m, f)
+        assert 'shape=box, label="7.5"' in text
+        assert 'shape=box, label="0"' in text
+
+    def test_rank_same_per_level(self):
+        m = DDManager(2)
+        f = m.bdd_xor(m.var(0), m.var(1))
+        text = to_dot(m, f)
+        # XOR has two var-1 nodes on one rank.
+        rank_lines = [l for l in text.splitlines() if "rank=same" in l]
+        assert len(rank_lines) == 2
+
+    def test_write_dot_roundtrip(self, tmp_path):
+        m = DDManager(2)
+        f = m.bdd_or(m.var(0), m.var(1))
+        path = tmp_path / "f.dot"
+        write_dot(m, f, str(path))
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,109 @@
+"""Tests for the DDFunction operator-overloading wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dd import DDFunction, DDManager
+from repro.errors import DDError
+
+
+@pytest.fixture
+def m():
+    return DDManager(3, ["a", "b", "c"])
+
+
+@pytest.fixture
+def abc(m):
+    return (
+        DDFunction(m, m.var(0)),
+        DDFunction(m, m.var(1)),
+        DDFunction(m, m.var(2)),
+    )
+
+
+class TestBooleanOperators:
+    def test_and_or_xor_invert(self, m, abc):
+        a, b, _ = abc
+        assert (a & b).node == m.bdd_and(m.var(0), m.var(1))
+        assert (a | b).node == m.bdd_or(m.var(0), m.var(1))
+        assert (a ^ b).node == m.bdd_xor(m.var(0), m.var(1))
+        assert (~a).node == m.bdd_not(m.var(0))
+
+    def test_ite(self, m, abc):
+        a, b, c = abc
+        assert a.ite(b, c).node == m.ite(m.var(0), m.var(1), m.var(2))
+
+
+class TestArithmeticOperators:
+    def test_add_mul_with_constants(self, abc):
+        a, _, _ = abc
+        f = a * 5.0 + 2.0
+        assert f([1, 0, 0]) == 7.0
+        assert f([0, 0, 0]) == 2.0
+
+    def test_radd_rmul(self, abc):
+        a, _, _ = abc
+        assert (3.0 + a)([1, 0, 0]) == 4.0
+        assert (2.0 * a)([1, 0, 0]) == 2.0
+
+    def test_sub(self, abc):
+        a, b, _ = abc
+        f = a * 4.0 - b * 1.0
+        assert f([1, 1, 0]) == 3.0
+
+    def test_maximum_minimum(self, abc):
+        a, b, _ = abc
+        f = (a * 4.0).maximum(b * 9.0)
+        assert f([1, 1, 0]) == 9.0
+        g = (a * 4.0).minimum(b * 9.0)
+        assert g([1, 1, 0]) == 4.0
+
+
+class TestQueriesAndPlumbing:
+    def test_size_support_leaves(self, abc):
+        a, b, _ = abc
+        f = a * 4.0 + b
+        assert f.support == {0, 1}
+        assert f.leaves == {0.0, 1.0, 4.0, 5.0}
+        assert f.size == f.manager.size(f.node)
+
+    def test_boolean_and_constant_flags(self, m, abc):
+        a, _, _ = abc
+        assert a.is_boolean
+        assert not (a * 2.0).is_boolean
+        const = DDFunction(m, m.terminal(4.0))
+        assert const.is_constant
+        assert const.constant_value() == 4.0
+        assert not a.is_constant
+
+    def test_restrict_and_rename(self, m, abc):
+        a, b, _ = abc
+        f = a & b
+        assert f.restrict(0, True).node == m.var(1)
+        g = f.rename({0: 1, 1: 2})
+        assert g.support == {1, 2}
+
+    def test_exists_forall(self, m, abc):
+        a, b, _ = abc
+        f = a & b
+        assert f.exists([0]).node == m.var(1)
+        assert f.forall([0]).node == m.zero
+
+    def test_sat_count(self, abc):
+        a, b, _ = abc
+        assert (a & b).sat_count() == 2.0  # free var c
+
+    def test_equality_and_hash(self, m, abc):
+        a, _, _ = abc
+        again = DDFunction(m, m.var(0))
+        assert a == again
+        assert hash(a) == hash(again)
+        assert a != "not a function"
+
+    def test_cross_manager_mixing_rejected(self, abc):
+        other = DDManager(3)
+        foreign = DDFunction(other, other.var(0))
+        a, _, _ = abc
+        with pytest.raises(DDError):
+            _ = a & foreign

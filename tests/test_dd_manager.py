@@ -1,0 +1,302 @@
+"""Unit tests for the hash-consed DD manager (BDD and ADD semantics)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dd import DDManager
+from repro.errors import DDError, NotBooleanError, VariableOrderError
+
+
+@pytest.fixture
+def m() -> DDManager:
+    return DDManager(4, ["a", "b", "c", "d"])
+
+
+def all_assignments(num_vars):
+    return list(itertools.product((0, 1), repeat=num_vars))
+
+
+class TestNodeStore:
+    def test_terminals_are_hash_consed(self, m):
+        assert m.terminal(2.5) == m.terminal(2.5)
+        assert m.terminal(0.0) == m.zero
+        assert m.terminal(1.0) == m.one
+
+    def test_terminal_rounding_merges_float_noise(self, m):
+        assert m.terminal(0.1 + 0.2) == m.terminal(0.3)
+
+    def test_negative_zero_is_zero(self, m):
+        assert m.terminal(-0.0) == m.zero
+
+    def test_redundant_node_collapses_to_child(self, m):
+        assert m.node(0, m.one, m.one) == m.one
+
+    def test_structural_sharing(self, m):
+        u = m.node(1, m.zero, m.one)
+        v = m.node(1, m.zero, m.one)
+        assert u == v
+
+    def test_children_must_be_below(self, m):
+        upper = m.var(0)
+        with pytest.raises(VariableOrderError):
+            m.node(2, upper, m.one)
+
+    def test_var_index_range_checked(self, m):
+        with pytest.raises(VariableOrderError):
+            m.node(7, m.zero, m.one)
+
+    def test_add_var_extends_order(self, m):
+        index = m.add_var("e")
+        assert index == 4
+        assert m.var_names[4] == "e"
+        assert m.evaluate(m.var(4), [0, 0, 0, 0, 1]) == 1.0
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(DDError):
+            DDManager(-1)
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(DDError):
+            DDManager(2, ["only_one"])
+
+
+class TestBooleanOps:
+    def test_truth_tables_of_binary_ops(self, m):
+        a, b = m.var(0), m.var(1)
+        cases = {
+            m.bdd_and(a, b): lambda x, y: x and y,
+            m.bdd_or(a, b): lambda x, y: x or y,
+            m.bdd_xor(a, b): lambda x, y: x != y,
+        }
+        for node, func in cases.items():
+            for x, y in itertools.product((0, 1), repeat=2):
+                expected = float(func(x, y))
+                assert m.evaluate(node, [x, y, 0, 0]) == expected
+
+    def test_not_involution(self, m):
+        f = m.bdd_and(m.var(0), m.bdd_or(m.var(1), m.var(2)))
+        assert m.bdd_not(m.bdd_not(f)) == f
+
+    def test_not_of_constants(self, m):
+        assert m.bdd_not(m.zero) == m.one
+        assert m.bdd_not(m.one) == m.zero
+
+    def test_not_rejects_general_add(self, m):
+        with pytest.raises(NotBooleanError):
+            m.bdd_not(m.terminal(3.0))
+
+    def test_demorgan(self, m):
+        a, b = m.var(0), m.var(1)
+        left = m.bdd_not(m.bdd_and(a, b))
+        right = m.bdd_or(m.bdd_not(a), m.bdd_not(b))
+        assert left == right
+
+    def test_canonicity_across_construction_orders(self, m):
+        a, b, c = m.var(0), m.var(1), m.var(2)
+        one = m.bdd_or(m.bdd_and(a, b), c)
+        two = m.bdd_or(c, m.bdd_and(b, a))
+        assert one == two
+
+    def test_ite_matches_mux_semantics(self, m):
+        s, g, h = m.var(0), m.var(1), m.var(2)
+        node = m.ite(s, g, h)
+        for x in all_assignments(3):
+            expected = float(x[1] if x[0] else x[2])
+            assert m.evaluate(node, list(x) + [0]) == expected
+
+    def test_ite_with_add_branches(self, m):
+        node = m.ite(m.var(0), m.terminal(5.0), m.terminal(2.0))
+        assert m.evaluate(node, [1, 0, 0, 0]) == 5.0
+        assert m.evaluate(node, [0, 0, 0, 0]) == 2.0
+
+
+class TestArithmeticOps:
+    def test_plus_times_max_min_pointwise(self, m):
+        f = m.ite(m.var(0), m.terminal(4.0), m.terminal(1.0))
+        g = m.ite(m.var(1), m.terminal(10.0), m.terminal(3.0))
+        combos = {
+            m.add_plus(f, g): lambda x, y: x + y,
+            m.add_times(f, g): lambda x, y: x * y,
+            m.add_max(f, g): max,
+            m.add_min(f, g): min,
+            m.add_minus(f, g): lambda x, y: x - y,
+        }
+        for node, op in combos.items():
+            for a, b in itertools.product((0, 1), repeat=2):
+                fv = 4.0 if a else 1.0
+                gv = 10.0 if b else 3.0
+                assert m.evaluate(node, [a, b, 0, 0]) == pytest.approx(op(fv, gv))
+
+    def test_const_times(self, m):
+        f = m.var(0)
+        node = m.add_const_times(f, 7.5)
+        assert m.evaluate(node, [1, 0, 0, 0]) == 7.5
+        assert m.evaluate(node, [0, 0, 0, 0]) == 0.0
+
+    def test_plus_identity_and_times_annihilator(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        assert m.add_plus(f, m.zero) == f
+        assert m.add_times(f, m.zero) == m.zero
+        assert m.add_times(f, m.one) == f
+
+    def test_to_01_thresholds(self, m):
+        f = m.ite(m.var(0), m.terminal(4.0), m.terminal(1.0))
+        bdd = m.to_01(f, threshold=2.0)
+        assert m.evaluate(bdd, [1, 0, 0, 0]) == 1.0
+        assert m.evaluate(bdd, [0, 0, 0, 0]) == 0.0
+        assert m.is_boolean(bdd)
+
+
+class TestStructuralOps:
+    def test_restrict_cofactors(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        assert m.restrict(f, 0, True) == m.var(1)
+        assert m.restrict(f, 0, False) == m.zero
+
+    def test_restrict_independent_var_is_identity(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        assert m.restrict(f, 3, True) == f
+
+    def test_rename_shifts_support(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        g = m.rename(f, {0: 2, 1: 3})
+        assert m.support(g) == {2, 3}
+        for x in all_assignments(4):
+            assert m.evaluate(g, list(x)) == m.evaluate(f, [x[2], x[3], 0, 0])
+
+    def test_rename_rejects_non_monotone(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        with pytest.raises(VariableOrderError):
+            m.rename(f, {0: 3, 1: 2})
+
+    def test_exists_and_forall(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        assert m.exists(f, [0]) == m.var(1)
+        assert m.forall(f, [0]) == m.zero
+        g = m.bdd_or(m.var(0), m.var(1))
+        assert m.forall(g, [0]) == m.var(1)
+
+    def test_support_and_size(self, m):
+        f = m.bdd_and(m.var(0), m.var(2))
+        assert m.support(f) == {0, 2}
+        # two internal nodes + two terminals
+        assert m.size(f) == 4
+        assert m.internal_size(f) == 2
+
+    def test_cofactors_on_skipped_level(self, m):
+        f = m.var(2)
+        lo, hi = m.cofactors(f, 0)
+        assert lo == f and hi == f
+
+
+class TestEvaluationAndCounting:
+    def test_evaluate_constant(self, m):
+        assert m.evaluate(m.terminal(9.0), [0, 0, 0, 0]) == 9.0
+
+    def test_evaluate_short_assignment_raises(self, m):
+        f = m.var(3)
+        with pytest.raises(DDError):
+            m.evaluate(f, [0, 0])
+
+    def test_sat_count_simple(self, m):
+        a, b = m.var(0), m.var(1)
+        assert m.sat_count(m.bdd_and(a, b)) == 4.0    # 1 * 2^2 free vars
+        assert m.sat_count(m.bdd_or(a, b)) == 12.0
+        assert m.sat_count(m.one) == 16.0
+        assert m.sat_count(m.zero) == 0.0
+
+    def test_sat_count_respects_num_vars_argument(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        assert m.sat_count(f, num_vars=2) == 1.0
+
+    def test_sat_count_rejects_adds(self, m):
+        with pytest.raises(NotBooleanError):
+            m.sat_count(m.terminal(2.0))
+
+    def test_leaves(self, m):
+        f = m.ite(m.var(0), m.terminal(4.0), m.terminal(1.0))
+        assert m.leaves(f) == {1.0, 4.0}
+
+    def test_value_of_internal_node_raises(self, m):
+        with pytest.raises(DDError):
+            m.value(m.var(0))
+
+
+class TestConstructors:
+    def test_from_truth_table(self, m):
+        # f(a, b) = a XOR b as an explicit table (a is MSB).
+        node = m.from_truth_table([0, 1], [0.0, 1.0, 1.0, 0.0])
+        assert node == m.bdd_xor(m.var(0), m.var(1))
+
+    def test_from_truth_table_add_values(self, m):
+        node = m.from_truth_table([1], [2.5, 7.0])
+        assert m.evaluate(node, [0, 0, 0, 0]) == 2.5
+        assert m.evaluate(node, [0, 1, 0, 0]) == 7.0
+
+    def test_from_truth_table_validates_length(self, m):
+        with pytest.raises(DDError):
+            m.from_truth_table([0, 1], [1.0, 2.0])
+
+    def test_from_truth_table_requires_sorted_vars(self, m):
+        with pytest.raises(VariableOrderError):
+            m.from_truth_table([1, 0], [0.0, 0.0, 0.0, 1.0])
+
+    def test_cube(self, m):
+        node = m.cube({0: True, 2: False})
+        for x in all_assignments(4):
+            expected = float(x[0] == 1 and x[2] == 0)
+            assert m.evaluate(node, list(x)) == expected
+
+    def test_nvar(self, m):
+        assert m.nvar(1) == m.bdd_not(m.var(1))
+
+
+class TestCaches:
+    def test_clear_caches_keeps_semantics(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        m.clear_caches()
+        g = m.bdd_and(m.var(0), m.var(1))
+        assert f == g  # unique table survives; results stay canonical
+
+
+class TestEvaluateBatch:
+    def test_matches_per_row_evaluation(self, m):
+        import numpy as np
+
+        f = m.add_plus(
+            m.add_const_times(m.bdd_and(m.var(0), m.var(2)), 7.0),
+            m.add_const_times(m.bdd_xor(m.var(1), m.var(3)), 3.0),
+        )
+        rng = np.random.default_rng(5)
+        rows = rng.random((50, 4)) < 0.5
+        batch = m.evaluate_batch(f, rows)
+        for k in range(50):
+            assert batch[k] == m.evaluate(f, rows[k].tolist())
+
+    def test_constant_diagram(self, m):
+        import numpy as np
+
+        batch = m.evaluate_batch(m.terminal(4.5), np.zeros((3, 4), dtype=bool))
+        assert batch.tolist() == [4.5, 4.5, 4.5]
+
+    def test_empty_batch(self, m):
+        import numpy as np
+
+        assert m.evaluate_batch(m.var(0), np.zeros((0, 4), dtype=bool)).size == 0
+
+    def test_shape_validated(self, m):
+        import numpy as np
+        from repro.errors import DDError
+
+        with pytest.raises(DDError):
+            m.evaluate_batch(m.var(0), np.zeros(4, dtype=bool))
+
+    def test_missing_column_rejected(self, m):
+        import numpy as np
+        from repro.errors import DDError
+
+        with pytest.raises(DDError):
+            m.evaluate_batch(m.var(3), np.zeros((2, 2), dtype=bool))

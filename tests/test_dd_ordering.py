@@ -1,0 +1,96 @@
+"""Tests for TransitionSpace variable bookkeeping and ordering heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dd import TransitionSpace, fanin_dfs_input_order
+from repro.errors import DDError
+
+
+class TestTransitionSpace:
+    def test_interleaved_indices(self):
+        space = TransitionSpace(["a", "b", "c"])
+        assert [space.xi(k) for k in range(3)] == [0, 2, 4]
+        assert [space.xf(k) for k in range(3)] == [1, 3, 5]
+
+    def test_blocked_indices(self):
+        space = TransitionSpace(["a", "b", "c"], scheme="blocked")
+        assert [space.xi(k) for k in range(3)] == [0, 1, 2]
+        assert [space.xf(k) for k in range(3)] == [3, 4, 5]
+
+    def test_variable_names_tagged(self):
+        space = TransitionSpace(["a", "b"])
+        assert space.manager.var_names[space.xi(0)] == "a@i"
+        assert space.manager.var_names[space.xf(0)] == "a@f"
+
+    @pytest.mark.parametrize("scheme", ["interleaved", "blocked"])
+    def test_i_to_f_mapping_is_monotone_rename(self, scheme):
+        space = TransitionSpace(["a", "b", "c"], scheme=scheme)
+        m = space.manager
+        f = m.bdd_and(m.var(space.xi(0)), m.var(space.xi(2)))
+        g = m.rename(f, space.i_to_f_mapping())
+        assert m.support(g) == {space.xf(0), space.xf(2)}
+
+    def test_assignment_packing(self):
+        space = TransitionSpace(["a", "b"])
+        packed = space.assignment([1, 0], [0, 1])
+        assert packed[space.xi(0)] == 1
+        assert packed[space.xi(1)] == 0
+        assert packed[space.xf(0)] == 0
+        assert packed[space.xf(1)] == 1
+
+    def test_assignment_length_checked(self):
+        space = TransitionSpace(["a", "b"])
+        with pytest.raises(DDError):
+            space.assignment([1], [0, 1])
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(DDError):
+            TransitionSpace(["a"], scheme="zigzag")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DDError):
+            TransitionSpace(["a", "a"])
+
+    def test_index_bounds_checked(self):
+        space = TransitionSpace(["a"])
+        with pytest.raises(DDError):
+            space.xi(1)
+        with pytest.raises(DDError):
+            space.xf(-1)
+
+
+class TestFaninDFSOrder:
+    def test_orders_by_first_encounter(self):
+        # y = f(b, a); DFS from y should meet b before a.
+        order = fanin_dfs_input_order(
+            outputs=["y"],
+            fanins={"y": ["b", "a"]},
+            inputs=["a", "b"],
+        )
+        assert order == ["b", "a"]
+
+    def test_unreached_inputs_appended(self):
+        order = fanin_dfs_input_order(
+            outputs=["y"],
+            fanins={"y": ["a"]},
+            inputs=["a", "b", "c"],
+        )
+        assert order == ["a", "b", "c"]
+
+    def test_deep_chain_does_not_recurse(self):
+        # 10000-deep chain would overflow a recursive implementation.
+        fanins = {f"n{i}": [f"n{i + 1}"] for i in range(10000)}
+        fanins["n10000"] = ["x"]
+        order = fanin_dfs_input_order(["n0"], fanins, ["x"])
+        assert order == ["x"]
+
+    def test_shared_cone_visited_once(self):
+        fanins = {
+            "y1": ["shared", "a"],
+            "y2": ["shared", "b"],
+            "shared": ["c"],
+        }
+        order = fanin_dfs_input_order(["y1", "y2"], fanins, ["a", "b", "c"])
+        assert order == ["c", "a", "b"]

@@ -1,0 +1,145 @@
+"""Tests for the avg / var / max / min recursions (paper Eq. 5-8)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dd import (
+    DDManager,
+    average,
+    compute_stats,
+    expected_value_biased,
+    function_stats,
+    leaf_histogram,
+    maximum,
+    minimum,
+    variance,
+)
+
+
+def brute_stats(manager, node, num_vars):
+    values = [
+        manager.evaluate(node, list(x))
+        for x in itertools.product((0, 1), repeat=num_vars)
+    ]
+    avg = sum(values) / len(values)
+    var = sum((v - avg) ** 2 for v in values) / len(values)
+    return avg, var, max(values), min(values)
+
+
+@pytest.fixture
+def m():
+    return DDManager(4)
+
+
+class TestAgainstBruteForce:
+    def test_random_adds_match_enumeration(self, m):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            node = m.terminal(0.0)
+            for _ in range(4):
+                cube = m.cube(
+                    {v: rng.random() < 0.5 for v in rng.sample(range(4), 2)}
+                )
+                node = m.add_plus(node, m.add_const_times(cube, rng.randint(1, 9)))
+            stats = function_stats(m, node)
+            avg, var, hi, lo = brute_stats(m, node, 4)
+            assert stats.avg == pytest.approx(avg)
+            assert stats.var == pytest.approx(var)
+            assert stats.max == pytest.approx(hi)
+            assert stats.min == pytest.approx(lo)
+
+    def test_boolean_function_stats(self, m):
+        f = m.bdd_and(m.var(0), m.var(1))
+        stats = function_stats(m, f)
+        assert stats.avg == pytest.approx(0.25)
+        assert stats.var == pytest.approx(0.25 * 0.75)
+        assert stats.max == 1.0
+        assert stats.min == 0.0
+
+
+class TestPaperExamples:
+    def test_example_4_node_n(self, m):
+        """Paper Ex. 4: children with (avg 5, var 25) and (avg 10, var 0)
+        combine to avg 7.5 and var 18.75."""
+        # A sub-ADD over one variable pair realising exactly those children:
+        # left child: values {0, 10} -> avg 5, var 25; right child: constant 10.
+        left = m.ite(m.var(1), m.terminal(10.0), m.terminal(0.0))
+        node = m.ite(m.var(0), m.terminal(10.0), left)
+        stats = function_stats(m, node)
+        assert stats.avg == pytest.approx(7.5)
+        assert stats.var == pytest.approx(18.75)
+
+    def test_example_5_mse_of_max(self, m):
+        """Paper Ex. 5: mse(n) = var + (max - avg)^2 = 18.75 + 6.25 = 25."""
+        left = m.ite(m.var(1), m.terminal(10.0), m.terminal(0.0))
+        node = m.ite(m.var(0), m.terminal(10.0), left)
+        stats = function_stats(m, node)
+        assert stats.max == 10.0
+        assert stats.mse_max == pytest.approx(25.0)
+
+    def test_mse_min_dual(self, m):
+        left = m.ite(m.var(1), m.terminal(10.0), m.terminal(0.0))
+        node = m.ite(m.var(0), m.terminal(10.0), left)
+        stats = function_stats(m, node)
+        assert stats.min == 0.0
+        assert stats.mse_min == pytest.approx(18.75 + 7.5 ** 2)
+
+
+class TestInvarianceUnderIrrelevantVariables:
+    def test_stats_ignore_skipped_levels(self, m):
+        # f depends only on var 3; stats must equal those of the 1-var view.
+        f = m.ite(m.var(3), m.terminal(8.0), m.terminal(2.0))
+        stats = function_stats(m, f)
+        assert stats.avg == pytest.approx(5.0)
+        assert stats.var == pytest.approx(9.0)
+
+
+class TestHelpers:
+    def test_module_level_wrappers(self, m):
+        f = m.ite(m.var(0), m.terminal(6.0), m.terminal(2.0))
+        assert average(m, f) == pytest.approx(4.0)
+        assert variance(m, f) == pytest.approx(4.0)
+        assert maximum(m, f) == 6.0
+        assert minimum(m, f) == 2.0
+
+    def test_compute_stats_covers_all_nodes(self, m):
+        f = m.add_plus(m.var(0), m.add_const_times(m.var(1), 3.0))
+        stats = compute_stats(m, f)
+        reachable = set(m.iter_nodes(f))
+        assert set(stats) == reachable
+
+    def test_leaf_histogram_masses_sum_to_one(self, m):
+        f = m.add_plus(m.var(0), m.add_const_times(m.var(1), 3.0))
+        histogram = leaf_histogram(m, f)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+        assert histogram[0.0] == pytest.approx(0.25)
+        assert histogram[4.0] == pytest.approx(0.25)
+
+    def test_expected_value_biased_matches_uniform_at_half(self, m):
+        f = m.add_plus(m.var(0), m.add_const_times(m.var(2), 5.0))
+        assert expected_value_biased(m, f, {}) == pytest.approx(average(m, f))
+
+    def test_expected_value_biased_extremes(self, m):
+        f = m.add_plus(m.var(0), m.add_const_times(m.var(1), 5.0))
+        assert expected_value_biased(m, f, {0: 1.0, 1: 1.0}) == pytest.approx(6.0)
+        assert expected_value_biased(m, f, {0: 0.0, 1: 0.0}) == pytest.approx(0.0)
+
+    def test_expected_value_biased_brute_force(self, m):
+        f = m.add_plus(
+            m.add_const_times(m.bdd_and(m.var(0), m.var(1)), 4.0),
+            m.add_const_times(m.var(2), 2.0),
+        )
+        probs = {0: 0.3, 1: 0.8, 2: 0.1}
+        expected = 0.0
+        for x in itertools.product((0, 1), repeat=4):
+            weight = 1.0
+            for var, p in probs.items():
+                weight *= p if x[var] else (1.0 - p)
+            weight *= 0.5  # var 3 is uniform
+            expected += weight * m.evaluate(f, list(x))
+        assert expected_value_biased(m, f, probs) == pytest.approx(expected)

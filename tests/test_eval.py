@@ -1,0 +1,217 @@
+"""Tests for metrics, the sweep runner, trade-off curves and tables."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.eval import (
+    SweepConfig,
+    ascii_table,
+    average_relative_error,
+    compute_truth_runs,
+    evaluate_models_on_runs,
+    markdown_table,
+    mean_absolute_error,
+    relative_error,
+    relative_error_percent,
+    root_mean_square_error,
+    run_sweep,
+    series_plot,
+    size_accuracy_tradeoff,
+)
+from repro.models import ConstantModel, LinearModel, build_add_model
+from repro.models.characterize import generate_training_data
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+        assert relative_error_percent(15.0, 10.0) == pytest.approx(50.0)
+
+    def test_zero_reference(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(1.0, 0.0))
+
+    def test_are(self):
+        assert average_relative_error([0.1, 0.3]) == pytest.approx(0.2)
+        with pytest.raises(ModelError):
+            average_relative_error([])
+
+    def test_rmse_and_mae(self):
+        estimates = [1.0, 2.0, 3.0]
+        truths = [1.0, 4.0, 3.0]
+        assert root_mean_square_error(estimates, truths) == pytest.approx(
+            math.sqrt(4.0 / 3.0)
+        )
+        assert mean_absolute_error(estimates, truths) == pytest.approx(2.0 / 3.0)
+        with pytest.raises(ModelError):
+            root_mean_square_error([1.0], [1.0, 2.0])
+
+
+class TestSweepConfig:
+    def test_grid_filters_infeasible_points(self):
+        config = SweepConfig(sp_values=(0.1,), st_values=(0.1, 0.5))
+        # At sp = 0.1 only st <= 0.2 is feasible.
+        assert config.grid() == [(0.1, 0.1)]
+
+    def test_empty_grid_rejected(self):
+        config = SweepConfig(sp_values=(0.05,), st_values=(0.9,))
+        with pytest.raises(ModelError):
+            config.grid()
+
+
+class TestRunner:
+    @pytest.fixture
+    def small_config(self):
+        return SweepConfig(
+            sp_values=(0.5,),
+            st_values=(0.2, 0.5, 0.8),
+            sequence_length=400,
+            seed=77,
+        )
+
+    def test_truth_runs_reproducible(self, fig2_netlist, small_config):
+        one = compute_truth_runs(fig2_netlist, small_config)
+        two = compute_truth_runs(fig2_netlist, small_config)
+        assert len(one) == 3
+        for a, b in zip(one, two):
+            assert np.array_equal(a.sequence, b.sequence)
+            assert a.average_fF == b.average_fF
+
+    def test_exact_add_model_has_zero_are(self, fig2_netlist, small_config):
+        model = build_add_model(fig2_netlist)
+        result = run_sweep(fig2_netlist, {"ADD": model}, small_config)
+        assert result.are_average("ADD") == pytest.approx(0.0, abs=1e-12)
+        assert result.are_maximum("ADD") == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_model_error_grows_off_sample(self, fig2_netlist, small_config):
+        training = generate_training_data(fig2_netlist, length=800, seed=5)
+        con = ConstantModel.characterize(fig2_netlist, training)
+        result = run_sweep(fig2_netlist, {"Con": con}, small_config)
+        curve = result.re_curve("Con", sp=0.5)
+        # Characterized at st = 0.5: error at st = 0.2 must exceed error at 0.5.
+        errors = dict(curve)
+        assert errors[0.2] > errors[0.5]
+
+    def test_re_curve_requires_existing_sp(self, fig2_netlist, small_config):
+        model = build_add_model(fig2_netlist)
+        result = run_sweep(fig2_netlist, {"ADD": model}, small_config)
+        with pytest.raises(ModelError):
+            result.re_curve("ADD", sp=0.9)
+
+    def test_bound_violations_counted(self, fig2_netlist, small_config):
+        # An aggressively collapsed avg model will sit below the peak.
+        model = build_add_model(fig2_netlist, max_nodes=1, strategy="avg")
+        result = run_sweep(fig2_netlist, {"M": model}, small_config)
+        assert result.bound_violations("M") > 0
+        bound = build_add_model(fig2_netlist, strategy="max")
+        result2 = run_sweep(fig2_netlist, {"B": bound}, small_config)
+        assert result2.bound_violations("B") == 0
+
+    def test_no_models_rejected(self, fig2_netlist, small_config):
+        runs = compute_truth_runs(fig2_netlist, small_config)
+        with pytest.raises(ModelError):
+            evaluate_models_on_runs("x", {}, runs)
+
+    def test_multiple_models_share_runs(self, fig2_netlist, small_config):
+        training = generate_training_data(fig2_netlist, length=400, seed=6)
+        models = {
+            "Con": ConstantModel.characterize(fig2_netlist, training),
+            "Lin": LinearModel.characterize(fig2_netlist, training),
+            "ADD": build_add_model(fig2_netlist),
+        }
+        result = run_sweep(fig2_netlist, models, small_config)
+        assert result.are_average("ADD") <= result.are_average("Lin")
+        assert result.are_average("Lin") <= result.are_average("Con") + 0.05
+
+
+class TestTradeoff:
+    def test_monotone_sizes_and_finite_errors(self, fig2_netlist):
+        config = SweepConfig(
+            sp_values=(0.5,), st_values=(0.3, 0.6), sequence_length=300, seed=3
+        )
+        points = size_accuracy_tradeoff(
+            fig2_netlist, sizes=[12, 6, 3, 1], config=config
+        )
+        assert [p.target_nodes for p in points] == [1, 3, 6, 12]
+        for point in points:
+            assert point.actual_nodes <= point.target_nodes
+            assert point.are_average >= 0.0
+        # Largest budget (near-exact) should be at least as accurate as the
+        # constant-collapse extreme.
+        assert points[-1].are_average <= points[0].are_average + 1e-9
+
+    def test_percent_property(self, fig2_netlist):
+        config = SweepConfig(
+            sp_values=(0.5,), st_values=(0.5,), sequence_length=200, seed=4
+        )
+        points = size_accuracy_tradeoff(fig2_netlist, sizes=[4], config=config)
+        assert points[0].are_percent == pytest.approx(
+            100.0 * points[0].are_average
+        )
+
+    def test_empty_sizes_rejected(self, fig2_netlist):
+        with pytest.raises(ModelError):
+            size_accuracy_tradeoff(fig2_netlist, sizes=[])
+
+
+class TestTables:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["name", "value"], [["a", 1.25], ["bb", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-" in lines[1]
+        assert "1.2" in lines[2] or "1.3" in lines[2]
+        assert "-" in lines[3]  # None cell
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only one"]])
+
+    def test_markdown_table(self):
+        text = markdown_table(["x", "y"], [[1, 2.5]])
+        assert text.splitlines()[0] == "| x | y |"
+        assert "| 1 | 2.5 |" in text
+
+    def test_series_plot_scales_bars(self):
+        text = series_plot([(0.1, 1.0), (0.2, 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 10  # the peak uses the full width
+        assert 0 < lines[1].count("#") <= 5
+
+    def test_series_plot_empty(self):
+        assert series_plot([]) == "(no data)"
+
+
+class TestMultiSeriesPlot:
+    def test_markers_and_legend(self):
+        from repro.eval import multi_series_plot
+
+        text = multi_series_plot(
+            {"alpha": [(1, 2.0)], "beta": [(1, 1.0), (2, 3.0)]}, width=10
+        )
+        assert "# = alpha" in text
+        assert "* = beta" in text
+        assert "beta=3" in text
+
+    def test_shared_scale(self):
+        from repro.eval import multi_series_plot
+
+        text = multi_series_plot(
+            {"a": [(1, 10.0)], "b": [(1, 5.0)]}, width=20
+        )
+        lines = [l for l in text.splitlines() if "|" in l]
+        # a's marker lands at the far edge, b's at the midpoint.
+        assert lines[0].index("#") - lines[0].index("|") == 21
+        assert lines[0].index("*") - lines[0].index("|") == 11
+
+    def test_empty(self):
+        from repro.eval import multi_series_plot
+
+        assert multi_series_plot({}) == "(no data)"

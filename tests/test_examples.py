@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts.
+
+Each example must run to completion and print its headline content; these
+tests keep the documentation executable as the library evolves.  They run
+the ``main()`` functions in-process (fast, importable) rather than via
+subprocess.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, capsys) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, f"{name}.py"))
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "characterization-free" in out
+        assert "model built in" in out
+        # The exact model must agree with the golden reference lines.
+        assert "38.0 fF" in out
+
+    def test_tradeoff_exploration(self, capsys):
+        out = run_example("tradeoff_exploration", capsys)
+        assert "size/accuracy trade-off" in out
+        assert "preserves it exactly" in out
+
+    def test_rtl_datapath_bounds(self, capsys):
+        out = run_example("rtl_datapath_bounds", capsys)
+        assert "conservatism violations: 0" in out
+        assert "tightening vs constant bound" in out
+
+    def test_blif_ip_model(self, capsys):
+        out = run_example("blif_ip_model", capsys)
+        assert "gray coding saves" in out
+        assert "without ever opening the netlist" in out
+
+    def test_hybrid_glitch_model(self, capsys):
+        out = run_example("hybrid_glitch_model", capsys)
+        assert "glitches are" in out
+        assert "hybrid" in out
+
+    def test_activity_analysis(self, capsys):
+        out = run_example("activity_analysis", capsys)
+        assert "worst-case transition" in out
+        assert "most active nets" in out

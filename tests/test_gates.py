@@ -1,0 +1,101 @@
+"""Cross-domain consistency of gate semantics (python / numpy / symbolic)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.dd import DDManager
+from repro.errors import NetlistError
+from repro.netlist import GateOp, check_arity, eval_numpy, eval_python, eval_symbolic
+
+BINARY_OPS = [GateOp.AND, GateOp.OR, GateOp.NAND, GateOp.NOR, GateOp.XOR, GateOp.XNOR]
+
+
+def reference(op: GateOp, bits):
+    """Independent truth reference for each operator."""
+    if op is GateOp.CONST0:
+        return 0
+    if op is GateOp.CONST1:
+        return 1
+    if op is GateOp.BUF:
+        return bits[0]
+    if op is GateOp.INV:
+        return 1 - bits[0]
+    if op is GateOp.AND:
+        return int(all(bits))
+    if op is GateOp.NAND:
+        return 1 - int(all(bits))
+    if op is GateOp.OR:
+        return int(any(bits))
+    if op is GateOp.NOR:
+        return 1 - int(any(bits))
+    if op is GateOp.XOR:
+        return sum(bits) % 2
+    if op is GateOp.XNOR:
+        return 1 - (sum(bits) % 2)
+    if op is GateOp.MUX:
+        s, d0, d1 = bits
+        return d1 if s else d0
+    raise AssertionError(op)
+
+
+def arities(op: GateOp):
+    if op in (GateOp.CONST0, GateOp.CONST1):
+        return [0]
+    if op in (GateOp.BUF, GateOp.INV):
+        return [1]
+    if op is GateOp.MUX:
+        return [3]
+    return [2, 3, 4]
+
+
+@pytest.mark.parametrize("op", list(GateOp))
+def test_python_matches_reference(op):
+    for k in arities(op):
+        for bits in itertools.product((0, 1), repeat=k):
+            assert eval_python(op, list(bits)) == reference(op, bits)
+
+
+@pytest.mark.parametrize("op", list(GateOp))
+def test_numpy_matches_python(op):
+    for k in arities(op):
+        rows = list(itertools.product((0, 1), repeat=k))
+        columns = [
+            np.array([row[i] for row in rows], dtype=bool) for i in range(k)
+        ]
+        batch = eval_numpy(op, columns, len(rows))
+        for index, row in enumerate(rows):
+            assert int(batch[index]) == eval_python(op, list(row))
+
+
+@pytest.mark.parametrize("op", list(GateOp))
+def test_symbolic_matches_python(op):
+    for k in arities(op):
+        manager = DDManager(max(k, 1))
+        operands = [manager.var(i) for i in range(k)]
+        node = eval_symbolic(op, manager, operands)
+        for bits in itertools.product((0, 1), repeat=max(k, 1)):
+            expected = eval_python(op, list(bits[:k]))
+            assert manager.evaluate(node, list(bits)) == float(expected)
+
+
+class TestArityChecks:
+    def test_fixed_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateOp.INV, 2)
+        with pytest.raises(NetlistError):
+            check_arity(GateOp.MUX, 2)
+        with pytest.raises(NetlistError):
+            check_arity(GateOp.CONST0, 1)
+
+    def test_associative_minimum_two(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateOp.AND, 1)
+        check_arity(GateOp.AND, 2)  # no raise
+
+    def test_eval_checks_arity_too(self):
+        with pytest.raises(NetlistError):
+            eval_python(GateOp.XOR, [1])

@@ -1,0 +1,113 @@
+"""Tests for the event-driven glitch simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    sequence_glitch_capacitances,
+    sequence_switching_capacitances,
+    simulate_transition,
+    switching_capacitance,
+)
+
+
+class TestZeroDelayAgreement:
+    def test_structural_component_matches_golden(self, fig2_netlist, rng):
+        for _ in range(20):
+            initial = (rng.random(2) < 0.5).tolist()
+            final = (rng.random(2) < 0.5).tolist()
+            trace = simulate_transition(fig2_netlist, initial, final)
+            golden = switching_capacitance(fig2_netlist, initial, final)
+            assert trace.zero_delay_capacitance_fF == pytest.approx(golden)
+
+    def test_balanced_tree_has_no_glitches(self, rng):
+        """In a balanced tree every gate's inputs settle simultaneously,
+        so transport-delay simulation produces no spurious transitions."""
+        from repro.netlist import NetlistBuilder
+
+        builder = NetlistBuilder("balanced")
+        bits = builder.bus("x", 4)
+        builder.output("p", builder.xor_tree(bits))
+        netlist = builder.build()
+        for _ in range(20):
+            initial = (rng.random(4) < 0.5).tolist()
+            final = (rng.random(4) < 0.5).tolist()
+            trace = simulate_transition(netlist, initial, final)
+            assert trace.num_glitch_transitions == 0
+            assert trace.glitch_capacitance_fF == pytest.approx(0.0)
+
+    def test_chain_circuit_does_glitch(self, xor_chain_netlist):
+        """An XOR chain has unequal input depths: toggling the first and
+        last inputs together makes intermediate gates switch twice."""
+        trace = simulate_transition(xor_chain_netlist, [0, 0, 0, 0], [1, 0, 0, 1])
+        assert trace.num_glitch_transitions > 0
+
+
+class TestGlitchDetection:
+    def test_unequal_paths_produce_glitch(self, reconvergent_netlist):
+        """reconv: y = (a & b & c) | ~a.  On a: 0 -> 1 with b = c = 1 the
+        OR sees ~a fall (fast) before the AND path rises (slow): a glitch."""
+        trace = simulate_transition(reconvergent_netlist, [0, 1, 1], [1, 1, 1])
+        assert trace.num_glitch_transitions > 0
+        assert trace.switching_capacitance_fF > trace.zero_delay_capacitance_fF
+
+    def test_total_at_least_structural_rising(self, reconvergent_netlist, rng):
+        """Every settled rising transition is also seen by the event sim,
+        so total capacitance >= zero-delay capacitance."""
+        for _ in range(30):
+            initial = (rng.random(3) < 0.5).tolist()
+            final = (rng.random(3) < 0.5).tolist()
+            trace = simulate_transition(reconvergent_netlist, initial, final)
+            assert (
+                trace.switching_capacitance_fF
+                >= trace.zero_delay_capacitance_fF - 1e-9
+            )
+
+    def test_custom_delays_change_glitching(self, reconvergent_netlist):
+        # Making the inverter as slow as the AND path removes the hazard.
+        slow_inv = {}
+        for gate in reconvergent_netlist.gates:
+            if gate.cell.name == "INV1":
+                slow_inv[gate.name] = 3
+        balanced = simulate_transition(
+            reconvergent_netlist, [0, 1, 1], [1, 1, 1], delays=slow_inv
+        )
+        assert balanced.num_glitch_transitions == 0
+
+
+class TestSequenceInterface:
+    def test_sequence_glitch_capacitances(self, reconvergent_netlist, rng):
+        sequence = rng.random((12, 3)) < 0.5
+        totals = sequence_glitch_capacitances(reconvergent_netlist, sequence)
+        structural = sequence_switching_capacitances(
+            reconvergent_netlist, sequence
+        )
+        assert totals.shape == structural.shape
+        assert np.all(totals >= structural - 1e-9)
+
+    def test_too_short_sequence_rejected(self, reconvergent_netlist):
+        with pytest.raises(SimulationError):
+            sequence_glitch_capacitances(
+                reconvergent_netlist, np.zeros((1, 3), dtype=bool)
+            )
+
+
+class TestValidation:
+    def test_pattern_width_checked(self, fig2_netlist):
+        with pytest.raises(SimulationError):
+            simulate_transition(fig2_netlist, [0], [1])
+
+    def test_bad_delay_rejected(self, fig2_netlist):
+        gate = fig2_netlist.gates[0]
+        with pytest.raises(SimulationError):
+            simulate_transition(
+                fig2_netlist, [0, 0], [1, 1], delays={gate.name: 0}
+            )
+
+    def test_no_input_change_no_events(self, fig2_netlist):
+        trace = simulate_transition(fig2_netlist, [1, 0], [1, 0])
+        assert trace.num_output_transitions == 0
+        assert trace.switching_capacitance_fF == 0.0

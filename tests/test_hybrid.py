@@ -1,0 +1,66 @@
+"""Tests for the hybrid (analytical + characterized residual) model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.models import HybridModel, build_add_model
+from repro.sim import markov_sequence, sequence_glitch_capacitances
+
+
+class TestCharacterization:
+    def test_reduces_glitch_bias(self, reconvergent_netlist):
+        """The structural model underestimates glitch-aware power; the
+        hybrid's characterized residual must close most of that gap."""
+        structural = build_add_model(reconvergent_netlist)
+        hybrid = HybridModel.characterize(
+            reconvergent_netlist, structural, training_length=250
+        )
+        sequence = markov_sequence(3, 300, sp=0.5, st=0.5, seed=31)
+        total = sequence_glitch_capacitances(reconvergent_netlist, sequence)
+        structural_bias = abs(
+            structural.sequence_capacitances(sequence).mean() - total.mean()
+        )
+        hybrid_bias = abs(
+            hybrid.sequence_capacitances(sequence).mean() - total.mean()
+        )
+        assert hybrid_bias < structural_bias
+
+    def test_constant_residual_variant(self, reconvergent_netlist):
+        hybrid = HybridModel.characterize(
+            reconvergent_netlist, training_length=150, linear_residual=False
+        )
+        assert np.all(hybrid.residual_coefficients_fF == 0.0)
+
+    def test_builds_structural_model_if_missing(self, fig2_netlist):
+        hybrid = HybridModel.characterize(fig2_netlist, training_length=100)
+        assert hybrid.structural.macro_name == "fig2"
+
+    def test_residual_width_validated(self, fig2_netlist):
+        structural = build_add_model(fig2_netlist)
+        with pytest.raises(CharacterizationError):
+            HybridModel(structural, 0.0, np.zeros(5))
+
+
+class TestEvaluation:
+    def test_pair_capacitances_matches_single(self, reconvergent_netlist, rng):
+        hybrid = HybridModel.characterize(
+            reconvergent_netlist, training_length=120
+        )
+        initial = rng.random((25, 3)) < 0.5
+        final = rng.random((25, 3)) < 0.5
+        batch = hybrid.pair_capacitances(initial, final)
+        for k in range(25):
+            assert batch[k] == pytest.approx(
+                hybrid.switching_capacitance(initial[k], final[k])
+            )
+
+    def test_residual_decomposition(self, fig2_netlist):
+        structural = build_add_model(fig2_netlist)
+        hybrid = HybridModel(structural, 2.0, np.array([1.0, 3.0]))
+        base = structural.switching_capacitance([0, 1], [1, 1])
+        assert hybrid.switching_capacitance([0, 1], [1, 1]) == pytest.approx(
+            base + 2.0 + 1.0  # intercept + coefficient of toggled bit 0
+        )

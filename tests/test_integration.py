@@ -1,0 +1,110 @@
+"""End-to-end integration tests: the paper's experimental shapes, in miniature.
+
+These run the full pipeline (circuit -> characterize baselines -> build ADD
+models -> (sp, st) sweep) on the small benchmark circuits and assert the
+*qualitative* results the paper reports: ADD beats Lin beats Con on
+average-power accuracy, the ADD error curve is flat in st where the
+baselines blow up, and pattern-dependent bounds beat constant bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import load_circuit
+from repro.eval import SweepConfig, run_sweep
+from repro.models import (
+    ConstantModel,
+    LinearModel,
+    build_add_model,
+    constant_bound_from_model,
+    generate_training_data,
+)
+
+CONFIG = SweepConfig(
+    sp_values=(0.5,),
+    st_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+    sequence_length=800,
+    seed=99,
+)
+
+
+@pytest.fixture(scope="module", params=["cm85", "decod"])
+def pipeline(request):
+    from repro.circuits.mcnc import SUGGESTED_MAX_NODES
+
+    name = request.param
+    netlist = load_circuit(name)
+    avg_max, ub_max = SUGGESTED_MAX_NODES[name]
+    training = generate_training_data(netlist, length=800, seed=1)
+    models = {
+        "Con": ConstantModel.characterize(netlist, training),
+        "Lin": LinearModel.characterize(netlist, training),
+        "ADD": build_add_model(netlist, max_nodes=avg_max),
+    }
+    bound = build_add_model(netlist, max_nodes=ub_max, strategy="max")
+    models["ADDmax"] = bound
+    models["Conmax"] = constant_bound_from_model(bound)
+    result = run_sweep(netlist, models, CONFIG)
+    return name, netlist, models, result
+
+
+class TestAverageAccuracyOrdering:
+    def test_add_beats_lin_beats_con(self, pipeline):
+        _, _, _, result = pipeline
+        add = result.are_average("ADD")
+        lin = result.are_average("Lin")
+        con = result.are_average("Con")
+        assert add < lin < con
+        # The paper reports roughly one order of magnitude per step; allow
+        # slack but require a clear separation.
+        assert add < 0.7 * lin
+        assert lin < 0.9 * con
+
+    def test_add_error_is_flat_in_st(self, pipeline):
+        _, _, _, result = pipeline
+        add_curve = [re for _, re in result.re_curve("ADD", sp=0.5)]
+        con_curve = [re for _, re in result.re_curve("Con", sp=0.5)]
+        # Fig. 7a: the ADD curve stays far below Con's worst-case blowup
+        # and its spread across st is a fraction of Con's.
+        assert max(add_curve) < 0.3 * max(con_curve)
+        assert max(add_curve) - min(add_curve) < 0.3 * (
+            max(con_curve) - min(con_curve)
+        )
+
+    def test_con_explodes_at_low_activity(self, pipeline):
+        _, _, _, result = pipeline
+        errors = dict(result.re_curve("Con", sp=0.5))
+        assert errors[0.1] > 1.0  # >100% off-sample error, as in Fig. 7a
+
+
+class TestBounds:
+    def test_pattern_bound_never_violated(self, pipeline):
+        _, _, _, result = pipeline
+        assert result.bound_violations("ADDmax") == 0
+        assert result.bound_violations("Conmax") == 0
+
+    def test_pattern_bound_tighter_than_constant_bound(self, pipeline):
+        _, _, _, result = pipeline
+        assert result.are_maximum("ADDmax") <= result.are_maximum("Conmax")
+
+    def test_constant_bound_never_below_pattern_bound_pointwise(self, pipeline):
+        _, _, _, result = pipeline
+        for row in result.rows:
+            assert (
+                row.model_maximum_fF["Conmax"]
+                >= row.model_maximum_fF["ADDmax"] - 1e-9
+            )
+
+
+class TestModelAgreement:
+    def test_exact_model_tracks_golden_everywhere(self, pipeline):
+        _, netlist, _, _ = pipeline
+        exact = build_add_model(netlist)
+        from repro.sim import markov_sequence, sequence_switching_capacitances
+
+        sequence = markov_sequence(netlist.num_inputs, 300, seed=123)
+        golden = sequence_switching_capacitances(netlist, sequence)
+        estimates = exact.sequence_capacitances(sequence)
+        assert np.allclose(golden, estimates)

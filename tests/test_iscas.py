@@ -1,0 +1,128 @@
+"""Tests for the ISCAS-85 netlist reader (using the classic c17 circuit)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import NetlistBuilder
+from repro.netlist.iscas import parse_iscas
+
+# The six-NAND c17 benchmark in ISCAS-85 netlist format, with the usual
+# fanout branch entries for the multiply-loaded signals.
+C17 = """
+*  c17 — smallest ISCAS-85 benchmark
+1  1gat inpt 1 0 >sa1
+2  2gat inpt 1 0 >sa1
+3  3gat inpt 2 0 >sa0 >sa1
+8  8gat from 3gat >sa1
+9  9gat from 3gat >sa1
+6  6gat inpt 1 0 >sa1
+7  7gat inpt 1 0 >sa1
+10 10gat nand 1 2 >sa1
+ 1 8
+11 11gat nand 2 2 >sa0 >sa1
+ 9 6
+14 14gat from 11gat >sa1
+15 15gat from 11gat >sa1
+16 16gat nand 2 2 >sa0 >sa1
+ 2 14
+20 20gat from 16gat >sa1
+21 21gat from 16gat >sa1
+19 19gat nand 1 2 >sa1
+ 15 7
+22 22gat nand 0 2 >sa0 >sa1
+ 10 20
+23 23gat nand 0 2 >sa1
+ 21 19
+"""
+
+
+def reference_c17():
+    """c17 rebuilt directly: two NAND trees over five inputs."""
+    builder = NetlistBuilder("c17_ref", share_structure=False)
+    i1, i2, i3 = builder.input("1gat"), builder.input("2gat"), builder.input("3gat")
+    i6, i7 = builder.input("6gat"), builder.input("7gat")
+    g10 = builder.nand2(i1, i3)
+    g11 = builder.nand2(i3, i6)
+    g16 = builder.nand2(i2, g11)
+    g19 = builder.nand2(g11, i7)
+    builder.netlist.add_output(builder.nand2(g10, g16))
+    builder.netlist.add_output(builder.nand2(g16, g19))
+    return builder.build()
+
+
+class TestC17:
+    def test_structure(self):
+        netlist = parse_iscas(C17, name="c17")
+        assert netlist.name == "c17"
+        assert netlist.num_inputs == 5
+        assert netlist.num_gates == 6
+        assert len(netlist.outputs) == 2
+        assert set(netlist.outputs) == {"22gat", "23gat"}
+        assert all(g.cell.op.value == "nand" for g in netlist.gates)
+
+    def test_functionality_matches_reference(self):
+        netlist = parse_iscas(C17)
+        reference = reference_c17()
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(netlist.inputs, bits))
+            ref_pattern = dict(zip(reference.inputs, bits))
+            got = sorted(netlist.evaluate_outputs(pattern).values())
+            want = sorted(reference.evaluate_outputs(ref_pattern).values())
+            # sorted() because output name order may differ; c17's two
+            # outputs are distinguishable over the full truth table sweep.
+            assert got == want, bits
+
+    def test_branch_loads_accumulate_on_stem(self):
+        netlist = parse_iscas(C17)
+        # 11gat drives two NAND pins (via branches 14/15): 2 * 7 fF.
+        loads = netlist.load_capacitances()
+        driver = netlist.driver("11gat")
+        assert loads[driver.name] == pytest.approx(14.0)
+
+    def test_power_model_builds(self):
+        from repro.models import build_add_model
+        from repro.sim import exhaustive_pairs, switching_capacitance
+
+        netlist = parse_iscas(C17)
+        model = build_add_model(netlist)
+        count = 0
+        for initial, final in exhaustive_pairs(5):
+            truth = switching_capacitance(
+                netlist, initial.tolist(), final.tolist()
+            )
+            assert model.switching_capacitance(initial, final) == \
+                pytest.approx(truth)
+            count += 1
+        assert count == 1024
+
+
+class TestParseErrors:
+    def test_unknown_gate_type(self):
+        with pytest.raises(ParseError, match="unknown gate type"):
+            parse_iscas("1 a inpt 1 0\n2 b frob 0 1\n 1\n")
+
+    def test_fanin_count_mismatch(self):
+        with pytest.raises(ParseError, match="declares 2 fanins"):
+            parse_iscas("1 a inpt 1 0\n2 b nand 0 2\n 1\n")
+
+    def test_missing_fanin_list(self):
+        with pytest.raises(ParseError, match="missing fanin list"):
+            parse_iscas("1 a inpt 1 0\n2 b not 0 1\n")
+
+    def test_unknown_stem(self):
+        text = "1 a inpt 1 0\n5 br from ghost\n2 b not 0 1\n 5\n"
+        with pytest.raises(ParseError, match="unknown stem"):
+            parse_iscas(text)
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_iscas("* only a comment\n")
+
+    def test_no_outputs(self):
+        text = "1 a inpt 1 0\n2 b not 1 1\n 1\n"
+        with pytest.raises(ParseError, match="zero-fanout"):
+            parse_iscas(text)

@@ -1,0 +1,72 @@
+"""Tests for cells and the technology library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import TEST_LIBRARY, Cell, GateOp, Library
+
+
+class TestCell:
+    def test_scalar_pin_capacitance(self):
+        cell = Cell("X", GateOp.AND, 2, input_capacitance_fF=9.0)
+        assert cell.pin_capacitance(0) == 9.0
+        assert cell.pin_capacitance(1) == 9.0
+        assert cell.total_input_capacitance == 18.0
+
+    def test_per_pin_capacitances(self):
+        cell = Cell("M", GateOp.MUX, 3, input_capacitance_fF=(8.0, 10.0, 10.0))
+        assert cell.pin_capacitance(0) == 8.0
+        assert cell.total_input_capacitance == 28.0
+
+    def test_pin_count_mismatch_rejected(self):
+        with pytest.raises(NetlistError):
+            Cell("B", GateOp.AND, 2, input_capacitance_fF=(1.0,))
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(NetlistError):
+            Cell("B", GateOp.AND, 2, input_capacitance_fF=-1.0)
+        with pytest.raises(NetlistError):
+            Cell("B", GateOp.AND, 2, input_capacitance_fF=(1.0, -2.0))
+
+    def test_arity_validated_against_op(self):
+        with pytest.raises(NetlistError):
+            Cell("I", GateOp.INV, 2)
+
+    def test_pin_index_bounds(self):
+        cell = Cell("I", GateOp.INV, 1, input_capacitance_fF=5.0)
+        with pytest.raises(NetlistError):
+            cell.pin_capacitance(1)
+
+
+class TestLibrary:
+    def test_lookup_by_name(self):
+        assert TEST_LIBRARY["NAND2"].op is GateOp.NAND
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(NetlistError):
+            TEST_LIBRARY["NAND9"]
+
+    def test_contains_and_len(self):
+        assert "INV1" in TEST_LIBRARY
+        assert "NOPE" not in TEST_LIBRARY
+        assert len(TEST_LIBRARY) >= 9
+
+    def test_cell_for_op(self):
+        cell = TEST_LIBRARY.cell_for_op(GateOp.XOR, 2)
+        assert cell.name == "XOR2"
+        with pytest.raises(NetlistError):
+            TEST_LIBRARY.cell_for_op(GateOp.XOR, 5)
+
+    def test_duplicate_cell_names_rejected(self):
+        inv = Cell("I", GateOp.INV, 1)
+        with pytest.raises(NetlistError):
+            Library("dup", [inv, inv])
+
+    def test_iteration_yields_cells(self):
+        names = {cell.name for cell in TEST_LIBRARY}
+        assert {"INV1", "NAND2", "MUX2", "TIE0", "TIE1"} <= names
+
+    def test_tie_cells_have_no_pins(self):
+        assert TEST_LIBRARY["TIE0"].total_input_capacitance == 0.0

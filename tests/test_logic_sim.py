@@ -1,0 +1,58 @@
+"""Tests for the numpy batch logic simulator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import all_patterns, simulate, simulate_outputs
+
+
+class TestAgainstSinglePatternEvaluation:
+    def test_all_nets_match_reference(self, fig2_netlist):
+        patterns = all_patterns(2)
+        result = simulate(fig2_netlist, patterns)
+        for index in range(patterns.shape[0]):
+            reference = fig2_netlist.evaluate(patterns[index].tolist())
+            for net, waves in result.values.items():
+                assert int(waves[index]) == reference[net]
+
+    def test_xor_chain(self, xor_chain_netlist):
+        patterns = all_patterns(4)
+        outputs = simulate_outputs(xor_chain_netlist, patterns)
+        for index, bits in enumerate(itertools.product((0, 1), repeat=4)):
+            assert int(outputs[index, 0]) == sum(bits) % 2
+
+
+class TestShapesAndValidation:
+    def test_single_vector_promoted(self, fig2_netlist):
+        result = simulate(fig2_netlist, np.array([1, 0]))
+        assert result.num_patterns == 1
+
+    def test_wrong_width_rejected(self, fig2_netlist):
+        with pytest.raises(SimulationError):
+            simulate(fig2_netlist, np.zeros((4, 3), dtype=bool))
+
+    def test_output_matrix_column_order(self, fig2_netlist):
+        patterns = all_patterns(2)
+        result = simulate(fig2_netlist, patterns)
+        matrix = result.output_matrix()
+        assert matrix.shape == (4, 3)
+        for k, net in enumerate(fig2_netlist.outputs):
+            assert np.array_equal(matrix[:, k], result.values[net])
+
+    def test_gate_output_matrix_topological_columns(self, fig2_netlist):
+        patterns = all_patterns(2)
+        result = simulate(fig2_netlist, patterns)
+        matrix = result.gate_output_matrix()
+        order = fig2_netlist.topological_order()
+        assert matrix.shape == (4, len(order))
+        for k, gate in enumerate(order):
+            assert np.array_equal(matrix[:, k], result.values[gate.output])
+
+    def test_integer_patterns_accepted(self, fig2_netlist):
+        result = simulate(fig2_netlist, np.array([[1, 0], [0, 1]]))
+        assert result.num_patterns == 2

@@ -1,0 +1,137 @@
+"""Tests for the two-level SOP minimiser."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Cover, minterm_cover
+from repro.netlist.minimize import (
+    cube_contains,
+    cubes_intersect,
+    expand_cubes,
+    irredundant,
+    literal_count,
+    merge_distance_one,
+    minimize_cover,
+    remove_contained,
+)
+
+
+class TestCubeOps:
+    def test_containment(self):
+        assert cube_contains("1--", "10-")
+        assert cube_contains("---", "010")
+        assert not cube_contains("10-", "1--")
+        assert not cube_contains("0--", "1--")
+
+    def test_intersection(self):
+        assert cubes_intersect("1-0", "-00")
+        assert not cubes_intersect("1-0", "0--")
+
+    def test_merge_distance_one(self):
+        assert merge_distance_one("100", "110") == "1-0"
+        assert merge_distance_one("10-", "11-") == "1--"
+        assert merge_distance_one("100", "111") is None  # distance 2
+        assert merge_distance_one("1-0", "110") is None  # dc mismatch
+        assert merge_distance_one("100", "100") is None  # identical
+
+    def test_merge_width_checked(self):
+        with pytest.raises(NetlistError):
+            merge_distance_one("10", "100")
+
+    def test_remove_contained(self):
+        kept = remove_contained(["1--", "10-", "111", "0-0"])
+        assert "1--" in kept
+        assert "10-" not in kept and "111" not in kept
+        assert "0-0" in kept
+
+    def test_literal_count(self):
+        assert literal_count(["1-0", "---", "111"]) == 5
+
+
+class TestExpansion:
+    def test_full_cube_from_all_minterms(self):
+        cubes = ["".join(bits) for bits in itertools.product("01", repeat=3)]
+        assert expand_cubes(cubes) == ["---"]
+
+    def test_xor_does_not_collapse(self):
+        # XOR's minterms are pairwise distance >= 2: nothing merges.
+        assert sorted(expand_cubes(["01", "10"])) == ["01", "10"]
+
+    def test_adjacent_pair_merges(self):
+        assert expand_cubes(["00", "01"]) == ["0-"]
+
+
+class TestIrredundant:
+    def test_redundant_middle_cube_dropped(self):
+        # classic: ab + a'c + bc — the consensus term bc is redundant?
+        # No: bc is the redundant one only when both others kept; check
+        # cover stays functionally identical and not larger.
+        cubes = ["11-", "0-1", "-11"]
+        reduced = irredundant(cubes, 3)
+        cover = Cover(3, tuple(cubes))
+        reduced_cover = Cover(3, tuple(reduced))
+        for bits in itertools.product((0, 1), repeat=3):
+            assert cover.evaluate(list(bits)) == reduced_cover.evaluate(list(bits))
+        assert len(reduced) <= len(cubes)
+        assert "-11" not in reduced
+
+    def test_wide_covers_passed_through(self):
+        cubes = ["1" + "-" * 17]
+        assert irredundant(cubes, 18) == cubes
+
+
+class TestMinimizeCover:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_function_preserved_on_random_covers(self, width):
+        import random
+
+        rng = random.Random(width)
+        for _ in range(25):
+            cubes = []
+            for _ in range(rng.randint(1, 6)):
+                cubes.append(
+                    "".join(rng.choice("01-") for _ in range(width))
+                )
+            cover = Cover(width, tuple(cubes))
+            reduced = minimize_cover(cover)
+            for bits in itertools.product((0, 1), repeat=width):
+                assert cover.evaluate(list(bits)) == reduced.evaluate(
+                    list(bits)
+                ), (cubes, reduced.cubes, bits)
+
+    def test_literals_never_increase(self):
+        import random
+
+        rng = random.Random(99)
+        for _ in range(25):
+            width = rng.randint(2, 5)
+            cubes = [
+                "".join(rng.choice("01-") for _ in range(width))
+                for _ in range(rng.randint(1, 8))
+            ]
+            cover = Cover(width, tuple(cubes))
+            reduced = minimize_cover(cover)
+            assert literal_count(reduced.cubes) <= literal_count(cover.cubes)
+
+    def test_minterm_cover_of_and(self):
+        cover = minterm_cover(2, [3])
+        assert minimize_cover(cover).cubes == ("11",)
+
+    def test_full_function_collapses_to_tautology_cube(self):
+        cover = minterm_cover(2, [0, 1, 2, 3])
+        assert minimize_cover(cover).cubes == ("--",)
+
+    def test_polarity_preserved(self):
+        cover = Cover(2, ("00", "01"), covers_onset=False)
+        reduced = minimize_cover(cover)
+        assert not reduced.covers_onset
+        for bits in itertools.product((0, 1), repeat=2):
+            assert cover.evaluate(list(bits)) == reduced.evaluate(list(bits))
+
+    def test_empty_cover_unchanged(self):
+        cover = Cover(3, ())
+        assert minimize_cover(cover) is cover

@@ -1,0 +1,198 @@
+"""Tests for the characterized baselines: Con, Lin, LUT and TrainingData."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError, ModelError
+from repro.models import (
+    ConstantModel,
+    LinearModel,
+    StatsLUTModel,
+    generate_training_data,
+)
+from repro.models.characterize import TrainingData, characterization_sequence
+from repro.sim import markov_sequence, sequence_switching_capacitances
+
+
+class TestTrainingData:
+    def test_generation_matches_golden(self, fig2_netlist):
+        training = generate_training_data(fig2_netlist, length=50, seed=1)
+        assert training.num_samples == 49
+        assert training.num_inputs == 2
+        golden = sequence_switching_capacitances(
+            fig2_netlist,
+            np.vstack([training.initial, training.final[-1:]]),
+        )
+        assert np.allclose(training.capacitances, golden)
+
+    def test_activities(self):
+        initial = np.array([[1, 0], [0, 0]], dtype=bool)
+        final = np.array([[0, 0], [0, 1]], dtype=bool)
+        data = TrainingData(initial, final, np.array([1.0, 2.0]))
+        assert data.activities.tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_validation(self):
+        good = np.zeros((3, 2), dtype=bool)
+        with pytest.raises(CharacterizationError):
+            TrainingData(good, np.zeros((4, 2), dtype=bool), np.zeros(3))
+        with pytest.raises(CharacterizationError):
+            TrainingData(good, good, np.zeros(5))
+        with pytest.raises(CharacterizationError):
+            TrainingData(
+                np.zeros((0, 2), dtype=bool),
+                np.zeros((0, 2), dtype=bool),
+                np.zeros(0),
+            )
+
+    def test_characterization_sequence_stats(self, fig2_netlist):
+        sequence = characterization_sequence(fig2_netlist, length=2000)
+        assert abs(sequence.mean() - 0.5) < 0.05
+
+
+class TestConstantModel:
+    def test_characterize_uses_training_mean(self, fig2_netlist):
+        training = generate_training_data(fig2_netlist, length=200, seed=2)
+        model = ConstantModel.characterize(fig2_netlist, training)
+        assert model.value_fF == pytest.approx(training.capacitances.mean())
+
+    def test_every_pattern_gets_same_value(self, fig2_netlist):
+        model = ConstantModel("m", fig2_netlist.inputs, 12.5)
+        assert model.switching_capacitance([0, 0], [1, 1]) == 12.5
+        assert model.switching_capacitance([1, 1], [0, 0]) == 12.5
+
+    def test_closed_form_summaries(self, fig2_netlist):
+        model = ConstantModel("m", fig2_netlist.inputs, 9.0)
+        sequence = markov_sequence(2, 50, seed=3)
+        assert model.average_capacitance(sequence) == 9.0
+        assert model.maximum_capacitance(sequence) == 9.0
+        batch = model.pair_capacitances(sequence[:-1], sequence[1:])
+        assert np.all(batch == 9.0)
+
+    def test_worst_case_constructor(self, fig2_netlist):
+        training = generate_training_data(fig2_netlist, length=200, seed=2)
+        model = ConstantModel.worst_case(fig2_netlist, training)
+        assert model.value_fF == pytest.approx(training.capacitances.max())
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(CharacterizationError):
+            ConstantModel("m", ["a"], -1.0)
+
+
+class TestLinearModel:
+    def test_exact_fit_on_linear_circuit(self, fig2_netlist):
+        """fig2's switching capacitance IS close to linear in activities;
+        more importantly, lstsq must reproduce an exactly linear target."""
+        rng = np.random.default_rng(4)
+        initial = rng.random((300, 2)) < 0.5
+        final = rng.random((300, 2)) < 0.5
+        activities = (initial ^ final).astype(float)
+        target = 3.0 + activities @ np.array([7.0, 2.0])
+        training = TrainingData(initial, final, target)
+        model = LinearModel.characterize(fig2_netlist, training)
+        assert model.intercept_fF == pytest.approx(3.0, abs=1e-8)
+        assert model.coefficients_fF == pytest.approx([7.0, 2.0], abs=1e-8)
+
+    def test_per_pattern_evaluation(self):
+        model = LinearModel("m", ["a", "b"], 1.0, [10.0, 100.0])
+        assert model.switching_capacitance([0, 0], [1, 0]) == 11.0
+        assert model.switching_capacitance([0, 1], [1, 0]) == 111.0
+        assert model.switching_capacitance([1, 1], [1, 1]) == 1.0
+
+    def test_batch_matches_single(self, fig2_netlist, rng):
+        training = generate_training_data(fig2_netlist, length=100, seed=5)
+        model = LinearModel.characterize(fig2_netlist, training)
+        initial = rng.random((20, 2)) < 0.5
+        final = rng.random((20, 2)) < 0.5
+        batch = model.pair_capacitances(initial, final)
+        for k in range(20):
+            assert batch[k] == pytest.approx(
+                model.switching_capacitance(initial[k], final[k])
+            )
+
+    def test_coefficient_count(self, fig2_netlist):
+        model = LinearModel.characterize(
+            fig2_netlist, generate_training_data(fig2_netlist, length=50)
+        )
+        assert model.num_coefficients == 3
+
+    def test_coefficient_width_validated(self):
+        with pytest.raises(CharacterizationError):
+            LinearModel("m", ["a", "b"], 0.0, [1.0])
+
+    def test_in_sample_error_is_small(self, fig2_netlist):
+        training = generate_training_data(fig2_netlist, length=2000, seed=6)
+        model = LinearModel.characterize(fig2_netlist, training)
+        estimate = model.pair_capacitances(training.initial, training.final)
+        bias = abs(estimate.mean() - training.capacitances.mean())
+        assert bias < 0.5  # least squares is unbiased on the sample
+
+
+class TestStatsLUT:
+    def test_lookup_interpolates(self, fig2_netlist):
+        model = StatsLUTModel(
+            "m",
+            fig2_netlist.inputs,
+            np.array([0.0, 1.0]),
+            np.array([0.0, 1.0]),
+            np.array([[0.0, 10.0], [20.0, 30.0]]),
+        )
+        assert model.lookup(0.0, 0.0) == 0.0
+        assert model.lookup(0.0, 1.0) == 10.0
+        assert model.lookup(1.0, 0.0) == 20.0
+        assert model.lookup(0.5, 0.5) == pytest.approx(15.0)
+
+    def test_lookup_clamps_outside_grid(self, fig2_netlist):
+        model = StatsLUTModel(
+            "m",
+            fig2_netlist.inputs,
+            np.array([0.2, 0.8]),
+            np.array([0.1, 0.9]),
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+        assert model.lookup(0.0, 0.0) == 1.0
+        assert model.lookup(1.0, 1.0) == 4.0
+
+    def test_characterize_tracks_statistics(self, fig2_netlist):
+        model = StatsLUTModel.characterize(
+            fig2_netlist, sequence_length=400, seed=7
+        )
+        low = markov_sequence(2, 800, sp=0.5, st=0.1, seed=8)
+        high = markov_sequence(2, 800, sp=0.5, st=0.5, seed=9)
+        # More activity -> more power; the LUT must reflect that.
+        assert model.average_capacitance(high) > model.average_capacitance(low)
+
+    def test_grid_shape_validated(self):
+        with pytest.raises(CharacterizationError):
+            StatsLUTModel(
+                "m", ["a"], np.array([0.5]), np.array([0.5]), np.array([[1.0]])
+            )
+
+    def test_table_shape_validated(self):
+        with pytest.raises(CharacterizationError):
+            StatsLUTModel(
+                "m",
+                ["a"],
+                np.array([0.2, 0.8]),
+                np.array([0.2, 0.8]),
+                np.zeros((3, 2)),
+            )
+
+
+class TestBaseClassValidation:
+    def test_width_check(self, fig2_netlist):
+        model = ConstantModel("m", fig2_netlist.inputs, 1.0)
+        with pytest.raises(ModelError):
+            model.pair_capacitances(
+                np.zeros((2, 3), dtype=bool), np.zeros((2, 3), dtype=bool)
+            )
+
+    def test_sequence_too_short(self):
+        model = LinearModel("m", ["a"], 0.0, [1.0])
+        with pytest.raises(ModelError):
+            model.sequence_capacitances(np.zeros((1, 1), dtype=bool))
+
+    def test_energy_conversion(self):
+        model = ConstantModel("m", ["a"], 10.0)
+        assert model.energy_fJ([0], [1], vdd=2.0) == 40.0

@@ -1,0 +1,201 @@
+"""Tests for the Netlist data structure: construction, ordering, loads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import (
+    DEFAULT_OUTPUT_LOAD_FF,
+    TEST_LIBRARY,
+    Netlist,
+    NetlistBuilder,
+)
+
+
+@pytest.fixture
+def tiny() -> Netlist:
+    netlist = Netlist("tiny")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate("AND2", ["a", "b"], "ab")
+    netlist.add_gate("INV1", ["ab"], "nab")
+    netlist.add_output("nab")
+    return netlist
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_input("a")
+
+    def test_double_driver_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_gate("AND2", ["a", "b"], "ab")
+
+    def test_driving_an_input_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_gate("INV1", ["b"], "a")
+
+    def test_arity_mismatch_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_gate("AND2", ["a"], "bad")
+
+    def test_duplicate_gate_name_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_gate("INV1", ["a"], "x1", name="g0")
+
+    def test_duplicate_output_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_output("nab")
+
+    def test_cell_object_accepted_directly(self, tiny):
+        cell = TEST_LIBRARY["NOR2"]
+        tiny.add_gate(cell, ["a", "b"], "n2")
+        assert tiny.driver("n2").cell.name == "NOR2"
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self, tiny):
+        order = [g.output for g in tiny.topological_order()]
+        assert order.index("ab") < order.index("nab")
+
+    def test_forward_references_allowed(self):
+        netlist = Netlist("fwd")
+        netlist.add_input("a")
+        netlist.add_gate("INV1", ["later"], "out")  # 'later' defined below
+        netlist.add_gate("BUF1", ["a"], "later")
+        netlist.add_output("out")
+        order = [g.output for g in netlist.topological_order()]
+        assert order == ["later", "out"]
+
+    def test_cycle_detected(self):
+        netlist = Netlist("cyc")
+        netlist.add_input("a")
+        netlist.add_gate("AND2", ["a", "y"], "x")
+        netlist.add_gate("BUF1", ["x"], "y")
+        with pytest.raises(NetlistError, match="cycle"):
+            netlist.topological_order()
+
+    def test_undriven_internal_net_detected(self):
+        netlist = Netlist("undrv")
+        netlist.add_input("a")
+        netlist.add_gate("AND2", ["a", "ghost"], "x")
+        with pytest.raises(NetlistError, match="no driver"):
+            netlist.topological_order()
+
+    def test_depth(self, tiny):
+        assert tiny.depth() == 2
+
+    def test_topo_cache_invalidated_on_mutation(self, tiny):
+        tiny.topological_order()
+        tiny.add_gate("INV1", ["a"], "na")
+        assert any(g.output == "na" for g in tiny.topological_order())
+
+    def test_is_primary_input(self, tiny):
+        assert tiny.is_primary_input("a")
+        assert not tiny.is_primary_input("ab")
+
+
+class TestLoads:
+    def test_load_is_sum_of_fanout_pin_caps(self, tiny):
+        loads = tiny.load_capacitances()
+        and_gate = tiny.driver("ab")
+        # 'ab' feeds the INV1 pin (5 fF); 'nab' is a primary output.
+        assert loads[and_gate.name] == 5.0
+        inv_gate = tiny.driver("nab")
+        assert loads[inv_gate.name] == DEFAULT_OUTPUT_LOAD_FF
+
+    def test_multi_fanout_accumulates(self):
+        netlist = Netlist("fan")
+        netlist.add_input("a")
+        netlist.add_gate("BUF1", ["a"], "x")
+        netlist.add_gate("INV1", ["x"], "y1")
+        netlist.add_gate("INV1", ["x"], "y2")
+        netlist.add_output("y1")
+        netlist.add_output("y2")
+        loads = netlist.load_capacitances()
+        assert loads[netlist.driver("x").name] == 10.0  # two INV pins
+
+    def test_same_net_on_two_pins_counts_twice(self):
+        netlist = Netlist("twopin")
+        netlist.add_input("a")
+        netlist.add_gate("BUF1", ["a"], "x")
+        netlist.add_gate("AND2", ["x", "x"], "y")
+        netlist.add_output("y")
+        loads = netlist.load_capacitances()
+        assert loads[netlist.driver("x").name] == 18.0  # both AND2 pins
+
+    def test_total_load(self, tiny):
+        assert tiny.total_load_capacitance() == pytest.approx(
+            sum(tiny.load_capacitances().values())
+        )
+
+    def test_custom_output_load(self):
+        netlist = Netlist("custom", output_load_fF=42.0)
+        netlist.add_input("a")
+        netlist.add_gate("BUF1", ["a"], "y")
+        netlist.add_output("y")
+        assert netlist.load_capacitances()[netlist.driver("y").name] == 42.0
+
+
+class TestEvaluation:
+    def test_evaluate_mapping_and_sequence_agree(self, tiny):
+        by_map = tiny.evaluate({"a": 1, "b": 1})
+        by_seq = tiny.evaluate([1, 1])
+        assert by_map == by_seq
+        assert by_map["nab"] == 0
+
+    def test_evaluate_outputs_only(self, tiny):
+        assert tiny.evaluate_outputs([1, 0]) == {"nab": 1}
+
+    def test_bad_pattern_length(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.evaluate([1])
+
+
+class TestReporting:
+    def test_stats(self, tiny):
+        stats = tiny.stats()
+        assert stats.num_inputs == 2
+        assert stats.num_gates == 2
+        assert stats.depth == 2
+
+    def test_counts_by_cell(self, tiny):
+        assert tiny.counts_by_cell() == {"AND2": 1, "INV1": 1}
+
+    def test_fanout_pins(self, tiny):
+        pins = tiny.fanout_pins("ab")
+        assert len(pins) == 1
+        gate, pin = pins[0]
+        assert gate.output == "nab" and pin == 0
+
+    def test_fanin_map(self, tiny):
+        assert tiny.fanin_map()["nab"] == ("ab",)
+
+
+class TestBuilderSharing:
+    def test_commutative_gates_shared(self):
+        builder = NetlistBuilder("share")
+        a, b = builder.input("a"), builder.input("b")
+        one = builder.and2(a, b)
+        two = builder.and2(b, a)
+        assert one == two
+        builder.output("y", one)
+        assert builder.build().num_gates == 2  # AND + output BUF
+
+    def test_mux_not_commutative(self):
+        builder = NetlistBuilder("muxns")
+        s, a, b = builder.input("s"), builder.input("a"), builder.input("b")
+        assert builder.mux(s, a, b) != builder.mux(s, b, a)
+
+    def test_sharing_can_be_disabled(self):
+        builder = NetlistBuilder("noshare", share_structure=False)
+        a, b = builder.input("a"), builder.input("b")
+        assert builder.and2(a, b) != builder.and2(a, b)
+
+    def test_const_nets_cached(self):
+        builder = NetlistBuilder("const")
+        builder.input("a")
+        assert builder.const(True) == builder.const(True)
+        assert builder.const(True) != builder.const(False)

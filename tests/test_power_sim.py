@@ -1,0 +1,119 @@
+"""Tests for golden-model power computation (Eq. 1-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist import NetlistBuilder
+from repro.sim import (
+    SequencePowerReport,
+    energy_fJ,
+    exhaustive_max_capacitance,
+    gate_load_vector,
+    pair_switching_capacitances,
+    sequence_switching_capacitances,
+    simulate_sequence_power,
+    switching_capacitance,
+)
+
+
+class TestFig2Example:
+    """The paper's running example: rising g1 and g2 on 11 -> 00."""
+
+    def test_transition_11_to_00(self, fig2_netlist):
+        # Both inverters rise: 15 + 15 fF with the test library loads.
+        assert switching_capacitance(fig2_netlist, [1, 1], [0, 0]) == 30.0
+
+    def test_transition_00_to_11(self, fig2_netlist):
+        # Only g3 (the OR) rises... it is already 0 -> 1? x1+x2: 0 -> 1 yes.
+        assert switching_capacitance(fig2_netlist, [0, 0], [1, 1]) == 15.0
+
+    def test_no_transition_no_power(self, fig2_netlist):
+        assert switching_capacitance(fig2_netlist, [1, 0], [1, 0]) == 0.0
+
+    def test_falling_edges_cost_nothing(self, fig2_netlist):
+        # 00 -> 10: g1 falls (1->0), g3 rises (0->1), g2 stays.
+        assert switching_capacitance(fig2_netlist, [0, 0], [1, 0]) == 15.0
+
+
+class TestBatchConsistency:
+    def test_pairs_match_single_calls(self, fig2_netlist, rng):
+        initial = rng.random((40, 2)) < 0.5
+        final = rng.random((40, 2)) < 0.5
+        batch = pair_switching_capacitances(fig2_netlist, initial, final)
+        for k in range(40):
+            single = switching_capacitance(
+                fig2_netlist, initial[k].tolist(), final[k].tolist()
+            )
+            assert batch[k] == pytest.approx(single)
+
+    def test_sequence_matches_pairwise(self, xor_chain_netlist, rng):
+        sequence = rng.random((30, 4)) < 0.5
+        via_sequence = sequence_switching_capacitances(
+            xor_chain_netlist, sequence
+        )
+        via_pairs = pair_switching_capacitances(
+            xor_chain_netlist, sequence[:-1], sequence[1:]
+        )
+        assert np.allclose(via_sequence, via_pairs)
+
+    def test_shape_validation(self, fig2_netlist):
+        with pytest.raises(SimulationError):
+            pair_switching_capacitances(
+                fig2_netlist,
+                np.zeros((3, 2), dtype=bool),
+                np.zeros((4, 2), dtype=bool),
+            )
+        with pytest.raises(SimulationError):
+            sequence_switching_capacitances(
+                fig2_netlist, np.zeros((1, 2), dtype=bool)
+            )
+
+
+class TestEnergyAndReports:
+    def test_energy_units(self):
+        # 10 fF at 2 V -> 40 fJ.
+        assert energy_fJ(10.0, vdd=2.0) == 40.0
+
+    def test_report_fields(self, fig2_netlist):
+        sequence = np.array([[0, 0], [1, 1], [0, 0], [1, 0]], dtype=bool)
+        report = simulate_sequence_power(
+            fig2_netlist, sequence, vdd=1.0, cycle_time_ns=1.0
+        )
+        capacitances = sequence_switching_capacitances(fig2_netlist, sequence)
+        assert report.num_transitions == 3
+        assert report.average_capacitance_fF == pytest.approx(capacitances.mean())
+        assert report.peak_capacitance_fF == pytest.approx(capacitances.max())
+        assert report.total_energy_fJ == pytest.approx(capacitances.sum())
+        assert report.average_power_uW == pytest.approx(capacitances.mean())
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(SimulationError):
+            SequencePowerReport.from_capacitances(np.array([]))
+
+
+class TestExhaustiveWorstCase:
+    def test_fig2_worst_case(self, fig2_netlist):
+        best, initial, final = exhaustive_max_capacitance(fig2_netlist)
+        assert best == 30.0
+        assert switching_capacitance(
+            fig2_netlist, initial.tolist(), final.tolist()
+        ) == pytest.approx(best)
+
+    def test_width_guard(self):
+        builder = NetlistBuilder("wide")
+        bits = builder.bus("x", 9)
+        builder.output("y", builder.and_tree(bits))
+        with pytest.raises(SimulationError):
+            exhaustive_max_capacitance(builder.build())
+
+
+class TestLoadVector:
+    def test_matches_load_dict(self, fig2_netlist):
+        loads = fig2_netlist.load_capacitances()
+        vector = gate_load_vector(fig2_netlist)
+        order = fig2_netlist.topological_order()
+        for k, gate in enumerate(order):
+            assert vector[k] == loads[gate.name]

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the claims the whole system rests on:
+
+- the DD engine is a faithful, canonical function representation;
+- the analytical ADD model equals the golden zero-delay simulation;
+- node collapsing preserves / bounds what it promises (average kept,
+  upper bounds conservative);
+- the avg/var recursions (Eq. 5-7) match brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dd import DDManager, approximate, function_stats
+from repro.models import build_add_model
+from repro.netlist.gates import GateOp
+from repro.netlist.synth import NetlistBuilder
+from repro.sim import pair_switching_capacitances
+
+NUM_VARS = 4
+
+# ---------------------------------------------------------------------------
+# Random expression trees over a small variable set, as a hypothesis strategy.
+# ---------------------------------------------------------------------------
+def expression(depth=3):
+    base = st.tuples(st.just("var"), st.integers(0, NUM_VARS - 1))
+    if depth == 0:
+        return base
+    sub = expression(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.just("not"), sub),
+        st.tuples(st.just("and"), sub, sub),
+        st.tuples(st.just("or"), sub, sub),
+        st.tuples(st.just("xor"), sub, sub),
+    )
+
+
+def eval_expr(expr, bits):
+    kind = expr[0]
+    if kind == "var":
+        return bits[expr[1]]
+    if kind == "not":
+        return 1 - eval_expr(expr[1], bits)
+    left = eval_expr(expr[1], bits)
+    right = eval_expr(expr[2], bits)
+    if kind == "and":
+        return left & right
+    if kind == "or":
+        return left | right
+    return left ^ right
+
+
+def build_bdd(manager, expr):
+    kind = expr[0]
+    if kind == "var":
+        return manager.var(expr[1])
+    if kind == "not":
+        return manager.bdd_not(build_bdd(manager, expr[1]))
+    left = build_bdd(manager, expr[1])
+    right = build_bdd(manager, expr[2])
+    if kind == "and":
+        return manager.bdd_and(left, right)
+    if kind == "or":
+        return manager.bdd_or(left, right)
+    return manager.bdd_xor(left, right)
+
+
+def all_bits():
+    from itertools import product
+
+    return list(product((0, 1), repeat=NUM_VARS))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression())
+def test_bdd_matches_expression_semantics(expr):
+    manager = DDManager(NUM_VARS)
+    node = build_bdd(manager, expr)
+    for bits in all_bits():
+        assert manager.evaluate(node, list(bits)) == float(eval_expr(expr, bits))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression(), expression())
+def test_bdd_canonicity(left, right):
+    """Two expressions agree everywhere iff their node ids coincide."""
+    manager = DDManager(NUM_VARS)
+    a = build_bdd(manager, left)
+    b = build_bdd(manager, right)
+    agree = all(
+        eval_expr(left, bits) == eval_expr(right, bits) for bits in all_bits()
+    )
+    assert (a == b) == agree
+
+
+# ---------------------------------------------------------------------------
+# Random weighted ADDs: stats and approximation invariants.
+# ---------------------------------------------------------------------------
+weighted_add = st.lists(
+    st.tuples(expression(2), st.integers(min_value=1, max_value=30)),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_add)
+def test_stats_recursions_match_brute_force(terms):
+    manager = DDManager(NUM_VARS)
+    node = manager.zero
+    for expr, weight in terms:
+        node = manager.add_plus(
+            node, manager.add_const_times(build_bdd(manager, expr), weight)
+        )
+    stats = function_stats(manager, node)
+    values = [manager.evaluate(node, list(bits)) for bits in all_bits()]
+    assert stats.avg == pytest.approx(np.mean(values))
+    assert stats.var == pytest.approx(np.var(values))
+    assert stats.max == pytest.approx(np.max(values))
+    assert stats.min == pytest.approx(np.min(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_add, st.integers(min_value=1, max_value=12))
+def test_approximate_invariants(terms, max_size):
+    manager = DDManager(NUM_VARS)
+    node = manager.zero
+    for expr, weight in terms:
+        node = manager.add_plus(
+            node, manager.add_const_times(build_bdd(manager, expr), weight)
+        )
+    truth = [manager.evaluate(node, list(bits)) for bits in all_bits()]
+
+    shrunk_avg = approximate(manager, node, max_size, "avg")
+    assert manager.size(shrunk_avg) <= max_size
+    approx_values = [
+        manager.evaluate(shrunk_avg, list(bits)) for bits in all_bits()
+    ]
+    assert np.mean(approx_values) == pytest.approx(np.mean(truth))
+
+    shrunk_max = approximate(manager, node, max_size, "max")
+    upper = [manager.evaluate(shrunk_max, list(bits)) for bits in all_bits()]
+    assert all(u >= t - 1e-6 for u, t in zip(upper, truth))
+
+    shrunk_min = approximate(manager, node, max_size, "min")
+    lower = [manager.evaluate(shrunk_min, list(bits)) for bits in all_bits()]
+    assert all(l <= t + 1e-6 for l, t in zip(lower, truth))
+
+
+# ---------------------------------------------------------------------------
+# Random netlists: the exact ADD model equals golden simulation.
+# ---------------------------------------------------------------------------
+@st.composite
+def random_netlist(draw):
+    num_inputs = draw(st.integers(min_value=2, max_value=4))
+    builder = NetlistBuilder("prop", share_structure=False)
+    nets = builder.bus("x", num_inputs)
+    ops = [GateOp.AND, GateOp.OR, GateOp.NAND, GateOp.NOR, GateOp.XOR, GateOp.INV]
+    num_gates = draw(st.integers(min_value=1, max_value=10))
+    for _ in range(num_gates):
+        op = draw(st.sampled_from(ops))
+        if op is GateOp.INV:
+            operands = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            first = draw(st.integers(0, len(nets) - 1))
+            second = draw(st.integers(0, len(nets) - 1))
+            if first == second:
+                second = (second + 1) % len(nets)
+            operands = [nets[first], nets[second]]
+        nets.append(builder.gate(op, operands))
+    # Mark dangling nets as outputs so every gate carries load.
+    used = set()
+    for gate in builder.netlist.gates:
+        used.update(gate.inputs)
+    for net in nets:
+        if net not in used and not builder.netlist.is_primary_input(net):
+            builder.netlist.add_output(net)
+    if not builder.netlist.outputs:
+        builder.netlist.add_output(nets[-1])
+    return builder.build()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_netlist(), st.randoms(use_true_random=False))
+def test_exact_add_model_equals_golden_simulation(netlist, rnd):
+    model = build_add_model(netlist)
+    n = netlist.num_inputs
+    initial = np.array(
+        [[rnd.random() < 0.5 for _ in range(n)] for _ in range(16)], dtype=bool
+    )
+    final = np.array(
+        [[rnd.random() < 0.5 for _ in range(n)] for _ in range(16)], dtype=bool
+    )
+    golden = pair_switching_capacitances(netlist, initial, final)
+    estimates = model.pair_capacitances(initial, final)
+    assert np.allclose(golden, estimates)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_netlist(), st.integers(min_value=2, max_value=30))
+def test_budgeted_upper_bound_is_conservative(netlist, max_nodes):
+    model = build_add_model(netlist, max_nodes=max_nodes, strategy="max")
+    assert model.size <= max_nodes
+    n = netlist.num_inputs
+    rng = np.random.default_rng(abs(hash((netlist.num_gates, max_nodes))) % 2 ** 31)
+    initial = rng.random((24, n)) < 0.5
+    final = rng.random((24, n)) < 0.5
+    golden = pair_switching_capacitances(netlist, initial, final)
+    estimates = model.pair_capacitances(initial, final)
+    assert np.all(estimates >= golden - 1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Round-trips.
+# ---------------------------------------------------------------------------
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_netlist())
+def test_blif_roundtrip_preserves_functionality(netlist):
+    from repro.netlist import check_equivalent, parse_blif, write_blif
+
+    again = parse_blif(write_blif(netlist))
+    assert check_equivalent(netlist, again)

@@ -1,0 +1,176 @@
+"""Property-based tests for serialization, reordering, activity and workloads."""
+
+from __future__ import annotations
+
+import io
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dd import DDManager
+from repro.dd.reorder import transfer
+from repro.models import build_add_model
+from repro.models.serialize import dump_model, load_model
+from repro.netlist.gates import GateOp
+from repro.netlist.synth import NetlistBuilder
+
+NUM_VARS = 4
+
+
+# Reuse the expression strategy shape from test_properties.
+def expression(depth=2):
+    base = st.tuples(st.just("var"), st.integers(0, NUM_VARS - 1))
+    if depth == 0:
+        return base
+    sub = expression(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.just("not"), sub),
+        st.tuples(st.just("and"), sub, sub),
+        st.tuples(st.just("or"), sub, sub),
+        st.tuples(st.just("xor"), sub, sub),
+    )
+
+
+def build_bdd(manager, expr):
+    kind = expr[0]
+    if kind == "var":
+        return manager.var(expr[1])
+    if kind == "not":
+        return manager.bdd_not(build_bdd(manager, expr[1]))
+    left = build_bdd(manager, expr[1])
+    right = build_bdd(manager, expr[2])
+    if kind == "and":
+        return manager.bdd_and(left, right)
+    if kind == "or":
+        return manager.bdd_or(left, right)
+    return manager.bdd_xor(left, right)
+
+
+@st.composite
+def small_netlist(draw):
+    num_inputs = draw(st.integers(min_value=2, max_value=3))
+    builder = NetlistBuilder("prop2", share_structure=False)
+    nets = builder.bus("x", num_inputs)
+    ops = [GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.INV, GateOp.NAND]
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        op = draw(st.sampled_from(ops))
+        if op is GateOp.INV:
+            operands = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            a = draw(st.integers(0, len(nets) - 1))
+            b = draw(st.integers(0, len(nets) - 1))
+            if a == b:
+                b = (b + 1) % len(nets)
+            operands = [nets[a], nets[b]]
+        nets.append(builder.gate(op, operands))
+    used = set()
+    for gate in builder.netlist.gates:
+        used.update(gate.inputs)
+    for net in nets:
+        if net not in used and not builder.netlist.is_primary_input(net):
+            builder.netlist.add_output(net)
+    if not builder.netlist.outputs:
+        builder.netlist.add_output(nets[-1])
+    return builder.build()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(small_netlist(), st.integers(min_value=2, max_value=40))
+def test_serialization_roundtrip_preserves_all_values(netlist, max_nodes):
+    model = build_add_model(netlist, max_nodes=max_nodes)
+    stream = io.StringIO()
+    dump_model(model, stream)
+    stream.seek(0)
+    again = load_model(stream)
+    n = netlist.num_inputs
+    for initial in itertools.product((0, 1), repeat=n):
+        for final in itertools.product((0, 1), repeat=n):
+            assert again.switching_capacitance(initial, final) == \
+                model.switching_capacitance(initial, final)
+
+
+@settings(max_examples=30, deadline=None)
+@given(expression(), st.randoms(use_true_random=False))
+def test_transfer_preserves_semantics_under_random_orders(expr, rnd):
+    manager = DDManager(NUM_VARS)
+    node = build_bdd(manager, expr)
+    order = sorted(manager.support(node))
+    rnd.shuffle(order)
+    target, new_node = transfer(manager, node, order)
+    for bits in itertools.product((0, 1), repeat=NUM_VARS):
+        projected = [bits[v] for v in order]
+        assert target.evaluate(new_node, projected) == manager.evaluate(
+            node, list(bits)
+        )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(small_netlist())
+def test_exact_activity_matches_model_expectation(netlist):
+    from repro.sim.activity import exact_activity
+
+    model = build_add_model(netlist)
+    for sp, st_value in ((0.5, 0.5), (0.4, 0.3)):
+        analytic = exact_activity(netlist, sp, st_value)
+        assert analytic.average_capacitance_fF == pytest.approx(
+            model.expected_capacitance(sp, st_value), rel=1e-9, abs=1e-9
+        )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(small_netlist())
+def test_worst_case_extraction_attains_global_maximum(netlist):
+    model = build_add_model(netlist)
+    initial, final, value = model.worst_case_transition()
+    from repro.sim import switching_capacitance
+
+    assert switching_capacitance(netlist, initial, final) == pytest.approx(value)
+    assert value == pytest.approx(model.global_maximum())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=1, max_value=5),
+)
+def test_counter_sequence_is_deterministic_arithmetic(num_bits, length, start, stride):
+    from repro.sim import counter_sequence
+
+    sequence = counter_sequence(num_bits, length, start=start, stride=stride)
+    mask = (1 << num_bits) - 1
+    for t in range(length):
+        value = sum(
+            int(sequence[t, num_bits - 1 - k]) << k for k in range(num_bits)
+        )
+        assert value == (start + t * stride) & mask
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(small_netlist())
+def test_minimized_blif_roundtrip_equivalent(netlist):
+    from repro.netlist import check_equivalent, parse_blif, write_blif
+
+    again = parse_blif(write_blif(netlist), minimize=True)
+    assert check_equivalent(netlist, again)

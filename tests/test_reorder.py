@@ -1,0 +1,111 @@
+"""Tests for DD variable reordering (transfer + order searches)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dd import DDManager
+from repro.dd.reorder import (
+    random_order_search,
+    sift_order_search,
+    size_under_order,
+    transfer,
+)
+from repro.errors import DDError, VariableOrderError
+
+
+def interleaved_equality(manager, pairs):
+    """f = AND over pairs (a_i == b_i); order-sensitivity workhorse."""
+    result = manager.one
+    for a, b in pairs:
+        result = manager.bdd_and(
+            result,
+            manager.bdd_not(manager.bdd_xor(manager.var(a), manager.var(b))),
+        )
+    return result
+
+
+class TestTransfer:
+    def test_semantics_preserved(self):
+        m = DDManager(4)
+        f = m.add_plus(
+            m.add_const_times(m.bdd_and(m.var(0), m.var(3)), 5.0),
+            m.add_const_times(m.bdd_xor(m.var(1), m.var(2)), 2.0),
+        )
+        order = [3, 1, 0, 2]
+        target, g = transfer(m, f, order)
+        for bits in itertools.product((0, 1), repeat=4):
+            new_bits = [bits[order[k]] for k in range(4)]
+            assert target.evaluate(g, new_bits) == m.evaluate(f, list(bits))
+
+    def test_identity_order_keeps_size(self):
+        m = DDManager(4)
+        f = interleaved_equality(m, [(0, 1), (2, 3)])
+        assert size_under_order(m, f, [0, 1, 2, 3]) == m.size(f)
+
+    def test_blocked_equality_blows_up(self):
+        """Equality of two 3-bit words: interleaved O(n), blocked O(2^n)."""
+        m = DDManager(6)
+        f = interleaved_equality(m, [(0, 1), (2, 3), (4, 5)])
+        good = size_under_order(m, f, [0, 1, 2, 3, 4, 5])
+        bad = size_under_order(m, f, [0, 2, 4, 1, 3, 5])
+        assert bad > good
+
+    def test_order_must_cover_support(self):
+        m = DDManager(3)
+        f = m.bdd_and(m.var(0), m.var(2))
+        with pytest.raises(VariableOrderError):
+            transfer(m, f, [0, 1])
+
+    def test_duplicate_order_rejected(self):
+        m = DDManager(3)
+        f = m.var(0)
+        with pytest.raises(DDError):
+            transfer(m, f, [0, 0])
+
+    def test_terminal_transfer(self):
+        m = DDManager(2)
+        target, g = transfer(m, m.terminal(4.5), [])
+        assert target.value(g) == 4.5
+
+    def test_names_carried_over(self):
+        m = DDManager(3, ["a", "b", "c"])
+        f = m.bdd_and(m.var(0), m.var(2))
+        target, _ = transfer(m, f, [2, 0])
+        assert target.var_names == ["c", "a"]
+
+
+class TestSearches:
+    def build_bad_order_function(self):
+        """Equality over 3 word pairs declared in blocked order, so the
+        identity order is bad and the searches have room to improve."""
+        m = DDManager(6, [f"v{i}" for i in range(6)])
+        f = interleaved_equality(m, [(0, 3), (1, 4), (2, 5)])
+        return m, f
+
+    def test_random_search_never_regresses(self):
+        m, f = self.build_bad_order_function()
+        baseline = size_under_order(m, f, sorted(m.support(f)))
+        _, best = random_order_search(m, f, iterations=30, seed=4)
+        assert best <= baseline
+
+    def test_sift_search_improves_blocked_equality(self):
+        m, f = self.build_bad_order_function()
+        baseline = size_under_order(m, f, sorted(m.support(f)))
+        order, best = sift_order_search(m, f, passes=6)
+        assert best < baseline
+        # The found order must actually deliver the claimed size.
+        assert size_under_order(m, f, order) == best
+
+    def test_search_on_constant(self):
+        m = DDManager(2)
+        order, size = random_order_search(m, m.terminal(1.5), iterations=3)
+        assert order == [] and size == 1
+
+    def test_single_variable(self):
+        m = DDManager(2)
+        order, size = sift_order_search(m, m.var(1))
+        assert order == [1]
+        assert size == 3

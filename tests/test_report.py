@@ -1,0 +1,47 @@
+"""Tests for the experiment-report generator."""
+
+from __future__ import annotations
+
+import os
+
+from repro.eval.report import (
+    EXPERIMENTS,
+    load_sections,
+    main,
+    render_report,
+    write_report,
+)
+
+
+class TestReport:
+    def test_missing_artifacts_flagged(self, tmp_path):
+        sections = load_sections(str(tmp_path))
+        assert len(sections) == len(EXPERIMENTS)
+        assert all(section.missing for section in sections)
+        text = render_report(str(tmp_path))
+        assert f"Artifacts present: 0/{len(EXPERIMENTS)}" in text
+
+    def test_present_artifact_included_verbatim(self, tmp_path):
+        (tmp_path / "fig7a_re_vs_st.txt").write_text("SOME TABLE CONTENT")
+        text = render_report(str(tmp_path))
+        assert "SOME TABLE CONTENT" in text
+        assert f"Artifacts present: 1/{len(EXPERIMENTS)}" in text
+
+    def test_every_experiment_has_section(self, tmp_path):
+        text = render_report(str(tmp_path))
+        for stem, title, artifact, _ in EXPERIMENTS:
+            assert title in text
+            assert artifact in text
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "table1_average.txt").write_text("table body")
+        output = tmp_path / "EXPERIMENTS.md"
+        path = write_report(str(tmp_path), str(output))
+        assert os.path.exists(path)
+        assert "table body" in output.read_text()
+
+    def test_cli_entry(self, tmp_path, capsys):
+        output = tmp_path / "out.md"
+        assert main([str(tmp_path), str(output)]) == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Tests for RTL-level macro composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import parity, ripple_adder
+from repro.errors import ModelError, NetlistError
+from repro.models import (
+    ConstantModel,
+    build_add_model,
+    build_upper_bound_model,
+)
+from repro.rtl import RTLDesign
+from repro.sim import markov_sequence
+
+
+@pytest.fixture
+def design():
+    """Two 2-bit adders feeding a 3-input parity checker."""
+    adder = ripple_adder(2, carry_in=False, name="add2")
+    par = parity(3, name="par3")
+    d = RTLDesign("datapath", ["a0", "a1", "b0", "b1", "c0", "c1", "d0", "d1"])
+    d.add_instance(
+        "add_ab",
+        adder,
+        {"a0": "a0", "a1": "a1", "b0": "b0", "b1": "b1"},
+    )
+    d.add_instance(
+        "add_cd",
+        adder,
+        {"a0": "c0", "a1": "c1", "b0": "d0", "b1": "d1"},
+    )
+    d.add_instance(
+        "par",
+        par,
+        {"x0": "add_ab.s0", "x1": "add_cd.s1", "x2": "add_ab.cout"},
+    )
+    return d
+
+
+class TestStructure:
+    def test_unknown_signal_rejected(self):
+        d = RTLDesign("bad", ["a"])
+        with pytest.raises(NetlistError, match="unknown design signal"):
+            d.add_instance("p", parity(2), {"x0": "a", "x1": "ghost"})
+
+    def test_forward_instance_reference_rejected(self):
+        d = RTLDesign("bad", ["a", "b"])
+        with pytest.raises(NetlistError):
+            d.add_instance(
+                "p", parity(2), {"x0": "a", "x1": "later.p"}
+            )
+
+    def test_unconnected_input_rejected(self):
+        d = RTLDesign("bad", ["a"])
+        with pytest.raises(NetlistError, match="unconnected"):
+            d.add_instance("p", parity(2), {"x0": "a"})
+
+    def test_duplicate_instance_rejected(self, design):
+        with pytest.raises(NetlistError, match="duplicate"):
+            design.add_instance(
+                "add_ab",
+                ripple_adder(2, carry_in=False),
+                {"a0": "a0", "a1": "a1", "b0": "b0", "b1": "b1", "cin": "a0"},
+            )
+
+    def test_bad_output_reference(self):
+        d = RTLDesign("bad", ["a", "b"])
+        d.add_instance("p", parity(2), {"x0": "a", "x1": "b"})
+        with pytest.raises(NetlistError, match="no output"):
+            d.add_instance("q", parity(2), {"x0": "p.ghost", "x1": "a"})
+
+
+class TestFunctionalSimulation:
+    def test_signals_match_manual_composition(self, design):
+        rng = np.random.default_rng(41)
+        sequence = rng.random((20, 8)) < 0.5
+        signals = design.simulate_signals(sequence)
+        # Check one cycle by hand.
+        row = sequence[7]
+        a = int(row[0]) + 2 * int(row[1])
+        b = int(row[2]) + 2 * int(row[3])
+        total = a + b
+        assert int(signals["add_ab.s0"][7]) == total & 1
+        assert int(signals["add_ab.cout"][7]) == (total >> 2) & 1
+
+    def test_width_validated(self, design):
+        with pytest.raises(ModelError):
+            design.simulate_signals(np.zeros((5, 3), dtype=bool))
+
+    def test_instance_input_sequences_shapes(self, design):
+        sequence = markov_sequence(8, 10, seed=42)
+        per_instance = design.instance_input_sequences(sequence)
+        assert per_instance["add_ab"].shape == (10, 4)
+        assert per_instance["par"].shape == (10, 3)
+
+
+class TestPowerComposition:
+    def test_exact_models_reproduce_golden(self, design):
+        sequence = markov_sequence(8, 60, seed=43)
+        for instance in design.instances:
+            design.attach_model(
+                instance.name, build_add_model(instance.netlist)
+            )
+        estimate = design.estimated_capacitances(sequence)
+        golden = design.golden_capacitances(sequence)
+        assert np.allclose(estimate, golden)
+
+    def test_bound_composition_is_conservative(self, design):
+        sequence = markov_sequence(8, 60, seed=44)
+        for instance in design.instances:
+            design.attach_model(
+                instance.name,
+                build_upper_bound_model(instance.netlist, max_nodes=20),
+            )
+        bound = design.estimated_capacitances(sequence)
+        golden = design.golden_capacitances(sequence)
+        assert np.all(bound >= golden - 1e-9)
+
+    def test_pattern_bound_tighter_than_constant_worst_case(self, design):
+        sequence = markov_sequence(8, 120, sp=0.5, st=0.2, seed=45)
+        for instance in design.instances:
+            design.attach_model(
+                instance.name,
+                build_upper_bound_model(instance.netlist, max_nodes=40),
+            )
+        per_cycle_bound = design.estimated_capacitances(sequence)
+        constant = design.constant_worst_case()
+        # Section 1.2: the composed pattern bound is conservative yet far
+        # below the sum of global worst cases on typical patterns.
+        assert per_cycle_bound.max() <= constant + 1e-9
+        assert per_cycle_bound.mean() < constant
+
+    def test_missing_model_rejected(self, design):
+        sequence = markov_sequence(8, 10, seed=46)
+        with pytest.raises(ModelError, match="without models"):
+            design.estimated_capacitances(sequence)
+
+    def test_model_width_checked_on_attach(self, design):
+        with pytest.raises(ModelError):
+            design.attach_model("par", ConstantModel("c", ["a", "b"], 1.0))
+
+    def test_constant_worst_case_requires_bound_models(self, design):
+        for instance in design.instances:
+            design.attach_model(
+                instance.name,
+                ConstantModel("c", instance.netlist.inputs, 5.0),
+            )
+        with pytest.raises(ModelError, match="global maximum"):
+            design.constant_worst_case()

@@ -1,0 +1,171 @@
+"""Tests for the controlled-statistics sequence generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.sim import (
+    all_patterns,
+    exhaustive_pairs,
+    feasible_st_range,
+    gray_sequence,
+    markov_sequence,
+    measure,
+    uniform_pairs,
+)
+
+
+class TestMarkov:
+    @pytest.mark.parametrize(
+        "sp,st",
+        [(0.5, 0.5), (0.5, 0.1), (0.3, 0.2), (0.7, 0.4), (0.2, 0.35)],
+    )
+    def test_empirical_statistics_match_spec(self, sp, st):
+        sequence = markov_sequence(24, 4000, sp=sp, st=st, seed=5)
+        stats = measure(sequence)
+        assert stats.signal_probability == pytest.approx(sp, abs=0.03)
+        assert stats.transition_probability == pytest.approx(st, abs=0.03)
+
+    def test_deterministic_with_seed(self):
+        one = markov_sequence(8, 100, seed=9)
+        two = markov_sequence(8, 100, seed=9)
+        assert np.array_equal(one, two)
+
+    def test_different_seeds_differ(self):
+        one = markov_sequence(8, 100, seed=9)
+        two = markov_sequence(8, 100, seed=10)
+        assert not np.array_equal(one, two)
+
+    def test_zero_transition_probability_freezes(self):
+        sequence = markov_sequence(6, 50, sp=0.5, st=0.0, seed=1)
+        assert np.array_equal(sequence[0], sequence[-1])
+
+    def test_infeasible_combination_rejected(self):
+        with pytest.raises(SequenceError, match="infeasible"):
+            markov_sequence(4, 10, sp=0.1, st=0.5)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(SequenceError):
+            markov_sequence(0, 10)
+        with pytest.raises(SequenceError):
+            markov_sequence(4, 0)
+
+    def test_shape_and_dtype(self):
+        sequence = markov_sequence(5, 17, seed=0)
+        assert sequence.shape == (17, 5)
+        assert sequence.dtype == bool
+
+
+class TestFeasibility:
+    def test_range_formula(self):
+        assert feasible_st_range(0.5) == (0.0, 1.0)
+        assert feasible_st_range(0.25) == (0.0, 0.5)
+        lo, hi = feasible_st_range(0.9)
+        assert hi == pytest.approx(0.2)
+
+    def test_out_of_range_sp(self):
+        with pytest.raises(SequenceError):
+            feasible_st_range(1.5)
+
+
+class TestOtherGenerators:
+    def test_uniform_pairs_shapes(self):
+        initial, final = uniform_pairs(7, 100, seed=3)
+        assert initial.shape == final.shape == (100, 7)
+        # Roughly half the bits toggle on average.
+        assert abs(float((initial ^ final).mean()) - 0.5) < 0.05
+
+    def test_uniform_pairs_validation(self):
+        with pytest.raises(SequenceError):
+            uniform_pairs(0, 5)
+
+    def test_exhaustive_pairs_count_and_coverage(self):
+        pairs = list(exhaustive_pairs(2))
+        assert len(pairs) == 16
+        seen = {
+            (tuple(int(b) for b in i), tuple(int(b) for b in f))
+            for i, f in pairs
+        }
+        assert len(seen) == 16
+
+    def test_exhaustive_pairs_width_limit(self):
+        with pytest.raises(SequenceError):
+            next(exhaustive_pairs(11))
+
+    def test_all_patterns_msb_first(self):
+        patterns = all_patterns(3)
+        assert patterns.shape == (8, 3)
+        assert patterns[1].tolist() == [False, False, True]
+        assert patterns[4].tolist() == [True, False, False]
+
+    def test_all_patterns_width_limit(self):
+        with pytest.raises(SequenceError):
+            all_patterns(21)
+
+    def test_gray_sequence_single_toggle_per_step(self):
+        sequence = gray_sequence(6, 40)
+        toggles = (sequence[1:] ^ sequence[:-1]).sum(axis=1)
+        assert set(toggles.tolist()) == {1}
+
+    def test_measure_rejects_bad_shape(self):
+        with pytest.raises(SequenceError):
+            measure(np.zeros(10, dtype=bool))
+
+
+class TestWorkloadGenerators:
+    def test_counter_sequence_counts(self):
+        from repro.sim import counter_sequence
+
+        sequence = counter_sequence(4, 6)
+        values = [
+            sum(int(sequence[t, 3 - k]) << k for k in range(4))
+            for t in range(6)
+        ]
+        assert values == [0, 1, 2, 3, 4, 5]
+
+    def test_counter_wraps_and_strides(self):
+        from repro.sim import counter_sequence
+
+        sequence = counter_sequence(3, 4, start=6, stride=2)
+        values = [
+            sum(int(sequence[t, 2 - k]) << k for k in range(3))
+            for t in range(4)
+        ]
+        assert values == [6, 0, 2, 4]
+
+    def test_counter_validation(self):
+        from repro.sim import counter_sequence
+
+        with pytest.raises(SequenceError):
+            counter_sequence(0, 5)
+
+    def test_address_burst_locality(self):
+        from repro.sim import address_burst_sequence
+
+        sequence = address_burst_sequence(8, 32, burst_length=8, seed=1)
+        toggles = (sequence[1:] ^ sequence[:-1]).sum(axis=1)
+        # Within a burst the LSB-increment changes few bits on average.
+        in_burst = [toggles[t] for t in range(31) if (t + 1) % 8 != 0]
+        assert np.mean(in_burst) < 3.0
+
+    def test_address_burst_reproducible(self):
+        from repro.sim import address_burst_sequence
+
+        one = address_burst_sequence(6, 20, seed=3)
+        two = address_burst_sequence(6, 20, seed=3)
+        assert np.array_equal(one, two)
+
+    def test_address_burst_validation(self):
+        from repro.sim import address_burst_sequence
+
+        with pytest.raises(SequenceError):
+            address_burst_sequence(4, 10, burst_length=0)
+
+    def test_onehot_rotation(self):
+        from repro.sim import onehot_rotation_sequence
+
+        sequence = onehot_rotation_sequence(5, 12)
+        assert np.all(sequence.sum(axis=1) == 1)
+        assert bool(sequence[0, 0]) and bool(sequence[6, 1])

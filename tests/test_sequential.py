@@ -1,0 +1,131 @@
+"""Tests for sequential (registered) RTL designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import parity, ripple_adder
+from repro.errors import ModelError, NetlistError
+from repro.models import build_add_model, build_upper_bound_model
+from repro.rtl.sequential import SequentialDesign
+from repro.sim import markov_sequence
+
+
+@pytest.fixture
+def accumulator():
+    """A 2-bit accumulator: register bank feeding an adder fed back."""
+    adder = ripple_adder(2, carry_in=False, name="add2")
+    design = SequentialDesign("accumulator", ["in0", "in1"])
+    design.add_register("acc0", "sum.s0", load_fF=10.0)
+    design.add_register("acc1", "sum.s1", load_fF=10.0)
+    design.add_instance(
+        "sum", adder,
+        {"a0": "in0", "a1": "in1", "b0": "acc0", "b1": "acc1"},
+    )
+    return design
+
+
+class TestConstruction:
+    def test_register_name_collision(self, accumulator):
+        with pytest.raises(NetlistError):
+            accumulator.add_register("acc0", "sum.s0")
+        with pytest.raises(NetlistError):
+            accumulator.add_register("in0", "sum.s0")
+
+    def test_unknown_connection_signal(self):
+        design = SequentialDesign("d", ["x"])
+        with pytest.raises(NetlistError):
+            design.add_instance("p", parity(2), {"x0": "x", "x1": "ghost"})
+
+    def test_bad_register_source_caught_at_simulation(self):
+        design = SequentialDesign("d", ["x", "y"])
+        design.add_register("r", "nope.q")
+        design.add_instance("p", parity(2), {"x0": "x", "x1": "y"})
+        with pytest.raises(NetlistError):
+            design.simulate(np.zeros((3, 2), dtype=bool))
+
+
+class TestSemantics:
+    def test_accumulator_adds_inputs_mod_4(self, accumulator):
+        # Feed the value 1 for five cycles; acc goes 0,1,2,3,0,...
+        sequence = np.zeros((6, 2), dtype=bool)
+        sequence[:, 0] = True  # in0 = 1
+        signals = accumulator.simulate(sequence)
+        acc = (
+            signals["acc0"].astype(int) + 2 * signals["acc1"].astype(int)
+        )
+        assert acc.tolist() == [0, 1, 2, 3, 0, 1]
+
+    def test_register_initial_value(self):
+        design = SequentialDesign("d", ["x"])
+        design.add_register("r", "p.p", initial_value=1)
+        design.add_instance("p", parity(2), {"x0": "x", "x1": "r"})
+        signals = design.simulate(np.zeros((3, 1), dtype=bool))
+        assert bool(signals["r"][0]) is True
+
+    def test_instance_inputs_use_previous_state(self, accumulator):
+        sequence = np.zeros((4, 2), dtype=bool)
+        sequence[:, 0] = True
+        per_instance = accumulator.instance_input_sequences(sequence)
+        # Adder's b operand lags its own sum by one cycle.
+        adder_inputs = per_instance["sum"]
+        b_values = (
+            adder_inputs[:, 2].astype(int) + 2 * adder_inputs[:, 3].astype(int)
+        )
+        assert b_values.tolist() == [0, 1, 2, 3]
+
+
+class TestPower:
+    def test_exact_models_match_golden(self, accumulator):
+        accumulator.attach_model(
+            "sum", build_add_model(accumulator.instances[0].netlist)
+        )
+        sequence = markov_sequence(2, 60, seed=91)
+        golden = accumulator.golden_capacitances(sequence)
+        estimate = accumulator.estimated_capacitances(sequence)
+        assert np.allclose(golden, estimate)
+
+    def test_register_load_counted(self, accumulator):
+        sequence = np.zeros((5, 2), dtype=bool)
+        sequence[:, 0] = True  # accumulate 1 per cycle
+        register_caps = accumulator.register_capacitances(sequence)
+        # acc goes 0->1->2->3->0: acc0 rises at t0->1 and t2->3 etc.
+        assert register_caps.sum() > 0.0
+
+    def test_bound_composition_conservative(self, accumulator):
+        accumulator.attach_model(
+            "sum",
+            build_upper_bound_model(
+                accumulator.instances[0].netlist, max_nodes=50
+            ),
+        )
+        sequence = markov_sequence(2, 80, seed=92)
+        golden = accumulator.golden_capacitances(sequence)
+        bound = accumulator.estimated_capacitances(sequence)
+        assert np.all(bound >= golden - 1e-9)
+
+    def test_missing_model_rejected(self, accumulator):
+        with pytest.raises(ModelError):
+            accumulator.estimated_capacitances(
+                markov_sequence(2, 10, seed=93)
+            )
+
+    def test_model_width_checked(self, accumulator):
+        from repro.models import ConstantModel
+
+        with pytest.raises(ModelError):
+            accumulator.attach_model("sum", ConstantModel("c", ["a"], 1.0))
+
+    def test_pipeline_of_two_macros(self):
+        """Registered pipeline: parity stage -> register -> parity stage."""
+        design = SequentialDesign("pipe", ["a", "b", "c"])
+        design.add_register("r", "front.p")
+        design.add_instance("front", parity(2), {"x0": "a", "x1": "b"})
+        design.add_instance("back", parity(2), {"x0": "r", "x1": "c"})
+        for instance in design.instances:
+            design.attach_model(instance.name, build_add_model(instance.netlist))
+        sequence = markov_sequence(3, 50, seed=94)
+        golden = design.golden_capacitances(sequence)
+        estimate = design.estimated_capacitances(sequence)
+        assert np.allclose(golden, estimate)

@@ -1,0 +1,160 @@
+"""Tests for ADD power-model serialization."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import build_add_model
+from repro.models.serialize import (
+    dump_model,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    read_model,
+    save_model,
+)
+from repro.sim import uniform_pairs
+
+
+def roundtrip(model):
+    stream = io.StringIO()
+    dump_model(model, stream)
+    stream.seek(0)
+    return load_model(stream)
+
+
+class TestRoundTrip:
+    def test_exact_model_identical_everywhere(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        again = roundtrip(model)
+        from repro.sim import exhaustive_pairs
+
+        for initial, final in exhaustive_pairs(2):
+            assert again.switching_capacitance(initial, final) == \
+                model.switching_capacitance(initial, final)
+
+    def test_metadata_preserved(self, fig2_netlist):
+        model = build_add_model(fig2_netlist, max_nodes=6, strategy="max")
+        again = roundtrip(model)
+        assert again.macro_name == model.macro_name
+        assert again.strategy == "max"
+        assert again.is_upper_bound
+        assert again.input_names == model.input_names
+        assert again.space.scheme == model.space.scheme
+        assert again.report.max_nodes == 6
+        assert again.report.num_gates == fig2_netlist.num_gates
+
+    def test_sampled_agreement_on_benchmark(self):
+        from repro.circuits import load_circuit
+
+        netlist = load_circuit("cm85")
+        model = build_add_model(netlist, max_nodes=300)
+        again = roundtrip(model)
+        initial, final = uniform_pairs(11, 100, seed=61)
+        assert np.array_equal(
+            model.pair_capacitances(initial, final),
+            again.pair_capacitances(initial, final),
+        )
+
+    def test_size_preserved(self, xor_chain_netlist):
+        model = build_add_model(xor_chain_netlist)
+        assert roundtrip(model).size == model.size
+
+    def test_file_roundtrip(self, fig2_netlist, tmp_path):
+        model = build_add_model(fig2_netlist)
+        path = tmp_path / "model.json"
+        save_model(model, str(path))
+        again = read_model(str(path))
+        assert again.size == model.size
+
+    def test_input_order_convention_survives(self):
+        """A model whose DD order differs from the external order must
+        keep evaluating patterns in the external (netlist) convention."""
+        from repro.circuits import comparator
+        from repro.sim import pair_switching_capacitances
+
+        netlist = comparator(3)
+        model = build_add_model(netlist)  # fanin-DFS reorders inputs
+        again = roundtrip(model)
+        initial, final = uniform_pairs(6, 50, seed=62)
+        golden = pair_switching_capacitances(netlist, initial, final)
+        assert np.allclose(again.pair_capacitances(initial, final), golden)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError, match="format"):
+            model_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self, fig2_netlist):
+        payload = model_to_dict(build_add_model(fig2_netlist))
+        payload["version"] = 99
+        with pytest.raises(ModelError, match="version"):
+            model_from_dict(payload)
+
+    def test_payload_is_json_serialisable(self, fig2_netlist):
+        payload = model_to_dict(build_add_model(fig2_netlist))
+        json.dumps(payload)  # must not raise
+
+    def test_no_netlist_information_leaks(self, fig2_netlist):
+        """The IP check: the payload must not mention gates or nets."""
+        payload = model_to_dict(build_add_model(fig2_netlist))
+        text = json.dumps(payload)
+        for gate in fig2_netlist.gates:
+            assert gate.name not in text.replace(payload["macro_name"], "")
+        assert "INV" not in text and "OR2" not in text
+
+
+class TestWorstCaseQueries:
+    def test_worst_case_transition_is_attained(self, fig2_netlist):
+        from repro.sim import exhaustive_max_capacitance, switching_capacitance
+
+        model = build_add_model(fig2_netlist)
+        initial, final, value = model.worst_case_transition()
+        assert value == pytest.approx(model.global_maximum())
+        # For an exact model the extracted pair truly attains the value.
+        assert switching_capacitance(fig2_netlist, initial, final) == \
+            pytest.approx(value)
+        true_max, _, _ = exhaustive_max_capacitance(fig2_netlist)
+        assert value == pytest.approx(true_max)
+
+    def test_quietest_transition(self, fig2_netlist):
+        from repro.sim import switching_capacitance
+
+        model = build_add_model(fig2_netlist)
+        initial, final, value = model.quietest_transition()
+        assert value == pytest.approx(model.global_minimum())
+        assert switching_capacitance(fig2_netlist, initial, final) == \
+            pytest.approx(value)
+
+    def test_worst_case_on_larger_circuit(self):
+        from repro.circuits import parity
+        from repro.sim import exhaustive_max_capacitance, switching_capacitance
+
+        netlist = parity(6)
+        model = build_add_model(netlist)
+        initial, final, value = model.worst_case_transition()
+        true_max, _, _ = exhaustive_max_capacitance(netlist)
+        assert value == pytest.approx(true_max)
+        assert switching_capacitance(netlist, initial, final) == \
+            pytest.approx(value)
+
+
+class TestDotExport:
+    def test_model_to_dot(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        text = model.to_dot()
+        assert text.startswith("digraph fig2")
+        # Every distinct capacitance level appears as a boxed leaf label.
+        for value in model.leaf_values():
+            assert f'label="{value:g}"' in text
+        assert "style=dashed" in text
+
+    def test_custom_name_sanitised(self, fig2_netlist):
+        model = build_add_model(fig2_netlist)
+        assert model.to_dot("my-model").startswith("digraph my_model")

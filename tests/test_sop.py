@@ -1,0 +1,67 @@
+"""Tests for SOP cover representation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Cover, minterm_cover
+
+
+class TestCover:
+    def test_onset_evaluation(self):
+        cover = Cover(3, ("1-0", "-11"))
+        assert cover.evaluate([1, 0, 0]) == 1
+        assert cover.evaluate([0, 1, 1]) == 1
+        assert cover.evaluate([0, 0, 0]) == 0
+
+    def test_offset_polarity(self):
+        cover = Cover(2, ("1-",), covers_onset=False)
+        assert cover.evaluate([1, 0]) == 0
+        assert cover.evaluate([0, 1]) == 1
+
+    def test_width_validated(self):
+        with pytest.raises(NetlistError):
+            Cover(3, ("10",))
+
+    def test_characters_validated(self):
+        with pytest.raises(NetlistError):
+            Cover(2, ("1x",))
+
+    def test_assignment_width_validated(self):
+        cover = Cover(2, ("11",))
+        with pytest.raises(NetlistError):
+            cover.evaluate([1])
+
+    def test_constant_covers(self):
+        one = Cover.constant(True)
+        zero = Cover.constant(False)
+        assert one.evaluate([]) == 1
+        assert zero.evaluate([]) == 0
+
+    def test_num_literals(self):
+        cover = Cover(3, ("1-0", "---", "111"))
+        assert cover.num_literals == 5
+
+    def test_complement_polarity(self):
+        cover = Cover(2, ("10",))
+        flipped = cover.complement_polarity()
+        for bits in itertools.product((0, 1), repeat=2):
+            assert flipped.evaluate(list(bits)) == 1 - cover.evaluate(list(bits))
+
+
+class TestMintermCover:
+    def test_matches_indices(self):
+        cover = minterm_cover(3, [0, 5])
+        for value in range(8):
+            bits = [(value >> (2 - k)) & 1 for k in range(3)]
+            assert cover.evaluate(bits) == int(value in (0, 5))
+
+    def test_duplicates_removed(self):
+        assert len(minterm_cover(2, [1, 1, 1]).cubes) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NetlistError):
+            minterm_cover(2, [4])

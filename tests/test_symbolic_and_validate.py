@@ -1,0 +1,119 @@
+"""Tests for symbolic node functions, equivalence checking and validation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dd import DDManager
+from repro.errors import NetlistError
+from repro.netlist import (
+    NetlistBuilder,
+    assert_valid,
+    build_node_functions,
+    build_output_functions,
+    check_equivalent,
+    check_netlist,
+)
+
+
+class TestNodeFunctions:
+    def test_functions_match_simulation(self, fig2_netlist):
+        manager = DDManager(2, ["x1", "x2"])
+        variables = {"x1": 0, "x2": 1}
+        functions = build_node_functions(fig2_netlist, manager, variables)
+        for bits in itertools.product((0, 1), repeat=2):
+            values = fig2_netlist.evaluate(list(bits))
+            for net, node in functions.items():
+                assert manager.evaluate(node, list(bits)) == float(values[net])
+
+    def test_missing_variable_mapping_raises(self, fig2_netlist):
+        manager = DDManager(1)
+        with pytest.raises(NetlistError, match="no DD variable"):
+            build_node_functions(fig2_netlist, manager, {"x1": 0})
+
+    def test_output_functions_subset(self, fig2_netlist):
+        manager = DDManager(2)
+        variables = {"x1": 0, "x2": 1}
+        outputs = build_output_functions(fig2_netlist, manager, variables)
+        assert set(outputs) == set(fig2_netlist.outputs)
+
+
+class TestEquivalence:
+    def test_same_function_different_structure(self):
+        left = NetlistBuilder("l")
+        a, b = left.input("a"), left.input("b")
+        left.output("y", left.inv(left.and2(a, b)))
+        right = NetlistBuilder("r")
+        a, b = right.input("a"), right.input("b")
+        right.output("y", right.or2(right.inv(a), right.inv(b)))
+        assert check_equivalent(left.build(), right.build())
+
+    def test_detects_difference(self):
+        left = NetlistBuilder("l")
+        a, b = left.input("a"), left.input("b")
+        left.output("y", left.and2(a, b))
+        right = NetlistBuilder("r")
+        a, b = right.input("a"), right.input("b")
+        right.output("y", right.or2(a, b))
+        assert not check_equivalent(left.build(), right.build())
+
+    def test_requires_same_interface(self, fig2_netlist):
+        other = NetlistBuilder("other")
+        other.input("different")
+        other.output("y", other.inv("different"))
+        with pytest.raises(NetlistError):
+            check_equivalent(fig2_netlist, other.build())
+
+
+class TestValidation:
+    def test_clean_netlist_passes(self, fig2_netlist):
+        report = check_netlist(fig2_netlist)
+        assert report.ok
+        assert not report.warnings
+        assert_valid(fig2_netlist)  # no raise
+
+    def test_unused_input_warns(self):
+        builder = NetlistBuilder("unused")
+        builder.input("a")
+        builder.input("b")
+        builder.output("y", builder.inv("a"))
+        report = check_netlist(builder.build())
+        assert report.ok
+        assert any("b" in w for w in report.warnings)
+
+    def test_dangling_gate_warns(self):
+        from repro.netlist import Netlist
+
+        netlist = Netlist("dangle")
+        netlist.add_input("a")
+        netlist.add_gate("INV1", ["a"], "used")
+        netlist.add_gate("INV1", ["a"], "floating")
+        netlist.add_output("used")
+        report = check_netlist(netlist)
+        assert report.ok
+        assert any("floating" in w for w in report.warnings)
+
+    def test_no_outputs_is_error(self):
+        from repro.netlist import Netlist
+
+        netlist = Netlist("noout")
+        netlist.add_input("a")
+        netlist.add_gate("INV1", ["a"], "x")
+        report = check_netlist(netlist)
+        assert not report.ok
+        with pytest.raises(NetlistError):
+            assert_valid(netlist)
+
+    def test_cycle_is_error_not_crash(self):
+        from repro.netlist import Netlist
+
+        netlist = Netlist("cyc")
+        netlist.add_input("a")
+        netlist.add_gate("AND2", ["a", "y"], "x")
+        netlist.add_gate("BUF1", ["x"], "y")
+        netlist.add_output("y")
+        report = check_netlist(netlist)
+        assert not report.ok
+        assert any("cycle" in e for e in report.errors)

@@ -1,0 +1,115 @@
+"""Tests for NetlistBuilder trees and SOP decomposition."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Cover, NetlistBuilder
+
+
+class TestTrees:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_and_tree_semantics(self, width):
+        builder = NetlistBuilder("andtree")
+        bits = builder.bus("x", width)
+        builder.output("y", builder.and_tree(bits))
+        netlist = builder.build()
+        for pattern in itertools.product((0, 1), repeat=width):
+            expected = int(all(pattern))
+            assert netlist.evaluate_outputs(list(pattern))["y"] == expected
+
+    @pytest.mark.parametrize("width", [2, 3, 6])
+    def test_or_tree_semantics(self, width):
+        builder = NetlistBuilder("ortree")
+        bits = builder.bus("x", width)
+        builder.output("y", builder.or_tree(bits))
+        netlist = builder.build()
+        for pattern in itertools.product((0, 1), repeat=width):
+            assert netlist.evaluate_outputs(list(pattern))["y"] == int(any(pattern))
+
+    @pytest.mark.parametrize("width", [2, 4, 7])
+    def test_xor_tree_semantics(self, width):
+        builder = NetlistBuilder("xortree")
+        bits = builder.bus("x", width)
+        builder.output("y", builder.xor_tree(bits))
+        netlist = builder.build()
+        for pattern in itertools.product((0, 1), repeat=width):
+            assert (
+                netlist.evaluate_outputs(list(pattern))["y"] == sum(pattern) % 2
+            )
+
+    def test_tree_is_balanced(self):
+        builder = NetlistBuilder("bal")
+        bits = builder.bus("x", 8)
+        builder.output("y", builder.and_tree(bits))
+        assert builder.build().depth() <= 4  # log2(8) + output buffer
+
+    def test_empty_tree_rejected(self):
+        builder = NetlistBuilder("empty")
+        with pytest.raises(NetlistError):
+            builder.and_tree([])
+
+
+class TestSOP:
+    def evaluate_sop(self, cubes, width, invert=False):
+        builder = NetlistBuilder("sop")
+        bits = builder.bus("x", width)
+        builder.output("y", builder.sop(bits, cubes, invert=invert))
+        netlist = builder.build()
+        cover = Cover(width, tuple(cubes), covers_onset=not invert)
+        for pattern in itertools.product((0, 1), repeat=width):
+            got = netlist.evaluate_outputs(list(pattern))["y"]
+            assert got == cover.evaluate(list(pattern)), (cubes, pattern)
+
+    def test_single_cube(self):
+        self.evaluate_sop(["1-0"], 3)
+
+    def test_multi_cube(self):
+        self.evaluate_sop(["11-", "--1", "0-0"], 3)
+
+    def test_inverted_cover(self):
+        self.evaluate_sop(["1-"], 2, invert=True)
+
+    def test_empty_cover_is_constant_zero(self):
+        builder = NetlistBuilder("zero")
+        bits = builder.bus("x", 2)
+        builder.output("y", builder.sop(bits, []))
+        netlist = builder.build()
+        assert netlist.evaluate_outputs([1, 1])["y"] == 0
+
+    def test_all_dontcare_cube_is_constant_one(self):
+        builder = NetlistBuilder("one")
+        bits = builder.bus("x", 2)
+        builder.output("y", builder.sop(bits, ["--"]))
+        netlist = builder.build()
+        assert netlist.evaluate_outputs([0, 0])["y"] == 1
+
+    def test_cube_width_validated(self):
+        builder = NetlistBuilder("bad")
+        bits = builder.bus("x", 2)
+        with pytest.raises(NetlistError):
+            builder.sop(bits, ["1"])
+
+    def test_bad_cube_character(self):
+        builder = NetlistBuilder("badchar")
+        bits = builder.bus("x", 2)
+        with pytest.raises(NetlistError):
+            builder.sop(bits, ["1z"])
+
+
+class TestOutputs:
+    def test_output_renames_via_buffer(self):
+        builder = NetlistBuilder("rename")
+        a = builder.input("a")
+        internal = builder.inv(a)
+        builder.output("y", internal)
+        netlist = builder.build()
+        assert "y" in netlist.outputs
+        assert netlist.evaluate_outputs([0])["y"] == 1
+
+    def test_fresh_nets_unique(self):
+        builder = NetlistBuilder("fresh")
+        assert builder.fresh_net() != builder.fresh_net()

@@ -1,0 +1,103 @@
+"""Tests for the structural Verilog writer and reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import (
+    NetlistBuilder,
+    check_equivalent,
+    parse_verilog,
+    write_verilog,
+)
+
+
+def build_sample():
+    builder = NetlistBuilder("sample")
+    a, b, s = builder.input("a"), builder.input("b"), builder.input("s")
+    builder.output("y", builder.mux(s, builder.and2(a, b), builder.xor2(a, b)))
+    builder.output("z", builder.nor2(a, b))
+    return builder.build()
+
+
+class TestWriter:
+    def test_module_structure(self):
+        text = write_verilog(build_sample())
+        assert text.startswith("module sample (")
+        assert "endmodule" in text
+        assert "input a;" in text
+        assert "output y;" in text
+
+    def test_mux_becomes_conditional_assign(self):
+        text = write_verilog(build_sample())
+        assert "?" in text and ":" in text
+
+    def test_constants_emitted(self):
+        builder = NetlistBuilder("consts")
+        builder.input("a")
+        builder.output("y", builder.const(True))
+        text = write_verilog(builder.build())
+        assert "1'b1" in text
+
+    def test_net_name_sanitization(self):
+        builder = NetlistBuilder("weird")
+        a = builder.input("a$[0]")
+        builder.output("y", builder.inv(a))
+        text = write_verilog(builder.build())
+        assert "[0]" not in text  # sanitized
+
+
+class TestRoundTrip:
+    def test_sample_equivalent(self):
+        original = build_sample()
+        again = parse_verilog(write_verilog(original))
+        assert check_equivalent(original, again)
+
+    def test_fig2_equivalent(self, fig2_netlist):
+        again = parse_verilog(write_verilog(fig2_netlist))
+        assert again.num_inputs == 2
+        for a, b in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            assert (
+                list(again.evaluate_outputs([a, b]).values())
+                == list(fig2_netlist.evaluate_outputs([a, b]).values())
+            )
+
+    def test_constant_roundtrip(self):
+        builder = NetlistBuilder("consts")
+        builder.input("a")
+        builder.output("y", builder.const(False))
+        original = builder.build()
+        again = parse_verilog(write_verilog(original))
+        assert again.evaluate_outputs([1])["y"] == 0
+
+
+class TestParseErrors:
+    def test_missing_module(self):
+        with pytest.raises(ParseError, match="module"):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError, match="endmodule"):
+            parse_verilog("module m (a); input a;")
+
+    def test_unknown_primitive(self):
+        text = "module m (a, y);\ninput a;\noutput y;\nfoo g0 (y, a);\nendmodule"
+        with pytest.raises(ParseError):
+            parse_verilog(text)
+
+    def test_unparseable_statement(self):
+        text = "module m (a, y);\ninput a;\noutput y;\nalways @(*) y = a;\nendmodule"
+        with pytest.raises(ParseError):
+            parse_verilog(text)
+
+    def test_comments_stripped(self):
+        text = (
+            "module m (a, y); // ports\n"
+            "input a; /* the\ninput */\n"
+            "output y;\n"
+            "not g0 (y, a);\n"
+            "endmodule"
+        )
+        netlist = parse_verilog(text)
+        assert netlist.evaluate_outputs([0])["y"] == 1
