@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-eval bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark suite (pytest-benchmark experiments E1-E9).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate BENCH_eval_throughput.json at the repo root (E10, ~2 min).
+bench-eval:
+	$(PYTHON) benchmarks/bench_eval_throughput.py
+
+# ~5-second throughput smoke run; leaves the checked-in JSON untouched.
+bench-smoke:
+	REPRO_BENCH_QUICK=1 $(PYTHON) benchmarks/bench_eval_throughput.py

@@ -1,0 +1,154 @@
+"""E10 — batch-evaluation throughput: compiled kernel vs the per-row walk.
+
+Measures :meth:`AddPowerModel.pair_capacitances` throughput (rows/second)
+with the compiled levelized kernel against the pre-compilation baseline —
+one ``DDManager.evaluate`` pointer walk per pattern in pure Python — for
+several macro sizes and batch sizes ``P``.  Both paths are checked
+bit-for-bit on the rows they share before any number is reported.
+
+Artifacts:
+
+- ``BENCH_eval_throughput.json`` at the repo root (full runs only), with
+  schema ``{bench, rows: [{circuit, P, rows_per_sec_scalar,
+  rows_per_sec_compiled, speedup}]}``;
+- ``benchmarks/results/eval_throughput.txt``, the human-readable table.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_eval_throughput.py
+
+or via ``make bench-eval``; ``make bench-smoke`` (REPRO_BENCH_QUICK=1)
+is the ~5-second subset.  The scalar walk is timed on a capped row
+subsample and reported as rows/second, since timing 100k pure-Python
+walks outright would dominate the whole suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from _common import QUICK, write_result
+
+from repro.circuits import load_circuit
+from repro.models import build_add_model
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_eval_throughput.json")
+
+#: (circuit, max_nodes) grid; ``None`` budget = exact model.  parity and
+#: cmb have 16 inputs, cm150 has 21 — the macro-size axis of the sweep.
+FULL_MACROS: List[Tuple[str, Optional[int]]] = [
+    ("cm85", None),
+    ("cmb", 800),
+    ("parity", None),
+    ("cm150", 500),
+]
+QUICK_MACROS: List[Tuple[str, Optional[int]]] = [("cmb", 800)]
+
+FULL_BATCHES = (1_000, 10_000, 100_000)
+QUICK_BATCHES = (1_000, 10_000)
+
+#: Row cap for the scalar-walk timing (it is extrapolated to rows/s).
+FULL_SCALAR_CAP = 20_000
+QUICK_SCALAR_CAP = 2_000
+
+
+def measure_circuit(name: str, max_nodes: Optional[int], batches, scalar_cap):
+    """Throughput rows for one macro across all batch sizes."""
+    netlist = load_circuit(name)
+    model = build_add_model(netlist, max_nodes=max_nodes)
+    compiled = model.compiled()
+    evaluate = model.manager.evaluate
+    root = model.root
+    rng = np.random.default_rng(97)
+    rows = []
+    for P in batches:
+        initial = rng.random((P, netlist.num_inputs)) < 0.5
+        final = rng.random((P, netlist.num_inputs)) < 0.5
+        packed = model._pack_batch(initial, final)
+        compiled.evaluate_batch(packed)  # warm the kernel path
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            batch = compiled.evaluate_batch(packed)
+            best = min(best, time.perf_counter() - start)
+        sample = min(P, scalar_cap)
+        start = time.perf_counter()
+        scalar = np.array([evaluate(root, row) for row in packed[:sample]])
+        scalar_elapsed = time.perf_counter() - start
+        if not np.array_equal(scalar, batch[:sample]):
+            raise AssertionError(
+                f"{name}: compiled kernel diverges from the scalar walk"
+            )
+        compiled_rate = P / best
+        scalar_rate = sample / scalar_elapsed
+        rows.append(
+            {
+                "circuit": name,
+                "P": P,
+                "rows_per_sec_scalar": round(scalar_rate, 1),
+                "rows_per_sec_compiled": round(compiled_rate, 1),
+                "speedup": round(compiled_rate / scalar_rate, 2),
+                "num_inputs": netlist.num_inputs,
+                "model_nodes": model.size,
+                "max_nodes": max_nodes,
+            }
+        )
+    return rows
+
+
+def run_suite():
+    macros = QUICK_MACROS if QUICK else FULL_MACROS
+    batches = QUICK_BATCHES if QUICK else FULL_BATCHES
+    cap = QUICK_SCALAR_CAP if QUICK else FULL_SCALAR_CAP
+    rows = []
+    for name, max_nodes in macros:
+        rows.extend(measure_circuit(name, max_nodes, batches, cap))
+    return rows
+
+
+def format_table(rows) -> str:
+    lines = [
+        f"{'circuit':<10}{'inputs':>7}{'nodes':>7}{'P':>9}"
+        f"{'scalar rows/s':>15}{'compiled rows/s':>17}{'speedup':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['circuit']:<10}{row['num_inputs']:>7}{row['model_nodes']:>7}"
+            f"{row['P']:>9}{row['rows_per_sec_scalar']:>15,.0f}"
+            f"{row['rows_per_sec_compiled']:>17,.0f}{row['speedup']:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rows = run_suite()
+    table = format_table(rows)
+    print(table)
+    write_result("eval_throughput", table)
+    if not QUICK:
+        payload = {"bench": "eval_throughput", "rows": rows}
+        with open(JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {JSON_PATH}")
+    else:
+        print("\nquick mode: repo-root JSON left untouched")
+
+
+def test_eval_throughput():
+    """Benchmark-suite entry: compiled path must beat the per-row walk."""
+    rows = run_suite()
+    write_result("eval_throughput", format_table(rows))
+    assert all(row["speedup"] > 1.0 for row in rows)
+    largest = max(rows, key=lambda row: row["P"])
+    assert largest["rows_per_sec_compiled"] > largest["rows_per_sec_scalar"]
+
+
+if __name__ == "__main__":
+    main()

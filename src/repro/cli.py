@@ -88,6 +88,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"peak nodes:   {report.peak_nodes}")
     print(f"approx calls: {report.num_approximations}")
     print(f"build time:   {report.cpu_seconds:.2f} s")
+    print(
+        f"op-cache:     {report.cache_hits} hits / "
+        f"{report.cache_misses} misses "
+        f"(hit rate {report.cache_hit_rate:.2f})"
+    )
     print(f"avg C (unif): {model.average_capacitance_uniform():.2f} fF")
     print(f"max C:        {model.global_maximum():.2f} fF")
     print(f"leaf count:   {len(model.leaf_values())}")

@@ -28,9 +28,10 @@ from repro.dd.reorder import (
     size_under_order,
     transfer,
 )
+from repro.dd.compiled import CompiledDD, compile_dd
 from repro.dd.dot import to_dot, write_dot
 from repro.dd.function import DDFunction
-from repro.dd.manager import TERMINAL_LEVEL, DDManager
+from repro.dd.manager import TERMINAL_LEVEL, CacheStats, DDManager
 from repro.dd.ordering import TransitionSpace, fanin_dfs_input_order
 from repro.dd.stats import (
     NodeStats,
@@ -47,6 +48,9 @@ from repro.dd.stats import (
 __all__ = [
     "DDManager",
     "DDFunction",
+    "CacheStats",
+    "CompiledDD",
+    "compile_dd",
     "TERMINAL_LEVEL",
     "TransitionSpace",
     "fanin_dfs_input_order",

@@ -17,13 +17,52 @@ with operator overloading for the public API.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.errors import DDError, NotBooleanError, VariableOrderError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dd.compiled import CompiledDD
 
 #: Sentinel "variable index" stored for terminal nodes.  It compares greater
 #: than every real variable index so level comparisons need no special case.
 TERMINAL_LEVEL = 1 << 30
+
+#: Default entry cap of the memoised-operation cache.  Successive model
+#: builds on one manager used to grow the cache without bound; past this
+#: many entries the cache is cleared wholesale (clear-on-threshold —
+#: results are recomputed, semantics unchanged).
+DEFAULT_OP_CACHE_LIMIT = 1 << 20
+
+#: How many compiled diagram forms a manager keeps around.
+_COMPILED_CACHE_LIMIT = 16
+
+#: Batches at least this tall are routed through the compiled array kernel
+#: (:mod:`repro.dd.compiled`); smaller ones keep the frontier traversal,
+#: whose setup cost is lower than compiling the diagram.
+BATCH_COMPILE_MIN_ROWS = 32
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative operation-cache counters of one :class:`DDManager`.
+
+    ``evictions`` counts whole-cache clears triggered by the size cap
+    (explicit :meth:`DDManager.clear_caches` calls are not counted).
+    """
+
+    hits: int
+    misses: int
+    size: int
+    limit: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 #: Number of decimal digits used to canonicalise terminal values.  Rounding
 #: keeps float noise (e.g. ``0.1 + 0.2``) from creating spuriously distinct
@@ -50,7 +89,13 @@ class DDManager:
         Names are used only for display (dot export, debugging).
     """
 
-    def __init__(self, num_vars: int = 0, var_names: Sequence[str] | None = None):
+    def __init__(
+        self,
+        num_vars: int = 0,
+        var_names: Sequence[str] | None = None,
+        *,
+        op_cache_limit: int | None = None,
+    ):
         if num_vars < 0:
             raise DDError(f"num_vars must be non-negative, got {num_vars}")
         if var_names is not None and len(var_names) != num_vars:
@@ -67,6 +112,19 @@ class DDManager:
         self._terminal_values: Dict[int, float] = {}
         # Operation caches (persist across calls; cleared via clear_caches).
         self._op_cache: Dict[Tuple, int] = {}
+        self._op_cache_limit = (
+            DEFAULT_OP_CACHE_LIMIT if op_cache_limit is None else op_cache_limit
+        )
+        if self._op_cache_limit < 1:
+            raise DDError(
+                f"op_cache_limit must be >= 1, got {self._op_cache_limit}"
+            )
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        # Compiled (array-form) diagrams keyed by root id.  The node store
+        # is append-only, so entries never go stale.
+        self._compiled_cache: Dict[int, "CompiledDD"] = {}
         self.var_names: List[str] = (
             list(var_names) if var_names is not None else [f"v{i}" for i in range(num_vars)]
         )
@@ -241,6 +299,33 @@ class DDManager:
     def clear_caches(self) -> None:
         """Drop all memoised operation results (frees memory; semantics unchanged)."""
         self._op_cache.clear()
+        self._compiled_cache.clear()
+
+    def _cache_get(self, key: Tuple) -> int | None:
+        result = self._op_cache.get(key)
+        if result is None:
+            self._cache_misses += 1
+        else:
+            self._cache_hits += 1
+        return result
+
+    def _cache_put(self, key: Tuple, value: int) -> None:
+        if len(self._op_cache) >= self._op_cache_limit:
+            # Clear-on-threshold eviction: dropping everything is crude but
+            # keeps lookups O(1) and memory bounded across many builds.
+            self._op_cache.clear()
+            self._cache_evictions += 1
+        self._op_cache[key] = value
+
+    def cache_stats(self) -> CacheStats:
+        """Cumulative hit/miss/size counters of the operation cache."""
+        return CacheStats(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._op_cache),
+            limit=self._op_cache_limit,
+            evictions=self._cache_evictions,
+        )
 
     # ------------------------------------------------------------------
     # Generic apply
@@ -256,7 +341,7 @@ class DDManager:
         if self.is_terminal(u) and self.is_terminal(v):
             return self.terminal(op(self._terminal_values[u], self._terminal_values[v]))
         key = (name, u, v)
-        cached = self._op_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         var = min(self._var[u], self._var[v])
@@ -267,7 +352,7 @@ class DDManager:
             self.apply(name, op, u0, v0),
             self.apply(name, op, u1, v1),
         )
-        self._op_cache[key] = result
+        self._cache_put(key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -316,7 +401,7 @@ class DDManager:
         if u == self.one:
             return self.zero
         key = ("not", u, u)
-        cached = self._op_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         if self.is_terminal(u):
@@ -326,7 +411,7 @@ class DDManager:
         result = self.node(
             self._var[u], self.bdd_not(self._lo[u]), self.bdd_not(self._hi[u])
         )
-        self._op_cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def ite(self, f: int, g: int, h: int) -> int:
@@ -342,7 +427,7 @@ class DDManager:
         if g == h:
             return g
         key = ("ite", f, g, h)
-        cached = self._op_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         var = min(self._var[f], self._var[g], self._var[h])
@@ -350,7 +435,7 @@ class DDManager:
         g0, g1 = self.cofactors(g, var)
         h0, h1 = self.cofactors(h, var)
         result = self.node(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._op_cache[key] = result
+        self._cache_put(key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -417,7 +502,7 @@ class DDManager:
     def restrict(self, u: int, var: int, phase: bool) -> int:
         """Cofactor ``u`` with respect to ``var = phase``."""
         key = ("restrict", u, var * 2 + int(phase))
-        cached = self._op_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         if self._var[u] > var:
@@ -431,7 +516,7 @@ class DDManager:
                 self.restrict(self._lo[u], var, phase),
                 self.restrict(self._hi[u], var, phase),
             )
-        self._op_cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def rename(self, u: int, mapping: Dict[int, int]) -> int:
@@ -508,26 +593,55 @@ class DDManager:
             n = self._hi[n] if bit else self._lo[n]
         return self._terminal_values[n]
 
-    def evaluate_batch(self, u: int, assignments) -> "np.ndarray":
-        """Evaluate many assignments at once (vectorised traversal).
+    def compiled(self, u: int) -> "CompiledDD":
+        """Array-form (compiled) view of the diagram rooted at ``u``.
 
-        ``assignments`` is a ``(P, num_vars)`` 0/1 array.  Rows are routed
-        through the diagram together: each node partitions the row set it
-        receives by its variable's column.  This wins when many rows share
-        long path prefixes (shallow, wide diagrams with large batches);
-        for deep narrow diagrams the per-group numpy overhead makes the
-        plain per-row :meth:`evaluate` loop faster — measure before
-        switching.
+        Compiled lazily and cached per root; the node store is append-only
+        so cached forms never go stale.  See :mod:`repro.dd.compiled`.
+        """
+        cached = self._compiled_cache.get(u)
+        if cached is None:
+            from repro.dd.compiled import CompiledDD
+
+            if len(self._compiled_cache) >= _COMPILED_CACHE_LIMIT:
+                self._compiled_cache.clear()
+            cached = CompiledDD.compile(self, u)
+            self._compiled_cache[u] = cached
+        return cached
+
+    def evaluate_batch(self, u: int, assignments) -> "np.ndarray":
+        """Evaluate many assignments at once.
+
+        ``assignments`` is a ``(P, num_vars)`` 0/1 array.  Batches of at
+        least :data:`BATCH_COMPILE_MIN_ROWS` rows are evaluated with the
+        compiled array kernel (:meth:`compiled`), whose cost is
+        O(P · depth) numpy element operations with zero per-row Python.
+        Small batches use a frontier traversal instead: rows are routed
+        through the diagram together, each node partitioning the row set
+        it receives by its variable's column.
+
+        The support of ``u`` is validated against the matrix width before
+        any evaluation, so a too-narrow batch raises without producing
+        partial results.
         """
         import numpy as np
 
         matrix = np.asarray(assignments)
         if matrix.ndim != 2:
             raise DDError("assignments must be a (P, num_vars) matrix")
+        # Validate every support column up front: the old mid-traversal
+        # check fired after part of the result was already assembled.
+        support = self.support(u)
+        if support and max(support) >= matrix.shape[1]:
+            raise DDError(
+                f"assignments lack variable column {max(support)}"
+            )
         rows = matrix.shape[0]
-        result = np.empty(rows, dtype=float)
         if rows == 0:
-            return result
+            return np.empty(0, dtype=float)
+        if rows >= BATCH_COMPILE_MIN_ROWS:
+            return self.compiled(u).evaluate_batch(matrix)
+        result = np.empty(rows, dtype=float)
         matrix = matrix.astype(bool)
         # Frontier: node -> array of row indices currently at that node.
         frontier: Dict[int, "np.ndarray"] = {u: np.arange(rows)}
@@ -539,12 +653,7 @@ class DDManager:
                 if var[node] == TERMINAL_LEVEL:
                     result[indices] = values[node]
                     continue
-                column = var[node]
-                if column >= matrix.shape[1]:
-                    raise DDError(
-                        f"assignments lack variable column {column}"
-                    )
-                mask = matrix[indices, column]
+                mask = matrix[indices, var[node]]
                 for child, subset in (
                     (lo[node], indices[~mask]),
                     (hi[node], indices[mask]),

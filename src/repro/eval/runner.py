@@ -166,8 +166,9 @@ def evaluate_models_on_runs(
         averages = {}
         maxima = {}
         for name, model in models.items():
-            averages[name] = model.average_capacitance(run.sequence)
-            maxima[name] = model.maximum_capacitance(run.sequence)
+            # One batch evaluation per model per run (sequence_summary)
+            # instead of separate average/maximum passes.
+            averages[name], maxima[name] = model.sequence_summary(run.sequence)
         rows.append(
             SweepRow(
                 sp=run.sp,

@@ -16,6 +16,7 @@ from repro.models.addmodel import (
     AddPowerModel,
     BuildReport,
     build_add_model,
+    build_add_models_parallel,
     shrink_model,
 )
 from repro.models.base import PowerModel
@@ -57,6 +58,7 @@ __all__ = [
     "AddPowerModel",
     "BuildReport",
     "build_add_model",
+    "build_add_models_parallel",
     "shrink_model",
     "ConstantModel",
     "LinearModel",

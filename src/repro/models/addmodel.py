@@ -18,13 +18,16 @@ No simulation is involved anywhere: the model is *characterization-free*.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Sequence
+from typing import Dict, List, Literal, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dd.approx import Strategy, WeightFn, approximate, node_weights
+from repro.dd.compiled import CompiledDD
 from repro.dd.manager import DDManager
 from repro.dd.ordering import Scheme, TransitionSpace, fanin_dfs_input_order
 from repro.dd.stats import compute_stats, function_stats
@@ -127,6 +130,9 @@ class BuildReport:
     ``cpu_seconds`` corresponds to the CPU column of Table 1;
     ``num_approximations`` counts ``add_approx`` invocations;
     ``peak_nodes`` is the largest intermediate ADD encountered.
+    ``cache_hits`` / ``cache_misses`` are the manager's memoised-operation
+    counters over this build (see :meth:`repro.dd.manager.DDManager.cache_stats`),
+    making the op-cache effectiveness observable instead of asserted.
     """
 
     macro_name: str
@@ -137,6 +143,14 @@ class BuildReport:
     num_approximations: int
     cpu_seconds: float
     num_gates: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of op-cache lookups answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class AddPowerModel(PowerModel):
@@ -174,6 +188,10 @@ class AddPowerModel(PowerModel):
         self._space_position = [position[name] for name in external]
         #: Weight callback used for any further shrinking of this model.
         self.weight_fn: Optional[WeightFn] = None
+        # Lazily-built array form of the ADD, keyed by the root it was
+        # compiled from so reapproximating (rebinding self.root) invalidates.
+        self._compiled: Optional[CompiledDD] = None
+        self._compiled_root: Optional[int] = None
 
     # ------------------------------------------------------------------
     # PowerModel interface
@@ -191,23 +209,36 @@ class AddPowerModel(PowerModel):
             packed[self.space.xf(pos)] = int(final[k])
         return self.manager.evaluate(self.root, packed)
 
-    def pair_capacitances(self, initial, final) -> np.ndarray:
+    def compiled(self) -> CompiledDD:
+        """Array form of the model's ADD (lazy; cached until the root changes)."""
+        if self._compiled is None or self._compiled_root != self.root:
+            self._compiled = CompiledDD.compile(self.manager, self.root)
+            self._compiled_root = self.root
+        return self._compiled
+
+    def _pack_batch(self, initial, final) -> np.ndarray:
+        """Weave (P, n) initial/final batches into (P, 2n) DD assignments."""
         initial = self._check_width(initial)
         final = self._check_width(final)
         if initial.shape != final.shape:
             raise ModelError("initial and final batches differ in shape")
-        n = self.num_inputs
-        packed = np.empty((initial.shape[0], 2 * n), dtype=np.int8)
+        packed = np.empty((initial.shape[0], 2 * self.num_inputs), dtype=bool)
         xi_cols = [self.space.xi(pos) for pos in self._space_position]
         xf_cols = [self.space.xf(pos) for pos in self._space_position]
         packed[:, xi_cols] = initial
         packed[:, xf_cols] = final
-        # Row-by-row walks beat the vectorised evaluate_batch here: the
-        # interleaved transition ADDs are deep and narrow, so batch row
-        # groups fragment to a handful of rows per node almost immediately.
-        evaluate = self.manager.evaluate
-        root = self.root
-        return np.array([evaluate(root, row) for row in packed])
+        return packed
+
+    def pair_capacitances(self, initial, final) -> np.ndarray:
+        packed = self._pack_batch(initial, final)
+        # Tiny batches before the first compilation are not worth the
+        # O(model size) flattening; everything else goes through the
+        # compiled pointer-chasing kernel (O(P · depth) numpy ops).
+        if self._compiled is None and packed.shape[0] < 16:
+            evaluate = self.manager.evaluate
+            root = self.root
+            return np.array([evaluate(root, row) for row in packed], dtype=float)
+        return self.compiled().evaluate_batch(packed)
 
     # ------------------------------------------------------------------
     # Analytic queries (no simulation needed)
@@ -430,6 +461,7 @@ def build_add_model(
 
     space = TransitionSpace(order, scheme)
     manager = space.manager
+    cache_before = manager.cache_stats()
     position = {name: k for k, name in enumerate(order)}
     xi_vars = {name: space.xi(position[name]) for name in netlist.inputs}
     xf_vars = {name: space.xf(position[name]) for name in netlist.inputs}
@@ -498,6 +530,7 @@ def build_add_model(
         total = layer[0]
     final_size = manager.size(total)
     peak = max(peak, final_size)
+    cache_after = manager.cache_stats()
     report = BuildReport(
         macro_name=netlist.name,
         strategy=strategy,
@@ -507,6 +540,8 @@ def build_add_model(
         num_approximations=num_approx,
         cpu_seconds=time.perf_counter() - started,
         num_gates=netlist.num_gates,
+        cache_hits=cache_after.hits - cache_before.hits,
+        cache_misses=cache_after.misses - cache_before.misses,
     )
     model = AddPowerModel(
         netlist.name, space, total, strategy, report, input_names=netlist.inputs
@@ -541,3 +576,92 @@ def shrink_model(model: AddPowerModel, max_nodes: int) -> AddPowerModel:
     )
     shrunk.weight_fn = model.weight_fn
     return shrunk
+
+
+# ---------------------------------------------------------------------------
+# Parallel model construction
+# ---------------------------------------------------------------------------
+#: One parallel-build job: a netlist, optionally paired with per-job
+#: keyword overrides for :func:`build_add_model`.
+BuildJob = Union[Netlist, Tuple[Netlist, dict]]
+
+
+def _parallel_build_worker(payload: Tuple[Netlist, dict]) -> dict:
+    """Build one model in a worker process and ship it back as JSON data.
+
+    ``DDManager`` node ids are process-local, so the model cannot cross
+    the process boundary directly; the serialisation round trip through
+    :mod:`repro.models.serialize` rebuilds an identical canonical diagram
+    in the parent's manager.
+    """
+    from repro.models.serialize import model_to_dict
+
+    netlist, kwargs = payload
+    return model_to_dict(build_add_model(netlist, **kwargs))
+
+
+def _restore_weight_fn(model: AddPowerModel) -> AddPowerModel:
+    """Reattach the (unpicklable) collapse-weight callback after transfer."""
+    if model.space.scheme == "interleaved":
+        model.weight_fn = mixture_weight_fn(model.space)
+    return model
+
+
+def build_add_models_parallel(
+    jobs: Sequence[BuildJob],
+    processes: Optional[int] = None,
+    **common_kwargs,
+) -> List[AddPowerModel]:
+    """Construct many ADD models concurrently with :mod:`multiprocessing`.
+
+    Parameters
+    ----------
+    jobs:
+        Netlists to model, each optionally a ``(netlist, overrides)`` pair
+        whose dict overrides ``common_kwargs`` for that job — e.g. build
+        the same macro under several strategies, or many macros at once.
+    processes:
+        Worker-pool size; defaults to ``min(len(jobs), cpu_count)``.
+        ``1`` (or a single job) builds sequentially in-process.
+    common_kwargs:
+        Keyword arguments forwarded to :func:`build_add_model`.
+
+    Returns models in job order.  Each parallel-built model lives in its
+    own fresh manager (the JSON round trip used for transfer rebuilds the
+    canonical diagram), so results are structurally identical — same node
+    count, same evaluations — to a sequential :func:`build_add_model`
+    call, and the returned objects are independent of each other.  Falls
+    back to sequential construction when no worker pool can be created
+    (e.g. sandboxed environments).
+    """
+    normalized: List[Tuple[Netlist, dict]] = []
+    for job in jobs:
+        if isinstance(job, Netlist):
+            netlist, overrides = job, {}
+        else:
+            netlist, overrides = job
+            if not isinstance(netlist, Netlist):
+                raise ModelError(
+                    "each job must be a Netlist or a (Netlist, kwargs) pair"
+                )
+        kwargs = dict(common_kwargs)
+        kwargs.update(overrides)
+        normalized.append((netlist, kwargs))
+    if not normalized:
+        return []
+    if processes is None:
+        processes = min(len(normalized), os.cpu_count() or 1)
+    if processes <= 1 or len(normalized) == 1:
+        return [build_add_model(n, **kw) for n, kw in normalized]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        context = multiprocessing.get_context()
+    try:
+        with context.Pool(processes) as pool:
+            payloads = pool.map(_parallel_build_worker, normalized)
+    except OSError:  # pragma: no cover - pool creation blocked
+        return [build_add_model(n, **kw) for n, kw in normalized]
+    from repro.models.serialize import model_from_dict
+
+    return [_restore_weight_fn(model_from_dict(p)) for p in payloads]

@@ -95,5 +95,27 @@ class PowerModel(ABC):
         """Maximum estimated C over a sequence (peak-power estimation)."""
         return float(np.max(self.sequence_capacitances(sequence)))
 
+    def sequence_summary(self, sequence: np.ndarray) -> "tuple[float, float]":
+        """``(average, maximum)`` estimate over a sequence in one batch pass.
+
+        The default walks the sequence once and derives both summaries
+        from the same per-cycle estimates — half the work of calling
+        :meth:`average_capacitance` and :meth:`maximum_capacitance`
+        separately.  Models that override either hook (pattern-independent
+        closed forms like ``Con`` or the statistics LUT) are dispatched to
+        their overrides so their semantics are preserved.
+        """
+        cls = type(self)
+        if (
+            cls.average_capacitance is not PowerModel.average_capacitance
+            or cls.maximum_capacitance is not PowerModel.maximum_capacitance
+        ):
+            return (
+                self.average_capacitance(sequence),
+                self.maximum_capacitance(sequence),
+            )
+        capacitances = self.sequence_capacitances(sequence)
+        return float(np.mean(capacitances)), float(np.max(capacitances))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} macro={self.macro_name!r}>"

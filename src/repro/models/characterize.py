@@ -67,6 +67,22 @@ class TrainingData:
         """Per-bit transition activities ``a_j = x_i_j XOR x_f_j`` (P, n)."""
         return (self.initial ^ self.final).astype(float)
 
+    def model_estimates(self, model) -> np.ndarray:
+        """A model's predictions on this sample, via one batch call.
+
+        ``model`` is any :class:`~repro.models.base.PowerModel`; the whole
+        sample goes through :meth:`~repro.models.base.PowerModel.pair_capacitances`
+        (for ADD models, the compiled array kernel) instead of a
+        per-pattern Python loop.
+        """
+        return np.asarray(
+            model.pair_capacitances(self.initial, self.final), dtype=float
+        )
+
+    def model_residuals(self, model) -> np.ndarray:
+        """Golden-minus-model errors on this sample (what hybrids fit)."""
+        return self.capacitances - self.model_estimates(model)
+
 
 def characterization_sequence(
     netlist: Netlist,

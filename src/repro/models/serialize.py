@@ -70,6 +70,8 @@ def model_to_dict(model: AddPowerModel) -> dict:
             "num_approximations": report.num_approximations,
             "cpu_seconds": report.cpu_seconds,
             "num_gates": report.num_gates,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
         }
     return payload
 
@@ -136,6 +138,8 @@ def model_from_dict(payload: dict) -> AddPowerModel:
             num_approximations=raw_report["num_approximations"],
             cpu_seconds=raw_report["cpu_seconds"],
             num_gates=raw_report["num_gates"],
+            cache_hits=raw_report.get("cache_hits", 0),
+            cache_misses=raw_report.get("cache_misses", 0),
         )
     return AddPowerModel(
         payload["macro_name"],

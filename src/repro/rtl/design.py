@@ -79,6 +79,41 @@ class RTLDesign:
             self.attach_model(name, model)
         return instance
 
+    def build_and_attach_add_models(
+        self, processes: Optional[int] = None, **build_kwargs
+    ) -> Dict[str, PowerModel]:
+        """Build ADD models for every instance concurrently and attach them.
+
+        ``build_kwargs`` go to :func:`~repro.models.addmodel.build_add_model`
+        (``max_nodes``, ``strategy``, ...).  Instances sharing one macro
+        netlist object are built once and share the resulting model.
+        Construction fans out across processes via
+        :func:`~repro.models.addmodel.build_add_models_parallel`; returns
+        the attached models keyed by instance name.
+        """
+        from repro.models.addmodel import build_add_models_parallel
+
+        if not self.instances:
+            raise ModelError("design has no instances")
+        # Deduplicate by netlist identity: a datapath of N identical
+        # macros needs one build, not N.
+        unique: List[Netlist] = []
+        job_of: Dict[int, int] = {}
+        for instance in self.instances:
+            key = id(instance.netlist)
+            if key not in job_of:
+                job_of[key] = len(unique)
+                unique.append(instance.netlist)
+        models = build_add_models_parallel(
+            unique, processes=processes, **build_kwargs
+        )
+        attached: Dict[str, PowerModel] = {}
+        for instance in self.instances:
+            model = models[job_of[id(instance.netlist)]]
+            self.attach_model(instance.name, model)
+            attached[instance.name] = model
+        return attached
+
     def attach_model(self, instance_name: str, model: PowerModel) -> None:
         """Attach (or replace) the power model of one instance."""
         instance = self._instance_by_name.get(instance_name)

@@ -153,13 +153,11 @@ def exhaustive_max_capacitance(netlist: Netlist) -> Tuple[float, np.ndarray, np.
     span = patterns.shape[0]
     waves = simulate(netlist, patterns).gate_output_matrix()
     loads = gate_load_vector(netlist)
-    best = -1.0
-    best_pair = (patterns[0], patterns[0])
-    for i in range(span):
-        rising = ~waves[i][None, :] & waves
-        totals = rising @ loads
-        j = int(np.argmax(totals))
-        if totals[j] > best:
-            best = float(totals[j])
-            best_pair = (patterns[i], patterns[j])
-    return best, best_pair[0], best_pair[1]
+    # totals[i, j] = sum_g (1 - waves[i,g]) * waves[j,g] * loads[g]
+    #             = (waves @ loads)[j] - (waves*loads @ waves.T)[i, j],
+    # one BLAS matmul instead of a Python loop over initial patterns.
+    rising_mass = waves @ loads
+    cross = (waves * loads) @ waves.T
+    totals = rising_mass[None, :] - cross
+    i, j = divmod(int(np.argmax(totals)), span)
+    return float(totals[i, j]), patterns[i], patterns[j]

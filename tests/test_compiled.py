@@ -1,0 +1,144 @@
+"""CompiledDD kernels vs the scalar walk, and parallel vs sequential builds.
+
+The compiled batch kernels must be *bit-for-bit* interchangeable with
+``DDManager.evaluate`` — the model layer switches between them purely on
+batch size, so any numeric divergence would make results depend on how
+they were asked for.  The property tests sweep seeded random netlists
+across all three approximation strategies (collapsed leaves included)
+and check the levelized plan, the pointer fallback and the scalar walk
+against each other on random transition batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.random_logic import random_logic
+from repro.dd.compiled import CompiledDD
+from repro.dd.manager import DDManager
+from repro.errors import DDError
+from repro.models import build_add_model, build_add_models_parallel
+
+#: (netlist seed, approximation strategy) grid for the property sweep.
+CASES = [
+    (seed, strategy)
+    for seed in (11, 23, 47)
+    for strategy in ("avg", "max", "min")
+]
+
+
+def _build_case(seed: int, strategy: str):
+    """A random macro plus a deliberately tight node budget.
+
+    The small ``max_nodes`` forces :func:`repro.dd.approx.approximate`
+    to collapse subgraphs into leaves, so the compiled form is exercised
+    on genuine ADDs (many distinct terminal values), not just 0/1 BDDs.
+    """
+    netlist = random_logic("prop", 8, 35, seed=seed, cone_limit=6)
+    model = build_add_model(netlist, max_nodes=60, strategy=strategy)
+    return netlist, model
+
+
+def _random_batch(model, rows: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    initial = rng.random((rows, model.num_inputs)) < 0.5
+    final = rng.random((rows, model.num_inputs)) < 0.5
+    return model._pack_batch(initial, final)
+
+
+class TestCompiledMatchesScalar:
+    @pytest.mark.parametrize("seed,strategy", CASES)
+    def test_batch_equals_scalar_walk(self, seed, strategy):
+        _, model = _build_case(seed, strategy)
+        compiled = model.compiled()
+        packed = _random_batch(model, 1000, seed=1000 + seed)
+        batch = compiled.evaluate_batch(packed)
+        scalar = np.array(
+            [model.manager.evaluate(model.root, row) for row in packed]
+        )
+        # Bit-for-bit: both paths only ever *select* stored terminal
+        # values, so there is no tolerance to grant.
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("seed,strategy", CASES)
+    def test_levelized_equals_pointer_kernel(self, seed, strategy):
+        _, model = _build_case(seed, strategy)
+        compiled = model.compiled()
+        assert compiled._lev_children is not None
+        packed = _random_batch(model, 500, seed=2000 + seed)
+        assert np.array_equal(
+            compiled._evaluate_levelized(packed),
+            compiled._evaluate_pointer(packed),
+        )
+
+    def test_collapsed_leaves_are_plain_terminals(self):
+        # Sanity for the fixture itself: the tight budget really did
+        # produce an approximated diagram with several terminal values.
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        assert compiled.is_leaf.sum() > 2
+
+    def test_empty_batch(self):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 5, seed=3)[:0]
+        result = compiled.evaluate_batch(packed)
+        assert result.shape == (0,)
+        assert result.dtype == np.float64
+
+    def test_single_row(self):
+        _, model = _build_case(11, "max")
+        compiled = model.compiled()
+        packed = _random_batch(model, 1, seed=4)
+        batch = compiled.evaluate_batch(packed)
+        assert batch.shape == (1,)
+        assert batch[0] == model.manager.evaluate(model.root, packed[0])
+        assert compiled.evaluate(packed[0]) == batch[0]
+
+    def test_constant_diagram(self):
+        manager = DDManager(num_vars=4)
+        compiled = CompiledDD.compile(manager, manager.terminal(2.5))
+        batch = compiled.evaluate_batch(np.zeros((7, 4), dtype=bool))
+        assert np.array_equal(batch, np.full(7, 2.5))
+        assert compiled.depth == 0
+
+    def test_narrow_matrix_raises_before_any_work(self):
+        _, model = _build_case(23, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 10, seed=5)
+        width = compiled.min_width()
+        assert width >= 2
+        with pytest.raises(DDError):
+            compiled.evaluate_batch(packed[:, : width - 1])
+
+
+class TestParallelBuildEquivalence:
+    def test_parallel_matches_sequential(self):
+        netlists = [
+            random_logic("par", 7, 30, seed=s, cone_limit=6) for s in (3, 9)
+        ]
+        sequential = [
+            build_add_model(n, max_nodes=80, strategy="avg") for n in netlists
+        ]
+        parallel = build_add_models_parallel(
+            netlists, processes=2, max_nodes=80, strategy="avg"
+        )
+        rng = np.random.default_rng(60)
+        for seq, par, netlist in zip(sequential, parallel, netlists):
+            assert par.size == seq.size
+            initial = rng.random((300, netlist.num_inputs)) < 0.5
+            final = rng.random((300, netlist.num_inputs)) < 0.5
+            assert np.array_equal(
+                seq.pair_capacitances(initial, final),
+                par.pair_capacitances(initial, final),
+            )
+
+    def test_sequential_fallback_single_process(self):
+        netlist = random_logic("par1", 6, 20, seed=13, cone_limit=5)
+        (model,) = build_add_models_parallel(
+            [netlist], processes=1, max_nodes=50, strategy="max"
+        )
+        reference = build_add_model(netlist, max_nodes=50, strategy="max")
+        assert model.size == reference.size
+        assert model.strategy == "max"
