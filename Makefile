@@ -1,10 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-eval bench-smoke
+.PHONY: test bench bench-eval bench-smoke fuzz fuzz-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Differential fuzzing against the independent oracle (default budget).
+fuzz:
+	$(PYTHON) -m repro fuzz --seed 0 --iterations 200 \
+		--save-failures tests/corpus
+
+# CI smoke: replay the full regression corpus, then a 60-second fuzz run.
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --corpus tests/corpus
+	$(PYTHON) -m repro fuzz --seed 0 --iterations 10000 --time-budget 60
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

@@ -16,6 +16,11 @@ Subcommands
     Analytic per-net switching activity and average power.
 ``save-model <circuit|file.blif> <model.json>`` / ``eval-model <model.json>``
     Serialise a model to JSON; evaluate a shipped model without the netlist.
+``fuzz``
+    Differentially fuzz the whole pipeline against the independent oracle
+    (random netlists, every implementation pair cross-checked), shrinking
+    any failure to a minimal reproducer; ``--corpus`` replays a saved
+    corpus instead of generating.
 ``list``
     Show the available Table-1 benchmark circuits.
 
@@ -203,6 +208,74 @@ def _cmd_eval_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.testing import (
+        FuzzConfig,
+        replay_corpus,
+        resolve_checks,
+        run_fuzz,
+        save_case,
+    )
+    from repro.testing.corpus import default_note, unique_path
+
+    checks = tuple(args.checks.split(",")) if args.checks else None
+    resolve_checks(checks)  # fail fast on typos
+
+    if args.corpus is not None and not args.generate:
+        failures = replay_corpus(args.corpus, checks)
+        total = len(list(Path(args.corpus).glob("*.json")))
+        if failures:
+            for path, mismatch in failures:
+                print(f"FAIL {path}: {mismatch}", file=sys.stderr)
+                for key, value in mismatch.witness.items():
+                    print(f"      {key} = {value}", file=sys.stderr)
+            print(f"{len(failures)} failure(s) in {total} corpus case(s)")
+            return 1
+        print(f"corpus OK: {total} case(s) replayed, no mismatches")
+        return 0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget_seconds=args.time_budget,
+        max_inputs=args.max_inputs,
+        max_gates=args.max_gates,
+        checks=checks,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+    )
+    report = run_fuzz(config)
+    print(report.summary())
+    for failure in report.failures:
+        print(
+            f"FAIL iteration {failure.iteration} (case seed "
+            f"{failure.seed:#010x}): {failure.mismatch}",
+            file=sys.stderr,
+        )
+        for key, value in failure.mismatch.witness.items():
+            print(f"      {key} = {value}", file=sys.stderr)
+        netlist = failure.case.netlist
+        print(
+            f"      shrunk to {netlist.num_inputs} inputs / "
+            f"{netlist.num_gates} gates (from {failure.original_gates})",
+            file=sys.stderr,
+        )
+        if args.save_failures is not None:
+            path = unique_path(
+                args.save_failures,
+                f"{failure.mismatch.check}-{failure.seed:08x}",
+            )
+            save_case(
+                failure.case,
+                path,
+                note=default_note(failure.case, failure.mismatch.check),
+            )
+            print(f"      reproducer written to {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -277,6 +350,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
     )
     evaluate_model.set_defaults(func=_cmd_eval_model)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differentially fuzz the pipeline against the oracle"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iterations", type=int, default=200)
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop early after this much wall-clock time",
+    )
+    fuzz.add_argument("--max-inputs", type=int, default=7)
+    fuzz.add_argument("--max-gates", type=int, default=28)
+    fuzz.add_argument(
+        "--checks",
+        default=None,
+        help="comma-separated check names (default: all)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="replay this corpus directory instead of generating",
+    )
+    fuzz.add_argument(
+        "--generate",
+        action="store_true",
+        help="with --corpus pointing at --save-failures: still generate",
+    )
+    fuzz.add_argument(
+        "--save-failures",
+        default=None,
+        metavar="DIR",
+        help="write shrunk reproducers into this directory",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report raw failures unshrunk"
+    )
+    fuzz.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many failures (0 = no limit)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

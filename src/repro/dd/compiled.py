@@ -215,12 +215,20 @@ class CompiledDD:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate_batch(self, assignments) -> np.ndarray:
+    def evaluate_batch(self, assignments, kernel: str = "auto") -> np.ndarray:
         """Evaluate a ``(P, num_vars)`` 0/1 batch; returns ``(P,)`` floats.
 
         All support columns are validated before any work happens, so a
         too-narrow matrix raises without producing partial results.
+
+        ``kernel`` selects the traversal strategy: ``"auto"`` (default)
+        prefers the levelized plan when one was built, ``"levelized"``
+        and ``"pointer"`` force a specific kernel — used by the
+        differential-testing harness to cross-check the two
+        implementations on identical inputs.
         """
+        if kernel not in ("auto", "levelized", "pointer"):
+            raise DDError(f"unknown kernel {kernel!r}")
         matrix = np.asarray(assignments)
         if matrix.ndim != 2:
             raise DDError("assignments must be a (P, num_vars) matrix")
@@ -233,6 +241,14 @@ class CompiledDD:
             return np.empty(0, dtype=np.float64)
         if not self.support.size:
             return np.full(rows, self.values[self.root], dtype=np.float64)
+        if kernel == "pointer":
+            return self._evaluate_pointer(matrix)
+        if kernel == "levelized":
+            if self._lev_children is None:
+                raise DDError(
+                    "no levelized plan for this diagram (width over the slot limit)"
+                )
+            return self._evaluate_levelized(matrix)
         if self._lev_children is not None:
             return self._evaluate_levelized(matrix)
         return self._evaluate_pointer(matrix)

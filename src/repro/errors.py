@@ -51,3 +51,11 @@ class CharacterizationError(ModelError):
 
 class SequenceError(ReproError):
     """An input-sequence specification is infeasible (e.g. st > 2*min(sp,1-sp))."""
+
+
+class OracleError(ReproError):
+    """The differential-testing oracle was asked something it cannot answer."""
+
+
+class FuzzError(ReproError):
+    """The fuzzing harness was configured inconsistently or hit a bad corpus file."""

@@ -229,16 +229,23 @@ class AddPowerModel(PowerModel):
         packed[:, xf_cols] = final
         return packed
 
-    def pair_capacitances(self, initial, final) -> np.ndarray:
+    def pair_capacitances(self, initial, final, kernel: str = "auto") -> np.ndarray:
+        """Model capacitance for a batch of ``(initial, final)`` pattern pairs.
+
+        ``kernel`` selects the compiled evaluation strategy (see
+        :meth:`CompiledDD.evaluate_batch`); forcing ``"levelized"`` or
+        ``"pointer"`` always compiles, even for tiny batches, so the two
+        kernels can be differenced against each other in tests.
+        """
         packed = self._pack_batch(initial, final)
         # Tiny batches before the first compilation are not worth the
         # O(model size) flattening; everything else goes through the
         # compiled pointer-chasing kernel (O(P · depth) numpy ops).
-        if self._compiled is None and packed.shape[0] < 16:
+        if kernel == "auto" and self._compiled is None and packed.shape[0] < 16:
             evaluate = self.manager.evaluate
             root = self.root
             return np.array([evaluate(root, row) for row in packed], dtype=float)
-        return self.compiled().evaluate_batch(packed)
+        return self.compiled().evaluate_batch(packed, kernel=kernel)
 
     # ------------------------------------------------------------------
     # Analytic queries (no simulation needed)

@@ -53,10 +53,18 @@ def check_netlist(netlist: Netlist) -> ValidationReport:
     for name in netlist.inputs:
         if name not in used:
             report.warnings.append(f"primary input {name!r} drives nothing")
+    loads = netlist.load_capacitances()
     for gate in netlist.gates:
         if gate.output not in used:
             report.warnings.append(
                 f"gate {gate.name} output {gate.output!r} is dangling"
+            )
+        elif loads.get(gate.name, 0.0) == 0.0:
+            # Legal (the Eq.-4 contribution is just zero) but in a real
+            # library it means every fanout pin capacitance is zero —
+            # almost always a characterization bug, not a design choice.
+            report.warnings.append(
+                f"gate {gate.name} output {gate.output!r} drives zero load"
             )
 
     if not netlist.outputs:

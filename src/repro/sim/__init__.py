@@ -40,6 +40,7 @@ from repro.sim.sequences import (
     SequenceStats,
     address_burst_sequence,
     all_patterns,
+    all_transition_pairs,
     counter_sequence,
     exhaustive_pairs,
     feasible_st_range,
@@ -70,6 +71,7 @@ __all__ = [
     "markov_sequence",
     "uniform_pairs",
     "exhaustive_pairs",
+    "all_transition_pairs",
     "all_patterns",
     "gray_sequence",
     "counter_sequence",

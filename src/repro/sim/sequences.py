@@ -102,6 +102,30 @@ def exhaustive_pairs(num_bits: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
             yield bits_i, bits_f
 
 
+def all_transition_pairs(num_bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``4**num_bits`` transition pairs as two ``(4**n, n)`` matrices.
+
+    Vectorised companion to :func:`exhaustive_pairs` for batch
+    evaluation: row ``i * 2**n + f`` pairs pattern index ``i`` with
+    pattern index ``f``, where bit ``k`` of a pattern index is input
+    ``k`` (LSB-first) — the same row-major layout as the flattened
+    capacitance matrix of :func:`repro.testing.oracle.oracle_capacitance_matrix`.
+    """
+    if num_bits > 12:
+        raise SequenceError(
+            f"all_transition_pairs over {num_bits} bits is {4 ** num_bits} "
+            "rows; refusing above 12 bits"
+        )
+    span = 2 ** num_bits
+    patterns = (
+        (np.arange(span)[:, None] >> np.arange(num_bits)[None, :]) & 1
+    ).astype(bool)
+    return (
+        patterns[np.repeat(np.arange(span), span)],
+        patterns[np.tile(np.arange(span), span)],
+    )
+
+
 def all_patterns(num_bits: int) -> np.ndarray:
     """All ``2**num_bits`` patterns as a boolean matrix (MSB-first rows)."""
     if num_bits > 20:

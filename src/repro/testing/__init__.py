@@ -1,0 +1,79 @@
+"""Differential-oracle and fuzzing harness.
+
+This package is the *adversary* of the symbolic pipeline: an
+independent oracle (:mod:`repro.testing.oracle`) that recomputes logic
+values and Eq.-4 switching capacitance straight from the netlist with
+none of the ``dd``/``sim``/``models`` code, plus a coverage-driven
+fuzzer (:mod:`repro.testing.fuzz`) that cross-checks every
+implementation pair and shrinks disagreements to minimal reproducers
+for ``tests/corpus/``.
+"""
+
+from repro.testing.checks import (
+    CHECKS,
+    CaseContext,
+    FuzzCase,
+    Mismatch,
+    resolve_checks,
+    run_case,
+    single_check_runner,
+)
+from repro.testing.corpus import (
+    case_from_dict,
+    case_to_dict,
+    iter_corpus,
+    load_case,
+    save_case,
+)
+from repro.testing.fuzz import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    make_case,
+    replay_corpus,
+    run_fuzz,
+)
+from repro.testing.generate import GenParams, build_fuzz_netlist, random_params
+from repro.testing.oracle import (
+    oracle_average_uniform,
+    oracle_capacitance_matrix,
+    oracle_load_capacitances,
+    oracle_max_capacitance,
+    oracle_node_values,
+    oracle_sequence_capacitances,
+    oracle_switching_capacitance,
+    oracle_truth_tables,
+)
+from repro.testing.shrink import shrink_case
+
+__all__ = [
+    "CHECKS",
+    "CaseContext",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "GenParams",
+    "Mismatch",
+    "build_fuzz_netlist",
+    "case_from_dict",
+    "case_to_dict",
+    "iter_corpus",
+    "load_case",
+    "make_case",
+    "oracle_average_uniform",
+    "oracle_capacitance_matrix",
+    "oracle_load_capacitances",
+    "oracle_max_capacitance",
+    "oracle_node_values",
+    "oracle_sequence_capacitances",
+    "oracle_switching_capacitance",
+    "oracle_truth_tables",
+    "random_params",
+    "replay_corpus",
+    "resolve_checks",
+    "run_case",
+    "save_case",
+    "shrink_case",
+    "single_check_runner",
+]

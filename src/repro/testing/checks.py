@@ -1,0 +1,641 @@
+"""Differential checks: every implementation pair vs the oracle.
+
+A *check* takes a :class:`CaseContext` (one fuzz case plus lazily built,
+shared artifacts like the exact ADD model) and returns ``None`` when the
+implementations agree or a :class:`Mismatch` describing the first
+disagreement.  Checks are registered in :data:`CHECKS`; the fuzz driver,
+the corpus replayer and the shrinker all run them through
+:func:`run_case`, so a shrunk reproducer exercises exactly the code path
+that failed.
+
+The pairs covered (see ISSUE/DESIGN for the rationale):
+
+====================  ====================================================
+``logic_sim``         numpy batch simulator vs oracle scalar walk
+``power_sim``         pair/sequence golden-model power vs oracle (Eq. 4)
+``glitch_zero_delay`` event-driven sim's zero-delay component vs oracle,
+                      and total (glitchful) >= zero-delay
+``exact_model``       exact ADD model vs oracle, scalar and batch,
+                      exhaustively for small input counts
+``worst_case``        ADD worst-case extraction vs exhaustive oracle max
+``compiled_kernels``  levelized vs pointer kernels vs scalar DD walk
+``collapsed_bounds``  max-collapsed model >= oracle, min-collapsed <=,
+                      global max of the bound >= exhaustive oracle max
+``avg_preserved``     avg-collapsed model keeps the exact uniform mean
+``expected_cap``      closed-form E[C] at (sp, st) = (.5, .5) == uniform mean
+``serialize``         JSON round trip preserves size/strategy/evaluations
+``reorder``           transfer under a shuffled variable order vs oracle
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FuzzError
+from repro.netlist.netlist import Netlist
+from repro.testing.oracle import (
+    MAX_TRUTH_TABLE_INPUTS,
+    oracle_average_uniform,
+    oracle_capacitance_matrix,
+    oracle_load_capacitances,
+    oracle_node_values,
+    oracle_sequence_capacitances,
+    oracle_switching_capacitance,
+)
+
+#: Exhaustive (4**n transition) sweeps run when the netlist has at most
+#: this many inputs; beyond it checks fall back to the case's samples.
+EXHAUSTIVE_INPUT_LIMIT = 6
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-contained differential test case.
+
+    Everything a check needs is in here (netlist, pattern pairs, a vector
+    sequence, the collapse budget), so a case can be serialised to the
+    corpus and replayed bit-identically later.
+    """
+
+    netlist: Netlist
+    seed: int
+    initial: np.ndarray  # (P, n) bool, columns in netlist.inputs order
+    final: np.ndarray  # (P, n) bool
+    sequence: np.ndarray  # (L, n) bool
+    max_nodes: int = 12
+    checks: Optional[Tuple[str, ...]] = None  # None = every applicable check
+    label: str = ""
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.initial.shape[0])
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One confirmed disagreement between two implementations.
+
+    ``error_type`` is set when the check did not get as far as comparing
+    values because an implementation *raised*; crashes on legal netlists
+    are failures too, and are shrunk exactly like value mismatches.
+    """
+
+    check: str
+    message: str
+    witness: Dict[str, object] = field(default_factory=dict)
+    error_type: Optional[str] = None
+
+    def same_failure(self, other: "Mismatch") -> bool:
+        """True if ``other`` plausibly reproduces this failure mode."""
+        return self.check == other.check and self.error_type == other.error_type
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.check}] {self.message}"
+
+
+def _bits(row: Sequence[int] | np.ndarray) -> str:
+    return "".join("1" if bit else "0" for bit in row)
+
+
+class CaseContext:
+    """Lazily built shared artifacts of one fuzz case.
+
+    Building the exact ADD model dominates a case's cost; caching it here
+    lets the model-facing checks share one construction instead of
+    rebuilding per check.
+    """
+
+    def __init__(self, case: FuzzCase):
+        self.case = case
+        self.netlist = case.netlist
+        self._models: Dict[Tuple[str, Optional[int]], object] = {}
+        self._oracle_pairs: Optional[np.ndarray] = None
+        self._oracle_matrix: Optional[np.ndarray] = None
+        self._loads: Optional[Dict[str, float]] = None
+        #: Feature notes collected while checks run (fed to coverage).
+        self.observed: Dict[str, object] = {}
+
+    # -- oracle side ---------------------------------------------------
+    @property
+    def loads(self) -> Dict[str, float]:
+        if self._loads is None:
+            self._loads = oracle_load_capacitances(self.netlist)
+        return self._loads
+
+    @property
+    def total_load(self) -> float:
+        return sum(self.loads.values())
+
+    @property
+    def tolerance(self) -> float:
+        """Absolute fp tolerance: summation-order drift scales with load."""
+        return 1e-6 + 1e-9 * self.total_load
+
+    @property
+    def oracle_pairs(self) -> np.ndarray:
+        """Oracle ``C`` for the case's sampled pattern pairs."""
+        if self._oracle_pairs is None:
+            self._oracle_pairs = np.array(
+                [
+                    oracle_switching_capacitance(
+                        self.netlist, xi.tolist(), xf.tolist()
+                    )
+                    for xi, xf in zip(self.case.initial, self.case.final)
+                ],
+                dtype=float,
+            )
+        return self._oracle_pairs
+
+    @property
+    def oracle_matrix(self) -> Optional[np.ndarray]:
+        """Exhaustive capacitance matrix, or None above the input limit."""
+        if self.netlist.num_inputs > EXHAUSTIVE_INPUT_LIMIT:
+            return None
+        if self._oracle_matrix is None:
+            self._oracle_matrix = oracle_capacitance_matrix(self.netlist)
+        return self._oracle_matrix
+
+    # -- model side ----------------------------------------------------
+    def model(self, strategy: str = "avg", max_nodes: Optional[int] = None):
+        """Build (once) and cache an ADD model for this case's netlist."""
+        from repro.models.addmodel import build_add_model
+
+        key = (strategy, max_nodes)
+        if key not in self._models:
+            self._models[key] = build_add_model(
+                self.netlist, max_nodes=max_nodes, strategy=strategy
+            )
+        return self._models[key]
+
+    @property
+    def exact_model(self):
+        return self.model("avg", None)
+
+    def all_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Every ``(x_i, x_f)`` pair, index-aligned with the oracle matrix."""
+        from repro.sim.sequences import all_transition_pairs
+
+        return all_transition_pairs(self.netlist.num_inputs)
+
+
+CheckFn = Callable[[CaseContext], Optional[Mismatch]]
+
+
+# ---------------------------------------------------------------------------
+# Simulator checks
+# ---------------------------------------------------------------------------
+def check_logic_sim(ctx: CaseContext) -> Optional[Mismatch]:
+    """Batch numpy logic simulation vs the oracle's scalar walk."""
+    from repro.sim.logic_sim import simulate
+
+    result = simulate(ctx.netlist, ctx.case.initial)
+    for p, row in enumerate(ctx.case.initial):
+        expected = oracle_node_values(ctx.netlist, row.tolist())
+        for net, wave in result.values.items():
+            if int(wave[p]) != expected[net]:
+                return Mismatch(
+                    "logic_sim",
+                    f"net {net!r} simulates to {int(wave[p])}, oracle says "
+                    f"{expected[net]}",
+                    {"pattern": _bits(row), "net": net, "pair_index": p},
+                )
+    return None
+
+
+def check_power_sim(ctx: CaseContext) -> Optional[Mismatch]:
+    """Golden-model power (pairs and sequences) vs the oracle."""
+    from repro.sim.power_sim import (
+        pair_switching_capacitances,
+        sequence_switching_capacitances,
+    )
+
+    estimates = pair_switching_capacitances(
+        ctx.netlist, ctx.case.initial, ctx.case.final
+    )
+    truths = ctx.oracle_pairs
+    gaps = np.abs(estimates - truths)
+    if gaps.size and float(gaps.max()) > ctx.tolerance:
+        p = int(np.argmax(gaps))
+        return Mismatch(
+            "power_sim",
+            f"pair capacitance {estimates[p]:.6f} fF vs oracle "
+            f"{truths[p]:.6f} fF",
+            {
+                "initial": _bits(ctx.case.initial[p]),
+                "final": _bits(ctx.case.final[p]),
+                "pair_index": p,
+            },
+        )
+    if ctx.case.sequence.shape[0] >= 2:
+        per_cycle = sequence_switching_capacitances(ctx.netlist, ctx.case.sequence)
+        expected = oracle_sequence_capacitances(
+            ctx.netlist, ctx.case.sequence
+        )
+        diffs = np.abs(per_cycle - np.asarray(expected))
+        if diffs.size and float(diffs.max()) > ctx.tolerance:
+            t = int(np.argmax(diffs))
+            return Mismatch(
+                "power_sim",
+                f"sequence cycle {t}: {per_cycle[t]:.6f} fF vs oracle "
+                f"{expected[t]:.6f} fF",
+                {"cycle": t, "initial": _bits(ctx.case.sequence[t]),
+                 "final": _bits(ctx.case.sequence[t + 1])},
+            )
+    return None
+
+
+def check_glitch_zero_delay(ctx: CaseContext) -> Optional[Mismatch]:
+    """Event-driven sim: zero-delay component == oracle, total >= it."""
+    from repro.sim.glitch_sim import simulate_transition
+
+    count = min(6, ctx.case.num_pairs)
+    for p in range(count):
+        xi = ctx.case.initial[p].tolist()
+        xf = ctx.case.final[p].tolist()
+        trace = simulate_transition(ctx.netlist, xi, xf)
+        expected = ctx.oracle_pairs[p]
+        if abs(trace.zero_delay_capacitance_fF - expected) > ctx.tolerance:
+            return Mismatch(
+                "glitch_zero_delay",
+                f"zero-delay component {trace.zero_delay_capacitance_fF:.6f} fF "
+                f"vs oracle {expected:.6f} fF",
+                {"initial": _bits(xi), "final": _bits(xf), "pair_index": p},
+            )
+        if trace.switching_capacitance_fF < trace.zero_delay_capacitance_fF - ctx.tolerance:
+            return Mismatch(
+                "glitch_zero_delay",
+                f"total (glitchful) capacitance {trace.switching_capacitance_fF:.6f} fF "
+                f"below its structural floor {trace.zero_delay_capacitance_fF:.6f} fF",
+                {"initial": _bits(xi), "final": _bits(xf), "pair_index": p},
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Symbolic-model checks
+# ---------------------------------------------------------------------------
+def check_exact_model(ctx: CaseContext) -> Optional[Mismatch]:
+    """Exact ADD model vs oracle: scalar walk, batch kernel, exhaustive."""
+    model = ctx.exact_model
+    for p in range(ctx.case.num_pairs):
+        xi = ctx.case.initial[p].tolist()
+        xf = ctx.case.final[p].tolist()
+        estimate = model.switching_capacitance(xi, xf)
+        if abs(estimate - ctx.oracle_pairs[p]) > ctx.tolerance:
+            return Mismatch(
+                "exact_model",
+                f"model C = {estimate:.6f} fF, oracle C = "
+                f"{ctx.oracle_pairs[p]:.6f} fF",
+                {"initial": _bits(xi), "final": _bits(xf), "pair_index": p},
+            )
+    batch = model.pair_capacitances(ctx.case.initial, ctx.case.final)
+    gaps = np.abs(batch - ctx.oracle_pairs)
+    if gaps.size and float(gaps.max()) > ctx.tolerance:
+        p = int(np.argmax(gaps))
+        return Mismatch(
+            "exact_model",
+            f"batch C = {batch[p]:.6f} fF, oracle C = {ctx.oracle_pairs[p]:.6f} fF",
+            {
+                "initial": _bits(ctx.case.initial[p]),
+                "final": _bits(ctx.case.final[p]),
+                "pair_index": p,
+            },
+        )
+    matrix = ctx.oracle_matrix
+    if matrix is not None:
+        initial, final = ctx.all_pairs()
+        estimates = model.pair_capacitances(initial, final)
+        flat = matrix.reshape(-1)
+        gaps = np.abs(estimates - flat)
+        if float(gaps.max()) > ctx.tolerance:
+            worst = int(np.argmax(gaps))
+            return Mismatch(
+                "exact_model",
+                f"exhaustive sweep: model {estimates[worst]:.6f} fF vs oracle "
+                f"{flat[worst]:.6f} fF",
+                {"initial": _bits(initial[worst]), "final": _bits(final[worst])},
+            )
+    ctx.observed["model_nodes"] = model.size
+    return None
+
+
+def check_worst_case(ctx: CaseContext) -> Optional[Mismatch]:
+    """ADD worst-case extraction vs the exhaustive oracle maximum."""
+    matrix = ctx.oracle_matrix
+    if matrix is None:
+        return None
+    model = ctx.exact_model
+    initial, final, value = model.worst_case_transition()
+    true_max = float(matrix.max())
+    if abs(value - model.global_maximum()) > ctx.tolerance:
+        return Mismatch(
+            "worst_case",
+            f"extracted transition attains {value:.6f} fF but the model's "
+            f"global maximum is {model.global_maximum():.6f} fF",
+            {"initial": _bits(initial), "final": _bits(final)},
+        )
+    if abs(value - true_max) > ctx.tolerance:
+        return Mismatch(
+            "worst_case",
+            f"exact model's worst case {value:.6f} fF differs from the "
+            f"exhaustive oracle maximum {true_max:.6f} fF",
+            {"initial": _bits(initial), "final": _bits(final)},
+        )
+    achieved = oracle_switching_capacitance(ctx.netlist, initial, final)
+    if abs(achieved - value) > ctx.tolerance:
+        return Mismatch(
+            "worst_case",
+            f"claimed worst-case transition only achieves {achieved:.6f} fF "
+            f"at the oracle (model says {value:.6f} fF)",
+            {"initial": _bits(initial), "final": _bits(final)},
+        )
+    return None
+
+
+def check_compiled_kernels(ctx: CaseContext) -> Optional[Mismatch]:
+    """Levelized vs pointer kernel vs the scalar root-to-leaf walk."""
+    model = ctx.exact_model
+    space, manager = model.space, model.manager
+    packed = np.zeros((ctx.case.num_pairs, 2 * model.num_inputs), dtype=bool)
+    position = {name: k for k, name in enumerate(space.input_names)}
+    order = [position[name] for name in model.input_names]
+    for k, pos in enumerate(order):
+        packed[:, space.xi(pos)] = ctx.case.initial[:, k]
+        packed[:, space.xf(pos)] = ctx.case.final[:, k]
+    compiled = model.compiled()
+    scalar = np.array(
+        [manager.evaluate(model.root, row.astype(int).tolist()) for row in packed]
+    )
+    pointer = compiled.evaluate_batch(packed, kernel="pointer")
+    ctx.observed["levelized"] = compiled._lev_children is not None
+    if not np.array_equal(pointer, scalar):
+        p = int(np.argmax(pointer != scalar))
+        return Mismatch(
+            "compiled_kernels",
+            f"pointer kernel {pointer[p]!r} vs scalar walk {scalar[p]!r}",
+            {"assignment": _bits(packed[p]), "pair_index": p},
+        )
+    if compiled._lev_children is not None:
+        levelized = compiled.evaluate_batch(packed, kernel="levelized")
+        if not np.array_equal(levelized, scalar):
+            p = int(np.argmax(levelized != scalar))
+            return Mismatch(
+                "compiled_kernels",
+                f"levelized kernel {levelized[p]!r} vs scalar walk {scalar[p]!r}",
+                {"assignment": _bits(packed[p]), "pair_index": p},
+            )
+    # Same comparison through the model's own packing path: forcing the
+    # kernel bypasses pair_capacitances' small-batch scalar fallback, so
+    # this differences _pack_batch + CompiledDD against the walk above.
+    via_model = model.pair_capacitances(
+        ctx.case.initial, ctx.case.final, kernel="pointer"
+    )
+    if not np.array_equal(via_model, scalar):
+        p = int(np.argmax(via_model != scalar))
+        return Mismatch(
+            "compiled_kernels",
+            f"pair_capacitances(kernel='pointer') {via_model[p]!r} vs "
+            f"scalar walk {scalar[p]!r}",
+            {"pair_index": p},
+        )
+    return None
+
+
+def check_collapsed_bounds(ctx: CaseContext) -> Optional[Mismatch]:
+    """max-collapsed model >= oracle everywhere; min-collapsed <=."""
+    budget = ctx.case.max_nodes
+    upper = ctx.model("max", budget)
+    lower = ctx.model("min", budget)
+    ctx.observed["approximated"] = bool(
+        upper.report and upper.report.num_approximations
+    )
+    matrix = ctx.oracle_matrix
+    if matrix is not None:
+        initial, final = ctx.all_pairs()
+        truths = matrix.reshape(-1)
+    else:
+        initial, final = ctx.case.initial, ctx.case.final
+        truths = ctx.oracle_pairs
+    estimates = upper.pair_capacitances(initial, final)
+    slack = estimates - truths
+    if slack.size and float(slack.min()) < -ctx.tolerance:
+        p = int(np.argmin(slack))
+        return Mismatch(
+            "collapsed_bounds",
+            f"max-strategy bound {estimates[p]:.6f} fF falls below the oracle "
+            f"{truths[p]:.6f} fF (violation {-slack[p]:.6f} fF)",
+            {"initial": _bits(initial[p]), "final": _bits(final[p]),
+             "max_nodes": budget},
+        )
+    floor = lower.pair_capacitances(initial, final)
+    slack = truths - floor
+    if slack.size and float(slack.min()) < -ctx.tolerance:
+        p = int(np.argmin(slack))
+        return Mismatch(
+            "collapsed_bounds",
+            f"min-strategy bound {floor[p]:.6f} fF exceeds the oracle "
+            f"{truths[p]:.6f} fF",
+            {"initial": _bits(initial[p]), "final": _bits(final[p]),
+             "max_nodes": budget},
+        )
+    if matrix is not None:
+        true_max = float(matrix.max())
+        if upper.global_maximum() < true_max - ctx.tolerance:
+            return Mismatch(
+                "collapsed_bounds",
+                f"constant bound {upper.global_maximum():.6f} fF below the "
+                f"exhaustive worst case {true_max:.6f} fF",
+                {"max_nodes": budget},
+            )
+    return None
+
+
+def check_avg_preserved(ctx: CaseContext) -> Optional[Mismatch]:
+    """avg-collapsing preserves the exact uniform mean (paper invariant)."""
+    if ctx.netlist.num_inputs > MAX_TRUTH_TABLE_INPUTS:
+        return None  # closed-form oracle average unavailable
+    expected = oracle_average_uniform(ctx.netlist)
+    scale = max(1.0, ctx.total_load)
+    tolerance = ctx.tolerance + 1e-9 * scale
+    exact_avg = ctx.exact_model.average_capacitance_uniform()
+    if abs(exact_avg - expected) > tolerance:
+        return Mismatch(
+            "avg_preserved",
+            f"exact model average {exact_avg:.9f} fF vs oracle closed form "
+            f"{expected:.9f} fF",
+            {},
+        )
+    collapsed = ctx.model("avg", ctx.case.max_nodes)
+    collapsed_avg = collapsed.average_capacitance_uniform()
+    if abs(collapsed_avg - expected) > tolerance:
+        return Mismatch(
+            "avg_preserved",
+            f"avg-collapsed model (MAX={ctx.case.max_nodes}) average "
+            f"{collapsed_avg:.9f} fF drifted from {expected:.9f} fF",
+            {"max_nodes": ctx.case.max_nodes},
+        )
+    return None
+
+
+def check_expected_capacitance(ctx: CaseContext) -> Optional[Mismatch]:
+    """Closed-form E[C] at (sp, st) = (0.5, 0.5) equals the uniform mean."""
+    if ctx.netlist.num_inputs > MAX_TRUTH_TABLE_INPUTS:
+        return None  # closed-form oracle average unavailable
+    model = ctx.exact_model
+    analytic = model.expected_capacitance(0.5, 0.5)
+    expected = oracle_average_uniform(ctx.netlist)
+    if abs(analytic - expected) > ctx.tolerance + 1e-9 * max(1.0, ctx.total_load):
+        return Mismatch(
+            "expected_cap",
+            f"expected_capacitance(0.5, 0.5) = {analytic:.9f} fF but the "
+            f"uniform mean is {expected:.9f} fF",
+            {},
+        )
+    return None
+
+
+def check_serialize(ctx: CaseContext) -> Optional[Mismatch]:
+    """JSON round trip: same size, strategy and evaluations."""
+    from repro.models.serialize import model_from_dict, model_to_dict
+
+    for strategy, max_nodes in (("avg", None), ("max", ctx.case.max_nodes)):
+        model = ctx.model(strategy, max_nodes)
+        clone = model_from_dict(model_to_dict(model))
+        if clone.size != model.size or clone.strategy != model.strategy:
+            return Mismatch(
+                "serialize",
+                f"round trip changed the model: {model.size} nodes/"
+                f"{model.strategy} -> {clone.size} nodes/{clone.strategy}",
+                {"strategy": strategy, "max_nodes": max_nodes},
+            )
+        original = model.pair_capacitances(ctx.case.initial, ctx.case.final)
+        restored = clone.pair_capacitances(ctx.case.initial, ctx.case.final)
+        if not np.array_equal(original, restored):
+            p = int(np.argmax(original != restored))
+            return Mismatch(
+                "serialize",
+                f"round-tripped model evaluates to {restored[p]!r}, original "
+                f"gave {original[p]!r}",
+                {
+                    "initial": _bits(ctx.case.initial[p]),
+                    "final": _bits(ctx.case.final[p]),
+                    "strategy": strategy,
+                },
+            )
+    return None
+
+
+def check_reorder(ctx: CaseContext) -> Optional[Mismatch]:
+    """Transfer under a shuffled variable order still matches the oracle."""
+    from repro.dd.reorder import transfer
+
+    model = ctx.exact_model
+    manager = model.manager
+    support = sorted(manager.support(model.root))
+    if not support:
+        return None
+    order = list(support)
+    random.Random(ctx.case.seed ^ 0x5EED).shuffle(order)
+    target, new_root = transfer(manager, model.root, order)
+    space = model.space
+    position = {name: k for k, name in enumerate(space.input_names)}
+    external = [position[name] for name in model.input_names]
+    column_of = {var: k for k, var in enumerate(order)}
+    for p in range(ctx.case.num_pairs):
+        packed = [0] * (2 * model.num_inputs)
+        for k, pos in enumerate(external):
+            packed[space.xi(pos)] = int(ctx.case.initial[p, k])
+            packed[space.xf(pos)] = int(ctx.case.final[p, k])
+        assignment = [0] * len(order)
+        for var, column in column_of.items():
+            assignment[column] = packed[var]
+        estimate = target.evaluate(new_root, assignment)
+        if abs(estimate - ctx.oracle_pairs[p]) > ctx.tolerance:
+            return Mismatch(
+                "reorder",
+                f"reordered diagram evaluates to {estimate:.6f} fF, oracle "
+                f"says {ctx.oracle_pairs[p]:.6f} fF",
+                {
+                    "initial": _bits(ctx.case.initial[p]),
+                    "final": _bits(ctx.case.final[p]),
+                    "order": order,
+                },
+            )
+    return None
+
+
+#: Registry: name -> check, in cheap-first execution order.
+CHECKS: Dict[str, CheckFn] = {
+    "logic_sim": check_logic_sim,
+    "power_sim": check_power_sim,
+    "glitch_zero_delay": check_glitch_zero_delay,
+    "exact_model": check_exact_model,
+    "worst_case": check_worst_case,
+    "compiled_kernels": check_compiled_kernels,
+    "collapsed_bounds": check_collapsed_bounds,
+    "avg_preserved": check_avg_preserved,
+    "expected_cap": check_expected_capacitance,
+    "serialize": check_serialize,
+    "reorder": check_reorder,
+}
+
+
+def resolve_checks(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate and normalise a check-name selection (None = all)."""
+    if names is None:
+        return list(CHECKS)
+    unknown = [name for name in names if name not in CHECKS]
+    if unknown:
+        raise FuzzError(
+            f"unknown checks {unknown}; available: {', '.join(CHECKS)}"
+        )
+    return list(names)
+
+
+def run_case(
+    case: FuzzCase, checks: Optional[Sequence[str]] = None
+) -> Tuple[List[Mismatch], CaseContext]:
+    """Run the selected checks (default: the case's own, else all).
+
+    Returns every mismatch found (one per failing check — each check
+    reports its first disagreement) plus the context, whose ``observed``
+    notes feed the fuzzer's coverage map.
+    """
+    selected = resolve_checks(
+        checks if checks is not None else case.checks
+    )
+    ctx = CaseContext(case)
+    mismatches: List[Mismatch] = []
+    for name in selected:
+        result = _run_one(name, ctx)
+        if result is not None:
+            mismatches.append(result)
+    return mismatches, ctx
+
+
+def _run_one(name: str, ctx: CaseContext) -> Optional[Mismatch]:
+    """Run one check, converting crashes into error-typed mismatches."""
+    try:
+        return CHECKS[name](ctx)
+    except Exception as exc:
+        return Mismatch(
+            name,
+            f"check raised {type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+        )
+
+
+def single_check_runner(name: str) -> Callable[[FuzzCase], Optional[Mismatch]]:
+    """A closure running exactly one named check (used by the shrinker)."""
+    if name not in CHECKS:
+        raise FuzzError(f"unknown check {name!r}")
+
+    def runner(case: FuzzCase) -> Optional[Mismatch]:
+        return _run_one(name, CaseContext(case))
+
+    return runner

@@ -1,0 +1,204 @@
+"""Corpus persistence: fuzz cases as self-contained JSON files.
+
+A corpus entry stores everything :class:`~repro.testing.checks.FuzzCase`
+needs — the full netlist (gates with their per-instance pin
+capacitances), the pattern pairs and sequence as bit strings in
+primary-input order, the collapse budget and the check selection — so a
+shrunk failure replays bit-identically on any machine, with no
+dependency on the generator that produced it.
+
+The on-disk format is versioned (``format``/``version`` header) so old
+corpora keep loading if the schema grows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FuzzError
+from repro.netlist.gates import GateOp
+from repro.netlist.library import Cell
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import check_netlist
+from repro.testing.checks import FuzzCase
+
+FORMAT = "repro-fuzz-case"
+VERSION = 1
+
+
+def _bits_to_row(bits: str, width: int, where: str) -> List[bool]:
+    if len(bits) != width or any(ch not in "01" for ch in bits):
+        raise FuzzError(
+            f"{where}: expected a {width}-bit 0/1 string, got {bits!r}"
+        )
+    return [ch == "1" for ch in bits]
+
+
+def _row_to_bits(row) -> str:
+    return "".join("1" if bit else "0" for bit in row)
+
+
+def case_to_dict(case: FuzzCase, note: str = "") -> Dict:
+    """Serialise a fuzz case to a JSON-ready dict."""
+    netlist = case.netlist
+    gates = []
+    for gate in netlist.gates:
+        caps = gate.cell.input_capacitance_fF
+        gates.append(
+            {
+                "name": gate.name,
+                "op": gate.cell.op.value,
+                "inputs": list(gate.inputs),
+                "output": gate.output,
+                "caps": list(caps) if isinstance(caps, tuple) else caps,
+            }
+        )
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": netlist.name,
+        "note": note,
+        "seed": case.seed,
+        "label": case.label,
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "output_load_fF": netlist.output_load_fF,
+        "gates": gates,
+        "pairs": [
+            [_row_to_bits(xi), _row_to_bits(xf)]
+            for xi, xf in zip(case.initial, case.final)
+        ],
+        "sequence": [_row_to_bits(row) for row in case.sequence],
+        "max_nodes": case.max_nodes,
+        "checks": list(case.checks) if case.checks is not None else None,
+    }
+
+
+def case_from_dict(data: Dict, source: str = "<dict>") -> FuzzCase:
+    """Rebuild a fuzz case from its JSON dict."""
+    if data.get("format") != FORMAT:
+        raise FuzzError(f"{source}: not a {FORMAT} file")
+    if int(data.get("version", 0)) > VERSION:
+        raise FuzzError(
+            f"{source}: corpus version {data['version']} is newer than "
+            f"this tool ({VERSION})"
+        )
+    netlist = Netlist(
+        data.get("name", "corpus_case"),
+        output_load_fF=float(data.get("output_load_fF", 0.0)),
+    )
+    for net in data["inputs"]:
+        netlist.add_input(net)
+    for entry in data["gates"]:
+        try:
+            op = GateOp(entry["op"])
+        except ValueError:
+            raise FuzzError(
+                f"{source}: unknown gate op {entry['op']!r}"
+            ) from None
+        caps = entry.get("caps", 0.0)
+        caps = tuple(float(c) for c in caps) if isinstance(caps, list) else float(caps)
+        arity = len(entry["inputs"])
+        cell = Cell(
+            f"{entry['name']}_{op.value.upper()}{arity}",
+            op,
+            arity,
+            input_capacitance_fF=caps,
+        )
+        netlist.add_gate(cell, entry["inputs"], entry["output"], name=entry["name"])
+    for net in data["outputs"]:
+        netlist.add_output(net)
+
+    # Hand-edited corpus files can reference nets that nothing drives;
+    # catch that here with a named error instead of a KeyError deep in a
+    # check.  Warnings (dangling gates, zero loads, unused inputs) stay
+    # allowed — they are deliberate corpus corner cases.
+    report = check_netlist(netlist)
+    if not report.ok:
+        raise FuzzError(
+            f"{source}: invalid netlist: " + "; ".join(report.errors)
+        )
+
+    width = len(data["inputs"])
+    pairs = data.get("pairs", [])
+    initial = np.array(
+        [_bits_to_row(xi, width, f"{source} pair {k}") for k, (xi, _) in enumerate(pairs)],
+        dtype=bool,
+    ).reshape(len(pairs), width)
+    final = np.array(
+        [_bits_to_row(xf, width, f"{source} pair {k}") for k, (_, xf) in enumerate(pairs)],
+        dtype=bool,
+    ).reshape(len(pairs), width)
+    sequence = np.array(
+        [
+            _bits_to_row(row, width, f"{source} sequence step {k}")
+            for k, row in enumerate(data.get("sequence", []))
+        ],
+        dtype=bool,
+    ).reshape(len(data.get("sequence", [])), width)
+    checks = data.get("checks")
+    return FuzzCase(
+        netlist=netlist,
+        seed=int(data.get("seed", 0)),
+        initial=initial,
+        final=final,
+        sequence=sequence,
+        max_nodes=int(data.get("max_nodes", 12)),
+        checks=tuple(checks) if checks is not None else None,
+        label=str(data.get("label", "")),
+    )
+
+
+def save_case(case: FuzzCase, path: Path | str, note: str = "") -> Path:
+    """Write one corpus entry; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case_to_dict(case, note=note), indent=2) + "\n")
+    return path
+
+
+def load_case(path: Path | str) -> FuzzCase:
+    """Load one corpus entry."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise FuzzError(f"{path}: invalid JSON ({exc})") from None
+    return case_from_dict(data, source=str(path))
+
+
+def iter_corpus(directory: Path | str) -> Iterator[Tuple[Path, FuzzCase]]:
+    """Yield (path, case) for every ``*.json`` entry, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, load_case(path)
+
+
+def unique_path(directory: Path | str, stem: str) -> Path:
+    """First free ``stem.json`` / ``stem-N.json`` path in ``directory``."""
+    directory = Path(directory)
+    candidate = directory / f"{stem}.json"
+    counter = 1
+    while candidate.exists():
+        candidate = directory / f"{stem}-{counter}.json"
+        counter += 1
+    return candidate
+
+
+def default_note(case: FuzzCase, check: Optional[str] = None) -> str:
+    """A human-oriented one-liner describing a saved failure."""
+    netlist = case.netlist
+    parts = [
+        f"{netlist.num_inputs} inputs",
+        f"{netlist.num_gates} gates",
+        f"{len(netlist.outputs)} outputs",
+    ]
+    if check:
+        parts.insert(0, f"fails {check}")
+    return ", ".join(parts)

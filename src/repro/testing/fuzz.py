@@ -1,0 +1,242 @@
+"""Coverage-driven fuzzing loop for the symbolic power pipeline.
+
+One iteration draws generator parameters, builds a seeded random
+netlist plus random pattern pairs and a vector sequence, and runs every
+differential check (:mod:`repro.testing.checks`) against the
+independent oracle.  A coarse structural feature map steers exploration:
+parameter points whose cases exhibit *new* features (a gate-op mix,
+zero-load gates, dangling outputs, an approximated model…) are kept and
+mutated, so the loop drifts toward circuit shapes it has not exercised
+instead of re-rolling the same comfortable mid-size netlists.
+
+Failures are shrunk to minimal reproducers
+(:mod:`repro.testing.shrink`) and optionally written to the regression
+corpus.  The loop is deterministic for a fixed ``(seed, iterations)``
+pair; the time budget only ever truncates it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import FuzzError
+from repro.testing.checks import (
+    FuzzCase,
+    Mismatch,
+    resolve_checks,
+    run_case,
+    single_check_runner,
+)
+from repro.testing.generate import (
+    GenParams,
+    build_fuzz_netlist,
+    case_features,
+    random_params,
+)
+from repro.testing.shrink import shrink_case
+
+#: Re-mutate a covered parameter point with this probability; otherwise
+#: draw an entirely fresh one.
+_EXPLOIT_PROBABILITY = 0.55
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One confirmed, shrunk failure."""
+
+    iteration: int
+    seed: int
+    mismatch: Mismatch
+    case: FuzzCase  # the shrunk reproducer
+    original_gates: int
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run."""
+
+    iterations_run: int = 0
+    elapsed_seconds: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    #: Distinct coarse feature tuples seen (coverage signal).
+    features_seen: int = 0
+    #: Iterations whose exact model needed approximation / had a
+    #: levelized plan (sanity that the interesting paths were hit).
+    approximated_cases: int = 0
+    levelized_cases: int = 0
+    checks_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = (
+            "no mismatches"
+            if self.ok
+            else f"{len(self.failures)} failing case(s)"
+        )
+        return (
+            f"{self.iterations_run} iterations in "
+            f"{self.elapsed_seconds:.1f}s, {self.features_seen} feature "
+            f"buckets, {self.approximated_cases} approximated / "
+            f"{self.levelized_cases} levelized models: {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing run (mirrors the CLI flags)."""
+
+    seed: int = 0
+    iterations: int = 200
+    time_budget_seconds: Optional[float] = None
+    max_inputs: int = 7
+    max_gates: int = 28
+    checks: Optional[Tuple[str, ...]] = None
+    shrink: bool = True
+    shrink_budget: int = 200
+    #: Stop after this many failures (0 = collect them all).
+    max_failures: int = 5
+
+
+def make_case(
+    params: GenParams,
+    seed: int,
+    checks: Optional[Tuple[str, ...]] = None,
+) -> FuzzCase:
+    """Build the deterministic fuzz case for ``(params, seed)``."""
+    netlist = build_fuzz_netlist(params, seed)
+    rng = np.random.default_rng(seed)
+    n = netlist.num_inputs
+    num_pairs = int(rng.integers(4, 17))
+    initial = rng.integers(0, 2, size=(num_pairs, n), dtype=np.int64).astype(bool)
+    final = rng.integers(0, 2, size=(num_pairs, n), dtype=np.int64).astype(bool)
+    # Bias a few pairs toward Hamming-close transitions (realistic vectors)
+    # and include the identity transition (C must be 0 there).
+    if num_pairs >= 2:
+        final[0] = initial[0]
+    if num_pairs >= 3:
+        flip = rng.integers(0, n)
+        final[1] = initial[1]
+        final[1, flip] = ~final[1, flip]
+    length = int(rng.integers(3, 9))
+    sequence = rng.integers(0, 2, size=(length, n), dtype=np.int64).astype(bool)
+    max_nodes = int(rng.integers(4, 33))
+    return FuzzCase(
+        netlist=netlist,
+        seed=seed,
+        initial=initial,
+        final=final,
+        sequence=sequence,
+        max_nodes=max_nodes,
+        checks=checks,
+    )
+
+
+def _observed_features(base: Tuple, observed: Dict[str, object]) -> Tuple:
+    """Extend the structural key with behaviour the checks reported."""
+    return base + (
+        bool(observed.get("approximated")),
+        bool(observed.get("levelized", True)),
+        min(int(observed.get("model_nodes", 0)) // 64, 4),
+    )
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run the coverage-driven loop; deterministic for a fixed config."""
+    if config.iterations < 0:
+        raise FuzzError("iterations must be >= 0")
+    selected = tuple(resolve_checks(config.checks))
+    report = FuzzReport(checks_run=selected)
+    master = random.Random(config.seed)
+    coverage: Set[Tuple] = set()
+    #: Parameter points that produced novel features, for exploitation.
+    frontier: List[GenParams] = []
+    started = time.monotonic()
+
+    for iteration in range(config.iterations):
+        if (
+            config.time_budget_seconds is not None
+            and time.monotonic() - started > config.time_budget_seconds
+        ):
+            break
+        if frontier and master.random() < _EXPLOIT_PROBABILITY:
+            params = master.choice(frontier).mutated(master)
+            # Mutation drifts; keep the run inside its configured shape.
+            if (
+                params.num_inputs > config.max_inputs
+                or params.num_gates > config.max_gates
+            ):
+                params = dc_replace(
+                    params,
+                    num_inputs=min(params.num_inputs, config.max_inputs),
+                    num_gates=min(params.num_gates, config.max_gates),
+                )
+        else:
+            params = random_params(
+                master, max_inputs=config.max_inputs, max_gates=config.max_gates
+            )
+        case_seed = master.getrandbits(32)
+        case = make_case(params, case_seed, checks=config.checks)
+        mismatches, ctx = run_case(case, selected)
+        report.iterations_run = iteration + 1
+
+        features = _observed_features(case_features(case.netlist), ctx.observed)
+        if features not in coverage:
+            coverage.add(features)
+            frontier.append(params)
+            if len(frontier) > 64:
+                frontier.pop(0)
+        if ctx.observed.get("approximated"):
+            report.approximated_cases += 1
+        if ctx.observed.get("levelized"):
+            report.levelized_cases += 1
+
+        for mismatch in mismatches:
+            shrunk = case
+            if config.shrink:
+                shrunk = shrink_case(
+                    case,
+                    single_check_runner(mismatch.check),
+                    mismatch,
+                    budget=config.shrink_budget,
+                )
+            report.failures.append(
+                FuzzFailure(
+                    iteration=iteration,
+                    seed=case_seed,
+                    mismatch=mismatch,
+                    case=shrunk,
+                    original_gates=case.netlist.num_gates,
+                )
+            )
+        if config.max_failures and len(report.failures) >= config.max_failures:
+            break
+
+    report.features_seen = len(coverage)
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def replay_corpus(
+    directory, checks: Optional[Sequence[str]] = None
+) -> List[Tuple[str, Mismatch]]:
+    """Run every corpus entry; returns (path, mismatch) for failures.
+
+    A corpus entry that specifies its own check list replays exactly
+    those checks; ``checks`` overrides for the whole run.
+    """
+    from repro.testing.corpus import iter_corpus
+
+    failures: List[Tuple[str, Mismatch]] = []
+    for path, case in iter_corpus(directory):
+        mismatches, _ = run_case(case, checks)
+        failures.extend((str(path), mismatch) for mismatch in mismatches)
+    return failures

@@ -1,0 +1,231 @@
+"""Seeded random-netlist generation for the fuzzing harness.
+
+Unlike :func:`repro.circuits.random_logic.random_logic` (which produces
+*benchmark-shaped* circuits: bounded cones, realistic gate mix, every
+gate loaded), this generator's job is to hit the corners: degenerate
+supports, constant nodes, dangling gates, zero-capacitance pins, repeated
+operands, single-input macros, inputs wired straight to outputs.  Every
+gate gets its own freshly drawn :class:`~repro.netlist.library.Cell`, so
+capacitance distributions vary per instance instead of per library.
+
+Generation is a pure function of (:class:`GenParams`, seed): the same
+pair always yields the identical netlist, which is what makes corpus
+entries and ``--seed`` reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.netlist.gates import GateOp
+from repro.netlist.library import Cell
+from repro.netlist.netlist import Netlist
+
+#: Operators the generator draws from, with (op, arity) choices.
+_OP_CHOICES: Tuple[Tuple[GateOp, int], ...] = (
+    (GateOp.AND, 2),
+    (GateOp.AND, 3),
+    (GateOp.OR, 2),
+    (GateOp.OR, 3),
+    (GateOp.NAND, 2),
+    (GateOp.NOR, 2),
+    (GateOp.XOR, 2),
+    (GateOp.XNOR, 2),
+    (GateOp.INV, 1),
+    (GateOp.BUF, 1),
+    (GateOp.MUX, 3),
+)
+
+
+@dataclass(frozen=True)
+class GenParams:
+    """Knobs of one random netlist draw.
+
+    All fields are plain data so params can be logged, mutated by the
+    coverage loop, and reconstructed from a corpus entry.
+    """
+
+    num_inputs: int = 4
+    num_gates: int = 12
+    #: Sampling weight per (op, arity) choice, aligned with _OP_CHOICES.
+    op_weights: Tuple[float, ...] = field(
+        default=(20, 6, 20, 6, 14, 10, 8, 6, 12, 6, 6)
+    )
+    #: Probability a gate is a CONST0/CONST1 tie cell.
+    const_probability: float = 0.04
+    #: Probability an operand repeats an already chosen one (x AND x).
+    repeat_operand_probability: float = 0.05
+    #: Operands come from the last ``window`` nets (locality / depth).
+    window: int = 10
+    #: Probability a drawn pin capacitance is exactly zero.
+    zero_pin_cap_probability: float = 0.06
+    #: Pin capacitances are uniform in [cap_low, cap_high] fF.
+    cap_low: float = 2.0
+    cap_high: float = 16.0
+    #: Pad/register load on primary-output nets (0 = zero-cap outputs).
+    output_load_fF: float = 15.0
+    #: Probability each *dangling* net is exposed as a primary output.
+    dangling_output_probability: float = 0.85
+    #: Probability each *used* internal net is also exposed as an output.
+    internal_output_probability: float = 0.08
+    #: Probability a primary input is directly exposed as an output.
+    input_output_probability: float = 0.05
+
+    def mutated(self, rng: random.Random) -> "GenParams":
+        """A nearby parameter point (for coverage-driven exploration)."""
+        return GenParams(
+            num_inputs=max(1, self.num_inputs + rng.randint(-2, 2)),
+            num_gates=max(1, self.num_gates + rng.randint(-5, 5)),
+            op_weights=tuple(
+                max(0.5, w * rng.uniform(0.5, 2.0)) for w in self.op_weights
+            ),
+            const_probability=min(0.5, max(0.0, self.const_probability + rng.uniform(-0.05, 0.08))),
+            repeat_operand_probability=min(0.6, max(0.0, self.repeat_operand_probability + rng.uniform(-0.05, 0.1))),
+            window=max(2, self.window + rng.randint(-4, 4)),
+            zero_pin_cap_probability=min(1.0, max(0.0, self.zero_pin_cap_probability + rng.uniform(-0.05, 0.15))),
+            cap_low=max(0.0, self.cap_low * rng.uniform(0.5, 1.5)),
+            cap_high=max(1.0, self.cap_high * rng.uniform(0.5, 1.5)),
+            output_load_fF=0.0 if rng.random() < 0.1 else max(0.0, self.output_load_fF * rng.uniform(0.3, 2.0)),
+            dangling_output_probability=min(1.0, max(0.0, self.dangling_output_probability + rng.uniform(-0.3, 0.2))),
+            internal_output_probability=min(1.0, max(0.0, self.internal_output_probability + rng.uniform(-0.08, 0.15))),
+            input_output_probability=min(1.0, max(0.0, self.input_output_probability + rng.uniform(-0.05, 0.1))),
+        )
+
+
+def random_params(
+    rng: random.Random, max_inputs: int = 7, max_gates: int = 28
+) -> GenParams:
+    """Draw a fresh parameter point, degenerate corners included."""
+    roll = rng.random()
+    if roll < 0.06:
+        num_inputs = 1  # single-input macro
+    elif roll < 0.12:
+        num_inputs = 2
+    else:
+        num_inputs = rng.randint(2, max(2, max_inputs))
+    num_gates = 1 if rng.random() < 0.05 else rng.randint(2, max(2, max_gates))
+    return GenParams(
+        num_inputs=num_inputs,
+        num_gates=num_gates,
+        op_weights=tuple(w * rng.uniform(0.25, 2.0) for w in GenParams().op_weights),
+        const_probability=rng.choice((0.0, 0.03, 0.12)),
+        repeat_operand_probability=rng.choice((0.0, 0.05, 0.2)),
+        window=rng.randint(3, 14),
+        zero_pin_cap_probability=rng.choice((0.0, 0.05, 0.25)),
+        cap_low=rng.uniform(0.0, 4.0),
+        cap_high=rng.uniform(5.0, 24.0),
+        output_load_fF=rng.choice((0.0, 6.0, 15.0, 31.5)),
+        dangling_output_probability=rng.uniform(0.4, 1.0),
+        internal_output_probability=rng.uniform(0.0, 0.2),
+        input_output_probability=rng.uniform(0.0, 0.15),
+    )
+
+
+def _draw_cell(
+    params: GenParams, rng: random.Random, counter: int
+) -> Cell:
+    """One freshly drawn cell instance with random pin capacitances."""
+    if rng.random() < params.const_probability:
+        op = GateOp.CONST1 if rng.random() < 0.5 else GateOp.CONST0
+        return Cell(f"FZ{counter}_{op.value.upper()}", op, 0, input_capacitance_fF=())
+    op, arity = rng.choices(_OP_CHOICES, weights=params.op_weights)[0]
+    caps = tuple(
+        0.0
+        if rng.random() < params.zero_pin_cap_probability
+        else round(rng.uniform(params.cap_low, params.cap_high), 2)
+        for _ in range(arity)
+    )
+    return Cell(f"FZ{counter}_{op.value.upper()}{arity}", op, arity, input_capacitance_fF=caps)
+
+
+def build_fuzz_netlist(params: GenParams, seed: int, name: str | None = None) -> Netlist:
+    """Deterministically generate one fuzz netlist from ``(params, seed)``."""
+    rng = random.Random(seed)
+    netlist = Netlist(
+        name or f"fuzz_{seed:08x}", output_load_fF=params.output_load_fF
+    )
+    nets: List[str] = [netlist.add_input(f"x{k}") for k in range(params.num_inputs)]
+
+    def pick_operand(already: List[str]) -> str:
+        if already and rng.random() < params.repeat_operand_probability:
+            return rng.choice(already)
+        if len(nets) <= params.window or rng.random() < 0.1:
+            return rng.choice(nets)
+        return nets[rng.randrange(len(nets) - params.window, len(nets))]
+
+    for index in range(params.num_gates):
+        cell = _draw_cell(params, rng, index)
+        operands: List[str] = []
+        for _ in range(cell.num_inputs):
+            operands.append(pick_operand(operands))
+        output = f"n{index}"
+        netlist.add_gate(cell, operands, output, name=f"g{index}")
+        nets.append(output)
+
+    used: set = set()
+    for gate in netlist.gates:
+        used.update(gate.inputs)
+    outputs: List[str] = []
+    for gate in netlist.gates:
+        net = gate.output
+        if net in used:
+            if rng.random() < params.internal_output_probability:
+                outputs.append(net)
+        elif rng.random() < params.dangling_output_probability:
+            outputs.append(net)
+    for net in netlist.inputs:
+        if rng.random() < params.input_output_probability:
+            outputs.append(net)
+    if not outputs:
+        outputs.append(nets[-1])
+    for net in outputs:
+        netlist.add_output(net)
+    return netlist
+
+
+def case_features(netlist: Netlist) -> Tuple:
+    """Coarse structural feature key used by the coverage map.
+
+    Buckets are deliberately chunky: the point is to notice when a whole
+    *kind* of circuit (const-bearing, zero-load, dangling, single-input)
+    has never been exercised, not to fingerprint individual netlists.
+    """
+    ops = frozenset(gate.cell.op for gate in netlist.gates)
+    used: set = set()
+    for gate in netlist.gates:
+        used.update(gate.inputs)
+    dangling = sum(
+        1
+        for gate in netlist.gates
+        if gate.output not in used and gate.output not in netlist.outputs
+    )
+    loads = _raw_loads(netlist)
+    return (
+        min(netlist.num_inputs, 8),
+        min(netlist.num_gates // 8, 4),
+        ops,
+        any(value == 0.0 for value in loads.values()),
+        netlist.output_load_fF == 0.0,
+        dangling > 0,
+        min(len(netlist.outputs) // 4, 4),
+        any(net in netlist.inputs for net in netlist.outputs),
+    )
+
+
+def _raw_loads(netlist: Netlist) -> Dict[str, float]:
+    """Load per gate from raw cell data (no Netlist method involved)."""
+    driver = {gate.output: gate for gate in netlist.gates}
+    loads = {gate.name: 0.0 for gate in netlist.gates}
+    for gate in netlist.gates:
+        caps = gate.cell.input_capacitance_fF
+        for pin, net in enumerate(gate.inputs):
+            upstream = driver.get(net)
+            if upstream is not None:
+                loads[upstream.name] += caps[pin] if isinstance(caps, tuple) else caps
+    for net in netlist.outputs:
+        upstream = driver.get(net)
+        if upstream is not None:
+            loads[upstream.name] += netlist.output_load_fF
+    return loads

@@ -1,0 +1,362 @@
+"""Independent brute-force oracle for differential testing.
+
+Eq. 4 of the paper defines switching capacitance *exactly*:
+
+    C(x_i, x_f) = sum_j  g_j'(x_i) * g_j(x_f) * C_j
+
+so every layer of this repo — symbolic ADD construction, node collapsing,
+the compiled evaluation kernels, the batch simulators — has a cheap
+independent ground truth: evaluate the netlist gate by gate and add up
+the loads of the rising outputs.
+
+This module is that ground truth.  It deliberately shares **no code**
+with :mod:`repro.dd`, :mod:`repro.sim` or :mod:`repro.models`, and it
+re-derives everything it could have borrowed from :mod:`repro.netlist`:
+its own topological sort, its own scalar gate semantics, its own load
+back-annotation.  Only the :class:`~repro.netlist.netlist.Netlist` data
+structure itself is read (names, cells, connectivity, raw capacitance
+attributes).  When the oracle and an implementation disagree, at most
+one of them is right; when two independently written evaluators agree on
+thousands of random circuits, both are probably right.
+
+Two evaluation styles are provided:
+
+- **scalar** — one pattern at a time, plain Python ints
+  (:func:`oracle_node_values`, :func:`oracle_switching_capacitance`);
+- **truth tables** — every net's function as a ``2**n``-bit Python int
+  bitmask (:func:`oracle_truth_tables`), enabling *exhaustive* sweeps:
+  the full ``(2**n, 2**n)`` transition-capacitance matrix of a macro via
+  per-gate outer products (:func:`oracle_capacitance_matrix`) and exact
+  closed-form uniform averages (:func:`oracle_average_uniform`).
+
+Pattern/bit conventions match the rest of the repo: patterns are given in
+``netlist.inputs`` order; pattern index ``p`` of a truth table assigns
+input ``k`` the bit ``(p >> k) & 1`` (input 0 is the fastest-toggling
+bit, exactly like :func:`repro.sim.sequences.all_patterns`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OracleError
+from repro.netlist.gates import GateOp
+from repro.netlist.netlist import Gate, Netlist
+
+#: Exhaustive truth-table sweeps refuse above this input count
+#: (2**16 pattern bitmasks are still instant; the 4**n matrix is the
+#: real limit and is checked separately).
+MAX_TRUTH_TABLE_INPUTS = 16
+
+#: The capacitance matrix holds 4**n floats; n = 10 is 8 MiB, n = 12
+#: would be 128 MiB — refuse beyond that.
+MAX_MATRIX_INPUTS = 12
+
+
+# ---------------------------------------------------------------------------
+# Independent gate semantics (scalar, 0/1 ints)
+# ---------------------------------------------------------------------------
+def _op_eval(op: GateOp, bits: Sequence[int]) -> int:
+    """Scalar gate semantics, written independently of netlist.gates.
+
+    Uses reduction identities (AND = product, XOR = sum mod 2) rather
+    than the all()/any()/parity formulation of ``eval_python`` so the two
+    definitions can genuinely disagree if one of them is wrong.
+    """
+    if op is GateOp.CONST0:
+        return 0
+    if op is GateOp.CONST1:
+        return 1
+    if op is GateOp.BUF:
+        return bits[0] & 1
+    if op is GateOp.INV:
+        return 1 - (bits[0] & 1)
+    if op is GateOp.MUX:
+        select, when0, when1 = (b & 1 for b in bits)
+        return (select & when1) | ((1 - select) & when0)
+    acc = bits[0] & 1
+    if op in (GateOp.AND, GateOp.NAND):
+        for b in bits[1:]:
+            acc &= b
+    elif op in (GateOp.OR, GateOp.NOR):
+        for b in bits[1:]:
+            acc |= b
+    elif op in (GateOp.XOR, GateOp.XNOR):
+        for b in bits[1:]:
+            acc ^= b & 1
+    else:  # pragma: no cover - new operator added without oracle support
+        raise OracleError(f"oracle has no semantics for operator {op}")
+    if op in (GateOp.NAND, GateOp.NOR, GateOp.XNOR):
+        acc = 1 - (acc & 1)
+    return acc & 1
+
+
+def _op_eval_mask(op: GateOp, masks: Sequence[int], full: int) -> int:
+    """Bit-parallel gate semantics on truth-table bitmasks.
+
+    ``full`` is the all-ones mask (``2**2**n - 1``); complement is
+    ``full ^ mask``.
+    """
+    if op is GateOp.CONST0:
+        return 0
+    if op is GateOp.CONST1:
+        return full
+    if op is GateOp.BUF:
+        return masks[0]
+    if op is GateOp.INV:
+        return full ^ masks[0]
+    if op is GateOp.MUX:
+        select, when0, when1 = masks
+        return (select & when1) | ((full ^ select) & when0)
+    acc = masks[0]
+    if op in (GateOp.AND, GateOp.NAND):
+        for m in masks[1:]:
+            acc &= m
+    elif op in (GateOp.OR, GateOp.NOR):
+        for m in masks[1:]:
+            acc |= m
+    elif op in (GateOp.XOR, GateOp.XNOR):
+        for m in masks[1:]:
+            acc ^= m
+    else:  # pragma: no cover - new operator added without oracle support
+        raise OracleError(f"oracle has no semantics for operator {op}")
+    if op in (GateOp.NAND, GateOp.NOR, GateOp.XNOR):
+        acc = full ^ acc
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Independent structure walks
+# ---------------------------------------------------------------------------
+def oracle_topological_order(netlist: Netlist) -> List[Gate]:
+    """Gates in dependency order, derived with our own Kahn pass.
+
+    Independent of :meth:`Netlist.topological_order` (and of its cache).
+    """
+    driver: Dict[str, Gate] = {gate.output: gate for gate in netlist.gates}
+    inputs = set(netlist.inputs)
+    pending: Dict[str, int] = {}
+    consumers: Dict[str, List[Gate]] = {}
+    for gate in netlist.gates:
+        count = 0
+        for net in set(gate.inputs):
+            if net in inputs:
+                continue
+            if net not in driver:
+                raise OracleError(
+                    f"gate {gate.name}: net {net!r} undriven and not an input"
+                )
+            count += 1
+            consumers.setdefault(net, []).append(gate)
+        pending[gate.name] = count
+    queue = [g for g in netlist.gates if pending[g.name] == 0]
+    order: List[Gate] = []
+    head = 0
+    while head < len(queue):
+        gate = queue[head]
+        head += 1
+        order.append(gate)
+        for consumer in consumers.get(gate.output, ()):
+            pending[consumer.name] -= 1
+            if pending[consumer.name] == 0:
+                queue.append(consumer)
+    if len(order) != len(netlist.gates):
+        raise OracleError("netlist has a combinational cycle")
+    return order
+
+
+def oracle_load_capacitances(netlist: Netlist) -> Dict[str, float]:
+    """Per-gate load in fF, recomputed from raw cell capacitance data.
+
+    Reimplements the Eq.-2 load rule (sum of fanout pin capacitances,
+    plus the pad/register load on primary-output nets) without calling
+    :meth:`Netlist.load_capacitances` or :meth:`Cell.pin_capacitance`.
+    """
+    driver: Dict[str, Gate] = {gate.output: gate for gate in netlist.gates}
+    loads: Dict[str, float] = {gate.name: 0.0 for gate in netlist.gates}
+    for gate in netlist.gates:
+        caps = gate.cell.input_capacitance_fF
+        for pin, net in enumerate(gate.inputs):
+            upstream = driver.get(net)
+            if upstream is None:
+                continue
+            pin_cap = caps[pin] if isinstance(caps, tuple) else caps
+            loads[upstream.name] += float(pin_cap)
+    for net in netlist.outputs:
+        upstream = driver.get(net)
+        if upstream is not None:
+            loads[upstream.name] += float(netlist.output_load_fF)
+    return loads
+
+
+# ---------------------------------------------------------------------------
+# Scalar evaluation
+# ---------------------------------------------------------------------------
+def _as_bits(netlist: Netlist, pattern: Mapping[str, int] | Sequence[int]) -> Dict[str, int]:
+    if isinstance(pattern, Mapping):
+        return {net: int(bool(pattern[net])) for net in netlist.inputs}
+    if len(pattern) != netlist.num_inputs:
+        raise OracleError(
+            f"pattern has {len(pattern)} bits; netlist has {netlist.num_inputs} inputs"
+        )
+    return {net: int(bool(bit)) for net, bit in zip(netlist.inputs, pattern)}
+
+
+def oracle_node_values(
+    netlist: Netlist, pattern: Mapping[str, int] | Sequence[int]
+) -> Dict[str, int]:
+    """Value of every net for one input pattern (scalar walk)."""
+    values = _as_bits(netlist, pattern)
+    for gate in oracle_topological_order(netlist):
+        values[gate.output] = _op_eval(
+            gate.cell.op, [values[net] for net in gate.inputs]
+        )
+    return values
+
+
+def oracle_switching_capacitance(
+    netlist: Netlist, initial: Sequence[int], final: Sequence[int]
+) -> float:
+    """Exact ``C(x_i, x_f)`` in fF — the Eq.-4 sum, term by term."""
+    before = oracle_node_values(netlist, initial)
+    after = oracle_node_values(netlist, final)
+    loads = oracle_load_capacitances(netlist)
+    total = 0.0
+    for gate in netlist.gates:
+        if not before[gate.output] and after[gate.output]:
+            total += loads[gate.name]
+    return total
+
+
+def oracle_sequence_capacitances(
+    netlist: Netlist, sequence: Sequence[Sequence[int]]
+) -> List[float]:
+    """Per-cycle ``C`` along a vector sequence (``len(sequence) - 1`` values)."""
+    rows = np.asarray(sequence).astype(int).tolist()
+    if len(rows) < 2:
+        raise OracleError("sequence must hold at least two vectors")
+    loads = oracle_load_capacitances(netlist)
+    gates = netlist.gates
+    previous = oracle_node_values(netlist, rows[0])
+    result: List[float] = []
+    for row in rows[1:]:
+        current = oracle_node_values(netlist, row)
+        total = 0.0
+        for gate in gates:
+            if not previous[gate.output] and current[gate.output]:
+                total += loads[gate.name]
+        result.append(total)
+        previous = current
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive truth-table evaluation
+# ---------------------------------------------------------------------------
+def oracle_truth_tables(netlist: Netlist) -> Dict[str, int]:
+    """Every net's function as a ``2**n``-bit bitmask.
+
+    Bit ``p`` of net ``s``'s mask is the value of ``s`` under the pattern
+    assigning input ``k`` the bit ``(p >> k) & 1``.
+    """
+    n = netlist.num_inputs
+    if n > MAX_TRUTH_TABLE_INPUTS:
+        raise OracleError(
+            f"truth tables over {n} inputs need 2**{n}-bit masks; "
+            f"limit is {MAX_TRUTH_TABLE_INPUTS}"
+        )
+    span = 1 << n
+    full = (1 << span) - 1
+    tables: Dict[str, int] = {}
+    for k, name in enumerate(netlist.inputs):
+        # Input k toggles with period 2**(k+1): k low bits of the pattern
+        # index stay, bit k selects.  Build the repeating mask directly.
+        block = ((1 << (1 << k)) - 1) << (1 << k)  # 2**k zeros then 2**k ones
+        mask = 0
+        stride = 1 << (k + 1)
+        for offset in range(0, span, stride):
+            mask |= block << offset
+        tables[name] = mask
+    for gate in oracle_topological_order(netlist):
+        tables[gate.output] = _op_eval_mask(
+            gate.cell.op, [tables[net] for net in gate.inputs], full
+        )
+    return tables
+
+
+def _mask_to_bool_array(mask: int, span: int) -> np.ndarray:
+    """Expand a truth-table bitmask into a ``(span,)`` boolean vector."""
+    raw = mask.to_bytes((span + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return bits[:span].astype(bool)
+
+
+def oracle_capacitance_matrix(netlist: Netlist) -> np.ndarray:
+    """The full ``(2**n, 2**n)`` matrix ``C[xi_index, xf_index]`` in fF.
+
+    Row/column ``p`` use the same pattern-index convention as
+    :func:`oracle_truth_tables`.  Built as a sum of per-gate outer
+    products ``C_j * (1 - g_j(x_i)) x g_j(x_f)`` — pure Eq. 4.
+    """
+    n = netlist.num_inputs
+    if n > MAX_MATRIX_INPUTS:
+        raise OracleError(
+            f"the 4**{n}-entry capacitance matrix exceeds the "
+            f"{MAX_MATRIX_INPUTS}-input limit"
+        )
+    span = 1 << n
+    tables = oracle_truth_tables(netlist)
+    loads = oracle_load_capacitances(netlist)
+    matrix = np.zeros((span, span), dtype=np.float64)
+    for gate in netlist.gates:
+        load = loads[gate.name]
+        if load == 0.0:
+            continue
+        wave = _mask_to_bool_array(tables[gate.output], span)
+        matrix += load * np.outer(~wave, wave)
+    return matrix
+
+
+def oracle_average_uniform(netlist: Netlist) -> float:
+    """Exact average ``C`` over independent uniform ``(x_i, x_f)`` pairs.
+
+    Closed form from Eq. 4: ``sum_j C_j * P(g_j = 0) * P(g_j = 1)`` with
+    probabilities read off the truth-table popcounts — no sampling, no
+    matrix, exact for any feasible ``n``.
+    """
+    n = netlist.num_inputs
+    span = 1 << n
+    tables = oracle_truth_tables(netlist)
+    loads = oracle_load_capacitances(netlist)
+    total = 0.0
+    for gate in netlist.gates:
+        ones = tables[gate.output].bit_count()
+        total += loads[gate.name] * (span - ones) * ones
+    return total / float(span * span)
+
+
+def oracle_max_capacitance(netlist: Netlist) -> Tuple[float, List[int], List[int]]:
+    """Exhaustive worst-case ``C`` and one attaining ``(x_i, x_f)`` pair."""
+    matrix = oracle_capacitance_matrix(netlist)
+    flat = int(np.argmax(matrix))
+    i, f = divmod(flat, matrix.shape[1])
+    n = netlist.num_inputs
+    initial = [(i >> k) & 1 for k in range(n)]
+    final = [(f >> k) & 1 for k in range(n)]
+    return float(matrix[i, f]), initial, final
+
+
+def pattern_index(bits: Sequence[int]) -> int:
+    """Pattern-index of a bit vector under the truth-table convention."""
+    index = 0
+    for k, bit in enumerate(bits):
+        if bit:
+            index |= 1 << k
+    return index
+
+
+def index_pattern(index: int, n: int) -> List[int]:
+    """Inverse of :func:`pattern_index`."""
+    return [(index >> k) & 1 for k in range(n)]

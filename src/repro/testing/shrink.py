@@ -1,0 +1,227 @@
+"""Greedy minimisation of failing fuzz cases.
+
+A raw fuzzer failure is a 20-gate netlist with two dozen pattern pairs —
+useless as a regression test or a bug report.  :func:`shrink_case`
+reduces it while the *same failure mode* (same check, same raised-error
+type) keeps reproducing:
+
+1. patterns: keep only the witness pair / witness transition;
+2. outputs: drop primary outputs one at a time;
+3. gates: remove each gate together with its transitive fanout
+   (keeping the netlist well-formed by construction);
+4. inputs: drop primary inputs no remaining gate reads (deleting the
+   corresponding pattern columns).
+
+Every candidate is rebuilt from scratch and re-checked, so the shrinker
+can never "shrink into" a different bug: a candidate that fails a
+different way (e.g. a construction error) is rejected.
+
+The result is what lands in ``tests/corpus/`` — a minimal reproducer
+that replays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.netlist.netlist import Gate, Netlist
+from repro.testing.checks import FuzzCase, Mismatch
+
+#: Upper bound on candidate evaluations per shrink (keeps worst-case
+#: shrink cost bounded even for large originals).
+DEFAULT_SHRINK_BUDGET = 400
+
+Runner = Callable[[FuzzCase], Optional[Mismatch]]
+
+
+def rebuild_netlist(
+    netlist: Netlist,
+    keep_gates: Sequence[Gate],
+    keep_inputs: Optional[Sequence[str]] = None,
+) -> Netlist:
+    """A fresh netlist containing only ``keep_gates`` (order preserved).
+
+    Outputs are restricted to nets that still exist; if none survive,
+    the last remaining gate output (or first input) becomes the output
+    so the netlist stays a legal macro.
+    """
+    inputs = list(keep_inputs) if keep_inputs is not None else list(netlist.inputs)
+    result = Netlist(
+        netlist.name, netlist.library, output_load_fF=netlist.output_load_fF
+    )
+    for name in inputs:
+        result.add_input(name)
+    for gate in keep_gates:
+        result.add_gate(gate.cell, gate.inputs, gate.output, name=gate.name)
+    available: Set[str] = set(inputs) | {gate.output for gate in keep_gates}
+    for net in netlist.outputs:
+        if net in available:
+            result.add_output(net)
+    if not result.outputs:
+        fallback = keep_gates[-1].output if keep_gates else inputs[0]
+        result.add_output(fallback)
+    return result
+
+
+def _transitive_fanout(gates: Sequence[Gate], root: Gate) -> Set[str]:
+    """Names of ``root`` and every gate depending (transitively) on it."""
+    doomed_nets = {root.output}
+    doomed = {root.name}
+    changed = True
+    while changed:
+        changed = False
+        for gate in gates:
+            if gate.name in doomed:
+                continue
+            if any(net in doomed_nets for net in gate.inputs):
+                doomed.add(gate.name)
+                doomed_nets.add(gate.output)
+                changed = True
+    return doomed
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _reproduces(
+    candidate: FuzzCase, runner: Runner, original: Mismatch, budget: _Budget
+) -> bool:
+    if not budget.spend():
+        return False
+    found = runner(candidate)
+    return found is not None and original.same_failure(found)
+
+
+def _shrink_patterns(
+    case: FuzzCase, runner: Runner, original: Mismatch, budget: _Budget
+) -> FuzzCase:
+    """Reduce the pattern pairs / sequence to the failing witness."""
+    witness = original.witness.get("pair_index")
+    if case.num_pairs > 1:
+        candidates: List[FuzzCase] = []
+        if isinstance(witness, int) and 0 <= witness < case.num_pairs:
+            candidates.append(
+                replace(
+                    case,
+                    initial=case.initial[witness : witness + 1],
+                    final=case.final[witness : witness + 1],
+                )
+            )
+        candidates.append(
+            replace(case, initial=case.initial[:1], final=case.final[:1])
+        )
+        for candidate in candidates:
+            if _reproduces(candidate, runner, original, budget):
+                case = candidate
+                break
+    cycle = original.witness.get("cycle")
+    if case.sequence.shape[0] > 2:
+        if isinstance(cycle, int) and 0 <= cycle < case.sequence.shape[0] - 1:
+            window = case.sequence[cycle : cycle + 2]
+        else:
+            window = case.sequence[:2]
+        candidate = replace(case, sequence=window)
+        if _reproduces(candidate, runner, original, budget):
+            case = candidate
+    return case
+
+
+def _shrink_outputs(
+    case: FuzzCase, runner: Runner, original: Mismatch, budget: _Budget
+) -> FuzzCase:
+    changed = True
+    while changed and len(case.netlist.outputs) > 1:
+        changed = False
+        for net in list(case.netlist.outputs):
+            trimmed = rebuild_netlist(case.netlist, case.netlist.gates)
+            trimmed.outputs.remove(net)
+            if not trimmed.outputs:
+                continue
+            candidate = replace(case, netlist=trimmed)
+            if _reproduces(candidate, runner, original, budget):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def _shrink_gates(
+    case: FuzzCase, runner: Runner, original: Mismatch, budget: _Budget
+) -> FuzzCase:
+    changed = True
+    while changed and case.netlist.num_gates > 1:
+        changed = False
+        # Latest gates first: removing a sink never orphans anything.
+        for gate in reversed(case.netlist.gates):
+            doomed = _transitive_fanout(case.netlist.gates, gate)
+            survivors = [g for g in case.netlist.gates if g.name not in doomed]
+            if not survivors:
+                continue
+            candidate = replace(
+                case, netlist=rebuild_netlist(case.netlist, survivors)
+            )
+            if _reproduces(candidate, runner, original, budget):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def _shrink_inputs(
+    case: FuzzCase, runner: Runner, original: Mismatch, budget: _Budget
+) -> FuzzCase:
+    """Drop inputs nothing reads, deleting their pattern columns."""
+    netlist = case.netlist
+    used: Set[str] = set()
+    for gate in netlist.gates:
+        used.update(gate.inputs)
+    used.update(netlist.outputs)
+    keep = [name for name in netlist.inputs if name in used]
+    if len(keep) == len(netlist.inputs) or not keep:
+        return case
+    columns = [k for k, name in enumerate(netlist.inputs) if name in used]
+    candidate = replace(
+        case,
+        netlist=rebuild_netlist(netlist, netlist.gates, keep_inputs=keep),
+        initial=case.initial[:, columns],
+        final=case.final[:, columns],
+        sequence=case.sequence[:, columns],
+    )
+    if _reproduces(candidate, runner, original, budget):
+        return candidate
+    return case
+
+
+def shrink_case(
+    case: FuzzCase,
+    runner: Runner,
+    original: Mismatch,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> FuzzCase:
+    """Greedily minimise ``case`` while ``runner`` keeps reproducing.
+
+    ``runner`` runs the single failing check (see
+    :func:`repro.testing.checks.single_check_runner`); ``original`` is
+    the mismatch to reproduce.  Returns the smallest case found — the
+    original if nothing could be removed.
+    """
+    tracker = _Budget(budget)
+    previous_size = None
+    while previous_size != (case.netlist.num_gates, case.num_pairs):
+        previous_size = (case.netlist.num_gates, case.num_pairs)
+        case = _shrink_patterns(case, runner, original, tracker)
+        case = _shrink_gates(case, runner, original, tracker)
+        case = _shrink_outputs(case, runner, original, tracker)
+        case = _shrink_inputs(case, runner, original, tracker)
+        if tracker.remaining <= 0:
+            break
+    return replace(case, label=(case.label + "+shrunk").lstrip("+"))

@@ -208,6 +208,26 @@ class TestBatchEvaluation:
                 np.zeros((2, 2), dtype=bool), np.zeros((3, 2), dtype=bool)
             )
 
+    @pytest.mark.parametrize("kernel", ["pointer", "levelized"])
+    def test_forced_kernels_agree_with_auto(self, fig2_netlist, rng, kernel):
+        model = build_add_model(fig2_netlist)
+        # 4 rows: small enough that "auto" would take the scalar fallback,
+        # so forcing a kernel genuinely exercises the compiled path.
+        initial = rng.random((4, 2)) < 0.5
+        final = rng.random((4, 2)) < 0.5
+        forced = model.pair_capacitances(initial, final, kernel=kernel)
+        assert np.array_equal(
+            forced, model.pair_capacitances(initial, final)
+        )
+
+    def test_unknown_kernel_rejected(self, fig2_netlist):
+        from repro.errors import DDError
+
+        model = build_add_model(fig2_netlist)
+        batch = np.zeros((2, 2), dtype=bool)
+        with pytest.raises(DDError):
+            model.pair_capacitances(batch, batch, kernel="vectorised")
+
 
 class TestValidation:
     def test_bad_max_nodes(self, fig2_netlist):

@@ -1,0 +1,116 @@
+"""Property tests for node collapsing (satellite of the fuzz harness).
+
+Two paper-level invariants, checked against the independent oracle:
+
+- the ``max`` strategy is *conservative*: a collapsed model never
+  under-predicts the true Eq.-4 capacitance, verified exhaustively
+  (all ``4**n`` transitions) on macros up to 10 inputs;
+- the ``avg`` strategy preserves the exact uniform average no matter how
+  hard the model is collapsed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import build_add_model
+from repro.sim.sequences import all_transition_pairs
+from repro.testing.generate import GenParams, build_fuzz_netlist
+from repro.testing.oracle import (
+    oracle_average_uniform,
+    oracle_capacitance_matrix,
+)
+
+
+def exhaustive_pairs(n: int):
+    """Every ``(x_i, x_f)`` pair, row-major in the oracle-matrix layout."""
+    return all_transition_pairs(n)
+
+
+def _tolerance(netlist) -> float:
+    return 1e-6 + 1e-9 * netlist.total_load_capacitance()
+
+
+SMALL_MACROS = [
+    ("fuzz4", GenParams(num_inputs=4, num_gates=12), 21),
+    ("fuzz5", GenParams(num_inputs=5, num_gates=16), 22),
+    ("fuzz6-zerocaps", GenParams(num_inputs=6, num_gates=18,
+                                 zero_pin_cap_probability=0.3), 23),
+]
+
+
+class TestMaxStrategyConservative:
+    @pytest.mark.parametrize(
+        "params,seed", [(p, s) for _, p, s in SMALL_MACROS],
+        ids=[name for name, _, _ in SMALL_MACROS],
+    )
+    @pytest.mark.parametrize("max_nodes", [4, 10, 24])
+    def test_small_macros_exhaustive(self, params, seed, max_nodes):
+        netlist = build_fuzz_netlist(params, seed)
+        truths = oracle_capacitance_matrix(netlist).reshape(-1)
+        model = build_add_model(netlist, max_nodes=max_nodes, strategy="max")
+        initial, final = exhaustive_pairs(netlist.num_inputs)
+        estimates = model.pair_capacitances(initial, final)
+        slack = estimates - truths
+        assert float(slack.min()) >= -_tolerance(netlist), (
+            f"max-collapsed model under-predicts by {-slack.min():.6f} fF "
+            f"at MAX={max_nodes}"
+        )
+        assert model.global_maximum() >= float(truths.max()) - _tolerance(netlist)
+
+    def test_ten_input_macro_exhaustive(self):
+        """The ISSUE's headline case: a 10-input macro, all 4**10 pairs."""
+        netlist = build_fuzz_netlist(
+            GenParams(num_inputs=10, num_gates=24, window=14), 31
+        )
+        truths = oracle_capacitance_matrix(netlist).reshape(-1)
+        model = build_add_model(netlist, max_nodes=40, strategy="max")
+        initial, final = exhaustive_pairs(10)
+        estimates = model.pair_capacitances(initial, final)
+        slack = estimates - truths
+        assert float(slack.min()) >= -_tolerance(netlist)
+
+    @pytest.mark.parametrize("max_nodes", [4, 16])
+    def test_min_strategy_lower_bounds(self, max_nodes):
+        netlist = build_fuzz_netlist(GenParams(num_inputs=5, num_gates=14), 37)
+        truths = oracle_capacitance_matrix(netlist).reshape(-1)
+        model = build_add_model(netlist, max_nodes=max_nodes, strategy="min")
+        initial, final = exhaustive_pairs(5)
+        estimates = model.pair_capacitances(initial, final)
+        assert float((truths - estimates).min()) >= -_tolerance(netlist)
+
+
+class TestAvgStrategyPreservesMean:
+    @pytest.mark.parametrize(
+        "params,seed", [(p, s) for _, p, s in SMALL_MACROS],
+        ids=[name for name, _, _ in SMALL_MACROS],
+    )
+    @pytest.mark.parametrize("max_nodes", [2, 6, 20, None])
+    def test_uniform_average_exact(self, params, seed, max_nodes):
+        netlist = build_fuzz_netlist(params, seed)
+        expected = oracle_average_uniform(netlist)
+        model = build_add_model(netlist, max_nodes=max_nodes, strategy="avg")
+        tolerance = _tolerance(netlist) + 1e-9 * max(
+            1.0, netlist.total_load_capacitance()
+        )
+        assert model.average_capacitance_uniform() == pytest.approx(
+            expected, abs=tolerance
+        )
+
+    def test_average_preserved_on_ten_inputs(self):
+        netlist = build_fuzz_netlist(
+            GenParams(num_inputs=10, num_gates=22), 41
+        )
+        expected = oracle_average_uniform(netlist)
+        for max_nodes in (8, 64):
+            model = build_add_model(netlist, max_nodes=max_nodes, strategy="avg")
+            assert model.average_capacitance_uniform() == pytest.approx(
+                expected, rel=1e-9, abs=1e-6
+            )
+
+    def test_collapsed_models_really_shrink(self):
+        """The property tests must not pass vacuously on uncollapsed models."""
+        netlist = build_fuzz_netlist(GenParams(num_inputs=6, num_gates=18), 23)
+        exact = build_add_model(netlist, max_nodes=None)
+        tight = build_add_model(netlist, max_nodes=6, strategy="avg")
+        assert tight.size <= 6 < exact.size

@@ -1,0 +1,62 @@
+"""Tier-1 replay of the regression corpus (``tests/corpus/*.json``).
+
+Every corpus entry is either a shrunk fuzzer failure (now fixed) or a
+hand-picked edge case; replaying them all on every test run keeps the
+once-broken code paths covered forever.  ``make fuzz-smoke`` runs the
+same replay through the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing import iter_corpus, run_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_exists_and_is_nonempty():
+    assert ENTRIES, "tests/corpus must hold at least the seed edge cases"
+
+
+def test_corpus_covers_required_edge_kinds():
+    """The ISSUE's mandated corners are all represented."""
+    stems = {path.stem for path in ENTRIES}
+    for required in (
+        "const-nodes",
+        "dangling-output",
+        "single-input-macro",
+        "zero-cap-nets",
+    ):
+        assert required in stems, f"missing required corpus entry {required}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    data = json.loads(path.read_text())
+    assert data["format"] == "repro-fuzz-case"
+    from repro.testing import load_case
+
+    case = load_case(path)
+    mismatches, _ = run_case(case)
+    assert mismatches == [], [str(m) for m in mismatches]
+
+
+def test_iter_corpus_walks_every_entry():
+    seen = [path for path, _ in iter_corpus(CORPUS_DIR)]
+    assert seen == ENTRIES
+
+
+def test_replay_is_deterministic():
+    """Two replays of the same entry agree check for check."""
+    path = ENTRIES[0]
+    from repro.testing import load_case
+
+    first, _ = run_case(load_case(path))
+    second, _ = run_case(load_case(path))
+    assert [str(m) for m in first] == [str(m) for m in second]

@@ -1,0 +1,279 @@
+"""The fuzzing harness: generator, checks, shrinker, corpus, driver, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import FuzzError
+from repro.testing import (
+    CHECKS,
+    FuzzCase,
+    FuzzConfig,
+    Mismatch,
+    case_from_dict,
+    case_to_dict,
+    load_case,
+    make_case,
+    resolve_checks,
+    run_case,
+    run_fuzz,
+    save_case,
+    shrink_case,
+)
+from repro.testing.generate import (
+    GenParams,
+    build_fuzz_netlist,
+    case_features,
+    random_params,
+)
+
+
+def _structure(netlist):
+    return (
+        tuple(netlist.inputs),
+        tuple(netlist.outputs),
+        netlist.output_load_fF,
+        tuple(
+            (g.name, g.cell.op, g.cell.input_capacitance_fF, g.inputs, g.output)
+            for g in netlist.gates
+        ),
+    )
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        params = GenParams(num_inputs=5, num_gates=15)
+        first = build_fuzz_netlist(params, 123)
+        second = build_fuzz_netlist(params, 123)
+        assert _structure(first) == _structure(second)
+
+    def test_different_seeds_differ(self):
+        params = GenParams(num_inputs=5, num_gates=15)
+        assert _structure(build_fuzz_netlist(params, 1)) != _structure(
+            build_fuzz_netlist(params, 2)
+        )
+
+    def test_netlists_are_well_formed(self):
+        import random
+
+        rng = random.Random(9)
+        for seed in range(30):
+            netlist = build_fuzz_netlist(random_params(rng), seed)
+            assert netlist.num_gates >= 1
+            assert netlist.outputs
+            netlist.topological_order()  # raises on malformed structure
+
+    def test_make_case_deterministic(self):
+        params = GenParams(num_inputs=3, num_gates=6)
+        a = make_case(params, 77)
+        b = make_case(params, 77)
+        assert np.array_equal(a.initial, b.initial)
+        assert np.array_equal(a.final, b.final)
+        assert np.array_equal(a.sequence, b.sequence)
+        assert a.max_nodes == b.max_nodes
+
+    def test_case_features_flags_corners(self):
+        netlist = build_fuzz_netlist(
+            GenParams(num_inputs=2, num_gates=3, output_load_fF=0.0), 5
+        )
+        features = case_features(netlist)
+        assert features[4] is True  # zero output load flagged
+
+
+class TestChecks:
+    def test_clean_case_passes_all_checks(self):
+        case = make_case(GenParams(num_inputs=3, num_gates=7), 42)
+        mismatches, ctx = run_case(case)
+        assert mismatches == []
+        assert "model_nodes" in ctx.observed
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(FuzzError, match="unknown checks"):
+            resolve_checks(["logic_sim", "nope"])
+
+    def test_check_subset_runs_only_selected(self):
+        case = make_case(GenParams(num_inputs=2, num_gates=4), 8)
+        mismatches, ctx = run_case(case, ["logic_sim", "power_sim"])
+        assert mismatches == []
+        assert "model_nodes" not in ctx.observed  # model checks skipped
+
+    def test_crash_becomes_error_typed_mismatch(self, monkeypatch):
+        case = make_case(GenParams(num_inputs=2, num_gates=4), 8)
+
+        def boom(ctx):
+            raise ValueError("injected")
+
+        monkeypatch.setitem(CHECKS, "logic_sim", boom)
+        mismatches, _ = run_case(case, ["logic_sim"])
+        assert len(mismatches) == 1
+        assert mismatches[0].error_type == "ValueError"
+
+    def test_same_failure_distinguishes_error_types(self):
+        a = Mismatch("power_sim", "x", error_type=None)
+        b = Mismatch("power_sim", "y", error_type=None)
+        c = Mismatch("power_sim", "z", error_type="ValueError")
+        d = Mismatch("exact_model", "w", error_type=None)
+        assert a.same_failure(b)
+        assert not a.same_failure(c)
+        assert not a.same_failure(d)
+
+
+class TestShrinker:
+    def test_shrinks_synthetic_failure(self):
+        """A fake bug (any XOR gate present) shrinks to a tiny netlist."""
+        case = make_case(GenParams(num_inputs=5, num_gates=20), 31)
+        from repro.netlist.gates import GateOp
+
+        def runner(candidate):
+            if any(g.cell.op is GateOp.XOR for g in candidate.netlist.gates):
+                return Mismatch("fake", "has xor")
+            return None
+
+        original = runner(case)
+        if original is None:
+            pytest.skip("seed produced no XOR gate")
+        shrunk = shrink_case(case, runner, original)
+        assert runner(shrunk) is not None
+        assert shrunk.netlist.num_gates <= 2
+        assert shrunk.num_pairs == 1
+        assert shrunk.sequence.shape[0] <= 2
+
+    def test_rejects_different_failure_mode(self):
+        """Shrinking never trades the original bug for a different one."""
+        case = make_case(GenParams(num_inputs=4, num_gates=10), 13)
+        full = case.netlist.num_gates
+
+        def runner(candidate):
+            if candidate.netlist.num_gates == full:
+                return Mismatch("fake", "original", error_type=None)
+            # Every smaller netlist "fails" differently (like a crash).
+            return Mismatch("fake", "crash", error_type="ValueError")
+
+        original = Mismatch("fake", "original", error_type=None)
+        shrunk = shrink_case(case, runner, original)
+        assert shrunk.netlist.num_gates == full  # nothing accepted
+
+    def test_drops_unused_inputs(self):
+        netlist = build_fuzz_netlist(GenParams(num_inputs=6, num_gates=3), 2)
+        rng = np.random.default_rng(0)
+        case = FuzzCase(
+            netlist=netlist,
+            seed=2,
+            initial=rng.integers(0, 2, (4, 6)).astype(bool),
+            final=rng.integers(0, 2, (4, 6)).astype(bool),
+            sequence=rng.integers(0, 2, (3, 6)).astype(bool),
+        )
+
+        def runner(candidate):
+            return Mismatch("fake", "always")
+
+        shrunk = shrink_case(case, runner, Mismatch("fake", "always"))
+        assert shrunk.netlist.num_inputs <= netlist.num_inputs
+        assert shrunk.initial.shape[1] == shrunk.netlist.num_inputs
+
+
+class TestCorpus:
+    def test_round_trip_preserves_case(self, tmp_path):
+        case = make_case(GenParams(num_inputs=3, num_gates=8), 55)
+        clone = case_from_dict(case_to_dict(case, note="round trip"))
+        assert _structure(clone.netlist) == _structure(case.netlist)
+        assert np.array_equal(clone.initial, case.initial)
+        assert np.array_equal(clone.final, case.final)
+        assert np.array_equal(clone.sequence, case.sequence)
+        assert clone.max_nodes == case.max_nodes
+        assert clone.checks == case.checks
+
+    def test_save_and_load_file(self, tmp_path):
+        case = make_case(GenParams(num_inputs=2, num_gates=5), 66)
+        path = save_case(case, tmp_path / "entry.json", note="file round trip")
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-fuzz-case"
+        assert data["note"] == "file round trip"
+        clone = load_case(path)
+        assert _structure(clone.netlist) == _structure(case.netlist)
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"format\": \"something-else\"}")
+        with pytest.raises(FuzzError, match="not a repro-fuzz-case"):
+            load_case(path)
+        path.write_text("not json at all")
+        with pytest.raises(FuzzError, match="invalid JSON"):
+            load_case(path)
+
+    def test_undriven_output_rejected_at_load(self):
+        """Hand-edited corpus files with broken netlists fail loudly."""
+        case = make_case(GenParams(num_inputs=2, num_gates=4), 77)
+        data = case_to_dict(case)
+        data["outputs"] = ["no_such_net"]
+        with pytest.raises(FuzzError, match="invalid netlist"):
+            case_from_dict(data)
+
+    def test_replayed_case_runs_same_checks(self):
+        case = make_case(
+            GenParams(num_inputs=2, num_gates=4), 9, checks=("logic_sim",)
+        )
+        clone = case_from_dict(case_to_dict(case))
+        assert clone.checks == ("logic_sim",)
+        mismatches, ctx = run_case(clone)
+        assert mismatches == []
+        assert "model_nodes" not in ctx.observed
+
+
+class TestDriver:
+    def test_smoke_run_is_clean_and_deterministic(self):
+        config = FuzzConfig(seed=5, iterations=12)
+        first = run_fuzz(config)
+        second = run_fuzz(config)
+        assert first.ok and second.ok
+        assert first.iterations_run == second.iterations_run == 12
+        assert first.features_seen == second.features_seen
+
+    def test_time_budget_truncates(self):
+        report = run_fuzz(
+            FuzzConfig(seed=5, iterations=10_000, time_budget_seconds=0.5)
+        )
+        assert report.iterations_run < 10_000
+        assert report.ok
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(FuzzError):
+            run_fuzz(FuzzConfig(iterations=-1))
+
+
+class TestCli:
+    def test_fuzz_subcommand(self, capsys):
+        assert main(["fuzz", "--seed", "3", "--iterations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 iterations" in out
+        assert "no mismatches" in out
+
+    def test_fuzz_check_selection(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "3",
+                    "--iterations",
+                    "4",
+                    "--checks",
+                    "logic_sim,power_sim",
+                ]
+            )
+            == 0
+        )
+
+    def test_fuzz_unknown_check_errors(self, capsys):
+        assert main(["fuzz", "--checks", "bogus"]) == 2
+        assert "unknown checks" in capsys.readouterr().err
+
+    def test_fuzz_corpus_replay(self, capsys, tmp_path):
+        case = make_case(GenParams(num_inputs=2, num_gates=4), 17)
+        save_case(case, tmp_path / "one.json")
+        assert main(["fuzz", "--corpus", str(tmp_path)]) == 0
+        assert "1 case(s) replayed" in capsys.readouterr().out

@@ -1,0 +1,208 @@
+"""The independent oracle itself: hand-computed values and self-consistency.
+
+The oracle is the trust anchor of the differential harness, so it gets
+its own direct tests: Figure-2 values computed by hand, truth tables
+cross-checked against the oracle's *own* scalar walk (two formulations
+inside one module), and the exhaustive matrix/average/max helpers
+checked against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OracleError
+from repro.netlist import Netlist
+from repro.netlist.library import TEST_LIBRARY, Cell
+from repro.netlist.gates import GateOp
+from repro.testing.generate import GenParams, build_fuzz_netlist
+from repro.testing.oracle import (
+    index_pattern,
+    oracle_average_uniform,
+    oracle_capacitance_matrix,
+    oracle_load_capacitances,
+    oracle_max_capacitance,
+    oracle_node_values,
+    oracle_sequence_capacitances,
+    oracle_switching_capacitance,
+    oracle_topological_order,
+    oracle_truth_tables,
+    pattern_index,
+)
+
+
+class TestFig2ByHand:
+    def test_node_values(self, fig2_netlist):
+        values = oracle_node_values(fig2_netlist, [1, 1])
+        assert values["x1"] == 1 and values["x2"] == 1
+        # g1 = x1', g2 = x2', g3 = x1 + x2
+        outs = fig2_netlist.outputs
+        assert values[outs[0]] == 0
+        assert values[outs[1]] == 0
+        assert values[outs[2]] == 1
+
+    def test_loads_are_output_pads_only(self, fig2_netlist):
+        loads = oracle_load_capacitances(fig2_netlist)
+        assert all(load == 15.0 for load in loads.values())
+
+    def test_c_11_to_00_is_30(self, fig2_netlist):
+        # Both inverters rise (15 fF each); the OR gate falls.
+        assert oracle_switching_capacitance(fig2_netlist, [1, 1], [0, 0]) == 30.0
+
+    def test_identity_transition_is_zero(self, fig2_netlist):
+        for bits in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            assert oracle_switching_capacitance(fig2_netlist, bits, bits) == 0.0
+
+    def test_sequence_decomposes_into_pairs(self, fig2_netlist):
+        sequence = [[1, 1], [0, 0], [1, 0], [1, 1]]
+        per_cycle = oracle_sequence_capacitances(fig2_netlist, sequence)
+        expected = [
+            oracle_switching_capacitance(fig2_netlist, sequence[t], sequence[t + 1])
+            for t in range(3)
+        ]
+        assert per_cycle == expected
+
+
+class TestStructureWalks:
+    def test_topological_order_respects_dependencies(self):
+        netlist = Netlist("deps")
+        netlist.add_input("a")
+        # Deliberately add gates in anti-topological order.
+        netlist.add_gate(TEST_LIBRARY["INV1"], ["t1"], "t2")
+        netlist.add_gate(TEST_LIBRARY["INV1"], ["t0"], "t1")
+        netlist.add_gate(TEST_LIBRARY["INV1"], ["a"], "t0")
+        netlist.add_output("t2")
+        order = [gate.output for gate in oracle_topological_order(netlist)]
+        assert order == ["t0", "t1", "t2"]
+
+    def test_cycle_detected(self):
+        netlist = Netlist("cycle")
+        netlist.add_input("a")
+        netlist.add_gate(TEST_LIBRARY["AND2"], ["a", "u1"], "u0")
+        netlist.add_gate(TEST_LIBRARY["INV1"], ["u0"], "u1")
+        netlist.add_output("u1")
+        with pytest.raises(OracleError, match="cycle"):
+            oracle_topological_order(netlist)
+
+    def test_undriven_net_detected(self):
+        netlist = Netlist("undriven")
+        netlist.add_input("a")
+        netlist.add_gate(TEST_LIBRARY["AND2"], ["a", "ghost"], "u0")
+        netlist.add_output("u0")
+        with pytest.raises(OracleError, match="undriven"):
+            oracle_topological_order(netlist)
+
+    def test_per_pin_capacitances_and_output_pad(self):
+        netlist = Netlist("loads", output_load_fF=7.0)
+        netlist.add_input("a")
+        netlist.add_input("b")
+        asym = Cell("ASYM", GateOp.AND, 2, input_capacitance_fF=(3.0, 11.0))
+        netlist.add_gate(TEST_LIBRARY["INV1"], ["a"], "n0", name="drv")
+        netlist.add_gate(asym, ["n0", "n0"], "n1", name="snk")
+        netlist.add_output("n1")
+        loads = oracle_load_capacitances(netlist)
+        assert loads["drv"] == pytest.approx(3.0 + 11.0)
+        assert loads["snk"] == pytest.approx(7.0)
+
+    def test_wrong_pattern_width_rejected(self, fig2_netlist):
+        with pytest.raises(OracleError, match="bits"):
+            oracle_node_values(fig2_netlist, [1, 0, 1])
+
+
+class TestTruthTables:
+    def test_input_masks(self):
+        netlist = Netlist("ins")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(TEST_LIBRARY["AND2"], ["a", "b"], "y")
+        netlist.add_output("y")
+        tables = oracle_truth_tables(netlist)
+        # Patterns indexed 0..3 as (b a) = 00, 01, 10, 11.
+        assert tables["a"] == 0b1010
+        assert tables["b"] == 0b1100
+        assert tables["y"] == 0b1000
+
+    def test_tables_match_scalar_walk(self):
+        params = GenParams(num_inputs=4, num_gates=10)
+        for seed in range(5):
+            netlist = build_fuzz_netlist(params, seed)
+            tables = oracle_truth_tables(netlist)
+            for p in range(1 << netlist.num_inputs):
+                values = oracle_node_values(
+                    netlist, index_pattern(p, netlist.num_inputs)
+                )
+                for net, mask in tables.items():
+                    assert (mask >> p) & 1 == values[net], (seed, p, net)
+
+    def test_input_limit_enforced(self):
+        netlist = Netlist("wide")
+        for k in range(17):
+            netlist.add_input(f"x{k}")
+        netlist.add_gate(TEST_LIBRARY["BUF1"], ["x0"], "y")
+        netlist.add_output("y")
+        with pytest.raises(OracleError, match="limit"):
+            oracle_truth_tables(netlist)
+
+
+class TestExhaustiveHelpers:
+    def test_matrix_matches_scalar(self, fig2_netlist):
+        matrix = oracle_capacitance_matrix(fig2_netlist)
+        n = fig2_netlist.num_inputs
+        for i in range(1 << n):
+            for f in range(1 << n):
+                assert matrix[i, f] == pytest.approx(
+                    oracle_switching_capacitance(
+                        fig2_netlist, index_pattern(i, n), index_pattern(f, n)
+                    )
+                )
+
+    def test_matrix_matches_scalar_random(self):
+        netlist = build_fuzz_netlist(GenParams(num_inputs=3, num_gates=8), 7)
+        matrix = oracle_capacitance_matrix(netlist)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            i, f = int(rng.integers(8)), int(rng.integers(8))
+            assert matrix[i, f] == pytest.approx(
+                oracle_switching_capacitance(
+                    netlist, index_pattern(i, 3), index_pattern(f, 3)
+                )
+            )
+
+    def test_average_matches_matrix_mean(self):
+        for seed in range(4):
+            netlist = build_fuzz_netlist(GenParams(num_inputs=4, num_gates=9), seed)
+            matrix = oracle_capacitance_matrix(netlist)
+            assert oracle_average_uniform(netlist) == pytest.approx(
+                float(matrix.mean()), abs=1e-12
+            )
+
+    def test_max_matches_matrix_and_is_achieved(self):
+        netlist = build_fuzz_netlist(GenParams(num_inputs=4, num_gates=12), 11)
+        value, initial, final = oracle_max_capacitance(netlist)
+        matrix = oracle_capacitance_matrix(netlist)
+        assert value == pytest.approx(float(matrix.max()))
+        assert oracle_switching_capacitance(netlist, initial, final) == pytest.approx(
+            value
+        )
+
+    def test_pattern_index_roundtrip(self):
+        for index in range(16):
+            assert pattern_index(index_pattern(index, 4)) == index
+
+
+class TestAgainstPipeline:
+    """The one place the oracle meets the implementation under test."""
+
+    def test_oracle_agrees_with_netlist_evaluate(self, fig2_netlist):
+        for p in range(4):
+            bits = index_pattern(p, 2)
+            assert oracle_node_values(fig2_netlist, bits) == fig2_netlist.evaluate(
+                bits
+            )
+
+    def test_oracle_agrees_with_netlist_loads(self):
+        netlist = build_fuzz_netlist(GenParams(num_inputs=4, num_gates=14), 3)
+        assert oracle_load_capacitances(netlist) == pytest.approx(
+            netlist.load_capacitances()
+        )

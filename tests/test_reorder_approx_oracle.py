@@ -1,0 +1,187 @@
+"""Equivalence-under-transformation for ``dd.reorder`` and ``dd.approx``.
+
+Both transformations promise a relationship to the original function:
+reordering promises *exact* equivalence, approximation promises
+equivalence within a declared error budget (``step``-grid rounding for
+:func:`quantize_leaves`, one-sided error for the bound strategies,
+mean preservation for ``avg``).  These tests verify the promises
+exhaustively on real power ADDs, with the independent oracle as the
+final referee.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.dd.approx import approximate, collapse_by_threshold, quantize_leaves
+from repro.dd.reorder import transfer
+from repro.models import build_add_model
+from repro.testing.generate import GenParams, build_fuzz_netlist
+from repro.testing.oracle import (
+    oracle_capacitance_matrix,
+    index_pattern,
+)
+
+
+def _model(seed: int = 19, num_inputs: int = 3, num_gates: int = 9):
+    netlist = build_fuzz_netlist(
+        GenParams(num_inputs=num_inputs, num_gates=num_gates), seed
+    )
+    return netlist, build_add_model(netlist, max_nodes=None)
+
+
+def _all_values(manager, root, num_vars: int) -> np.ndarray:
+    """The function's value on every assignment of ``num_vars`` variables."""
+    return np.array(
+        [
+            manager.evaluate(root, list(bits))
+            for bits in itertools.product((0, 1), repeat=num_vars)
+        ]
+    )
+
+
+class TestReorderExactness:
+    def test_reversed_order_preserves_function(self):
+        netlist, model = _model()
+        manager = model.manager
+        support = sorted(manager.support(model.root))
+        order = list(reversed(support))
+        target, new_root = transfer(manager, model.root, order)
+        column_of = {var: k for k, var in enumerate(order)}
+        width = 2 * model.num_inputs
+        for bits in itertools.product((0, 1), repeat=width):
+            assignment = [0] * len(order)
+            for var, column in column_of.items():
+                assignment[column] = bits[var]
+            assert target.evaluate(new_root, assignment) == pytest.approx(
+                manager.evaluate(model.root, list(bits))
+            )
+
+    @pytest.mark.parametrize("shuffle_seed", [1, 2, 3])
+    def test_random_orders_match_oracle(self, shuffle_seed):
+        """Reordered diagram vs the Eq.-4 oracle on every transition."""
+        netlist, model = _model(seed=29)
+        manager, space = model.manager, model.space
+        support = sorted(manager.support(model.root))
+        order = list(support)
+        random.Random(shuffle_seed).shuffle(order)
+        target, new_root = transfer(manager, model.root, order)
+        column_of = {var: k for k, var in enumerate(order)}
+        position = {name: k for k, name in enumerate(space.input_names)}
+        external = [position[name] for name in model.input_names]
+        matrix = oracle_capacitance_matrix(netlist)
+        n = netlist.num_inputs
+        for i in range(1 << n):
+            for f in range(1 << n):
+                xi = index_pattern(i, n)
+                xf = index_pattern(f, n)
+                packed = [0] * (2 * n)
+                for k, pos in enumerate(external):
+                    packed[space.xi(pos)] = xi[k]
+                    packed[space.xf(pos)] = xf[k]
+                assignment = [0] * len(order)
+                for var, column in column_of.items():
+                    assignment[column] = packed[var]
+                assert target.evaluate(new_root, assignment) == pytest.approx(
+                    matrix[i, f]
+                ), (i, f, order)
+
+    def test_transfer_size_roundtrip(self):
+        """Transferring back to the original order restores the size."""
+        _, model = _model(seed=23)
+        manager = model.manager
+        support = sorted(manager.support(model.root))
+        shuffled = list(support)
+        random.Random(7).shuffle(shuffled)
+        mid_manager, mid_root = transfer(manager, model.root, shuffled)
+        # The shuffled manager's support indices are 0..len-1; map home.
+        back_order = sorted(
+            range(len(shuffled)), key=lambda k: shuffled[k]
+        )
+        home_manager, home_root = transfer(mid_manager, mid_root, back_order)
+        assert home_manager.size(home_root) == manager.size(model.root)
+
+
+class TestQuantizeLeavesBudget:
+    @pytest.mark.parametrize("step", [0.5, 2.0, 10.0])
+    def test_nearest_error_at_most_half_step(self, step):
+        _, model = _model(seed=47)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        rounded = quantize_leaves(manager, model.root, step, "nearest")
+        after = _all_values(manager, rounded, width)
+        assert float(np.abs(after - before).max()) <= step / 2 + 1e-9
+
+    @pytest.mark.parametrize("step", [0.5, 2.0, 10.0])
+    def test_up_is_one_sided(self, step):
+        _, model = _model(seed=47)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        raised = quantize_leaves(manager, model.root, step, "up")
+        after = _all_values(manager, raised, width)
+        error = after - before
+        assert float(error.min()) >= -1e-9
+        assert float(error.max()) <= step + 1e-9
+
+    @pytest.mark.parametrize("step", [0.5, 2.0, 10.0])
+    def test_down_is_one_sided(self, step):
+        _, model = _model(seed=47)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        lowered = quantize_leaves(manager, model.root, step, "down")
+        after = _all_values(manager, lowered, width)
+        error = after - before
+        assert float(error.max()) <= 1e-9
+        assert float(error.min()) >= -step - 1e-9
+
+
+class TestApproximateBudgets:
+    @pytest.mark.parametrize("max_size", [2, 5, 12])
+    def test_max_never_decreases_values(self, max_size):
+        _, model = _model(seed=53)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        collapsed = approximate(manager, model.root, max_size, strategy="max")
+        after = _all_values(manager, collapsed, width)
+        assert manager.size(collapsed) <= max(max_size, manager.size(model.root))
+        assert float((after - before).min()) >= -1e-9
+
+    @pytest.mark.parametrize("max_size", [2, 5, 12])
+    def test_min_never_increases_values(self, max_size):
+        _, model = _model(seed=53)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        collapsed = approximate(manager, model.root, max_size, strategy="min")
+        after = _all_values(manager, collapsed, width)
+        assert float((after - before).max()) <= 1e-9
+
+    @pytest.mark.parametrize("max_size", [2, 6, 16])
+    def test_avg_preserves_global_mean(self, max_size):
+        _, model = _model(seed=59)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        collapsed = approximate(manager, model.root, max_size, strategy="avg")
+        after = _all_values(manager, collapsed, width)
+        assert float(after.mean()) == pytest.approx(float(before.mean()), abs=1e-9)
+
+    def test_threshold_collapse_preserves_mean(self):
+        _, model = _model(seed=61)
+        manager = model.manager
+        width = 2 * model.num_inputs
+        before = _all_values(manager, model.root, width)
+        collapsed = collapse_by_threshold(
+            manager, model.root, threshold=25.0, strategy="avg"
+        )
+        after = _all_values(manager, collapsed, width)
+        assert manager.size(collapsed) <= manager.size(model.root)
+        assert float(after.mean()) == pytest.approx(float(before.mean()), abs=1e-9)

@@ -8,6 +8,7 @@ import pytest
 from repro.errors import SequenceError
 from repro.sim import (
     all_patterns,
+    all_transition_pairs,
     exhaustive_pairs,
     feasible_st_range,
     gray_sequence,
@@ -93,6 +94,34 @@ class TestOtherGenerators:
     def test_exhaustive_pairs_width_limit(self):
         with pytest.raises(SequenceError):
             next(exhaustive_pairs(11))
+
+    def test_all_transition_pairs_layout(self):
+        """Row ``i * 2**n + f`` holds LSB-first patterns ``i`` and ``f``."""
+        n = 3
+        span = 1 << n
+        initial, final = all_transition_pairs(n)
+        assert initial.shape == final.shape == (span * span, n)
+        assert initial.dtype == final.dtype == bool
+        for row in range(span * span):
+            i, f = divmod(row, span)
+            assert initial[row].tolist() == [bool((i >> k) & 1) for k in range(n)]
+            assert final[row].tolist() == [bool((f >> k) & 1) for k in range(n)]
+
+    def test_all_transition_pairs_agrees_with_iterator(self):
+        """Same pair stream as exhaustive_pairs, modulo bit order.
+
+        The iterator yields MSB-first patterns; the vectorised form is
+        LSB-first (matching the oracle-matrix layout), so corresponding
+        rows are column-reversed.
+        """
+        initial, final = all_transition_pairs(2)
+        for row, (bits_i, bits_f) in enumerate(exhaustive_pairs(2)):
+            assert initial[row].tolist() == bits_i[::-1].tolist()
+            assert final[row].tolist() == bits_f[::-1].tolist()
+
+    def test_all_transition_pairs_width_limit(self):
+        with pytest.raises(SequenceError):
+            all_transition_pairs(13)
 
     def test_all_patterns_msb_first(self):
         patterns = all_patterns(3)

@@ -95,6 +95,27 @@ class TestValidation:
         assert report.ok
         assert any("floating" in w for w in report.warnings)
 
+    def test_zero_load_gate_warns(self):
+        from repro.netlist import Netlist
+        from repro.netlist.gates import GateOp
+        from repro.netlist.library import Cell
+
+        free_inv = Cell("INV0C", GateOp.INV, 1, input_capacitance_fF=0.0)
+        netlist = Netlist("zeroload", output_load_fF=0.0)
+        netlist.add_input("a")
+        netlist.add_gate("INV1", ["a"], "x")
+        netlist.add_gate(free_inv, ["x"], "y")
+        netlist.add_output("y")
+        report = check_netlist(netlist)
+        assert report.ok
+        # INV1 feeds only the zero-capacitance pin; the output gate feeds
+        # only the zero-fF output pad.  Both should be flagged.
+        assert sum("zero load" in w for w in report.warnings) == 2
+
+    def test_loaded_gates_do_not_warn(self, fig2_netlist):
+        report = check_netlist(fig2_netlist)
+        assert not any("zero load" in w for w in report.warnings)
+
     def test_no_outputs_is_error(self):
         from repro.netlist import Netlist
 
