@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-eval bench-smoke fuzz fuzz-smoke
+.PHONY: test bench bench-eval bench-smoke fuzz fuzz-smoke stats-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,15 @@ fuzz:
 fuzz-smoke:
 	$(PYTHON) -m repro fuzz --corpus tests/corpus
 	$(PYTHON) -m repro fuzz --seed 0 --iterations 10000 --time-budget 60
+
+# Telemetry smoke: run `repro stats` on a small macro, then validate the
+# trace/metrics artifacts it produced (schema + required instruments).
+stats-smoke:
+	$(PYTHON) -m repro stats decod \
+		--trace /tmp/repro-stats-trace.json \
+		--metrics /tmp/repro-stats-metrics.json
+	$(PYTHON) scripts/check_obs_artifacts.py \
+		/tmp/repro-stats-trace.json /tmp/repro-stats-metrics.json
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

@@ -127,12 +127,22 @@ def format_table(rows) -> str:
 
 
 def main() -> None:
+    from repro.obs.metrics import get_metrics
+
+    registry = get_metrics()
+    registry.reset()
     rows = run_suite()
     table = format_table(rows)
     print(table)
     write_result("eval_throughput", table)
     if not QUICK:
-        payload = {"bench": "eval_throughput", "rows": rows}
+        # The metrics snapshot documents exactly what the run exercised
+        # (builds, compiled batches, rows) alongside the timing numbers.
+        payload = {
+            "bench": "eval_throughput",
+            "rows": rows,
+            "metrics": registry.snapshot(),
+        }
         with open(JSON_PATH, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")

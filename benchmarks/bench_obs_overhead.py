@@ -1,0 +1,125 @@
+"""E11 — telemetry overhead: the default-off path must cost ~nothing.
+
+The observability subsystem (:mod:`repro.obs`) is woven through the hot
+paths of the pipeline — ``DDManager.apply``, the compiled batch kernels,
+the model builder.  Its contract is that with tracing *disabled* (the
+default: the global tracer is a :class:`~repro.obs.trace.NullTracer`)
+an instrumented call site pays only a shared no-op context manager and,
+for always-on counters, one attribute add.  This benchmark measures both
+primitives directly and the end-to-end effect on a model build.
+
+Artifacts: ``benchmarks/results/obs_overhead.txt``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+The assertions are deliberately loose (CI machines jitter); the point is
+to catch a regression that makes the no-op path allocate or take a lock,
+which shows up as an order of magnitude, not a few percent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import QUICK, write_result
+
+from repro.circuits import load_circuit
+from repro.models import build_add_model
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import NULL_TRACER, disable_tracing, enable_tracing
+
+ITERATIONS = 200_000 if not QUICK else 50_000
+
+#: Per-call budget for the disabled-tracer span path.  A real regression
+#: (allocation, lock, clock read) costs microseconds; the healthy path is
+#: tens of nanoseconds.
+NULL_SPAN_BUDGET_NS = 2_000
+COUNTER_BUDGET_NS = 1_000
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_null_span() -> float:
+    """ns per ``with tracer.span(...)`` under the no-op tracer."""
+    tracer = NULL_TRACER
+    n = ITERATIONS
+
+    def loop():
+        for _ in range(n):
+            with tracer.span("bench.noop"):
+                pass
+
+    return _best_of(3, loop) / n * 1e9
+
+
+def time_counter_inc() -> float:
+    """ns per ``Counter.inc()`` on a cached instrument handle."""
+    counter = get_metrics().counter("bench.obs_overhead")
+    n = ITERATIONS
+
+    def loop():
+        for _ in range(n):
+            counter.inc()
+
+    return _best_of(3, loop) / n * 1e9
+
+
+def time_build(tracing: bool) -> float:
+    """Seconds for one instrumented model build, tracing on or off."""
+    netlist = load_circuit("cmb")
+    if tracing:
+        enable_tracing()
+    try:
+        return _best_of(3, lambda: build_add_model(netlist, max_nodes=800))
+    finally:
+        disable_tracing()
+
+
+def run_suite() -> dict:
+    return {
+        "null_span_ns": time_null_span(),
+        "counter_inc_ns": time_counter_inc(),
+        "build_off_s": time_build(tracing=False),
+        "build_on_s": time_build(tracing=True),
+    }
+
+
+def format_table(result: dict) -> str:
+    on, off = result["build_on_s"], result["build_off_s"]
+    return "\n".join(
+        [
+            f"no-op span           {result['null_span_ns']:>10.0f} ns/call",
+            f"counter inc          {result['counter_inc_ns']:>10.0f} ns/call",
+            f"build, tracing off   {off * 1e3:>10.1f} ms",
+            f"build, tracing on    {on * 1e3:>10.1f} ms "
+            f"({(on / off - 1.0) * 100.0:+.1f}%)",
+        ]
+    )
+
+
+def main() -> None:
+    result = run_suite()
+    table = format_table(result)
+    print(table)
+    write_result("obs_overhead", table)
+
+
+def test_obs_overhead():
+    """Benchmark-suite entry: the disabled path must stay no-op cheap."""
+    result = run_suite()
+    write_result("obs_overhead", format_table(result))
+    assert result["null_span_ns"] < NULL_SPAN_BUDGET_NS
+    assert result["counter_inc_ns"] < COUNTER_BUDGET_NS
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Validate the telemetry artifacts produced by ``repro stats``.
+
+Used by ``make stats-smoke`` and CI: runs the full ``repro stats``
+pipeline on a small macro with ``--trace`` / ``--metrics``, then checks
+that both files parse and carry the schema and instruments the rest of
+the tooling (Perfetto, the benchmark reports, the tests) relies on.
+
+Exits non-zero with a one-line reason on the first violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs_artifacts.py TRACE.json METRICS.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Instrument-name prefixes a `repro stats` run must have populated.
+REQUIRED_PREFIXES = ("dd.apply.", "add.build.", "compiled.eval.", "sim.")
+
+#: Span names the Chrome trace of a stats run must contain.
+REQUIRED_SPANS = ("add.build", "symbolic.build", "sim.pairs")
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py<3.11 friendly
+    print(f"check_obs_artifacts: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        fail(f"cannot load trace {path}: {exc}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    for event in events:
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event missing {key!r}: {event}")
+        if event["ph"] != "X":
+            fail(f"{path}: unexpected phase {event['ph']!r}")
+        if event["dur"] < 0 or not isinstance(event["ts"], (int, float)):
+            fail(f"{path}: bad timestamps in {event}")
+    names = {event["name"] for event in events}
+    for span in REQUIRED_SPANS:
+        if span not in names:
+            fail(f"{path}: required span {span!r} absent (have {sorted(names)})")
+    return len(events)
+
+
+def check_metrics(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        fail(f"cannot load metrics {path}: {exc}")
+    if payload.get("format") != "repro-metrics" or payload.get("version") != 1:
+        fail(f"{path}: bad format/version header")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(f"{path}: empty metrics map")
+    for name, state in metrics.items():
+        if state.get("type") not in ("counter", "gauge", "histogram"):
+            fail(f"{path}: instrument {name!r} has bad type {state.get('type')!r}")
+        if state["type"] == "histogram" and len(state["counts"]) != len(
+            state["buckets"]
+        ) + 1:
+            fail(f"{path}: histogram {name!r} counts/buckets length mismatch")
+    for prefix in REQUIRED_PREFIXES:
+        populated = any(
+            name.startswith(prefix)
+            and (
+                state.get("value") or state.get("count")
+            )
+            for name, state in metrics.items()
+        )
+        if not populated:
+            fail(f"{path}: no populated instrument under {prefix!r}")
+    return len(metrics)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path, metrics_path = argv
+    num_events = check_trace(trace_path)
+    num_instruments = check_metrics(metrics_path)
+    print(
+        f"check_obs_artifacts: OK ({num_events} trace events, "
+        f"{num_instruments} instruments)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

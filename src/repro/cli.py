@@ -21,8 +21,16 @@ Subcommands
     (random netlists, every implementation pair cross-checked), shrinking
     any failure to a minimal reproducer; ``--corpus`` replays a saved
     corpus instead of generating.
+``stats <circuit|file.blif>``
+    Exercise the build / evaluate / golden-simulation pipeline once and
+    print the telemetry report (metric instruments + span profile).
 ``list``
     Show the available Table-1 benchmark circuits.
+
+Every subcommand accepts ``--trace FILE`` (write a Chrome trace-event
+timeline, loadable in ``chrome://tracing`` / Perfetto) and
+``--metrics FILE`` (write a JSON metrics snapshot); see
+:mod:`repro.obs`.
 
 Circuits are referenced by benchmark name (see ``list``), or by a path to
 a ``.blif`` or ISCAS-85 ``.isc`` file.
@@ -276,23 +284,90 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.obs import enable_tracing, disable_tracing, get_metrics, get_tracer
+    from repro.obs.report import format_report
+    from repro.sim import pair_switching_capacitances, uniform_pairs
+
+    netlist = _load(args.circuit)
+    registry = get_metrics()
+    registry.detailed = True
+    installed_tracer = not get_tracer().enabled
+    if installed_tracer:
+        enable_tracing()
+    try:
+        # One representative pass through every pipeline layer, so the
+        # report covers dd.*, add.build.*, compiled.eval.* and sim.*.
+        model = build_add_model(
+            netlist, max_nodes=args.max_nodes, strategy=args.strategy
+        )
+        initial, final = uniform_pairs(
+            netlist.num_inputs, args.pairs, seed=2024
+        )
+        estimates = model.pair_capacitances(initial, final)
+        golden = pair_switching_capacitances(netlist, initial, final)
+        rollup = get_tracer().aggregate()
+        report = model.report
+        assert report is not None
+        print(report.summary())
+        print(
+            f"checked {len(estimates)} transitions against the golden "
+            f"model: max |ADD - gate-level| = "
+            f"{float(np.max(np.abs(estimates - golden))):.4g} fF"
+        )
+        print()
+        print(
+            format_report(
+                registry.snapshot(),
+                rollup,
+                title=f"telemetry: {netlist.name}",
+            )
+        )
+    finally:
+        if installed_tracer and not getattr(args, "trace", None):
+            disable_tracing()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-power",
         description="Characterization-free RTL power modeling (DATE 1998 reproduction)",
     )
+    # Global observability flags, attached to every subcommand (argparse
+    # only applies them after the subcommand token when defined through a
+    # parent parser, hence not on the root parser).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event timeline of this run",
+    )
+    obs_flags.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write a JSON metrics snapshot of this run",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmark circuits").set_defaults(
+    def add_command(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[obs_flags], **kwargs)
+
+    add_command("list", help="list benchmark circuits").set_defaults(
         func=_cmd_list
     )
 
-    info = sub.add_parser("info", help="print netlist statistics")
+    info = add_command("info", help="print netlist statistics")
     info.add_argument("circuit", help="benchmark name or BLIF path")
     info.set_defaults(func=_cmd_info)
 
-    build = sub.add_parser("build", help="build an ADD power model")
+    build = add_command("build", help="build an ADD power model")
     build.add_argument("circuit", help="benchmark name or BLIF path")
     build.add_argument("--max-nodes", type=int, default=1000)
     build.add_argument(
@@ -300,7 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.set_defaults(func=_cmd_build)
 
-    evaluate = sub.add_parser(
+    evaluate = add_command(
         "evaluate", help="accuracy sweep vs Con/Lin baselines"
     )
     evaluate.add_argument("circuit", help="benchmark name or BLIF path")
@@ -309,20 +384,20 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--train-length", type=int, default=1500)
     evaluate.set_defaults(func=_cmd_evaluate)
 
-    bound = sub.add_parser("bound", help="build and verify an upper bound")
+    bound = add_command("bound", help="build and verify an upper bound")
     bound.add_argument("circuit", help="benchmark name or BLIF path")
     bound.add_argument("--max-nodes", type=int, default=1000)
     bound.add_argument("--samples", type=int, default=500)
     bound.set_defaults(func=_cmd_bound)
 
-    worst = sub.add_parser(
+    worst = add_command(
         "worst-case", help="extract a maximum-power transition"
     )
     worst.add_argument("circuit", help="benchmark name or netlist path")
     worst.add_argument("--max-nodes", type=int, default=None)
     worst.set_defaults(func=_cmd_worst_case)
 
-    activity = sub.add_parser(
+    activity = add_command(
         "activity", help="analytic switching activity per net"
     )
     activity.add_argument("circuit", help="benchmark name or netlist path")
@@ -331,7 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     activity.add_argument("--top", type=int, default=10)
     activity.set_defaults(func=_cmd_activity)
 
-    save = sub.add_parser("save-model", help="serialise a model to JSON")
+    save = add_command("save-model", help="serialise a model to JSON")
     save.add_argument("circuit", help="benchmark name or netlist path")
     save.add_argument("output", help="output JSON path")
     save.add_argument("--max-nodes", type=int, default=1000)
@@ -340,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     save.set_defaults(func=_cmd_save_model)
 
-    evaluate_model = sub.add_parser(
+    evaluate_model = add_command(
         "eval-model", help="inspect / evaluate a shipped model JSON"
     )
     evaluate_model.add_argument("model", help="model JSON path")
@@ -351,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate_model.set_defaults(func=_cmd_eval_model)
 
-    fuzz = sub.add_parser(
+    fuzz = add_command(
         "fuzz", help="differentially fuzz the pipeline against the oracle"
     )
     fuzz.add_argument("--seed", type=int, default=0)
@@ -397,18 +472,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many failures (0 = no limit)",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    stats = add_command(
+        "stats", help="run the pipeline once and print its telemetry"
+    )
+    stats.add_argument("circuit", help="benchmark name or BLIF path")
+    stats.add_argument("--max-nodes", type=int, default=1000)
+    stats.add_argument(
+        "--strategy", choices=("avg", "max", "min"), default="avg"
+    )
+    stats.add_argument(
+        "--pairs",
+        type=int,
+        default=256,
+        help="transition pairs for the compiled-eval / golden-sim pass",
+    )
+    stats.set_defaults(func=_cmd_stats)
     return parser
+
+
+def _setup_observability(args: argparse.Namespace):
+    """Honour the global ``--trace`` / ``--metrics`` flags before dispatch."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return None
+
+    from repro.obs import enable_detailed_metrics, enable_tracing, get_metrics
+
+    registry = get_metrics()
+    registry.reset()  # report this invocation, not import-time leftovers
+    enable_detailed_metrics(True)
+    tracer = enable_tracing() if trace_path is not None else None
+    return tracer
+
+
+def _write_observability(args: argparse.Namespace, tracer) -> None:
+    """Export trace / metrics files after the subcommand ran."""
+    import json
+
+    from repro.obs import disable_tracing, enable_detailed_metrics, get_metrics
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if tracer is not None and trace_path is not None:
+        tracer.write_chrome(trace_path)
+        disable_tracing()
+    if metrics_path is not None:
+        payload = {
+            "format": "repro-metrics",
+            "version": 1,
+            "metrics": get_metrics().snapshot(),
+        }
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, default=str)
+            handle.write("\n")
+    enable_detailed_metrics(False)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    observing = (
+        getattr(args, "trace", None) is not None
+        or getattr(args, "metrics", None) is not None
+    )
+    tracer = _setup_observability(args)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if observing:
+            _write_observability(args, tracer)
 
 
 if __name__ == "__main__":  # pragma: no cover

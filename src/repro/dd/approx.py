@@ -27,10 +27,21 @@ import random
 from typing import Callable, Dict, Iterable, List, Literal, Optional
 
 from repro.dd.manager import DDManager
-from repro.dd.stats import NodeStats, compute_stats
+from repro.dd.stats import NodeStats, compute_stats, function_stats
 from repro.errors import DDError
+from repro.obs.metrics import ERROR_BUCKETS, get_metrics
+from repro.obs.trace import get_tracer
 
 Strategy = Literal["avg", "max", "min", "random"]
+
+_MET = get_metrics()
+_COLLAPSE_CALLS = _MET.counter("collapse.calls")
+_COLLAPSE_NODES_REMOVED = _MET.counter("collapse.nodes_removed")
+#: Absolute shift of the function's global average caused by one
+#: ``approximate`` call — the collapse-induced error signal.  Computing
+#: it costs two extra stats traversals, so it is only recorded when
+#: detailed metrics are enabled.
+_COLLAPSE_LEAF_ERROR = _MET.histogram("collapse.leaf_error", ERROR_BUCKETS)
 
 _STRATEGIES = ("avg", "max", "min", "random")
 
@@ -167,6 +178,40 @@ def approximate(
 
     Returns the (possibly unchanged) root of the approximated diagram.
     """
+    tracer = get_tracer()
+    size_before = manager.size(root)
+    # The average shift is the collapse-induced error signal; it costs two
+    # extra stats traversals, so only detailed-metrics runs pay for it.
+    avg_before = function_stats(manager, root).avg if _MET.detailed else None
+    with tracer.span("dd.approximate", strategy=strategy) as span:
+        result = _approximate(
+            manager, root, max_size, strategy, seed, weighted, weight_fn
+        )
+        size_after = manager.size(result)
+        if tracer.enabled:
+            span.update(
+                max_size=max_size,
+                size_before=size_before,
+                size_after=size_after,
+            )
+    _COLLAPSE_CALLS.inc()
+    _COLLAPSE_NODES_REMOVED.inc(max(0, size_before - size_after))
+    if avg_before is not None:
+        _COLLAPSE_LEAF_ERROR.observe(
+            abs(function_stats(manager, result).avg - avg_before)
+        )
+    return result
+
+
+def _approximate(
+    manager: DDManager,
+    root: int,
+    max_size: int,
+    strategy: Strategy,
+    seed: int,
+    weighted: bool,
+    weight_fn: Optional[WeightFn],
+) -> int:
     if max_size < 1:
         raise DDError(f"max_size must be >= 1, got {max_size}")
     if strategy not in _STRATEGIES:

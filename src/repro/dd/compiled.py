@@ -29,12 +29,33 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import time
+
 import numpy as np
 
 from repro.errors import DDError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dd.manager import DDManager
+
+# Telemetry instruments: one counter bump per *batch* (never per row),
+# so the default-off overhead stays in the noise.
+_MET = get_metrics()
+_COMPILE_COUNT = _MET.counter("compiled.compile.count")
+_COMPILE_NODES = _MET.histogram(
+    "compiled.compile.nodes", (8, 32, 128, 512, 2_048, 8_192, 32_768, 131_072)
+)
+_EVAL_BATCHES = _MET.counter("compiled.eval.batches")
+_EVAL_ROWS = _MET.counter("compiled.eval.rows")
+_EVAL_LEVELIZED = _MET.counter("compiled.eval.levelized_batches")
+_EVAL_POINTER = _MET.counter("compiled.eval.pointer_batches")
+_EVAL_SECONDS = _MET.histogram(
+    "compiled.eval.seconds",
+    (1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 10.0),
+)
+_EVAL_ROWS_PER_SEC = _MET.gauge("compiled.eval.rows_per_sec")
 
 #: Abandon the levelized plan when its slot table would exceed this many
 #: entries (a pathological wide-cut diagram); the pointer kernel still
@@ -107,6 +128,16 @@ class CompiledDD:
     @classmethod
     def compile(cls, manager: "DDManager", root: int) -> "CompiledDD":
         """Flatten the diagram rooted at ``root`` into array form."""
+        with get_tracer().span("compiled.compile") as span:
+            compiled = cls._compile(manager, root)
+            span.set("nodes", compiled.num_nodes)
+            span.set("depth", compiled.depth)
+        _COMPILE_COUNT.inc()
+        _COMPILE_NODES.observe(compiled.num_nodes)
+        return compiled
+
+    @classmethod
+    def _compile(cls, manager: "DDManager", root: int) -> "CompiledDD":
         order = list(manager.iter_nodes(root))
         index = {node: k for k, node in enumerate(order)}
         count = len(order)
@@ -241,17 +272,32 @@ class CompiledDD:
             return np.empty(0, dtype=np.float64)
         if not self.support.size:
             return np.full(rows, self.values[self.root], dtype=np.float64)
-        if kernel == "pointer":
-            return self._evaluate_pointer(matrix)
-        if kernel == "levelized":
-            if self._lev_children is None:
-                raise DDError(
-                    "no levelized plan for this diagram (width over the slot limit)"
-                )
-            return self._evaluate_levelized(matrix)
-        if self._lev_children is not None:
-            return self._evaluate_levelized(matrix)
-        return self._evaluate_pointer(matrix)
+        if kernel == "levelized" and self._lev_children is None:
+            raise DDError(
+                "no levelized plan for this diagram (width over the slot limit)"
+            )
+        levelized = kernel != "pointer" and self._lev_children is not None
+        started = time.perf_counter()
+        if levelized:
+            result = self._evaluate_levelized(matrix)
+        else:
+            result = self._evaluate_pointer(matrix)
+        elapsed = time.perf_counter() - started
+        (_EVAL_LEVELIZED if levelized else _EVAL_POINTER).inc()
+        _EVAL_BATCHES.inc()
+        _EVAL_ROWS.inc(rows)
+        _EVAL_SECONDS.observe(elapsed)
+        if elapsed > 0.0:
+            _EVAL_ROWS_PER_SEC.set(rows / elapsed)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "compiled.eval",
+                rows=rows,
+                kernel="levelized" if levelized else "pointer",
+                seconds=elapsed,
+            )
+        return result
 
     def _evaluate_levelized(self, matrix: np.ndarray) -> np.ndarray:
         """Two vectorised passes per support level, no masking.

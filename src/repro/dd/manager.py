@@ -21,9 +21,20 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.errors import DDError, NotBooleanError, VariableOrderError
+from repro.obs.metrics import get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dd.compiled import CompiledDD
+
+# Telemetry instruments (repro.obs).  Handles are cache-stable (the global
+# registry is reset in place, never replaced) and only counted at the
+# *top-level* entry of each operation — the recursions below call the
+# private ``_apply``/``_ite`` directly, so the hot inner loops carry zero
+# instrumentation beyond the pre-existing cache counters.
+_MET = get_metrics()
+_APPLY_CALLS = _MET.counter("dd.apply.calls")
+_ITE_CALLS = _MET.counter("dd.ite.calls")
+_GC_CLEARS = _MET.counter("dd.gc.clears")
 
 #: Sentinel "variable index" stored for terminal nodes.  It compares greater
 #: than every real variable index so level comparisons need no special case.
@@ -49,7 +60,9 @@ class CacheStats:
     """Cumulative operation-cache counters of one :class:`DDManager`.
 
     ``evictions`` counts whole-cache clears triggered by the size cap
-    (explicit :meth:`DDManager.clear_caches` calls are not counted).
+    (explicit :meth:`DDManager.clear_caches` calls are not counted there;
+    they reset all counters instead, so hit rates always describe the
+    current cache generation).
     """
 
     hits: int
@@ -63,6 +76,14 @@ class CacheStats:
         """Fraction of lookups answered from the cache (0 when idle)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest (for logs and ``repro stats``)."""
+        return (
+            f"op-cache: {self.hits:,} hits / {self.misses:,} misses "
+            f"(hit rate {self.hit_rate:.2f}), {self.size:,}/{self.limit:,} "
+            f"entries, {self.evictions} evictions"
+        )
 
 #: Number of decimal digits used to canonicalise terminal values.  Rounding
 #: keeps float noise (e.g. ``0.1 + 0.2``) from creating spuriously distinct
@@ -297,9 +318,17 @@ class DDManager:
         return self.leaves(u) <= {0.0, 1.0}
 
     def clear_caches(self) -> None:
-        """Drop all memoised operation results (frees memory; semantics unchanged)."""
+        """Drop all memoised operation results (frees memory; semantics unchanged).
+
+        Also resets the :class:`CacheStats` counters: hit rates measured
+        after a clear describe the fresh cache, not a mix of generations.
+        """
         self._op_cache.clear()
         self._compiled_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        _GC_CLEARS.inc()
 
     def _cache_get(self, key: Tuple) -> int | None:
         result = self._op_cache.get(key)
@@ -327,6 +356,31 @@ class DDManager:
             evictions=self._cache_evictions,
         )
 
+    def memory_estimate_bytes(self) -> int:
+        """Rough resident size of this manager's stores, in bytes.
+
+        Sums ``sys.getsizeof`` of the node arrays and tables plus a
+        per-entry allowance for the key tuples the containers point at
+        (3-int tuples in the unique table, op-cache keys of 3-4 slots).
+        An estimate for telemetry gauges — not an exact accounting of
+        shared small-int interning.
+        """
+        import sys
+
+        containers = (
+            self._var,
+            self._lo,
+            self._hi,
+            self._unique,
+            self._op_cache,
+            self._terminal_ids,
+            self._terminal_values,
+        )
+        total = sum(sys.getsizeof(c) for c in containers)
+        total += len(self._unique) * 72  # (var, lo, hi) key tuples
+        total += len(self._op_cache) * 88  # (name, u, v[, w]) key tuples
+        return total
+
     # ------------------------------------------------------------------
     # Generic apply
     # ------------------------------------------------------------------
@@ -336,8 +390,13 @@ class DDManager:
         ``name`` keys the memoisation cache and must uniquely identify
         ``op``'s semantics.  The recursion is the classic Bryant apply:
         descend on the smaller top variable, combine terminal pairs with
-        ``op``.
+        ``op``.  This public entry also counts the call for telemetry;
+        the recursion itself runs through :meth:`_apply` uninstrumented.
         """
+        _APPLY_CALLS.inc()
+        return self._apply(name, op, u, v)
+
+    def _apply(self, name: str, op: Callable[[float, float], float], u: int, v: int) -> int:
         if self.is_terminal(u) and self.is_terminal(v):
             return self.terminal(op(self._terminal_values[u], self._terminal_values[v]))
         key = (name, u, v)
@@ -349,8 +408,8 @@ class DDManager:
         v0, v1 = self.cofactors(v, var)
         result = self.node(
             var,
-            self.apply(name, op, u0, v0),
-            self.apply(name, op, u1, v1),
+            self._apply(name, op, u0, v0),
+            self._apply(name, op, u1, v1),
         )
         self._cache_put(key, result)
         return result
@@ -418,8 +477,13 @@ class DDManager:
         """If-then-else: ``f ? g : h`` where ``f`` is a BDD.
 
         ``g`` and ``h`` may be general ADDs, so this also serves as the
-        ADD multiplexer.
+        ADD multiplexer.  The public entry counts the call for telemetry;
+        the recursion runs through :meth:`_ite` uninstrumented.
         """
+        _ITE_CALLS.inc()
+        return self._ite(f, g, h)
+
+    def _ite(self, f: int, g: int, h: int) -> int:
         if f == self.one:
             return g
         if f == self.zero:
@@ -434,7 +498,7 @@ class DDManager:
         f0, f1 = self.cofactors(f, var)
         g0, g1 = self.cofactors(g, var)
         h0, h1 = self.cofactors(h, var)
-        result = self.node(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        result = self.node(var, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
         self._cache_put(key, result)
         return result
 

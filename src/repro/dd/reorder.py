@@ -21,6 +21,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dd.manager import DDManager
 from repro.errors import DDError, VariableOrderError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+_MET = get_metrics()
+_TRANSFERS = _MET.counter("reorder.transfers")
+_PROBES = _MET.counter("reorder.probes")
 
 
 def transfer(
@@ -36,6 +42,7 @@ def transfer(
     ``order[k]`` lives at index ``k`` (names are carried over).  Returns
     ``(target_manager, new_root)``.
     """
+    _TRANSFERS.inc()
     support = source.support(root)
     missing = support - set(order)
     if missing:
@@ -89,6 +96,7 @@ def transfer(
 
 def size_under_order(source: DDManager, root: int, order: Sequence[int]) -> int:
     """Node count the function would have under ``order``."""
+    _PROBES.inc()
     target, new_root = transfer(source, root, order)
     return target.size(new_root)
 
@@ -107,16 +115,18 @@ def random_order_search(
     support = sorted(source.support(root))
     if not support:
         return [], source.size(root)
-    rng = random.Random(seed)
-    best_order = list(support)
-    best_size = size_under_order(source, root, best_order)
-    for _ in range(iterations):
-        candidate = list(support)
-        rng.shuffle(candidate)
-        size = size_under_order(source, root, candidate)
-        if size < best_size:
-            best_size = size
-            best_order = candidate
+    with get_tracer().span("reorder.random_search") as span:
+        rng = random.Random(seed)
+        best_order = list(support)
+        best_size = size_under_order(source, root, best_order)
+        for _ in range(iterations):
+            candidate = list(support)
+            rng.shuffle(candidate)
+            size = size_under_order(source, root, candidate)
+            if size < best_size:
+                best_size = size
+                best_order = candidate
+        span.update(iterations=iterations, best_size=best_size)
     return best_order, best_size
 
 
@@ -135,17 +145,19 @@ def sift_order_search(
     order = sorted(source.support(root))
     if len(order) < 2:
         return list(order), source.size(root)
-    best_size = size_under_order(source, root, order)
-    for _ in range(passes):
-        improved = False
-        for k in range(len(order) - 1):
-            candidate = list(order)
-            candidate[k], candidate[k + 1] = candidate[k + 1], candidate[k]
-            size = size_under_order(source, root, candidate)
-            if size < best_size:
-                order = candidate
-                best_size = size
-                improved = True
-        if not improved:
-            break
+    with get_tracer().span("reorder.sift_search") as span:
+        best_size = size_under_order(source, root, order)
+        for _ in range(passes):
+            improved = False
+            for k in range(len(order) - 1):
+                candidate = list(order)
+                candidate[k], candidate[k + 1] = candidate[k + 1], candidate[k]
+                size = size_under_order(source, root, candidate)
+                if size < best_size:
+                    order = candidate
+                    best_size = size
+                    improved = True
+            if not improved:
+                break
+        span.update(passes=passes, best_size=best_size)
     return list(order), best_size

@@ -53,6 +53,14 @@ class NodeStats(NamedTuple):
         """MSE of approximating the sub-function by its minimum (Eq. 8 dual)."""
         return self.var + (self.min - self.avg) ** 2
 
+    def summary(self) -> str:
+        """One-line human-readable digest (for logs and span attributes)."""
+        return (
+            f"avg={self.avg:.4g} var={self.var:.4g} "
+            f"min={self.min:.4g} max={self.max:.4g} "
+            f"(mse_max={self.mse_max:.4g})"
+        )
+
 
 def compute_stats(manager: DDManager, root: int) -> Dict[int, NodeStats]:
     """Compute :class:`NodeStats` for every node reachable from ``root``.

@@ -59,3 +59,7 @@ class OracleError(ReproError):
 
 class FuzzError(ReproError):
     """The fuzzing harness was configured inconsistently or hit a bad corpus file."""
+
+
+class ObsError(ReproError):
+    """The telemetry subsystem was misused (instrument type clash, bad merge)."""

@@ -20,8 +20,15 @@ from repro.errors import ModelError
 from repro.eval.metrics import average_relative_error, relative_error
 from repro.models.base import PowerModel
 from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.sim.power_sim import sequence_switching_capacitances
 from repro.sim.sequences import feasible_st_range, markov_sequence
+
+_MET = get_metrics()
+_SWEEPS = _MET.counter("eval.sweeps")
+_GRID_POINTS = _MET.counter("eval.grid_points")
+_MODEL_RUNS = _MET.counter("eval.model_runs")
 
 
 @dataclass(frozen=True)
@@ -78,17 +85,23 @@ def compute_truth_runs(netlist: Netlist, config: SweepConfig) -> List[TruthRun]:
     sweeping many models (or many model sizes, Fig. 7b) pays for the
     gate-level simulation only once.
     """
+    tracer = get_tracer()
     runs = []
-    for index, (sp, st) in enumerate(config.grid()):
-        sequence = markov_sequence(
-            netlist.num_inputs,
-            config.sequence_length,
-            sp=sp,
-            st=st,
-            seed=config.seed + 101 * index,
-        )
-        capacitances = sequence_switching_capacitances(netlist, sequence)
-        runs.append(TruthRun(sp, st, sequence, capacitances))
+    with tracer.span("eval.truth_runs", netlist=netlist.name) as span:
+        for index, (sp, st) in enumerate(config.grid()):
+            with tracer.span("eval.grid_point", sp=sp, st=st):
+                sequence = markov_sequence(
+                    netlist.num_inputs,
+                    config.sequence_length,
+                    sp=sp,
+                    st=st,
+                    seed=config.seed + 101 * index,
+                )
+                capacitances = sequence_switching_capacitances(netlist, sequence)
+            _GRID_POINTS.inc()
+            runs.append(TruthRun(sp, st, sequence, capacitances))
+        if tracer.enabled:
+            span.update(grid_points=len(runs))
     return runs
 
 
@@ -161,24 +174,29 @@ def evaluate_models_on_runs(
     """Evaluate models against precomputed golden runs."""
     if not models:
         raise ModelError("no models to evaluate")
+    tracer = get_tracer()
     rows = []
-    for run in runs:
-        averages = {}
-        maxima = {}
-        for name, model in models.items():
-            # One batch evaluation per model per run (sequence_summary)
-            # instead of separate average/maximum passes.
-            averages[name], maxima[name] = model.sequence_summary(run.sequence)
-        rows.append(
-            SweepRow(
-                sp=run.sp,
-                st=run.st,
-                true_average_fF=run.average_fF,
-                true_maximum_fF=run.maximum_fF,
-                model_average_fF=averages,
-                model_maximum_fF=maxima,
+    with tracer.span(
+        "eval.models", netlist=netlist_name, num_models=len(models)
+    ):
+        for run in runs:
+            averages = {}
+            maxima = {}
+            for name, model in models.items():
+                # One batch evaluation per model per run (sequence_summary)
+                # instead of separate average/maximum passes.
+                averages[name], maxima[name] = model.sequence_summary(run.sequence)
+                _MODEL_RUNS.inc()
+            rows.append(
+                SweepRow(
+                    sp=run.sp,
+                    st=run.st,
+                    true_average_fF=run.average_fF,
+                    true_maximum_fF=run.maximum_fF,
+                    model_average_fF=averages,
+                    model_maximum_fF=maxima,
+                )
             )
-        )
     return SweepResult(netlist_name, list(models), rows)
 
 
@@ -189,5 +207,7 @@ def run_sweep(
 ) -> SweepResult:
     """One-call version: compute golden runs, then evaluate all models."""
     config = config if config is not None else SweepConfig()
-    runs = compute_truth_runs(netlist, config)
-    return evaluate_models_on_runs(netlist.name, models, runs)
+    _SWEEPS.inc()
+    with get_tracer().span("eval.sweep", netlist=netlist.name):
+        runs = compute_truth_runs(netlist, config)
+        return evaluate_models_on_runs(netlist.name, models, runs)

@@ -15,6 +15,7 @@
 from repro.models.addmodel import (
     AddPowerModel,
     BuildReport,
+    BuildTelemetry,
     build_add_model,
     build_add_models_parallel,
     shrink_model,
@@ -57,6 +58,7 @@ __all__ = [
     "PowerModel",
     "AddPowerModel",
     "BuildReport",
+    "BuildTelemetry",
     "build_add_model",
     "build_add_models_parallel",
     "shrink_model",

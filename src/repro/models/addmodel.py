@@ -35,6 +35,21 @@ from repro.errors import ModelError
 from repro.models.base import PowerModel
 from repro.netlist.netlist import Netlist
 from repro.netlist.symbolic import build_node_functions
+from repro.obs.metrics import SIZE_BUCKETS, TIME_BUCKETS, get_metrics
+from repro.obs.report import BuildTelemetry
+from repro.obs.trace import get_tracer
+
+_MET = get_metrics()
+_BUILD_COUNT = _MET.counter("add.build.count")
+_BUILD_GATES = _MET.counter("add.build.gates")
+_BUILD_APPROX = _MET.counter("add.build.approximations")
+_BUILD_SECONDS = _MET.histogram("add.build.seconds", TIME_BUCKETS)
+_BUILD_NODES_FINAL = _MET.histogram("add.build.nodes_final", SIZE_BUCKETS)
+_BUILD_NODES_PEAK = _MET.gauge("add.build.nodes_peak")
+_CACHE_HITS = _MET.counter("dd.apply.cache_hits")
+_CACHE_MISSES = _MET.counter("dd.apply.cache_misses")
+_CACHE_EVICTIONS = _MET.counter("dd.apply.cache_evictions")
+_MANAGER_MEMORY = _MET.gauge("dd.manager.memory_bytes_peak")
 
 
 def markov_node_weights(
@@ -123,34 +138,10 @@ def mixture_weight_fn(
     return compute
 
 
-@dataclass(frozen=True)
-class BuildReport:
-    """Bookkeeping from one model construction run.
-
-    ``cpu_seconds`` corresponds to the CPU column of Table 1;
-    ``num_approximations`` counts ``add_approx`` invocations;
-    ``peak_nodes`` is the largest intermediate ADD encountered.
-    ``cache_hits`` / ``cache_misses`` are the manager's memoised-operation
-    counters over this build (see :meth:`repro.dd.manager.DDManager.cache_stats`),
-    making the op-cache effectiveness observable instead of asserted.
-    """
-
-    macro_name: str
-    strategy: str
-    max_nodes: Optional[int]
-    final_nodes: int
-    peak_nodes: int
-    num_approximations: int
-    cpu_seconds: float
-    num_gates: int
-    cache_hits: int = 0
-    cache_misses: int = 0
-
-    @property
-    def cache_hit_rate(self) -> float:
-        """Fraction of op-cache lookups answered from the cache."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+#: Compat alias: the per-build record moved to the telemetry subsystem as
+#: :class:`repro.obs.report.BuildTelemetry`.  Existing imports
+#: (``from repro.models import BuildReport``) keep working unchanged.
+BuildReport = BuildTelemetry
 
 
 class AddPowerModel(PowerModel):
@@ -454,6 +445,7 @@ def build_add_model(
     if netlist.num_inputs == 0:
         raise ModelError("cannot model a netlist with no inputs")
     started = time.perf_counter()
+    tracer = get_tracer()
 
     if input_order is None:
         order = fanin_dfs_input_order(
@@ -466,90 +458,121 @@ def build_add_model(
             )
         order = list(input_order)
 
-    space = TransitionSpace(order, scheme)
-    manager = space.manager
-    cache_before = manager.cache_stats()
-    position = {name: k for k, name in enumerate(order)}
-    xi_vars = {name: space.xi(position[name]) for name in netlist.inputs}
-    xf_vars = {name: space.xf(position[name]) for name in netlist.inputs}
+    with tracer.span(
+        "add.build", macro=netlist.name, strategy=strategy
+    ) as build_span:
+        space = TransitionSpace(order, scheme)
+        manager = space.manager
+        cache_before = manager.cache_stats()
+        position = {name: k for k, name in enumerate(order)}
+        xi_vars = {name: space.xi(position[name]) for name in netlist.inputs}
+        xf_vars = {name: space.xf(position[name]) for name in netlist.inputs}
 
-    # Two symbolic sweeps: node functions over the x_i copy and the x_f
-    # copy of the inputs (equivalent to the paper's g(x_i) / g(x_f)).
-    functions_i = build_node_functions(netlist, manager, xi_vars)
-    functions_f = build_node_functions(netlist, manager, xf_vars)
+        # Two symbolic sweeps: node functions over the x_i copy and the x_f
+        # copy of the inputs (equivalent to the paper's g(x_i) / g(x_f)).
+        with tracer.span("add.build.functions", copy="xi"):
+            functions_i = build_node_functions(netlist, manager, xi_vars)
+        with tracer.span("add.build.functions", copy="xf"):
+            functions_f = build_node_functions(netlist, manager, xf_vars)
 
-    loads = netlist.load_capacitances()
-    peak = 1
-    num_approx = 0
-    # Hysteresis: compress below the budget so the very next addition does
-    # not immediately trigger another approximation round.  The model still
-    # never exceeds max_nodes; it just is not re-approximated every sum.
-    compress_target = max(1, (3 * max_nodes) // 4) if max_nodes is not None else None
+        loads = netlist.load_capacitances()
+        peak = 1
+        num_approx = 0
+        # Hysteresis: compress below the budget so the very next addition does
+        # not immediately trigger another approximation round.  The model still
+        # never exceeds max_nodes; it just is not re-approximated every sum.
+        compress_target = max(1, (3 * max_nodes) // 4) if max_nodes is not None else None
 
-    # Collapse selection minimises error over a mixture of operating
-    # statistics (uniform + low activity) rather than the uniform point
-    # alone; see mixture_weight_fn.  Blocked-order models fall back to
-    # uniform weights.
-    weight_fn = mixture_weight_fn(space) if scheme == "interleaved" else None
+        # Collapse selection minimises error over a mixture of operating
+        # statistics (uniform + low activity) rather than the uniform point
+        # alone; see mixture_weight_fn.  Blocked-order models fall back to
+        # uniform weights.
+        weight_fn = mixture_weight_fn(space) if scheme == "interleaved" else None
 
-    def bounded(node: int, limit: Optional[int]) -> int:
-        nonlocal peak, num_approx
-        if max_nodes is None:
+        def bounded(node: int, limit: Optional[int]) -> int:
+            nonlocal peak, num_approx
+            if max_nodes is None:
+                return node
+            size = manager.size(node)
+            peak = max(peak, size)
+            if size > max_nodes:
+                node = approximate(manager, node, limit, strategy, weight_fn=weight_fn)
+                num_approx += 1
             return node
-        size = manager.size(node)
-        peak = max(peak, size)
-        if size > max_nodes:
-            node = approximate(manager, node, limit, strategy, weight_fn=weight_fn)
-            num_approx += 1
-        return node
 
-    # Per-gate contributions g_j'(x_i) * g_j(x_f) * C_j (paper Fig. 6).
-    deltas = []
-    for gate in netlist.topological_order():
-        load = loads[gate.name]
-        if load == 0.0:
-            continue  # gate with no fanout cannot draw structural power
-        g_i = functions_i[gate.output]
-        g_f = functions_f[gate.output]
-        rising = manager.bdd_and(manager.bdd_not(g_i), g_f)
-        deltas.append(bounded(manager.add_const_times(rising, load), max_nodes))
+        # Per-gate contributions g_j'(x_i) * g_j(x_f) * C_j (paper Fig. 6).
+        deltas = []
+        with tracer.span("add.build.deltas"):
+            for gate in netlist.topological_order():
+                load = loads[gate.name]
+                if load == 0.0:
+                    continue  # gate with no fanout cannot draw structural power
+                g_i = functions_i[gate.output]
+                g_f = functions_f[gate.output]
+                rising = manager.bdd_and(manager.bdd_not(g_i), g_f)
+                deltas.append(
+                    bounded(manager.add_const_times(rising, load), max_nodes)
+                )
 
-    if accumulation == "linear":
-        # Verbatim Fig.-6 loop: one running sum, compressed on overflow.
-        total = manager.zero
-        for delta in deltas:
-            total = bounded(manager.add_plus(total, delta), compress_target)
-    else:
-        # Balanced-tree accumulation: algebraically identical (addition is
-        # associative, and the collapse strategies commute with addition:
-        # avg(a)+avg(b) = avg(a+b), max(a)+max(b) >= max(a+b)), but only
-        # O(log N) of the partial sums are budget-sized instead of O(N),
-        # which is what makes 1000-gate circuits tractable in pure Python.
-        layer: List[int] = deltas if deltas else [manager.zero]
-        while len(layer) > 1:
-            next_layer: List[int] = []
-            for k in range(0, len(layer) - 1, 2):
-                merged = manager.add_plus(layer[k], layer[k + 1])
-                next_layer.append(bounded(merged, compress_target))
-            if len(layer) % 2:
-                next_layer.append(layer[-1])
-            layer = next_layer
-        total = layer[0]
-    final_size = manager.size(total)
-    peak = max(peak, final_size)
-    cache_after = manager.cache_stats()
-    report = BuildReport(
+        with tracer.span("add.build.accumulate", mode=accumulation):
+            if accumulation == "linear":
+                # Verbatim Fig.-6 loop: one running sum, compressed on overflow.
+                total = manager.zero
+                for delta in deltas:
+                    total = bounded(manager.add_plus(total, delta), compress_target)
+            else:
+                # Balanced-tree accumulation: algebraically identical (addition is
+                # associative, and the collapse strategies commute with addition:
+                # avg(a)+avg(b) = avg(a+b), max(a)+max(b) >= max(a+b)), but only
+                # O(log N) of the partial sums are budget-sized instead of O(N),
+                # which is what makes 1000-gate circuits tractable in pure Python.
+                layer: List[int] = deltas if deltas else [manager.zero]
+                while len(layer) > 1:
+                    next_layer: List[int] = []
+                    for k in range(0, len(layer) - 1, 2):
+                        merged = manager.add_plus(layer[k], layer[k + 1])
+                        next_layer.append(bounded(merged, compress_target))
+                    if len(layer) % 2:
+                        next_layer.append(layer[-1])
+                    layer = next_layer
+                total = layer[0]
+        final_size = manager.size(total)
+        peak = max(peak, final_size)
+        cache_after = manager.cache_stats()
+        if tracer.enabled:
+            build_span.update(
+                num_gates=netlist.num_gates,
+                final_nodes=final_size,
+                peak_nodes=peak,
+                approximations=num_approx,
+                cache=cache_after.summary(),
+            )
+    elapsed = time.perf_counter() - started
+    report = BuildTelemetry(
         macro_name=netlist.name,
         strategy=strategy,
         max_nodes=max_nodes,
         final_nodes=final_size,
         peak_nodes=peak,
         num_approximations=num_approx,
-        cpu_seconds=time.perf_counter() - started,
+        cpu_seconds=elapsed,
         num_gates=netlist.num_gates,
         cache_hits=cache_after.hits - cache_before.hits,
         cache_misses=cache_after.misses - cache_before.misses,
     )
+    _BUILD_COUNT.inc()
+    _BUILD_GATES.inc(netlist.num_gates)
+    _BUILD_APPROX.inc(num_approx)
+    _BUILD_SECONDS.observe(elapsed)
+    _BUILD_NODES_FINAL.observe(final_size)
+    _BUILD_NODES_PEAK.update_max(peak)
+    _CACHE_HITS.inc(report.cache_hits)
+    _CACHE_MISSES.inc(report.cache_misses)
+    _CACHE_EVICTIONS.inc(
+        max(0, cache_after.evictions - cache_before.evictions)
+    )
+    if _MET.detailed:
+        _MANAGER_MEMORY.update_max(manager.memory_estimate_bytes())
     model = AddPowerModel(
         netlist.name, space, total, strategy, report, input_names=netlist.inputs
     )
@@ -599,12 +622,19 @@ def _parallel_build_worker(payload: Tuple[Netlist, dict]) -> dict:
     ``DDManager`` node ids are process-local, so the model cannot cross
     the process boundary directly; the serialisation round trip through
     :mod:`repro.models.serialize` rebuilds an identical canonical diagram
-    in the parent's manager.
+    in the parent's manager.  The worker's metric increments are likewise
+    process-local, so the per-build delta of the worker registry rides
+    along and is merged into the parent registry by the caller.
     """
     from repro.models.serialize import model_to_dict
 
     netlist, kwargs = payload
-    return model_to_dict(build_add_model(netlist, **kwargs))
+    before = _MET.snapshot()
+    model_dict = model_to_dict(build_add_model(netlist, **kwargs))
+    return {
+        "model": model_dict,
+        "metrics": _MET.diff(before, _MET.snapshot()),
+    }
 
 
 def _restore_weight_fn(model: AddPowerModel) -> AddPowerModel:
@@ -671,4 +701,10 @@ def build_add_models_parallel(
         return [build_add_model(n, **kw) for n, kw in normalized]
     from repro.models.serialize import model_from_dict
 
-    return [_restore_weight_fn(model_from_dict(p)) for p in payloads]
+    models = []
+    for payload in payloads:
+        # Fold the worker's per-build metric deltas into this process's
+        # registry, so parallel builds account like sequential ones.
+        _MET.merge(payload["metrics"])
+        models.append(_restore_weight_fn(model_from_dict(payload["model"])))
+    return models

@@ -16,6 +16,12 @@ from repro.dd.manager import DDManager
 from repro.errors import NetlistError
 from repro.netlist.gates import eval_symbolic
 from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+_MET = get_metrics()
+_SWEEPS = _MET.counter("symbolic.sweeps")
+_GATE_OPS = _MET.counter("symbolic.gate_ops")
 
 
 def build_node_functions(
@@ -39,12 +45,29 @@ def build_node_functions(
     missing = [name for name in netlist.inputs if name not in input_vars]
     if missing:
         raise NetlistError(f"no DD variable given for inputs {missing[:5]}")
-    functions: Dict[str, int] = {
-        name: manager.var(input_vars[name]) for name in netlist.inputs
-    }
-    for gate in netlist.topological_order():
-        operands = [functions[net] for net in gate.inputs]
-        functions[gate.output] = eval_symbolic(gate.cell.op, manager, operands)
+    tracer = get_tracer()
+    with tracer.span("symbolic.build", netlist=netlist.name) as span:
+        functions: Dict[str, int] = {
+            name: manager.var(input_vars[name]) for name in netlist.inputs
+        }
+        for gate in netlist.topological_order():
+            operands = [functions[net] for net in gate.inputs]
+            functions[gate.output] = eval_symbolic(gate.cell.op, manager, operands)
+        if tracer.enabled:
+            span.update(
+                num_gates=netlist.num_gates, num_inputs=netlist.num_inputs
+            )
+            # Per-output visibility: the sweep interleaves all output
+            # cones, so instead of per-output timing (meaningless here)
+            # each output gets an instant event carrying its BDD size.
+            for net in netlist.outputs:
+                tracer.event(
+                    "symbolic.output",
+                    output=net,
+                    nodes=manager.size(functions[net]),
+                )
+    _SWEEPS.inc()
+    _GATE_OPS.inc(netlist.num_gates)
     return functions
 
 

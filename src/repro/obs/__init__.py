@@ -1,0 +1,75 @@
+"""Unified telemetry subsystem: span tracing, metrics, profiling reports.
+
+Dependency-free (standard library only) observability layer for the
+symbolic power pipeline:
+
+- :mod:`repro.obs.trace` — nestable, thread-safe timed spans with
+  attributes; exports structured JSON and Chrome trace-event files.
+  Off by default: the global tracer is a shared no-op until
+  :func:`enable_tracing` swaps in a collecting one.
+- :mod:`repro.obs.metrics` — process-global registry of named counters,
+  gauges and fixed-bucket histograms with snapshot / diff / merge, so
+  parallel build workers can ship their numbers back to the parent.
+- :mod:`repro.obs.report` — :class:`BuildTelemetry` (the per-build
+  record, ex-``BuildReport``) and the human-readable report renderer
+  behind ``repro stats``.
+
+Instrument naming convention: ``<layer>.<operation>.<what>`` — e.g.
+``dd.apply.cache_hits``, ``add.build.nodes_peak``, ``compiled.eval.rows``,
+``sim.patterns_per_sec``.  See DESIGN.md §9.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    ERROR_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+    enable_detailed_metrics,
+    get_metrics,
+)
+from repro.obs.report import (
+    BuildTelemetry,
+    format_metrics,
+    format_report,
+    format_spans,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_metrics",
+    "enable_detailed_metrics",
+    "TIME_BUCKETS",
+    "SIZE_BUCKETS",
+    "ERROR_BUCKETS",
+    # reporting
+    "BuildTelemetry",
+    "format_metrics",
+    "format_spans",
+    "format_report",
+]

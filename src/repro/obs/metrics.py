@@ -1,0 +1,321 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+The registry is the quantitative half of the telemetry subsystem
+(:mod:`repro.obs`): instrumented code increments *named instruments*
+(``dd.apply.cache_hits``, ``add.build.nodes_peak``, ...) and observers
+take :meth:`MetricsRegistry.snapshot` views that are plain
+JSON-serialisable dictionaries.  Snapshots support :meth:`diff` (what
+happened between two points) and :meth:`merge` (combine measurements
+from parallel workers shipped back through the model-serialisation
+round trip).
+
+Design constraints, in order:
+
+1. **Negligible overhead.**  An instrument handle is a tiny object with
+   ``__slots__``; ``Counter.inc`` is one attribute add.  Handles are
+   stable for the lifetime of the registry — :meth:`MetricsRegistry.reset`
+   zeroes values *in place* — so hot modules cache them at import time
+   and never pay a name lookup per event.
+2. **No dependencies.**  Standard library only.
+3. **Mergeable.**  Counters and histogram buckets add, gauges keep their
+   maximum (every gauge in this codebase is a peak/level reading), so
+   combining per-process snapshots is associative and loss-free.
+
+Expensive *derived* metrics (collapse error, memory gauges — anything
+that needs an extra diagram traversal) are guarded by the registry's
+``detailed`` flag, off by default and switched on by the CLI's
+``--metrics`` flag / ``repro stats``.
+
+Instrument naming convention: dot-separated ``<layer>.<operation>.<what>``,
+e.g. ``dd.apply.calls``, ``compiled.eval.rows``, ``sim.patterns_per_sec``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObsError
+
+#: Default histogram bucket upper bounds for durations in seconds
+#: (sub-millisecond builds up to minute-long reorder searches).
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
+)
+
+#: Default buckets for node counts (model sizes, peak intermediates).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    8, 32, 128, 512, 2_048, 8_192, 32_768, 131_072
+)
+
+#: Default buckets for relative/absolute error magnitudes.
+ERROR_BUCKETS: Tuple[float, ...] = (
+    1e-9, 1e-6, 1e-3, 0.01, 0.1, 1.0, 10.0, 100.0
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, rows, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Point-in-time level (peak node count, rows/second of the last batch)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest reading."""
+        self.value = float(value)
+
+    def update_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if larger (peak tracking)."""
+        if value > self.value:
+            self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` is a sorted tuple of inclusive upper bounds; an
+    observation lands in the first bucket whose bound is ``>=`` the
+    value, or in the overflow slot past the last bound.  ``counts`` has
+    ``len(buckets) + 1`` entries (the last one is the overflow).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = TIME_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise ObsError(
+                f"histogram {name!r} needs strictly increasing buckets"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Thread-safe store of named instruments with snapshot/diff/merge.
+
+    Instrument creation is locked; updates go straight to the instrument
+    (single bytecode-level mutations under the GIL — worst case a lost
+    telemetry increment under free threading, never corruption).
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+        #: Enables derived metrics that cost extra work to compute
+        #: (collapse error traversals, memory gauges).  Off by default.
+        self.detailed = False
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (create-or-get; handles are cache-stable)
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls, *args) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name, *args)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
+            raise ObsError(
+                f"instrument {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram named ``name``; ``buckets`` only applies on creation."""
+        if buckets is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, buckets)
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered instruments."""
+        return sorted(self._instruments)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serialisable view of every instrument's current state."""
+        with self._lock:
+            return {
+                name: instrument.to_dict()
+                for name, instrument in sorted(self._instruments.items())
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* (cached handles stay valid)."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                if isinstance(instrument, Counter):
+                    instrument.value = 0
+                elif isinstance(instrument, Gauge):
+                    instrument.value = 0.0
+                else:
+                    instrument.counts = [0] * len(instrument.counts)
+                    instrument.sum = 0.0
+                    instrument.count = 0
+                    instrument.min = float("inf")
+                    instrument.max = float("-inf")
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Counters and histogram buckets add; gauges keep the maximum of
+        both sides (all gauges here are peak/level readings, so max is
+        the loss-free associative combination).  Histograms must agree
+        on bucket bounds.
+        """
+        for name, state in snapshot.items():
+            kind = state.get("type")
+            if kind == "counter":
+                self.counter(name).inc(state["value"])
+            elif kind == "gauge":
+                self.gauge(name).update_max(state["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name, state["buckets"])
+                if list(histogram.buckets) != [
+                    float(b) for b in state["buckets"]
+                ]:
+                    raise ObsError(
+                        f"histogram {name!r} bucket mismatch in merge"
+                    )
+                for index, count in enumerate(state["counts"]):
+                    histogram.counts[index] += count
+                histogram.sum += state["sum"]
+                histogram.count += state["count"]
+                if state["count"]:
+                    histogram.min = min(histogram.min, state["min"])
+                    histogram.max = max(histogram.max, state["max"])
+            else:
+                raise ObsError(f"unknown instrument type {kind!r} for {name!r}")
+
+    @staticmethod
+    def diff(before: Dict[str, dict], after: Dict[str, dict]) -> Dict[str, dict]:
+        """Snapshot-shaped delta of what happened between two snapshots.
+
+        Counters and histogram counts subtract; gauges keep the *after*
+        reading (a level has no meaningful delta).  Instruments absent
+        from ``before`` pass through unchanged.
+        """
+        delta: Dict[str, dict] = {}
+        for name, state in after.items():
+            previous = before.get(name)
+            if previous is None or previous.get("type") != state.get("type"):
+                delta[name] = dict(state)
+                continue
+            kind = state["type"]
+            if kind == "counter":
+                delta[name] = {
+                    "type": "counter",
+                    "value": state["value"] - previous["value"],
+                }
+            elif kind == "gauge":
+                delta[name] = dict(state)
+            else:
+                count = state["count"] - previous["count"]
+                delta[name] = {
+                    "type": "histogram",
+                    "buckets": list(state["buckets"]),
+                    "counts": [
+                        a - b
+                        for a, b in zip(state["counts"], previous["counts"])
+                    ],
+                    "sum": state["sum"] - previous["sum"],
+                    "count": count,
+                    # min/max are not invertible; report the after view.
+                    "min": state["min"] if count else None,
+                    "max": state["max"] if count else None,
+                }
+        return delta
+
+
+#: Process-global registry.  Never replaced (hot modules cache instrument
+#: handles from it at import time); :meth:`MetricsRegistry.reset` clears it.
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def enable_detailed_metrics(enabled: bool = True) -> MetricsRegistry:
+    """Toggle expensive derived metrics on the global registry."""
+    _REGISTRY.detailed = enabled
+    return _REGISTRY

@@ -1,0 +1,116 @@
+"""Build bookkeeping and human-readable instrumentation reports.
+
+:class:`BuildTelemetry` is the per-construction record previously known
+as ``repro.models.addmodel.BuildReport`` (that name remains as a compat
+alias); it moved here so the build pipeline, the serialiser and the CLI
+all share one telemetry type without import cycles.
+
+:func:`format_report` renders a metrics snapshot (plus an optional span
+rollup) as the text report printed by ``repro stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class BuildTelemetry:
+    """Bookkeeping from one ADD model construction run.
+
+    ``cpu_seconds`` corresponds to the CPU column of the paper's Table 1;
+    ``num_approximations`` counts ``add_approx`` invocations;
+    ``peak_nodes`` is the largest intermediate ADD encountered.
+    ``cache_hits`` / ``cache_misses`` are the manager's memoised-operation
+    counters over this build (see
+    :meth:`repro.dd.manager.DDManager.cache_stats`), making the op-cache
+    effectiveness observable instead of asserted.
+    """
+
+    macro_name: str
+    strategy: str
+    max_nodes: Optional[int]
+    final_nodes: int
+    peak_nodes: int
+    num_approximations: int
+    cpu_seconds: float
+    num_gates: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of op-cache lookups answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest of the build."""
+        budget = "exact" if self.max_nodes is None else f"MAX={self.max_nodes}"
+        return (
+            f"{self.macro_name}: {self.num_gates} gates -> "
+            f"{self.final_nodes} nodes ({budget}, strategy {self.strategy}, "
+            f"peak {self.peak_nodes}, {self.num_approximations} collapses) "
+            f"in {self.cpu_seconds:.3f}s; op-cache hit rate "
+            f"{self.cache_hit_rate:.2f}"
+        )
+
+
+def _format_value(state: dict) -> str:
+    kind = state["type"]
+    if kind == "counter":
+        value = state["value"]
+        return f"{value:,}" if isinstance(value, int) else f"{value:,.1f}"
+    if kind == "gauge":
+        value = state["value"]
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    count = state["count"]
+    if not count:
+        return "0 observations"
+    return (
+        f"n={count} mean={state['sum'] / count:.4g} "
+        f"min={state['min']:.4g} max={state['max']:.4g}"
+    )
+
+
+def format_metrics(snapshot: Dict[str, dict]) -> str:
+    """Render a metrics snapshot grouped by instrument-name prefix."""
+    lines = []
+    previous_group = None
+    for name in sorted(snapshot):
+        group = name.split(".", 1)[0]
+        if group != previous_group:
+            if previous_group is not None:
+                lines.append("")
+            lines.append(f"[{group}]")
+            previous_group = group
+        lines.append(f"  {name:<32s} {_format_value(snapshot[name])}")
+    return "\n".join(lines) if lines else "(no instruments recorded)"
+
+
+def format_spans(rollup: Dict[str, dict]) -> str:
+    """Render a span-name rollup (``Tracer.aggregate``) as a profile table."""
+    if not rollup:
+        return "(no spans recorded; run with --trace to collect them)"
+    lines = [f"{'span':<34s}{'calls':>7s}{'total':>10s}{'max':>10s}"]
+    for name, entry in sorted(
+        rollup.items(), key=lambda kv: -kv[1]["total_s"]
+    ):
+        lines.append(
+            f"{name:<34s}{entry['count']:>7d}"
+            f"{entry['total_s'] * 1e3:>8.1f}ms{entry['max_s'] * 1e3:>8.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def format_report(
+    snapshot: Dict[str, dict],
+    span_rollup: Optional[Dict[str, dict]] = None,
+    title: str = "instrumentation report",
+) -> str:
+    """The full ``repro stats`` text report: metrics, then the span profile."""
+    parts = [f"=== {title} ===", "", format_metrics(snapshot)]
+    if span_rollup is not None:
+        parts += ["", "--- span profile ---", format_spans(span_rollup)]
+    return "\n".join(parts)

@@ -1,0 +1,325 @@
+"""Span tracing: nestable timed spans with attributes and trace export.
+
+The qualitative half of the telemetry subsystem: where does a symbolic
+build, a reorder search or an evaluation sweep actually spend its time?
+Instrumented code opens *spans* —
+
+    with get_tracer().span("add.build", macro=netlist.name) as span:
+        ...
+        span.set("peak_nodes", peak)
+
+— and the resulting tree is exported either as structured JSON
+(:meth:`Tracer.to_dict`) or in the Chrome trace-event format
+(:meth:`Tracer.to_chrome`), loadable in ``chrome://tracing`` / Perfetto.
+
+Tracing is **off by default**: the global tracer is a :class:`NullTracer`
+whose :meth:`~NullTracer.span` returns one shared, reusable no-op context
+manager — no allocation, no clock reads, no lock.  Hot call sites that
+want to attach attributes that are expensive to compute should guard on
+``tracer.enabled``::
+
+    tracer = get_tracer()
+    with tracer.span("dd.approximate") as span:
+        ...
+        if tracer.enabled:
+            span.set("size_after", manager.size(root))
+
+Thread-safety: span nesting is tracked per thread (``threading.local``
+stacks); finished spans are appended to a single list under a lock.
+Clocks are monotonic (``time.perf_counter``), immune to wall-clock
+adjustment.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One finished-or-open span: name, monotonic start/end, attributes."""
+
+    __slots__ = ("name", "start", "end", "attrs", "thread_id", "depth", "error")
+
+    def __init__(self, name: str, start: float, thread_id: int, depth: int):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+        self.thread_id = thread_id
+        self.depth = depth
+        self.error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0 while the span is still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute (node counts, cache stats, sizes...)."""
+        self.attrs[key] = value
+
+    def update(self, **attrs: Any) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, depth={self.depth})"
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and records it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        span = self._tracer._open(self._name)
+        if self._attrs:
+            span.attrs.update(self._attrs)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        span = self._span
+        assert span is not None
+        if exc is not None:
+            # Record the failure on the span but never swallow it.
+            span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._close(span)
+        return False
+
+
+class Tracer:
+    """Collecting tracer: every span ends up in an in-memory record list."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: List[Span] = []
+        #: Monotonic origin; span timestamps are exported relative to it.
+        self.origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, name: str) -> Span:
+        stack = self._stack()
+        span = Span(
+            name, time.perf_counter(), threading.get_ident(), len(stack)
+        )
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        # Exception-safe unwind: pop through any abandoned children.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Context manager for one nested, timed span."""
+        return _SpanContext(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous (zero-duration) event."""
+        now = time.perf_counter()
+        span = Span(name, now, threading.get_ident(), len(self._stack()))
+        span.end = now
+        span.attrs = attrs
+        with self._lock:
+            self._spans.append(span)
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        """Decorator form: wrap a callable in a span named after it."""
+
+        def decorate(func: Callable) -> Callable:
+            span_name = name or func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Finished spans in completion order (children before parents)."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop all recorded spans and restart the export timebase."""
+        with self._lock:
+            self._spans.clear()
+            self.origin = time.perf_counter()
+
+    def aggregate(self) -> Dict[str, dict]:
+        """Per-name rollup: call count, total/max seconds.
+
+        The summary view used by ``repro stats`` — a profile by span name
+        rather than a timeline.
+        """
+        rollup: Dict[str, dict] = {}
+        for span in self.spans():
+            entry = rollup.setdefault(
+                span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += span.duration
+            entry["max_s"] = max(entry["max_s"], span.duration)
+        return rollup
+
+    def to_dict(self) -> dict:
+        """Structured-JSON export (stable schema, versioned)."""
+        return {
+            "format": "repro-trace",
+            "version": 1,
+            "spans": [
+                {
+                    "name": span.name,
+                    "start_s": span.start - self.origin,
+                    "duration_s": span.duration,
+                    "depth": span.depth,
+                    "thread": span.thread_id,
+                    "attrs": span.attrs,
+                    **({"error": span.error} if span.error else {}),
+                }
+                for span in self.spans()
+            ],
+        }
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+        Every span becomes one complete event (``ph: "X"``) with
+        microsecond timestamps; attributes ride along in ``args``.
+        """
+        events = []
+        pid = os.getpid()
+        for span in self.spans():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": (span.start - self.origin) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": {
+                        **span.attrs,
+                        **({"error": span.error} if span.error else {}),
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        """Write the Chrome trace-event JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1, default=str)
+            handle.write("\n")
+
+    def write_json(self, path: str) -> None:
+        """Write the structured-JSON trace file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, default=str)
+            handle.write("\n")
+
+
+class _NullSpan:
+    """Shared do-nothing span/context manager (the default-off fast path)."""
+
+    __slots__ = ()
+    attrs: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def update(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Default tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        def decorate(func: Callable) -> Callable:
+            return func
+
+        return decorate
+
+
+NULL_TRACER = NullTracer()
+
+_TRACER: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-global tracer (a no-op unless tracing was enabled)."""
+    return _TRACER
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Install ``tracer`` globally; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install (and return) a fresh collecting tracer as the global one."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Restore the no-op tracer."""
+    set_tracer(NULL_TRACER)

@@ -14,6 +14,7 @@ Units: capacitances in fF, voltages in V, energies in fJ
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -21,11 +22,29 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.sim.logic_sim import simulate
+
+_MET = get_metrics()
+_SIM_PATTERNS = _MET.counter("sim.patterns")
+_SIM_TRANSITIONS = _MET.counter("sim.transitions")
+_SIM_BATCHES = _MET.counter("sim.batches")
+_SIM_RATE = _MET.gauge("sim.patterns_per_sec")
 
 #: Default supply voltage (V); a typical 1998-era value.  Only scales the
 #: energy axis — all the paper's metrics are relative errors.
 DEFAULT_VDD = 3.3
+
+
+def _record_sim(patterns: int, transitions: int, started: float) -> None:
+    """Account one golden-model batch to the ``sim.*`` instruments."""
+    _SIM_BATCHES.inc()
+    _SIM_PATTERNS.inc(patterns)
+    _SIM_TRANSITIONS.inc(transitions)
+    elapsed = time.perf_counter() - started
+    if elapsed > 0.0:
+        _SIM_RATE.set(patterns / elapsed)
 
 
 def gate_load_vector(netlist: Netlist) -> np.ndarray:
@@ -60,10 +79,16 @@ def pair_switching_capacitances(
         raise SimulationError(
             f"pattern shapes differ: {initial.shape} vs {final.shape}"
         )
-    before = simulate(netlist, initial).gate_output_matrix()
-    after = simulate(netlist, final).gate_output_matrix()
-    rising = ~before & after
-    return rising @ gate_load_vector(netlist)
+    started = time.perf_counter()
+    with get_tracer().span(
+        "sim.pairs", netlist=netlist.name, pairs=initial.shape[0]
+    ):
+        before = simulate(netlist, initial).gate_output_matrix()
+        after = simulate(netlist, final).gate_output_matrix()
+        rising = ~before & after
+        result = rising @ gate_load_vector(netlist)
+    _record_sim(2 * initial.shape[0], initial.shape[0], started)
+    return result
 
 
 def sequence_switching_capacitances(
@@ -77,9 +102,15 @@ def sequence_switching_capacitances(
     sequence = np.asarray(sequence, dtype=bool)
     if sequence.ndim != 2 or sequence.shape[0] < 2:
         raise SimulationError("sequence must hold at least two vectors")
-    waves = simulate(netlist, sequence).gate_output_matrix()
-    rising = ~waves[:-1] & waves[1:]
-    return rising @ gate_load_vector(netlist)
+    started = time.perf_counter()
+    with get_tracer().span(
+        "sim.sequence", netlist=netlist.name, vectors=sequence.shape[0]
+    ):
+        waves = simulate(netlist, sequence).gate_output_matrix()
+        rising = ~waves[:-1] & waves[1:]
+        result = rising @ gate_load_vector(netlist)
+    _record_sim(sequence.shape[0], sequence.shape[0] - 1, started)
+    return result
 
 
 def energy_fJ(capacitance_fF: float | np.ndarray, vdd: float = DEFAULT_VDD) -> float | np.ndarray:

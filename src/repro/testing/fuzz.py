@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import FuzzError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.testing.checks import (
     FuzzCase,
     Mismatch,
@@ -40,6 +42,14 @@ from repro.testing.generate import (
     random_params,
 )
 from repro.testing.shrink import shrink_case
+
+_MET = get_metrics()
+_FUZZ_ITERATIONS = _MET.counter("fuzz.iterations")
+_FUZZ_FAILURES = _MET.counter("fuzz.failures")
+_FUZZ_FEATURES = _MET.gauge("fuzz.feature_buckets")
+_FUZZ_APPROX = _MET.counter("fuzz.approximated_cases")
+_FUZZ_LEVELIZED = _MET.counter("fuzz.levelized_cases")
+_FUZZ_SHRINKS = _MET.counter("fuzz.shrinks")
 
 #: Re-mutate a covered parameter point with this probability; otherwise
 #: draw an entirely fresh one.
@@ -160,7 +170,34 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     #: Parameter points that produced novel features, for exploitation.
     frontier: List[GenParams] = []
     started = time.monotonic()
+    with get_tracer().span(
+        "fuzz.run", seed=config.seed, iterations=config.iterations
+    ) as span:
+        _run_fuzz_loop(
+            config, selected, report, master, coverage, frontier, started
+        )
+        span.update(
+            iterations_run=report.iterations_run,
+            failures=len(report.failures),
+            feature_buckets=len(coverage),
+        )
 
+    report.features_seen = len(coverage)
+    _FUZZ_FEATURES.update_max(len(coverage))
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _run_fuzz_loop(
+    config: FuzzConfig,
+    selected: Tuple[str, ...],
+    report: FuzzReport,
+    master: random.Random,
+    coverage: Set[Tuple],
+    frontier: List[GenParams],
+    started: float,
+) -> None:
+    """The iteration loop of :func:`run_fuzz` (split out for the span)."""
     for iteration in range(config.iterations):
         if (
             config.time_budget_seconds is not None
@@ -187,6 +224,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         case = make_case(params, case_seed, checks=config.checks)
         mismatches, ctx = run_case(case, selected)
         report.iterations_run = iteration + 1
+        _FUZZ_ITERATIONS.inc()
 
         features = _observed_features(case_features(case.netlist), ctx.observed)
         if features not in coverage:
@@ -196,8 +234,10 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                 frontier.pop(0)
         if ctx.observed.get("approximated"):
             report.approximated_cases += 1
+            _FUZZ_APPROX.inc()
         if ctx.observed.get("levelized"):
             report.levelized_cases += 1
+            _FUZZ_LEVELIZED.inc()
 
         for mismatch in mismatches:
             shrunk = case
@@ -208,6 +248,8 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                     mismatch,
                     budget=config.shrink_budget,
                 )
+                _FUZZ_SHRINKS.inc()
+            _FUZZ_FAILURES.inc()
             report.failures.append(
                 FuzzFailure(
                     iteration=iteration,
@@ -219,10 +261,6 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             )
         if config.max_failures and len(report.failures) >= config.max_failures:
             break
-
-    report.features_seen = len(coverage)
-    report.elapsed_seconds = time.monotonic() - started
-    return report
 
 
 def replay_corpus(

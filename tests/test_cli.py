@@ -108,3 +108,65 @@ class TestNewSubcommands:
         path.write_text(C17)
         assert main(["info", str(path)]) == 0
         assert "inputs:      5" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_stats_prints_report(self, capsys):
+        assert main(["stats", "decod", "--pairs", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "=== telemetry: decod ===" in out
+        for prefix in ("add.build.count", "dd.apply.cache_hits",
+                       "compiled.eval.rows", "sim.patterns"):
+            assert prefix in out
+        assert "span profile" in out
+        assert "max |ADD - gate-level| = 0" in out
+
+    def test_stats_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "stats",
+                "decod",
+                "--pairs",
+                "64",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert {e["name"] for e in events} >= {"add.build", "sim.pairs"}
+        payload = json.loads(metrics.read_text())
+        assert payload["format"] == "repro-metrics"
+        names = payload["metrics"]
+        for prefix in ("dd.apply.", "add.build.", "compiled.eval.", "sim."):
+            assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_trace_flag_on_other_subcommands(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "build-trace.json"
+        assert main(["build", "decod", "--trace", str(trace)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["name"] == "add.build" for e in events)
+        # The global tracer must be restored to the no-op afterwards.
+        from repro.obs import get_tracer
+
+        assert not get_tracer().enabled
+
+    def test_fuzz_metrics_flag(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "fuzz-metrics.json"
+        code = main(
+            ["fuzz", "--iterations", "2", "--metrics", str(metrics)]
+        )
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["metrics"]["fuzz.iterations"]["value"] == 2
+        assert "fuzz.failures" in payload["metrics"]

@@ -1,0 +1,457 @@
+"""Tests for the telemetry subsystem (repro.obs) and its integrations."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.dd import DDManager
+from repro.errors import ObsError
+from repro.models import BuildReport, build_add_model, build_add_models_parallel
+from repro.obs import (
+    BuildTelemetry,
+    Histogram,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    format_metrics,
+    format_report,
+    format_spans,
+    get_metrics,
+    get_tracer,
+)
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def global_tracing():
+    """Enable global tracing for one test, always restoring the null tracer."""
+    tracer = enable_tracing()
+    try:
+        yield tracer
+    finally:
+        disable_tracing()
+
+
+class TestSpans:
+    def test_span_records_name_duration_attrs(self, tracer):
+        with tracer.span("work", macro="decod") as span:
+            time.sleep(0.001)
+            span.set("nodes", 42)
+        (recorded,) = tracer.spans()
+        assert recorded.name == "work"
+        assert recorded.duration >= 0.001
+        assert recorded.attrs == {"macro": "decod", "nodes": 42}
+
+    def test_nesting_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_children_finish_before_parents(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_exception_recorded_but_not_swallowed(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.error == "ValueError: boom"
+        assert span.end is not None
+
+    def test_exception_unwinds_abandoned_children(self, tracer):
+        # An exception that escapes an inner span must not corrupt the
+        # depth bookkeeping of subsequent spans.
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError
+        with tracer.span("after"):
+            pass
+        assert {s.name: s.depth for s in tracer.spans()}["after"] == 0
+
+    def test_event_is_zero_duration(self, tracer):
+        tracer.event("tick", k=1)
+        (span,) = tracer.spans()
+        assert span.duration == 0.0
+        assert span.attrs == {"k": 1}
+
+    def test_traced_decorator(self, tracer):
+        @tracer.traced("wrapped")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert tracer.spans()[0].name == "wrapped"
+
+    def test_aggregate_rolls_up_by_name(self, tracer):
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        rollup = tracer.aggregate()
+        assert rollup["repeated"]["count"] == 3
+        assert rollup["repeated"]["total_s"] >= rollup["repeated"]["max_s"]
+
+    def test_clear_resets_spans_and_origin(self, tracer):
+        with tracer.span("gone"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+    def test_null_tracer_span_is_shared_noop(self):
+        first = NULL_TRACER.span("a", big_attr=1)
+        second = NULL_TRACER.span("b")
+        assert first is second
+        with first as span:
+            span.set("ignored", 1)
+            span.update(also="ignored")
+        assert not NULL_TRACER.enabled
+
+    def test_enable_disable_swap_global(self):
+        assert not get_tracer().enabled
+        tracer = enable_tracing()
+        try:
+            assert get_tracer() is tracer and tracer.enabled
+        finally:
+            disable_tracing()
+        assert not get_tracer().enabled
+
+
+class TestChromeExport:
+    def test_chrome_schema(self, tracer, tmp_path):
+        with tracer.span("outer", macro="decod"):
+            with tracer.span("inner"):
+                pass
+        tracer.event("mark")
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert {e["name"] for e in events} == {"outer", "inner", "mark"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["cat"] == event["name"].split(".", 1)[0]
+        outer = next(e for e in events if e["name"] == "outer")
+        assert outer["args"]["macro"] == "decod"
+
+    def test_error_rides_in_args(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("nope")
+        (event,) = tracer.to_chrome()["traceEvents"]
+        assert event["args"]["error"] == "ValueError: nope"
+
+    def test_structured_json_schema(self, tracer, tmp_path):
+        with tracer.span("s", k=1):
+            pass
+        path = tmp_path / "spans.json"
+        tracer.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-trace"
+        assert payload["version"] == 1
+        (span,) = payload["spans"]
+        assert span["name"] == "s" and span["attrs"] == {"k": 1}
+
+
+class TestCountersAndGauges:
+    def test_counter_inc(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_set_and_update_max(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(3.0)
+        gauge.update_max(2.0)
+        assert gauge.value == 3.0
+        gauge.update_max(7.0)
+        assert gauge.value == 7.0
+
+    def test_handles_are_stable_across_reset(self, registry):
+        counter = registry.counter("stable")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("stable") is counter
+
+    def test_type_clash_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ObsError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 4.1):
+            h.observe(value)
+        # counts: <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=4: {4.0}; over: {4.1}
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.min == 0.5 and h.max == 4.1
+        assert h.mean == pytest.approx((0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1) / 6)
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ObsError, match="strictly increasing"):
+            Histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ObsError):
+            Histogram("bad", buckets=())
+
+    def test_empty_histogram_mean_and_dict(self):
+        h = Histogram("empty", buckets=(1.0,))
+        assert h.mean == 0.0
+        state = h.to_dict()
+        assert state["min"] is None and state["max"] is None
+
+
+class TestSnapshotDiffMerge:
+    def test_snapshot_is_json_serialisable(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (1.0, 2.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_diff_subtracts_counters_and_histograms(self, registry):
+        counter = registry.counter("c")
+        hist = registry.histogram("h", (1.0, 2.0))
+        counter.inc(2)
+        hist.observe(0.5)
+        before = registry.snapshot()
+        counter.inc(3)
+        hist.observe(1.5)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert delta["c"]["value"] == 3
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["counts"] == [0, 1, 0]
+
+    def test_merge_across_registries(self, registry):
+        other = MetricsRegistry()
+        for reg, amount in ((registry, 2), (other, 5)):
+            reg.counter("c").inc(amount)
+            reg.gauge("g").update_max(amount)
+            reg.histogram("h", (1.0, 10.0)).observe(amount)
+        registry.merge(other.snapshot())
+        assert registry.counter("c").value == 7
+        assert registry.gauge("g").value == 5.0
+        merged = registry.histogram("h")
+        assert merged.count == 2
+        assert merged.counts == [0, 2, 0]
+        assert merged.min == 2.0 and merged.max == 5.0
+
+    def test_merge_creates_missing_instruments(self, registry):
+        other = MetricsRegistry()
+        other.counter("only.there").inc(4)
+        registry.merge(other.snapshot())
+        assert registry.counter("only.there").value == 4
+
+    def test_merge_bucket_mismatch_raises(self, registry):
+        registry.histogram("h", (1.0, 2.0))
+        bad = {
+            "h": {
+                "type": "histogram",
+                "buckets": [5.0, 6.0],
+                "counts": [0, 0, 0],
+                "sum": 0.0,
+                "count": 0,
+                "min": None,
+                "max": None,
+            }
+        }
+        with pytest.raises(ObsError, match="bucket mismatch"):
+            registry.merge(bad)
+
+    def test_merge_unknown_type_raises(self, registry):
+        with pytest.raises(ObsError, match="unknown instrument type"):
+            registry.merge({"x": {"type": "timer", "value": 1}})
+
+
+class TestPipelineIntegration:
+    def test_build_populates_instruments(self):
+        met = get_metrics()
+        before = met.snapshot()
+        build_add_model(load_circuit("decod"), max_nodes=200)
+        delta = MetricsRegistry.diff(before, met.snapshot())
+        assert delta["add.build.count"]["value"] == 1
+        assert delta["add.build.gates"]["value"] == 48
+        assert delta["dd.apply.cache_misses"]["value"] > 0
+        assert delta["symbolic.sweeps"]["value"] == 2
+        assert delta["add.build.seconds"]["count"] == 1
+
+    def test_build_spans_cover_the_phases(self, global_tracing):
+        build_add_model(load_circuit("decod"), max_nodes=200)
+        names = {s.name for s in global_tracing.spans()}
+        assert {
+            "add.build",
+            "add.build.functions",
+            "add.build.deltas",
+            "add.build.accumulate",
+            "symbolic.build",
+        } <= names
+        build = next(
+            s for s in global_tracing.spans() if s.name == "add.build"
+        )
+        assert build.attrs["macro"] == "decod"
+        assert build.attrs["final_nodes"] > 0
+
+    def test_parallel_build_ships_worker_metrics(self):
+        met = get_metrics()
+        netlist = load_circuit("decod")
+        before = met.snapshot()
+        models = build_add_models_parallel(
+            [netlist, netlist], processes=2, max_nodes=200
+        )
+        assert len(models) == 2
+        delta = MetricsRegistry.diff(before, met.snapshot())
+        # Both workers' build counters must have been merged back in
+        # (or built in-process on platforms without a pool — same totals).
+        assert delta["add.build.count"]["value"] == 2
+        assert delta["add.build.gates"]["value"] == 2 * netlist.num_gates
+
+    def test_detailed_flag_gates_collapse_error(self):
+        met = get_metrics()
+        met.detailed = False
+        before = met.snapshot()
+        build_add_model(load_circuit("decod"), max_nodes=50)
+        mid = met.snapshot()
+        assert (
+            MetricsRegistry.diff(before, mid)["collapse.leaf_error"]["count"]
+            == 0
+        )
+        met.detailed = True
+        try:
+            build_add_model(load_circuit("decod"), max_nodes=50)
+            delta = MetricsRegistry.diff(mid, met.snapshot())
+            assert delta["collapse.leaf_error"]["count"] > 0
+        finally:
+            met.detailed = False
+
+    def test_fuzz_run_counts_iterations(self):
+        from repro.testing import FuzzConfig, run_fuzz
+
+        met = get_metrics()
+        before = met.snapshot()
+        report = run_fuzz(FuzzConfig(seed=3, iterations=3))
+        delta = MetricsRegistry.diff(before, met.snapshot())
+        assert delta["fuzz.iterations"]["value"] == report.iterations_run == 3
+        assert delta["fuzz.failures"]["value"] == len(report.failures) == 0
+
+    def test_null_tracer_overhead_bound(self):
+        # With tracing disabled, an instrumented call site costs one
+        # shared no-op context manager: must stay within ~microseconds.
+        tracer = get_tracer()
+        assert not tracer.enabled
+        n = 20_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with tracer.span("noop"):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 20e-6  # generous bound: healthy path is ~0.2 µs
+
+
+class TestManagerTelemetry:
+    def test_clear_caches_resets_cache_stats(self):
+        manager = DDManager(2, ["a", "b"])
+        f = manager.var(0)
+        g = manager.var(1)
+        manager.bdd_and(f, g)
+        manager.bdd_and(f, g)
+        stats = manager.cache_stats()
+        assert stats.hits + stats.misses > 0
+        manager.clear_caches()
+        stats = manager.cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 0
+        assert stats.evictions == 0
+
+    def test_clear_caches_counts_gc_clears(self):
+        met = get_metrics()
+        before = met.snapshot()
+        DDManager(1, ["a"]).clear_caches()
+        delta = MetricsRegistry.diff(before, met.snapshot())
+        assert delta["dd.gc.clears"]["value"] == 1
+
+    def test_cache_stats_summary(self):
+        manager = DDManager(2, ["a", "b"])
+        manager.bdd_and(manager.var(0), manager.var(1))
+        text = manager.cache_stats().summary()
+        assert "hit" in text
+
+    def test_node_stats_summary(self):
+        from repro.dd.stats import function_stats
+
+        manager = DDManager(1, ["a"])
+        text = function_stats(manager, manager.var(0)).summary()
+        assert "avg=0.5" in text and "max=1" in text
+
+    def test_memory_estimate_positive_and_grows(self):
+        manager = DDManager(4, ["a", "b", "c", "d"])
+        empty = manager.memory_estimate_bytes()
+        assert empty > 0
+        f = manager.var(0)
+        for k in range(1, 4):
+            f = manager.bdd_and(f, manager.var(k))
+        assert manager.memory_estimate_bytes() > empty
+
+
+class TestReporting:
+    def test_build_report_alias_and_summary(self):
+        assert BuildReport is BuildTelemetry
+        model = build_add_model(load_circuit("decod"), max_nodes=200)
+        assert isinstance(model.report, BuildTelemetry)
+        summary = model.report.summary()
+        assert "decod" in summary and "MAX=200" in summary
+
+    def test_format_metrics_groups_by_prefix(self, registry):
+        registry.counter("dd.apply.calls").inc(3)
+        registry.counter("sim.patterns").inc(7)
+        text = format_metrics(registry.snapshot())
+        assert "[dd]" in text and "[sim]" in text
+        assert text.index("[dd]") < text.index("[sim]")
+
+    def test_format_spans_sorted_by_total(self, tracer):
+        with tracer.span("slow"):
+            time.sleep(0.002)
+        with tracer.span("fast"):
+            pass
+        text = format_spans(tracer.aggregate())
+        assert text.index("slow") < text.index("fast")
+
+    def test_format_report_combines_sections(self, registry, tracer):
+        registry.counter("dd.apply.calls").inc()
+        with tracer.span("s"):
+            pass
+        text = format_report(
+            registry.snapshot(), tracer.aggregate(), title="unit"
+        )
+        assert "=== unit ===" in text
+        assert "span profile" in text
+
+    def test_format_spans_empty_hint(self):
+        assert "--trace" in format_spans({})
