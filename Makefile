@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-eval bench-smoke fuzz fuzz-smoke stats-smoke
+.PHONY: test bench bench-eval bench-smoke bench-serving fuzz fuzz-smoke \
+	stats-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +26,11 @@ stats-smoke:
 	$(PYTHON) scripts/check_obs_artifacts.py \
 		/tmp/repro-stats-trace.json /tmp/repro-stats-metrics.json
 
+# Serving smoke: server on an ephemeral port, batched queries through the
+# TCP client, telemetry-counter assertions (store build/hit, batching).
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -32,6 +38,10 @@ bench:
 # Regenerate BENCH_eval_throughput.json at the repo root (E10, ~2 min).
 bench-eval:
 	$(PYTHON) benchmarks/bench_eval_throughput.py
+
+# Regenerate BENCH_serving.json at the repo root (E11, ~1 min).
+bench-serving:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_serving.py
 
 # ~5-second throughput smoke run; leaves the checked-in JSON untouched.
 bench-smoke:

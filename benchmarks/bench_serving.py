@@ -1,0 +1,170 @@
+"""E11 — serving throughput: micro-batching vs per-request evaluation.
+
+Two questions, both about the operational path added in
+``src/repro/serve``:
+
+1. **Micro-batching payoff.**  64 concurrent clients stream single
+   ``evaluate`` requests at one server; the batching server coalesces
+   concurrent requests per model into single compiled-kernel calls,
+   the unbatched server (``batching=False``) answers one by one.  The
+   acceptance bar is >= 3x requests/second for the batched server on
+   the 16-input parity macro.
+2. **ModelStore warm-start.**  Building parity's ADD model cold vs
+   loading it from a warm content-addressed store; the warm path must
+   eliminate the rebuild (it is a disk read + deserialise).
+
+Artifacts:
+
+- ``BENCH_serving.json`` at the repo root (full runs only), schema
+  ``{bench, macro, clients, serving: {batched, unbatched, speedup},
+  store: {cold_build_s, warm_load_s, speedup}}``;
+- ``benchmarks/results/serving.txt``, the human-readable table.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+``REPRO_BENCH_QUICK=1`` shrinks the client count / request volume and
+leaves the checked-in JSON untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from _common import QUICK, write_result
+
+from repro.circuits import load_circuit
+from repro.models import build_add_model
+from repro.serve import ModelStore, ServerConfig, generate_load, start_in_thread
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
+
+MACRO = "parity"  # 16 inputs — the acceptance macro
+
+CLIENTS = 16 if QUICK else 64
+REQUESTS_PER_CLIENT = 10 if QUICK else 60
+
+#: Tuned batching window: measured best on parity (small rows, fast
+#: kernel), where a short wait beats a deep queue.
+BATCHED = ServerConfig(max_batch=64, max_wait_ms=0.5)
+UNBATCHED = ServerConfig(batching=False)
+
+
+def measure_serving(model, transitions):
+    """req/s + latency for the batched and unbatched server, same load."""
+    out = {}
+    for label, config in (("batched", BATCHED), ("unbatched", UNBATCHED)):
+        handle = start_in_thread({MACRO: model}, config)
+        try:
+            # One warmup wave, then the measured wave.
+            generate_load(
+                handle.host, handle.port, MACRO, transitions,
+                clients=min(8, CLIENTS), requests_per_client=5,
+            )
+            report = generate_load(
+                handle.host, handle.port, MACRO, transitions,
+                clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+            )
+        finally:
+            handle.stop()
+        if report.errors:
+            raise AssertionError(
+                f"{label} run had {report.errors} errors out of "
+                f"{report.requests} requests"
+            )
+        out[label] = report.to_dict()
+    out["speedup"] = round(
+        out["batched"]["requests_per_sec"]
+        / out["unbatched"]["requests_per_sec"],
+        2,
+    )
+    return out
+
+
+def measure_store(netlist):
+    """Cold build vs warm load through a throwaway ModelStore."""
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        start = time.perf_counter()
+        ModelStore(root).get_or_build(netlist)
+        cold = time.perf_counter() - start
+        # A fresh store instance on the same directory: disk hit, no build.
+        start = time.perf_counter()
+        ModelStore(root).get_or_build(netlist)
+        warm = time.perf_counter() - start
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cold_build_s": round(cold, 4),
+        "warm_load_s": round(warm, 4),
+        "speedup": round(cold / warm, 1),
+    }
+
+
+def format_table(serving, store) -> str:
+    lines = [
+        f"serving throughput — {MACRO}, {CLIENTS} concurrent clients",
+        f"{'mode':<12}{'req/s':>10}{'p50 ms':>9}{'p99 ms':>9}",
+    ]
+    for label in ("batched", "unbatched"):
+        row = serving[label]
+        lines.append(
+            f"{label:<12}{row['requests_per_sec']:>10.0f}"
+            f"{row['latency_p50_ms']:>9.2f}{row['latency_p99_ms']:>9.2f}"
+        )
+    lines.append(f"micro-batching speedup: {serving['speedup']:.2f}x")
+    lines.append("")
+    lines.append(
+        f"model store — cold build {store['cold_build_s']:.3f}s, "
+        f"warm load {store['warm_load_s']:.4f}s "
+        f"({store['speedup']:.0f}x)"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    netlist = load_circuit(MACRO)
+    model = build_add_model(netlist)
+    rng = np.random.default_rng(23)
+    transitions = [
+        (rng.random(netlist.num_inputs) < 0.5,
+         rng.random(netlist.num_inputs) < 0.5)
+        for _ in range(32)
+    ]
+    serving = measure_serving(model, transitions)
+    store = measure_store(netlist)
+    table = format_table(serving, store)
+    print(table)
+    path = write_result("serving", table)
+    print(f"\nwrote {path}")
+    if not QUICK:
+        payload = {
+            "bench": "serving",
+            "macro": MACRO,
+            "num_inputs": netlist.num_inputs,
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "serving": serving,
+            "store": store,
+        }
+        with open(JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {JSON_PATH}")
+        if serving["speedup"] < 3.0:
+            raise SystemExit(
+                f"micro-batching speedup {serving['speedup']}x is below "
+                "the 3x acceptance bar"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""End-to-end smoke test of the serving stack, for ``make serve-smoke``.
+
+Starts a :class:`PowerQueryServer` on an ephemeral port (in-process, so
+no orphaned children if anything dies), builds its model through a
+throwaway :class:`ModelStore`, fires a burst of concurrent batched
+queries through the real TCP client, and then asserts on the telemetry
+counters the serving path is contractually required to populate:
+
+- ``serve.store.builds`` == 1 and ``serve.store.disk_hits`` >= 1 (cold
+  build, then a warm reload from the same directory);
+- every request answered, none errored (``serve.requests`` vs
+  ``serve.errors``);
+- micro-batching actually merged requests (``serve.eval.batches`` <
+  ``serve.eval.requests``);
+- served values match a direct model evaluation bit for bit.
+
+Exits non-zero with a one-line reason on the first violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.circuits import load_circuit
+from repro.obs import get_metrics
+from repro.serve import (
+    ModelStore,
+    PowerQueryClient,
+    ServerConfig,
+    generate_load,
+    start_in_thread,
+)
+
+MACRO = "decod"
+CLIENTS = 16
+REQUESTS_PER_CLIENT = 20
+
+
+def fail(message: str) -> None:
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    registry = get_metrics()
+    netlist = load_circuit(MACRO)
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    try:
+        model = ModelStore(store_dir).get_or_build(netlist)
+        # Warm reload: a fresh store on the same directory must hit disk.
+        ModelStore(store_dir).get_or_build(netlist)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    if registry.counter("serve.store.builds").value != 1:
+        fail("expected exactly one store build")
+    if registry.counter("serve.store.disk_hits").value < 1:
+        fail("warm store reload did not register a disk hit")
+
+    rng = np.random.default_rng(7)
+    transitions = [
+        (rng.random(netlist.num_inputs) < 0.5,
+         rng.random(netlist.num_inputs) < 0.5)
+        for _ in range(16)
+    ]
+    handle = start_in_thread(
+        {MACRO: model}, ServerConfig(max_batch=64, max_wait_ms=1.0)
+    )
+    try:
+        report = generate_load(
+            handle.host, handle.port, MACRO, transitions,
+            clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+        )
+        # Spot-check correctness over the wire against the direct model.
+        with PowerQueryClient(handle.host, handle.port) as client:
+            for initial, final in transitions[:4]:
+                served = client.evaluate(MACRO, initial, final)
+                direct = float(
+                    model.pair_capacitances(
+                        initial[np.newaxis], final[np.newaxis]
+                    )[0]
+                )
+                if abs(served - direct) > 1e-9:
+                    fail(f"served {served} != direct {direct}")
+    finally:
+        handle.stop()
+
+    expected = CLIENTS * REQUESTS_PER_CLIENT
+    if report.errors:
+        fail(f"{report.errors} of {report.requests} load requests errored")
+    if report.requests != expected:
+        fail(f"load ran {report.requests} requests, expected {expected}")
+    if registry.counter("serve.errors").value != 0:
+        fail("server counted errors during a clean run")
+    requests = registry.counter("serve.eval.requests").value
+    batches = registry.counter("serve.eval.batches").value
+    if requests < expected:
+        fail(f"serve.eval.requests={requests} below the {expected} issued")
+    if not 0 < batches < requests:
+        fail(
+            f"micro-batching never merged requests "
+            f"(batches={batches}, requests={requests})"
+        )
+    print(
+        f"serve_smoke: OK — {report.requests} requests, "
+        f"{report.requests_per_sec:.0f} req/s, "
+        f"{int(requests)} evals in {int(batches)} batches, "
+        f"p99 {report.latency_p99_ms:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,15 @@ Subcommands
 ``stats <circuit|file.blif>``
     Exercise the build / evaluate / golden-simulation pipeline once and
     print the telemetry report (metric instruments + span profile).
+``serve <circuit> [<circuit> ...]``
+    Start the power-query service: build (or load from a model store)
+    one model per circuit and answer JSON-lines ``evaluate`` queries over
+    TCP, micro-batching concurrent requests into single kernel calls.
+``query <model> [<2n-bits> ...]``
+    Talk to a running server: evaluate transitions, or ``--ping`` /
+    ``--models`` / ``--server-stats`` / ``--shutdown``.
+``store ls|gc|prefetch``
+    Inspect and maintain a content-addressed model store directory.
 ``list``
     Show the available Table-1 benchmark circuits.
 
@@ -331,6 +340,168 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ModelStore, PowerQueryServer, ServerConfig
+
+    netlists = [_load(identifier) for identifier in args.circuits]
+    names = [netlist.name for netlist in netlists]
+    if len(set(names)) != len(names):
+        print("error: served circuits must have distinct names", file=sys.stderr)
+        return 2
+    build_kwargs = {"max_nodes": args.max_nodes, "strategy": args.strategy}
+    if args.store is not None:
+        store = ModelStore(args.store)
+        models = store.get_or_build_many(netlists, **build_kwargs)
+    else:
+        from repro.models import build_add_models_parallel
+
+        models = build_add_models_parallel(netlists, **build_kwargs)
+    server = PowerQueryServer(
+        dict(zip(names, models)),
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            request_timeout_s=args.request_timeout,
+            batching=not args.no_batching,
+        ),
+    )
+
+    async def _run() -> None:
+        await server.start()
+        mode = (
+            f"micro-batching (max_batch={args.max_batch}, "
+            f"max_wait={args.max_wait_ms}ms)"
+            if not args.no_batching
+            else "unbatched"
+        )
+        print(
+            f"serving {len(models)} model(s) "
+            f"[{', '.join(sorted(server.models))}] on "
+            f"{server.config.host}:{server.port} — {mode}",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import PowerQueryClient, ResponseError
+
+    client = PowerQueryClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.ping:
+            print("pong" if client.ping() else "no response")
+            return 0
+        if args.models:
+            for summary in client.models():
+                print(
+                    f"{summary['name']:16s} inputs={summary['inputs']:3d} "
+                    f"nodes={summary['nodes']:6d} strategy={summary['strategy']}"
+                )
+            return 0
+        if args.server_stats:
+            print(json.dumps(client.stats(), indent=1, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server stopping")
+            return 0
+        if args.model is None or not args.transitions:
+            print(
+                "error: provide MODEL and at least one 2n-bit transition "
+                "(or --ping/--models/--server-stats/--shutdown)",
+                file=sys.stderr,
+            )
+            return 2
+        summaries = {s["name"]: s for s in client.models()}
+        summary = summaries.get(args.model)
+        if summary is None:
+            print(
+                f"error: server holds no model {args.model!r} "
+                f"(available: {sorted(summaries)})",
+                file=sys.stderr,
+            )
+            return 2
+        width = summary["inputs"]
+        pairs = []
+        for bits in args.transitions:
+            if len(bits) != 2 * width or set(bits) - {"0", "1"}:
+                print(
+                    f"error: transition must be {2 * width} bits "
+                    "(x_i then x_f)",
+                    file=sys.stderr,
+                )
+                return 2
+            pairs.append((bits[:width], bits[width:]))
+        for (initial, final), value in zip(
+            pairs, client.evaluate_pairs(args.model, pairs)
+        ):
+            print(f"C({initial} -> {final}) = {value:.2f} fF")
+        return 0
+    except ResponseError as exc:
+        print(f"error: server replied {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.serve import ModelStore
+
+    store = ModelStore(args.store)
+    if args.action == "ls":
+        entries = store.ls()
+        if not entries:
+            print("store is empty")
+            return 0
+        print(
+            f"{'key':16s} {'macro':12s} {'strategy':8s} {'MAX':>6s} "
+            f"{'nodes':>7s} {'bytes':>9s}"
+        )
+        for entry in entries:
+            max_nodes = "-" if entry.max_nodes is None else str(entry.max_nodes)
+            print(
+                f"{entry.key[:16]:16s} {entry.macro_name:12s} "
+                f"{entry.strategy:8s} {max_nodes:>6s} "
+                f"{entry.nodes:7d} {entry.payload_bytes:9d}"
+            )
+        print(f"total: {len(entries)} entries, {store.disk_bytes()} bytes")
+        return 0
+    if args.action == "gc":
+        max_age = (
+            args.max_age_days * 86400.0 if args.max_age_days is not None else None
+        )
+        removed = store.gc(max_bytes=args.max_bytes, max_age_seconds=max_age)
+        for entry in removed:
+            print(f"removed {entry.key[:16]} ({entry.macro_name}, "
+                  f"{entry.payload_bytes} bytes)")
+        print(f"gc: removed {len(removed)} entries, "
+              f"{store.disk_bytes()} bytes remain")
+        return 0
+    # prefetch
+    if not args.circuits:
+        print("error: prefetch needs at least one circuit", file=sys.stderr)
+        return 2
+    netlists = [_load(identifier) for identifier in args.circuits]
+    keys = store.prefetch(
+        netlists, max_nodes=args.max_nodes, strategy=args.strategy
+    )
+    for netlist, key in zip(netlists, keys):
+        print(f"{netlist.name:12s} -> {key[:16]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -488,6 +659,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="transition pairs for the compiled-eval / golden-sim pass",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    serve = add_command(
+        "serve", help="serve power queries over JSON-lines TCP"
+    )
+    serve.add_argument(
+        "circuits", nargs="+", help="benchmark names or netlist paths to serve"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7090, help="0 picks an ephemeral port"
+    )
+    serve.add_argument("--max-nodes", type=int, default=1000)
+    serve.add_argument(
+        "--strategy", choices=("avg", "max", "min"), default="avg"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed model store to load/build through",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="flush a model's queue at this many rows",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="flush after the oldest request waited this long",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="evaluate each request inline (baseline mode)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = add_command("query", help="query a running power server")
+    query.add_argument("model", nargs="?", default=None)
+    query.add_argument(
+        "transitions",
+        nargs="*",
+        help="2n bits each: x_i concatenated with x_f",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7090)
+    query.add_argument("--timeout", type=float, default=30.0)
+    query.add_argument("--ping", action="store_true", help="liveness check")
+    query.add_argument(
+        "--models", action="store_true", help="list served models"
+    )
+    query.add_argument(
+        "--server-stats",
+        action="store_true",
+        help="print the server's telemetry snapshot as JSON",
+    )
+    query.add_argument(
+        "--shutdown", action="store_true", help="stop the server gracefully"
+    )
+    query.set_defaults(func=_cmd_query)
+
+    store = add_command(
+        "store", help="inspect / maintain a model store directory"
+    )
+    store.add_argument("action", choices=("ls", "gc", "prefetch"))
+    store.add_argument(
+        "circuits", nargs="*", help="circuits to prefetch (prefetch only)"
+    )
+    store.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="model store directory",
+    )
+    store.add_argument("--max-nodes", type=int, default=1000)
+    store.add_argument(
+        "--strategy", choices=("avg", "max", "min"), default="avg"
+    )
+    store.add_argument(
+        "--max-bytes", type=int, default=None, help="gc: keep at most this many bytes"
+    )
+    store.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc: drop entries older than this",
+    )
+    store.set_defaults(func=_cmd_store)
     return parser
 
 

@@ -276,6 +276,13 @@ class CompiledDD:
             raise DDError(
                 "no levelized plan for this diagram (width over the slot limit)"
             )
+        # Canonicalise dtype and layout once per batch (the serving hot
+        # path calls this with whatever the wire format produced); the
+        # kernels below then index without numpy's implicit casts/copies.
+        if matrix.dtype != np.bool_:
+            matrix = matrix != 0
+        if not matrix.flags.c_contiguous:
+            matrix = np.ascontiguousarray(matrix)
         levelized = kernel != "pointer" and self._lev_children is not None
         started = time.perf_counter()
         if levelized:
@@ -308,8 +315,9 @@ class CompiledDD:
         bottom, which keeps the kernel branch-free.
         """
         rows = matrix.shape[0]
-        # (L, P) bit matrix, one contiguous row per support level.
-        bits = (matrix.T[self.support] != 0).astype(np.int32)
+        # (L, P) bit matrix, one contiguous row per support level
+        # (evaluate_batch already canonicalised the input to bool).
+        bits = matrix.T[self.support].astype(np.int32)
         children = self._lev_children
         state = np.zeros(rows, dtype=np.int32)  # root slot: global id 0
         scratch = np.empty(rows, dtype=np.int32)
@@ -326,7 +334,7 @@ class CompiledDD:
         paths are not charged for the full depth.
         """
         rows = matrix.shape[0]
-        bits = matrix.astype(bool, copy=False)
+        bits = matrix  # canonical bool, courtesy of evaluate_batch
         var, lo, hi, is_leaf = self.var, self.lo, self.hi, self.is_leaf
         state = np.full(rows, self.root, dtype=np.int32)
         active = np.arange(rows)

@@ -179,6 +179,11 @@ class AddPowerModel(PowerModel):
         self._space_position = [position[name] for name in external]
         #: Weight callback used for any further shrinking of this model.
         self.weight_fn: Optional[WeightFn] = None
+        #: Content hash of the netlist this model was built from (see
+        #: :meth:`repro.netlist.netlist.Netlist.content_hash`); rides
+        #: through serialisation so the model store can verify that a
+        #: cached payload matches the netlist it is being requested for.
+        self.source_hash: Optional[str] = None
         # Lazily-built array form of the ADD, keyed by the root it was
         # compiled from so reapproximating (rebinding self.root) invalidates.
         self._compiled: Optional[CompiledDD] = None
@@ -577,6 +582,7 @@ def build_add_model(
         netlist.name, space, total, strategy, report, input_names=netlist.inputs
     )
     model.weight_fn = weight_fn
+    model.source_hash = netlist.content_hash()
     return model
 
 
@@ -605,6 +611,7 @@ def shrink_model(model: AddPowerModel, max_nodes: int) -> AddPowerModel:
         input_names=model.input_names,
     )
     shrunk.weight_fn = model.weight_fn
+    shrunk.source_hash = model.source_hash
     return shrunk
 
 

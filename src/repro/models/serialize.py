@@ -23,7 +23,11 @@ from repro.errors import ModelError
 from repro.models.addmodel import AddPowerModel, BuildReport
 
 FORMAT_NAME = "repro-add-power-model"
-FORMAT_VERSION = 1
+#: Version 2 added the explicit ``format_version`` field and the
+#: ``source_netlist_sha256`` content hash (both required by the model
+#: store's content addressing); version-1 payloads still load.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def model_to_dict(model: AddPowerModel) -> dict:
@@ -51,6 +55,7 @@ def model_to_dict(model: AddPowerModel) -> dict:
     payload = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
+        "format_version": FORMAT_VERSION,
         "macro_name": model.macro_name,
         "strategy": model.strategy,
         "scheme": model.space.scheme,
@@ -59,6 +64,8 @@ def model_to_dict(model: AddPowerModel) -> dict:
         "root": index[model.root],
         "nodes": nodes,
     }
+    if model.source_hash is not None:
+        payload["source_netlist_sha256"] = model.source_hash
     if model.report is not None:
         report = model.report
         payload["report"] = {
@@ -82,9 +89,18 @@ def model_from_dict(payload: dict) -> AddPowerModel:
         raise ModelError(
             f"not a {FORMAT_NAME} payload (format={payload.get('format')!r})"
         )
-    if payload.get("version") != FORMAT_VERSION:
+    declared = {
+        payload[key]
+        for key in ("format_version", "version")
+        if key in payload
+    }
+    if not declared:
+        raise ModelError("model payload carries no format version")
+    unsupported = [v for v in declared if v not in SUPPORTED_VERSIONS]
+    if unsupported:
         raise ModelError(
-            f"unsupported model format version {payload.get('version')!r}"
+            f"unsupported model format version {unsupported[0]!r} "
+            f"(this build reads versions {list(SUPPORTED_VERSIONS)})"
         )
     space = TransitionSpace(payload["space_inputs"], payload["scheme"])
     manager = space.manager
@@ -141,7 +157,7 @@ def model_from_dict(payload: dict) -> AddPowerModel:
             cache_hits=raw_report.get("cache_hits", 0),
             cache_misses=raw_report.get("cache_misses", 0),
         )
-    return AddPowerModel(
+    model = AddPowerModel(
         payload["macro_name"],
         space,
         root,
@@ -149,6 +165,8 @@ def model_from_dict(payload: dict) -> AddPowerModel:
         report,
         input_names=payload["input_names"],
     )
+    model.source_hash = payload.get("source_netlist_sha256")
+    return model
 
 
 def dump_model(model: AddPowerModel, stream: TextIO) -> None:

@@ -306,6 +306,52 @@ class Netlist:
             counts[gate.cell.name] = counts.get(gate.cell.name, 0) + 1
         return counts
 
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> Dict:
+        """Structure-only view of the netlist for content addressing.
+
+        Covers everything the power function depends on — input/output
+        nets, per-gate operator, operand nets and pin capacitances, and
+        the primary-output load — and nothing it does not: the netlist's
+        display name and gate instance names are labels, so two circuits
+        that differ only in those hash identically.
+        """
+        gates = []
+        for gate in self.gates:
+            caps = gate.cell.input_capacitance_fF
+            gates.append(
+                {
+                    "op": gate.cell.op.value,
+                    "inputs": list(gate.inputs),
+                    "output": gate.output,
+                    "caps": list(caps) if isinstance(caps, tuple) else caps,
+                }
+            )
+        return {
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "gates": gates,
+            "output_load_fF": self.output_load_fF,
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_dict`.
+
+        The key half of the model store's content addressing: a model
+        built from this netlist is cached under (this hash, build
+        config), so a structurally identical netlist — whatever file or
+        generator it came from — reuses the cached model.
+        """
+        import hashlib
+        import json
+
+        blob = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Netlist({self.name!r}, inputs={self.num_inputs}, "

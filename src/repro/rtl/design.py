@@ -16,9 +16,12 @@ and bounds across instances cycle by cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.serve.store import ModelStore
 
 from repro.errors import ModelError, NetlistError
 from repro.models.base import PowerModel
@@ -80,7 +83,10 @@ class RTLDesign:
         return instance
 
     def build_and_attach_add_models(
-        self, processes: Optional[int] = None, **build_kwargs
+        self,
+        processes: Optional[int] = None,
+        store: Optional["ModelStore"] = None,
+        **build_kwargs,
     ) -> Dict[str, PowerModel]:
         """Build ADD models for every instance concurrently and attach them.
 
@@ -90,6 +96,11 @@ class RTLDesign:
         Construction fans out across processes via
         :func:`~repro.models.addmodel.build_add_models_parallel`; returns
         the attached models keyed by instance name.
+
+        Passing a :class:`~repro.serve.store.ModelStore` routes every
+        build through its content-addressed cache: macros already cached
+        (from any prior process) load instead of rebuilding, and fresh
+        builds are persisted for the next design that uses the macro.
         """
         from repro.models.addmodel import build_add_models_parallel
 
@@ -104,9 +115,14 @@ class RTLDesign:
             if key not in job_of:
                 job_of[key] = len(unique)
                 unique.append(instance.netlist)
-        models = build_add_models_parallel(
-            unique, processes=processes, **build_kwargs
-        )
+        if store is not None:
+            models = store.get_or_build_many(
+                unique, processes=processes, **build_kwargs
+            )
+        else:
+            models = build_add_models_parallel(
+                unique, processes=processes, **build_kwargs
+            )
         attached: Dict[str, PowerModel] = {}
         for instance in self.instances:
             model = models[job_of[id(instance.netlist)]]

@@ -1,0 +1,66 @@
+"""Serving subsystem: model persistence and the power-query service.
+
+Builds the bridge from "a model can be constructed" to "models are an
+operational service":
+
+- :mod:`repro.serve.store` — :class:`ModelStore`, a content-addressed
+  on-disk + in-memory cache of serialised ADD power models keyed by
+  ``sha256(canonical netlist, build config)``, with atomic writes, a
+  rebuildable manifest, an LRU byte budget and a ``get_or_build`` path
+  that fans misses out through
+  :func:`~repro.models.addmodel.build_add_models_parallel`;
+- :mod:`repro.serve.server` — :class:`PowerQueryServer`, an asyncio
+  JSON-lines-over-TCP server that micro-batches concurrent ``evaluate``
+  requests per model into single compiled-kernel calls;
+- :mod:`repro.serve.client` — :class:`PowerQueryClient` (blocking) and
+  :func:`generate_load` (concurrent load generator);
+- :mod:`repro.serve.protocol` — the wire format and its structured
+  errors.
+
+CLI entry points: ``repro serve``, ``repro query`` and ``repro store``;
+the numbers live in ``benchmarks/bench_serving.py`` / DESIGN.md §10.
+"""
+
+from repro.serve.client import LoadReport, PowerQueryClient, generate_load
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    ResponseError,
+)
+from repro.serve.server import (
+    PowerQueryServer,
+    ServerConfig,
+    ServerHandle,
+    start_in_thread,
+)
+from repro.serve.store import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    ModelStore,
+    StoreEntry,
+    canonical_build_config,
+    store_key,
+)
+
+__all__ = [
+    # store
+    "ModelStore",
+    "StoreEntry",
+    "store_key",
+    "canonical_build_config",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    # server
+    "PowerQueryServer",
+    "ServerConfig",
+    "ServerHandle",
+    "start_in_thread",
+    # client
+    "PowerQueryClient",
+    "LoadReport",
+    "generate_load",
+    # protocol
+    "ProtocolError",
+    "ResponseError",
+    "ERROR_TYPES",
+    "MAX_LINE_BYTES",
+]

@@ -1,0 +1,245 @@
+"""Clients for the power-query service.
+
+- :class:`PowerQueryClient` — a small synchronous JSON-lines client over a
+  plain socket: one in-flight request at a time, blocking semantics,
+  usable from tests, scripts and the ``repro query`` CLI without any
+  asyncio plumbing.
+- :func:`generate_load` — a concurrent load generator: N asyncio client
+  connections each issue a stream of single-transition ``evaluate``
+  requests and time every round trip, producing the requests/sec and
+  latency-percentile numbers the serving benchmark reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.serve import protocol
+from repro.serve.protocol import ResponseError, unwrap_response
+
+
+def _bits(pattern) -> str:
+    """Accept a 0/1 string or an int/bool sequence; return the bit string."""
+    if isinstance(pattern, str):
+        return pattern
+    return "".join("1" if int(b) else "0" for b in pattern)
+
+
+class PowerQueryClient:
+    """Blocking JSON-lines client for one server connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------
+    def request(self, payload: Dict) -> Dict:
+        """Send one request object and block for its response envelope."""
+        if "id" not in payload:
+            self._next_id += 1
+            payload = dict(payload, id=self._next_id)
+        self._stream.write(protocol.encode(payload))
+        self._stream.flush()
+        line = self._stream.readline()
+        if not line:
+            raise ReproError("server closed the connection")
+        import json
+
+        return json.loads(line.decode("utf-8"))
+
+    def call(self, payload: Dict):
+        """Request + unwrap: returns the result or raises ResponseError."""
+        return unwrap_response(self.request(payload))
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness round trip."""
+        return self.call({"op": "ping"}) == "pong"
+
+    def models(self) -> List[Dict]:
+        """Metadata of every model the server holds."""
+        return self.call({"op": "models"})
+
+    def stats(self) -> Dict:
+        """Server telemetry snapshot (serve.* / compiled.eval* metrics)."""
+        return self.call({"op": "stats"})
+
+    def evaluate(self, model: str, initial, final) -> float:
+        """Capacitance (fF) of one transition of a served model."""
+        result = self.call(
+            {
+                "op": "evaluate",
+                "model": model,
+                "initial": _bits(initial),
+                "final": _bits(final),
+            }
+        )
+        return float(result["capacitance_fF"])
+
+    def evaluate_pairs(
+        self, model: str, pairs: Sequence[Tuple[object, object]]
+    ) -> List[float]:
+        """Capacitances for a client-side batch of transitions."""
+        result = self.call(
+            {
+                "op": "evaluate",
+                "model": model,
+                "pairs": [[_bits(i), _bits(f)] for i, f in pairs],
+            }
+        )
+        return [float(v) for v in result["capacitances_fF"]]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop gracefully."""
+        self.call({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PowerQueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Concurrent load generation
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one :func:`generate_load` run."""
+
+    clients: int
+    requests: int
+    errors: int
+    seconds: float
+    requests_per_sec: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+        }
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+async def _load_worker(
+    host: str,
+    port: int,
+    model: str,
+    transitions: Sequence[Tuple[str, str]],
+    requests: int,
+    offset: int,
+    latencies: List[float],
+    errors: List[int],
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for k in range(requests):
+            initial, final = transitions[(offset + k) % len(transitions)]
+            payload = {
+                "id": k,
+                "op": "evaluate",
+                "model": model,
+                "initial": initial,
+                "final": final,
+            }
+            started = time.perf_counter()
+            writer.write(protocol.encode(payload))
+            await writer.drain()
+            line = await reader.readline()
+            latencies.append(time.perf_counter() - started)
+            if not line:
+                errors[0] += requests - k
+                return
+            import json
+
+            if not json.loads(line.decode("utf-8")).get("ok"):
+                errors[0] += 1
+    finally:
+        writer.close()
+
+
+def generate_load(
+    host: str,
+    port: int,
+    model: str,
+    transitions: Sequence[Tuple[object, object]],
+    clients: int = 64,
+    requests_per_client: int = 50,
+) -> LoadReport:
+    """Hammer a server with N concurrent single-transition query streams.
+
+    Each of ``clients`` connections issues ``requests_per_client``
+    ``evaluate`` requests back to back (one in flight per connection, so
+    concurrency across connections is what feeds the server's
+    micro-batcher) and every round trip is timed individually.
+    """
+    if not transitions:
+        raise ReproError("generate_load needs at least one transition")
+    normalized = [(_bits(i), _bits(f)) for i, f in transitions]
+    latencies: List[float] = []
+    errors = [0]
+
+    async def _run() -> float:
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _load_worker(
+                    host,
+                    port,
+                    model,
+                    normalized,
+                    requests_per_client,
+                    worker,
+                    latencies,
+                    errors,
+                )
+                for worker in range(clients)
+            )
+        )
+        return time.perf_counter() - started
+
+    elapsed = asyncio.run(_run())
+    total = clients * requests_per_client
+    ordered = sorted(latencies)
+    return LoadReport(
+        clients=clients,
+        requests=total,
+        errors=errors[0],
+        seconds=elapsed,
+        requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=1000.0 * _percentile(ordered, 0.50),
+        latency_p99_ms=1000.0 * _percentile(ordered, 0.99),
+        latency_mean_ms=(
+            1000.0 * sum(ordered) / len(ordered) if ordered else 0.0
+        ),
+    )

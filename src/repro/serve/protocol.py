@@ -1,0 +1,197 @@
+"""Wire protocol of the power-query service: JSON lines over TCP.
+
+Each request and each response is one JSON object on one ``\\n``-terminated
+line (UTF-8).  Requests carry a caller-chosen ``id`` that is echoed back,
+so a client may pipeline many requests on one connection and match
+responses out of order (micro-batching on the server reorders completions
+by design).
+
+Request shapes
+--------------
+``{"id": .., "op": "evaluate", "model": NAME, "initial": BITS, "final": BITS}``
+    One transition; ``BITS`` is an n-character 0/1 string in the model's
+    external input order.
+``{"id": .., "op": "evaluate", "model": NAME, "pairs": [[BITS, BITS], ...]}``
+    A client-side batch of transitions in one request.
+``{"id": .., "op": "models"}``
+    Names and metadata of the models this server holds.
+``{"id": .., "op": "ping"}`` / ``{"id": .., "op": "stats"}`` /
+``{"id": .., "op": "shutdown"}``
+    Liveness, telemetry snapshot, graceful stop.
+
+Responses are ``{"id": .., "ok": true, "result": ...}`` on success and
+``{"id": .., "ok": false, "error": {"type": T, "message": M}}`` on
+failure, with ``T`` one of :data:`ERROR_TYPES`.  A line the server cannot
+even parse is answered with ``id = null`` and a ``protocol`` error.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Structured error categories a response may carry.
+ERROR_TYPES = (
+    "protocol",       # unparseable line / not a JSON object / line too long
+    "bad_request",    # parseable but malformed request (bits, fields, op args)
+    "unknown_model",  # model name the server does not hold
+    "timeout",        # request expired before its batch was evaluated
+    "unavailable",    # server is shutting down
+    "internal",       # unexpected evaluation failure
+)
+
+#: One request line may not exceed this many bytes (DoS guard; generous
+#: enough for thousands of transitions of a wide macro in one batch).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A request violated the wire protocol; carries the error type."""
+
+    def __init__(self, error_type: str, message: str):
+        assert error_type in ERROR_TYPES
+        self.error_type = error_type
+        super().__init__(message)
+
+
+def encode(obj: Dict) -> bytes:
+    """Serialise one protocol object to its wire line."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> Dict:
+    """Parse one request line; raises :class:`ProtocolError` when invalid."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "protocol", f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("protocol", f"unparseable request: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("protocol", "request must be a JSON object")
+    if "op" not in obj or not isinstance(obj["op"], str):
+        raise ProtocolError("bad_request", "request needs a string 'op' field")
+    return obj
+
+
+def ok_response(request_id, result) -> Dict:
+    """Build a success response envelope."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, error_type: str, message: str) -> Dict:
+    """Build a structured error response envelope."""
+    if error_type not in ERROR_TYPES:
+        error_type = "internal"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+def _parse_bits(bits, width: int, field: str) -> List[bool]:
+    if not isinstance(bits, str) or len(bits) != width or set(bits) - {"0", "1"}:
+        raise ProtocolError(
+            "bad_request",
+            f"{field!r} must be a {width}-character 0/1 string",
+        )
+    return [ch == "1" for ch in bits]
+
+
+def parse_transitions(
+    request: Dict, num_inputs: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract the ``(P, n)`` initial/final matrices of an evaluate request.
+
+    Accepts either the single-transition ``initial``/``final`` fields or
+    a ``pairs`` list; exactly one spelling must be present.
+    """
+    has_single = "initial" in request or "final" in request
+    has_pairs = "pairs" in request
+    if has_single == has_pairs:
+        raise ProtocolError(
+            "bad_request",
+            "evaluate needs either 'initial'+'final' or 'pairs' (not both)",
+        )
+    if has_single:
+        initial = [_parse_bits(request.get("initial"), num_inputs, "initial")]
+        final = [_parse_bits(request.get("final"), num_inputs, "final")]
+    else:
+        pairs = request["pairs"]
+        if (
+            not isinstance(pairs, list)
+            or not pairs
+            or not all(isinstance(p, (list, tuple)) and len(p) == 2 for p in pairs)
+        ):
+            raise ProtocolError(
+                "bad_request", "'pairs' must be a non-empty list of [initial, final]"
+            )
+        initial = [_parse_bits(p[0], num_inputs, "pairs[].initial") for p in pairs]
+        final = [_parse_bits(p[1], num_inputs, "pairs[].final") for p in pairs]
+    return np.array(initial, dtype=bool), np.array(final, dtype=bool)
+
+
+def model_summary(name: str, model) -> Dict:
+    """Metadata one ``models`` response row carries for a served model."""
+    return {
+        "name": name,
+        "macro": model.macro_name,
+        "inputs": model.num_inputs,
+        "input_names": list(model.input_names),
+        "strategy": model.strategy,
+        "nodes": model.size,
+        "source_netlist_sha256": model.source_hash,
+    }
+
+
+def require_field(request: Dict, field: str, kind=str):
+    """Fetch a typed field from a request or raise ``bad_request``."""
+    value = request.get(field)
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            "bad_request", f"request needs a {kind.__name__} {field!r} field"
+        )
+    return value
+
+
+def read_frames(buffer: bytes) -> Tuple[List[bytes], bytes]:
+    """Split a byte buffer into complete lines plus the unread remainder.
+
+    Helper for sync clients that read raw chunks; the server side uses
+    ``StreamReader.readline`` directly.
+    """
+    frames: List[bytes] = []
+    while True:
+        newline = buffer.find(b"\n")
+        if newline < 0:
+            return frames, buffer
+        frames.append(buffer[:newline])
+        buffer = buffer[newline + 1 :]
+
+
+class ResponseError(ReproError):
+    """Raised by clients when a response carries a structured error."""
+
+    def __init__(self, error_type: str, message: str, request_id=None):
+        self.error_type = error_type
+        self.request_id = request_id
+        super().__init__(f"{error_type}: {message}")
+
+
+def unwrap_response(response: Dict):
+    """Return a response's result, raising :class:`ResponseError` on error."""
+    if response.get("ok"):
+        return response.get("result")
+    error = response.get("error") or {}
+    raise ResponseError(
+        error.get("type", "internal"),
+        error.get("message", "malformed error response"),
+        request_id=response.get("id"),
+    )

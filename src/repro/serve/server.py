@@ -1,0 +1,483 @@
+"""Micro-batching asyncio server for power queries.
+
+:class:`PowerQueryServer` holds a set of named, pre-compiled
+:class:`~repro.models.addmodel.AddPowerModel`\\ s and answers the JSON-lines
+protocol of :mod:`repro.serve.protocol` over TCP.  Its defining feature is
+the request path: concurrent ``evaluate`` requests for the *same* model are
+not evaluated one by one — they are parked in a per-model
+:class:`_Batcher` and flushed as **one** numpy call through the compiled
+ADD kernel once either ``max_batch`` rows have accumulated or the oldest
+request has waited ``max_wait_ms``.  A root-to-leaf batch walk costs
+almost the same for 64 rows as for one (the per-level numpy overhead
+dominates), so batching converts per-request kernel cost into per-batch
+kernel cost; ``benchmarks/bench_serving.py`` quantifies the win.
+
+Operational behaviour:
+
+- **per-request timeouts** — every request carries a deadline; a flush
+  answers expired requests with a structured ``timeout`` error instead of
+  evaluating them;
+- **structured errors** — malformed lines, unknown models, bad bit
+  strings and internal failures all map to typed error responses, and a
+  protocol error never tears down the connection;
+- **graceful shutdown** — ``stop()`` (or the ``shutdown`` op) stops
+  accepting connections, flushes every parked request, answers it, and
+  closes the streams.
+
+The server is single-loop asyncio: evaluation happens inline on the event
+loop (numpy releases the GIL for the heavy gathers, and a batch costs
+tens of microseconds), which keeps the design free of cross-thread
+handoff.  For tests, the CLI and benchmarks, :func:`start_in_thread` runs
+a server on a private loop in a daemon thread and returns a handle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.addmodel import AddPowerModel
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+_MET = get_metrics()
+_CONNECTIONS = _MET.counter("serve.connections")
+_REQUESTS = _MET.counter("serve.requests")
+_ERRORS = _MET.counter("serve.errors")
+_TIMEOUTS = _MET.counter("serve.timeouts")
+_EVAL_REQUESTS = _MET.counter("serve.eval.requests")
+_EVAL_ROWS = _MET.counter("serve.eval.rows")
+_EVAL_BATCHES = _MET.counter("serve.eval.batches")
+_BATCH_ROWS = _MET.histogram(
+    "serve.eval.batch_rows", (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+)
+_REQUEST_SECONDS = _MET.histogram(
+    "serve.request.seconds",
+    (1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`PowerQueryServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (read it back from ``server.port``).
+    port: int = 0
+    #: Flush a model's queue as soon as this many rows are parked.
+    max_batch: int = 256
+    #: ... or when the oldest parked request has waited this long.
+    max_wait_ms: float = 2.0
+    #: Requests not answered within this budget get a ``timeout`` error.
+    request_timeout_s: float = 30.0
+    #: False = evaluate each request inline as it arrives (the unbatched
+    #: baseline the serving benchmark compares against).
+    batching: bool = True
+
+
+@dataclass
+class _Pending:
+    """One parked evaluate request."""
+
+    request_id: object
+    writer: asyncio.StreamWriter
+    initial: np.ndarray  # (P, n) bool
+    final: np.ndarray  # (P, n) bool
+    single: bool  # answer with a scalar instead of a list
+    arrived: float
+    deadline: float
+
+
+class _Batcher:
+    """Accumulates evaluate requests for one model between flushes."""
+
+    __slots__ = ("model", "pending", "rows", "timer")
+
+    def __init__(self, model: AddPowerModel):
+        self.model = model
+        self.pending: List[_Pending] = []
+        self.rows = 0
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class PowerQueryServer:
+    """Serve ``evaluate`` queries against a set of named power models."""
+
+    def __init__(
+        self,
+        models: Dict[str, AddPowerModel],
+        config: ServerConfig = ServerConfig(),
+    ):
+        if not models:
+            raise ValueError("a PowerQueryServer needs at least one model")
+        self.models = dict(models)
+        self.config = config
+        self.port: Optional[int] = None
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batchers: Dict[str, _Batcher] = {}
+        self._writers: set = set()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stopping = False
+        # Pre-compile every model so the first query does not pay the
+        # O(model size) flattening.
+        for model in self.models.values():
+            model.compiled()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`request_stop` (or the ``shutdown`` op) fires."""
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask the server loop to shut down (safe from within handlers)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, flush, answer, close."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Answer everything still parked, then close the streams.
+        for name in list(self._batchers):
+            self._flush(name)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already-broken transport
+                pass
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        _CONNECTIONS.inc()
+        self._writers.add(writer)
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    # Loop teardown during shutdown cancels handlers still
+                    # parked on readline; exit cleanly so the cancellation
+                    # doesn't surface as a stream-callback traceback.
+                    break
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized line: answer and drop the connection
+                    self._send(
+                        writer,
+                        protocol.error_response(
+                            None, "protocol", "request line too long"
+                        ),
+                    )
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break  # client closed
+                if line.strip() == b"":
+                    continue
+                await self._dispatch(line, writer)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    def _send(self, writer: asyncio.StreamWriter, response: Dict) -> None:
+        if writer.is_closing():
+            return
+        if not response.get("ok", False):
+            _ERRORS.inc()
+        try:
+            writer.write(protocol.encode(response))
+        except ConnectionError:  # pragma: no cover - racing disconnect
+            pass
+
+    async def _dispatch(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        _REQUESTS.inc()
+        arrived = time.perf_counter()
+        request_id = None
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op == "evaluate":
+                self._handle_evaluate(request, writer, arrived)
+            elif op == "ping":
+                self._send(writer, protocol.ok_response(request_id, "pong"))
+            elif op == "models":
+                self._send(
+                    writer,
+                    protocol.ok_response(
+                        request_id,
+                        [
+                            protocol.model_summary(name, model)
+                            for name, model in sorted(self.models.items())
+                        ],
+                    ),
+                )
+            elif op == "stats":
+                self._send(
+                    writer, protocol.ok_response(request_id, self._stats())
+                )
+            elif op == "shutdown":
+                self._send(writer, protocol.ok_response(request_id, "stopping"))
+                self.request_stop()
+            else:
+                raise ProtocolError("bad_request", f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self._send(
+                writer,
+                protocol.error_response(request_id, exc.error_type, str(exc)),
+            )
+        except Exception as exc:  # noqa: BLE001 - answer, don't crash the loop
+            self._send(
+                writer,
+                protocol.error_response(
+                    request_id, "internal", f"{type(exc).__name__}: {exc}"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Evaluate path
+    # ------------------------------------------------------------------
+    def _handle_evaluate(
+        self, request: Dict, writer: asyncio.StreamWriter, arrived: float
+    ) -> None:
+        if self._stopping:
+            raise ProtocolError("unavailable", "server is shutting down")
+        name = protocol.require_field(request, "model")
+        model = self.models.get(name)
+        if model is None:
+            raise ProtocolError(
+                "unknown_model",
+                f"no model {name!r} (serving: {sorted(self.models)})",
+            )
+        initial, final = protocol.parse_transitions(request, model.num_inputs)
+        single = "pairs" not in request
+        _EVAL_REQUESTS.inc()
+        pending = _Pending(
+            request_id=request.get("id"),
+            writer=writer,
+            initial=initial,
+            final=final,
+            single=single,
+            arrived=arrived,
+            deadline=arrived + self.config.request_timeout_s,
+        )
+        if not self.config.batching or self.config.max_batch <= 1:
+            self._evaluate([pending], model)
+            return
+        batcher = self._batchers.get(name)
+        if batcher is None:
+            batcher = self._batchers[name] = _Batcher(model)
+        batcher.pending.append(pending)
+        batcher.rows += initial.shape[0]
+        if batcher.rows >= self.config.max_batch:
+            self._flush(name)
+        elif batcher.timer is None:
+            loop = asyncio.get_running_loop()
+            batcher.timer = loop.call_later(
+                self.config.max_wait_ms / 1000.0, self._flush, name
+            )
+
+    def _flush(self, name: str) -> None:
+        """Answer every request parked for one model in a single kernel call."""
+        batcher = self._batchers.get(name)
+        if batcher is None or not batcher.pending:
+            return
+        if batcher.timer is not None:
+            batcher.timer.cancel()
+            batcher.timer = None
+        pending, batcher.pending, batcher.rows = batcher.pending, [], 0
+        self._evaluate(pending, batcher.model)
+
+    def _evaluate(self, pending: List[_Pending], model: AddPowerModel) -> None:
+        now = time.perf_counter()
+        live: List[_Pending] = []
+        for item in pending:
+            if now > item.deadline:
+                _TIMEOUTS.inc()
+                self._send(
+                    item.writer,
+                    protocol.error_response(
+                        item.request_id,
+                        "timeout",
+                        f"request expired after "
+                        f"{self.config.request_timeout_s:.3f}s in queue",
+                    ),
+                )
+            else:
+                live.append(item)
+        if not live:
+            return
+        initial = np.concatenate([item.initial for item in live])
+        final = np.concatenate([item.final for item in live])
+        tracer = get_tracer()
+        try:
+            with tracer.span(
+                "serve.eval", model=model.macro_name, rows=initial.shape[0]
+            ):
+                values = model.pair_capacitances(initial, final)
+        except Exception as exc:  # noqa: BLE001 - typed error per request
+            for item in live:
+                self._send(
+                    item.writer,
+                    protocol.error_response(
+                        item.request_id,
+                        "internal",
+                        f"evaluation failed: {type(exc).__name__}: {exc}",
+                    ),
+                )
+            return
+        _EVAL_BATCHES.inc()
+        _EVAL_ROWS.inc(int(initial.shape[0]))
+        _BATCH_ROWS.observe(len(live))
+        done = time.perf_counter()
+        offset = 0
+        for item in live:
+            count = item.initial.shape[0]
+            chunk = values[offset : offset + count]
+            offset += count
+            if item.single:
+                result = {"capacitance_fF": float(chunk[0])}
+            else:
+                result = {"capacitances_fF": [float(v) for v in chunk]}
+            self._send(item.writer, protocol.ok_response(item.request_id, result))
+            _REQUEST_SECONDS.observe(done - item.arrived)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _stats(self) -> Dict:
+        snapshot = _MET.snapshot()
+        return {
+            "models": sorted(self.models),
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "config": {
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "batching": self.config.batching,
+                "request_timeout_s": self.config.request_timeout_s,
+            },
+            "metrics": {
+                name: state
+                for name, state in snapshot.items()
+                if name.startswith(("serve.", "compiled.eval"))
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted servers (tests, CLI foreground helpers, benchmarks)
+# ---------------------------------------------------------------------------
+@dataclass
+class ServerHandle:
+    """A server running on a private event loop in a daemon thread."""
+
+    server: PowerQueryServer
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop
+    host: str = field(init=False)
+    port: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.host = self.server.config.host
+        assert self.server.port is not None
+        self.port = self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request a graceful shutdown and join the server thread."""
+        try:
+            self.loop.call_soon_threadsafe(self.server.request_stop)
+        except RuntimeError:  # loop already closed
+            pass
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    models: Dict[str, AddPowerModel],
+    config: ServerConfig = ServerConfig(),
+    ready_timeout: float = 30.0,
+) -> ServerHandle:
+    """Run a :class:`PowerQueryServer` in a daemon thread; returns a handle.
+
+    The handle exposes the bound ``host``/``port`` and a blocking
+    :meth:`ServerHandle.stop`.  Exceptions during startup propagate to
+    the caller.
+    """
+    server = PowerQueryServer(models, config)
+    ready = threading.Event()
+    box: Dict[str, object] = {}
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:  # noqa: BLE001 - surface to caller
+            box["error"] = exc
+            ready.set()
+            return
+        box["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server.serve_forever()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), name="power-query-server", daemon=True
+    )
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise TimeoutError("power-query server did not start in time")
+    if "error" in box:
+        thread.join(1.0)
+        raise box["error"]  # type: ignore[misc]
+    return ServerHandle(server=server, thread=thread, loop=box["loop"])  # type: ignore[arg-type]

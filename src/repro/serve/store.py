@@ -1,0 +1,533 @@
+"""Content-addressed persistence of ADD power models.
+
+The paper's economics only work if a model is *built once* and reused for
+arbitrarily many queries; :class:`ModelStore` makes that literal.  Every
+model is cached on disk under a key derived from *content*, not names:
+
+    key = sha256( canonical netlist structure , canonical build config )
+
+so a structurally identical netlist — whatever file, generator or process
+it came from — resolves to the same cached model, while any change to the
+circuit or to the build parameters (``max_nodes``, ``strategy``, ...)
+produces a different key and therefore a fresh build.
+
+Layout of a store directory::
+
+    <root>/objects/<key>.json   # one store entry per model (atomic writes)
+    <root>/manifest.json        # metadata cache, rebuildable from objects/
+
+The ``objects/`` directory is the source of truth.  The manifest is a
+pure metadata cache (macro name, sizes, timestamps) kept for cheap
+``ls``/``gc``; it is rewritten atomically after every mutation and, if it
+is ever missing or corrupt, it is rebuilt by scanning ``objects/``.  All
+file creation goes through write-to-temp + :func:`os.replace`, so
+concurrent processes sharing one store directory never observe partial
+entries — the worst case under a build race is that both processes build
+and one atomic replace wins.
+
+On top of the disk layer sits a per-process LRU of deserialised models
+bounded by an *approximate* byte budget (the serialised payload size is
+used as the estimate), so a server process keeps its hot models resident
+without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.models.addmodel import AddPowerModel, BuildJob, build_add_models_parallel
+from repro.models.serialize import model_from_dict, model_to_dict
+from repro.netlist.netlist import Netlist
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+ENTRY_FORMAT = "repro-model-store-entry"
+MANIFEST_FORMAT = "repro-model-store-manifest"
+STORE_VERSION = 1
+
+#: Default in-memory budget: enough for a few hundred budget-sized
+#: (MAX=1000) models, small next to a typical server's footprint.
+DEFAULT_MEMORY_BUDGET_BYTES = 128 * 1024 * 1024
+
+_MET = get_metrics()
+_HITS = _MET.counter("serve.store.hits")
+_MISSES = _MET.counter("serve.store.misses")
+_MEMORY_HITS = _MET.counter("serve.store.memory_hits")
+_DISK_HITS = _MET.counter("serve.store.disk_hits")
+_BUILDS = _MET.counter("serve.store.builds")
+_EVICTIONS = _MET.counter("serve.store.lru_evictions")
+_CORRUPT = _MET.counter("serve.store.corrupt_entries")
+_GC_REMOVED = _MET.counter("serve.store.gc_removed")
+
+
+def canonical_build_config(config: Dict) -> Dict:
+    """Normalise ``build_add_model`` keyword arguments for hashing.
+
+    Fills in the builder's defaults so ``{}`` and an explicit
+    ``{"max_nodes": 1000}``-style spelling of the same build hash
+    identically, and sorts any explicit input order into a reproducible
+    JSON shape.
+    """
+    known = {
+        "max_nodes": 1000,
+        "strategy": "avg",
+        "scheme": "interleaved",
+        "input_order": None,
+        "accumulation": "tree",
+    }
+    unknown = sorted(set(config) - set(known))
+    if unknown:
+        raise ModelError(
+            f"unknown build config key(s) for the model store: {unknown}"
+        )
+    merged = dict(known)
+    merged.update(config)
+    if merged["input_order"] is not None:
+        merged["input_order"] = list(merged["input_order"])
+    return merged
+
+
+def store_key(netlist: Netlist, config: Dict) -> str:
+    """Content-addressed cache key for (netlist, build config)."""
+    blob = json.dumps(
+        {
+            "netlist": netlist.canonical_dict(),
+            "config": canonical_build_config(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Manifest metadata for one cached model."""
+
+    key: str
+    macro_name: str
+    strategy: str
+    max_nodes: Optional[int]
+    nodes: int
+    payload_bytes: int
+    netlist_sha256: str
+    created_at: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "macro_name": self.macro_name,
+            "strategy": self.strategy,
+            "max_nodes": self.max_nodes,
+            "nodes": self.nodes,
+            "payload_bytes": self.payload_bytes,
+            "netlist_sha256": self.netlist_sha256,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "StoreEntry":
+        return cls(
+            key=raw["key"],
+            macro_name=raw["macro_name"],
+            strategy=raw["strategy"],
+            max_nodes=raw["max_nodes"],
+            nodes=raw["nodes"],
+            payload_bytes=raw["payload_bytes"],
+            netlist_sha256=raw["netlist_sha256"],
+            created_at=raw["created_at"],
+        )
+
+
+def _atomic_write_json(path: Path, payload: Dict) -> int:
+    """Write JSON via temp file + rename; returns the byte size written."""
+    blob = json.dumps(payload, separators=(",", ":"))
+    data = blob.encode("utf-8")
+    handle, temp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+class ModelStore:
+    """Content-addressed on-disk + in-memory cache of ADD power models."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+    ):
+        if memory_budget_bytes < 0:
+            raise ModelError("memory_budget_bytes must be >= 0")
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.manifest_path = self.root / "manifest.json"
+        self.memory_budget_bytes = memory_budget_bytes
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        # key -> (model, approximate byte cost); most recently used last.
+        self._lru: "OrderedDict[str, Tuple[AddPowerModel, int]]" = OrderedDict()
+        self._lru_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def key_for(self, netlist: Netlist, **build_kwargs) -> str:
+        """The store key this netlist + build config resolves to."""
+        return store_key(netlist, build_kwargs)
+
+    def _object_path(self, key: str) -> Path:
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise ModelError(f"malformed store key {key!r}")
+        return self.objects_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # In-memory LRU
+    # ------------------------------------------------------------------
+    def _lru_get(self, key: str) -> Optional[AddPowerModel]:
+        hit = self._lru.get(key)
+        if hit is None:
+            return None
+        self._lru.move_to_end(key)
+        return hit[0]
+
+    def _lru_put(self, key: str, model: AddPowerModel, cost: int) -> None:
+        if key in self._lru:
+            self._lru_bytes -= self._lru.pop(key)[1]
+        self._lru[key] = (model, cost)
+        self._lru_bytes += cost
+        # Evict least-recently-used entries down to the budget, but never
+        # the entry just inserted (a single over-budget model stays
+        # resident rather than thrashing on every call).
+        while self._lru_bytes > self.memory_budget_bytes and len(self._lru) > 1:
+            _, (_, evicted_cost) = self._lru.popitem(last=False)
+            self._lru_bytes -= evicted_cost
+            _EVICTIONS.inc()
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate bytes currently pinned by the in-memory LRU."""
+        return self._lru_bytes
+
+    @property
+    def memory_entries(self) -> int:
+        """Number of models resident in the in-memory LRU."""
+        return len(self._lru)
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _read_entry(self, key: str) -> Optional[Tuple[AddPowerModel, int]]:
+        """Load one object file; quarantines corrupt entries.
+
+        Returns ``(model, payload_bytes)`` or None when the entry is
+        absent or unreadable.  A corrupt file (truncated write from a
+        crashed process, bit rot, unsupported version) is deleted so the
+        caller falls through to a rebuild instead of failing forever.
+        """
+        path = self._object_path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            raw = json.loads(data)
+            if raw.get("format") != ENTRY_FORMAT:
+                raise ModelError(
+                    f"not a {ENTRY_FORMAT} payload (format={raw.get('format')!r})"
+                )
+            if raw.get("version") != STORE_VERSION:
+                raise ModelError(
+                    f"unsupported store entry version {raw.get('version')!r}"
+                )
+            model = model_from_dict(raw["model"])
+        except (ValueError, KeyError, ModelError):
+            _CORRUPT.inc()
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            self._drop_manifest_entries([key])
+            return None
+        return model, len(data)
+
+    def _write_entry(
+        self, key: str, model: AddPowerModel, config: Dict
+    ) -> StoreEntry:
+        payload = {
+            "format": ENTRY_FORMAT,
+            "version": STORE_VERSION,
+            "key": key,
+            "config": canonical_build_config(config),
+            "model": model_to_dict(model),
+        }
+        size = _atomic_write_json(self._object_path(key), payload)
+        entry = StoreEntry(
+            key=key,
+            macro_name=model.macro_name,
+            strategy=model.strategy,
+            max_nodes=canonical_build_config(config)["max_nodes"],
+            nodes=model.size,
+            payload_bytes=size,
+            netlist_sha256=model.source_hash or "",
+            created_at=time.time(),
+        )
+        self._update_manifest({key: entry})
+        return entry
+
+    # ------------------------------------------------------------------
+    # Manifest (metadata cache; objects/ is the source of truth)
+    # ------------------------------------------------------------------
+    def _load_manifest(self) -> Dict[str, StoreEntry]:
+        try:
+            raw = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+            if raw.get("format") != MANIFEST_FORMAT:
+                raise ValueError("wrong manifest format")
+            entries = {
+                key: StoreEntry.from_dict(value)
+                for key, value in raw.get("entries", {}).items()
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            entries = {}
+        # Reconcile with the objects directory: drop stale records, pick
+        # up files another process wrote (metadata filled lazily).
+        on_disk = {path.stem for path in self.objects_dir.glob("*.json")}
+        entries = {k: v for k, v in entries.items() if k in on_disk}
+        for key in on_disk - set(entries):
+            loaded = self._read_entry(key)
+            if loaded is None:
+                continue
+            model, size = loaded
+            entries[key] = StoreEntry(
+                key=key,
+                macro_name=model.macro_name,
+                strategy=model.strategy,
+                max_nodes=model.report.max_nodes if model.report else None,
+                nodes=model.size,
+                payload_bytes=size,
+                netlist_sha256=model.source_hash or "",
+                created_at=self._object_path(key).stat().st_mtime,
+            )
+        return entries
+
+    def _write_manifest(self, entries: Dict[str, StoreEntry]) -> None:
+        _atomic_write_json(
+            self.manifest_path,
+            {
+                "format": MANIFEST_FORMAT,
+                "version": STORE_VERSION,
+                "entries": {k: v.to_dict() for k, v in entries.items()},
+            },
+        )
+
+    def _update_manifest(self, new_entries: Dict[str, StoreEntry]) -> None:
+        entries = self._load_manifest()
+        entries.update(new_entries)
+        self._write_manifest(entries)
+
+    def _drop_manifest_entries(self, keys: Sequence[str]) -> None:
+        entries = self._load_manifest()
+        for key in keys:
+            entries.pop(key, None)
+        self._write_manifest(entries)
+
+    # ------------------------------------------------------------------
+    # Public cache API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[AddPowerModel]:
+        """Cached model for ``key``, or None (memory first, then disk)."""
+        model = self._lru_get(key)
+        if model is not None:
+            _MEMORY_HITS.inc()
+            return model
+        loaded = self._read_entry(key)
+        if loaded is None:
+            return None
+        model, size = loaded
+        _DISK_HITS.inc()
+        self._lru_put(key, model, size)
+        return model
+
+    def contains(self, key: str) -> bool:
+        """True if the key resolves in memory or on disk."""
+        return key in self._lru or self._object_path(key).exists()
+
+    def put(
+        self, netlist: Netlist, model: AddPowerModel, **build_kwargs
+    ) -> str:
+        """Insert an already-built model; returns its key."""
+        if model.source_hash is None:
+            model.source_hash = netlist.content_hash()
+        key = self.key_for(netlist, **build_kwargs)
+        entry = self._write_entry(key, model, build_kwargs)
+        self._lru_put(key, model, entry.payload_bytes)
+        return key
+
+    def get_or_build(self, netlist: Netlist, **build_kwargs) -> AddPowerModel:
+        """The main path: cached model, or build-and-cache on a miss."""
+        return self.get_or_build_many([(netlist, build_kwargs)])[0]
+
+    def get_or_build_many(
+        self,
+        jobs: Sequence[BuildJob],
+        processes: Optional[int] = None,
+        **common_kwargs,
+    ) -> List[AddPowerModel]:
+        """Resolve many (netlist, config) jobs at once, in job order.
+
+        Hits are served from the cache; *all* misses are built in one
+        :func:`~repro.models.addmodel.build_add_models_parallel` fan-out,
+        so a cold store pays one pool spin-up, not one per model.
+        """
+        tracer = get_tracer()
+        normalized: List[Tuple[Netlist, Dict]] = []
+        for job in jobs:
+            if isinstance(job, Netlist):
+                netlist, overrides = job, {}
+            else:
+                netlist, overrides = job
+            kwargs = dict(common_kwargs)
+            kwargs.update(overrides)
+            normalized.append((netlist, kwargs))
+
+        results: List[Optional[AddPowerModel]] = [None] * len(normalized)
+        misses: List[int] = []
+        miss_keys: Dict[str, int] = {}
+        for position, (netlist, kwargs) in enumerate(normalized):
+            key = store_key(netlist, kwargs)
+            with tracer.span("serve.store.get", key=key[:12]):
+                model = self.get(key)
+            if (
+                model is not None
+                and model.source_hash is not None
+                and model.source_hash != netlist.content_hash()
+            ):
+                # The payload's recorded netlist hash disagrees with the
+                # netlist this key was derived from: a tampered or
+                # misplaced entry.  Quarantine and rebuild.
+                _CORRUPT.inc()
+                self.remove(key)
+                model = None
+            if model is not None:
+                _HITS.inc()
+                results[position] = model
+            else:
+                _MISSES.inc()
+                # Deduplicate identical jobs within one batch: build once,
+                # share the instance.
+                if key in miss_keys:
+                    continue
+                miss_keys[key] = position
+                misses.append(position)
+        if misses:
+            with tracer.span("serve.store.build", count=len(misses)):
+                built = build_add_models_parallel(
+                    [normalized[p] for p in misses], processes=processes
+                )
+            _BUILDS.inc(len(built))
+            for position, model in zip(misses, built):
+                netlist, kwargs = normalized[position]
+                self.put(netlist, model, **kwargs)
+                results[position] = model
+        # Fill duplicate-miss positions from whatever their key resolved to.
+        for position, (netlist, kwargs) in enumerate(normalized):
+            if results[position] is None:
+                results[position] = self.get(store_key(netlist, kwargs))
+        assert all(model is not None for model in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def ls(self) -> List[StoreEntry]:
+        """All entries, newest first."""
+        return sorted(
+            self._load_manifest().values(),
+            key=lambda entry: -entry.created_at,
+        )
+
+    def disk_bytes(self) -> int:
+        """Total serialised bytes across all cached objects."""
+        return sum(entry.payload_bytes for entry in self._load_manifest().values())
+
+    def remove(self, key: str) -> bool:
+        """Delete one entry from disk and memory; True if it existed."""
+        existed = False
+        if key in self._lru:
+            self._lru_bytes -= self._lru.pop(key)[1]
+            existed = True
+        try:
+            self._object_path(key).unlink()
+            existed = True
+        except FileNotFoundError:
+            pass
+        self._drop_manifest_entries([key])
+        return existed
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[StoreEntry]:
+        """Shrink the disk cache; returns the entries removed.
+
+        Entries older than ``max_age_seconds`` go first; then, if the
+        remaining total still exceeds ``max_bytes``, oldest entries are
+        dropped until it fits.
+        """
+        now = time.time() if now is None else now
+        entries = sorted(
+            self._load_manifest().values(), key=lambda entry: entry.created_at
+        )
+        removed: List[StoreEntry] = []
+        if max_age_seconds is not None:
+            for entry in list(entries):
+                if now - entry.created_at > max_age_seconds:
+                    removed.append(entry)
+                    entries.remove(entry)
+        if max_bytes is not None:
+            total = sum(entry.payload_bytes for entry in entries)
+            while entries and total > max_bytes:
+                entry = entries.pop(0)
+                total -= entry.payload_bytes
+                removed.append(entry)
+        for entry in removed:
+            self.remove(entry.key)
+        _GC_REMOVED.inc(len(removed))
+        return removed
+
+    def prefetch(
+        self,
+        netlists: Sequence[Netlist],
+        processes: Optional[int] = None,
+        **build_kwargs,
+    ) -> List[str]:
+        """Warm the store for a set of netlists; returns their keys."""
+        self.get_or_build_many(list(netlists), processes=processes, **build_kwargs)
+        return [self.key_for(n, **build_kwargs) for n in netlists]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelStore(root={str(self.root)!r}, "
+            f"memory={self._lru_bytes}/{self.memory_budget_bytes}B, "
+            f"resident={len(self._lru)})"
+        )

@@ -1,0 +1,265 @@
+"""PowerQueryServer: protocol, micro-batching, timeouts, shutdown."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.models import build_add_model
+from repro.netlist import NetlistBuilder
+from repro.obs import get_metrics
+from repro.serve import (
+    PowerQueryClient,
+    ProtocolError,
+    ResponseError,
+    ServerConfig,
+    generate_load,
+    start_in_thread,
+)
+from repro.serve import protocol
+from repro.sim import uniform_pairs
+
+
+def make_model(name: str = "quad"):
+    builder = NetlistBuilder(name)
+    a, b, c, d = (builder.input(ch) for ch in "abcd")
+    builder.netlist.add_output(builder.or2(builder.and2(a, b), builder.xor2(c, d)))
+    netlist = builder.build()
+    return netlist, build_add_model(netlist, max_nodes=200)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One shared server + model for the read-only protocol tests."""
+    netlist, model = make_model()
+    handle = start_in_thread(
+        {"quad": model}, ServerConfig(max_batch=64, max_wait_ms=1.0)
+    )
+    yield handle, netlist, model
+    handle.stop()
+
+
+def bits(row) -> str:
+    return "".join("1" if b else "0" for b in row)
+
+
+class TestProtocolUnit:
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_request(b"[1, 2]")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            protocol.decode_request(b"{nope")
+
+    def test_decode_requires_op(self):
+        with pytest.raises(ProtocolError, match="'op'"):
+            protocol.decode_request(b'{"id": 1}')
+
+    def test_parse_transitions_single(self):
+        initial, final = protocol.parse_transitions(
+            {"initial": "0101", "final": "1010"}, 4
+        )
+        assert initial.shape == (1, 4)
+        assert list(initial[0]) == [False, True, False, True]
+        assert list(final[0]) == [True, False, True, False]
+
+    def test_parse_transitions_wrong_width(self):
+        with pytest.raises(ProtocolError, match="4-character"):
+            protocol.parse_transitions({"initial": "01", "final": "1010"}, 4)
+
+    def test_parse_transitions_both_spellings_rejected(self):
+        with pytest.raises(ProtocolError, match="not both"):
+            protocol.parse_transitions(
+                {"initial": "0101", "final": "1010", "pairs": []}, 4
+            )
+
+    def test_parse_transitions_empty_pairs_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            protocol.parse_transitions({"pairs": []}, 4)
+
+    def test_read_frames(self):
+        frames, rest = protocol.read_frames(b"one\ntwo\nthr")
+        assert frames == [b"one", b"two"]
+        assert rest == b"thr"
+
+    def test_unwrap_response_raises_typed_error(self):
+        with pytest.raises(ResponseError, match="unknown_model"):
+            protocol.unwrap_response(
+                protocol.error_response(1, "unknown_model", "nope")
+            )
+
+
+class TestEvaluate:
+    def test_single_matches_direct_model(self, served):
+        handle, netlist, model = served
+        initial, final = uniform_pairs(netlist.num_inputs, 20, seed=11)
+        with PowerQueryClient(handle.host, handle.port) as client:
+            for k in range(20):
+                served_value = client.evaluate("quad", initial[k], final[k])
+                direct = model.switching_capacitance(
+                    initial[k].astype(int), final[k].astype(int)
+                )
+                assert served_value == pytest.approx(direct)
+
+    def test_pairs_batch_matches_direct_model(self, served):
+        handle, netlist, model = served
+        initial, final = uniform_pairs(netlist.num_inputs, 50, seed=12)
+        with PowerQueryClient(handle.host, handle.port) as client:
+            values = client.evaluate_pairs(
+                "quad", list(zip(initial, final))
+            )
+        np.testing.assert_allclose(
+            values, model.pair_capacitances(initial, final)
+        )
+
+    def test_models_and_ping(self, served):
+        handle, netlist, model = served
+        with PowerQueryClient(handle.host, handle.port) as client:
+            assert client.ping()
+            (summary,) = client.models()
+        assert summary["name"] == "quad"
+        assert summary["inputs"] == netlist.num_inputs
+        assert summary["source_netlist_sha256"] == netlist.content_hash()
+
+    def test_micro_batching_merges_concurrent_requests(self, served):
+        handle, netlist, model = served
+        registry = get_metrics()
+        before = registry.snapshot()
+        initial, final = uniform_pairs(netlist.num_inputs, 8, seed=13)
+        report = generate_load(
+            handle.host,
+            handle.port,
+            "quad",
+            list(zip(initial, final)),
+            clients=16,
+            requests_per_client=25,
+        )
+        assert report.errors == 0
+        assert report.requests == 400
+        delta = registry.diff(before, registry.snapshot())
+        requests = delta["serve.eval.requests"]["value"]
+        batches = delta["serve.eval.batches"]["value"]
+        assert requests == 400
+        # Micro-batching must have merged concurrent requests: far fewer
+        # kernel calls than requests.
+        assert batches < requests / 2
+
+    def test_stats_op_reports_serving_metrics(self, served):
+        handle, _, _ = served
+        with PowerQueryClient(handle.host, handle.port) as client:
+            client.evaluate("quad", "0000", "1111")
+            stats = client.stats()
+        assert "quad" in stats["models"]
+        assert stats["config"]["batching"] is True
+        assert stats["metrics"]["serve.eval.requests"]["value"] >= 1
+        assert stats["metrics"]["serve.eval.batches"]["value"] >= 1
+
+
+class TestErrors:
+    def test_unknown_model(self, served):
+        handle, _, _ = served
+        with PowerQueryClient(handle.host, handle.port) as client:
+            with pytest.raises(ResponseError, match="unknown_model"):
+                client.evaluate("nonesuch", "0000", "1111")
+
+    def test_bad_bits(self, served):
+        handle, _, _ = served
+        with PowerQueryClient(handle.host, handle.port) as client:
+            with pytest.raises(ResponseError, match="bad_request"):
+                client.evaluate("quad", "00", "11")
+
+    def test_unknown_op(self, served):
+        handle, _, _ = served
+        with PowerQueryClient(handle.host, handle.port) as client:
+            with pytest.raises(ResponseError, match="bad_request"):
+                client.call({"op": "frobnicate"})
+
+    def test_malformed_line_answered_not_fatal(self, served):
+        handle, _, _ = served
+        with socket.create_connection((handle.host, handle.port), timeout=10) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(b"this is not json\n")
+            stream.flush()
+            response = json.loads(stream.readline())
+            assert response["ok"] is False
+            assert response["id"] is None
+            assert response["error"]["type"] == "protocol"
+            # The connection survived the bad line.
+            stream.write(protocol.encode({"id": 7, "op": "ping"}))
+            stream.flush()
+            assert json.loads(stream.readline())["result"] == "pong"
+
+    def test_error_counter_increments(self, served):
+        handle, _, _ = served
+        registry = get_metrics()
+        before = registry.snapshot()
+        with PowerQueryClient(handle.host, handle.port) as client:
+            with pytest.raises(ResponseError):
+                client.evaluate("nonesuch", "0000", "1111")
+        delta = registry.diff(before, registry.snapshot())
+        assert delta["serve.errors"]["value"] >= 1
+
+
+class TestTimeout:
+    def test_parked_request_expires_with_timeout_error(self):
+        _, model = make_model("slowmac")
+        # A queue that effectively never fills, a flush timer far past
+        # the request deadline: the flush must answer with a timeout.
+        handle = start_in_thread(
+            {"slowmac": model},
+            ServerConfig(
+                max_batch=10_000,
+                max_wait_ms=150.0,
+                request_timeout_s=0.01,
+            ),
+        )
+        try:
+            with PowerQueryClient(handle.host, handle.port) as client:
+                with pytest.raises(ResponseError, match="timeout"):
+                    client.evaluate("slowmac", "0000", "1111")
+        finally:
+            handle.stop()
+
+
+class TestLifecycle:
+    def test_unbatched_mode_still_correct(self):
+        netlist, model = make_model("inline")
+        handle = start_in_thread(
+            {"inline": model}, ServerConfig(batching=False)
+        )
+        try:
+            initial, final = uniform_pairs(netlist.num_inputs, 10, seed=14)
+            with PowerQueryClient(handle.host, handle.port) as client:
+                values = [
+                    client.evaluate("inline", initial[k], final[k])
+                    for k in range(10)
+                ]
+            np.testing.assert_allclose(
+                values, model.pair_capacitances(initial, final)
+            )
+        finally:
+            handle.stop()
+
+    def test_shutdown_op_stops_server(self):
+        _, model = make_model("stopme")
+        handle = start_in_thread({"stopme": model}, ServerConfig())
+        with PowerQueryClient(handle.host, handle.port) as client:
+            client.shutdown()
+        handle.thread.join(10.0)
+        assert not handle.thread.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection((handle.host, handle.port), timeout=0.5)
+
+    def test_ephemeral_ports_are_distinct(self):
+        _, model = make_model("porty")
+        first = start_in_thread({"porty": model}, ServerConfig())
+        second = start_in_thread({"porty": model}, ServerConfig())
+        try:
+            assert first.port != second.port
+        finally:
+            first.stop()
+            second.stop()

@@ -1,0 +1,74 @@
+"""Replay the fuzz corpus through ModelStore + PowerQueryServer.
+
+Every shrunk corpus netlist goes through the full serving path — built
+via the content-addressed store, served over TCP, queried pair by pair —
+and the answers must match a direct :func:`build_add_model` evaluation
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models import build_add_model
+from repro.serve import ModelStore, PowerQueryClient, ServerConfig, start_in_thread
+from repro.testing import iter_corpus
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+CASES = sorted(iter_corpus(CORPUS_DIR), key=lambda pair: pair[0].name)
+assert CASES, "fuzz corpus is empty — serving replay has nothing to cover"
+
+
+@pytest.fixture(scope="module")
+def corpus_service(tmp_path_factory):
+    """All corpus models, store-built once, served under their file stems."""
+    store = ModelStore(tmp_path_factory.mktemp("corpus-store"))
+    models = {
+        path.stem: store.get_or_build(case.netlist, max_nodes=case.max_nodes)
+        for path, case in CASES
+    }
+    handle = start_in_thread(models, ServerConfig(max_batch=32, max_wait_ms=0.5))
+    yield store, handle
+    handle.stop()
+
+
+@pytest.mark.parametrize(
+    "path,case", CASES, ids=[path.stem for path, _ in CASES]
+)
+def test_served_matches_direct_model(path, case, corpus_service):
+    store, handle = corpus_service
+    direct = build_add_model(case.netlist, max_nodes=case.max_nodes)
+    expected = direct.pair_capacitances(case.initial, case.final)
+    with PowerQueryClient(handle.host, handle.port) as client:
+        served = client.evaluate_pairs(
+            path.stem, list(zip(case.initial, case.final))
+        )
+    np.testing.assert_allclose(served, expected)
+
+
+@pytest.mark.parametrize(
+    "path,case", CASES, ids=[path.stem for path, _ in CASES]
+)
+def test_store_round_trip_preserves_case_model(path, case, corpus_service):
+    """Reloading from disk (fresh store on the same dir) keeps the answers."""
+    store, _ = corpus_service
+    reloaded = ModelStore(store.root).get_or_build(
+        case.netlist, max_nodes=case.max_nodes
+    )
+    direct = build_add_model(case.netlist, max_nodes=case.max_nodes)
+    np.testing.assert_allclose(
+        reloaded.pair_capacitances(case.initial, case.final),
+        direct.pair_capacitances(case.initial, case.final),
+    )
+
+
+def test_corpus_store_holds_one_entry_per_distinct_netlist(corpus_service):
+    store, _ = corpus_service
+    distinct = {case.netlist.content_hash() for _, case in CASES}
+    # Keys also involve max_nodes, so the store may hold more entries
+    # than distinct netlists but never fewer.
+    assert len(store.ls()) >= len(distinct)

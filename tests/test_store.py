@@ -1,0 +1,261 @@
+"""ModelStore: content addressing, LRU, corruption recovery, sharing."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import build_add_model
+from repro.netlist import Netlist, NetlistBuilder
+from repro.obs import get_metrics
+from repro.serve import ModelStore, canonical_build_config, store_key
+from repro.sim import uniform_pairs
+
+
+def small_netlist(name: str = "smallmac", flavor: int = 0) -> Netlist:
+    """A 4-input mapped macro; ``flavor`` varies the structure."""
+    builder = NetlistBuilder(name)
+    a, b, c, d = (builder.input(ch) for ch in "abcd")
+    if flavor == 0:
+        out = builder.or2(builder.and2(a, b), builder.xor2(c, d))
+    elif flavor == 1:
+        out = builder.and2(builder.or2(a, b), builder.nand2(c, d))
+    else:
+        out = builder.xor2(builder.xor2(a, b), builder.or2(c, d))
+    builder.netlist.add_output(out)
+    return builder.build()
+
+
+def counter_value(name: str) -> float:
+    return get_metrics().counter(name).value
+
+
+class TestKeying:
+    def test_same_structure_same_key(self):
+        left = small_netlist("name-one")
+        right = small_netlist("name-two")
+        assert left.content_hash() == right.content_hash()
+        assert store_key(left, {}) == store_key(right, {})
+
+    def test_config_changes_key(self):
+        netlist = small_netlist()
+        base = store_key(netlist, {})
+        assert store_key(netlist, {"max_nodes": 7}) != base
+        assert store_key(netlist, {"strategy": "max"}) != base
+        # Defaults spelled explicitly hash like the empty config.
+        assert store_key(netlist, {"max_nodes": 1000, "strategy": "avg"}) == base
+
+    def test_structure_changes_key(self):
+        assert store_key(small_netlist(flavor=0), {}) != store_key(
+            small_netlist(flavor=1), {}
+        )
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ModelError, match="unknown build config"):
+            canonical_build_config({"max_nodez": 3})
+
+
+class TestGetOrBuild:
+    def test_miss_builds_then_hits(self, tmp_path):
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        builds_before = counter_value("serve.store.builds")
+        first = store.get_or_build(netlist, max_nodes=100)
+        assert counter_value("serve.store.builds") == builds_before + 1
+        # Second call: memory hit, identical object, no rebuild.
+        second = store.get_or_build(netlist, max_nodes=100)
+        assert second is first
+        assert counter_value("serve.store.builds") == builds_before + 1
+        # A fresh store on the same directory loads from disk.
+        disk_hits_before = counter_value("serve.store.disk_hits")
+        reloaded = ModelStore(tmp_path).get_or_build(netlist, max_nodes=100)
+        assert counter_value("serve.store.builds") == builds_before + 1
+        assert counter_value("serve.store.disk_hits") == disk_hits_before + 1
+        initial, final = uniform_pairs(netlist.num_inputs, 32, seed=3)
+        np.testing.assert_allclose(
+            reloaded.pair_capacitances(initial, final),
+            first.pair_capacitances(initial, final),
+        )
+
+    def test_cached_model_matches_direct_build(self, tmp_path):
+        netlist = small_netlist()
+        cached = ModelStore(tmp_path).get_or_build(netlist, max_nodes=50)
+        direct = build_add_model(netlist, max_nodes=50)
+        initial, final = uniform_pairs(netlist.num_inputs, 64, seed=5)
+        np.testing.assert_allclose(
+            cached.pair_capacitances(initial, final),
+            direct.pair_capacitances(initial, final),
+        )
+        assert cached.source_hash == netlist.content_hash()
+
+    def test_many_deduplicates_identical_jobs(self, tmp_path):
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        builds_before = counter_value("serve.store.builds")
+        models = store.get_or_build_many(
+            [netlist, netlist, (netlist, {"max_nodes": 9})],
+            processes=1,
+            max_nodes=100,
+        )
+        assert counter_value("serve.store.builds") == builds_before + 2
+        assert models[0] is models[1]
+        assert models[2] is not models[0]
+
+    def test_put_and_contains(self, tmp_path):
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        model = build_add_model(netlist, max_nodes=100)
+        key = store.put(netlist, model, max_nodes=100)
+        assert store.contains(key)
+        assert store.key_for(netlist, max_nodes=100) == key
+        assert store.get(key) is model
+
+
+class TestLRU:
+    def test_tight_budget_evicts_lru(self, tmp_path):
+        # Budget below two payloads: only the most recent model stays.
+        store = ModelStore(tmp_path, memory_budget_bytes=1)
+        first_net, second_net = small_netlist(flavor=0), small_netlist(flavor=1)
+        evictions_before = counter_value("serve.store.lru_evictions")
+        store.get_or_build(first_net, max_nodes=100)
+        store.get_or_build(second_net, max_nodes=100)
+        assert store.memory_entries == 1
+        assert counter_value("serve.store.lru_evictions") == evictions_before + 1
+        # The evicted model still resolves — from disk, not a rebuild.
+        builds_before = counter_value("serve.store.builds")
+        again = store.get_or_build(first_net, max_nodes=100)
+        assert counter_value("serve.store.builds") == builds_before
+        assert again.macro_name == first_net.name
+
+    def test_recently_used_survives(self, tmp_path):
+        models = [
+            build_add_model(small_netlist(flavor=k), max_nodes=100)
+            for k in range(3)
+        ]
+        nets = [small_netlist(flavor=k) for k in range(3)]
+        store = ModelStore(tmp_path)
+        keys = [
+            store.put(net, model, max_nodes=100)
+            for net, model in zip(nets, models)
+        ]
+        # Shrink the budget to roughly two entries and touch key 0 so
+        # key 1 is the least recently used.
+        cost = store.memory_bytes // 3
+        store.memory_budget_bytes = int(2.5 * cost)
+        store.get(keys[0])
+        store.get_or_build(small_netlist(flavor=1), max_nodes=9)  # new insert
+        resident = set(store._lru)
+        assert keys[0] in resident
+        assert keys[1] not in resident
+
+
+class TestCorruption:
+    def test_truncated_entry_recovers(self, tmp_path):
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        store.get_or_build(netlist, max_nodes=100)
+        key = store.key_for(netlist, max_nodes=100)
+        path = store._object_path(key)
+        path.write_bytes(path.read_bytes()[:40])  # simulate a torn write
+        fresh = ModelStore(tmp_path)
+        corrupt_before = counter_value("serve.store.corrupt_entries")
+        builds_before = counter_value("serve.store.builds")
+        model = fresh.get_or_build(netlist, max_nodes=100)
+        assert counter_value("serve.store.corrupt_entries") == corrupt_before + 1
+        assert counter_value("serve.store.builds") == builds_before + 1
+        assert model.macro_name == netlist.name
+        assert path.exists()  # rebuilt and rewritten
+
+    def test_wrong_netlist_payload_quarantined(self, tmp_path):
+        store = ModelStore(tmp_path)
+        impostor, victim = small_netlist(flavor=0), small_netlist(flavor=1)
+        store.get_or_build(impostor, max_nodes=100)
+        # Plant the impostor's entry under the victim's key.
+        impostor_key = store.key_for(impostor, max_nodes=100)
+        victim_key = store.key_for(victim, max_nodes=100)
+        fresh = ModelStore(tmp_path)
+        fresh._object_path(victim_key).write_bytes(
+            store._object_path(impostor_key).read_bytes()
+        )
+        model = fresh.get_or_build(victim, max_nodes=100)
+        assert model.source_hash == victim.content_hash()
+
+    def test_corrupt_manifest_rebuilt_from_objects(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(), max_nodes=100)
+        store.manifest_path.write_text("not json at all")
+        entries = ModelStore(tmp_path).ls()
+        assert len(entries) == 1
+        assert entries[0].macro_name == "smallmac"
+
+
+class TestMaintenance:
+    def test_ls_and_disk_bytes(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(flavor=0), max_nodes=100)
+        store.get_or_build(small_netlist(flavor=1), max_nodes=100)
+        entries = store.ls()
+        assert len(entries) == 2
+        assert store.disk_bytes() == sum(e.payload_bytes for e in entries)
+
+    def test_gc_by_bytes_drops_oldest(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(flavor=0), max_nodes=100)
+        store.get_or_build(small_netlist(flavor=1), max_nodes=100)
+        removed = store.gc(max_bytes=0)
+        assert len(removed) == 2
+        assert store.ls() == []
+        assert not store.contains(
+            store.key_for(small_netlist(flavor=0), max_nodes=100)
+        )
+
+    def test_gc_by_age(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(), max_nodes=100)
+        entry = store.ls()[0]
+        assert store.gc(max_age_seconds=3600.0) == []
+        removed = store.gc(
+            max_age_seconds=10.0, now=entry.created_at + 3600.0
+        )
+        assert [e.key for e in removed] == [entry.key]
+
+    def test_remove(self, tmp_path):
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        store.get_or_build(netlist, max_nodes=100)
+        key = store.key_for(netlist, max_nodes=100)
+        assert store.remove(key)
+        assert not store.contains(key)
+        assert not store.remove(key)
+
+
+def _worker_build(args):
+    """Module-level worker so it pickles under spawn too."""
+    root, flavor = args
+    store = ModelStore(root)
+    model = store.get_or_build(small_netlist(flavor=flavor), max_nodes=100)
+    return model.macro_name, model.size
+
+
+class TestSharing:
+    def test_two_processes_share_one_directory(self, tmp_path):
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(2) as pool:
+                results = pool.map(
+                    _worker_build, [(str(tmp_path), 0), (str(tmp_path), 0)]
+                )
+        except (ValueError, OSError):
+            pytest.skip("cannot fork worker processes in this environment")
+        assert results[0] == results[1]
+        # Exactly one object landed on disk (same key from both sides),
+        # and a third participant reuses it without building.
+        store = ModelStore(tmp_path)
+        assert len(store.ls()) == 1
+        builds_before = counter_value("serve.store.builds")
+        store.get_or_build(small_netlist(flavor=0), max_nodes=100)
+        assert counter_value("serve.store.builds") == builds_before
