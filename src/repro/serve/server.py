@@ -124,6 +124,8 @@ class PowerQueryServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._batchers: Dict[str, _Batcher] = {}
         self._writers: set = set()
+        #: Writers with a flush-path drain task in flight (at most one each).
+        self._draining: set = set()
         self._stop_event: Optional[asyncio.Event] = None
         self._stopping = False
         # Pre-compile every model so the first query does not pay the
@@ -222,6 +224,33 @@ class PowerQueryServer:
                 writer.close()
             except Exception:  # pragma: no cover
                 pass
+
+    def _schedule_drain(self, writers) -> None:
+        """Backpressure for responses written outside a read loop.
+
+        Timer-driven flushes and ``stop()`` answer requests from a plain
+        callback, bypassing the connection loop's ``await drain()``; a
+        stalled client pipelining many evaluate requests could otherwise
+        grow its write buffer without bound.  Schedule one drain task
+        per distinct writer (skipping writers that already have one).
+        """
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:  # pragma: no cover - stop() outside the loop
+            return
+        for writer in writers:
+            if writer.is_closing() or writer in self._draining:
+                continue
+            self._draining.add(writer)
+            loop.create_task(self._drain_writer(writer))
+
+    async def _drain_writer(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            await writer.drain()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass
+        finally:
+            self._draining.discard(writer)
 
     def _send(self, writer: asyncio.StreamWriter, response: Dict) -> None:
         if writer.is_closing():
@@ -335,6 +364,17 @@ class PowerQueryServer:
         self._evaluate(pending, batcher.model)
 
     def _evaluate(self, pending: List[_Pending], model: AddPowerModel) -> None:
+        try:
+            self._evaluate_now(pending, model)
+        finally:
+            # Inline (unbatched) evaluation is drained by the connection
+            # loop itself; timer/shutdown flushes have no awaiting loop,
+            # so push the backpressure from here.
+            self._schedule_drain({item.writer for item in pending})
+
+    def _evaluate_now(
+        self, pending: List[_Pending], model: AddPowerModel
+    ) -> None:
         now = time.perf_counter()
         live: List[_Pending] = []
         for item in pending:

@@ -19,11 +19,15 @@ Layout of a store directory::
 The ``objects/`` directory is the source of truth.  The manifest is a
 pure metadata cache (macro name, sizes, timestamps) kept for cheap
 ``ls``/``gc``; it is rewritten atomically after every mutation and, if it
-is ever missing or corrupt, it is rebuilt by scanning ``objects/``.  All
-file creation goes through write-to-temp + :func:`os.replace`, so
-concurrent processes sharing one store directory never observe partial
-entries — the worst case under a build race is that both processes build
-and one atomic replace wins.
+is ever missing, corrupt, or lost an entry to a concurrent writer, it is
+reconciled against ``objects/`` on the next load — so ``ls``/``gc`` are
+best-effort views that may briefly lag the object files, never the other
+way around.  All file creation goes through write-to-temp +
+:func:`os.replace`, so concurrent processes sharing one store directory
+never observe partial entries — the worst case under a build race is
+that both processes build and one atomic replace wins.  An object file
+written by a *different store version* (a newer build sharing the
+directory) is left untouched and simply skipped by this build.
 
 On top of the disk layer sits a per-process LRU of deserialised models
 bounded by an *approximate* byte budget (the serialised payload size is
@@ -34,6 +38,7 @@ without unbounded growth.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import os
 import tempfile
@@ -44,7 +49,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
-from repro.models.addmodel import AddPowerModel, BuildJob, build_add_models_parallel
+from repro.models.addmodel import (
+    AddPowerModel,
+    BuildJob,
+    build_add_model,
+    build_add_models_parallel,
+)
 from repro.models.serialize import model_from_dict, model_to_dict
 from repro.netlist.netlist import Netlist
 from repro.obs.metrics import get_metrics
@@ -66,24 +76,39 @@ _DISK_HITS = _MET.counter("serve.store.disk_hits")
 _BUILDS = _MET.counter("serve.store.builds")
 _EVICTIONS = _MET.counter("serve.store.lru_evictions")
 _CORRUPT = _MET.counter("serve.store.corrupt_entries")
+_VERSION_SKIPS = _MET.counter("serve.store.version_skips")
 _GC_REMOVED = _MET.counter("serve.store.gc_removed")
+
+
+def _builder_defaults() -> Dict:
+    """``build_add_model``'s keyword defaults, read off its signature.
+
+    Derived programmatically so the canonical config can never drift
+    from what a bare ``build_add_model(netlist)`` actually builds — a
+    drift would alias two *different* builds onto one store key and
+    silently serve whichever was cached first.
+    """
+    return {
+        name: parameter.default
+        for name, parameter in inspect.signature(
+            build_add_model
+        ).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+
+
+_BUILD_DEFAULTS = _builder_defaults()
 
 
 def canonical_build_config(config: Dict) -> Dict:
     """Normalise ``build_add_model`` keyword arguments for hashing.
 
-    Fills in the builder's defaults so ``{}`` and an explicit
-    ``{"max_nodes": 1000}``-style spelling of the same build hash
-    identically, and sorts any explicit input order into a reproducible
-    JSON shape.
+    Fills in the builder's own signature defaults so ``{}`` and an
+    explicit ``{"max_nodes": None}``-style spelling of the same build
+    hash identically, and sorts any explicit input order into a
+    reproducible JSON shape.
     """
-    known = {
-        "max_nodes": 1000,
-        "strategy": "avg",
-        "scheme": "interleaved",
-        "input_order": None,
-        "accumulation": "tree",
-    }
+    known = dict(_BUILD_DEFAULTS)
     unknown = sorted(set(config) - set(known))
     if unknown:
         raise ModelError(
@@ -240,8 +265,12 @@ class ModelStore:
 
         Returns ``(model, payload_bytes)`` or None when the entry is
         absent or unreadable.  A corrupt file (truncated write from a
-        crashed process, bit rot, unsupported version) is deleted so the
-        caller falls through to a rebuild instead of failing forever.
+        crashed process, bit rot, a payload that won't decode) is
+        deleted so the caller falls through to a rebuild instead of
+        failing forever.  An entry whose *store version* differs — e.g.
+        written by a newer build sharing this directory — is not ours to
+        judge: it is skipped without touching the file, and this build
+        simply rebuilds in its own format.
         """
         path = self._object_path(key)
         try:
@@ -250,16 +279,13 @@ class ModelStore:
             return None
         try:
             raw = json.loads(data)
-            if raw.get("format") != ENTRY_FORMAT:
-                raise ModelError(
-                    f"not a {ENTRY_FORMAT} payload (format={raw.get('format')!r})"
-                )
+            if not isinstance(raw, dict) or raw.get("format") != ENTRY_FORMAT:
+                raise ModelError(f"not a {ENTRY_FORMAT} payload")
             if raw.get("version") != STORE_VERSION:
-                raise ModelError(
-                    f"unsupported store entry version {raw.get('version')!r}"
-                )
+                _VERSION_SKIPS.inc()
+                return None
             model = model_from_dict(raw["model"])
-        except (ValueError, KeyError, ModelError):
+        except Exception:  # noqa: BLE001 - any undecodable entry is corrupt
             _CORRUPT.inc()
             try:
                 path.unlink()
@@ -268,6 +294,38 @@ class ModelStore:
             self._drop_manifest_entries([key])
             return None
         return model, len(data)
+
+    def _read_entry_meta(self, key: str) -> Optional[StoreEntry]:
+        """Manifest metadata for one object file, without rebuilding the ADD.
+
+        Used by manifest reconciliation, which must stay cheap: ``ls``,
+        ``gc`` and every ``put`` may scan entries another process wrote,
+        and deserialising whole models there would make bulk inserts
+        quadratic.  Unreadable or foreign-version files simply yield
+        None (no quarantine here — that happens on the ``get`` path).
+        """
+        path = self._object_path(key)
+        try:
+            data = path.read_bytes()
+            raw = json.loads(data)
+            if not isinstance(raw, dict) or raw.get("format") != ENTRY_FORMAT:
+                return None
+            if raw.get("version") != STORE_VERSION:
+                return None
+            payload = raw["model"]
+            config = raw.get("config") or {}
+            return StoreEntry(
+                key=key,
+                macro_name=str(payload["macro_name"]),
+                strategy=str(payload["strategy"]),
+                max_nodes=config.get("max_nodes"),
+                nodes=len(payload["nodes"]),
+                payload_bytes=len(data),
+                netlist_sha256=payload.get("source_netlist_sha256") or "",
+                created_at=path.stat().st_mtime,
+            )
+        except Exception:  # noqa: BLE001 - reconciliation is best-effort
+            return None
 
     def _write_entry(
         self, key: str, model: AddPowerModel, config: Dict
@@ -308,24 +366,15 @@ class ModelStore:
         except (OSError, ValueError, KeyError, TypeError):
             entries = {}
         # Reconcile with the objects directory: drop stale records, pick
-        # up files another process wrote (metadata filled lazily).
+        # up files another process wrote.  Metadata comes straight from
+        # the entry JSON (no model reconstruction), so reconciliation
+        # stays cheap even when many foreign files appear at once.
         on_disk = {path.stem for path in self.objects_dir.glob("*.json")}
         entries = {k: v for k, v in entries.items() if k in on_disk}
         for key in on_disk - set(entries):
-            loaded = self._read_entry(key)
-            if loaded is None:
-                continue
-            model, size = loaded
-            entries[key] = StoreEntry(
-                key=key,
-                macro_name=model.macro_name,
-                strategy=model.strategy,
-                max_nodes=model.report.max_nodes if model.report else None,
-                nodes=model.size,
-                payload_bytes=size,
-                netlist_sha256=model.source_hash or "",
-                created_at=self._object_path(key).stat().st_mtime,
-            )
+            meta = self._read_entry_meta(key)
+            if meta is not None:
+                entries[key] = meta
         return entries
 
     def _write_manifest(self, entries: Dict[str, StoreEntry]) -> None:
@@ -339,6 +388,13 @@ class ModelStore:
         )
 
     def _update_manifest(self, new_entries: Dict[str, StoreEntry]) -> None:
+        # Read-modify-write without an inter-process lock: two processes
+        # writing concurrently may each momentarily publish a manifest
+        # missing the other's entry.  That is deliberate — the manifest
+        # is best-effort metadata for ``ls``/``gc``/``disk_bytes``, and
+        # the reconciliation pass in ``_load_manifest`` re-adopts any
+        # object file the manifest lost, so no cached *model* is ever
+        # affected; only listings can briefly lag ``objects/``.
         entries = self._load_manifest()
         entries.update(new_entries)
         self._write_manifest(entries)

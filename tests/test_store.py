@@ -46,8 +46,27 @@ class TestKeying:
         base = store_key(netlist, {})
         assert store_key(netlist, {"max_nodes": 7}) != base
         assert store_key(netlist, {"strategy": "max"}) != base
-        # Defaults spelled explicitly hash like the empty config.
-        assert store_key(netlist, {"max_nodes": 1000, "strategy": "avg"}) == base
+        # Defaults spelled explicitly hash like the empty config...
+        assert store_key(netlist, {"max_nodes": None, "strategy": "avg"}) == base
+        # ...and the empty config means build_add_model's real default
+        # (an exact model), not some store-invented budget: a budgeted
+        # build must never alias onto the exact model's key.
+        assert store_key(netlist, {"max_nodes": 1000}) != base
+
+    def test_defaults_track_builder_signature(self):
+        import inspect
+
+        from repro.models.addmodel import build_add_model
+
+        signature_defaults = {
+            name: parameter.default
+            for name, parameter in inspect.signature(
+                build_add_model
+            ).parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+        assert canonical_build_config({}) == signature_defaults
+        assert canonical_build_config({})["max_nodes"] is None
 
     def test_structure_changes_key(self):
         assert store_key(small_netlist(flavor=0), {}) != store_key(
@@ -104,6 +123,17 @@ class TestGetOrBuild:
         assert counter_value("serve.store.builds") == builds_before + 2
         assert models[0] is models[1]
         assert models[2] is not models[0]
+
+    def test_default_config_builds_exact_model(self, tmp_path):
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        exact = store.get_or_build(netlist)
+        assert exact.report is not None
+        assert exact.report.max_nodes is None
+        # An explicit budget is a different build and a different entry.
+        budgeted = store.get_or_build(netlist, max_nodes=1000)
+        assert budgeted is not exact
+        assert store.get_or_build(netlist) is exact
 
     def test_put_and_contains(self, tmp_path):
         store = ModelStore(tmp_path)
@@ -183,6 +213,47 @@ class TestCorruption:
         )
         model = fresh.get_or_build(victim, max_nodes=100)
         assert model.source_hash == victim.content_hash()
+
+    def test_structurally_malformed_payload_quarantined(self, tmp_path):
+        # A payload that parses as JSON but whose node records have the
+        # wrong shape raises TypeError/AttributeError deep in
+        # model_from_dict; it must still be quarantined (not poison the
+        # key forever).
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        store.get_or_build(netlist, max_nodes=100)
+        key = store.key_for(netlist, max_nodes=100)
+        path = store._object_path(key)
+        raw = json.loads(path.read_bytes())
+        raw["model"]["nodes"] = [17, "not-a-node"]
+        path.write_text(json.dumps(raw))
+        fresh = ModelStore(tmp_path)
+        corrupt_before = counter_value("serve.store.corrupt_entries")
+        model = fresh.get_or_build(netlist, max_nodes=100)
+        assert counter_value("serve.store.corrupt_entries") == corrupt_before + 1
+        assert model.macro_name == netlist.name
+        assert json.loads(path.read_bytes())["model"]["nodes"] != [17, "not-a-node"]
+
+    def test_foreign_store_version_skipped_not_deleted(self, tmp_path):
+        # An entry written by a *newer* store version sharing the
+        # directory must survive: this build skips it (rebuilding in its
+        # own format) instead of destroying the other build's cache.
+        store = ModelStore(tmp_path)
+        netlist = small_netlist()
+        store.get_or_build(netlist, max_nodes=100)
+        key = store.key_for(netlist, max_nodes=100)
+        path = store._object_path(key)
+        raw = json.loads(path.read_bytes())
+        raw["version"] = 99
+        future_blob = json.dumps(raw)
+        path.write_text(future_blob)
+        fresh = ModelStore(tmp_path)
+        corrupt_before = counter_value("serve.store.corrupt_entries")
+        skips_before = counter_value("serve.store.version_skips")
+        assert fresh.get(key) is None
+        assert counter_value("serve.store.version_skips") == skips_before + 1
+        assert counter_value("serve.store.corrupt_entries") == corrupt_before
+        assert path.read_text() == future_blob  # untouched
 
     def test_corrupt_manifest_rebuilt_from_objects(self, tmp_path):
         store = ModelStore(tmp_path)
