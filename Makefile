@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-eval bench-smoke bench-serving fuzz fuzz-smoke \
-	stats-smoke serve-smoke
+	stats-smoke serve-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,13 @@ stats-smoke:
 # TCP client, telemetry-counter assertions (store build/hit, batching).
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# Chaos smoke: faults armed at every pipeline site (worker crash, torn
+# manifest, connection resets, slow eval) — the build/store/serve round
+# trip must stay oracle-correct, then the chaos-marked pytest suite runs.
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
+	$(PYTHON) -m pytest -q -m chaos tests/test_faults.py
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

@@ -367,6 +367,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             request_timeout_s=args.request_timeout,
             batching=not args.no_batching,
+            max_connections=args.max_connections,
+            max_parked_rows=args.max_parked_rows,
         ),
     )
 
@@ -702,6 +704,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batching",
         action="store_true",
         help="evaluate each request inline (baseline mode)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="shed connections beyond this many concurrent clients",
+    )
+    serve.add_argument(
+        "--max-parked-rows",
+        type=int,
+        default=None,
+        help="shed evaluate requests once this many rows are queued",
     )
     serve.set_defaults(func=_cmd_serve)
 

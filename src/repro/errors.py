@@ -45,6 +45,22 @@ class ModelError(ReproError):
     """A power model was built or evaluated inconsistently."""
 
 
+class BuildTimeoutError(ModelError):
+    """A supervised parallel build exceeded its per-job wall-time budget."""
+
+
+class WorkerCrashError(ModelError):
+    """A build worker process died (or could not start) before returning."""
+
+
+class OverloadError(ReproError):
+    """The power-query service shed this request under admission control."""
+
+
+class ServeConnectionError(ReproError):
+    """The power-query client lost its connection (reset, timeout, refusal)."""
+
+
 class CharacterizationError(ModelError):
     """A characterized model was used before fitting, or fit on bad data."""
 
@@ -63,3 +79,7 @@ class FuzzError(ReproError):
 
 class ObsError(ReproError):
     """The telemetry subsystem was misused (instrument type clash, bad merge)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (unknown site, bad trigger)."""

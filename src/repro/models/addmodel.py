@@ -18,9 +18,12 @@ No simulation is involved anywhere: the model is *characterization-free*.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
+from collections import deque
+from multiprocessing import connection as _mp_connection
 from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Optional, Sequence, Tuple, Union
 
@@ -31,13 +34,20 @@ from repro.dd.compiled import CompiledDD
 from repro.dd.manager import DDManager
 from repro.dd.ordering import Scheme, TransitionSpace, fanin_dfs_input_order
 from repro.dd.stats import compute_stats, function_stats
-from repro.errors import ModelError
+from repro.errors import (
+    BuildTimeoutError,
+    ModelError,
+    WorkerCrashError,
+)
 from repro.models.base import PowerModel
 from repro.netlist.netlist import Netlist
 from repro.netlist.symbolic import build_node_functions
 from repro.obs.metrics import SIZE_BUCKETS, TIME_BUCKETS, get_metrics
 from repro.obs.report import BuildTelemetry
 from repro.obs.trace import get_tracer
+from repro.testing import faults
+
+_LOG = logging.getLogger("repro.models.addmodel")
 
 _MET = get_metrics()
 _BUILD_COUNT = _MET.counter("add.build.count")
@@ -50,6 +60,12 @@ _CACHE_HITS = _MET.counter("dd.apply.cache_hits")
 _CACHE_MISSES = _MET.counter("dd.apply.cache_misses")
 _CACHE_EVICTIONS = _MET.counter("dd.apply.cache_evictions")
 _MANAGER_MEMORY = _MET.gauge("dd.manager.memory_bytes_peak")
+_WORKER_CRASHES = _MET.counter("build.worker.crashes")
+_WORKER_TIMEOUTS = _MET.counter("build.worker.timeouts")
+_WORKER_RETRIES = _MET.counter("build.worker.retries")
+_INPROCESS_FALLBACKS = _MET.counter("build.inprocess_fallbacks")
+_POOL_FALLBACKS = _MET.counter("build.pool_fallbacks")
+_DEGRADED_BUILDS = _MET.counter("build.degraded.count")
 
 
 def markov_node_weights(
@@ -449,6 +465,10 @@ def build_add_model(
         raise ModelError(f"unknown accumulation mode {accumulation!r}")
     if netlist.num_inputs == 0:
         raise ModelError("cannot model a netlist with no inputs")
+    if max_nodes is None:
+        # Chaos hook: an unbudgeted exact construction is where hostile
+        # netlists blow up; the injected failure stands in for that.
+        faults.maybe_fail("build.blowup")
     started = time.perf_counter()
     tracer = get_tracer()
 
@@ -651,12 +671,314 @@ def _restore_weight_fn(model: AddPowerModel) -> AddPowerModel:
     return model
 
 
+@dataclass
+class BuildOutcome:
+    """Per-job result of a supervised parallel build.
+
+    ``status`` records how the model was obtained:
+
+    - ``"ok"`` — built by a worker (or directly, in sequential mode);
+    - ``"fallback"`` — the worker failed but an in-process rebuild with
+      the *same* configuration succeeded;
+    - ``"degraded"`` — only a ``max_nodes``-collapsed build succeeded;
+      ``effective_kwargs`` holds the configuration actually used;
+    - ``"failed"`` — every rung of the ladder failed; ``model`` is None.
+    """
+
+    index: int
+    model: Optional[AddPowerModel]
+    status: str
+    attempts: int = 1
+    error: Optional[str] = None
+    failure_kind: Optional[str] = None
+    exception: Optional[BaseException] = None
+    effective_kwargs: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.model is not None
+
+    def raise_error(self) -> None:
+        """Raise the typed error for a failed outcome (no-op when ok)."""
+        if self.model is not None:
+            return
+        if self.exception is not None:
+            raise self.exception
+        message = self.error or "parallel model build failed"
+        if self.failure_kind == "timeout":
+            raise BuildTimeoutError(message)
+        if self.failure_kind == "crash":
+            raise WorkerCrashError(message)
+        raise ModelError(message)
+
+
+def _supervised_entry(conn, payload: Tuple[Netlist, dict], attempt: int) -> None:
+    """Child-process entry point for one supervised build job.
+
+    Ships ``("ok", worker_result)`` or ``("error", message)`` back over
+    the pipe; a crash (or injected ``os._exit``) surfaces to the
+    supervisor as EOF on the pipe instead.
+    """
+    try:
+        faults.maybe_delay("build.worker.hang", token=attempt)
+        if faults.fires("build.worker.crash", token=attempt):
+            os._exit(1)
+        result = _parallel_build_worker(payload)
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+def _stop_worker(process) -> None:
+    """Terminate a worker, escalating to SIGKILL if it ignores SIGTERM."""
+    process.terminate()
+    process.join(1.0)
+    if process.is_alive():  # pragma: no cover - SIGTERM normally suffices
+        process.kill()
+        process.join()
+
+
+def _supervise_jobs(
+    normalized: Sequence[Tuple[Netlist, dict]],
+    processes: int,
+    job_timeout_s: Optional[float],
+    max_retries: int,
+    context,
+) -> Dict[int, Tuple[str, object, int]]:
+    """Dispatch jobs to per-job worker processes under supervision.
+
+    Each job gets its own process and pipe, a wall-time budget, and up to
+    ``max_retries`` relaunches after a crash or timeout.  Returns, per
+    job index, ``(kind, payload, attempts)`` where kind is ``"ok"``
+    (payload = worker result dict), ``"error"`` (the build itself raised;
+    not retried — it is deterministic), ``"crash"`` or ``"timeout"``.
+
+    Raises OSError only if the *first* worker cannot be started at all
+    (no fork/spawn available), so the caller can fall back wholesale to
+    sequential building; later launch failures are treated as crashes.
+    """
+    faults.maybe_fail("build.pool.unavailable")
+    pending = deque((index, 1) for index in range(len(normalized)))
+    running: Dict[object, Tuple[int, int, object, Optional[float]]] = {}
+    results: Dict[int, Tuple[str, object, int]] = {}
+    launched_any = False
+
+    def launch(index: int, attempt: int) -> None:
+        nonlocal launched_any
+        recv_conn, send_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_supervised_entry,
+            args=(send_conn, normalized[index], attempt),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError:
+            recv_conn.close()
+            send_conn.close()
+            raise
+        launched_any = True
+        send_conn.close()
+        deadline = (
+            None if job_timeout_s is None else time.monotonic() + job_timeout_s
+        )
+        running[recv_conn] = (index, attempt, process, deadline)
+
+    def record_failure(index: int, attempt: int, kind: str, message: str) -> None:
+        if kind == "crash":
+            _WORKER_CRASHES.inc()
+        elif kind == "timeout":
+            _WORKER_TIMEOUTS.inc()
+        if attempt <= max_retries:
+            _WORKER_RETRIES.inc()
+            pending.append((index, attempt + 1))
+        else:
+            results[index] = (kind, message, attempt)
+
+    try:
+        while pending or running:
+            while pending and len(running) < processes:
+                index, attempt = pending.popleft()
+                try:
+                    launch(index, attempt)
+                except OSError as exc:
+                    if not launched_any:
+                        raise
+                    record_failure(
+                        index,
+                        attempt,
+                        "crash",
+                        f"worker for job {index} could not start: {exc}",
+                    )
+            if not running:
+                continue
+            timeout = None
+            deadlines = [
+                deadline for (_, _, _, deadline) in running.values()
+                if deadline is not None
+            ]
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            ready = _mp_connection.wait(list(running), timeout=timeout)
+            for conn in ready:
+                index, attempt, process, _ = running.pop(conn)
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError):
+                    kind, payload = "crash", (
+                        f"worker for job {index} died before returning "
+                        f"(attempt {attempt})"
+                    )
+                finally:
+                    conn.close()
+                process.join()
+                if kind == "ok":
+                    results[index] = ("ok", payload, attempt)
+                elif kind == "crash":
+                    record_failure(index, attempt, "crash", payload)
+                else:
+                    # The build itself raised: deterministic, not worth a
+                    # worker retry — the in-process ladder handles it.
+                    results[index] = ("error", payload, attempt)
+            if not ready:
+                now = time.monotonic()
+                expired = [
+                    conn
+                    for conn, (_, _, _, deadline) in running.items()
+                    if deadline is not None and deadline <= now
+                ]
+                for conn in expired:
+                    index, attempt, process, _ = running.pop(conn)
+                    conn.close()
+                    _stop_worker(process)
+                    record_failure(
+                        index,
+                        attempt,
+                        "timeout",
+                        f"worker for job {index} exceeded its "
+                        f"{job_timeout_s:g}s budget (attempt {attempt})",
+                    )
+    finally:
+        for conn, (_, _, process, _) in running.items():
+            conn.close()
+            _stop_worker(process)
+    return results
+
+
+def _try_degraded_build(
+    index: int,
+    netlist: Netlist,
+    kwargs: dict,
+    degrade_max_nodes: Optional[int],
+    attempts: int,
+) -> Optional[BuildOutcome]:
+    """Last ladder rung: retry with a (tighter) ``max_nodes`` budget."""
+    if degrade_max_nodes is None:
+        return None
+    current = kwargs.get("max_nodes")
+    if current is not None and current <= degrade_max_nodes:
+        return None
+    degraded_kwargs = dict(kwargs)
+    degraded_kwargs["max_nodes"] = degrade_max_nodes
+    try:
+        model = build_add_model(netlist, **degraded_kwargs)
+    except Exception:
+        return None
+    _DEGRADED_BUILDS.inc()
+    return BuildOutcome(
+        index,
+        model,
+        "degraded",
+        attempts=attempts,
+        effective_kwargs=degraded_kwargs,
+    )
+
+
+def _build_with_ladder(
+    index: int,
+    netlist: Netlist,
+    kwargs: dict,
+    degrade_max_nodes: Optional[int],
+    *,
+    attempts: int = 1,
+    failure_kind: Optional[str] = None,
+    worker_error: Optional[str] = None,
+    skip_exact: bool = False,
+) -> BuildOutcome:
+    """Run the in-process recovery ladder for one job.
+
+    Used both for plain sequential building (``failure_kind=None``) and
+    to recover a job whose supervised worker failed.  A timed-out job
+    skips the exact in-process attempt — whatever hung the worker would
+    hang the parent too — and goes straight to the degraded budget.
+    """
+    exception: Optional[BaseException] = None
+    if not skip_exact:
+        try:
+            model = build_add_model(netlist, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - ladder decides
+            exception = exc
+        else:
+            status = "ok"
+            if failure_kind is not None:
+                status = "fallback"
+                _INPROCESS_FALLBACKS.inc()
+            return BuildOutcome(
+                index,
+                model,
+                status,
+                attempts=attempts,
+                effective_kwargs=dict(kwargs),
+            )
+    degraded = _try_degraded_build(
+        index, netlist, kwargs, degrade_max_nodes, attempts
+    )
+    if degraded is not None:
+        return degraded
+    return BuildOutcome(
+        index,
+        None,
+        "failed",
+        attempts=attempts,
+        error=worker_error if exception is None else str(exception),
+        failure_kind=failure_kind if exception is None else failure_kind or "error",
+        exception=exception,
+        effective_kwargs=dict(kwargs),
+    )
+
+
+_POOL_FALLBACK_LOGGED = False
+
+
+def _note_pool_fallback(exc: BaseException) -> None:
+    """Count a wholesale pool→sequential fallback; log the first one."""
+    global _POOL_FALLBACK_LOGGED
+    _POOL_FALLBACKS.inc()
+    if not _POOL_FALLBACK_LOGGED:
+        _POOL_FALLBACK_LOGGED = True
+        _LOG.warning(
+            "parallel build worker pool unavailable (%s); "
+            "building sequentially in-process", exc,
+        )
+
+
 def build_add_models_parallel(
     jobs: Sequence[BuildJob],
     processes: Optional[int] = None,
+    *,
+    job_timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    degrade_max_nodes: Optional[int] = None,
+    raise_on_error: bool = True,
     **common_kwargs,
-) -> List[AddPowerModel]:
-    """Construct many ADD models concurrently with :mod:`multiprocessing`.
+) -> Union[List[AddPowerModel], List[BuildOutcome]]:
+    """Construct many ADD models concurrently under supervision.
 
     Parameters
     ----------
@@ -665,18 +987,35 @@ def build_add_models_parallel(
         whose dict overrides ``common_kwargs`` for that job — e.g. build
         the same macro under several strategies, or many macros at once.
     processes:
-        Worker-pool size; defaults to ``min(len(jobs), cpu_count)``.
+        Worker count; defaults to ``min(len(jobs), cpu_count)``.
         ``1`` (or a single job) builds sequentially in-process.
+    job_timeout_s:
+        Per-job wall-time budget.  A worker that exceeds it is killed and
+        the job retried, then degraded (None = no budget).
+    max_retries:
+        How many times a crashed or timed-out job is relaunched in a
+        fresh worker before the in-process recovery ladder takes over.
+    degrade_max_nodes:
+        Last rung of the recovery ladder: when a job cannot be built
+        exactly, retry with this ``max_nodes`` collapse budget (only if
+        tighter than the job's own).  None disables degradation.
+    raise_on_error:
+        When True (default) return ``List[AddPowerModel]`` and raise the
+        first failure (:class:`BuildTimeoutError`,
+        :class:`WorkerCrashError`, or the build's own error).  When
+        False, return a :class:`BuildOutcome` per job so one failure
+        cannot lose its siblings' results.
     common_kwargs:
         Keyword arguments forwarded to :func:`build_add_model`.
 
-    Returns models in job order.  Each parallel-built model lives in its
-    own fresh manager (the JSON round trip used for transfer rebuilds the
+    Results are in job order.  Each parallel-built model lives in its own
+    fresh manager (the JSON round trip used for transfer rebuilds the
     canonical diagram), so results are structurally identical — same node
     count, same evaluations — to a sequential :func:`build_add_model`
-    call, and the returned objects are independent of each other.  Falls
-    back to sequential construction when no worker pool can be created
-    (e.g. sandboxed environments).
+    call.  Every job is dispatched to its own supervised worker process;
+    a crashed or hung worker is detected, retried, and finally recovered
+    in-process, with a wholesale sequential fallback when no worker can
+    be started at all (e.g. sandboxed environments).
     """
     normalized: List[Tuple[Netlist, dict]] = []
     for job in jobs:
@@ -695,23 +1034,66 @@ def build_add_models_parallel(
         return []
     if processes is None:
         processes = min(len(normalized), os.cpu_count() or 1)
-    if processes <= 1 or len(normalized) == 1:
-        return [build_add_model(n, **kw) for n, kw in normalized]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        context = multiprocessing.get_context()
-    try:
-        with context.Pool(processes) as pool:
-            payloads = pool.map(_parallel_build_worker, normalized)
-    except OSError:  # pragma: no cover - pool creation blocked
-        return [build_add_model(n, **kw) for n, kw in normalized]
-    from repro.models.serialize import model_from_dict
 
-    models = []
-    for payload in payloads:
-        # Fold the worker's per-build metric deltas into this process's
-        # registry, so parallel builds account like sequential ones.
-        _MET.merge(payload["metrics"])
-        models.append(_restore_weight_fn(model_from_dict(payload["model"])))
+    def sequential() -> List[BuildOutcome]:
+        return [
+            _build_with_ladder(index, netlist, kwargs, degrade_max_nodes)
+            for index, (netlist, kwargs) in enumerate(normalized)
+        ]
+
+    if processes <= 1 or len(normalized) == 1:
+        outcomes = sequential()
+    else:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = multiprocessing.get_context()
+        try:
+            results = _supervise_jobs(
+                normalized, processes, job_timeout_s, max_retries, context
+            )
+        except OSError as exc:
+            _note_pool_fallback(exc)
+            outcomes = sequential()
+        else:
+            from repro.models.serialize import model_from_dict
+
+            outcomes = []
+            for index, (netlist, kwargs) in enumerate(normalized):
+                kind, payload, attempts = results[index]
+                if kind == "ok":
+                    # Fold the worker's per-build metric deltas into this
+                    # process's registry, so parallel builds account like
+                    # sequential ones.
+                    _MET.merge(payload["metrics"])
+                    model = _restore_weight_fn(model_from_dict(payload["model"]))
+                    outcomes.append(
+                        BuildOutcome(
+                            index,
+                            model,
+                            "ok",
+                            attempts=attempts,
+                            effective_kwargs=dict(kwargs),
+                        )
+                    )
+                else:
+                    outcomes.append(
+                        _build_with_ladder(
+                            index,
+                            netlist,
+                            kwargs,
+                            degrade_max_nodes,
+                            attempts=attempts,
+                            failure_kind=kind,
+                            worker_error=str(payload),
+                            skip_exact=(kind == "timeout"),
+                        )
+                    )
+    if not raise_on_error:
+        return outcomes
+    models: List[AddPowerModel] = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            outcome.raise_error()
+        models.append(outcome.model)
     return models

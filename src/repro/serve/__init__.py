@@ -21,7 +21,12 @@ CLI entry points: ``repro serve``, ``repro query`` and ``repro store``;
 the numbers live in ``benchmarks/bench_serving.py`` / DESIGN.md §10.
 """
 
-from repro.serve.client import LoadReport, PowerQueryClient, generate_load
+from repro.serve.client import (
+    LoadReport,
+    PowerQueryClient,
+    RetryPolicy,
+    generate_load,
+)
 from repro.serve.protocol import (
     ERROR_TYPES,
     MAX_LINE_BYTES,
@@ -56,6 +61,7 @@ __all__ = [
     "start_in_thread",
     # client
     "PowerQueryClient",
+    "RetryPolicy",
     "LoadReport",
     "generate_load",
     # protocol

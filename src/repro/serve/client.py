@@ -3,24 +3,37 @@
 - :class:`PowerQueryClient` — a small synchronous JSON-lines client over a
   plain socket: one in-flight request at a time, blocking semantics,
   usable from tests, scripts and the ``repro query`` CLI without any
-  asyncio plumbing.
+  asyncio plumbing.  Transport failures surface as typed
+  :class:`~repro.errors.ServeConnectionError`\\ s, and an optional
+  :class:`RetryPolicy` makes idempotent calls survive connection resets
+  and ``unavailable`` load-shed replies by reconnecting with
+  exponential backoff.
 - :func:`generate_load` — a concurrent load generator: N asyncio client
   connections each issue a stream of single-transition ``evaluate``
   requests and time every round trip, producing the requests/sec and
-  latency-percentile numbers the serving benchmark reports.
+  latency-percentile numbers the serving benchmark reports.  It applies
+  the same retry policy per request, so injected resets degrade latency
+  instead of failing the run.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import random
 import socket
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import OverloadError, ReproError, ServeConnectionError
+from repro.obs.metrics import get_metrics
 from repro.serve import protocol
 from repro.serve.protocol import ResponseError, unwrap_response
+
+_MET = get_metrics()
+_CLIENT_RETRIES = _MET.counter("serve.client.retries")
+_CLIENT_RECONNECTS = _MET.counter("serve.client.reconnects")
 
 
 def _bits(pattern) -> str:
@@ -30,32 +43,157 @@ def _bits(pattern) -> str:
     return "".join("1" if int(b) else "0" for b in pattern)
 
 
-class PowerQueryClient:
-    """Blocking JSON-lines client for one server connection."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for idempotent client calls.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._stream = self._sock.makefile("rwb")
+    Attempt ``k`` (1-based) sleeps
+    ``min(max_delay_s, base_delay_s * multiplier**(k-1))`` scaled by a
+    uniform ±``jitter`` fraction before retrying.  ``retry_unavailable``
+    additionally retries structured ``unavailable`` (load-shed) replies;
+    exhausting those raises :class:`~repro.errors.OverloadError`.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    retry_unavailable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** max(0, attempt - 1),
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+class PowerQueryClient:
+    """Blocking JSON-lines client for one server connection.
+
+    With a :class:`RetryPolicy`, idempotent operations transparently
+    reconnect and retry after transport failures (reset, timeout,
+    refused) and — by policy — after ``unavailable`` load-shed replies.
+    Without one (the default) every transport failure surfaces
+    immediately as a :class:`~repro.errors.ServeConnectionError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        rng_seed: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self._rng = random.Random(rng_seed)
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
         self._next_id = 0
+        self._connect()
 
     # -- plumbing ------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._stream = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        """Drop the (possibly broken) connection; the next call redials."""
+        stream, sock, self._stream, self._sock = (
+            self._stream, self._sock, None, None,
+        )
+        for closable in (stream, sock):
+            if closable is None:
+                continue
+            try:
+                closable.close()
+            except OSError:  # pragma: no cover - already-dead socket
+                pass
+
     def request(self, payload: Dict) -> Dict:
-        """Send one request object and block for its response envelope."""
+        """Send one request object and block for its response envelope.
+
+        Transport failures (timeout, reset, server gone) raise
+        :class:`~repro.errors.ServeConnectionError`; use :meth:`call`
+        for policy-driven retries.
+        """
+        self._connect()
         if "id" not in payload:
             self._next_id += 1
             payload = dict(payload, id=self._next_id)
-        self._stream.write(protocol.encode(payload))
-        self._stream.flush()
-        line = self._stream.readline()
+        try:
+            self._stream.write(protocol.encode(payload))
+            self._stream.flush()
+            line = self._stream.readline()
+        except socket.timeout as exc:
+            raise ServeConnectionError(
+                f"request timed out after {self.timeout:g}s"
+            ) from exc
+        except (OSError, ValueError) as exc:
+            # ValueError: writing to a stream another path already closed.
+            raise ServeConnectionError(f"connection failed: {exc}") from exc
         if not line:
-            raise ReproError("server closed the connection")
-        import json
-
+            raise ServeConnectionError("server closed the connection")
         return json.loads(line.decode("utf-8"))
 
-    def call(self, payload: Dict):
-        """Request + unwrap: returns the result or raises ResponseError."""
-        return unwrap_response(self.request(payload))
+    def call(self, payload: Dict, idempotent: bool = True):
+        """Request + unwrap: returns the result or raises ResponseError.
+
+        With a retry policy and ``idempotent=True``, reconnects and
+        retries after transport failures, and (by policy) after
+        ``unavailable`` replies — raising
+        :class:`~repro.errors.OverloadError` when those exhaust the
+        attempts.
+        """
+        policy = self.retry if idempotent else None
+        if policy is None:
+            return unwrap_response(self.request(payload))
+        last: Optional[ReproError] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                _CLIENT_RETRIES.inc()
+                time.sleep(policy.delay_s(attempt - 1, self._rng))
+            try:
+                return unwrap_response(self.request(payload))
+            except ServeConnectionError as exc:
+                self._teardown()
+                _CLIENT_RECONNECTS.inc()
+                last = exc
+            except ResponseError as exc:
+                if exc.error_type != "unavailable" or not policy.retry_unavailable:
+                    raise
+                last = OverloadError(str(exc))
+        assert last is not None
+        raise last
 
     # -- operations ----------------------------------------------------
     def ping(self) -> bool:
@@ -67,8 +205,12 @@ class PowerQueryClient:
         return self.call({"op": "models"})
 
     def stats(self) -> Dict:
-        """Server telemetry snapshot (serve.* / compiled.eval* metrics)."""
+        """Server telemetry snapshot (serve.* / build.* / faults.* metrics)."""
         return self.call({"op": "stats"})
+
+    def healthz(self) -> Dict:
+        """Liveness/saturation summary (queue depth, shed counters)."""
+        return self.call({"op": "healthz"})
 
     def evaluate(self, model: str, initial, final) -> float:
         """Capacitance (fF) of one transition of a served model."""
@@ -96,15 +238,12 @@ class PowerQueryClient:
         return [float(v) for v in result["capacitances_fF"]]
 
     def shutdown(self) -> None:
-        """Ask the server to stop gracefully."""
-        self.call({"op": "shutdown"})
+        """Ask the server to stop gracefully (never retried)."""
+        self.call({"op": "shutdown"}, idempotent=False)
 
     def close(self) -> None:
         """Close the connection."""
-        try:
-            self._stream.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "PowerQueryClient":
         return self
@@ -128,6 +267,8 @@ class LoadReport:
     latency_p50_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
+    retries: int = 0
+    reconnects: int = 0
 
     def to_dict(self) -> Dict:
         return {
@@ -139,6 +280,8 @@ class LoadReport:
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p99_ms": self.latency_p99_ms,
             "latency_mean_ms": self.latency_mean_ms,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
         }
 
 
@@ -159,9 +302,24 @@ async def _load_worker(
     requests: int,
     offset: int,
     latencies: List[float],
-    errors: List[int],
+    counters: Dict[str, int],
+    retry: Optional[RetryPolicy],
 ) -> None:
-    reader, writer = await asyncio.open_connection(host, port)
+    rng = random.Random(1000003 * offset + 17)
+    reader = writer = None
+
+    async def connect() -> None:
+        nonlocal reader, writer
+        if writer is None:
+            reader, writer = await asyncio.open_connection(host, port)
+
+    def drop() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+        reader = writer = None
+
+    max_attempts = retry.max_attempts if retry is not None else 1
     try:
         for k in range(requests):
             initial, final = transitions[(offset + k) % len(transitions)]
@@ -173,19 +331,41 @@ async def _load_worker(
                 "final": final,
             }
             started = time.perf_counter()
-            writer.write(protocol.encode(payload))
-            await writer.drain()
-            line = await reader.readline()
+            answered = False
+            for attempt in range(1, max_attempts + 1):
+                if attempt > 1:
+                    counters["retries"] += 1
+                    await asyncio.sleep(retry.delay_s(attempt - 1, rng))
+                try:
+                    await connect()
+                    writer.write(protocol.encode(payload))
+                    await writer.drain()
+                    line = await reader.readline()
+                except (OSError, asyncio.IncompleteReadError):
+                    drop()
+                    counters["reconnects"] += 1
+                    continue
+                if not line:  # mid-request reset: reconnect and retry
+                    drop()
+                    counters["reconnects"] += 1
+                    continue
+                reply = json.loads(line.decode("utf-8"))
+                if reply.get("ok"):
+                    answered = True
+                    break
+                error_type = (reply.get("error") or {}).get("type")
+                if (
+                    retry is not None
+                    and retry.retry_unavailable
+                    and error_type == "unavailable"
+                ):
+                    continue  # shed: back off and retry on the same socket
+                break  # other structured errors are not retryable
             latencies.append(time.perf_counter() - started)
-            if not line:
-                errors[0] += requests - k
-                return
-            import json
-
-            if not json.loads(line.decode("utf-8")).get("ok"):
-                errors[0] += 1
+            if not answered:
+                counters["errors"] += 1
     finally:
-        writer.close()
+        drop()
 
 
 def generate_load(
@@ -195,19 +375,23 @@ def generate_load(
     transitions: Sequence[Tuple[object, object]],
     clients: int = 64,
     requests_per_client: int = 50,
+    retry: Optional[RetryPolicy] = RetryPolicy(),
 ) -> LoadReport:
     """Hammer a server with N concurrent single-transition query streams.
 
     Each of ``clients`` connections issues ``requests_per_client``
     ``evaluate`` requests back to back (one in flight per connection, so
     concurrency across connections is what feeds the server's
-    micro-batcher) and every round trip is timed individually.
+    micro-batcher) and every round trip is timed individually.  With the
+    default ``retry`` policy, connection resets and ``unavailable``
+    load-shed replies are retried with backoff (counted in the report)
+    instead of failing the request.
     """
     if not transitions:
         raise ReproError("generate_load needs at least one transition")
     normalized = [(_bits(i), _bits(f)) for i, f in transitions]
     latencies: List[float] = []
-    errors = [0]
+    counters = {"errors": 0, "retries": 0, "reconnects": 0}
 
     async def _run() -> float:
         started = time.perf_counter()
@@ -221,7 +405,8 @@ def generate_load(
                     requests_per_client,
                     worker,
                     latencies,
-                    errors,
+                    counters,
+                    retry,
                 )
                 for worker in range(clients)
             )
@@ -234,7 +419,7 @@ def generate_load(
     return LoadReport(
         clients=clients,
         requests=total,
-        errors=errors[0],
+        errors=counters["errors"],
         seconds=elapsed,
         requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
         latency_p50_ms=1000.0 * _percentile(ordered, 0.50),
@@ -242,4 +427,6 @@ def generate_load(
         latency_mean_ms=(
             1000.0 * sum(ordered) / len(ordered) if ordered else 0.0
         ),
+        retries=counters["retries"],
+        reconnects=counters["reconnects"],
     )

@@ -46,12 +46,16 @@ from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
+from repro.testing import faults
 
 _MET = get_metrics()
 _CONNECTIONS = _MET.counter("serve.connections")
 _REQUESTS = _MET.counter("serve.requests")
 _ERRORS = _MET.counter("serve.errors")
 _TIMEOUTS = _MET.counter("serve.timeouts")
+_SHED_CONNECTIONS = _MET.counter("serve.shed.connections")
+_SHED_REQUESTS = _MET.counter("serve.shed.requests")
+_SHED_ROWS = _MET.counter("serve.shed.rows")
 _EVAL_REQUESTS = _MET.counter("serve.eval.requests")
 _EVAL_ROWS = _MET.counter("serve.eval.rows")
 _EVAL_BATCHES = _MET.counter("serve.eval.batches")
@@ -80,6 +84,34 @@ class ServerConfig:
     #: False = evaluate each request inline as it arrives (the unbatched
     #: baseline the serving benchmark compares against).
     batching: bool = True
+    #: Admission control: refuse connections beyond this many concurrent
+    #: clients with an ``unavailable`` reply (None = unlimited).
+    max_connections: Optional[int] = None
+    #: Admission control: shed evaluate requests once this many rows are
+    #: parked across all batchers (None = unlimited).
+    max_parked_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        if self.max_connections is not None and self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1 or None, "
+                f"got {self.max_connections}"
+            )
+        if self.max_parked_rows is not None and self.max_parked_rows < 1:
+            raise ValueError(
+                f"max_parked_rows must be >= 1 or None, "
+                f"got {self.max_parked_rows}"
+            )
 
 
 @dataclass
@@ -123,6 +155,8 @@ class PowerQueryServer:
         self.started_at: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._batchers: Dict[str, _Batcher] = {}
+        #: Rows parked across every batcher (admission-control budget).
+        self._parked_rows = 0
         self._writers: set = set()
         #: Writers with a flush-path drain task in flight (at most one each).
         self._draining: set = set()
@@ -185,6 +219,25 @@ class PowerQueryServer:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        limit = self.config.max_connections
+        if limit is not None and len(self._writers) >= limit:
+            # Admission control: answer with a structured shed instead of
+            # letting the connection join the writer set.
+            _SHED_CONNECTIONS.inc()
+            self._send(
+                writer,
+                protocol.error_response(
+                    None,
+                    "unavailable",
+                    f"connection limit reached ({limit} clients)",
+                ),
+            )
+            try:
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+            return
         _CONNECTIONS.inc()
         self._writers.add(writer)
         try:
@@ -213,6 +266,11 @@ class PowerQueryServer:
                     break  # client closed
                 if line.strip() == b"":
                     continue
+                if faults.fires("serve.connection.reset"):
+                    # Chaos hook: drop the client mid-request the way a
+                    # flaky network would — abort, no FIN, no reply.
+                    writer.transport.abort()
+                    break
                 await self._dispatch(line, writer)
                 try:
                     await writer.drain()
@@ -291,6 +349,10 @@ class PowerQueryServer:
                 self._send(
                     writer, protocol.ok_response(request_id, self._stats())
                 )
+            elif op == "healthz":
+                self._send(
+                    writer, protocol.ok_response(request_id, self._healthz())
+                )
             elif op == "shutdown":
                 self._send(writer, protocol.ok_response(request_id, "stopping"))
                 self.request_stop()
@@ -326,6 +388,21 @@ class PowerQueryServer:
             )
         initial, final = protocol.parse_transitions(request, model.num_inputs)
         single = "pairs" not in request
+        rows = int(initial.shape[0])
+        budget = self.config.max_parked_rows
+        if (
+            budget is not None
+            and self.config.batching
+            and self.config.max_batch > 1
+            and self._parked_rows + rows > budget
+        ):
+            _SHED_REQUESTS.inc()
+            _SHED_ROWS.inc(rows)
+            raise ProtocolError(
+                "unavailable",
+                f"overloaded: {self._parked_rows} rows parked "
+                f"(budget {budget}); retry later",
+            )
         _EVAL_REQUESTS.inc()
         pending = _Pending(
             request_id=request.get("id"),
@@ -343,7 +420,8 @@ class PowerQueryServer:
         if batcher is None:
             batcher = self._batchers[name] = _Batcher(model)
         batcher.pending.append(pending)
-        batcher.rows += initial.shape[0]
+        batcher.rows += rows
+        self._parked_rows += rows
         if batcher.rows >= self.config.max_batch:
             self._flush(name)
         elif batcher.timer is None:
@@ -360,6 +438,7 @@ class PowerQueryServer:
         if batcher.timer is not None:
             batcher.timer.cancel()
             batcher.timer = None
+        self._parked_rows = max(0, self._parked_rows - batcher.rows)
         pending, batcher.pending, batcher.rows = batcher.pending, [], 0
         self._evaluate(pending, batcher.model)
 
@@ -393,6 +472,8 @@ class PowerQueryServer:
                 live.append(item)
         if not live:
             return
+        # Chaos hook: a slow kernel evaluation (big batch, cold cache).
+        faults.maybe_delay("serve.eval.slow")
         initial = np.concatenate([item.initial for item in live])
         final = np.concatenate([item.final for item in live])
         tracer = get_tracer()
@@ -443,12 +524,49 @@ class PowerQueryServer:
                 "max_wait_ms": self.config.max_wait_ms,
                 "batching": self.config.batching,
                 "request_timeout_s": self.config.request_timeout_s,
+                "max_connections": self.config.max_connections,
+                "max_parked_rows": self.config.max_parked_rows,
             },
             "metrics": {
                 name: state
                 for name, state in snapshot.items()
-                if name.startswith(("serve.", "compiled.eval"))
+                if name.startswith(
+                    ("serve.", "compiled.eval", "build.", "faults.")
+                )
             },
+        }
+
+    def _healthz(self) -> Dict:
+        """Liveness/saturation summary for probes and load balancers."""
+
+        snapshot = _MET.snapshot()
+
+        def count(name: str) -> int:
+            state = snapshot.get(name)
+            return int(state["value"]) if state else 0
+
+        return {
+            "status": "stopping" if self._stopping else "ok",
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "models": len(self.models),
+            "connections": len(self._writers),
+            "parked_rows": self._parked_rows,
+            "parked_requests": sum(
+                len(batcher.pending) for batcher in self._batchers.values()
+            ),
+            "limits": {
+                "max_connections": self.config.max_connections,
+                "max_parked_rows": self.config.max_parked_rows,
+            },
+            "shed": {
+                "connections": count("serve.shed.connections"),
+                "requests": count("serve.shed.requests"),
+                "rows": count("serve.shed.rows"),
+            },
+            "degraded_builds": count("build.degraded.count"),
+            "timeouts": count("serve.timeouts"),
         }
 
 

@@ -42,11 +42,12 @@ import inspect
 import json
 import os
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.models.addmodel import (
@@ -59,6 +60,7 @@ from repro.models.serialize import model_from_dict, model_to_dict
 from repro.netlist.netlist import Netlist
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.testing import faults
 
 ENTRY_FORMAT = "repro-model-store-entry"
 MANIFEST_FORMAT = "repro-model-store-manifest"
@@ -78,6 +80,9 @@ _EVICTIONS = _MET.counter("serve.store.lru_evictions")
 _CORRUPT = _MET.counter("serve.store.corrupt_entries")
 _VERSION_SKIPS = _MET.counter("serve.store.version_skips")
 _GC_REMOVED = _MET.counter("serve.store.gc_removed")
+_IO_RETRIES = _MET.counter("serve.store.io_retries")
+_IO_FAILURES = _MET.counter("serve.store.io_failures")
+_MANIFEST_RECOVERIES = _MET.counter("serve.store.manifest_recoveries")
 
 
 def _builder_defaults() -> Dict:
@@ -173,10 +178,20 @@ class StoreEntry:
         )
 
 
-def _atomic_write_json(path: Path, payload: Dict) -> int:
-    """Write JSON via temp file + rename; returns the byte size written."""
-    blob = json.dumps(payload, separators=(",", ":"))
-    data = blob.encode("utf-8")
+def _encode_json(payload: Dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write via temp file + rename, so readers never see partial files."""
+    faults.maybe_fail("store.io.write")
+    spec = faults.check("store.torn_write")
+    if spec is not None:
+        # Chaos hook: simulate a crashed writer that bypassed the atomic
+        # rename — a truncated file appears at the *final* path, exactly
+        # what quarantine/reconciliation must absorb.
+        path.write_bytes(data[: max(1, len(data) // 2)])
+        return
     handle, temp = tempfile.mkstemp(
         dir=str(path.parent), prefix=path.name, suffix=".tmp"
     )
@@ -190,7 +205,41 @@ def _atomic_write_json(path: Path, payload: Dict) -> int:
         except OSError:
             pass
         raise
+
+
+def _atomic_write_json(path: Path, payload: Dict) -> int:
+    """Write JSON via temp file + rename; returns the byte size written."""
+    data = _encode_json(payload)
+    _retry_io(lambda: _atomic_write_bytes(path, data))
     return len(data)
+
+
+def _retry_io(
+    operation: Callable[[], object],
+    attempts: int = 3,
+    base_delay_s: float = 0.01,
+):
+    """Run a filesystem operation, retrying transient OSErrors.
+
+    A store shared over NFS (or hammered by an antivirus scanner) sees
+    sporadic EIO/EAGAIN-style failures that succeed moments later; one
+    bounded retry loop covers every store read and write.  A
+    FileNotFoundError is *not* transient — it propagates immediately so
+    miss detection stays exact.
+    """
+    last: Optional[OSError] = None
+    for attempt in range(attempts):
+        if attempt:
+            _IO_RETRIES.inc()
+            time.sleep(base_delay_s * (2 ** (attempt - 1)))
+        try:
+            return operation()
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            last = exc
+    assert last is not None
+    raise last
 
 
 class ModelStore:
@@ -211,6 +260,9 @@ class ModelStore:
         # key -> (model, approximate byte cost); most recently used last.
         self._lru: "OrderedDict[str, Tuple[AddPowerModel, int]]" = OrderedDict()
         self._lru_bytes = 0
+        # Guards the LRU against concurrent get_or_build callers (e.g.
+        # a server thread racing a prefetch thread).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Keying
@@ -228,24 +280,29 @@ class ModelStore:
     # In-memory LRU
     # ------------------------------------------------------------------
     def _lru_get(self, key: str) -> Optional[AddPowerModel]:
-        hit = self._lru.get(key)
-        if hit is None:
-            return None
-        self._lru.move_to_end(key)
-        return hit[0]
+        with self._lock:
+            hit = self._lru.get(key)
+            if hit is None:
+                return None
+            self._lru.move_to_end(key)
+            return hit[0]
 
     def _lru_put(self, key: str, model: AddPowerModel, cost: int) -> None:
-        if key in self._lru:
-            self._lru_bytes -= self._lru.pop(key)[1]
-        self._lru[key] = (model, cost)
-        self._lru_bytes += cost
-        # Evict least-recently-used entries down to the budget, but never
-        # the entry just inserted (a single over-budget model stays
-        # resident rather than thrashing on every call).
-        while self._lru_bytes > self.memory_budget_bytes and len(self._lru) > 1:
-            _, (_, evicted_cost) = self._lru.popitem(last=False)
-            self._lru_bytes -= evicted_cost
-            _EVICTIONS.inc()
+        with self._lock:
+            if key in self._lru:
+                self._lru_bytes -= self._lru.pop(key)[1]
+            self._lru[key] = (model, cost)
+            self._lru_bytes += cost
+            # Evict least-recently-used entries down to the budget, but
+            # never the entry just inserted (a single over-budget model
+            # stays resident rather than thrashing on every call).
+            while (
+                self._lru_bytes > self.memory_budget_bytes
+                and len(self._lru) > 1
+            ):
+                _, (_, evicted_cost) = self._lru.popitem(last=False)
+                self._lru_bytes -= evicted_cost
+                _EVICTIONS.inc()
 
     @property
     def memory_bytes(self) -> int:
@@ -273,9 +330,19 @@ class ModelStore:
         simply rebuilds in its own format.
         """
         path = self._object_path(key)
+
+        def read() -> bytes:
+            faults.maybe_fail("store.io.read")
+            return path.read_bytes()
+
         try:
-            data = path.read_bytes()
+            data = _retry_io(read)
         except FileNotFoundError:
+            return None
+        except OSError:
+            # Persistently unreadable (disk trouble, not absence): treat
+            # as a miss so the caller rebuilds; the file stays for later.
+            _IO_FAILURES.inc()
             return None
         try:
             raw = json.loads(data)
@@ -337,7 +404,14 @@ class ModelStore:
             "config": canonical_build_config(config),
             "model": model_to_dict(model),
         }
-        size = _atomic_write_json(self._object_path(key), payload)
+        data = _encode_json(payload)
+        size = len(data)
+        try:
+            _retry_io(lambda: _atomic_write_bytes(self._object_path(key), data))
+        except OSError:
+            # Persisting is best-effort: the model is still valid and
+            # stays resident in memory; only its disk copy is missing.
+            _IO_FAILURES.inc()
         entry = StoreEntry(
             key=key,
             macro_name=model.macro_name,
@@ -355,8 +429,13 @@ class ModelStore:
     # Manifest (metadata cache; objects/ is the source of truth)
     # ------------------------------------------------------------------
     def _load_manifest(self) -> Dict[str, StoreEntry]:
+        present = False
         try:
-            raw = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+            blob = _retry_io(
+                lambda: self.manifest_path.read_text(encoding="utf-8")
+            )
+            present = True
+            raw = json.loads(blob)
             if raw.get("format") != MANIFEST_FORMAT:
                 raise ValueError("wrong manifest format")
             entries = {
@@ -364,6 +443,10 @@ class ModelStore:
                 for key, value in raw.get("entries", {}).items()
             }
         except (OSError, ValueError, KeyError, TypeError):
+            if present:
+                # A manifest file exists but would not parse — a torn
+                # write.  Reconciliation below rebuilds it from objects/.
+                _MANIFEST_RECOVERIES.inc()
             entries = {}
         # Reconcile with the objects directory: drop stale records, pick
         # up files another process wrote.  Metadata comes straight from
@@ -378,14 +461,19 @@ class ModelStore:
         return entries
 
     def _write_manifest(self, entries: Dict[str, StoreEntry]) -> None:
-        _atomic_write_json(
-            self.manifest_path,
-            {
-                "format": MANIFEST_FORMAT,
-                "version": STORE_VERSION,
-                "entries": {k: v.to_dict() for k, v in entries.items()},
-            },
-        )
+        try:
+            _atomic_write_json(
+                self.manifest_path,
+                {
+                    "format": MANIFEST_FORMAT,
+                    "version": STORE_VERSION,
+                    "entries": {k: v.to_dict() for k, v in entries.items()},
+                },
+            )
+        except OSError:
+            # The manifest is a rebuildable metadata cache; a failed
+            # rewrite must never fail the put/remove that triggered it.
+            _IO_FAILURES.inc()
 
     def _update_manifest(self, new_entries: Dict[str, StoreEntry]) -> None:
         # Read-modify-write without an inter-process lock: two processes
@@ -437,21 +525,44 @@ class ModelStore:
         self._lru_put(key, model, entry.payload_bytes)
         return key
 
-    def get_or_build(self, netlist: Netlist, **build_kwargs) -> AddPowerModel:
+    def get_or_build(
+        self,
+        netlist: Netlist,
+        *,
+        job_timeout_s: Optional[float] = None,
+        max_retries: int = 1,
+        degrade_max_nodes: Optional[int] = None,
+        **build_kwargs,
+    ) -> AddPowerModel:
         """The main path: cached model, or build-and-cache on a miss."""
-        return self.get_or_build_many([(netlist, build_kwargs)])[0]
+        return self.get_or_build_many(
+            [(netlist, build_kwargs)],
+            job_timeout_s=job_timeout_s,
+            max_retries=max_retries,
+            degrade_max_nodes=degrade_max_nodes,
+        )[0]
 
     def get_or_build_many(
         self,
         jobs: Sequence[BuildJob],
         processes: Optional[int] = None,
+        *,
+        job_timeout_s: Optional[float] = None,
+        max_retries: int = 1,
+        degrade_max_nodes: Optional[int] = None,
         **common_kwargs,
     ) -> List[AddPowerModel]:
         """Resolve many (netlist, config) jobs at once, in job order.
 
         Hits are served from the cache; *all* misses are built in one
-        :func:`~repro.models.addmodel.build_add_models_parallel` fan-out,
-        so a cold store pays one pool spin-up, not one per model.
+        supervised :func:`~repro.models.addmodel.build_add_models_parallel`
+        fan-out, so a cold store pays one pool spin-up, not one per
+        model.  ``job_timeout_s``/``max_retries``/``degrade_max_nodes``
+        configure the build supervisor's recovery ladder; a job degraded
+        to a tighter ``max_nodes`` budget is cached under its *effective*
+        (degraded) configuration, never under the exact key it missed on.
+        When a job fails every rung, its siblings' models are still
+        cached before the failure is raised.
         """
         tracer = get_tracer()
         normalized: List[Tuple[Netlist, Dict]] = []
@@ -465,10 +576,11 @@ class ModelStore:
             normalized.append((netlist, kwargs))
 
         results: List[Optional[AddPowerModel]] = [None] * len(normalized)
+        keys: List[Optional[str]] = [None] * len(normalized)
         misses: List[int] = []
         miss_keys: Dict[str, int] = {}
         for position, (netlist, kwargs) in enumerate(normalized):
-            key = store_key(netlist, kwargs)
+            key = keys[position] = store_key(netlist, kwargs)
             with tracer.span("serve.store.get", key=key[:12]):
                 model = self.get(key)
             if (
@@ -493,20 +605,47 @@ class ModelStore:
                     continue
                 miss_keys[key] = position
                 misses.append(position)
+        first_failure = None
+        built_by_key: Dict[str, AddPowerModel] = {}
         if misses:
             with tracer.span("serve.store.build", count=len(misses)):
-                built = build_add_models_parallel(
-                    [normalized[p] for p in misses], processes=processes
+                outcomes = build_add_models_parallel(
+                    [normalized[p] for p in misses],
+                    processes=processes,
+                    job_timeout_s=job_timeout_s,
+                    max_retries=max_retries,
+                    degrade_max_nodes=degrade_max_nodes,
+                    raise_on_error=False,
                 )
-            _BUILDS.inc(len(built))
-            for position, model in zip(misses, built):
+            for position, outcome in zip(misses, outcomes):
                 netlist, kwargs = normalized[position]
-                self.put(netlist, model, **kwargs)
-                results[position] = model
-        # Fill duplicate-miss positions from whatever their key resolved to.
-        for position, (netlist, kwargs) in enumerate(normalized):
+                if not outcome.ok:
+                    if first_failure is None:
+                        first_failure = outcome
+                    continue
+                _BUILDS.inc()
+                # A degraded model answers this call but is cached under
+                # the configuration that actually built it, so the exact
+                # key stays a miss and can be rebuilt properly later.
+                effective = (
+                    outcome.effective_kwargs
+                    if outcome.status == "degraded"
+                    else kwargs
+                )
+                self.put(netlist, outcome.model, **effective)
+                results[position] = outcome.model
+                built_by_key[keys[position]] = outcome.model
+        if first_failure is not None:
+            # Siblings are cached above; now surface the typed failure.
+            first_failure.raise_error()
+        # Fill duplicate-miss positions from whatever their key built to.
+        for position in range(len(normalized)):
             if results[position] is None:
-                results[position] = self.get(store_key(netlist, kwargs))
+                key = keys[position]
+                model = built_by_key.get(key)
+                results[position] = (
+                    model if model is not None else self.get(key)
+                )
         assert all(model is not None for model in results)
         return results  # type: ignore[return-value]
 
@@ -527,9 +666,10 @@ class ModelStore:
     def remove(self, key: str) -> bool:
         """Delete one entry from disk and memory; True if it existed."""
         existed = False
-        if key in self._lru:
-            self._lru_bytes -= self._lru.pop(key)[1]
-            existed = True
+        with self._lock:
+            if key in self._lru:
+                self._lru_bytes -= self._lru.pop(key)[1]
+                existed = True
         try:
             self._object_path(key).unlink()
             existed = True

@@ -6,7 +6,10 @@ values and Eq.-4 switching capacitance straight from the netlist with
 none of the ``dd``/``sim``/``models`` code, plus a coverage-driven
 fuzzer (:mod:`repro.testing.fuzz`) that cross-checks every
 implementation pair and shrinks disagreements to minimal reproducers
-for ``tests/corpus/``.
+for ``tests/corpus/``, and a deterministic fault injector
+(:mod:`repro.testing.faults`) that provokes worker crashes, torn store
+writes, connection resets and slow evaluations at named sites so the
+resilience layer can be chaos-tested end to end.
 """
 
 from repro.testing.checks import (
@@ -17,6 +20,13 @@ from repro.testing.checks import (
     resolve_checks,
     run_case,
     single_check_runner,
+)
+from repro.testing.faults import (
+    ENV_VAR as FAULT_ENV_VAR,
+    SITES as FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    inject as inject_faults,
 )
 from repro.testing.corpus import (
     case_from_dict,
@@ -49,6 +59,10 @@ from repro.testing.shrink import shrink_case
 __all__ = [
     "CHECKS",
     "CaseContext",
+    "FAULT_ENV_VAR",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
     "FuzzCase",
     "FuzzConfig",
     "FuzzFailure",
@@ -57,6 +71,7 @@ __all__ = [
     "Mismatch",
     "build_fuzz_netlist",
     "case_from_dict",
+    "inject_faults",
     "case_to_dict",
     "iter_corpus",
     "load_case",

@@ -1,0 +1,366 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+The resilience layer (supervised parallel builds, store hardening, server
+admission control, client retries) is only trustworthy if every failure
+path can be *provoked on demand*.  This module provides that adversary: a
+catalogue of named **injection sites** compiled into the production code
+(:data:`SITES`), and a seedable :class:`FaultPlan` describing which sites
+fire, how often, and with what behaviour.
+
+A site costs one function call and a ``None`` check when no plan is
+active, so the hooks stay in production builds.
+
+Activation
+----------
+Plans activate through the :func:`inject` context manager::
+
+    from repro.testing import faults
+
+    plan = [
+        faults.FaultSpec("build.worker.crash", max_token=1),
+        faults.FaultSpec("store.torn_write", times=1, after=1),
+        faults.FaultSpec("serve.connection.reset", times=3),
+    ]
+    with faults.inject(plan, seed=7):
+        ...  # every layer now sees the injected failures
+
+``inject`` also publishes the plan in the ``REPRO_FAULTS`` environment
+variable (JSON), so worker processes — whether ``fork``\\ ed build workers
+or separately spawned CLI processes — reconstruct the same plan on their
+side of the process boundary.
+
+Determinism
+-----------
+Probabilistic triggers draw from a :class:`random.Random` seeded by the
+plan, so a given seed produces the same fire pattern run after run.  Hit
+and fire counters are **per process**: a freshly forked worker starts
+from the plan state at fork time.  Sites that run inside short-lived
+workers therefore accept a caller-supplied ``token`` (the supervisor
+passes the attempt number), and specs bound firing with ``max_token``
+instead of ``times`` — the token travels with the work, so "crash on the
+first attempt only" stays deterministic across any number of processes.
+
+Telemetry
+---------
+Every fire increments a ``faults.injected.<site>`` counter in the process
+where it happened (worker-side increments ride back to the parent through
+the usual parallel-build metric merge when the worker survives).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FaultPlanError
+from repro.obs.metrics import get_metrics
+
+#: Environment variable carrying the active plan (JSON) across processes.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Catalogue of injection sites compiled into the pipeline.  A plan may
+#: only reference sites listed here (typos fail fast).
+SITES: Dict[str, str] = {
+    "build.pool.unavailable": (
+        "fail worker-pool creation, driving the sequential in-process fallback"
+    ),
+    "build.worker.crash": (
+        "hard-exit a parallel build worker before it returns (token = attempt)"
+    ),
+    "build.worker.hang": (
+        "stall a parallel build worker for delay_s (token = attempt)"
+    ),
+    "build.blowup": (
+        "fail an unbudgeted (max_nodes=None) exact ADD construction"
+    ),
+    "store.io.read": "raise an OSError on a store object/manifest read",
+    "store.io.write": "raise an OSError on a store object/manifest write",
+    "store.torn_write": (
+        "leave a truncated file at the final path instead of an atomic write"
+    ),
+    "serve.connection.reset": (
+        "abort a client connection instead of answering the request"
+    ),
+    "serve.eval.slow": "delay a server-side batch evaluation by delay_s",
+}
+
+#: Exception classes a raising spec may name in its ``error`` field.
+ERROR_CLASSES: Dict[str, type] = {
+    "OSError": OSError,
+    "ConnectionError": ConnectionError,
+    "ConnectionResetError": ConnectionResetError,
+    "TimeoutError": TimeoutError,
+    "MemoryError": MemoryError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+}
+
+_MET = get_metrics()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's trigger: when it fires and what the site should do.
+
+    Parameters
+    ----------
+    site:
+        Name from :data:`SITES`.
+    probability:
+        Chance each *eligible* hit fires (1.0 = always).
+    times:
+        Stop firing after this many fires in this process (None = no cap).
+    after:
+        Ignore the first ``after`` hits (lets a plan target e.g. the
+        manifest write that follows an object write).
+    max_token:
+        For sites called with a ``token`` (worker attempt number): fire
+        only while ``token <= max_token``.  Process-count-independent —
+        use this instead of ``times`` for sites inside short-lived
+        workers.
+    delay_s:
+        For stalling sites: how long to sleep.
+    error:
+        For raising sites: exception class name from
+        :data:`ERROR_CLASSES`.
+    message:
+        Attached to raised exceptions for recognisable failures.
+    """
+
+    site: str
+    probability: float = 1.0
+    times: Optional[int] = None
+    after: int = 0
+    max_token: Optional[int] = None
+    delay_s: float = 0.0
+    error: str = "OSError"
+    message: str = "injected fault"
+
+    def validate(self) -> None:
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r} (known: {sorted(SITES)})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"{self.site}: probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.times is not None and self.times < 1:
+            raise FaultPlanError(f"{self.site}: times must be >= 1 or None")
+        if self.after < 0:
+            raise FaultPlanError(f"{self.site}: after must be >= 0")
+        if self.max_token is not None and self.max_token < 0:
+            raise FaultPlanError(f"{self.site}: max_token must be >= 0 or None")
+        if self.delay_s < 0:
+            raise FaultPlanError(f"{self.site}: delay_s must be >= 0")
+        if self.error not in ERROR_CLASSES:
+            raise FaultPlanError(
+                f"{self.site}: unknown error class {self.error!r} "
+                f"(known: {sorted(ERROR_CLASSES)})"
+            )
+
+    def exception(self) -> BaseException:
+        """The exception this spec raises at a raising site."""
+        return ERROR_CLASSES[self.error](
+            f"injected fault at {self.site}: {self.message}"
+        )
+
+
+class FaultPlan:
+    """A set of per-site :class:`FaultSpec` triggers with shared state.
+
+    Thread-safe: the server thread, client threads and the build
+    supervisor may all consult one plan concurrently.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0):
+        by_site: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            spec.validate()
+            if spec.site in by_site:
+                raise FaultPlanError(f"duplicate spec for site {spec.site!r}")
+            by_site[spec.site] = spec
+        self.specs = by_site
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._hits: Dict[str, int] = {}
+        self._fires: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- serialisation (environment round trip) ------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "specs": [asdict(spec) for spec in self.specs.values()],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "FaultPlan":
+        if not isinstance(raw, dict) or not isinstance(raw.get("specs"), list):
+            raise FaultPlanError("fault plan must be {'seed': .., 'specs': [..]}")
+        try:
+            specs = [FaultSpec(**spec) for spec in raw["specs"]]
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed fault spec: {exc}") from None
+        return cls(specs, seed=int(raw.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        try:
+            raw = json.loads(blob)
+        except ValueError as exc:
+            raise FaultPlanError(f"unparseable fault plan JSON: {exc}") from None
+        return cls.from_dict(raw)
+
+    # -- trigger evaluation --------------------------------------------
+    def check(self, site: str, token: Optional[int] = None) -> Optional[FaultSpec]:
+        """Consult the plan at one site; returns the spec iff it fires."""
+        spec = self.specs.get(site)
+        if spec is None:
+            return None
+        with self._lock:
+            self._hits[site] = self._hits.get(site, 0) + 1
+            if self._hits[site] <= spec.after:
+                return None
+            if spec.max_token is not None and (
+                token is None or token > spec.max_token
+            ):
+                return None
+            if spec.times is not None and self._fires.get(site, 0) >= spec.times:
+                return None
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                return None
+            self._fires[site] = self._fires.get(site, 0) + 1
+        _MET.counter(f"faults.injected.{site}").inc()
+        return spec
+
+    def fire_count(self, site: str) -> int:
+        """How many times ``site`` has fired in this process."""
+        with self._lock:
+            return self._fires.get(site, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(sites={sorted(self.specs)}, seed={self.seed})"
+
+
+# ---------------------------------------------------------------------------
+# Global activation
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+#: (env blob, parsed plan) — so workers that inherit only the environment
+#: variable parse it once, not on every site hit.
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan currently in force in this process, if any.
+
+    An explicitly installed plan (:func:`inject` / :func:`install`) wins;
+    otherwise the ``REPRO_FAULTS`` environment variable is consulted, so
+    spawned worker or CLI processes self-arm without any extra plumbing.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    blob = os.environ.get(ENV_VAR)
+    if not blob:
+        return None
+    global _ENV_CACHE
+    if blob != _ENV_CACHE[0]:
+        _ENV_CACHE = (blob, FaultPlan.from_json(blob))
+    return _ENV_CACHE[1]
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install (or with None, clear) the process-wide plan directly.
+
+    Prefer :func:`inject` — it also propagates the plan to child
+    processes via the environment and restores the previous state.
+    """
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+PlanLike = Union[FaultPlan, Sequence[FaultSpec]]
+
+
+@contextmanager
+def inject(plan: PlanLike, seed: int = 0) -> Iterator[FaultPlan]:
+    """Activate a fault plan for the dynamic extent of the block.
+
+    Accepts a :class:`FaultPlan` or a sequence of :class:`FaultSpec`\\ s.
+    Publishes the plan in ``REPRO_FAULTS`` so forked/spawned workers
+    inherit it; restores the previous plan and environment on exit.
+    """
+    if not isinstance(plan, FaultPlan):
+        plan = FaultPlan(list(plan), seed=seed)
+    previous_active = _ACTIVE
+    previous_env = os.environ.get(ENV_VAR)
+    install(plan)
+    os.environ[ENV_VAR] = plan.to_json()
+    try:
+        yield plan
+    finally:
+        install(previous_active)
+        if previous_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous_env
+
+
+# ---------------------------------------------------------------------------
+# Site helpers (what the production code calls)
+# ---------------------------------------------------------------------------
+def check(site: str, token: Optional[int] = None) -> Optional[FaultSpec]:
+    """The spec for ``site`` iff a plan is active and the site fires."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.check(site, token)
+
+
+def fires(site: str, token: Optional[int] = None) -> bool:
+    """True iff ``site`` fires now (for sites with custom behaviour)."""
+    return check(site, token) is not None
+
+
+def maybe_fail(site: str, token: Optional[int] = None) -> None:
+    """Raise the spec's exception iff ``site`` fires."""
+    spec = check(site, token)
+    if spec is not None:
+        raise spec.exception()
+
+
+def maybe_delay(site: str, token: Optional[int] = None) -> bool:
+    """Sleep the spec's ``delay_s`` iff ``site`` fires; True iff it did."""
+    spec = check(site, token)
+    if spec is None:
+        return False
+    if spec.delay_s > 0:
+        time.sleep(spec.delay_s)
+    return True
+
+
+__all__ = [
+    "ENV_VAR",
+    "ERROR_CLASSES",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "check",
+    "fires",
+    "inject",
+    "install",
+    "maybe_delay",
+    "maybe_fail",
+]

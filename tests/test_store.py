@@ -330,3 +330,62 @@ class TestSharing:
         builds_before = counter_value("serve.store.builds")
         store.get_or_build(small_netlist(flavor=0), max_nodes=100)
         assert counter_value("serve.store.builds") == builds_before
+
+
+class TestConcurrency:
+    def test_threads_racing_get_or_build_same_key(self, tmp_path):
+        """Two threads resolving one key concurrently both get equal
+        models and leave exactly one store entry behind."""
+        import threading
+
+        store = ModelStore(tmp_path)
+        netlist = small_netlist(flavor=1)
+        results: list = [None, None]
+        errors: list = []
+
+        def resolve(slot: int) -> None:
+            try:
+                results[slot] = store.get_or_build(netlist, max_nodes=100)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=resolve, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert not errors
+        assert all(model is not None for model in results)
+        # Worst case both threads built; the atomic replace means one
+        # entry wins and both models answer identically.
+        assert len(store.ls()) == 1
+        initial, final = uniform_pairs(4, 16, seed=3)
+        left = results[0].pair_capacitances(initial, final)
+        right = results[1].pair_capacitances(initial, final)
+        assert np.allclose(left, right)
+
+    def test_reader_hits_manifest_mid_rewrite(self, tmp_path):
+        """A reader that loads the store right after a torn manifest
+        rewrite still sees every object (reconciliation wins)."""
+        from repro.testing import faults
+
+        store = ModelStore(tmp_path)
+        first = small_netlist(flavor=0)
+        second = small_netlist(flavor=2)
+        store.get_or_build(first, max_nodes=100)
+        # after=1 lets the second put's object write through (hit 1) and
+        # tears the manifest rewrite that follows it (hit 2) — exactly a
+        # writer dying mid-manifest while a reader comes in.
+        with faults.inject(
+            [faults.FaultSpec("store.torn_write", times=1, after=1)]
+        ):
+            store.get_or_build(second, max_nodes=100)
+        reader = ModelStore(tmp_path)
+        entries = reader.ls()
+        assert len(entries) == 2
+        for netlist in (first, second):
+            assert (
+                reader.get(reader.key_for(netlist, max_nodes=100)) is not None
+            )
