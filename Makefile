@@ -50,6 +50,9 @@ bench-eval:
 bench-serving:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_serving.py
 
-# ~5-second throughput smoke run; leaves the checked-in JSON untouched.
+# ~10-second throughput smoke run; leaves the checked-in JSON untouched.
+# Runs through the pytest entry so the backend assertions apply: every
+# backend bit-for-bit vs the scalar walk, and bit-parallel beating the
+# levelized kernel on at least one circuit.
 bench-smoke:
-	REPRO_BENCH_QUICK=1 $(PYTHON) benchmarks/bench_eval_throughput.py
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_eval_throughput.py -q

@@ -1,16 +1,21 @@
-"""E10 — batch-evaluation throughput: compiled kernel vs the per-row walk.
+"""E10 — batch-evaluation throughput: every backend vs the per-row walk.
 
 Measures :meth:`AddPowerModel.pair_capacitances` throughput (rows/second)
-with the compiled levelized kernel against the pre-compilation baseline —
-one ``DDManager.evaluate`` pointer walk per pattern in pure Python — for
-several macro sizes and batch sizes ``P``.  Both paths are checked
+for each registered evaluation backend (levelized, bit-parallel, codegen;
+see :mod:`repro.dd.backends`) against the pre-compilation baseline — one
+``DDManager.evaluate`` pointer walk per pattern in pure Python — for
+several macro sizes and batch sizes ``P``.  All paths are checked
 bit-for-bit on the rows they share before any number is reported.
 
 Artifacts:
 
 - ``BENCH_eval_throughput.json`` at the repo root (full runs only), with
   schema ``{bench, rows: [{circuit, P, rows_per_sec_scalar,
-  rows_per_sec_compiled, speedup}]}``;
+  rows_per_sec_compiled, rows_per_sec_bitparallel, rows_per_sec_codegen,
+  speedup, speedup_bitparallel, speedup_codegen}]}``.
+  ``rows_per_sec_compiled`` stays the levelized kernel (the pre-backend
+  meaning of "compiled"), so old consumers keep reading the same column;
+  the per-backend speedups are relative to it;
 - ``benchmarks/results/eval_throughput.txt``, the human-readable table.
 
 Run directly::
@@ -42,13 +47,16 @@ JSON_PATH = os.path.join(REPO_ROOT, "BENCH_eval_throughput.json")
 
 #: (circuit, max_nodes) grid; ``None`` budget = exact model.  parity and
 #: cmb have 16 inputs, cm150 has 21 — the macro-size axis of the sweep.
+#: ``parity@60`` is a deliberately thin model (support <= 16 transition
+#: variables) where the bit-parallel backend's tabulated path applies.
 FULL_MACROS: List[Tuple[str, Optional[int]]] = [
     ("cm85", None),
     ("cmb", 800),
     ("parity", None),
+    ("parity", 60),
     ("cm150", 500),
 ]
-QUICK_MACROS: List[Tuple[str, Optional[int]]] = [("cmb", 800)]
+QUICK_MACROS: List[Tuple[str, Optional[int]]] = [("cmb", 800), ("parity", 60)]
 
 FULL_BATCHES = (1_000, 10_000, 100_000)
 QUICK_BATCHES = (1_000, 10_000)
@@ -58,8 +66,26 @@ FULL_SCALAR_CAP = 20_000
 QUICK_SCALAR_CAP = 2_000
 
 
+#: Backends timed per batch beyond the levelized baseline.
+EXTRA_BACKENDS = ("bitparallel", "codegen")
+
+
+def _time_backend(compiled, packed, kernel: str) -> Tuple[float, np.ndarray]:
+    """Best-of-3 wall time for one backend (first call warms it)."""
+    compiled.evaluate_batch(packed, kernel=kernel)
+    best = float("inf")
+    result = None
+    for _ in range(3):
+        start = time.perf_counter()
+        result = compiled.evaluate_batch(packed, kernel=kernel)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
 def measure_circuit(name: str, max_nodes: Optional[int], batches, scalar_cap):
     """Throughput rows for one macro across all batch sizes."""
+    from repro.dd import backends as dd_backends
+
     netlist = load_circuit(name)
     model = build_add_model(netlist, max_nodes=max_nodes)
     compiled = model.compiled()
@@ -71,12 +97,7 @@ def measure_circuit(name: str, max_nodes: Optional[int], batches, scalar_cap):
         initial = rng.random((P, netlist.num_inputs)) < 0.5
         final = rng.random((P, netlist.num_inputs)) < 0.5
         packed = model._pack_batch(initial, final)
-        compiled.evaluate_batch(packed)  # warm the kernel path
-        best = float("inf")
-        for _ in range(3):
-            start = time.perf_counter()
-            batch = compiled.evaluate_batch(packed)
-            best = min(best, time.perf_counter() - start)
+        best, batch = _time_backend(compiled, packed, "levelized")
         sample = min(P, scalar_cap)
         start = time.perf_counter()
         scalar = np.array([evaluate(root, row) for row in packed[:sample]])
@@ -87,18 +108,30 @@ def measure_circuit(name: str, max_nodes: Optional[int], batches, scalar_cap):
             )
         compiled_rate = P / best
         scalar_rate = sample / scalar_elapsed
-        rows.append(
-            {
-                "circuit": name,
-                "P": P,
-                "rows_per_sec_scalar": round(scalar_rate, 1),
-                "rows_per_sec_compiled": round(compiled_rate, 1),
-                "speedup": round(compiled_rate / scalar_rate, 2),
-                "num_inputs": netlist.num_inputs,
-                "model_nodes": model.size,
-                "max_nodes": max_nodes,
-            }
-        )
+        row = {
+            "circuit": name,
+            "P": P,
+            "rows_per_sec_scalar": round(scalar_rate, 1),
+            "rows_per_sec_compiled": round(compiled_rate, 1),
+            "speedup": round(compiled_rate / scalar_rate, 2),
+            "num_inputs": netlist.num_inputs,
+            "model_nodes": model.size,
+            "max_nodes": max_nodes,
+        }
+        for kernel in EXTRA_BACKENDS:
+            if not dd_backends.get_backend(kernel).supports(compiled):
+                row[f"rows_per_sec_{kernel}"] = None
+                row[f"speedup_{kernel}"] = None
+                continue
+            elapsed, result = _time_backend(compiled, packed, kernel)
+            if not np.array_equal(result, batch):
+                raise AssertionError(
+                    f"{name}: {kernel} backend diverges from levelized"
+                )
+            rate = P / elapsed
+            row[f"rows_per_sec_{kernel}"] = round(rate, 1)
+            row[f"speedup_{kernel}"] = round(rate / compiled_rate, 2)
+        rows.append(row)
     return rows
 
 
@@ -113,15 +146,26 @@ def run_suite():
 
 
 def format_table(rows) -> str:
+    def rate(value) -> str:
+        return f"{value:,.0f}" if value is not None else "-"
+
+    def boost(value) -> str:
+        return f"{value:.1f}x" if value is not None else "-"
+
     lines = [
         f"{'circuit':<10}{'inputs':>7}{'nodes':>7}{'P':>9}"
-        f"{'scalar rows/s':>15}{'compiled rows/s':>17}{'speedup':>9}"
+        f"{'scalar r/s':>12}{'levelized r/s':>15}"
+        f"{'bitpar r/s':>13}{'x':>7}{'codegen r/s':>13}{'x':>7}"
     ]
     for row in rows:
         lines.append(
             f"{row['circuit']:<10}{row['num_inputs']:>7}{row['model_nodes']:>7}"
-            f"{row['P']:>9}{row['rows_per_sec_scalar']:>15,.0f}"
-            f"{row['rows_per_sec_compiled']:>17,.0f}{row['speedup']:>8.1f}x"
+            f"{row['P']:>9}{rate(row['rows_per_sec_scalar']):>12}"
+            f"{rate(row['rows_per_sec_compiled']):>15}"
+            f"{rate(row['rows_per_sec_bitparallel']):>13}"
+            f"{boost(row['speedup_bitparallel']):>7}"
+            f"{rate(row['rows_per_sec_codegen']):>13}"
+            f"{boost(row['speedup_codegen']):>7}"
         )
     return "\n".join(lines)
 
@@ -152,12 +196,21 @@ def main() -> None:
 
 
 def test_eval_throughput():
-    """Benchmark-suite entry: compiled path must beat the per-row walk."""
+    """Benchmark-suite entry: compiled path must beat the per-row walk,
+    and the new backends must pay for themselves somewhere on the grid."""
     rows = run_suite()
     write_result("eval_throughput", format_table(rows))
     assert all(row["speedup"] > 1.0 for row in rows)
     largest = max(rows, key=lambda row: row["P"])
     assert largest["rows_per_sec_compiled"] > largest["rows_per_sec_scalar"]
+    # The bit-parallel backend must beat levelized on at least one
+    # circuit (its tabulated path; wide-support models stay levelized).
+    assert any(
+        (row["speedup_bitparallel"] or 0.0) > 1.0 for row in rows
+    ), "bit-parallel backend never beat the levelized kernel"
+    # Codegen must beat levelized wherever it compiled at all.
+    codegen = [row["speedup_codegen"] for row in rows if row["speedup_codegen"]]
+    assert codegen and max(codegen) > 1.0
 
 
 if __name__ == "__main__":

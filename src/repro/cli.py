@@ -129,7 +129,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         "Lin": LinearModel.characterize(netlist, training),
         "ADD": build_add_model(netlist, max_nodes=args.max_nodes),
     }
-    config = SweepConfig(sequence_length=args.sequence_length)
+    config = SweepConfig(
+        sequence_length=args.sequence_length, kernel=args.kernel
+    )
     result = run_sweep(netlist, models, config)
     rows = [
         [name, 100.0 * result.are_average(name)] for name in models
@@ -369,6 +371,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batching=not args.no_batching,
             max_connections=args.max_connections,
             max_parked_rows=args.max_parked_rows,
+            kernel=args.kernel,
+            fused=args.fused,
         ),
     )
 
@@ -555,6 +559,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--max-nodes", type=int, default=1000)
     evaluate.add_argument("--sequence-length", type=int, default=1500)
     evaluate.add_argument("--train-length", type=int, default=1500)
+    evaluate.add_argument(
+        "--kernel",
+        default=None,
+        help="force an evaluation backend for the sweep "
+        "(pointer, levelized, bitparallel, codegen)",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
 
     bound = add_command("bound", help="build and verify an upper bound")
@@ -716,6 +726,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shed evaluate requests once this many rows are queued",
+    )
+    serve.add_argument(
+        "--kernel",
+        default="auto",
+        help="evaluation backend to pin the served models to "
+        "(auto, pointer, levelized, bitparallel, codegen)",
+    )
+    serve.add_argument(
+        "--fused",
+        action="store_true",
+        help="fuse codegen-eligible models into one shared kernel and "
+        "drain all batchers per flush",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -28,6 +28,14 @@ from repro.dd.reorder import (
     size_under_order,
     transfer,
 )
+from repro.dd.backends import (
+    EvalBackend,
+    FusedKernel,
+    get_backend,
+    registered_names,
+    select_backend,
+    warm_backend,
+)
 from repro.dd.compiled import CompiledDD, compile_dd
 from repro.dd.dot import to_dot, write_dot
 from repro.dd.function import DDFunction
@@ -51,6 +59,12 @@ __all__ = [
     "CacheStats",
     "CompiledDD",
     "compile_dd",
+    "EvalBackend",
+    "FusedKernel",
+    "get_backend",
+    "registered_names",
+    "select_backend",
+    "warm_backend",
     "TERMINAL_LEVEL",
     "TransitionSpace",
     "fanin_dfs_input_order",

@@ -7,7 +7,10 @@ node into contiguous numpy arrays (nodes relabeled to dense ids) so a
 whole ``(P, num_vars)`` pattern batch is routed with vectorised gathers
 instead of one Python loop iteration per pattern per level.
 
-Two kernels back :meth:`CompiledDD.evaluate_batch`:
+Evaluation strategies are pluggable :class:`~repro.dd.backends.EvalBackend`
+implementations (see :mod:`repro.dd.backends`); this module provides the
+compiled diagram itself plus the two numpy reference kernels every other
+backend is differenced against:
 
 - the **levelized plan** (default): at compile time the diagram is
   unrolled over its sorted support levels, inserting pass-through slots
@@ -19,6 +22,12 @@ Two kernels back :meth:`CompiledDD.evaluate_batch`:
 - the **pointer-chasing kernel** (fallback for diagrams whose levelized
   table would be degenerate): follows ``lo``/``hi`` edges directly with
   an active-row mask, ``O(P · depth)`` element operations.
+
+The registry adds a **bit-parallel** backend (64 patterns per uint64
+lane) and a **codegen** backend (the levelized plan emitted as C and
+compiled via cc/cffi); ``evaluate_batch(kernel=...)`` accepts any
+registered backend name, ``"auto"`` applies the selection policy of
+:func:`repro.dd.backends.select_backend`.
 
 The node store of a :class:`~repro.dd.manager.DDManager` is append-only
 (existing nodes are never mutated), so a compiled form stays valid for
@@ -33,7 +42,7 @@ import time
 
 import numpy as np
 
-from repro.errors import DDError
+from repro.errors import BackendError, DDError
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 
@@ -61,6 +70,25 @@ _EVAL_ROWS_PER_SEC = _MET.gauge("compiled.eval.rows_per_sec")
 #: entries (a pathological wide-cut diagram); the pointer kernel still
 #: evaluates such diagrams correctly.
 LEVELIZED_SLOT_LIMIT = 4_000_000
+
+
+def coerce_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Canonicalise a pattern batch to a C-contiguous 0/1 bool matrix.
+
+    Returns the input object itself when it is already clean (bool dtype,
+    C-contiguous) — the serving hot path must not pay a copy per batch —
+    and otherwise exactly one converted copy: ``!= 0`` maps any integer
+    or float dtype (int8 wire payloads included) onto {False, True}, and
+    sliced / transposed / Fortran-ordered views are compacted so the
+    kernels can index without numpy's implicit casts.  A ``(0, n)``
+    empty batch passes through with dtype and layout normalised but no
+    special casing.
+    """
+    if matrix.dtype != np.bool_:
+        matrix = matrix != 0
+    if not matrix.flags.c_contiguous:
+        matrix = np.ascontiguousarray(matrix)
+    return matrix
 
 
 class CompiledDD:
@@ -97,6 +125,9 @@ class CompiledDD:
         "support",
         "_lev_children",
         "_lev_values",
+        "_lev_tables",
+        "_lev_final_values",
+        "_backend_state",
     )
 
     def __init__(
@@ -120,6 +151,12 @@ class CompiledDD:
         self.support = support
         self._lev_children: np.ndarray | None = None
         self._lev_values: np.ndarray | None = None
+        self._lev_tables: list[np.ndarray] | None = None
+        self._lev_final_values: np.ndarray | None = None
+        # Per-backend prepared state (bit-parallel gather plans, compiled
+        # codegen kernels, the last auto-selection logged) — owned by
+        # :mod:`repro.dd.backends`, keyed by backend name.
+        self._backend_state: dict = {}
         self._build_levelized()
 
     # ------------------------------------------------------------------
@@ -226,10 +263,18 @@ class CompiledDD:
         # Final ids land in [total, total + 2*len(live)); only that tail
         # of the value table is ever gathered.
         values = np.full(total + 2 * len(live), np.nan, dtype=np.float64)
+        final_values = np.empty(len(live), dtype=np.float64)
         for node, slot in live.items():
             values[total + 2 * slot] = values[total + 2 * slot + 1] = self.values[node]
+            final_values[slot] = self.values[node]
         self._lev_children = flat
         self._lev_values = values
+        # Per-level *local* tables plus per-final-slot values: the
+        # bit-parallel backend needs level granularity (one OR-scatter per
+        # level) and the codegen backend needs the plan re-emittable, so
+        # both views of the same plan are kept.
+        self._lev_tables = tables
+        self._lev_final_values = final_values
 
     # ------------------------------------------------------------------
     # Introspection
@@ -250,16 +295,21 @@ class CompiledDD:
         """Evaluate a ``(P, num_vars)`` 0/1 batch; returns ``(P,)`` floats.
 
         All support columns are validated before any work happens, so a
-        too-narrow matrix raises without producing partial results.
+        too-narrow matrix (or an unknown backend name) raises without
+        producing partial results.
 
-        ``kernel`` selects the traversal strategy: ``"auto"`` (default)
-        prefers the levelized plan when one was built, ``"levelized"``
-        and ``"pointer"`` force a specific kernel — used by the
-        differential-testing harness to cross-check the two
-        implementations on identical inputs.
+        ``kernel`` selects the traversal strategy: any name registered in
+        :mod:`repro.dd.backends` (``"levelized"``, ``"pointer"``,
+        ``"bitparallel"``, ``"codegen"``) forces that backend — used by
+        the differential-testing harness to cross-check implementations
+        on identical inputs — and ``"auto"`` (default) applies the
+        selection policy of :func:`repro.dd.backends.select_backend`,
+        honouring the ``REPRO_EVAL_BACKEND`` environment override.
+        Unknown names raise :class:`~repro.errors.BackendError`.
         """
-        if kernel not in ("auto", "levelized", "pointer"):
-            raise DDError(f"unknown kernel {kernel!r}")
+        from repro.dd import backends as _backends
+
+        forced = None if kernel == "auto" else _backends.get_backend(kernel)
         matrix = np.asarray(assignments)
         if matrix.ndim != 2:
             raise DDError("assignments must be a (P, num_vars) matrix")
@@ -272,25 +322,27 @@ class CompiledDD:
             return np.empty(0, dtype=np.float64)
         if not self.support.size:
             return np.full(rows, self.values[self.root], dtype=np.float64)
-        if kernel == "levelized" and self._lev_children is None:
-            raise DDError(
-                "no levelized plan for this diagram (width over the slot limit)"
-            )
+        if forced is not None:
+            backend = forced
+            if not backend.supports(self):
+                raise BackendError(
+                    f"backend {backend.name!r} cannot evaluate this diagram "
+                    "(no levelized plan: width over the slot limit)"
+                )
+        else:
+            backend = _backends.select_backend(self, rows)
         # Canonicalise dtype and layout once per batch (the serving hot
         # path calls this with whatever the wire format produced); the
-        # kernels below then index without numpy's implicit casts/copies.
-        if matrix.dtype != np.bool_:
-            matrix = matrix != 0
-        if not matrix.flags.c_contiguous:
-            matrix = np.ascontiguousarray(matrix)
-        levelized = kernel != "pointer" and self._lev_children is not None
+        # backends then index without numpy's implicit casts/copies.
+        matrix = coerce_matrix(matrix)
         started = time.perf_counter()
-        if levelized:
-            result = self._evaluate_levelized(matrix)
-        else:
-            result = self._evaluate_pointer(matrix)
+        result = backend.evaluate(self, matrix)
         elapsed = time.perf_counter() - started
-        (_EVAL_LEVELIZED if levelized else _EVAL_POINTER).inc()
+        if backend.name == "levelized":
+            _EVAL_LEVELIZED.inc()
+        elif backend.name == "pointer":
+            _EVAL_POINTER.inc()
+        _backends.record_batch(backend.name, rows)
         _EVAL_BATCHES.inc()
         _EVAL_ROWS.inc(rows)
         _EVAL_SECONDS.observe(elapsed)
@@ -301,7 +353,7 @@ class CompiledDD:
             tracer.event(
                 "compiled.eval",
                 rows=rows,
-                kernel="levelized" if levelized else "pointer",
+                kernel=backend.name,
                 seconds=elapsed,
             )
         return result

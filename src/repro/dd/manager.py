@@ -673,7 +673,7 @@ class DDManager:
             self._compiled_cache[u] = cached
         return cached
 
-    def evaluate_batch(self, u: int, assignments) -> "np.ndarray":
+    def evaluate_batch(self, u: int, assignments, kernel: str = "auto") -> "np.ndarray":
         """Evaluate many assignments at once.
 
         ``assignments`` is a ``(P, num_vars)`` 0/1 array.  Batches of at
@@ -683,6 +683,11 @@ class DDManager:
         Small batches use a frontier traversal instead: rows are routed
         through the diagram together, each node partitioning the row set
         it receives by its variable's column.
+
+        ``kernel`` selects the compiled evaluation backend (see
+        :meth:`CompiledDD.evaluate_batch`).  Any explicit name forces the
+        compiled path regardless of batch height, so backends can be
+        differenced against each other on arbitrarily small batches.
 
         The support of ``u`` is validated against the matrix width before
         any evaluation, so a too-narrow batch raises without producing
@@ -703,8 +708,8 @@ class DDManager:
         rows = matrix.shape[0]
         if rows == 0:
             return np.empty(0, dtype=float)
-        if rows >= BATCH_COMPILE_MIN_ROWS:
-            return self.compiled(u).evaluate_batch(matrix)
+        if kernel != "auto" or rows >= BATCH_COMPILE_MIN_ROWS:
+            return self.compiled(u).evaluate_batch(matrix, kernel=kernel)
         result = np.empty(rows, dtype=float)
         matrix = matrix.astype(bool)
         # Frontier: node -> array of row indices currently at that node.

@@ -23,6 +23,11 @@ class NotBooleanError(DDError):
     """An operation that requires a 0/1-valued diagram got a general ADD."""
 
 
+class BackendError(DDError):
+    """An evaluation backend was requested that does not exist, or an
+    explicitly forced backend cannot evaluate the given diagram."""
+
+
 class NetlistError(ReproError):
     """Base class for netlist construction / validation errors."""
 

@@ -11,8 +11,9 @@ RE-vs-st curves are derived views of the same sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +45,10 @@ class SweepConfig:
     st_values: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
     sequence_length: int = 3000
     seed: int = 2024
+    #: Evaluation backend forced onto ADD-backed models for the sweep
+    #: (``None`` keeps each model's own default; see
+    #: :mod:`repro.dd.backends` for the names).
+    kernel: Optional[str] = None
 
     def grid(self) -> List[Tuple[float, float]]:
         """All feasible ``(sp, st)`` points of the grid."""
@@ -166,10 +171,41 @@ class SweepResult:
         )
 
 
+@contextmanager
+def _forced_kernel(
+    models: Dict[str, PowerModel], kernel: Optional[str]
+) -> Iterator[None]:
+    """Temporarily pin ``eval_kernel`` on every model that has one.
+
+    The batch path (:meth:`PowerModel.sequence_summary` →
+    ``pair_capacitances``) consults the attribute, so pinning it routes
+    the whole sweep through the requested backend without threading a
+    parameter down every hook.  Unknown names fail fast here, before any
+    golden simulation time is spent.
+    """
+    if kernel is None:
+        yield
+        return
+    from repro.dd import backends as _backends
+
+    _backends.get_backend(kernel)  # typo check up front
+    saved = {}
+    for name, model in models.items():
+        if hasattr(model, "eval_kernel"):
+            saved[name] = model.eval_kernel
+            model.eval_kernel = kernel
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            models[name].eval_kernel = value
+
+
 def evaluate_models_on_runs(
     netlist_name: str,
     models: Dict[str, PowerModel],
     runs: Sequence[TruthRun],
+    kernel: Optional[str] = None,
 ) -> SweepResult:
     """Evaluate models against precomputed golden runs."""
     if not models:
@@ -178,7 +214,7 @@ def evaluate_models_on_runs(
     rows = []
     with tracer.span(
         "eval.models", netlist=netlist_name, num_models=len(models)
-    ):
+    ), _forced_kernel(models, kernel):
         for run in runs:
             averages = {}
             maxima = {}
@@ -210,4 +246,6 @@ def run_sweep(
     _SWEEPS.inc()
     with get_tracer().span("eval.sweep", netlist=netlist.name):
         runs = compute_truth_runs(netlist, config)
-        return evaluate_models_on_runs(netlist.name, models, runs)
+        return evaluate_models_on_runs(
+            netlist.name, models, runs, kernel=config.kernel
+        )

@@ -195,6 +195,10 @@ class AddPowerModel(PowerModel):
         self._space_position = [position[name] for name in external]
         #: Weight callback used for any further shrinking of this model.
         self.weight_fn: Optional[WeightFn] = None
+        #: Default evaluation backend for :meth:`pair_capacitances` calls
+        #: that do not force one ("auto" defers to the compiled layer's
+        #: selection policy; see :mod:`repro.dd.backends`).
+        self.eval_kernel: str = "auto"
         #: Content hash of the netlist this model was built from (see
         #: :meth:`repro.netlist.netlist.Netlist.content_hash`); rides
         #: through serialisation so the model store can verify that a
@@ -241,14 +245,17 @@ class AddPowerModel(PowerModel):
         packed[:, xf_cols] = final
         return packed
 
-    def pair_capacitances(self, initial, final, kernel: str = "auto") -> np.ndarray:
+    def pair_capacitances(self, initial, final, kernel: Optional[str] = None) -> np.ndarray:
         """Model capacitance for a batch of ``(initial, final)`` pattern pairs.
 
-        ``kernel`` selects the compiled evaluation strategy (see
-        :meth:`CompiledDD.evaluate_batch`); forcing ``"levelized"`` or
-        ``"pointer"`` always compiles, even for tiny batches, so the two
-        kernels can be differenced against each other in tests.
+        ``kernel`` selects the compiled evaluation backend (see
+        :meth:`CompiledDD.evaluate_batch`); ``None`` defers to the model's
+        :attr:`eval_kernel` default.  Forcing a named backend always
+        compiles, even for tiny batches, so backends can be differenced
+        against each other in tests.
         """
+        if kernel is None:
+            kernel = self.eval_kernel
         packed = self._pack_batch(initial, final)
         # Tiny batches before the first compilation are not worth the
         # O(model size) flattening; everything else goes through the
@@ -258,6 +265,28 @@ class AddPowerModel(PowerModel):
             root = self.root
             return np.array([evaluate(root, row) for row in packed], dtype=float)
         return self.compiled().evaluate_batch(packed, kernel=kernel)
+
+    def warm_eval_backend(self, kernel: Optional[str] = None) -> str:
+        """Pre-pay a backend's one-time setup cost (compile / pack tables).
+
+        Long-lived consumers (the power-query server, sweep runners) call
+        this once at load time so the first real batch is served at full
+        speed.  Returns the name of the backend that was warmed.  With
+        ``kernel=None`` the model's :attr:`eval_kernel` is warmed;
+        ``"auto"`` warms the backend the selection policy would pick for a
+        large batch.
+        """
+        from repro.dd import backends as _backends
+
+        if kernel is None:
+            kernel = self.eval_kernel
+        compiled = self.compiled()
+        if kernel == "auto":
+            backend = _backends.select_backend(compiled, rows=1 << 20)
+        else:
+            backend = _backends.get_backend(kernel)
+        backend.warm(compiled)
+        return backend.name
 
     # ------------------------------------------------------------------
     # Analytic queries (no simulation needed)

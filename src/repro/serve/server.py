@@ -59,6 +59,8 @@ _SHED_ROWS = _MET.counter("serve.shed.rows")
 _EVAL_REQUESTS = _MET.counter("serve.eval.requests")
 _EVAL_ROWS = _MET.counter("serve.eval.rows")
 _EVAL_BATCHES = _MET.counter("serve.eval.batches")
+_FUSED_BATCHES = _MET.counter("serve.eval.fused_batches")
+_FUSED_SEGMENTS = _MET.counter("serve.eval.fused_segments")
 _BATCH_ROWS = _MET.histogram(
     "serve.eval.batch_rows", (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 )
@@ -90,8 +92,19 @@ class ServerConfig:
     #: Admission control: shed evaluate requests once this many rows are
     #: parked across all batchers (None = unlimited).
     max_parked_rows: Optional[int] = None
+    #: Evaluation backend the served models are pinned and pre-warmed to
+    #: ("auto" lets the compiled layer pick; see :mod:`repro.dd.backends`).
+    kernel: str = "auto"
+    #: Fuse every codegen-eligible model into one shared library and
+    #: drain *all* batchers in one foreign call per flush.  Falls back to
+    #: per-model evaluation at startup if fusion is impossible.
+    fused: bool = False
 
     def __post_init__(self) -> None:
+        if self.kernel != "auto":
+            from repro.dd import backends as _backends
+
+            _backends.get_backend(self.kernel)  # unknown name fails fast
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_ms < 0:
@@ -162,10 +175,46 @@ class PowerQueryServer:
         self._draining: set = set()
         self._stop_event: Optional[asyncio.Event] = None
         self._stopping = False
-        # Pre-compile every model so the first query does not pay the
-        # O(model size) flattening.
+        # Pre-compile every model and warm its evaluation backend so the
+        # first query pays neither the O(model size) flattening nor a
+        # backend's one-time setup (C compilation, table packing).
         for model in self.models.values():
-            model.compiled()
+            model.eval_kernel = config.kernel
+            try:
+                model.warm_eval_backend()
+            except Exception:  # noqa: BLE001 - warm is an optimisation
+                pass  # the query path degrades per batch instead
+        #: Cross-model fused kernel (None = fusion off or unavailable).
+        self._fused = self._build_fused() if config.fused else None
+
+    def _build_fused(self):
+        """Fuse every codegen-eligible model; None if fusion is impossible.
+
+        Ineligible models simply stay outside the fusion (their flushes
+        keep using the per-model path), so one oversized model does not
+        cost the others the fused fast path.  A failed compilation
+        disables fusion entirely — the server still works, per model.
+        """
+        from repro.dd.backends import FusedKernel, get_backend
+
+        codegen = get_backend("codegen")
+        eligible = {
+            name: model.compiled()
+            for name, model in self.models.items()
+            if codegen.supports(model.compiled())
+        }
+        if not eligible:
+            return None
+        try:
+            return FusedKernel(eligible)
+        except Exception as exc:  # noqa: BLE001 - fusion is an optimisation
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "serve.fused.disabled",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            return None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -431,16 +480,91 @@ class PowerQueryServer:
             )
 
     def _flush(self, name: str) -> None:
-        """Answer every request parked for one model in a single kernel call."""
+        """Answer every request parked for one model in a single kernel call.
+
+        With fusion active, any flush trigger drains *every* batcher: the
+        fused library answers all models' parked rows in one foreign
+        call, so riding along is cheaper than waiting for their own
+        timers.
+        """
+        if self._fused is not None:
+            self._flush_fused()
+            return
+        pending = self._drain(name)
+        if pending:
+            self._evaluate(pending, self._batchers[name].model)
+
+    def _drain(self, name: str) -> List[_Pending]:
+        """Detach one batcher's parked requests (cancelling its timer)."""
         batcher = self._batchers.get(name)
         if batcher is None or not batcher.pending:
-            return
+            return []
         if batcher.timer is not None:
             batcher.timer.cancel()
             batcher.timer = None
         self._parked_rows = max(0, self._parked_rows - batcher.rows)
         pending, batcher.pending, batcher.rows = batcher.pending, [], 0
-        self._evaluate(pending, batcher.model)
+        return pending
+
+    def _flush_fused(self) -> None:
+        """Drain all batchers and answer them with one fused kernel call.
+
+        Models outside the fusion (codegen-ineligible) are evaluated on
+        the per-model path in the same flush; a fused-call failure also
+        degrades every segment to the per-model path, so requests are
+        always answered.
+        """
+        assert self._fused is not None
+        drained = [
+            (name, pending)
+            for name in list(self._batchers)
+            for pending in [self._drain(name)]
+            if pending
+        ]
+        if not drained:
+            return
+        writers = {item.writer for _, pending in drained for item in pending}
+        try:
+            segments: List[Tuple[str, List[_Pending], np.ndarray]] = []
+            leftover: List[Tuple[List[_Pending], AddPowerModel]] = []
+            for name, pending in drained:
+                model = self.models[name]
+                if name not in self._fused:
+                    leftover.append((pending, model))
+                    continue
+                live = self._filter_live(pending)
+                if not live:
+                    continue
+                initial = np.concatenate([item.initial for item in live])
+                final = np.concatenate([item.final for item in live])
+                segments.append((name, live, model._pack_batch(initial, final)))
+            if segments:
+                faults.maybe_delay("serve.eval.slow")
+                tracer = get_tracer()
+                total = sum(packed.shape[0] for _, _, packed in segments)
+                try:
+                    with tracer.span(
+                        "serve.eval.fused", segments=len(segments), rows=total
+                    ):
+                        outs = self._fused.evaluate_many(
+                            [(name, packed) for name, _, packed in segments]
+                        )
+                except Exception:  # noqa: BLE001 - degrade, don't drop
+                    for name, live, _ in segments:
+                        leftover.append((live, self.models[name]))
+                else:
+                    _FUSED_BATCHES.inc()
+                    _FUSED_SEGMENTS.inc(len(segments))
+                    done = time.perf_counter()
+                    for (name, live, packed), values in zip(segments, outs):
+                        _EVAL_BATCHES.inc()
+                        _EVAL_ROWS.inc(int(packed.shape[0]))
+                        _BATCH_ROWS.observe(len(live))
+                        self._respond(live, values, done)
+            for pending, model in leftover:
+                self._evaluate_now(pending, model)
+        finally:
+            self._schedule_drain(writers)
 
     def _evaluate(self, pending: List[_Pending], model: AddPowerModel) -> None:
         try:
@@ -451,9 +575,8 @@ class PowerQueryServer:
             # so push the backpressure from here.
             self._schedule_drain({item.writer for item in pending})
 
-    def _evaluate_now(
-        self, pending: List[_Pending], model: AddPowerModel
-    ) -> None:
+    def _filter_live(self, pending: List[_Pending]) -> List[_Pending]:
+        """Answer expired requests with a timeout error; return the rest."""
         now = time.perf_counter()
         live: List[_Pending] = []
         for item in pending:
@@ -470,6 +593,12 @@ class PowerQueryServer:
                 )
             else:
                 live.append(item)
+        return live
+
+    def _evaluate_now(
+        self, pending: List[_Pending], model: AddPowerModel
+    ) -> None:
+        live = self._filter_live(pending)
         if not live:
             return
         # Chaos hook: a slow kernel evaluation (big batch, cold cache).
@@ -496,7 +625,12 @@ class PowerQueryServer:
         _EVAL_BATCHES.inc()
         _EVAL_ROWS.inc(int(initial.shape[0]))
         _BATCH_ROWS.observe(len(live))
-        done = time.perf_counter()
+        self._respond(live, values, time.perf_counter())
+
+    def _respond(
+        self, live: List[_Pending], values: np.ndarray, done: float
+    ) -> None:
+        """Slice one batch result back into per-request replies."""
         offset = 0
         for item in live:
             count = item.initial.shape[0]
@@ -526,12 +660,15 @@ class PowerQueryServer:
                 "request_timeout_s": self.config.request_timeout_s,
                 "max_connections": self.config.max_connections,
                 "max_parked_rows": self.config.max_parked_rows,
+                "kernel": self.config.kernel,
+                "fused": self.config.fused,
             },
+            "fused_models": sorted(self._fused.keys) if self._fused else [],
             "metrics": {
                 name: state
                 for name, state in snapshot.items()
                 if name.startswith(
-                    ("serve.", "compiled.eval", "build.", "faults.")
+                    ("serve.", "compiled.eval", "eval.", "build.", "faults.")
                 )
             },
         }

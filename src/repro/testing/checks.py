@@ -358,7 +358,9 @@ def check_worst_case(ctx: CaseContext) -> Optional[Mismatch]:
 
 
 def check_compiled_kernels(ctx: CaseContext) -> Optional[Mismatch]:
-    """Levelized vs pointer kernel vs the scalar root-to-leaf walk."""
+    """Every registered evaluation backend vs the scalar root-to-leaf walk."""
+    from repro.dd import backends as dd_backends
+
     model = ctx.exact_model
     space, manager = model.space, model.manager
     packed = np.zeros((ctx.case.num_pairs, 2 * model.num_inputs), dtype=bool)
@@ -371,24 +373,22 @@ def check_compiled_kernels(ctx: CaseContext) -> Optional[Mismatch]:
     scalar = np.array(
         [manager.evaluate(model.root, row.astype(int).tolist()) for row in packed]
     )
-    pointer = compiled.evaluate_batch(packed, kernel="pointer")
     ctx.observed["levelized"] = compiled._lev_children is not None
-    if not np.array_equal(pointer, scalar):
-        p = int(np.argmax(pointer != scalar))
-        return Mismatch(
-            "compiled_kernels",
-            f"pointer kernel {pointer[p]!r} vs scalar walk {scalar[p]!r}",
-            {"assignment": _bits(packed[p]), "pair_index": p},
-        )
-    if compiled._lev_children is not None:
-        levelized = compiled.evaluate_batch(packed, kernel="levelized")
-        if not np.array_equal(levelized, scalar):
-            p = int(np.argmax(levelized != scalar))
+    checked = []
+    for name in dd_backends.registered_names():
+        backend = dd_backends.get_backend(name)
+        if not backend.supports(compiled):
+            continue
+        checked.append(name)
+        result = compiled.evaluate_batch(packed, kernel=name)
+        if not np.array_equal(result, scalar):
+            p = int(np.argmax(result != scalar))
             return Mismatch(
                 "compiled_kernels",
-                f"levelized kernel {levelized[p]!r} vs scalar walk {scalar[p]!r}",
+                f"{name} backend {result[p]!r} vs scalar walk {scalar[p]!r}",
                 {"assignment": _bits(packed[p]), "pair_index": p},
             )
+    ctx.observed["backends"] = checked
     # Same comparison through the model's own packing path: forcing the
     # kernel bypasses pair_capacitances' small-batch scalar fallback, so
     # this differences _pack_batch + CompiledDD against the walk above.

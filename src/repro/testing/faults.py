@@ -88,6 +88,10 @@ SITES: Dict[str, str] = {
         "abort a client connection instead of answering the request"
     ),
     "serve.eval.slow": "delay a server-side batch evaluation by delay_s",
+    "eval.codegen.compile_fail": (
+        "fail the codegen backend's C compilation, driving the levelized "
+        "fallback"
+    ),
 }
 
 #: Exception classes a raising spec may name in its ``error`` field.

@@ -1,0 +1,479 @@
+"""The pluggable evaluation-backend layer (:mod:`repro.dd.backends`).
+
+Every registered backend must be *bit-for-bit* interchangeable: the
+selection policy (and the ``REPRO_EVAL_BACKEND`` override) may route any
+batch to any backend, so a single ULP of divergence would make results
+depend on batch height or on which backends happened to warm first.
+The suites here difference each backend against the scalar root-to-leaf
+walk and the gate-level differential oracle, replay the regression
+corpus per backend, and provoke the codegen backend's compile-failure
+fallback through the fault-injection framework.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuits.random_logic import random_logic
+from repro.dd import backends as dd_backends
+from repro.dd.backends import (
+    BITPARALLEL_MIN_ROWS,
+    TAB_MAX_SUPPORT,
+    FusedKernel,
+)
+from repro.dd.compiled import coerce_matrix
+from repro.errors import BackendError, DDError
+from repro.models import build_add_model
+from repro.obs import get_metrics
+from repro.testing import faults
+from repro.testing.oracle import oracle_switching_capacitance
+
+_MET = get_metrics()
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+
+#: (netlist seed, approximation strategy) grid — mirrors test_compiled.
+CASES = [
+    (seed, strategy)
+    for seed in (11, 23, 47)
+    for strategy in ("avg", "max", "min")
+]
+
+BACKENDS = dd_backends.registered_names()
+
+
+def _build_case(seed: int, strategy: str):
+    netlist = random_logic("prop", 8, 35, seed=seed, cone_limit=6)
+    model = build_add_model(netlist, max_nodes=60, strategy=strategy)
+    return netlist, model
+
+
+def _random_batch(model, rows: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    initial = rng.random((rows, model.num_inputs)) < 0.5
+    final = rng.random((rows, model.num_inputs)) < 0.5
+    return model._pack_batch(initial, final)
+
+
+def _counter(name: str) -> int:
+    state = _MET.snapshot().get(name)
+    return int(state["value"]) if state else 0
+
+
+# ---------------------------------------------------------------------------
+# Registry and selection policy
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_all_expected_backends_registered(self):
+        assert set(BACKENDS) == {
+            "pointer",
+            "levelized",
+            "bitparallel",
+            "codegen",
+        }
+
+    def test_unknown_backend_is_typed_error(self):
+        with pytest.raises(BackendError, match="unknown evaluation backend"):
+            dd_backends.get_backend("simd-on-a-potato")
+        # BackendError is a DDError, so existing DDError handlers catch it.
+        assert issubclass(BackendError, DDError)
+
+    def test_unknown_kernel_via_evaluate_batch(self):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 4, seed=1)
+        with pytest.raises(DDError):
+            compiled.evaluate_batch(packed, kernel="nope")
+
+    def test_forced_unsupported_backend_is_typed_error(self):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 4, seed=2)
+        # Simulate a diagram too wide for a levelized plan.
+        saved = (
+            compiled._lev_children,
+            compiled._lev_tables,
+            compiled._lev_final_values,
+        )
+        try:
+            compiled._lev_children = None
+            compiled._lev_tables = None
+            compiled._lev_final_values = None
+            with pytest.raises(BackendError, match="cannot evaluate"):
+                compiled.evaluate_batch(packed, kernel="levelized")
+            # auto still works: the pointer backend needs no plan.
+            out = compiled.evaluate_batch(packed)
+            assert out.shape == (4,)
+        finally:
+            (
+                compiled._lev_children,
+                compiled._lev_tables,
+                compiled._lev_final_values,
+            ) = saved
+
+    def test_auto_prefers_bitparallel_for_tall_narrow_batches(self):
+        _, model = _build_case(23, "avg")
+        compiled = model.compiled()
+        if len(compiled.support) <= TAB_MAX_SUPPORT:
+            chosen = dd_backends.select_backend(
+                compiled, rows=BITPARALLEL_MIN_ROWS
+            )
+            assert chosen.name == "bitparallel"
+        assert (
+            dd_backends.select_backend(compiled, rows=1).name == "levelized"
+        )
+
+    def test_env_override_wins(self, monkeypatch):
+        _, model = _build_case(23, "avg")
+        compiled = model.compiled()
+        monkeypatch.setenv(dd_backends.ENV_BACKEND, "pointer")
+        assert dd_backends.select_backend(compiled, rows=100_000).name == (
+            "pointer"
+        )
+
+    def test_env_override_unknown_name_is_typed_error(self, monkeypatch):
+        _, model = _build_case(23, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 8, seed=3)
+        monkeypatch.setenv(dd_backends.ENV_BACKEND, "warp-drive")
+        with pytest.raises(BackendError, match="REPRO_EVAL_BACKEND"):
+            compiled.evaluate_batch(packed)
+
+    def test_selection_logged_once_per_model(self):
+        _, model = _build_case(47, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 64, seed=4)
+        compiled.evaluate_batch(packed)
+        chosen = compiled._backend_state["_selected"]
+        before = _counter(f"eval.backend.selected.{chosen}")
+        compiled.evaluate_batch(packed)
+        compiled.evaluate_batch(packed)
+        assert _counter(f"eval.backend.selected.{chosen}") == before
+
+
+# ---------------------------------------------------------------------------
+# Bit-for-bit equivalence: every backend vs the scalar walk and the oracle
+# ---------------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed,strategy", CASES)
+    def test_backend_equals_scalar_walk(self, backend, seed, strategy):
+        _, model = _build_case(seed, strategy)
+        compiled = model.compiled()
+        if not dd_backends.get_backend(backend).supports(compiled):
+            pytest.skip(f"{backend} does not support this diagram")
+        packed = _random_batch(model, 500, seed=5000 + seed)
+        result = compiled.evaluate_batch(packed, kernel=backend)
+        scalar = np.array(
+            [model.manager.evaluate(model.root, row) for row in packed]
+        )
+        assert np.array_equal(result, scalar)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partial_word_row_counts(self, backend):
+        """The bit-parallel word packing has tails at non-multiples of 64."""
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        for rows in (1, 63, 64, 65, 129):
+            packed = _random_batch(model, rows, seed=rows)
+            assert np.array_equal(
+                compiled.evaluate_batch(packed, kernel=backend),
+                compiled.evaluate_batch(packed, kernel="pointer"),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exact_model_matches_differential_oracle(self, backend):
+        netlist = random_logic("oracle", 6, 20, seed=7, cone_limit=5)
+        model = build_add_model(netlist, max_nodes=None)
+        compiled = model.compiled()
+        rng = np.random.default_rng(17)
+        initial = rng.random((40, netlist.num_inputs)) < 0.5
+        final = rng.random((40, netlist.num_inputs)) < 0.5
+        got = model.pair_capacitances(initial, final, kernel=backend)
+        want = np.array(
+            [
+                oracle_switching_capacitance(
+                    netlist, xi.tolist(), xf.tolist()
+                )
+                for xi, xf in zip(initial, final)
+            ]
+        )
+        assert np.allclose(got, want, atol=1e-6)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "path", CORPUS, ids=lambda p: p.stem
+    )
+    def test_corpus_replay_per_backend(self, backend, path):
+        """Every corpus edge case evaluates identically on every backend."""
+        from repro.testing.corpus import load_case
+
+        case = load_case(path)
+        model = build_add_model(case.netlist, max_nodes=case.max_nodes)
+        compiled = model.compiled()
+        if not dd_backends.get_backend(backend).supports(compiled):
+            pytest.skip(f"{backend} does not support this diagram")
+        got = model.pair_capacitances(case.initial, case.final, kernel=backend)
+        want = model.pair_capacitances(
+            case.initial, case.final, kernel="pointer"
+        )
+        assert np.array_equal(got, want)
+
+
+# ---------------------------------------------------------------------------
+# Batch coercion edge cases
+# ---------------------------------------------------------------------------
+class TestCoercion:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_batch(self, backend):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 0, seed=0)
+        out = compiled.evaluate_batch(packed, kernel=backend)
+        assert out.shape == (0,) and out.dtype == np.float64
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dtype", [np.int8, np.int64, np.float64])
+    def test_integer_and_float_dtypes(self, backend, dtype):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 70, seed=6)
+        ref = compiled.evaluate_batch(packed, kernel="pointer")
+        assert np.array_equal(
+            compiled.evaluate_batch(packed.astype(dtype), kernel=backend), ref
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_non_contiguous_matrices(self, backend):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        packed = _random_batch(model, 70, seed=7)
+        ref = compiled.evaluate_batch(packed, kernel="pointer")
+        # Column-sliced view of a wider matrix (not C-contiguous).
+        wide = np.zeros((70, packed.shape[1] + 6), dtype=bool)
+        wide[:, 3 : 3 + packed.shape[1]] = packed
+        sliced = wide[:, 3 : 3 + packed.shape[1]]
+        assert not sliced.flags.c_contiguous
+        assert np.array_equal(
+            compiled.evaluate_batch(sliced, kernel=backend), ref
+        )
+        # Transposed storage (Fortran order).
+        fortran = np.asfortranarray(packed)
+        assert np.array_equal(
+            compiled.evaluate_batch(fortran, kernel=backend), ref
+        )
+
+    def test_clean_input_is_not_copied(self):
+        packed = np.ones((8, 4), dtype=bool)
+        assert coerce_matrix(packed) is packed
+
+    def test_dirty_input_is_normalised(self):
+        ints = np.array([[0, 2], [1, 0]], dtype=np.int8)
+        out = coerce_matrix(ints)
+        assert out.dtype == np.bool_
+        assert out.tolist() == [[False, True], [True, False]]
+
+    def test_one_dim_batch_raises_before_any_work(self):
+        _, model = _build_case(11, "avg")
+        compiled = model.compiled()
+        with pytest.raises(DDError):
+            compiled.evaluate_batch(np.zeros(16, dtype=bool))
+
+
+# ---------------------------------------------------------------------------
+# Codegen: compile-failure fallback and warm-up
+# ---------------------------------------------------------------------------
+class TestCodegenFallback:
+    def test_compile_fail_degrades_to_levelized(self):
+        _, model = _build_case(23, "max")
+        packed = _random_batch(model, 200, seed=8)
+        before = _counter("eval.codegen.fallbacks")
+        with faults.inject(
+            [faults.FaultSpec("eval.codegen.compile_fail")]
+        ):
+            # Fresh compiled form: the backend state must be cold so the
+            # (failing) compilation happens inside the fault plan.
+            model._compiled = None
+            compiled = model.compiled()
+            out = compiled.evaluate_batch(packed, kernel="codegen")
+        assert np.array_equal(out, compiled._evaluate_levelized(packed))
+        assert _counter("eval.codegen.fallbacks") == before + 1
+        assert _counter("faults.injected.eval.codegen.compile_fail") >= 1
+        # The failure is remembered: no recompile attempt per batch.
+        state = compiled._backend_state["codegen"]
+        assert state["library"] is None
+
+    def test_recovers_on_fresh_compilation(self):
+        _, model = _build_case(23, "max")
+        model._compiled = None
+        compiled = model.compiled()
+        packed = _random_batch(model, 100, seed=9)
+        out = compiled.evaluate_batch(packed, kernel="codegen")
+        assert np.array_equal(out, compiled._evaluate_levelized(packed))
+        assert compiled._backend_state["codegen"]["library"] is not None
+
+    def test_warm_eval_backend_precompiles(self):
+        _, model = _build_case(47, "min")
+        model._compiled = None
+        assert model.warm_eval_backend("codegen") == "codegen"
+        assert "codegen" in model.compiled()._backend_state
+
+
+# ---------------------------------------------------------------------------
+# Multi-model kernel fusion
+# ---------------------------------------------------------------------------
+class TestFusedKernel:
+    def _models(self):
+        models = {}
+        for seed in (11, 23):
+            netlist = random_logic(
+                f"fuse{seed}", 7, 28, seed=seed, cone_limit=5
+            )
+            models[netlist.name] = build_add_model(netlist, max_nodes=80)
+        return models
+
+    def test_fused_matches_per_model(self):
+        models = self._models()
+        fused = FusedKernel(
+            {name: model.compiled() for name, model in models.items()}
+        )
+        rng = np.random.default_rng(21)
+        segments = []
+        expect = []
+        for name, model in models.items():
+            packed = _random_batch(model, int(rng.integers(1, 300)), seed=31)
+            segments.append((name, packed))
+            expect.append(
+                model.compiled().evaluate_batch(packed, kernel="pointer")
+            )
+        outs = fused.evaluate_many(segments)
+        assert len(outs) == len(expect)
+        for got, want in zip(outs, expect):
+            assert np.array_equal(got, want)
+
+    def test_fused_counts_calls_and_segments(self):
+        models = self._models()
+        fused = FusedKernel(
+            {name: model.compiled() for name, model in models.items()}
+        )
+        segments = [
+            (name, _random_batch(model, 10, seed=41))
+            for name, model in models.items()
+        ]
+        calls = _counter("eval.codegen.fused_calls")
+        segs = _counter("eval.codegen.fused_segments")
+        fused.evaluate_many(segments)
+        assert _counter("eval.codegen.fused_calls") == calls + 1
+        assert _counter("eval.codegen.fused_segments") == segs + 2
+
+    def test_unknown_segment_key_raises(self):
+        models = self._models()
+        fused = FusedKernel(
+            {name: model.compiled() for name, model in models.items()}
+        )
+        with pytest.raises(BackendError, match="not part of this fusion"):
+            fused.evaluate_many([("who", np.zeros((1, 64), dtype=bool))])
+
+    def test_ineligible_diagram_rejected(self, monkeypatch):
+        models = self._models()
+        monkeypatch.setattr(dd_backends, "CODEGEN_SLOT_LIMIT", 0)
+        with pytest.raises(BackendError, match="not codegen-eligible"):
+            FusedKernel(
+                {name: model.compiled() for name, model in models.items()}
+            )
+
+    def test_empty_segment_list(self):
+        models = self._models()
+        fused = FusedKernel(
+            {name: model.compiled() for name, model in models.items()}
+        )
+        assert fused.evaluate_many([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Server integration: pinned kernels and the fused flush
+# ---------------------------------------------------------------------------
+class TestServerFusion:
+    def test_fused_server_round_trip(self):
+        from repro.serve.client import PowerQueryClient
+        from repro.serve.server import ServerConfig, start_in_thread
+
+        models = {}
+        for seed in (5, 9):
+            netlist = random_logic(
+                f"srv{seed}", 6, 24, seed=seed, cone_limit=5
+            )
+            models[netlist.name] = build_add_model(netlist, max_nodes=80)
+        config = ServerConfig(
+            port=0, kernel="codegen", fused=True, max_wait_ms=1.0
+        )
+        before = _counter("serve.eval.fused_batches")
+        with start_in_thread(models, config) as handle:
+            client = PowerQueryClient(handle.host, handle.port)
+            rng = np.random.default_rng(3)
+            for name, model in models.items():
+                n = model.num_inputs
+                initial = rng.random((20, n)) < 0.5
+                final = rng.random((20, n)) < 0.5
+                pairs = [
+                    (
+                        "".join("1" if b else "0" for b in xi),
+                        "".join("1" if b else "0" for b in xf),
+                    )
+                    for xi, xf in zip(initial, final)
+                ]
+                got = client.evaluate_pairs(name, pairs)
+                want = model.pair_capacitances(
+                    initial, final, kernel="pointer"
+                )
+                assert np.allclose(got, want)
+            stats = client.stats()
+        assert stats["config"]["kernel"] == "codegen"
+        assert sorted(stats["fused_models"]) == sorted(models)
+        assert _counter("serve.eval.fused_batches") > before
+
+    def test_server_config_rejects_unknown_kernel(self):
+        from repro.serve.server import ServerConfig
+
+        with pytest.raises(BackendError):
+            ServerConfig(kernel="nope")
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration
+# ---------------------------------------------------------------------------
+class TestSweepKernel:
+    def test_sweep_results_are_backend_independent(self):
+        from repro.eval.runner import SweepConfig, run_sweep
+
+        netlist = random_logic("sweep", 6, 22, seed=3, cone_limit=5)
+        model = build_add_model(netlist, max_nodes=60)
+        base = SweepConfig(
+            sp_values=(0.5,), st_values=(0.4,), sequence_length=120
+        )
+        results = {}
+        for kernel in ("pointer", "levelized", "codegen"):
+            config = SweepConfig(
+                sp_values=base.sp_values,
+                st_values=base.st_values,
+                sequence_length=base.sequence_length,
+                kernel=kernel,
+            )
+            results[kernel] = run_sweep(netlist, {"ADD": model}, config)
+        rows = [r.rows[0].model_average_fF["ADD"] for r in results.values()]
+        assert rows[0] == rows[1] == rows[2]
+        # The forcing is scoped to the sweep: the model's default returns.
+        assert model.eval_kernel == "auto"
+
+    def test_sweep_rejects_unknown_kernel_up_front(self):
+        from repro.eval.runner import SweepConfig, run_sweep
+
+        netlist = random_logic("sweepbad", 5, 15, seed=4, cone_limit=4)
+        model = build_add_model(netlist, max_nodes=40)
+        with pytest.raises(BackendError):
+            run_sweep(
+                netlist, {"ADD": model}, SweepConfig(kernel="warp-drive")
+            )
