@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-eval bench-smoke bench-serving fuzz fuzz-smoke \
-	stats-smoke serve-smoke chaos-smoke
+	stats-smoke serve-smoke chaos-smoke cluster-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,13 @@ serve-smoke:
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
 	$(PYTHON) -m pytest -q -m chaos tests/test_faults.py
+
+# Cluster smoke: 2-shard cluster on ephemeral ports, shard-aware load,
+# metric aggregation check, one hard-kill failover, clean shutdown —
+# then the chaos-marked cluster pytest suite.
+cluster-smoke:
+	$(PYTHON) scripts/cluster_smoke.py
+	$(PYTHON) -m pytest -q -m chaos tests/test_cluster.py
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

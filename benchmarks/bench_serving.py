@@ -12,12 +12,19 @@ Two questions, both about the operational path added in
 2. **ModelStore warm-start.**  Building parity's ADD model cold vs
    loading it from a warm content-addressed store; the warm path must
    eliminate the rebuild (it is a disk read + deserialise).
+3. **Sharded scale-out.**  The same load against a 3-shard cluster
+   (forked workers + shard-aware clients) vs one server.  The >= 2x
+   aggregate-req/s bar only applies on machines with >= 4 cores: the
+   shards are separate *processes*, so on a single-core container
+   they time-slice one CPU and the row records the honest (flat)
+   number together with ``cpu_count``.
 
 Artifacts:
 
 - ``BENCH_serving.json`` at the repo root (full runs only), schema
   ``{bench, macro, clients, serving: {batched, unbatched, speedup},
-  store: {cold_build_s, warm_load_s, speedup}}``;
+  cluster: {shards, replication, cpu_count, single_shard, three_shards,
+  speedup}, store: {cold_build_s, warm_load_s, speedup}}``;
 - ``benchmarks/results/serving.txt``, the human-readable table.
 
 Run directly::
@@ -42,7 +49,15 @@ from _common import QUICK, write_result
 
 from repro.circuits import load_circuit
 from repro.models import build_add_model
-from repro.serve import ModelStore, ServerConfig, generate_load, start_in_thread
+from repro.serve import (
+    Cluster,
+    ClusterConfig,
+    ModelStore,
+    ServerConfig,
+    generate_cluster_load,
+    generate_load,
+    start_in_thread,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
@@ -89,6 +104,44 @@ def measure_serving(model, transitions):
     return out
 
 
+def measure_cluster(model, transitions):
+    """Aggregate req/s: one shard vs a 3-shard replicated cluster."""
+    shards = 3
+    out = {"shards": shards, "replication": 2, "cpu_count": os.cpu_count()}
+    for label, workers in (("single_shard", 1), ("three_shards", shards)):
+        cluster = Cluster(
+            {MACRO: model},
+            ClusterConfig(
+                workers=workers,
+                replication=min(2, workers),
+                server=BATCHED,
+            ),
+        ).start()
+        try:
+            generate_cluster_load(
+                cluster.host, cluster.router_port, MACRO, transitions,
+                clients=min(8, CLIENTS), requests_per_client=5,
+            )
+            report = generate_cluster_load(
+                cluster.host, cluster.router_port, MACRO, transitions,
+                clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+            )
+        finally:
+            cluster.stop()
+        if report.errors:
+            raise AssertionError(
+                f"{label} cluster run had {report.errors} errors out of "
+                f"{report.requests} requests"
+            )
+        out[label] = report.to_dict()
+    out["speedup"] = round(
+        out["three_shards"]["requests_per_sec"]
+        / out["single_shard"]["requests_per_sec"],
+        2,
+    )
+    return out
+
+
 def measure_store(netlist):
     """Cold build vs warm load through a throwaway ModelStore."""
     root = tempfile.mkdtemp(prefix="repro-bench-store-")
@@ -109,7 +162,7 @@ def measure_store(netlist):
     }
 
 
-def format_table(serving, store) -> str:
+def format_table(serving, cluster, store) -> str:
     lines = [
         f"serving throughput — {MACRO}, {CLIENTS} concurrent clients",
         f"{'mode':<12}{'req/s':>10}{'p50 ms':>9}{'p99 ms':>9}",
@@ -121,6 +174,19 @@ def format_table(serving, store) -> str:
             f"{row['latency_p50_ms']:>9.2f}{row['latency_p99_ms']:>9.2f}"
         )
     lines.append(f"micro-batching speedup: {serving['speedup']:.2f}x")
+    lines.append("")
+    lines.append(
+        f"sharded cluster — {cluster['shards']} shards, "
+        f"replication {cluster['replication']}, "
+        f"{cluster['cpu_count']} cpu(s)"
+    )
+    for label in ("single_shard", "three_shards"):
+        row = cluster[label]
+        lines.append(
+            f"{label:<14}{row['requests_per_sec']:>10.0f}"
+            f"{row['latency_p50_ms']:>9.2f}{row['latency_p99_ms']:>9.2f}"
+        )
+    lines.append(f"3-shard aggregate speedup: {cluster['speedup']:.2f}x")
     lines.append("")
     lines.append(
         f"model store — cold build {store['cold_build_s']:.3f}s, "
@@ -140,8 +206,9 @@ def main() -> None:
         for _ in range(32)
     ]
     serving = measure_serving(model, transitions)
+    cluster = measure_cluster(model, transitions)
     store = measure_store(netlist)
-    table = format_table(serving, store)
+    table = format_table(serving, cluster, store)
     print(table)
     path = write_result("serving", table)
     print(f"\nwrote {path}")
@@ -153,6 +220,7 @@ def main() -> None:
             "clients": CLIENTS,
             "requests_per_client": REQUESTS_PER_CLIENT,
             "serving": serving,
+            "cluster": cluster,
             "store": store,
         }
         with open(JSON_PATH, "w", encoding="utf-8") as handle:
@@ -163,6 +231,14 @@ def main() -> None:
             raise SystemExit(
                 f"micro-batching speedup {serving['speedup']}x is below "
                 "the 3x acceptance bar"
+            )
+        # Shards are processes: parallel speedup needs real cores.  On
+        # the single-core CI container the row is recorded but the bar
+        # is not enforceable (three processes time-slice one CPU).
+        if (os.cpu_count() or 1) >= 4 and cluster["speedup"] < 2.0:
+            raise SystemExit(
+                f"3-shard aggregate speedup {cluster['speedup']}x is "
+                "below the 2x acceptance bar"
             )
 
 

@@ -1,0 +1,147 @@
+"""End-to-end smoke of the sharded serving tier, for ``make cluster-smoke``.
+
+Starts a 2-shard cluster (forked workers, control-plane router) on
+ephemeral ports, and requires that:
+
+- the ring places the model on both shards and shard-aware load
+  completes with zero errors;
+- the router's ``cluster_stats`` aggregation equals the sum of the
+  per-shard ``serve.requests`` counters;
+- one shard hard-killed mid-run triggers a failover: ring version
+  bumps, ``serve.cluster.shard_deaths``/``serve.cluster.failovers``
+  increment, and load against the survivor still sees zero errors;
+- ``stop()`` leaves no live worker processes behind (clean shutdown).
+
+Exits non-zero with a one-line reason on the first violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.netlist import NetlistBuilder
+from repro.models import build_add_model
+from repro.serve import (
+    Cluster,
+    ClusterClient,
+    ClusterConfig,
+    ServerConfig,
+    generate_cluster_load,
+)
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 15
+
+
+def fail(message: str) -> None:
+    print(f"cluster_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def make_model(name: str = "quad"):
+    builder = NetlistBuilder(name)
+    a, b, c, d = (builder.input(ch) for ch in "abcd")
+    builder.netlist.add_output(
+        builder.or2(builder.and2(a, b), builder.xor2(c, d))
+    )
+    return build_add_model(builder.build(), max_nodes=200)
+
+
+def main() -> None:
+    transitions = [("0000", "1111"), ("0011", "1100"), ("0101", "0110")]
+    cluster = Cluster(
+        {"quad": make_model()},
+        ClusterConfig(
+            workers=2,
+            replication=2,
+            monitor_interval_s=0.02,
+            server=ServerConfig(max_batch=16, max_wait_ms=0.5),
+        ),
+    ).start()
+    try:
+        client = ClusterClient(cluster.host, cluster.router_port)
+        ring = client.ring()
+        if sorted(ring["shards"]) != ["s0", "s1"]:
+            fail(f"expected shards s0+s1 on the ring, got {ring['shards']}")
+        if sorted(ring["placement"]["quad"]) != ["s0", "s1"]:
+            fail(f"model not replicated across both shards: {ring['placement']}")
+
+        report = generate_cluster_load(
+            cluster.host,
+            cluster.router_port,
+            "quad",
+            transitions,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+        )
+        if report.errors:
+            fail(f"clean load saw {report.errors} errors")
+
+        stats = client.cluster_stats()
+        merged = stats["metrics"]["serve.requests"]["value"]
+        per_shard = sum(
+            info.get("requests", 0) for info in stats["shards"].values()
+        )
+        if merged != per_shard:
+            fail(
+                f"aggregated serve.requests {merged} != "
+                f"sum of per-shard counters {per_shard}"
+            )
+        if merged < CLIENTS * REQUESTS_PER_CLIENT:
+            fail(f"cluster answered only {merged} requests")
+
+        # One failover: hard-kill a shard, wait for the monitor to
+        # rebalance, and require the survivor to carry the load alone.
+        version = cluster.ring_version
+        cluster.kill_shard("s0")
+        deadline = time.time() + 10.0
+        while cluster.ring_version == version:
+            if time.time() > deadline:
+                fail("ring version never bumped after the kill")
+            time.sleep(0.02)
+        report = generate_cluster_load(
+            cluster.host,
+            cluster.router_port,
+            "quad",
+            transitions,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+        )
+        if report.errors:
+            fail(f"post-failover load saw {report.errors} errors")
+        stats = client.cluster_stats()
+        router = {
+            name: state["value"]
+            for name, state in stats["router_metrics"].items()
+        }
+        if router.get("serve.cluster.shard_deaths", 0) < 1:
+            fail("shard death never counted")
+        if router.get("serve.cluster.failovers", 0) < 1:
+            fail("failover never counted")
+        health = client.healthz()
+        if health["status"] != "ok":
+            fail(f"cluster degraded after failover: {health['status']}")
+        if health["shards"]["s0"]["alive"]:
+            fail("killed shard still reported alive")
+        client.close()
+    finally:
+        cluster.stop()
+
+    for handle in cluster._shards.values():
+        if handle.alive():
+            fail(f"worker {handle.shard_id} survived stop()")
+
+    print(
+        "cluster_smoke: OK "
+        f"(2 shards, {2 * CLIENTS * REQUESTS_PER_CLIENT} requests, "
+        "1 failover, 0 errors, clean shutdown)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -360,21 +360,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.models import build_add_models_parallel
 
         models = build_add_models_parallel(netlists, **build_kwargs)
-    server = PowerQueryServer(
-        dict(zip(names, models)),
-        ServerConfig(
-            host=args.host,
-            port=args.port,
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            request_timeout_s=args.request_timeout,
-            batching=not args.no_batching,
-            max_connections=args.max_connections,
-            max_parked_rows=args.max_parked_rows,
-            kernel=args.kernel,
-            fused=args.fused,
-        ),
+    server_config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        request_timeout_s=args.request_timeout,
+        batching=not args.no_batching,
+        max_connections=args.max_connections,
+        max_parked_rows=args.max_parked_rows,
+        kernel=args.kernel,
+        fused=args.fused,
     )
+
+    if args.workers > 1:
+        from repro.serve import Cluster, ClusterConfig
+
+        cluster = Cluster(
+            dict(zip(names, models)),
+            ClusterConfig(
+                host=args.host,
+                router_port=args.port,
+                workers=args.workers,
+                replication=args.replication,
+                restart_failed=args.restart_failed,
+                server=server_config,
+            ),
+        ).start()
+        shards = ", ".join(
+            f"{shard}:{cluster.shard_port(shard)}"
+            for shard in cluster.shard_ids
+        )
+        print(
+            f"cluster of {args.workers} shards serving {len(models)} "
+            f"model(s) [{', '.join(sorted(names))}] — router on "
+            f"{cluster.host}:{cluster.router_port}, shards [{shards}], "
+            f"replication={args.replication}",
+            flush=True,
+        )
+        try:
+            cluster.wait()
+        except KeyboardInterrupt:
+            cluster.stop()
+        return 0
+
+    server = PowerQueryServer(dict(zip(names, models)), server_config)
 
     async def _run() -> None:
         await server.start()
@@ -457,6 +487,48 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     except ResponseError as exc:
         print(f"error: server replied {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _cmd_cluster_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ClusterClient, ResponseError
+
+    client = ClusterClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.json:
+            print(json.dumps(client.cluster_stats(), indent=1, sort_keys=True))
+            return 0
+        health = client.healthz()
+        stats = client.cluster_stats()
+        print(
+            f"cluster {args.host}:{args.port} — status {health['status']}, "
+            f"ring v{health['ring_version']}"
+        )
+        for shard, info in sorted(stats["shards"].items()):
+            if not info.get("reachable"):
+                print(f"  {shard:4s} port={info['port']:5d}  UNREACHABLE")
+                continue
+            print(
+                f"  {shard:4s} port={info['port']:5d}  "
+                f"requests={info['requests']:8.0f}  "
+                f"up={info['uptime_seconds']:7.1f}s  "
+                f"models={len(info['models'])}"
+            )
+        merged = stats["metrics"]
+        for name in sorted(merged):
+            state = merged[name]
+            if state["type"] == "counter" and state["value"]:
+                print(f"  {name:40s} {state['value']:12.0f}")
+        for name, state in sorted(stats["router_metrics"].items()):
+            if state["value"]:
+                print(f"  {name:40s} {state['value']:12.0f}")
+        return 0
+    except ResponseError as exc:
+        print(f"error: router replied {exc}", file=sys.stderr)
         return 1
     finally:
         client.close()
@@ -739,6 +811,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuse codegen-eligible models into one shared kernel and "
         "drain all batchers per flush",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard worker processes; >1 starts a consistent-hash "
+        "cluster with a control-plane router on --port",
+    )
+    serve.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="distinct shards each model is routed across (cluster mode)",
+    )
+    serve.add_argument(
+        "--restart-failed",
+        action="store_true",
+        help="respawn a replacement shard when a worker dies (cluster mode)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     query = add_command("query", help="query a running power server")
@@ -764,6 +854,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true", help="stop the server gracefully"
     )
     query.set_defaults(func=_cmd_query)
+
+    cluster_stats = add_command(
+        "cluster-stats",
+        help="aggregated health + metrics of a sharded serving cluster",
+    )
+    cluster_stats.add_argument("--host", default="127.0.0.1")
+    cluster_stats.add_argument(
+        "--port", type=int, default=7090, help="the cluster router port"
+    )
+    cluster_stats.add_argument("--timeout", type=float, default=30.0)
+    cluster_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full aggregated report as JSON",
+    )
+    cluster_stats.set_defaults(func=_cmd_cluster_stats)
 
     store = add_command(
         "store", help="inspect / maintain a model store directory"

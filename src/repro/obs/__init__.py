@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     TIME_BUCKETS,
     enable_detailed_metrics,
     get_metrics,
+    merge_snapshots,
 )
 from repro.obs.report import (
     BuildTelemetry,
@@ -64,6 +65,7 @@ __all__ = [
     "Histogram",
     "get_metrics",
     "enable_detailed_metrics",
+    "merge_snapshots",
     "TIME_BUCKETS",
     "SIZE_BUCKETS",
     "ERROR_BUCKETS",

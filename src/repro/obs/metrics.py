@@ -305,6 +305,22 @@ class MetricsRegistry:
         return delta
 
 
+def merge_snapshots(snapshots: Sequence[Dict[str, dict]]) -> Dict[str, dict]:
+    """Combine snapshot dictionaries from several processes into one view.
+
+    The cluster router uses this to aggregate the ``serve.*`` metrics it
+    fetched from each shard's ``stats`` op into one cluster-wide report:
+    counters and histogram buckets add, gauges keep their maximum —
+    exactly :meth:`MetricsRegistry.merge` semantics, but as a pure
+    function over plain snapshot dicts (no shared registry involved, so
+    merging remote snapshots cannot pollute local telemetry).
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
 #: Process-global registry.  Never replaced (hot modules cache instrument
 #: handles from it at import time); :meth:`MetricsRegistry.reset` clears it.
 _REGISTRY = MetricsRegistry()

@@ -14,11 +14,17 @@ operational service":
   requests per model into single compiled-kernel calls;
 - :mod:`repro.serve.client` — :class:`PowerQueryClient` (blocking) and
   :func:`generate_load` (concurrent load generator);
+- :mod:`repro.serve.cluster` — the scale-out tier: :class:`Cluster`
+  (consistent-hash :class:`HashRing` over forked shard worker
+  processes, a control-plane router with liveness monitoring and
+  cluster-wide metric aggregation) plus the shard-aware
+  :class:`ClusterClient` / :func:`generate_cluster_load`;
 - :mod:`repro.serve.protocol` — the wire format and its structured
   errors.
 
-CLI entry points: ``repro serve``, ``repro query`` and ``repro store``;
-the numbers live in ``benchmarks/bench_serving.py`` / DESIGN.md §10.
+CLI entry points: ``repro serve`` (``--workers N`` for a cluster),
+``repro query``, ``repro cluster-stats`` and ``repro store``; the
+numbers live in ``benchmarks/bench_serving.py`` / DESIGN.md §10+§13.
 """
 
 from repro.serve.client import (
@@ -26,6 +32,15 @@ from repro.serve.client import (
     PowerQueryClient,
     RetryPolicy,
     generate_load,
+)
+from repro.serve.cluster import (
+    Cluster,
+    ClusterClient,
+    ClusterConfig,
+    HashRing,
+    generate_cluster_load,
+    placement_key,
+    start_cluster,
 )
 from repro.serve.protocol import (
     ERROR_TYPES,
@@ -64,6 +79,14 @@ __all__ = [
     "RetryPolicy",
     "LoadReport",
     "generate_load",
+    # cluster
+    "Cluster",
+    "ClusterConfig",
+    "ClusterClient",
+    "HashRing",
+    "start_cluster",
+    "generate_cluster_load",
+    "placement_key",
     # protocol
     "ProtocolError",
     "ResponseError",

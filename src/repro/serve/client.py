@@ -269,6 +269,11 @@ class LoadReport:
     latency_mean_ms: float
     retries: int = 0
     reconnects: int = 0
+    #: Cluster loads only: requests that succeeded on a different shard
+    #: after a transport failure on their first choice.
+    failovers: int = 0
+    #: Cluster loads only: ring snapshots re-fetched from the router.
+    ring_refreshes: int = 0
 
     def to_dict(self) -> Dict:
         return {
@@ -282,6 +287,8 @@ class LoadReport:
             "latency_mean_ms": self.latency_mean_ms,
             "retries": self.retries,
             "reconnects": self.reconnects,
+            "failovers": self.failovers,
+            "ring_refreshes": self.ring_refreshes,
         }
 
 

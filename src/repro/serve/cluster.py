@@ -1,0 +1,1235 @@
+"""Sharded, replicated serving tier on top of :class:`PowerQueryServer`.
+
+One asyncio server process tops out on one core; millions of users need
+horizontal scale.  This module turns N :class:`PowerQueryServer`\\ s into
+one logical service:
+
+- :class:`HashRing` — a consistent-hash ring (virtual nodes, SHA-256
+  point placement, so lookups are deterministic across processes and
+  interpreter hash seeds).  Models are placed on shards by hashing their
+  ModelStore content key; adding or removing a shard moves only the keys
+  that land on the new/old shard (~K/N of them), everything else stays
+  put.
+- **Shard workers** — forked worker processes, each running a full
+  :class:`PowerQueryServer` (micro-batching, admission control, fused
+  kernels — the whole single-shard feature set) on its own ephemeral
+  port.  Workers reset their inherited metrics registry at startup so
+  every ``serve.*`` counter they report is genuinely theirs, and obey a
+  control pipe for zero-downtime model reload and graceful drain.
+- :class:`ShardRouter` *control plane* — the cluster's public endpoint.
+  It does **not** proxy the data path (a single proxy loop would cap the
+  very throughput sharding buys); instead it serves the *ring*: a
+  versioned snapshot of shard endpoints plus the model → replica-set
+  placement map.  Shard-aware clients fetch the ring once, talk straight
+  to shards, and re-fetch only when a shard stops answering.  The router
+  also monitors worker liveness (a dead worker is removed from the ring
+  and the version bumped — the failover signal), optionally respawns
+  replacements, and aggregates every shard's ``serve.*`` metrics into a
+  cluster-wide report by fetching per-shard ``stats`` snapshots over
+  their sockets and folding them together with
+  :func:`repro.obs.metrics.merge_snapshots`.
+- :class:`ClusterClient` / :func:`generate_cluster_load` — shard-aware
+  clients.  Requests for a model spray round-robin across its replica
+  set; a transport failure marks the endpoint dead, re-fetches the ring
+  and retries on the next replica (falling back to *any* ring member, so
+  even a stale ring — see the ``serve.router.stale_ring`` fault site —
+  cannot strand a request while one shard survives).
+
+Replication model: every worker holds every model in memory ("replicate
+everywhere"); the placement map restricts *routing*, not residency, to
+``replication`` shards per model.  That makes failover a pure routing
+update — no model movement, no warm-up cliff — at the cost of per-shard
+memory proportional to the full model set, the right trade for the
+store's budget-sized models.  The chaos sites ``serve.shard.down``
+(hard-kill a worker mid-request) and ``serve.router.stale_ring`` make
+the failover path testable on demand; ``tests/test_cluster.py`` and
+``scripts/cluster_smoke.py`` exercise it end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, ServeConnectionError
+from repro.models.addmodel import AddPowerModel
+from repro.models.serialize import model_from_dict, model_to_dict
+from repro.obs.metrics import get_metrics, merge_snapshots
+from repro.serve import protocol
+from repro.serve.client import (
+    LoadReport,
+    PowerQueryClient,
+    RetryPolicy,
+    _bits,
+    _percentile,
+)
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import PowerQueryServer, ServerConfig
+from repro.testing import faults
+
+_MET = get_metrics()
+_SHARD_DEATHS = _MET.counter("serve.cluster.shard_deaths")
+_FAILOVERS = _MET.counter("serve.cluster.failovers")
+_RESTARTS = _MET.counter("serve.cluster.restarts")
+_DRAINS = _MET.counter("serve.cluster.drains")
+_RELOADS = _MET.counter("serve.cluster.reloads")
+_STALE_RINGS = _MET.counter("serve.cluster.stale_rings_served")
+_RING_VERSION = _MET.gauge("serve.cluster.ring_version")
+_SHARDS_GAUGE = _MET.gauge("serve.cluster.shards")
+_CLIENT_FAILOVERS = _MET.counter("serve.client.failovers")
+_CLIENT_RING_REFRESHES = _MET.counter("serve.client.ring_refreshes")
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+def _ring_hash(value: str) -> int:
+    """Position of ``value`` on the ring: first 8 bytes of SHA-256.
+
+    hashlib, not ``hash()`` — placement must agree across processes and
+    interpreter invocations regardless of ``PYTHONHASHSEED``.
+    """
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of string keys onto named shards.
+
+    Each shard contributes ``vnodes`` points at
+    ``sha256(f"{shard}#{k}")``; a key is owned by the first shard point
+    clockwise from ``sha256(key)``, and its replica set is the first
+    ``count`` *distinct* shards on that walk.  The classic guarantees
+    follow: placement is independent of insertion order, adding a shard
+    only steals keys onto itself (expected K/N of them), and removing a
+    shard only reassigns the keys it owned.
+    """
+
+    def __init__(self, shards: Sequence[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ReproError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._shards: set = set()
+        for shard in shards:
+            self.add(shard)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    @property
+    def shards(self) -> List[str]:
+        """Sorted shard names currently on the ring."""
+        return sorted(self._shards)
+
+    def add(self, shard: str) -> None:
+        """Place one shard's virtual nodes on the ring."""
+        if shard in self._shards:
+            raise ReproError(f"shard {shard!r} is already on the ring")
+        self._shards.add(shard)
+        for k in range(self.vnodes):
+            bisect.insort(self._points, (_ring_hash(f"{shard}#{k}"), shard))
+
+    def remove(self, shard: str) -> None:
+        """Take one shard's virtual nodes off the ring."""
+        if shard not in self._shards:
+            raise ReproError(f"shard {shard!r} is not on the ring")
+        self._shards.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    def lookup(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` distinct shards clockwise from ``key``.
+
+        Returns fewer than ``count`` names when the ring holds fewer
+        shards; an empty list on an empty ring.
+        """
+        if not self._points:
+            return []
+        want = min(count, len(self._shards))
+        start = bisect.bisect(self._points, (_ring_hash(key), ""))
+        owners: List[str] = []
+        for step in range(len(self._points)):
+            shard = self._points[(start + step) % len(self._points)][1]
+            if shard not in owners:
+                owners.append(shard)
+                if len(owners) == want:
+                    break
+        return owners
+
+
+def placement_key(name: str, model: AddPowerModel) -> str:
+    """The string a model is hashed onto the ring by.
+
+    The ModelStore content key is derived from the source netlist hash;
+    models loaded through the store carry it as ``source_hash``, making
+    placement stable across renames.  Models built directly fall back to
+    their serving name.
+    """
+    return model.source_hash or name
+
+
+# ---------------------------------------------------------------------------
+# Cluster configuration
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of one :class:`Cluster`."""
+
+    host: str = "127.0.0.1"
+    #: Router (control-plane) port; 0 picks an ephemeral one.
+    router_port: int = 0
+    #: Number of shard worker processes.
+    workers: int = 2
+    #: Distinct shards each model is routed across (capped at workers).
+    replication: int = 2
+    #: Virtual nodes per shard on the consistent-hash ring.
+    vnodes: int = 64
+    #: How often the router checks worker liveness.
+    monitor_interval_s: float = 0.05
+    #: Respawn a replacement worker when one dies.
+    restart_failed: bool = False
+    #: How long to wait for a worker to report its port at spawn.
+    worker_ready_timeout_s: float = 60.0
+    #: Per-shard server template; ``host``/``port`` and the shard fault
+    #: token are overridden per worker.
+    server: ServerConfig = field(default_factory=ServerConfig)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.monitor_interval_s <= 0:
+            raise ValueError(
+                f"monitor_interval_s must be > 0, "
+                f"got {self.monitor_interval_s}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Shard worker process
+# ---------------------------------------------------------------------------
+def _shard_worker_main(
+    shard_id: str,
+    index: int,
+    blobs: Dict[str, dict],
+    server_config: ServerConfig,
+    conn,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Deserialises its model set, runs a :class:`PowerQueryServer` on an
+    ephemeral port, reports the port back through the control pipe, and
+    then obeys pipe commands (``stop``, ``reload``, ``ping``) from a
+    listener thread until told to exit.  Top-level (not a closure) so
+    the function pickles under any multiprocessing start method.
+    """
+    # The fork start method clones the parent's registry mid-flight;
+    # reset so every counter this shard reports is genuinely its own
+    # (cluster aggregation sums per-shard snapshots).
+    get_metrics().reset()
+    models = {name: model_from_dict(blob) for name, blob in blobs.items()}
+    server = PowerQueryServer(models, server_config)
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:  # noqa: BLE001 - surface to the parent
+            conn.send({"op": "error", "message": f"{type(exc).__name__}: {exc}"})
+            return
+        conn.send({"op": "ready", "port": server.port, "shard": shard_id})
+        loop = asyncio.get_running_loop()
+
+        def _control_listener() -> None:
+            while True:
+                try:
+                    command = conn.recv()
+                except (EOFError, OSError):
+                    # Parent gone: drain and exit rather than linger.
+                    loop.call_soon_threadsafe(server.request_stop)
+                    return
+                op = command.get("op")
+                if op == "stop":
+                    loop.call_soon_threadsafe(server.request_stop)
+                    return
+                if op == "reload":
+                    new = {
+                        name: model_from_dict(blob)
+                        for name, blob in command["models"].items()
+                    }
+                    done = threading.Event()
+                    box: Dict[str, str] = {}
+
+                    def _apply() -> None:
+                        try:
+                            server.reload_models(new)
+                        except Exception as exc:  # noqa: BLE001
+                            box["error"] = f"{type(exc).__name__}: {exc}"
+                        finally:
+                            done.set()
+
+                    loop.call_soon_threadsafe(_apply)
+                    done.wait(30.0)
+                    conn.send(
+                        {"op": "reloaded", "error": box.get("error")}
+                    )
+                elif op == "ping":
+                    conn.send({"op": "pong"})
+
+        threading.Thread(
+            target=_control_listener,
+            name=f"shard-{shard_id}-control",
+            daemon=True,
+        ).start()
+        await server.serve_forever()
+
+    asyncio.run(_main())
+
+
+@dataclass
+class ShardHandle:
+    """Parent-side view of one shard worker."""
+
+    shard_id: str
+    index: int
+    process: multiprocessing.Process
+    conn: object  # parent end of the control pipe
+    host: str
+    port: int
+    #: Serialises command/response exchanges on the control pipe.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# The cluster: workers + router control plane
+# ---------------------------------------------------------------------------
+class Cluster:
+    """A sharded, replicated power-query deployment.
+
+    ``start()`` forks the workers, builds the ring and placement map,
+    and runs the router on a private event loop in a daemon thread.
+    The object doubles as a context manager::
+
+        with Cluster(models, ClusterConfig(workers=3)).start() as cluster:
+            report = generate_cluster_load(
+                cluster.host, cluster.router_port, "parity", transitions
+            )
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, AddPowerModel],
+        config: ClusterConfig = ClusterConfig(),
+    ):
+        if not models:
+            raise ValueError("a Cluster needs at least one model")
+        self.config = config
+        self.host = config.host
+        self.router_port: Optional[int] = None
+        self._blobs = {
+            name: model_to_dict(model) for name, model in models.items()
+        }
+        self._placement_keys = {
+            name: placement_key(name, model)
+            for name, model in models.items()
+        }
+        self._ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._shards: Dict[str, ShardHandle] = {}
+        self._ring = HashRing(vnodes=config.vnodes)
+        self._version = 0
+        self._ring_payload: Optional[Dict] = None
+        self._stale_payload: Optional[Dict] = None
+        self._spawned = 0
+        #: Guards ring/placement/shard-map mutations (router thread,
+        #: monitor task and parent-thread admin calls all touch them).
+        self._lock = threading.Lock()
+        self._router_thread: Optional[threading.Thread] = None
+        self._router_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._workers_stopped = False
+        self.started_at: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Cluster":
+        """Spawn the workers and the router; blocks until all are ready."""
+        for _ in range(self.config.workers):
+            handle = self._spawn_worker()
+            with self._lock:
+                self._shards[handle.shard_id] = handle
+                self._ring.add(handle.shard_id)
+        with self._lock:
+            self._bump_ring()
+        self._start_router()
+        self.started_at = time.time()
+        return self
+
+    def _spawn_worker(self) -> ShardHandle:
+        index = self._spawned
+        self._spawned += 1
+        shard_id = f"s{index}"
+        parent_conn, child_conn = self._ctx.Pipe()
+        server_config = replace(
+            self.config.server,
+            host=self.config.host,
+            port=0,
+            shard_fault_token=index,
+        )
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(shard_id, index, self._blobs, server_config, child_conn),
+            name=f"power-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self.config.worker_ready_timeout_s):
+            process.kill()
+            raise ServeConnectionError(
+                f"shard {shard_id} did not report ready in "
+                f"{self.config.worker_ready_timeout_s:g}s"
+            )
+        message = parent_conn.recv()
+        if message.get("op") != "ready":
+            process.kill()
+            raise ServeConnectionError(
+                f"shard {shard_id} failed to start: "
+                f"{message.get('message', message)}"
+            )
+        return ShardHandle(
+            shard_id=shard_id,
+            index=index,
+            process=process,
+            conn=parent_conn,
+            host=self.config.host,
+            port=int(message["port"]),
+        )
+
+    def _bump_ring(self) -> None:
+        """Recompute placement + payload after a membership change.
+
+        Caller holds ``self._lock``.  The previous payload is kept as
+        the stale snapshot the ``serve.router.stale_ring`` fault serves.
+        """
+        self._version += 1
+        self._stale_payload = self._ring_payload
+        placement = {
+            name: self._ring.lookup(key, self.config.replication)
+            for name, key in sorted(self._placement_keys.items())
+        }
+        self._ring_payload = {
+            "version": self._version,
+            "replication": self.config.replication,
+            "shards": {
+                shard_id: [handle.host, handle.port]
+                for shard_id, handle in self._shards.items()
+                if shard_id in self._ring
+            },
+            "placement": placement,
+        }
+        _RING_VERSION.set(self._version)
+        _SHARDS_GAUGE.set(len(self._ring))
+
+    # -- admin operations (parent thread or router loop) ---------------
+    @property
+    def shard_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    @property
+    def ring_version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def shard_port(self, shard_id: str) -> int:
+        with self._lock:
+            return self._shards[shard_id].port
+
+    def ring_payload(self) -> Dict:
+        """The current (or, under the stale-ring fault, previous) ring."""
+        with self._lock:
+            if (
+                self._stale_payload is not None
+                and faults.fires("serve.router.stale_ring")
+            ):
+                _STALE_RINGS.inc()
+                return self._stale_payload
+            assert self._ring_payload is not None
+            return self._ring_payload
+
+    def kill_shard(self, shard_id: str) -> None:
+        """SIGKILL a worker (chaos/testing; the monitor sees it die)."""
+        with self._lock:
+            handle = self._shards[shard_id]
+        handle.process.kill()
+        handle.process.join(10.0)
+
+    def drain_shard(self, shard_id: str) -> None:
+        """Zero-downtime removal: un-route, then gracefully stop.
+
+        The shard leaves the ring first (new ring version), so clients
+        move away on their next refresh; the worker then flushes and
+        answers everything parked before exiting, so requests already
+        in flight are never dropped.
+        """
+        with self._lock:
+            handle = self._shards[shard_id]
+            if shard_id in self._ring:
+                self._ring.remove(shard_id)
+                self._bump_ring()
+        _DRAINS.inc()
+        self._stop_worker(handle)
+
+    def reload_models(self, models: Dict[str, AddPowerModel]) -> None:
+        """Push a new model set to every shard without a restart."""
+        if not models:
+            raise ValueError("reload_models needs at least one model")
+        blobs = {name: model_to_dict(model) for name, model in models.items()}
+        keys = {
+            name: placement_key(name, model)
+            for name, model in models.items()
+        }
+        with self._lock:
+            handles = [
+                handle
+                for handle in self._shards.values()
+                if handle.alive() and handle.shard_id in self._ring
+            ]
+        errors: List[str] = []
+        for handle in handles:
+            with handle.lock:
+                try:
+                    handle.conn.send({"op": "reload", "models": blobs})
+                    if handle.conn.poll(30.0):
+                        reply = handle.conn.recv()
+                        if reply.get("error"):
+                            errors.append(
+                                f"{handle.shard_id}: {reply['error']}"
+                            )
+                    else:
+                        errors.append(f"{handle.shard_id}: reload timed out")
+                except (OSError, EOFError, BrokenPipeError) as exc:
+                    errors.append(f"{handle.shard_id}: {exc}")
+        with self._lock:
+            self._blobs = blobs
+            self._placement_keys = keys
+            self._bump_ring()
+        _RELOADS.inc()
+        if errors:
+            raise ServeConnectionError(
+                "model reload failed on some shards: " + "; ".join(errors)
+            )
+
+    def _stop_worker(self, handle: ShardHandle, timeout: float = 10.0) -> None:
+        if handle.alive():
+            with handle.lock:
+                try:
+                    handle.conn.send({"op": "stop"})
+                except (OSError, BrokenPipeError):
+                    pass
+            handle.process.join(timeout)
+            if handle.alive():  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.join(5.0)
+
+    def _handle_dead_shard(self, shard_id: str) -> None:
+        """Monitor callback: rebalance away from a dead worker."""
+        _SHARD_DEATHS.inc()
+        respawn = False
+        with self._lock:
+            if shard_id in self._ring:
+                self._ring.remove(shard_id)
+                self._bump_ring()
+                # Placement recomputed over the survivors: the dead
+                # shard's keys fail over to live replicas.
+                if len(self._ring):
+                    _FAILOVERS.inc()
+            respawn = self.config.restart_failed and not self._workers_stopped
+        if respawn:
+            try:
+                handle = self._spawn_worker()
+            except ServeConnectionError:  # pragma: no cover - spawn failed
+                return
+            with self._lock:
+                self._shards[handle.shard_id] = handle
+                self._ring.add(handle.shard_id)
+                self._bump_ring()
+            _RESTARTS.inc()
+
+    # -- router (control plane) ----------------------------------------
+    def _start_router(self) -> None:
+        ready = threading.Event()
+        box: Dict[str, object] = {}
+
+        async def _main() -> None:
+            self._stop_event = asyncio.Event()
+            try:
+                server = await asyncio.start_server(
+                    self._on_router_connection,
+                    host=self.config.host,
+                    port=self.config.router_port,
+                    limit=protocol.MAX_LINE_BYTES,
+                )
+            except Exception as exc:  # noqa: BLE001 - surface to caller
+                box["error"] = exc
+                ready.set()
+                return
+            self.router_port = server.sockets[0].getsockname()[1]
+            self._router_loop = asyncio.get_running_loop()
+            monitor = asyncio.ensure_future(self._monitor())
+            ready.set()
+            await self._stop_event.wait()
+            monitor.cancel()
+            server.close()
+            await server.wait_closed()
+            self._stop_workers()
+
+        self._router_thread = threading.Thread(
+            target=lambda: asyncio.run(_main()),
+            name="power-cluster-router",
+            daemon=True,
+        )
+        self._router_thread.start()
+        if not ready.wait(self.config.worker_ready_timeout_s):
+            raise TimeoutError("cluster router did not start in time")
+        if "error" in box:
+            self._stop_workers()
+            raise box["error"]  # type: ignore[misc]
+
+    async def _monitor(self) -> None:
+        """Periodically detect dead workers and rebalance the ring."""
+        while True:
+            await asyncio.sleep(self.config.monitor_interval_s)
+            with self._lock:
+                dead = [
+                    shard_id
+                    for shard_id in self._ring.shards
+                    if not self._shards[shard_id].alive()
+                ]
+            for shard_id in dead:
+                self._handle_dead_shard(shard_id)
+
+    async def _on_router_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.CancelledError,
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                response = await self._dispatch_router(line)
+                try:
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _dispatch_router(self, line: bytes) -> Dict:
+        request_id = None
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op == "ping":
+                return protocol.ok_response(request_id, "pong")
+            if op == "ring":
+                return protocol.ok_response(request_id, self.ring_payload())
+            if op == "cluster_stats":
+                return protocol.ok_response(
+                    request_id, await self._cluster_stats()
+                )
+            if op == "healthz":
+                return protocol.ok_response(request_id, self._healthz())
+            if op == "shutdown":
+                if self._stop_event is not None:
+                    self._stop_event.set()
+                return protocol.ok_response(request_id, "stopping")
+            raise ProtocolError("bad_request", f"unknown router op {op!r}")
+        except ProtocolError as exc:
+            return protocol.error_response(request_id, exc.error_type, str(exc))
+        except Exception as exc:  # noqa: BLE001 - answer, don't crash
+            return protocol.error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _healthz(self) -> Dict:
+        with self._lock:
+            members = self._ring.shards
+            shards = {
+                shard_id: {
+                    "port": handle.port,
+                    "alive": handle.alive(),
+                    "routed": handle.shard_id in self._ring,
+                }
+                for shard_id, handle in self._shards.items()
+            }
+            version = self._version
+        return {
+            "status": "ok" if members else "degraded",
+            "ring_version": version,
+            "shards": shards,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    async def _fetch_shard_stats(self, host: str, port: int) -> Optional[Dict]:
+        """One shard's ``stats`` op over its own socket (None if dead)."""
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            return None
+        try:
+            writer.write(protocol.encode({"id": 0, "op": "stats"}))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return None
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+        if not line:
+            return None
+        reply = json.loads(line.decode("utf-8"))
+        return reply.get("result") if reply.get("ok") else None
+
+    async def _cluster_stats(self) -> Dict:
+        """Cluster-wide report: per-shard stats + merged serve.* metrics."""
+        with self._lock:
+            targets = [
+                (shard_id, handle.host, handle.port)
+                for shard_id, handle in sorted(self._shards.items())
+                if shard_id in self._ring
+            ]
+        fetched = await asyncio.gather(
+            *(self._fetch_shard_stats(host, port) for _, host, port in targets)
+        )
+        per_shard: Dict[str, Dict] = {}
+        snapshots: List[Dict] = []
+        for (shard_id, _, port), stats in zip(targets, fetched):
+            if stats is None:
+                per_shard[shard_id] = {"port": port, "reachable": False}
+                continue
+            metrics = stats.get("metrics", {})
+            snapshots.append(metrics)
+            requests = metrics.get("serve.requests", {}).get("value", 0)
+            per_shard[shard_id] = {
+                "port": port,
+                "reachable": True,
+                "uptime_seconds": stats.get("uptime_seconds", 0.0),
+                "models": stats.get("models", []),
+                "requests": requests,
+            }
+        cluster_metrics = {
+            name: state
+            for name, state in _MET.snapshot().items()
+            if name.startswith("serve.cluster.")
+        }
+        with self._lock:
+            version = self._version
+        return {
+            "ring_version": version,
+            "shards": per_shard,
+            "metrics": merge_snapshots(snapshots),
+            "router_metrics": cluster_metrics,
+        }
+
+    # -- shutdown ------------------------------------------------------
+    def _stop_workers(self) -> None:
+        with self._lock:
+            if self._workers_stopped:
+                return
+            self._workers_stopped = True
+            handles = list(self._shards.values())
+        for handle in handles:
+            self._stop_worker(handle)
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Stop the router and gracefully drain every worker."""
+        if self._router_loop is not None and self._stop_event is not None:
+            try:
+                self._router_loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._router_thread is not None:
+            self._router_thread.join(timeout)
+        self._stop_workers()
+
+    def wait(self) -> None:
+        """Block until the router thread exits (shutdown op or stop())."""
+        if self._router_thread is not None:
+            self._router_thread.join()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_cluster(
+    models: Dict[str, AddPowerModel],
+    config: ClusterConfig = ClusterConfig(),
+) -> Cluster:
+    """Build and start a :class:`Cluster`; returns the running handle."""
+    return Cluster(models, config).start()
+
+
+# ---------------------------------------------------------------------------
+# Shard-aware client
+# ---------------------------------------------------------------------------
+class ClusterClient:
+    """Blocking shard-aware client: ring from the router, data from shards.
+
+    ``evaluate``/``evaluate_pairs`` spray requests round-robin across a
+    model's replica set.  A transport failure (or a shard that no longer
+    holds the model mid-reload) marks the endpoint dead, re-fetches the
+    ring, and retries on the next replica — falling back to any ring
+    member, so a stale ring cannot strand a request while one shard
+    still answers.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        router_port: int,
+        timeout: float = 30.0,
+        retry: RetryPolicy = RetryPolicy(),
+        rng_seed: Optional[int] = None,
+    ):
+        self.host = host
+        self.router_port = router_port
+        self.timeout = timeout
+        self.retry = retry
+        self._router = PowerQueryClient(
+            host, router_port, timeout=timeout, retry=retry, rng_seed=rng_seed
+        )
+        self._shard_clients: Dict[Tuple[str, int], PowerQueryClient] = {}
+        self._ring: Optional[Dict] = None
+        self._dead: set = set()
+        self._spray = 0
+        import random as _random
+
+        self._rng = _random.Random(rng_seed)
+
+    # -- control plane -------------------------------------------------
+    def ring(self, refresh: bool = False) -> Dict:
+        """The cached ring payload, fetching from the router on demand."""
+        if self._ring is None or refresh:
+            self._ring = self._router.call({"op": "ring"})
+            self._dead = set()
+            _CLIENT_RING_REFRESHES.inc()
+        return self._ring
+
+    def cluster_stats(self) -> Dict:
+        """The router's aggregated cluster-wide stats report."""
+        return self._router.call({"op": "cluster_stats"})
+
+    def healthz(self) -> Dict:
+        return self._router.call({"op": "healthz"})
+
+    def shutdown_cluster(self) -> None:
+        """Ask the router to stop the whole cluster (never retried)."""
+        self._router.call({"op": "shutdown"}, idempotent=False)
+
+    # -- data plane ----------------------------------------------------
+    def _endpoints_for(self, model: str) -> List[Tuple[str, int]]:
+        """Replica endpoints first (rotated for spray), then the rest."""
+        ring = self.ring()
+        shards = ring.get("shards", {})
+        replicas = [
+            shard_id
+            for shard_id in ring.get("placement", {}).get(model, [])
+            if shard_id in shards
+        ]
+        if replicas:
+            self._spray += 1
+            pivot = self._spray % len(replicas)
+            replicas = replicas[pivot:] + replicas[:pivot]
+        others = [s for s in sorted(shards) if s not in replicas]
+        ordered = replicas + others
+        return [tuple(shards[shard_id]) for shard_id in ordered]
+
+    def _client_for(self, endpoint: Tuple[str, int]) -> PowerQueryClient:
+        client = self._shard_clients.get(endpoint)
+        if client is None:
+            client = PowerQueryClient(
+                endpoint[0], endpoint[1], timeout=self.timeout, retry=None
+            )
+            self._shard_clients[endpoint] = client
+        return client
+
+    def _drop_endpoint(self, endpoint: Tuple[str, int]) -> None:
+        client = self._shard_clients.pop(endpoint, None)
+        if client is not None:
+            client.close()
+        self._dead.add(endpoint)
+
+    def _call_sharded(self, model: str, payload: Dict):
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if attempt > 1:
+                time.sleep(self.retry.delay_s(attempt - 1, self._rng))
+                self.ring(refresh=True)
+            tried_any = False
+            for nth, endpoint in enumerate(self._endpoints_for(model)):
+                if endpoint in self._dead:
+                    continue
+                tried_any = True
+                try:
+                    result = protocol.unwrap_response(
+                        self._client_for(endpoint).request(payload)
+                    )
+                    if nth > 0:
+                        _CLIENT_FAILOVERS.inc()
+                    return result
+                except ServeConnectionError as exc:
+                    last_error = exc
+                    self._drop_endpoint(endpoint)
+                except protocol.ResponseError as exc:
+                    if exc.error_type in ("unavailable", "unknown_model"):
+                        # Shed, draining shard, or mid-reload placement
+                        # drift: try the next replica / a fresh ring.
+                        last_error = exc
+                        continue
+                    raise
+            if not tried_any:
+                # Every known endpoint is marked dead: force a refresh.
+                self.ring(refresh=True)
+        raise ServeConnectionError(
+            f"no shard answered for model {model!r} after "
+            f"{self.retry.max_attempts} ring sweeps: {last_error}"
+        )
+
+    def evaluate(self, model: str, initial, final) -> float:
+        """Capacitance (fF) of one transition, routed to a replica."""
+        result = self._call_sharded(
+            model,
+            {
+                "op": "evaluate",
+                "model": model,
+                "initial": _bits(initial),
+                "final": _bits(final),
+            },
+        )
+        return float(result["capacitance_fF"])
+
+    def evaluate_pairs(
+        self, model: str, pairs: Sequence[Tuple[object, object]]
+    ) -> List[float]:
+        """Capacitances for a client-side batch, routed to a replica."""
+        result = self._call_sharded(
+            model,
+            {
+                "op": "evaluate",
+                "model": model,
+                "pairs": [[_bits(i), _bits(f)] for i, f in pairs],
+            },
+        )
+        return [float(v) for v in result["capacitances_fF"]]
+
+    def close(self) -> None:
+        for client in self._shard_clients.values():
+            client.close()
+        self._shard_clients.clear()
+        self._router.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Shard-aware concurrent load generation
+# ---------------------------------------------------------------------------
+class _RingCache:
+    """Shared, version-coalesced ring cache for one load-generation run."""
+
+    def __init__(self, host: str, router_port: int, counters: Dict[str, int]):
+        self.host = host
+        self.router_port = router_port
+        self.counters = counters
+        self.payload: Optional[Dict] = None
+        self._lock = asyncio.Lock()
+
+    async def fetch(self, stale_version: Optional[int] = None) -> Dict:
+        """The ring, re-fetched when the cached one is ``stale_version``.
+
+        Concurrent workers that all saw the same failure coalesce into
+        one router round trip.
+        """
+        async with self._lock:
+            if self.payload is not None and (
+                stale_version is None
+                or self.payload.get("version", -1) != stale_version
+            ):
+                return self.payload
+            reader, writer = await asyncio.open_connection(
+                self.host, self.router_port
+            )
+            try:
+                writer.write(protocol.encode({"id": 0, "op": "ring"}))
+                await writer.drain()
+                line = await reader.readline()
+            finally:
+                writer.close()
+            if not line:
+                raise ServeConnectionError("router closed the connection")
+            reply = json.loads(line.decode("utf-8"))
+            self.payload = protocol.unwrap_response(reply)
+            self.counters["ring_refreshes"] += 1
+            return self.payload
+
+
+async def _cluster_load_worker(
+    ring: _RingCache,
+    model: str,
+    transitions: Sequence[Tuple[str, str]],
+    requests: int,
+    offset: int,
+    latencies: List[float],
+    counters: Dict[str, int],
+    retry: RetryPolicy,
+) -> None:
+    import random as _random
+
+    rng = _random.Random(1000003 * offset + 17)
+    reader = writer = None
+    endpoint: Optional[Tuple[str, int]] = None
+    bad: set = set()
+    bad_version = -1
+
+    def endpoints(payload: Dict) -> List[Tuple[str, int]]:
+        shards = payload.get("shards", {})
+        replicas = [
+            s for s in payload.get("placement", {}).get(model, [])
+            if s in shards
+        ]
+        if replicas:  # spray: worker i pins to replica i, rotating on retry
+            pivot = offset % len(replicas)
+            replicas = replicas[pivot:] + replicas[:pivot]
+        others = [s for s in sorted(shards) if s not in replicas]
+        return [tuple(shards[s]) for s in replicas + others]
+
+    async def connect(payload: Dict) -> bool:
+        nonlocal reader, writer, endpoint, bad, bad_version
+        if writer is not None:
+            return True
+        if payload.get("version", -1) != bad_version:
+            bad = set()
+            bad_version = payload.get("version", -1)
+        for candidate in endpoints(payload):
+            if candidate in bad:
+                continue
+            try:
+                reader, writer = await asyncio.open_connection(*candidate)
+                endpoint = candidate
+                return True
+            except OSError:
+                bad.add(candidate)
+        return False
+
+    def drop() -> None:
+        nonlocal reader, writer, endpoint
+        if writer is not None:
+            writer.close()
+        if endpoint is not None:
+            bad.add(endpoint)
+        reader = writer = endpoint = None
+
+    try:
+        payload = await ring.fetch()
+        for k in range(requests):
+            initial, final = transitions[(offset + k) % len(transitions)]
+            request = {
+                "id": k,
+                "op": "evaluate",
+                "model": model,
+                "initial": initial,
+                "final": final,
+            }
+            started = time.perf_counter()
+            answered = False
+            first_endpoint = None
+            for attempt in range(1, retry.max_attempts + 1):
+                if attempt > 1:
+                    counters["retries"] += 1
+                    await asyncio.sleep(retry.delay_s(attempt - 1, rng))
+                if not await connect(payload):
+                    # Every endpoint in this ring failed: force a refresh.
+                    try:
+                        payload = await ring.fetch(
+                            stale_version=payload.get("version")
+                        )
+                    except (OSError, ServeConnectionError):
+                        continue
+                    bad = set()
+                    bad_version = payload.get("version", -1)
+                    continue
+                if first_endpoint is None:
+                    first_endpoint = endpoint
+                try:
+                    writer.write(protocol.encode(request))
+                    await writer.drain()
+                    line = await reader.readline()
+                except (OSError, asyncio.IncompleteReadError):
+                    line = b""
+                if not line:  # shard died / reset mid-request
+                    drop()
+                    counters["reconnects"] += 1
+                    try:
+                        payload = await ring.fetch(
+                            stale_version=payload.get("version")
+                        )
+                    except (OSError, ServeConnectionError):
+                        pass
+                    continue
+                reply = json.loads(line.decode("utf-8"))
+                if reply.get("ok"):
+                    answered = True
+                    if (
+                        first_endpoint is not None
+                        and endpoint != first_endpoint
+                    ):
+                        counters["failovers"] += 1
+                        _CLIENT_FAILOVERS.inc()
+                    break
+                error_type = (reply.get("error") or {}).get("type")
+                if error_type == "unavailable" and retry.retry_unavailable:
+                    continue  # shed: back off on the same socket
+                if error_type == "unknown_model":
+                    drop()  # placement drift mid-reload: move shards
+                    continue
+                break  # other structured errors are not retryable
+            latencies.append(time.perf_counter() - started)
+            if not answered:
+                counters["errors"] += 1
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def generate_cluster_load(
+    host: str,
+    router_port: int,
+    model: str,
+    transitions: Sequence[Tuple[object, object]],
+    clients: int = 64,
+    requests_per_client: int = 50,
+    retry: RetryPolicy = RetryPolicy(),
+) -> LoadReport:
+    """Hammer a cluster with N shard-aware single-transition streams.
+
+    The cluster analogue of :func:`repro.serve.client.generate_load`:
+    each of ``clients`` connections fetches the ring (one shared,
+    coalesced cache per run), pins itself to one replica of ``model``
+    (spraying the replica set across workers), and fails over — refresh
+    ring, reconnect to the next replica — when its shard stops
+    answering.  The report's ``failovers``/``ring_refreshes`` count the
+    recoveries; a chaos-killed shard must show up there, never in
+    ``errors``.
+    """
+    if not transitions:
+        raise ReproError("generate_cluster_load needs at least one transition")
+    normalized = [(_bits(i), _bits(f)) for i, f in transitions]
+    latencies: List[float] = []
+    counters = {
+        "errors": 0,
+        "retries": 0,
+        "reconnects": 0,
+        "failovers": 0,
+        "ring_refreshes": 0,
+    }
+
+    async def _run() -> float:
+        ring = _RingCache(host, router_port, counters)
+        await ring.fetch()
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _cluster_load_worker(
+                    ring,
+                    model,
+                    normalized,
+                    requests_per_client,
+                    worker,
+                    latencies,
+                    counters,
+                    retry,
+                )
+                for worker in range(clients)
+            )
+        )
+        return time.perf_counter() - started
+
+    elapsed = asyncio.run(_run())
+    total = clients * requests_per_client
+    ordered = sorted(latencies)
+    return LoadReport(
+        clients=clients,
+        requests=total,
+        errors=counters["errors"],
+        seconds=elapsed,
+        requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=1000.0 * _percentile(ordered, 0.50),
+        latency_p99_ms=1000.0 * _percentile(ordered, 0.99),
+        latency_mean_ms=(
+            1000.0 * sum(ordered) / len(ordered) if ordered else 0.0
+        ),
+        retries=counters["retries"],
+        reconnects=counters["reconnects"],
+        failovers=counters["failovers"],
+        ring_refreshes=counters["ring_refreshes"],
+    )
+
+
+__all__ = [
+    "Cluster",
+    "ClusterClient",
+    "ClusterConfig",
+    "HashRing",
+    "ShardHandle",
+    "generate_cluster_load",
+    "placement_key",
+    "start_cluster",
+]

@@ -34,6 +34,7 @@ a server on a private loop in a daemon thread and returns a handle.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -61,6 +62,7 @@ _EVAL_ROWS = _MET.counter("serve.eval.rows")
 _EVAL_BATCHES = _MET.counter("serve.eval.batches")
 _FUSED_BATCHES = _MET.counter("serve.eval.fused_batches")
 _FUSED_SEGMENTS = _MET.counter("serve.eval.fused_segments")
+_RELOADS = _MET.counter("serve.reloads")
 _BATCH_ROWS = _MET.histogram(
     "serve.eval.batch_rows", (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 )
@@ -99,6 +101,12 @@ class ServerConfig:
     #: drain *all* batchers in one foreign call per flush.  Falls back to
     #: per-model evaluation at startup if fusion is impossible.
     fused: bool = False
+    #: Chaos hook: when set (cluster shard workers pass their shard
+    #: index), every dispatched request consults the ``serve.shard.down``
+    #: fault site with this token and hard-exits the process when it
+    #: fires — simulating a shard dying mid-load.  None (the default)
+    #: never consults the site, so standalone servers are immune.
+    shard_fault_token: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kernel != "auto":
@@ -244,18 +252,63 @@ class PowerQueryServer:
         if self._stop_event is not None:
             self._stop_event.set()
 
+    def reload_models(self, models: Dict[str, AddPowerModel]) -> None:
+        """Swap the served model set without dropping a single request.
+
+        Must run on the server's event loop (cluster workers schedule it
+        via ``call_soon_threadsafe``).  Everything parked is flushed and
+        answered against the *old* models first — a batch never mixes
+        model generations — then the new set replaces the old atomically
+        between requests, is pinned/warmed like at construction time, and
+        the fused kernel is rebuilt if fusion is on.  Connections stay
+        open throughout; only requests naming a model absent from the new
+        set start failing (with ``unknown_model``, as for any bad name).
+        """
+        if not models:
+            raise ValueError("reload_models needs at least one model")
+        for name in list(self._batchers):
+            self._flush(name)
+        self._batchers.clear()
+        self._parked_rows = 0
+        self.models = dict(models)
+        for model in self.models.values():
+            model.eval_kernel = self.config.kernel
+            try:
+                model.warm_eval_backend()
+            except Exception:  # noqa: BLE001 - warm is an optimisation
+                pass
+        self._fused = self._build_fused() if self.config.fused else None
+        _RELOADS.inc()
+
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, flush, answer, close."""
+        """Graceful shutdown: stop accepting, flush, answer, drain, close."""
         if self._stopping:
             return
         self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Answer everything still parked, then close the streams.
+        # Answer everything still parked, then *drain* before closing.
+        # The flush writes replies from this coroutine with no connection
+        # loop left to await them; without an explicit drain the event
+        # loop can exit with those replies still sitting in transport
+        # buffers, silently dropping in-flight batched requests that
+        # raced ``stop()`` against a pending micro-batch flush.
         for name in list(self._batchers):
             self._flush(name)
-        for writer in list(self._writers):
+        writers = list(self._writers)
+        if writers:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *(self._drain_writer(writer) for writer in writers),
+                        return_exceptions=True,
+                    ),
+                    timeout=5.0,
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - stuck client
+                pass
+        for writer in writers:
             try:
                 writer.close()
             except Exception:  # pragma: no cover - already-broken transport
@@ -372,6 +425,12 @@ class PowerQueryServer:
     async def _dispatch(
         self, line: bytes, writer: asyncio.StreamWriter
     ) -> None:
+        if self.config.shard_fault_token is not None and faults.fires(
+            "serve.shard.down", token=self.config.shard_fault_token
+        ):
+            # Chaos hook: the shard dies the way a crashed/OOM-killed
+            # worker would — no reply, no graceful close, no cleanup.
+            os._exit(23)
         _REQUESTS.inc()
         arrived = time.perf_counter()
         request_id = None

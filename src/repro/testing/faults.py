@@ -88,6 +88,13 @@ SITES: Dict[str, str] = {
         "abort a client connection instead of answering the request"
     ),
     "serve.eval.slow": "delay a server-side batch evaluation by delay_s",
+    "serve.shard.down": (
+        "hard-kill a cluster shard worker mid-request (token = shard index)"
+    ),
+    "serve.router.stale_ring": (
+        "answer a ring request with the previous ring snapshot instead of "
+        "the current one"
+    ),
     "eval.codegen.compile_fail": (
         "fail the codegen backend's C compilation, driving the levelized "
         "fallback"

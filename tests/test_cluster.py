@@ -1,0 +1,408 @@
+"""Sharded serving tier: hash ring properties, cluster ops, chaos failover."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import build_add_model
+from repro.netlist import NetlistBuilder
+from repro.obs import get_metrics
+from repro.serve import (
+    Cluster,
+    ClusterClient,
+    ClusterConfig,
+    HashRing,
+    ServerConfig,
+    generate_cluster_load,
+    placement_key,
+)
+from repro.testing import faults
+from repro.testing.faults import FaultSpec
+
+
+def make_model(name: str = "quad"):
+    builder = NetlistBuilder(name)
+    a, b, c, d = (builder.input(ch) for ch in "abcd")
+    builder.netlist.add_output(
+        builder.or2(builder.and2(a, b), builder.xor2(c, d))
+    )
+    return build_add_model(builder.build(), max_nodes=200)
+
+
+# ---------------------------------------------------------------------------
+# HashRing properties
+# ---------------------------------------------------------------------------
+shard_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+keys = st.lists(
+    st.text(min_size=0, max_size=32), min_size=1, max_size=32, unique=True
+)
+
+
+class TestHashRingProperties:
+    @given(shards=shard_names, key=st.text(max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_is_irrelevant(self, shards, key):
+        forward = HashRing(shards, vnodes=16)
+        backward = HashRing(list(reversed(shards)), vnodes=16)
+        assert forward.lookup(key, 3) == backward.lookup(key, 3)
+
+    @given(shards=shard_names, ks=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_shard_only_steals_keys_for_itself(self, shards, ks):
+        ring = HashRing(shards, vnodes=16)
+        before = {key: ring.lookup(key)[0] for key in ks}
+        newcomer = "zz-new-shard"
+        ring.add(newcomer)
+        for key in ks:
+            after = ring.lookup(key)[0]
+            # The only allowed movement is onto the new shard; every key
+            # that does not land there keeps its previous owner.
+            assert after == before[key] or after == newcomer
+
+    @given(shards=shard_names, ks=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_removing_a_shard_only_moves_its_own_keys(self, shards, ks):
+        ring = HashRing(shards, vnodes=16)
+        before = {key: ring.lookup(key)[0] for key in ks}
+        victim = ring.shards[0]
+        ring.remove(victim)
+        if not len(ring):
+            return  # single-shard ring: nothing left to check
+        for key in ks:
+            if before[key] != victim:
+                assert ring.lookup(key)[0] == before[key]
+
+    @given(shards=shard_names, key=st.text(max_size=32), count=st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_replication_factor_honoured(self, shards, key, count):
+        ring = HashRing(shards, vnodes=16)
+        owners = ring.lookup(key, count)
+        assert len(owners) == min(count, len(shards))
+        assert len(set(owners)) == len(owners)
+        assert all(owner in shards for owner in owners)
+
+    @given(shards=shard_names, key=st.text(max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_replica_sets_not_touching_removed_shard_are_stable(
+        self, shards, key
+    ):
+        ring = HashRing(shards, vnodes=16)
+        before = ring.lookup(key, 2)
+        victim = ring.shards[-1]
+        if victim in before:
+            return
+        ring.remove(victim)
+        assert ring.lookup(key, 2) == before
+
+    def test_movement_fraction_is_about_one_over_n(self):
+        """Adding the 9th shard to 8 should move roughly 1/9 of the keys."""
+        shards = [f"s{i}" for i in range(8)]
+        ring = HashRing(shards, vnodes=64)
+        ks = [f"model-{i}" for i in range(2000)]
+        before = {key: ring.lookup(key)[0] for key in ks}
+        ring.add("s8")
+        moved = sum(1 for key in ks if ring.lookup(key)[0] != before[key])
+        fraction = moved / len(ks)
+        # Expected 1/9 ≈ 0.111; generous envelope for vnode variance.
+        assert 0.03 < fraction < 0.30
+
+    def test_deterministic_across_processes(self):
+        """The ring must not depend on the interpreter's hash seed."""
+        program = textwrap.dedent(
+            """
+            import json, sys
+            from repro.serve import HashRing
+            ring = HashRing([f"s{i}" for i in range(5)], vnodes=32)
+            keys = [f"model-{i}" for i in range(50)]
+            print(json.dumps({k: ring.lookup(k, 2) for k in keys}))
+            """
+        )
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        outputs = []
+        for seed in ("0", "1", "random"):
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": seed},
+            )
+            outputs.append(json.loads(result.stdout))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_duplicate_and_missing_shards_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(Exception, match="already"):
+            ring.add("a")
+        with pytest.raises(Exception, match="not on the ring"):
+            ring.remove("b")
+
+    def test_empty_ring_lookup(self):
+        assert HashRing().lookup("anything", 3) == []
+
+
+# ---------------------------------------------------------------------------
+# Cluster integration (shared 2-shard deployment)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster():
+    deployment = Cluster(
+        {"quad": make_model()},
+        ClusterConfig(
+            workers=2,
+            replication=2,
+            monitor_interval_s=0.02,
+            server=ServerConfig(max_batch=16, max_wait_ms=0.5),
+        ),
+    ).start()
+    yield deployment
+    deployment.stop()
+
+
+class TestClusterIntegration:
+    def test_ring_payload_covers_all_models_and_shards(self, cluster):
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            ring = client.ring()
+        assert sorted(ring["shards"]) == ["s0", "s1"]
+        assert sorted(ring["placement"]["quad"]) == ["s0", "s1"]
+        assert ring["version"] >= 1
+
+    def test_evaluate_round_trip(self, cluster):
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            assert client.evaluate("quad", "0000", "1111") > 0.0
+            values = client.evaluate_pairs(
+                "quad", [("0000", "1111"), ("0000", "0000")]
+            )
+        assert values[0] > 0.0 and values[1] == 0.0
+
+    def test_cluster_stats_aggregates_shards(self, cluster):
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            before = (
+                client.cluster_stats()["metrics"]
+                .get("serve.requests", {})
+                .get("value", 0)
+            )
+            for _ in range(4):
+                client.evaluate("quad", "0000", "1111")
+            stats = client.cluster_stats()
+        merged = stats["metrics"]["serve.requests"]["value"]
+        assert merged >= before + 4
+        per_shard = sum(
+            info.get("requests", 0) for info in stats["shards"].values()
+        )
+        assert merged == per_shard
+        assert stats["shards"]["s0"]["reachable"]
+        assert stats["shards"]["s1"]["reachable"]
+
+    def test_healthz_reports_membership(self, cluster):
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert all(info["alive"] for info in health["shards"].values())
+
+    def test_reload_swaps_models_without_restart(self, cluster):
+        version = cluster.ring_version
+        cluster.reload_models(
+            {"quad": make_model(), "quad2": make_model("quad2")}
+        )
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            assert client.evaluate("quad2", "0000", "1111") > 0.0
+            ring = client.ring()
+        assert "quad2" in ring["placement"]
+        assert ring["version"] > version
+
+    def test_generate_cluster_load_clean(self, cluster):
+        report = generate_cluster_load(
+            cluster.host,
+            cluster.router_port,
+            "quad",
+            [("0000", "1111"), ("0011", "1100")],
+            clients=4,
+            requests_per_client=10,
+        )
+        assert report.errors == 0
+        assert report.requests == 40
+        assert report.requests_per_sec > 0
+
+    def test_unknown_model_is_not_retried_forever(self, cluster):
+        from repro.serve import ResponseError
+        from repro.errors import ServeConnectionError
+
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            with pytest.raises((ResponseError, ServeConnectionError)):
+                client.evaluate("no-such-model", "0000", "1111")
+
+
+class TestClusterLifecycle:
+    def test_placement_key_prefers_content_hash(self):
+        model = make_model()
+        assert model.source_hash
+        assert placement_key("any-name", model) == model.source_hash
+        model.source_hash = None
+        assert placement_key("any-name", model) == "any-name"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ClusterConfig(workers=0)
+        with pytest.raises(ValueError, match="replication"):
+            ClusterConfig(replication=0)
+        with pytest.raises(ValueError, match="monitor_interval"):
+            ClusterConfig(monitor_interval_s=0.0)
+
+    def test_empty_model_set_rejected(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            Cluster({})
+
+    def test_drain_then_shutdown_is_clean(self):
+        deployment = Cluster(
+            {"quad": make_model()},
+            ClusterConfig(
+                workers=2,
+                replication=2,
+                monitor_interval_s=0.02,
+                server=ServerConfig(max_batch=8, max_wait_ms=0.5),
+            ),
+        ).start()
+        try:
+            with ClusterClient(
+                deployment.host, deployment.router_port
+            ) as client:
+                deployment.drain_shard("s0")
+                # The drained shard left the ring; service continues.
+                assert client.evaluate("quad", "0000", "1111") > 0.0
+                health = client.healthz()
+            assert not health["shards"]["s0"]["routed"]
+            assert not health["shards"]["s0"]["alive"]
+            assert health["shards"]["s1"]["alive"]
+        finally:
+            deployment.stop()
+        assert all(
+            not handle.alive() for handle in deployment._shards.values()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Chaos: kill a shard mid-load, demand zero client-visible errors
+# ---------------------------------------------------------------------------
+@pytest.mark.chaos
+class TestClusterChaos:
+    def test_shard_killed_mid_load_is_invisible_to_clients(self):
+        model = make_model()
+        config = ClusterConfig(
+            workers=3,
+            replication=2,
+            monitor_interval_s=0.02,
+            server=ServerConfig(max_batch=16, max_wait_ms=0.5),
+        )
+        # Placement is deterministic, so the fault can be aimed exactly:
+        # max_token=0 lets only shard 0 die, and naming the model so that
+        # shard 0 is one of its replicas guarantees it sees enough traffic
+        # to trip the trigger.  (max_token is a <= bound; targeting any
+        # higher index could also fell lower-indexed shards that pick up
+        # fallback traffic after the first death.)
+        ring = HashRing(
+            [f"s{i}" for i in range(config.workers)], vnodes=config.vnodes
+        )
+        model.source_hash = None  # place by serving name
+        name = next(
+            candidate
+            for candidate in (f"quad-{i}" for i in range(100))
+            if "s0" in ring.lookup(candidate, config.replication)
+        )
+        victim = 0
+        metrics = get_metrics()
+        deaths_before = metrics.counter("serve.cluster.shard_deaths").value
+        failovers_before = metrics.counter("serve.cluster.failovers").value
+        with faults.inject(
+            [
+                FaultSpec(
+                    site="serve.shard.down",
+                    after=5,
+                    times=1,
+                    max_token=victim,
+                )
+            ]
+        ):
+            with Cluster({name: model}, config).start() as deployment:
+                report = generate_cluster_load(
+                    deployment.host,
+                    deployment.router_port,
+                    name,
+                    [("0000", "1111"), ("0011", "1100")],
+                    clients=12,
+                    requests_per_client=30,
+                )
+                with ClusterClient(
+                    deployment.host, deployment.router_port
+                ) as client:
+                    health = client.healthz()
+                    stats = client.cluster_stats()
+
+        assert report.errors == 0
+        assert report.requests == 360
+        # The kill must be visible in the recovery counters...
+        assert report.failovers + report.reconnects > 0
+        assert report.ring_refreshes >= 2  # initial fetch + post-kill refresh
+        # ...and in the router's own accounting.
+        router = {
+            name: state["value"]
+            for name, state in stats["router_metrics"].items()
+        }
+        assert router["serve.cluster.shard_deaths"] == deaths_before + 1
+        assert router["serve.cluster.failovers"] >= failovers_before + 1
+        assert not health["shards"][f"s{victim}"]["alive"]
+        assert health["status"] == "ok"  # survivors keep the ring serving
+
+    def test_stale_ring_fault_cannot_strand_clients(self):
+        model = make_model()
+        config = ClusterConfig(
+            workers=3,
+            replication=2,
+            monitor_interval_s=0.02,
+            server=ServerConfig(max_batch=16, max_wait_ms=0.5),
+        )
+        with Cluster({"quad": model}, config).start() as deployment:
+            deployment.kill_shard("s1")
+            deadline_passed = False
+            import time as _time
+
+            for _ in range(100):
+                if deployment.ring_version >= 2:
+                    deadline_passed = True
+                    break
+                _time.sleep(0.05)
+            assert deadline_passed
+            # Every ring request now serves the pre-kill snapshot (which
+            # still lists the dead shard); clients must still get answers
+            # by falling over to survivors.
+            with faults.inject(
+                [FaultSpec(site="serve.router.stale_ring", probability=1.0)]
+            ):
+                report = generate_cluster_load(
+                    deployment.host,
+                    deployment.router_port,
+                    "quad",
+                    [("0000", "1111")],
+                    clients=4,
+                    requests_per_client=5,
+                )
+            assert report.errors == 0

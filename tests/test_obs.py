@@ -24,6 +24,7 @@ from repro.obs import (
     format_spans,
     get_metrics,
     get_tracer,
+    merge_snapshots,
 )
 
 
@@ -455,3 +456,96 @@ class TestReporting:
 
     def test_format_spans_empty_hint(self):
         assert "--trace" in format_spans({})
+
+
+class TestMergeSnapshots:
+    """merge_snapshots: the cluster's cross-process aggregation primitive."""
+
+    def test_merged_report_equals_sum_of_per_shard_counters(self):
+        shards = []
+        for amount in (3, 7, 11):
+            shard = MetricsRegistry()
+            shard.counter("serve.requests").inc(amount)
+            shard.counter("serve.eval.rows").inc(amount * 10)
+            shards.append(shard.snapshot())
+        merged = merge_snapshots(shards)
+        assert merged["serve.requests"]["value"] == 3 + 7 + 11
+        assert merged["serve.eval.rows"]["value"] == (3 + 7 + 11) * 10
+
+    def test_histogram_buckets_merge_bucketwise(self):
+        shards = []
+        for values in ((0.5, 1.5), (0.7,), (5.0, 0.1, 1.2)):
+            shard = MetricsRegistry()
+            hist = shard.histogram("serve.eval.batch_wait", (1.0, 2.0, 10.0))
+            for value in values:
+                hist.observe(value)
+            shards.append(shard.snapshot())
+        merged = merge_snapshots(shards)["serve.eval.batch_wait"]
+        # <=1.0: 0.5, 0.7, 0.1 | <=2.0: 1.5, 1.2 | <=10.0: 5.0
+        assert merged["counts"] == [3, 2, 1, 0]
+        assert merged["count"] == 6
+        assert merged["sum"] == pytest.approx(0.5 + 1.5 + 0.7 + 5.0 + 0.1 + 1.2)
+        assert merged["min"] == 0.1 and merged["max"] == 5.0
+
+    def test_gauges_keep_the_maximum(self):
+        shards = []
+        for level in (4.0, 9.0, 2.0):
+            shard = MetricsRegistry()
+            shard.gauge("serve.parked_rows.peak").set(level)
+            shards.append(shard.snapshot())
+        merged = merge_snapshots(shards)
+        assert merged["serve.parked_rows.peak"]["value"] == 9.0
+
+    def test_disjoint_instruments_union(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("only.left").inc(1)
+        right.counter("only.right").inc(2)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["only.left"]["value"] == 1
+        assert merged["only.right"]["value"] == 2
+
+    def test_empty_input_is_empty_report(self):
+        assert merge_snapshots([]) == {}
+
+    def test_merge_is_pure_and_does_not_touch_global_registry(self):
+        met = get_metrics()
+        before = met.snapshot().get("cluster.test.pollution")
+        shard = MetricsRegistry()
+        shard.counter("cluster.test.pollution").inc(99)
+        merge_snapshots([shard.snapshot()])
+        after = get_metrics().snapshot().get("cluster.test.pollution")
+        assert after == before  # both None, or unchanged
+
+    def test_merge_across_real_processes(self):
+        """Snapshots shipped home from genuine worker processes add up."""
+        import multiprocessing
+
+        def worker(amount: int, queue) -> None:
+            registry = MetricsRegistry()
+            registry.counter("serve.requests").inc(amount)
+            registry.histogram("serve.latency", (0.1, 1.0)).observe(
+                amount / 10.0
+            )
+            queue.put(registry.snapshot())
+
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        queue = ctx.Queue()
+        amounts = (2, 3, 4)
+        procs = [
+            ctx.Process(target=worker, args=(amount, queue))
+            for amount in amounts
+        ]
+        for proc in procs:
+            proc.start()
+        snapshots = [queue.get(timeout=30.0) for _ in amounts]
+        for proc in procs:
+            proc.join(10.0)
+        merged = merge_snapshots(snapshots)
+        assert merged["serve.requests"]["value"] == sum(amounts)
+        assert merged["serve.latency"]["count"] == 3
+        # 0.2, 0.3, 0.4 all land in the (0.1, 1.0] bucket.
+        assert merged["serve.latency"]["counts"] == [0, 3, 0]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import socket
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -263,3 +265,95 @@ class TestLifecycle:
         finally:
             first.stop()
             second.stop()
+
+
+class TestStopFlushesInFlight:
+    def test_stop_racing_pending_flush_answers_everything(self):
+        """Replies parked behind a micro-batch must survive ``stop()``.
+
+        Regression test: ``stop()`` used to close writers immediately
+        after flushing the batchers, so replies written by that flush
+        could still be sitting in transport buffers when the event loop
+        exited — in-flight batched requests were silently dropped.  The
+        fix drains every writer between flush and close.
+        """
+        _, model = make_model("flushme")
+        # A batch window that never fills and never times out on its
+        # own: everything sent below stays parked until stop() flushes.
+        handle = start_in_thread(
+            {"flushme": model},
+            ServerConfig(max_batch=1000, max_wait_ms=60_000.0),
+        )
+        pipelined = 8
+        raw = socket.create_connection((handle.host, handle.port), timeout=10.0)
+        try:
+            stream = raw.makefile("rwb")
+            for k in range(pipelined):
+                stream.write(
+                    protocol.encode(
+                        {
+                            "id": k,
+                            "op": "evaluate",
+                            "model": "flushme",
+                            "initial": "0000",
+                            "final": "1111",
+                        }
+                    )
+                )
+            stream.flush()
+            with PowerQueryClient(handle.host, handle.port) as probe:
+                deadline = time.time() + 10.0
+                while time.time() < deadline:
+                    if probe.healthz()["parked_requests"] >= pipelined:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("requests never parked")
+                probe.shutdown()
+            replies = [
+                json.loads(stream.readline().decode("utf-8"))
+                for _ in range(pipelined)
+            ]
+        finally:
+            raw.close()
+        handle.thread.join(10.0)
+        assert sorted(reply["id"] for reply in replies) == list(range(pipelined))
+        assert all(reply["ok"] for reply in replies)
+        assert all(
+            reply["result"]["capacitance_fF"] > 0.0 for reply in replies
+        )
+
+
+class TestReload:
+    def test_reload_models_swaps_set_without_restart(self):
+        _, model = make_model("gen1")
+        handle = start_in_thread(
+            {"gen1": model}, ServerConfig(max_batch=8, max_wait_ms=0.5)
+        )
+        try:
+            with PowerQueryClient(handle.host, handle.port) as client:
+                assert client.evaluate("gen1", "0000", "1111") > 0.0
+                _, replacement = make_model("gen2")
+                done = threading.Event()
+                handle.loop.call_soon_threadsafe(
+                    lambda: (
+                        handle.server.reload_models({"gen2": replacement}),
+                        done.set(),
+                    )
+                )
+                assert done.wait(10.0)
+                # Same connection: the new model serves, the old is gone.
+                assert client.evaluate("gen2", "0000", "1111") > 0.0
+                with pytest.raises(ResponseError, match="unknown_model"):
+                    client.evaluate("gen1", "0000", "1111")
+        finally:
+            handle.stop()
+
+    def test_reload_rejects_empty_set(self):
+        _, model = make_model("lonely")
+        handle = start_in_thread({"lonely": model}, ServerConfig())
+        try:
+            with pytest.raises(ValueError, match="at least one model"):
+                handle.server.reload_models({})
+        finally:
+            handle.stop()
