@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-eval bench-smoke bench-serving fuzz fuzz-smoke \
-	stats-smoke serve-smoke chaos-smoke cluster-smoke
+	stats-smoke serve-smoke chaos-smoke cluster-smoke obs-cluster-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,13 @@ chaos-smoke:
 cluster-smoke:
 	$(PYTHON) scripts/cluster_smoke.py
 	$(PYTHON) -m pytest -q -m chaos tests/test_cluster.py
+
+# Observability smoke: traced 2-shard cluster with a live Prometheus
+# endpoint — merged Chrome timeline must contain the full client ->
+# router -> shard -> kernel span chain for one trace id across three
+# processes, and the /metrics page must expose per-shard counters.
+obs-cluster-smoke:
+	$(PYTHON) scripts/obs_cluster_smoke.py
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

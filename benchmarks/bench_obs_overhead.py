@@ -8,6 +8,19 @@ an instrumented call site pays only a shared no-op context manager and,
 for always-on counters, one attribute add.  This benchmark measures both
 primitives directly and the end-to-end effect on a model build.
 
+It also bounds the *serving* cost of distributed tracing.  Three modes
+are interleaved against one batched server: tracing off, propagation
+only (``enable_tracing(record=False)`` — contexts mint and travel on
+the wire, nothing is recorded locally), and full span recording.  The
+end-to-end req/s rows are reported honestly but NOT asserted: on a
+shared single-CPU CI box, run-to-run spread of the serving loop is
+10-20%, which swamps a 2% effect.  The asserted bound is built from the
+deterministic per-request cost instead: every operation propagation
+adds to a request (client header mint, wire encode/decode of the extra
+field, the server's header fetch — the parse itself is deferred to the
+sampled slow-query log, off the per-request path) is micro-timed, and
+their sum must stay under 2% of the measured batched request budget.
+
 Artifacts: ``benchmarks/results/obs_overhead.txt``.
 
 Run directly::
@@ -23,12 +36,22 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from _common import QUICK, write_result
 
 from repro.circuits import load_circuit
 from repro.models import build_add_model
 from repro.obs.metrics import get_metrics
-from repro.obs.trace import NULL_TRACER, disable_tracing, enable_tracing
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceContext,
+    disable_tracing,
+    enable_tracing,
+    new_trace_context,
+)
+from repro.serve import ServerConfig, generate_load, start_in_thread
+from repro.serve import protocol
 
 ITERATIONS = 200_000 if not QUICK else 50_000
 
@@ -37,6 +60,18 @@ ITERATIONS = 200_000 if not QUICK else 50_000
 #: tens of nanoseconds.
 NULL_SPAN_BUDGET_NS = 2_000
 COUNTER_BUDGET_NS = 1_000
+
+#: The serving bound: context propagation may add at most 2% to the
+#: per-request budget of the batched server (i.e. <2% off batched
+#: req/s).  Asserted on the deterministic component sum, not on the
+#: noisy end-to-end rows — see the module docstring.
+PROPAGATION_SHARE_BUDGET = 0.02
+
+SERVE_MACRO = "parity"
+SERVE_CLIENTS = 32 if not QUICK else 8
+SERVE_REQUESTS_PER_CLIENT = 40 if not QUICK else 10
+SERVE_ROUNDS = 6 if not QUICK else 2
+MICRO_ITERATIONS = 100_000 if not QUICK else 20_000
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -84,17 +119,188 @@ def time_build(tracing: bool) -> float:
         disable_tracing()
 
 
-def run_suite() -> dict:
+def time_propagation_components() -> dict:
+    """ns per request for each operation context propagation adds.
+
+    These are the *deterministic* costs: header mint on the client, the
+    bigger wire line on both ends, and the server's header fetch.  The
+    server does not parse the header per request in propagation-only
+    mode (the parse is deferred to the sampled slow-query log), so
+    ``server_parse_ns`` is reported for reference but excluded from the
+    asserted sum.
+    """
+    root = new_trace_context()
+    payload = {
+        "id": 7,
+        "op": "evaluate",
+        "model": SERVE_MACRO,
+        "initial": [0] * 16,
+        "final": [1] * 16,
+    }
+    n = MICRO_ITERATIONS
+
+    # Client side: stamp a fresh child hop header onto the request.
+    # Inline loops (no per-call lambda) so the measured cost matches the
+    # production call shape.
+    def loop_mint():
+        for _ in range(n):
+            payload["traceparent"] = root.child_traceparent()
+
+    mint_ns = _best_of(3, loop_mint) / n * 1e9
+
+    # Server side: fetching the (unparsed) header off the decoded
+    # request, and — for reference — the deferred parse itself.
+    header = root.child_traceparent()
+    traced = dict(payload, traceparent=header)
+
+    def loop_get():
+        for _ in range(n):
+            traced.get("traceparent")
+
+    def loop_parse():
+        for _ in range(n):
+            TraceContext.from_traceparent(header)
+
+    get_ns = _best_of(3, loop_get) / n * 1e9
+    parse_ns = _best_of(3, loop_parse) / n * 1e9
+
+    # Wire: the traceparent field makes every request line longer, paid
+    # once in the client's encode and once in the server's decode.  The
+    # deltas are tens-to-hundreds of ns — smaller than loop-to-loop
+    # jitter — so each repeat times bare/traced/traced/bare (ABBA, which
+    # cancels linear drift) and the delta is the median across repeats,
+    # clamped at zero.
+    bare = dict(payload)
+    bare.pop("traceparent", None)
+    bare_line = protocol.encode(bare)
+    traced_line = protocol.encode(traced)
+
+    def paired_delta(fn_bare, fn_traced) -> float:
+        deltas = []
+        for _ in range(7):
+            marks = [time.perf_counter()]
+            for fn in (fn_bare, fn_traced, fn_traced, fn_bare):
+                for _ in range(n):
+                    fn()
+                marks.append(time.perf_counter())
+            a = (marks[1] - marks[0]) + (marks[4] - marks[3])
+            b = (marks[2] - marks[1]) + (marks[3] - marks[2])
+            deltas.append((b - a) / (2 * n) * 1e9)
+        deltas.sort()
+        return max(0.0, deltas[len(deltas) // 2])
+
+    def encode_bare():
+        protocol.encode(bare)
+
+    def encode_traced():
+        protocol.encode(traced)
+
+    def decode_bare():
+        protocol.decode_request(bare_line)
+
+    def decode_traced():
+        protocol.decode_request(traced_line)
+
+    encode_delta_ns = paired_delta(encode_bare, encode_traced)
+    decode_delta_ns = paired_delta(decode_bare, decode_traced)
     return {
+        "client_mint_ns": mint_ns,
+        "server_get_ns": get_ns,
+        "server_parse_ns": parse_ns,
+        "encode_delta_ns": encode_delta_ns,
+        "decode_delta_ns": decode_delta_ns,
+        "wire_delta_bytes": len(traced_line) - len(bare_line),
+        "propagation_ns": (
+            mint_ns + get_ns + encode_delta_ns + decode_delta_ns
+        ),
+    }
+
+
+def measure_serving_overhead() -> dict:
+    """Best-of req/s for off / propagation-only / full-recording modes.
+
+    The three modes are interleaved round-robin against one long-lived
+    batched server so that drift (CPU contention, allocator state) hits
+    every mode equally; each mode's row is its best round.
+    """
+    netlist = load_circuit(SERVE_MACRO)
+    model = build_add_model(netlist)
+    rng = np.random.default_rng(23)
+    transitions = [
+        (
+            rng.random(netlist.num_inputs) < 0.5,
+            rng.random(netlist.num_inputs) < 0.5,
+        )
+        for _ in range(32)
+    ]
+    config = ServerConfig(max_batch=64, max_wait_ms=0.5)
+    handle = start_in_thread({SERVE_MACRO: model}, config)
+    rounds = {"off": [], "prop": [], "full": []}
+    try:
+        generate_load(
+            handle.host, handle.port, SERVE_MACRO, transitions,
+            clients=8, requests_per_client=5,
+        )
+        for _ in range(SERVE_ROUNDS):
+            for mode in ("off", "prop", "full"):
+                if mode == "prop":
+                    enable_tracing(record=False)
+                elif mode == "full":
+                    enable_tracing()
+                try:
+                    report = generate_load(
+                        handle.host, handle.port, SERVE_MACRO, transitions,
+                        clients=SERVE_CLIENTS,
+                        requests_per_client=SERVE_REQUESTS_PER_CLIENT,
+                    )
+                finally:
+                    if mode != "off":
+                        disable_tracing()
+                if report.errors:
+                    raise AssertionError(
+                        f"{mode} wave had {report.errors} errors"
+                    )
+                rounds[mode].append(
+                    report.to_dict()["requests_per_sec"]
+                )
+    finally:
+        handle.stop()
+    medians = {
+        mode: sorted(values)[len(values) // 2]
+        for mode, values in rounds.items()
+    }
+    return {
+        "serve_off_rps": max(rounds["off"]),
+        "serve_prop_rps": max(rounds["prop"]),
+        "serve_full_rps": max(rounds["full"]),
+        # The budget denominator: a *typical* batched request's wall
+        # share, not the single fastest round (best-of spikes would
+        # make the asserted ratio jumpy).
+        "serve_off_rps_median": medians["off"],
+    }
+
+
+def run_suite() -> dict:
+    result = {
         "null_span_ns": time_null_span(),
         "counter_inc_ns": time_counter_inc(),
         "build_off_s": time_build(tracing=False),
         "build_on_s": time_build(tracing=True),
     }
+    result.update(time_propagation_components())
+    result.update(measure_serving_overhead())
+    result["propagation_share"] = result["propagation_ns"] / (
+        1e9 / result["serve_off_rps_median"]
+    )
+    return result
 
 
 def format_table(result: dict) -> str:
     on, off = result["build_on_s"], result["build_off_s"]
+    off_rps = result["serve_off_rps"]
+    prop_rps = result["serve_prop_rps"]
+    full_rps = result["serve_full_rps"]
+    share = result["propagation_share"]
     return "\n".join(
         [
             f"no-op span           {result['null_span_ns']:>10.0f} ns/call",
@@ -102,6 +308,22 @@ def format_table(result: dict) -> str:
             f"build, tracing off   {off * 1e3:>10.1f} ms",
             f"build, tracing on    {on * 1e3:>10.1f} ms "
             f"({(on / off - 1.0) * 100.0:+.1f}%)",
+            f"serve, tracing off   {off_rps:>10.0f} req/s",
+            f"serve, propagation   {prop_rps:>10.0f} req/s "
+            f"({(1.0 - prop_rps / off_rps) * 100.0:+.1f}% vs off, "
+            f"unasserted)",
+            f"serve, full spans    {full_rps:>10.0f} req/s "
+            f"({(1.0 - full_rps / off_rps) * 100.0:+.1f}% vs off, "
+            f"unasserted)",
+            f"propagation/request  {result['propagation_ns']:>10.0f} ns "
+            f"= {share * 100.0:.2f}% of request budget "
+            f"(bound {PROPAGATION_SHARE_BUDGET * 100.0:.0f}%)",
+            f"  mint {result['client_mint_ns']:.0f} | "
+            f"get {result['server_get_ns']:.0f} | "
+            f"encode +{result['encode_delta_ns']:.0f} | "
+            f"decode +{result['decode_delta_ns']:.0f} ns; "
+            f"+{result['wire_delta_bytes']} wire bytes; "
+            f"deferred parse {result['server_parse_ns']:.0f} ns",
         ]
     )
 
@@ -119,6 +341,14 @@ def test_obs_overhead():
     write_result("obs_overhead", format_table(result))
     assert result["null_span_ns"] < NULL_SPAN_BUDGET_NS
     assert result["counter_inc_ns"] < COUNTER_BUDGET_NS
+    # Context propagation adds <2% to batched req/s: deterministic
+    # per-request propagation cost vs the measured request budget.
+    assert result["propagation_share"] < PROPAGATION_SHARE_BUDGET, (
+        f"propagation costs {result['propagation_ns']:.0f} ns/request, "
+        f"{result['propagation_share'] * 100.0:.2f}% of the batched "
+        f"request budget (bound "
+        f"{PROPAGATION_SHARE_BUDGET * 100.0:.0f}%)"
+    )
 
 
 if __name__ == "__main__":

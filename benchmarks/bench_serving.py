@@ -49,6 +49,7 @@ from _common import QUICK, write_result
 
 from repro.circuits import load_circuit
 from repro.models import build_add_model
+from repro.obs.metrics import get_metrics
 from repro.serve import (
     Cluster,
     ClusterConfig,
@@ -73,10 +74,37 @@ BATCHED = ServerConfig(max_batch=64, max_wait_ms=0.5)
 UNBATCHED = ServerConfig(batching=False)
 
 
+def latency_anatomy_ms(snapshot):
+    """p50/p95/p99 (ms) of each request segment from a metrics snapshot.
+
+    The server decomposes every request's residence time into queue
+    wait, batch wait, kernel, and serialize segments
+    (``serve.latency.*_seconds`` histograms); this is the per-request
+    latency anatomy the observability layer exports, folded into the
+    bench artifact so regressions in *where the time goes* are visible,
+    not just regressions in the total.
+    """
+    anatomy = {}
+    for segment in ("queue_wait", "batch_wait", "kernel", "serialize"):
+        state = snapshot.get(f"serve.latency.{segment}_seconds")
+        if not state or not state.get("count"):
+            continue
+        anatomy[segment] = {
+            quantile: round(state[quantile] * 1e3, 4)
+            for quantile in ("p50", "p95", "p99")
+            if state.get(quantile) is not None
+        }
+    return anatomy
+
+
 def measure_serving(model, transitions):
     """req/s + latency for the batched and unbatched server, same load."""
     out = {}
     for label, config in (("batched", BATCHED), ("unbatched", UNBATCHED)):
+        # The server records its latency anatomy in the process-global
+        # registry; zero it so each label's histograms cover exactly its
+        # own measured wave (warmup included — same config, same shape).
+        get_metrics().reset()
         handle = start_in_thread({MACRO: model}, config)
         try:
             # One warmup wave, then the measured wave.
@@ -88,6 +116,7 @@ def measure_serving(model, transitions):
                 handle.host, handle.port, MACRO, transitions,
                 clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
             )
+            snapshot = get_metrics().snapshot()
         finally:
             handle.stop()
         if report.errors:
@@ -96,6 +125,7 @@ def measure_serving(model, transitions):
                 f"{report.requests} requests"
             )
         out[label] = report.to_dict()
+        out[label]["latency_anatomy_ms"] = latency_anatomy_ms(snapshot)
     out["speedup"] = round(
         out["batched"]["requests_per_sec"]
         / out["unbatched"]["requests_per_sec"],
@@ -173,6 +203,14 @@ def format_table(serving, cluster, store) -> str:
             f"{label:<12}{row['requests_per_sec']:>10.0f}"
             f"{row['latency_p50_ms']:>9.2f}{row['latency_p99_ms']:>9.2f}"
         )
+        anatomy = row.get("latency_anatomy_ms") or {}
+        if anatomy:
+            segments = "  ".join(
+                f"{segment} {values.get('p50', 0.0):.3f}/"
+                f"{values.get('p99', 0.0):.3f}"
+                for segment, values in anatomy.items()
+            )
+            lines.append(f"{'':<12}anatomy p50/p99 ms: {segments}")
     lines.append(f"micro-batching speedup: {serving['speedup']:.2f}x")
     lines.append("")
     lines.append(

@@ -1,0 +1,201 @@
+"""End-to-end smoke of cluster observability, for ``make obs-cluster-smoke``.
+
+Starts a 2-shard cluster with tracing enabled and a Prometheus endpoint
+on an ephemeral port, drives traced load through it, and requires that:
+
+- the load report carries a trace id and zero errors;
+- the Prometheus page exposes per-shard ``serve_requests_total`` series,
+  ``up`` gauges for both shards, and the router's unlabeled
+  ``serve_cluster_*`` series;
+- after shutdown, every surviving process exported a Chrome trace file,
+  and the merged timeline (``merge_chrome_traces``) for the load run's
+  trace id contains the full client -> router -> shard -> kernel span
+  chain across at least three processes, with rebased, sorted,
+  non-negative timestamps;
+- the ``repro trace-merge`` CLI produces the same merged artifact.
+
+Exits non-zero with a one-line reason on the first violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.netlist import NetlistBuilder
+from repro.models import build_add_model
+from repro.obs import disable_tracing, enable_tracing, merge_chrome_traces
+from repro.serve import (
+    Cluster,
+    ClusterClient,
+    ClusterConfig,
+    ServerConfig,
+    generate_cluster_load,
+)
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 15
+
+#: The span chain the merged timeline must contain for the load trace.
+REQUIRED_SPANS = {
+    "serve.client.request",  # client attempt (parent process)
+    "router.request",  # control-plane hop (parent process)
+    "serve.request",  # shard ingress (worker process)
+    "serve.eval",  # kernel batch evaluation (worker process)
+}
+
+
+def fail(message: str) -> None:
+    print(f"obs_cluster_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def make_model(name: str = "quad"):
+    builder = NetlistBuilder(name)
+    a, b, c, d = (builder.input(ch) for ch in "abcd")
+    builder.netlist.add_output(
+        builder.or2(builder.and2(a, b), builder.xor2(c, d))
+    )
+    return build_add_model(builder.build(), max_nodes=200)
+
+
+def scrape(port: int) -> str:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=5.0
+    ) as response:
+        if response.status != 200:
+            fail(f"/metrics answered {response.status}")
+        content_type = response.headers.get("Content-Type", "")
+        if not content_type.startswith("text/plain"):
+            fail(f"/metrics Content-Type is {content_type!r}")
+        return response.read().decode("utf-8")
+
+
+def main() -> None:
+    trace_dir = Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
+    transitions = [("0000", "1111"), ("0011", "1100"), ("0101", "0110")]
+    enable_tracing()
+    cluster = Cluster(
+        {"quad": make_model()},
+        ClusterConfig(
+            workers=2,
+            replication=2,
+            monitor_interval_s=0.02,
+            metrics_push_interval_s=0.1,
+            prometheus_port=0,
+            server=ServerConfig(
+                max_batch=16, max_wait_ms=0.5, trace_dir=str(trace_dir)
+            ),
+        ),
+    ).start()
+    try:
+        if not cluster.prometheus_port:
+            fail("prometheus endpoint did not start")
+
+        report = generate_cluster_load(
+            cluster.host,
+            cluster.router_port,
+            "quad",
+            transitions,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+        )
+        if report.errors:
+            fail(f"traced load saw {report.errors} errors")
+        if not report.trace_id:
+            fail("load report carries no trace id despite tracing enabled")
+
+        # cluster_stats forces a fresh push from every shard, so the next
+        # scrape reflects all the load just generated.
+        with ClusterClient(cluster.host, cluster.router_port) as client:
+            stats = client.cluster_stats()
+        page = scrape(cluster.prometheus_port)
+        for needle in (
+            "# TYPE serve_requests_total counter",
+            'serve_requests_total{shard="s0"}',
+            'serve_requests_total{shard="s1"}',
+            'up{shard="s0"} 1',
+            'up{shard="s1"} 1',
+            "serve_cluster_shards 2",
+        ):
+            if needle not in page:
+                fail(f"prometheus page is missing {needle!r}")
+        exported = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in page.splitlines()
+            if line.startswith("serve_requests_total{")
+        )
+        merged = stats["metrics"]["serve.requests"]["value"]
+        if exported < merged:
+            fail(
+                f"prometheus serve_requests_total {exported} lags "
+                f"cluster_stats aggregate {merged}"
+            )
+    finally:
+        cluster.stop()
+        disable_tracing()
+
+    # Graceful stop: 2 workers + the router/client parent each dumped a
+    # trace file.
+    files = sorted(trace_dir.glob("trace-*.json"))
+    if len(files) != 3:
+        fail(f"expected 3 trace files after shutdown, found {len(files)}")
+    payloads = [json.loads(path.read_text()) for path in files]
+    timeline = merge_chrome_traces(payloads, trace_id=report.trace_id)
+    events = timeline["traceEvents"]
+    if not events:
+        fail(f"merged timeline for trace {report.trace_id} is empty")
+    names = {event["name"] for event in events}
+    missing = REQUIRED_SPANS - names
+    if missing:
+        fail(f"merged timeline is missing spans {sorted(missing)}")
+    pids = {event["pid"] for event in events}
+    if len(pids) < 3:
+        fail(f"merged timeline spans only {len(pids)} processes")
+    timestamps = [event["ts"] for event in events]
+    if min(timestamps) < 0.0:
+        fail("merged timeline has negative (pre-origin) timestamps")
+    if timestamps != sorted(timestamps):
+        fail("merged timeline events are not time-ordered")
+
+    # The CLI must produce the same artifact from the same inputs.
+    merged_path = trace_dir / "merged_trace.json"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "trace-merge",
+            str(trace_dir),
+            "--trace-id",
+            report.trace_id,
+            "-o",
+            str(merged_path),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        fail(f"repro trace-merge exited {result.returncode}: {result.stderr}")
+    cli_timeline = json.loads(merged_path.read_text())
+    if cli_timeline["traceEvents"] != events:
+        fail("CLI trace-merge output differs from in-process merge")
+
+    print(
+        "obs_cluster_smoke: OK "
+        f"(trace {report.trace_id}: {len(events)} events across "
+        f"{len(pids)} processes; prometheus exported "
+        f"{exported} requests)"
+    )
+
+
+if __name__ == "__main__":
+    main()

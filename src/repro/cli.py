@@ -21,16 +21,26 @@ Subcommands
     (random netlists, every implementation pair cross-checked), shrinking
     any failure to a minimal reproducer; ``--corpus`` replays a saved
     corpus instead of generating.
-``stats <circuit|file.blif>``
+``stats <circuit|file.blif>`` / ``stats --input <metrics.json>``
     Exercise the build / evaluate / golden-simulation pipeline once and
-    print the telemetry report (metric instruments + span profile).
+    print the telemetry report (metric instruments + span profile) — or
+    render a previously saved metrics snapshot (``--metrics FILE`` or
+    ``cluster-stats --output FILE``) without running anything.
 ``serve <circuit> [<circuit> ...]``
     Start the power-query service: build (or load from a model store)
     one model per circuit and answer JSON-lines ``evaluate`` queries over
     TCP, micro-batching concurrent requests into single kernel calls.
 ``query <model> [<2n-bits> ...]``
     Talk to a running server: evaluate transitions, or ``--ping`` /
-    ``--models`` / ``--server-stats`` / ``--shutdown``.
+    ``--models`` / ``--server-stats`` / ``--slowlog`` / ``--shutdown``.
+``trace-merge <trace.json|dir> [...] -o merged.json``
+    Merge per-process Chrome-trace exports (written by ``--trace-dir``
+    deployments) onto one wall-clock-aligned timeline, optionally
+    filtered to a single distributed ``trace_id``.
+``top``
+    Live terminal dashboard of a running cluster: req/s, shed rate,
+    per-shard p99 latency and batch occupancy, refreshed from the
+    router's pushed metrics snapshots.
 ``store ls|gc|prefetch``
     Inspect and maintain a content-addressed model store directory.
 ``list``
@@ -299,9 +309,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.obs import enable_tracing, disable_tracing, get_metrics, get_tracer
-    from repro.obs.report import format_report
+    from repro.obs.report import format_metrics, format_report
     from repro.sim import pair_switching_capacitances, uniform_pairs
 
+    if args.input is not None:
+        import json
+
+        with open(args.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "repro-metrics":
+            print(
+                f"error: {args.input} is not a repro-metrics snapshot "
+                f"(format={payload.get('format')!r})",
+                file=sys.stderr,
+            )
+            return 2
+        title = f"saved metrics snapshot: {args.input}"
+        print(title)
+        print("=" * len(title))
+        print(format_metrics(payload.get("metrics", {})))
+        return 0
+    if args.circuit is None:
+        print(
+            "error: provide a circuit, or --input METRICS.json to render "
+            "a saved snapshot",
+            file=sys.stderr,
+        )
+        return 2
     netlist = _load(args.circuit)
     registry = get_metrics()
     registry.detailed = True
@@ -371,7 +405,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_parked_rows=args.max_parked_rows,
         kernel=args.kernel,
         fused=args.fused,
+        slowlog_threshold_ms=args.slowlog_threshold_ms,
+        slowlog_rate=args.slowlog_rate,
+        slowlog_capacity=args.slowlog_capacity,
+        trace_dir=args.trace_dir,
     )
+    if args.trace_dir is not None:
+        # Collect spans in this process too (single server: the request
+        # path; cluster: the router) so a trace file is written at stop.
+        from repro.obs import enable_tracing
+
+        enable_tracing()
 
     if args.workers > 1:
         from repro.serve import Cluster, ClusterConfig
@@ -384,6 +428,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 replication=args.replication,
                 restart_failed=args.restart_failed,
+                metrics_push_interval_s=args.push_interval,
+                prometheus_port=args.prometheus_port,
                 server=server_config,
             ),
         ).start()
@@ -391,16 +437,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{shard}:{cluster.shard_port(shard)}"
             for shard in cluster.shard_ids
         )
+        prometheus = (
+            f", prometheus on :{cluster.prometheus_port}"
+            if cluster.prometheus_port is not None
+            else ""
+        )
         print(
             f"cluster of {args.workers} shards serving {len(models)} "
             f"model(s) [{', '.join(sorted(names))}] — router on "
             f"{cluster.host}:{cluster.router_port}, shards [{shards}], "
-            f"replication={args.replication}",
+            f"replication={args.replication}{prometheus}",
             flush=True,
         )
         try:
             cluster.wait()
         except KeyboardInterrupt:
+            pass
+        finally:
+            # Also runs after a protocol-initiated shutdown op: stop()
+            # is idempotent, and it is what writes the router's trace
+            # file (and the workers' files on ctrl-C).
             cluster.stop()
         return 0
 
@@ -448,6 +504,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 0
         if args.server_stats:
             print(json.dumps(client.stats(), indent=1, sort_keys=True))
+            return 0
+        if args.slowlog:
+            report = client.slowlog()
+            entries = report.get("entries", [])
+            print(
+                f"slow-query log: threshold={report.get('threshold_ms')}ms "
+                f"rate={report.get('rate')} "
+                f"capacity={report.get('capacity')} "
+                f"sampled_out={report.get('sampled_out')}"
+            )
+            for entry in entries:
+                print(json.dumps(entry, sort_keys=True))
+            if not entries:
+                print("(empty)")
             return 0
         if args.shutdown:
             client.shutdown()
@@ -499,6 +569,26 @@ def _cmd_cluster_stats(args: argparse.Namespace) -> int:
 
     client = ClusterClient(args.host, args.port, timeout=args.timeout)
     try:
+        if args.output is not None:
+            stats = client.cluster_stats()
+            payload = {
+                "format": "repro-metrics",
+                "version": 1,
+                "source": f"cluster {args.host}:{args.port}",
+                "metrics": stats.get("metrics", {}),
+                "router_metrics": stats.get("router_metrics", {}),
+                "shards": stats.get("shards", {}),
+            }
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, default=str)
+                handle.write("\n")
+            print(
+                f"wrote {args.output} "
+                f"({len(payload['metrics'])} merged instruments, "
+                f"{len(payload['shards'])} shards) — render it with "
+                f"'repro-power stats --input {args.output}'"
+            )
+            return 0
         if args.json:
             print(json.dumps(client.cluster_stats(), indent=1, sort_keys=True))
             return 0
@@ -512,9 +602,17 @@ def _cmd_cluster_stats(args: argparse.Namespace) -> int:
             if not info.get("reachable"):
                 print(f"  {shard:4s} port={info['port']:5d}  UNREACHABLE")
                 continue
+            p99 = info.get("latency_p99_ms")
             print(
                 f"  {shard:4s} port={info['port']:5d}  "
                 f"requests={info['requests']:8.0f}  "
+                f"p99={p99:7.2f}ms  "
+                f"up={info['uptime_seconds']:7.1f}s  "
+                f"models={len(info['models'])}"
+                if p99 is not None
+                else f"  {shard:4s} port={info['port']:5d}  "
+                f"requests={info['requests']:8.0f}  "
+                f"p99=     --  "
                 f"up={info['uptime_seconds']:7.1f}s  "
                 f"models={len(info['models'])}"
             )
@@ -526,6 +624,173 @@ def _cmd_cluster_stats(args: argparse.Namespace) -> int:
         for name, state in sorted(stats["router_metrics"].items()):
             if state["value"]:
                 print(f"  {name:40s} {state['value']:12.0f}")
+        return 0
+    except ResponseError as exc:
+        print(f"error: router replied {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import merge_chrome_traces
+
+    paths: List[Path] = []
+    for item in args.inputs:
+        path = Path(item)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("trace-*.json")))
+        elif path.exists():
+            paths.append(path)
+        else:
+            print(f"error: no such trace file {item}", file=sys.stderr)
+            return 2
+    if not paths:
+        print("error: no trace files found", file=sys.stderr)
+        return 2
+    payloads = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payloads.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    merged = merge_chrome_traces(payloads, trace_id=args.trace_id)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=1, default=str)
+        handle.write("\n")
+    events = merged["traceEvents"]
+    pids = merged["metadata"]["pids"]
+    trace_ids = {
+        (event.get("args") or {}).get("trace_id")
+        for event in events
+        if (event.get("args") or {}).get("trace_id")
+    }
+    scope = (
+        f"trace {args.trace_id}" if args.trace_id
+        else f"{len(trace_ids)} distinct trace id(s)"
+    )
+    print(
+        f"merged {len(paths)} file(s) -> {args.output}: "
+        f"{len(events)} events from {len(pids)} process(es), {scope}"
+    )
+    return 0
+
+
+def format_top(
+    stats: dict,
+    health: dict,
+    previous_stats: Optional[dict] = None,
+    dt: Optional[float] = None,
+) -> str:
+    """One frame of the ``repro-power top`` dashboard (pure, testable).
+
+    Rates (req/s, shed/s) need a ``previous_stats`` report and the
+    ``dt`` seconds between the two samples; the first frame shows
+    totals only.
+    """
+    merged = stats.get("metrics", {})
+
+    def counter(snapshot: dict, name: str) -> float:
+        return snapshot.get(name, {}).get("value", 0)
+
+    def rate(name: str) -> Optional[float]:
+        if previous_stats is None or not dt or dt <= 0:
+            return None
+        delta = counter(merged, name) - counter(
+            previous_stats.get("metrics", {}), name
+        )
+        return max(0.0, delta / dt)
+
+    total = counter(merged, "serve.requests")
+    shed = counter(merged, "serve.shed.requests") + counter(
+        merged, "serve.shed.connections"
+    )
+    rps = rate("serve.requests")
+    shed_rate = rate("serve.shed.requests")
+    batch = merged.get("serve.batch.rows", {})
+    occupancy = (
+        batch["sum"] / batch["count"] if batch.get("count") else None
+    )
+    lines = [
+        f"cluster status={health.get('status', '?')} "
+        f"ring=v{stats.get('ring_version', '?')} "
+        f"shards={len(stats.get('shards', {}))} routed",
+        "requests={:.0f}  req/s={}  shed={:.0f}  shed/s={}  "
+        "batch-occupancy={}".format(
+            total,
+            f"{rps:.1f}" if rps is not None else "--",
+            shed,
+            f"{shed_rate:.1f}" if shed_rate is not None else "--",
+            f"{occupancy:.1f} rows" if occupancy is not None else "--",
+        ),
+        "",
+        f"{'shard':6s} {'state':8s} {'port':>6s} {'requests':>10s} "
+        f"{'p99 ms':>8s} {'uptime s':>9s}",
+    ]
+    shard_health = health.get("shards", {})
+    for shard_id, info in sorted(stats.get("shards", {}).items()):
+        port = info.get("port", 0)
+        if not info.get("reachable"):
+            alive = shard_health.get(shard_id, {}).get("alive")
+            state = "no-push" if alive else "DOWN"
+            lines.append(
+                f"{shard_id:6s} {state:8s} {port:>6d} "
+                f"{'-':>10s} {'-':>8s} {'-':>9s}"
+            )
+            continue
+        p99 = info.get("latency_p99_ms")
+        lines.append(
+            f"{shard_id:6s} {'up':8s} {port:>6d} "
+            f"{info.get('requests', 0):>10.0f} "
+            + (f"{p99:>8.2f}" if p99 is not None else f"{'-':>8s}")
+            + f" {info.get('uptime_seconds', 0.0):>9.1f}"
+        )
+    for shard_id, info in sorted(shard_health.items()):
+        # Shards the router knows about but no longer routes (killed,
+        # drained): keep them visible so a failure is impossible to miss.
+        if shard_id in stats.get("shards", {}):
+            continue
+        state = "unrouted" if info.get("alive") else "DOWN"
+        lines.append(
+            f"{shard_id:6s} {state:8s} {info.get('port', 0):>6d} "
+            f"{'-':>10s} {'-':>8s} {'-':>9s}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.serve import ClusterClient, ResponseError
+
+    client = ClusterClient(args.host, args.port, timeout=args.timeout)
+    previous: Optional[tuple] = None
+    frames = 0
+    try:
+        while True:
+            stats = client.cluster_stats()
+            health = client.healthz()
+            now = _time.monotonic()
+            if previous is None:
+                frame = format_top(stats, health)
+            else:
+                frame = format_top(
+                    stats, health, previous[1], now - previous[0]
+                )
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            previous = (now, stats)
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
         return 0
     except ResponseError as exc:
         print(f"error: router replied {exc}", file=sys.stderr)
@@ -731,7 +996,17 @@ def build_parser() -> argparse.ArgumentParser:
     stats = add_command(
         "stats", help="run the pipeline once and print its telemetry"
     )
-    stats.add_argument("circuit", help="benchmark name or BLIF path")
+    stats.add_argument(
+        "circuit", nargs="?", default=None,
+        help="benchmark name or BLIF path",
+    )
+    stats.add_argument(
+        "--input",
+        default=None,
+        metavar="FILE",
+        help="render a saved metrics snapshot instead of running "
+        "(from --metrics or cluster-stats --output)",
+    )
     stats.add_argument("--max-nodes", type=int, default=1000)
     stats.add_argument(
         "--strategy", choices=("avg", "max", "min"), default="avg"
@@ -829,6 +1104,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="respawn a replacement shard when a worker dies (cluster mode)",
     )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-process Chrome-trace exports here at shutdown "
+        "(assemble with trace-merge)",
+    )
+    serve.add_argument(
+        "--slowlog-threshold-ms",
+        type=float,
+        default=100.0,
+        help="record requests slower than this in the slow-query log",
+    )
+    serve.add_argument(
+        "--slowlog-rate",
+        type=float,
+        default=1.0,
+        help="sampling probability for slow-query log entries (0..1)",
+    )
+    serve.add_argument(
+        "--slowlog-capacity",
+        type=int,
+        default=128,
+        help="slow-query log ring-buffer size",
+    )
+    serve.add_argument(
+        "--prometheus-port",
+        type=int,
+        default=None,
+        help="cluster mode: serve Prometheus text metrics on this port "
+        "(0 picks an ephemeral one)",
+    )
+    serve.add_argument(
+        "--push-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="cluster mode: how often shards push metrics snapshots "
+        "to the router",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     query = add_command("query", help="query a running power server")
@@ -851,6 +1166,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the server's telemetry snapshot as JSON",
     )
     query.add_argument(
+        "--slowlog",
+        action="store_true",
+        help="print the server's sampled slow-query log",
+    )
+    query.add_argument(
         "--shutdown", action="store_true", help="stop the server gracefully"
     )
     query.set_defaults(func=_cmd_query)
@@ -869,7 +1189,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full aggregated report as JSON",
     )
+    cluster_stats.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the merged metrics as a repro-metrics snapshot "
+        "(render later with 'stats --input')",
+    )
     cluster_stats.set_defaults(func=_cmd_cluster_stats)
+
+    trace_merge = add_command(
+        "trace-merge",
+        help="merge per-process Chrome traces onto one timeline",
+    )
+    trace_merge.add_argument(
+        "inputs",
+        nargs="+",
+        help="trace-*.json files and/or directories holding them",
+    )
+    trace_merge.add_argument(
+        "-o",
+        "--output",
+        default="merged_trace.json",
+        help="merged Chrome-trace output path",
+    )
+    trace_merge.add_argument(
+        "--trace-id",
+        default=None,
+        help="keep only events of this distributed trace id",
+    )
+    trace_merge.set_defaults(func=_cmd_trace_merge)
+
+    top = add_command(
+        "top", help="live dashboard of a running serving cluster"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--port", type=int, default=7090, help="the cluster router port"
+    )
+    top.add_argument("--timeout", type=float, default=30.0)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after this many frames (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for logs/CI)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     store = add_command(
         "store", help="inspect / maintain a model store directory"

@@ -64,7 +64,7 @@ _EVAL_SECONDS = _MET.histogram(
     "compiled.eval.seconds",
     (1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 10.0),
 )
-_EVAL_ROWS_PER_SEC = _MET.gauge("compiled.eval.rows_per_sec")
+_EVAL_ROWS_PER_SEC = _MET.gauge("compiled.eval.rows_per_sec", kind="last")
 
 #: Abandon the levelized plan when its slot table would exceed this many
 #: entries (a pathological wide-cut diagram); the pointer kernel still

@@ -24,11 +24,14 @@ from repro.obs.metrics import (
     ERROR_BUCKETS,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     SIZE_BUCKETS,
     TIME_BUCKETS,
     enable_detailed_metrics,
     get_metrics,
+    histogram_quantile,
+    log_buckets,
     merge_snapshots,
 )
 from repro.obs.report import (
@@ -41,11 +44,16 @@ from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
+    current_trace_context,
     disable_tracing,
     enable_tracing,
     get_tracer,
+    merge_chrome_traces,
+    new_trace_context,
     set_tracer,
+    use_trace_context,
 )
 
 __all__ = [
@@ -58,6 +66,12 @@ __all__ = [
     "set_tracer",
     "enable_tracing",
     "disable_tracing",
+    # distributed trace context
+    "TraceContext",
+    "new_trace_context",
+    "current_trace_context",
+    "use_trace_context",
+    "merge_chrome_traces",
     # metrics
     "MetricsRegistry",
     "Counter",
@@ -66,9 +80,12 @@ __all__ = [
     "get_metrics",
     "enable_detailed_metrics",
     "merge_snapshots",
+    "histogram_quantile",
+    "log_buckets",
     "TIME_BUCKETS",
     "SIZE_BUCKETS",
     "ERROR_BUCKETS",
+    "LATENCY_BUCKETS",
     # reporting
     "BuildTelemetry",
     "format_metrics",

@@ -17,9 +17,10 @@ Design constraints, in order:
    zeroes values *in place* — so hot modules cache them at import time
    and never pay a name lookup per event.
 2. **No dependencies.**  Standard library only.
-3. **Mergeable.**  Counters and histogram buckets add, gauges keep their
-   maximum (every gauge in this codebase is a peak/level reading), so
-   combining per-process snapshots is associative and loss-free.
+3. **Mergeable.**  Counters and histogram buckets add; gauges declare a
+   merge ``kind`` — ``"max"`` for peak readings (associative, loss-free)
+   and ``"last"`` for levels/rates where the freshest write must win —
+   so combining per-process snapshots never lies.
 
 Expensive *derived* metrics (collapse error, memory gauges — anything
 that needs an extra diagram traversal) are guarded by the registry's
@@ -54,6 +55,67 @@ ERROR_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def log_buckets(
+    start: float, stop: float, factor: float = 2.0
+) -> Tuple[float, ...]:
+    """Geometric bucket bounds from ``start`` up to (at least) ``stop``.
+
+    Log-spaced buckets give quantile estimates a constant *relative*
+    error bound (each bucket is ``factor``x its neighbour), which is the
+    right shape for latencies spanning microseconds to seconds.
+    """
+    if start <= 0 or stop <= start or factor <= 1.0:
+        raise ObsError(
+            "log_buckets needs 0 < start < stop and factor > 1"
+        )
+    bounds = [float(start)]
+    while bounds[-1] < stop:
+        bounds.append(bounds[-1] * factor)
+    return tuple(bounds)
+
+
+#: Log-bucketed latency bounds in seconds: 50µs … ~13s at 2x steps,
+#: sized for the per-request anatomy histograms on the serving path.
+LATENCY_BUCKETS: Tuple[float, ...] = log_buckets(5e-5, 10.0)
+
+
+def histogram_quantile(state: Dict[str, object], q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile from a histogram snapshot dict.
+
+    Finds the bucket holding the target rank and linearly interpolates
+    within it, clamping to the recorded ``[min, max]`` — so the estimate
+    is exact whenever observations are uniform within their bucket, and
+    never escapes the observed range.  Returns None for empty histograms.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile q={q!r} outside [0, 1]")
+    count = state.get("count") or 0
+    if not count:
+        return None
+    buckets = state["buckets"]
+    counts = state["counts"]
+    low = state.get("min")
+    high = state.get("max")
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= rank:
+            lower = buckets[index - 1] if index > 0 else low
+            upper = buckets[index] if index < len(buckets) else high
+            if low is not None:
+                lower = max(lower, low) if lower is not None else low
+            if high is not None:
+                upper = min(upper, high) if upper is not None else high
+            if upper is None or lower is None or upper <= lower:
+                return upper if upper is not None else lower
+            fraction = (rank - cumulative) / bucket_count
+            return lower + fraction * (upper - lower)
+        cumulative += bucket_count
+    return high
+
+
 class Counter:
     """Monotonically increasing count (events, rows, cache hits)."""
 
@@ -72,13 +134,24 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time level (peak node count, rows/second of the last batch)."""
+    """Point-in-time level (peak node count, rows/second of the last batch).
 
-    __slots__ = ("name", "value")
+    ``kind`` declares the merge semantics: ``"max"`` gauges are peak
+    readings (merging keeps the maximum — loss-free and associative),
+    ``"last"`` gauges are current levels or rates where a stale peak
+    would be a lie after e.g. a shard restart (merging keeps the most
+    recent write).  The kind rides along in snapshots so remote merges
+    apply the right rule.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "kind")
+
+    def __init__(self, name: str, kind: str = "max"):
+        if kind not in ("max", "last"):
+            raise ObsError(f"gauge {name!r} kind must be 'max' or 'last'")
         self.name = name
         self.value = 0.0
+        self.kind = kind
 
     def set(self, value: float) -> None:
         """Overwrite the gauge with the latest reading."""
@@ -90,7 +163,7 @@ class Gauge:
             self.value = float(value)
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        return {"type": "gauge", "kind": self.kind, "value": self.value}
 
 
 class Histogram:
@@ -139,8 +212,21 @@ class Histogram:
         """Average of all observations (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (exact-within-bucket; None if empty)."""
+        return histogram_quantile(
+            {
+                "buckets": self.buckets,
+                "counts": self.counts,
+                "count": self.count,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+            },
+            q,
+        )
+
     def to_dict(self) -> dict:
-        return {
+        state = {
             "type": "histogram",
             "buckets": list(self.buckets),
             "counts": list(self.counts),
@@ -149,6 +235,10 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
         }
+        state["p50"] = histogram_quantile(state, 0.50)
+        state["p95"] = histogram_quantile(state, 0.95)
+        state["p99"] = histogram_quantile(state, 0.99)
+        return state
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -191,9 +281,21 @@ class MetricsRegistry:
         """The counter named ``name``, created on first use."""
         return self._get(name, Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge named ``name``, created on first use."""
-        return self._get(name, Gauge)
+    def gauge(self, name: str, kind: Optional[str] = None) -> Gauge:
+        """The gauge named ``name``, created on first use.
+
+        ``kind`` ("max" or "last") only applies on creation; asking for
+        an existing gauge with a *different* kind is a programming error.
+        """
+        if kind is None:
+            return self._get(name, Gauge)
+        gauge = self._get(name, Gauge, kind)
+        if gauge.kind != kind:
+            raise ObsError(
+                f"gauge {name!r} already registered with kind "
+                f"{gauge.kind!r}, not {kind!r}"
+            )
+        return gauge
 
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
@@ -236,17 +338,24 @@ class MetricsRegistry:
     def merge(self, snapshot: Dict[str, dict]) -> None:
         """Fold a snapshot (e.g. from a worker process) into this registry.
 
-        Counters and histogram buckets add; gauges keep the maximum of
-        both sides (all gauges here are peak/level readings, so max is
-        the loss-free associative combination).  Histograms must agree
-        on bucket bounds.
+        Counters and histogram buckets add; gauges merge by their
+        declared kind — ``"max"`` gauges (peak readings) keep the
+        maximum of both sides, ``"last"`` gauges (levels/rates) take the
+        incoming value so a restarted shard's lower reading wins instead
+        of a stale peak lingering forever.  Histograms must agree on
+        bucket bounds.
         """
         for name, state in snapshot.items():
             kind = state.get("type")
             if kind == "counter":
                 self.counter(name).inc(state["value"])
             elif kind == "gauge":
-                self.gauge(name).update_max(state["value"])
+                gauge_kind = state.get("kind", "max")
+                gauge = self.gauge(name, gauge_kind)
+                if gauge_kind == "last":
+                    gauge.set(state["value"])
+                else:
+                    gauge.update_max(state["value"])
             elif kind == "histogram":
                 histogram = self.histogram(name, state["buckets"])
                 if list(histogram.buckets) != [
@@ -310,8 +419,9 @@ def merge_snapshots(snapshots: Sequence[Dict[str, dict]]) -> Dict[str, dict]:
 
     The cluster router uses this to aggregate the ``serve.*`` metrics it
     fetched from each shard's ``stats`` op into one cluster-wide report:
-    counters and histogram buckets add, gauges keep their maximum —
-    exactly :meth:`MetricsRegistry.merge` semantics, but as a pure
+    counters and histogram buckets add, gauges merge by declared kind
+    (max-tracking vs last-write) — exactly
+    :meth:`MetricsRegistry.merge` semantics, but as a pure
     function over plain snapshot dicts (no shared registry involved, so
     merging remote snapshots cannot pollute local telemetry).
     """

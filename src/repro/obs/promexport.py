@@ -1,0 +1,220 @@
+"""Prometheus text-format exposition for metrics snapshots.
+
+Renders the plain snapshot dictionaries of :mod:`repro.obs.metrics`
+(``{name: instrument_state}``) in the Prometheus exposition format
+0.0.4 and serves them over a stdlib HTTP endpoint — no client library,
+no dependencies, scrapeable by any Prometheus-compatible collector.
+
+Mapping rules:
+
+- instrument names swap dots for underscores (``serve.requests`` →
+  ``serve_requests``);
+- counters get the conventional ``_total`` suffix;
+- gauges export as-is;
+- histograms expand to cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count`` (the internal derived ``p50``/``p95``/``p99``
+  keys are dropped — Prometheus computes quantiles server-side from the
+  buckets);
+- every series from a per-shard snapshot carries a ``shard`` label, so
+  cluster totals are one ``sum by`` away and a restarted shard's
+  counter reset is visible instead of silently folded away.
+
+The :class:`MetricsExporter` serves whatever a ``render`` callable
+returns, re-rendered per scrape — the cluster wires it to the snapshots
+its shard workers continuously *push* over their control pipes, so a
+scrape never blocks on a slow or dead shard.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Mapping, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """A metric name in Prometheus' ``[a-zA-Z0-9_:]`` alphabet."""
+    return _NAME_RE.sub("_", name)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return f"{number:.10g}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _labels(parts: Dict[str, str]) -> str:
+    if not parts:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in parts.items()
+    )
+    return "{" + inner + "}"
+
+
+def _add_instrument(
+    families: Dict[str, Dict],
+    name: str,
+    state: Dict,
+    labelparts: Dict[str, str],
+) -> None:
+    kind = state.get("type")
+    base = prometheus_name(name)
+    if kind == "counter":
+        family = families.setdefault(
+            base + "_total", {"type": "counter", "samples": []}
+        )
+        family["samples"].append(
+            (base + "_total", _labels(labelparts), _fmt(state["value"]))
+        )
+    elif kind == "gauge":
+        family = families.setdefault(base, {"type": "gauge", "samples": []})
+        family["samples"].append(
+            (base, _labels(labelparts), _fmt(state["value"]))
+        )
+    elif kind == "histogram":
+        family = families.setdefault(
+            base, {"type": "histogram", "samples": []}
+        )
+        cumulative = 0
+        for bound, count in zip(state["buckets"], state["counts"]):
+            cumulative += count
+            family["samples"].append(
+                (
+                    base + "_bucket",
+                    _labels({**labelparts, "le": _fmt(bound)}),
+                    _fmt(cumulative),
+                )
+            )
+        cumulative += state["counts"][len(state["buckets"])]
+        family["samples"].append(
+            (
+                base + "_bucket",
+                _labels({**labelparts, "le": "+Inf"}),
+                _fmt(cumulative),
+            )
+        )
+        family["samples"].append(
+            (base + "_sum", _labels(labelparts), _fmt(state["sum"]))
+        )
+        family["samples"].append(
+            (base + "_count", _labels(labelparts), _fmt(state["count"]))
+        )
+    # Unknown instrument types are skipped: exposition must tolerate
+    # snapshots from newer writers.
+
+
+def render_metrics(
+    snapshots: Mapping[str, Dict[str, Dict]],
+    label: str = "shard",
+    unlabeled: Optional[Dict[str, Dict]] = None,
+) -> str:
+    """Prometheus text page for labelled snapshots + an unlabelled one.
+
+    ``snapshots`` maps a label value (shard id) to that process's
+    snapshot; ``unlabeled`` carries process-local series (the cluster
+    router's own ``serve.cluster.*`` instruments).  Families are grouped
+    so each ``# TYPE`` header precedes all of its series, as the format
+    requires.
+    """
+    families: Dict[str, Dict] = {}
+    for value in sorted(snapshots):
+        for name, state in sorted(snapshots[value].items()):
+            _add_instrument(families, name, state, {label: value})
+    for name, state in sorted((unlabeled or {}).items()):
+        _add_instrument(families, name, state, {})
+    lines = []
+    for family_name in sorted(families):
+        family = families[family_name]
+        lines.append(f"# TYPE {family_name} {family['type']}")
+        for sample_name, labelstr, value in family["samples"]:
+            lines.append(f"{sample_name}{labelstr} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsExporter:
+    """A ``/metrics`` HTTP endpoint on a daemon thread (stdlib only).
+
+    ``render`` is called per scrape and must return the full text page;
+    a render error answers 500 with the reason instead of killing the
+    serving thread.  ``port=0`` binds an ephemeral port, read back from
+    ``self.port`` after construction.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API
+                if self.path.split("?", 1)[0].rstrip("/") not in (
+                    "",
+                    "/metrics",
+                ):
+                    self.send_error(404, "try /metrics")
+                    return
+                try:
+                    body = exporter._render().encode("utf-8")
+                except Exception as exc:  # noqa: BLE001 - keep serving
+                    self.send_error(500, f"{type(exc).__name__}: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # noqa: D102 - silence
+                pass
+
+        self._render = render
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = self._httpd.server_address[0]
+        self.port = int(self._httpd.server_address[1])
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsExporter":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+
+__all__ = ["MetricsExporter", "prometheus_name", "render_metrics"]

@@ -27,23 +27,243 @@ want to attach attributes that are expensive to compute should guard on
 Thread-safety: span nesting is tracked per thread (``threading.local``
 stacks); finished spans are appended to a single list under a lock.
 Clocks are monotonic (``time.perf_counter``), immune to wall-clock
-adjustment.
+adjustment; the tracer additionally remembers the wall-clock epoch of
+its origin so traces from *different processes* can be merged onto one
+timeline (see :func:`merge_chrome_traces`).
+
+Distributed tracing
+-------------------
+A :class:`TraceContext` names one logical request end to end:
+``trace_id`` identifies the whole operation (a load run, one CLI query),
+``span_id`` the current hop, ``parent_id`` the hop it came from.  The
+context travels in-process through a ``contextvars`` variable (so it
+follows asyncio tasks and survives thread handoff when copied) and
+across processes as a W3C-traceparent-shaped string
+(``00-<32 hex trace_id>-<16 hex span_id>-01``) injected into the
+JSON-lines protocol envelope by clients and honoured by servers.  While
+a context is active, every span the collecting tracer opens is stamped
+with the trace/span/parent ids, so ``repro trace-merge`` can assemble
+per-process span files into one cross-process timeline keyed by
+``trace_id``.
+
+Propagation is decoupled from recording: ``enable_tracing(record=False)``
+installs a tracer that still mints and forwards trace contexts (ids flow
+through the wire envelope, into slow-query logs and error reports) but
+records no spans — the always-on correlation mode, orders of magnitude
+cheaper than full span collection.
 """
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import json
 import os
+import random
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+# ---------------------------------------------------------------------------
+# Distributed trace context
+# ---------------------------------------------------------------------------
+#: Trace/span ids come from a process-local PRNG seeded with real
+#: entropy, not from ``os.urandom`` per id: ``getrandom(2)`` costs
+#: microseconds per call, which dominates the propagation hot path (two
+#: ids per request attempt).  The PRNG is reseeded in fork children so
+#: sibling shard workers never replay one id stream.
+_ID_RNG = random.Random(os.urandom(16))
+
+
+def _reseed_ids() -> None:
+    global _ID_RNG
+    _ID_RNG = random.Random(os.urandom(16))
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reseed_ids)
+
+
+#: Last trace id that passed hex validation in ``from_traceparent`` —
+#: a one-slot cache, because every request on a connection shares one.
+_LAST_VALID_TRACE_ID = ""
+
+
+def _new_id(nbytes: int) -> str:
+    """Random hex id, unique across processes (entropy-seeded PRNG)."""
+    return f"{_ID_RNG.getrandbits(nbytes * 8):0{nbytes * 2}x}"
+
+
+class TraceContext:
+    """Identity of one hop of a distributed request.
+
+    ``trace_id`` (32 hex chars) names the whole end-to-end operation;
+    ``span_id`` (16 hex chars) names this hop; ``parent_id`` is the hop
+    that caused it (None at the root).  Immutable by convention —
+    derivation always produces a new context, never mutates.  A plain
+    slots class (not a dataclass): contexts are allocated per request
+    attempt on the serving hot path.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "_prefix")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        #: Lazily cached wire-header prefix ("00-<trace_id>-"): minting
+        #: a header per request attempt is the propagation hot path.
+        self._prefix: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceContext({self.trace_id!r}, {self.span_id!r}, "
+            f"{self.parent_id!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.parent_id == other.parent_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.parent_id))
+
+    def child(self) -> "TraceContext":
+        """A new hop caused by this one: same trace, fresh span id."""
+        return TraceContext(self.trace_id, _new_id(8), self.span_id)
+
+    def retry(self) -> "TraceContext":
+        """A fresh attempt of the *same* hop: same trace and parent,
+        fresh span id — so retries are distinguishable in the timeline
+        but still belong to one trace."""
+        return TraceContext(self.trace_id, _new_id(8), self.parent_id)
+
+    def to_traceparent(self) -> str:
+        """W3C-traceparent-shaped wire form (version 00, sampled flag)."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    def child_traceparent(self) -> str:
+        """Wire form of a fresh child hop, without allocating the child.
+
+        Propagation-only fast path: the wire carries just the trace and
+        span ids, so when no spans are being recorded locally the child
+        context object itself is never needed.
+        """
+        prefix = self._prefix
+        if prefix is None:
+            prefix = self._prefix = f"00-{self.trace_id}-"
+        return f"{prefix}{_ID_RNG.getrandbits(64):016x}-01"
+
+    @staticmethod
+    def from_traceparent(header: object) -> Optional["TraceContext"]:
+        """Parse a traceparent string; None when malformed (never raises).
+
+        Tolerant by design: telemetry must not turn a bad header into a
+        failed request.
+        """
+        if not isinstance(header, str):
+            return None
+        if (
+            len(header) == 55
+            and header[2] == "-"
+            and header[35] == "-"
+            and header[52] == "-"
+        ):
+            # Canonical fixed-width header: slice instead of split (the
+            # serving hot path parses one of these per request).
+            trace_id = header[3:35]
+            span_id = header[36:52]
+        else:
+            parts = header.split("-")
+            if len(parts) != 4:
+                return None
+            _version, trace_id, span_id, _flags = parts
+            if len(trace_id) != 32 or len(span_id) != 16:
+                return None
+        global _LAST_VALID_TRACE_ID
+        if trace_id != _LAST_VALID_TRACE_ID:
+            # A connection's requests share one trace id; validating it
+            # once (instead of per request) keeps the hot path cheap.
+            try:
+                int(trace_id, 16)
+            except ValueError:
+                return None
+            _LAST_VALID_TRACE_ID = trace_id
+        try:
+            int(span_id, 16)
+        except ValueError:
+            return None
+        return TraceContext(trace_id, span_id)
+
+
+def new_trace_context() -> TraceContext:
+    """A fresh root context (new trace_id, no parent)."""
+    return TraceContext(_new_id(16), _new_id(8), None)
+
+
+#: The active trace context of the current task/thread (None = untraced).
+_TRACE_CONTEXT: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The trace context active in this task/thread, if any."""
+    return _TRACE_CONTEXT.get()
+
+
+class _TraceContextScope:
+    """Context manager installing (and restoring) the active context."""
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: Optional[TraceContext]):
+        self._context = context
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._token = _TRACE_CONTEXT.set(self._context)
+        return self._context
+
+    def __exit__(self, *exc_info) -> bool:
+        assert self._token is not None
+        _TRACE_CONTEXT.reset(self._token)
+        return False
+
+
+def use_trace_context(
+    context: Optional[TraceContext],
+) -> _TraceContextScope:
+    """``with use_trace_context(ctx): ...`` — scope the active context."""
+    return _TraceContextScope(context)
 
 
 class Span:
     """One finished-or-open span: name, monotonic start/end, attributes."""
 
-    __slots__ = ("name", "start", "end", "attrs", "thread_id", "depth", "error")
+    __slots__ = (
+        "name", "start", "end", "attrs", "thread_id", "depth", "error",
+        "trace_id", "span_id", "parent_id",
+    )
 
     def __init__(self, name: str, start: float, thread_id: int, depth: int):
         self.name = name
@@ -53,6 +273,11 @@ class Span:
         self.thread_id = thread_id
         self.depth = depth
         self.error: Optional[str] = None
+        #: Distributed-trace identity, stamped at open time from the
+        #: active :class:`TraceContext` (None when untraced).
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -100,55 +325,99 @@ class _SpanContext:
 
 
 class Tracer:
-    """Collecting tracer: every span ends up in an in-memory record list."""
+    """Collecting tracer: every span ends up in an in-memory record list.
+
+    With ``record=False`` the tracer still *counts as enabled* — clients
+    mint trace contexts and propagate them over the wire, servers parse
+    and scope them — but ``span()``/``event()`` are no-ops, so nothing
+    is collected.  That is the always-on correlation mode: trace ids
+    flow through slow-query logs and error reports at a fraction of the
+    cost of full span recording.
+    """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, record: bool = True):
+        self.record = record
         self._lock = threading.Lock()
-        self._local = threading.local()
+        #: Nesting stack, *context*-local (not thread-local): concurrent
+        #: asyncio tasks share one thread, and a task must never parent
+        #: its span on another task's currently-open span — under load
+        #: generators every task carries the same trace_id, so a shared
+        #: stack would cross-link (and occasionally duplicate) parents.
+        self._stack_var: "contextvars.ContextVar[Tuple[Span, ...]]" = (
+            contextvars.ContextVar("repro_span_stack", default=())
+        )
         self._spans: List[Span] = []
         #: Monotonic origin; span timestamps are exported relative to it.
         self.origin = time.perf_counter()
+        #: Wall-clock time of the origin, so exports from different
+        #: processes can be rebased onto one shared timeline.
+        self.origin_epoch = time.time()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def _stack(self) -> "Tuple[Span, ...]":
+        return self._stack_var.get()
+
+    def _stamp(self, span: Span, stack: "Tuple[Span, ...]") -> None:
+        """Stamp distributed-trace identity from the active context.
+
+        The span becomes a fresh hop of the active trace; its parent is
+        the innermost enclosing span of the *same* trace (in-process
+        nesting) or the context's own span id (the remote caller's hop).
+        """
+        context = _TRACE_CONTEXT.get()
+        if context is None:
+            return
+        span.trace_id = context.trace_id
+        span.span_id = _new_id(8)
+        for enclosing in reversed(stack):
+            if enclosing.trace_id == context.trace_id:
+                span.parent_id = enclosing.span_id
+                break
+        else:
+            span.parent_id = context.span_id
 
     def _open(self, name: str) -> Span:
         stack = self._stack()
         span = Span(
             name, time.perf_counter(), threading.get_ident(), len(stack)
         )
-        stack.append(span)
+        self._stamp(span, stack)
+        self._stack_var.set(stack + (span,))
         return span
 
     def _close(self, span: Span) -> None:
         span.end = time.perf_counter()
         stack = self._stack()
-        # Exception-safe unwind: pop through any abandoned children.
-        while stack and stack[-1] is not span:
-            stack.pop()
-        if stack:
-            stack.pop()
+        # Exception-safe unwind: drop this span plus any abandoned
+        # children above it (identity scan — leave the stack untouched
+        # if the span was opened in a different context).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is span:
+                self._stack_var.set(stack[:i])
+                break
         with self._lock:
             self._spans.append(span)
 
-    def span(self, name: str, **attrs: Any) -> _SpanContext:
+    def span(self, name: str, **attrs: Any):
         """Context manager for one nested, timed span."""
+        if not self.record:
+            return _NULL_SPAN
         return _SpanContext(self, name, attrs)
 
     def event(self, name: str, **attrs: Any) -> None:
         """Record an instantaneous (zero-duration) event."""
+        if not self.record:
+            return
         now = time.perf_counter()
-        span = Span(name, now, threading.get_ident(), len(self._stack()))
+        stack = self._stack()
+        span = Span(name, now, threading.get_ident(), len(stack))
         span.end = now
         span.attrs = attrs
+        self._stamp(span, stack)
         with self._lock:
             self._spans.append(span)
 
@@ -180,6 +449,7 @@ class Tracer:
         with self._lock:
             self._spans.clear()
             self.origin = time.perf_counter()
+            self.origin_epoch = time.time()
 
     def aggregate(self) -> Dict[str, dict]:
         """Per-name rollup: call count, total/max seconds.
@@ -201,7 +471,8 @@ class Tracer:
         """Structured-JSON export (stable schema, versioned)."""
         return {
             "format": "repro-trace",
-            "version": 1,
+            "version": 2,
+            "origin_epoch_s": self.origin_epoch,
             "spans": [
                 {
                     "name": span.name,
@@ -211,6 +482,15 @@ class Tracer:
                     "thread": span.thread_id,
                     "attrs": span.attrs,
                     **({"error": span.error} if span.error else {}),
+                    **(
+                        {
+                            "trace_id": span.trace_id,
+                            "span_id": span.span_id,
+                            "parent_id": span.parent_id,
+                        }
+                        if span.trace_id
+                        else {}
+                    ),
                 }
                 for span in self.spans()
             ],
@@ -220,11 +500,23 @@ class Tracer:
         """Chrome trace-event export (``chrome://tracing`` / Perfetto).
 
         Every span becomes one complete event (``ph: "X"``) with
-        microsecond timestamps; attributes ride along in ``args``.
+        microsecond timestamps; attributes ride along in ``args``.  The
+        ``metadata`` block anchors the monotonic timebase to wall-clock
+        time so :func:`merge_chrome_traces` can align exports from
+        several processes on one timeline.
         """
         events = []
         pid = os.getpid()
         for span in self.spans():
+            trace_fields = (
+                {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                }
+                if span.trace_id
+                else {}
+            )
             events.append(
                 {
                     "name": span.name,
@@ -237,10 +529,18 @@ class Tracer:
                     "args": {
                         **span.attrs,
                         **({"error": span.error} if span.error else {}),
+                        **trace_fields,
                     },
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "origin_epoch_us": self.origin_epoch * 1e6,
+                "pid": pid,
+            },
+        }
 
     def write_chrome(self, path: str) -> None:
         """Write the Chrome trace-event JSON file."""
@@ -253,6 +553,64 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=1, default=str)
             handle.write("\n")
+
+
+def _event_matches_trace(event: dict, trace_id: str) -> bool:
+    args = event.get("args") or {}
+    if args.get("trace_id") == trace_id:
+        return True
+    # Batch-level spans (flush, fused kernel) serve several traces at
+    # once and carry the whole set instead of a single identity.
+    trace_ids = args.get("trace_ids")
+    return isinstance(trace_ids, (list, tuple)) and trace_id in trace_ids
+
+
+def merge_chrome_traces(
+    payloads: Sequence[dict], trace_id: Optional[str] = None
+) -> dict:
+    """Merge Chrome-trace exports from several processes onto one timeline.
+
+    Each payload's ``metadata.origin_epoch_us`` anchors its monotonic
+    timestamps to wall-clock time; events are rebased so ``ts=0`` is the
+    earliest origin across all payloads.  Payloads without the anchor
+    (foreign traces) are kept unshifted.  When ``trace_id`` is given only
+    events belonging to that trace survive — matched by ``args.trace_id``
+    or membership in ``args.trace_ids`` (batch-level spans).
+    """
+    origins = [
+        payload["metadata"]["origin_epoch_us"]
+        for payload in payloads
+        if isinstance(payload.get("metadata"), dict)
+        and isinstance(
+            payload["metadata"].get("origin_epoch_us"), (int, float)
+        )
+    ]
+    base = min(origins) if origins else 0.0
+    events: List[dict] = []
+    pids = set()
+    for payload in payloads:
+        metadata = payload.get("metadata") or {}
+        origin = metadata.get("origin_epoch_us")
+        shift = (origin - base) if isinstance(origin, (int, float)) else 0.0
+        for event in payload.get("traceEvents", ()):
+            if trace_id is not None and not _event_matches_trace(
+                event, trace_id
+            ):
+                continue
+            merged = dict(event)
+            merged["ts"] = event.get("ts", 0.0) + shift
+            events.append(merged)
+            pids.add(merged.get("pid"))
+    events.sort(key=lambda event: event.get("ts", 0.0))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "merged_from": len(payloads),
+            "pids": sorted(pid for pid in pids if pid is not None),
+            **({"trace_id": trace_id} if trace_id else {}),
+        },
+    }
 
 
 class _NullSpan:
@@ -281,6 +639,7 @@ class NullTracer:
     """Default tracer: every operation is a constant-time no-op."""
 
     enabled = False
+    record = False
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -313,9 +672,13 @@ def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
     return previous
 
 
-def enable_tracing() -> Tracer:
-    """Install (and return) a fresh collecting tracer as the global one."""
-    tracer = Tracer()
+def enable_tracing(record: bool = True) -> Tracer:
+    """Install (and return) a fresh collecting tracer as the global one.
+
+    ``record=False`` enables *propagation only*: trace contexts are
+    minted and forwarded across the wire, but no spans are collected.
+    """
+    tracer = Tracer(record=record)
     set_tracer(tracer)
     return tracer
 

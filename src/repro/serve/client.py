@@ -28,6 +28,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import OverloadError, ReproError, ServeConnectionError
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import (
+    TraceContext,
+    current_trace_context,
+    get_tracer,
+    new_trace_context,
+    use_trace_context,
+)
 from repro.serve import protocol
 from repro.serve.protocol import ResponseError, unwrap_response
 
@@ -165,6 +172,21 @@ class PowerQueryClient:
             raise ServeConnectionError("server closed the connection")
         return json.loads(line.decode("utf-8"))
 
+    def _traced(self, payload: Dict) -> Dict:
+        """Inject the active trace context as a fresh wire hop.
+
+        Called once per *attempt*, so a retried request keeps its
+        trace_id (it is the same logical operation) but gets a fresh
+        span_id (it is a distinct hop) — the merged timeline shows every
+        attempt individually.  No active context, no change.
+        """
+        context = current_trace_context()
+        if context is None or "traceparent" in payload:
+            return payload
+        return dict(
+            payload, traceparent=context.child().to_traceparent()
+        )
+
     def call(self, payload: Dict, idempotent: bool = True):
         """Request + unwrap: returns the result or raises ResponseError.
 
@@ -176,14 +198,14 @@ class PowerQueryClient:
         """
         policy = self.retry if idempotent else None
         if policy is None:
-            return unwrap_response(self.request(payload))
+            return unwrap_response(self.request(self._traced(payload)))
         last: Optional[ReproError] = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 _CLIENT_RETRIES.inc()
                 time.sleep(policy.delay_s(attempt - 1, self._rng))
             try:
-                return unwrap_response(self.request(payload))
+                return unwrap_response(self.request(self._traced(payload)))
             except ServeConnectionError as exc:
                 self._teardown()
                 _CLIENT_RECONNECTS.inc()
@@ -211,6 +233,10 @@ class PowerQueryClient:
     def healthz(self) -> Dict:
         """Liveness/saturation summary (queue depth, shed counters)."""
         return self.call({"op": "healthz"})
+
+    def slowlog(self) -> Dict:
+        """The server's slow-query log (knobs + sampled entries)."""
+        return self.call({"op": "slowlog"})
 
     def evaluate(self, model: str, initial, final) -> float:
         """Capacitance (fF) of one transition of a served model."""
@@ -274,6 +300,8 @@ class LoadReport:
     failovers: int = 0
     #: Cluster loads only: ring snapshots re-fetched from the router.
     ring_refreshes: int = 0
+    #: Trace id the whole run was stamped with (None when untraced).
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -289,6 +317,7 @@ class LoadReport:
             "reconnects": self.reconnects,
             "failovers": self.failovers,
             "ring_refreshes": self.ring_refreshes,
+            "trace_id": self.trace_id,
         }
 
 
@@ -301,6 +330,20 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+def _trace_root() -> Optional[TraceContext]:
+    """Root trace context of one load-generation run.
+
+    The caller's active context wins (the run joins their trace);
+    otherwise a fresh root is opened when tracing is enabled in this
+    process, so ``--trace`` runs are distributed-traced with no extra
+    setup.  Untraced runs pay nothing: None disables all stamping.
+    """
+    context = current_trace_context()
+    if context is not None:
+        return context
+    return new_trace_context() if get_tracer().enabled else None
+
+
 async def _load_worker(
     host: str,
     port: int,
@@ -311,8 +354,10 @@ async def _load_worker(
     latencies: List[float],
     counters: Dict[str, int],
     retry: Optional[RetryPolicy],
+    trace_root: Optional[TraceContext] = None,
 ) -> None:
     rng = random.Random(1000003 * offset + 17)
+    tracer = get_tracer()
     reader = writer = None
 
     async def connect() -> None:
@@ -326,6 +371,12 @@ async def _load_worker(
             writer.close()
         reader = writer = None
 
+    async def roundtrip(wire: Dict) -> bytes:
+        await connect()
+        writer.write(protocol.encode(wire))
+        await writer.drain()
+        return await reader.readline()
+
     max_attempts = retry.max_attempts if retry is not None else 1
     try:
         for k in range(requests):
@@ -337,6 +388,17 @@ async def _load_worker(
                 "initial": initial,
                 "final": final,
             }
+            # One child context per request; each attempt becomes its
+            # own hop below (same trace_id, fresh span_id) so retries
+            # are individually visible in the merged timeline.  When no
+            # spans are recorded locally (propagation-only mode) the
+            # intermediate context is skipped: only the wire header is
+            # minted, directly off the root.
+            request_ctx = (
+                trace_root.child()
+                if trace_root is not None and tracer.record
+                else None
+            )
             started = time.perf_counter()
             answered = False
             for attempt in range(1, max_attempts + 1):
@@ -344,10 +406,32 @@ async def _load_worker(
                     counters["retries"] += 1
                     await asyncio.sleep(retry.delay_s(attempt - 1, rng))
                 try:
-                    await connect()
-                    writer.write(protocol.encode(payload))
-                    await writer.drain()
-                    line = await reader.readline()
+                    if request_ctx is None:
+                        if trace_root is None:
+                            line = await roundtrip(payload)
+                        else:
+                            # Propagation only: fresh span id per
+                            # attempt on the wire, no local span.  The
+                            # payload is per-request, so overwriting the
+                            # header in place is attempt-safe.
+                            payload["traceparent"] = (
+                                trace_root.child_traceparent()
+                            )
+                            line = await roundtrip(payload)
+                    else:
+                        hop = request_ctx.child()
+                        with use_trace_context(hop):
+                            with tracer.span(
+                                "serve.client.request",
+                                model=model,
+                                attempt=attempt,
+                            ):
+                                line = await roundtrip(
+                                    dict(
+                                        payload,
+                                        traceparent=hop.to_traceparent(),
+                                    )
+                                )
                 except (OSError, asyncio.IncompleteReadError):
                     drop()
                     counters["reconnects"] += 1
@@ -399,6 +483,7 @@ def generate_load(
     normalized = [(_bits(i), _bits(f)) for i, f in transitions]
     latencies: List[float] = []
     counters = {"errors": 0, "retries": 0, "reconnects": 0}
+    trace_root = _trace_root()
 
     async def _run() -> float:
         started = time.perf_counter()
@@ -414,6 +499,7 @@ def generate_load(
                     latencies,
                     counters,
                     retry,
+                    trace_root,
                 )
                 for worker in range(clients)
             )
@@ -436,4 +522,5 @@ def generate_load(
         ),
         retries=counters["retries"],
         reconnects=counters["reconnects"],
+        trace_id=trace_root.trace_id if trace_root is not None else None,
     )

@@ -25,15 +25,26 @@ one logical service:
   also monitors worker liveness (a dead worker is removed from the ring
   and the version bumped — the failover signal), optionally respawns
   replacements, and aggregates every shard's ``serve.*`` metrics into a
-  cluster-wide report by fetching per-shard ``stats`` snapshots over
-  their sockets and folding them together with
-  :func:`repro.obs.metrics.merge_snapshots`.
+  cluster-wide report from the snapshots workers continuously *push*
+  over their control pipes, folded together with
+  :func:`repro.obs.metrics.merge_snapshots` and optionally re-exported
+  live in Prometheus text format (``prometheus_port``).
 - :class:`ClusterClient` / :func:`generate_cluster_load` — shard-aware
   clients.  Requests for a model spray round-robin across its replica
   set; a transport failure marks the endpoint dead, re-fetches the ring
   and retries on the next replica (falling back to *any* ring member, so
   even a stale ring — see the ``serve.router.stale_ring`` fault site —
   cannot strand a request while one shard survives).
+
+Observability: each shard worker pushes a full metrics snapshot through
+its control pipe every ``metrics_push_interval_s`` seconds (and on
+demand), so ``cluster_stats``, the Prometheus endpoint and ``repro top``
+read recent data without a TCP fan-out to busy data ports — and a dead
+shard's last snapshot outlives it.  When ``server.trace_dir`` is set,
+every process (router included) writes its Chrome-trace export there at
+shutdown, and requests carry W3C-style ``traceparent`` hops end to end,
+so ``repro trace-merge`` reassembles one cross-process timeline per
+``trace_id``.
 
 Replication model: every worker holds every model in memory ("replicate
 everywhere"); the placement map restricts *routing*, not residency, to
@@ -53,6 +64,7 @@ import bisect
 import hashlib
 import json
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -62,6 +74,13 @@ from repro.errors import ReproError, ServeConnectionError
 from repro.models.addmodel import AddPowerModel
 from repro.models.serialize import model_from_dict, model_to_dict
 from repro.obs.metrics import get_metrics, merge_snapshots
+from repro.obs.promexport import MetricsExporter, render_metrics
+from repro.obs.trace import (
+    TraceContext,
+    enable_tracing,
+    get_tracer,
+    use_trace_context,
+)
 from repro.serve import protocol
 from repro.serve.client import (
     LoadReport,
@@ -69,6 +88,7 @@ from repro.serve.client import (
     RetryPolicy,
     _bits,
     _percentile,
+    _trace_root,
 )
 from repro.serve.protocol import ProtocolError
 from repro.serve.server import PowerQueryServer, ServerConfig
@@ -81,8 +101,8 @@ _RESTARTS = _MET.counter("serve.cluster.restarts")
 _DRAINS = _MET.counter("serve.cluster.drains")
 _RELOADS = _MET.counter("serve.cluster.reloads")
 _STALE_RINGS = _MET.counter("serve.cluster.stale_rings_served")
-_RING_VERSION = _MET.gauge("serve.cluster.ring_version")
-_SHARDS_GAUGE = _MET.gauge("serve.cluster.shards")
+_RING_VERSION = _MET.gauge("serve.cluster.ring_version", kind="last")
+_SHARDS_GAUGE = _MET.gauge("serve.cluster.shards", kind="last")
 _CLIENT_FAILOVERS = _MET.counter("serve.client.failovers")
 _CLIENT_RING_REFRESHES = _MET.counter("serve.client.ring_refreshes")
 
@@ -201,6 +221,13 @@ class ClusterConfig:
     restart_failed: bool = False
     #: How long to wait for a worker to report its port at spawn.
     worker_ready_timeout_s: float = 60.0
+    #: Seconds between unsolicited metrics pushes from each worker over
+    #: its control pipe; 0 disables periodic pushes (``cluster_stats``
+    #: still works — it requests a push on demand).
+    metrics_push_interval_s: float = 1.0
+    #: Serve a Prometheus text-format ``/metrics`` endpoint on this
+    #: port (0 picks an ephemeral one; None disables the exporter).
+    prometheus_port: Optional[int] = None
     #: Per-shard server template; ``host``/``port`` and the shard fault
     #: token are overridden per worker.
     server: ServerConfig = field(default_factory=ServerConfig)
@@ -219,6 +246,18 @@ class ClusterConfig:
                 f"monitor_interval_s must be > 0, "
                 f"got {self.monitor_interval_s}"
             )
+        if self.metrics_push_interval_s < 0:
+            raise ValueError(
+                f"metrics_push_interval_s must be >= 0, "
+                f"got {self.metrics_push_interval_s}"
+            )
+        if self.prometheus_port is not None and not (
+            0 <= self.prometheus_port <= 65535
+        ):
+            raise ValueError(
+                f"prometheus_port must be a port number or None, "
+                f"got {self.prometheus_port}"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -230,21 +269,52 @@ def _shard_worker_main(
     blobs: Dict[str, dict],
     server_config: ServerConfig,
     conn,
+    push_interval_s: float = 1.0,
 ) -> None:
     """Entry point of one shard worker process.
 
     Deserialises its model set, runs a :class:`PowerQueryServer` on an
     ephemeral port, reports the port back through the control pipe, and
-    then obeys pipe commands (``stop``, ``reload``, ``ping``) from a
-    listener thread until told to exit.  Top-level (not a closure) so
-    the function pickles under any multiprocessing start method.
+    then obeys pipe commands (``stop``, ``reload``, ``ping``, ``push``)
+    from a listener thread until told to exit, while a pusher thread
+    ships a metrics snapshot up the same pipe every ``push_interval_s``
+    seconds.  Top-level (not a closure) so the function pickles under
+    any multiprocessing start method.
     """
     # The fork start method clones the parent's registry mid-flight;
     # reset so every counter this shard reports is genuinely its own
     # (cluster aggregation sums per-shard snapshots).
     get_metrics().reset()
+    if server_config.trace_dir:
+        # The deployment wants trace export: collect spans here too, so
+        # this worker writes trace-<pid>-<port>.json at graceful stop.
+        enable_tracing()
     models = {name: model_from_dict(blob) for name, blob in blobs.items()}
     server = PowerQueryServer(models, server_config)
+    # The pusher thread and the control listener both write to the pipe;
+    # pickled messages must not interleave.
+    send_lock = threading.Lock()
+
+    def _send(message: Dict) -> bool:
+        try:
+            with send_lock:
+                conn.send(message)
+            return True
+        except (OSError, BrokenPipeError):
+            return False
+
+    def _push(requested: bool = False) -> bool:
+        message = {
+            "op": "metrics",
+            "shard": shard_id,
+            "ts": time.time(),
+            "stats": server._stats(),
+        }
+        if requested:
+            # Marks the reply to an explicit "push" command so the
+            # parent can skip stale periodic pushes queued ahead of it.
+            message["requested"] = True
+        return _send(message)
 
     async def _main() -> None:
         try:
@@ -254,6 +324,12 @@ def _shard_worker_main(
             return
         conn.send({"op": "ready", "port": server.port, "shard": shard_id})
         loop = asyncio.get_running_loop()
+
+        def _metrics_pusher() -> None:
+            while True:
+                time.sleep(push_interval_s)
+                if not _push():
+                    return
 
         def _control_listener() -> None:
             while True:
@@ -285,12 +361,18 @@ def _shard_worker_main(
 
                     loop.call_soon_threadsafe(_apply)
                     done.wait(30.0)
-                    conn.send(
-                        {"op": "reloaded", "error": box.get("error")}
-                    )
+                    _send({"op": "reloaded", "error": box.get("error")})
                 elif op == "ping":
-                    conn.send({"op": "pong"})
+                    _send({"op": "pong"})
+                elif op == "push":
+                    _push(requested=True)
 
+        if push_interval_s > 0:
+            threading.Thread(
+                target=_metrics_pusher,
+                name=f"shard-{shard_id}-pusher",
+                daemon=True,
+            ).start()
         threading.Thread(
             target=_control_listener,
             name=f"shard-{shard_id}-control",
@@ -303,7 +385,14 @@ def _shard_worker_main(
 
 @dataclass
 class ShardHandle:
-    """Parent-side view of one shard worker."""
+    """Parent-side view of one shard worker.
+
+    The control pipe multiplexes two streams from the worker: replies
+    to commands, and unsolicited metrics pushes.  All parent-side pipe
+    reads go through :meth:`command` / :meth:`push_now` / :meth:`drain`,
+    which hold ``lock`` and :meth:`absorb` any pushes they encounter —
+    so the two streams never corrupt each other.
+    """
 
     shard_id: str
     index: int
@@ -313,9 +402,80 @@ class ShardHandle:
     port: int
     #: Serialises command/response exchanges on the control pipe.
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Most recent metrics push absorbed from the worker.  Survives the
+    #: worker's death, so the router can still report (and export) a
+    #: dead shard's last known numbers.
+    latest_push: Optional[Dict] = None
 
     def alive(self) -> bool:
         return self.process.is_alive()
+
+    def absorb(self, message: object) -> bool:
+        """Record a metrics push; True when the message was one."""
+        if isinstance(message, dict) and message.get("op") == "metrics":
+            self.latest_push = message
+            return True
+        return False
+
+    def drain(self) -> None:
+        """Absorb queued pushes without blocking (monitor-tick duty).
+
+        Keeps the pipe from filling up: a full pipe would block the
+        worker's pusher thread while it holds the worker-side send
+        lock, wedging command replies behind it.  Skips the work when a
+        command exchange is in flight — that exchange absorbs pushes
+        itself.
+        """
+        if not self.lock.acquire(blocking=False):
+            return
+        try:
+            try:
+                while self.conn.poll(0):
+                    self.absorb(self.conn.recv())
+            except (EOFError, OSError):
+                pass
+        finally:
+            self.lock.release()
+
+    def command(
+        self, message: Dict, timeout: float = 30.0
+    ) -> Optional[Dict]:
+        """One command/reply exchange; None on timeout or a dead pipe."""
+        deadline = time.monotonic() + timeout
+        with self.lock:
+            try:
+                self.conn.send(message)
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self.conn.poll(remaining):
+                        return None
+                    reply = self.conn.recv()
+                    if not self.absorb(reply):
+                        return reply
+            except (OSError, EOFError, BrokenPipeError):
+                return None
+
+    def push_now(self, timeout: float = 5.0) -> Optional[Dict]:
+        """Request a fresh metrics push and wait for it (None if dead).
+
+        Periodic pushes absorbed along the way keep ``latest_push``
+        warm but don't satisfy the call — only the reply stamped
+        ``requested`` does, preserving read-your-writes freshness for
+        ``cluster_stats``.
+        """
+        deadline = time.monotonic() + timeout
+        with self.lock:
+            try:
+                self.conn.send({"op": "push"})
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self.conn.poll(remaining):
+                        return None
+                    reply = self.conn.recv()
+                    if self.absorb(reply) and reply.get("requested"):
+                        return reply
+            except (OSError, EOFError, BrokenPipeError):
+                return None
 
 
 # ---------------------------------------------------------------------------
@@ -370,6 +530,8 @@ class Cluster:
         self._stop_event: Optional[asyncio.Event] = None
         self._workers_stopped = False
         self.started_at: Optional[float] = None
+        self.prometheus: Optional[MetricsExporter] = None
+        self.prometheus_port: Optional[int] = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "Cluster":
@@ -382,6 +544,13 @@ class Cluster:
         with self._lock:
             self._bump_ring()
         self._start_router()
+        if self.config.prometheus_port is not None:
+            self.prometheus = MetricsExporter(
+                self._render_prometheus,
+                host=self.config.host,
+                port=self.config.prometheus_port,
+            ).start()
+            self.prometheus_port = self.prometheus.port
         self.started_at = time.time()
         return self
 
@@ -398,7 +567,14 @@ class Cluster:
         )
         process = self._ctx.Process(
             target=_shard_worker_main,
-            args=(shard_id, index, self._blobs, server_config, child_conn),
+            args=(
+                shard_id,
+                index,
+                self._blobs,
+                server_config,
+                child_conn,
+                self.config.metrics_push_interval_s,
+            ),
             name=f"power-shard-{shard_id}",
             daemon=True,
         )
@@ -518,19 +694,13 @@ class Cluster:
             ]
         errors: List[str] = []
         for handle in handles:
-            with handle.lock:
-                try:
-                    handle.conn.send({"op": "reload", "models": blobs})
-                    if handle.conn.poll(30.0):
-                        reply = handle.conn.recv()
-                        if reply.get("error"):
-                            errors.append(
-                                f"{handle.shard_id}: {reply['error']}"
-                            )
-                    else:
-                        errors.append(f"{handle.shard_id}: reload timed out")
-                except (OSError, EOFError, BrokenPipeError) as exc:
-                    errors.append(f"{handle.shard_id}: {exc}")
+            reply = handle.command({"op": "reload", "models": blobs})
+            if reply is None:
+                errors.append(
+                    f"{handle.shard_id}: reload timed out or pipe broken"
+                )
+            elif reply.get("error"):
+                errors.append(f"{handle.shard_id}: {reply['error']}")
         with self._lock:
             self._blobs = blobs
             self._placement_keys = keys
@@ -618,15 +788,23 @@ class Cluster:
             raise box["error"]  # type: ignore[misc]
 
     async def _monitor(self) -> None:
-        """Periodically detect dead workers and rebalance the ring."""
+        """Periodically detect dead workers and rebalance the ring.
+
+        Also drains each control pipe so unsolicited metrics pushes are
+        absorbed continuously (keeping ``latest_push`` — and therefore
+        the Prometheus page — fresh, and the pipes from filling up).
+        """
         while True:
             await asyncio.sleep(self.config.monitor_interval_s)
             with self._lock:
+                handles = list(self._shards.values())
                 dead = [
                     shard_id
                     for shard_id in self._ring.shards
                     if not self._shards[shard_id].alive()
                 ]
+            for handle in handles:
+                handle.drain()
             for shard_id in dead:
                 self._handle_dead_shard(shard_id)
 
@@ -665,28 +843,44 @@ class Cluster:
         try:
             request = protocol.decode_request(line)
             request_id = request.get("id")
-            op = request["op"]
-            if op == "ping":
-                return protocol.ok_response(request_id, "pong")
-            if op == "ring":
-                return protocol.ok_response(request_id, self.ring_payload())
-            if op == "cluster_stats":
-                return protocol.ok_response(
-                    request_id, await self._cluster_stats()
-                )
-            if op == "healthz":
-                return protocol.ok_response(request_id, self._healthz())
-            if op == "shutdown":
-                if self._stop_event is not None:
-                    self._stop_event.set()
-                return protocol.ok_response(request_id, "stopping")
-            raise ProtocolError("bad_request", f"unknown router op {op!r}")
+            context = TraceContext.from_traceparent(
+                request.get("traceparent")
+            )
+            if context is None:
+                return await self._dispatch_router_op(request, request_id)
+            with use_trace_context(context):
+                with get_tracer().span("router.request", op=request["op"]):
+                    return await self._dispatch_router_op(
+                        request, request_id
+                    )
         except ProtocolError as exc:
             return protocol.error_response(request_id, exc.error_type, str(exc))
         except Exception as exc:  # noqa: BLE001 - answer, don't crash
             return protocol.error_response(
                 request_id, "internal", f"{type(exc).__name__}: {exc}"
             )
+
+    async def _dispatch_router_op(self, request: Dict, request_id) -> Dict:
+        op = request["op"]
+        if op == "ping":
+            return protocol.ok_response(request_id, "pong")
+        if op == "ring":
+            return protocol.ok_response(request_id, self.ring_payload())
+        if op == "cluster_stats":
+            return protocol.ok_response(
+                request_id, await self._cluster_stats()
+            )
+        if op == "healthz":
+            return protocol.ok_response(request_id, self._healthz())
+        if op == "slowlog":
+            return protocol.ok_response(
+                request_id, await self._cluster_slowlog()
+            )
+        if op == "shutdown":
+            if self._stop_event is not None:
+                self._stop_event.set()
+            return protocol.ok_response(request_id, "stopping")
+        raise ProtocolError("bad_request", f"unknown router op {op!r}")
 
     def _healthz(self) -> Dict:
         with self._lock:
@@ -709,54 +903,48 @@ class Cluster:
             ),
         }
 
-    async def _fetch_shard_stats(self, host: str, port: int) -> Optional[Dict]:
-        """One shard's ``stats`` op over its own socket (None if dead)."""
-        try:
-            reader, writer = await asyncio.open_connection(host, port)
-        except OSError:
-            return None
-        try:
-            writer.write(protocol.encode({"id": 0, "op": "stats"}))
-            await writer.drain()
-            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
-        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
-            return None
-        finally:
-            try:
-                writer.close()
-            except Exception:  # pragma: no cover
-                pass
-        if not line:
-            return None
-        reply = json.loads(line.decode("utf-8"))
-        return reply.get("result") if reply.get("ok") else None
-
     async def _cluster_stats(self) -> Dict:
-        """Cluster-wide report: per-shard stats + merged serve.* metrics."""
+        """Cluster-wide report: per-shard stats + merged serve.* metrics.
+
+        Reads the snapshots workers push over their control pipes — one
+        ``push_now`` round trip per shard, run off the event loop — so
+        the numbers are as fresh as the old TCP fan-out without
+        competing with the data plane for shard sockets.
+        """
         with self._lock:
-            targets = [
-                (shard_id, handle.host, handle.port)
+            handles = [
+                handle
                 for shard_id, handle in sorted(self._shards.items())
                 if shard_id in self._ring
             ]
-        fetched = await asyncio.gather(
-            *(self._fetch_shard_stats(host, port) for _, host, port in targets)
+        loop = asyncio.get_running_loop()
+        pushes = await asyncio.gather(
+            *(
+                loop.run_in_executor(None, handle.push_now)
+                for handle in handles
+            )
         )
         per_shard: Dict[str, Dict] = {}
         snapshots: List[Dict] = []
-        for (shard_id, _, port), stats in zip(targets, fetched):
-            if stats is None:
-                per_shard[shard_id] = {"port": port, "reachable": False}
+        for handle, push in zip(handles, pushes):
+            if push is None:
+                per_shard[handle.shard_id] = {
+                    "port": handle.port,
+                    "reachable": False,
+                }
                 continue
+            stats = push.get("stats", {})
             metrics = stats.get("metrics", {})
             snapshots.append(metrics)
-            requests = metrics.get("serve.requests", {}).get("value", 0)
-            per_shard[shard_id] = {
-                "port": port,
+            p99 = metrics.get("serve.request.seconds", {}).get("p99")
+            per_shard[handle.shard_id] = {
+                "port": handle.port,
                 "reachable": True,
                 "uptime_seconds": stats.get("uptime_seconds", 0.0),
                 "models": stats.get("models", []),
-                "requests": requests,
+                "requests": metrics.get("serve.requests", {}).get("value", 0),
+                "latency_p99_ms": None if p99 is None else 1000.0 * p99,
+                "pushed_at": push.get("ts"),
             }
         cluster_metrics = {
             name: state
@@ -772,6 +960,110 @@ class Cluster:
             "router_metrics": cluster_metrics,
         }
 
+    async def _cluster_slowlog(self) -> Dict:
+        """Merged slow-query log: every in-ring shard's entries, by time.
+
+        Same fan-out shape as :meth:`_cluster_stats`, but over the
+        shard data sockets — the slow-query log lives inside each
+        shard's server process, not in the pushed metric snapshots.
+        Entries are tagged with the shard that recorded them, so a
+        trace id in the merged view still points at one process's
+        trace file.  Knobs are uniform across a cluster (one
+        ``ServerConfig``), so the top-level threshold/rate mirror the
+        first reachable shard and ``sampled_out`` sums.
+        """
+        with self._lock:
+            handles = [
+                handle
+                for shard_id, handle in sorted(self._shards.items())
+                if shard_id in self._ring
+            ]
+
+        def fetch(handle: "ShardHandle") -> Optional[Dict]:
+            try:
+                with PowerQueryClient(
+                    self.host, handle.port, timeout=5.0
+                ) as shard_client:
+                    return shard_client.slowlog()
+            except (ReproError, OSError):
+                return None
+
+        loop = asyncio.get_running_loop()
+        reports = await asyncio.gather(
+            *(
+                loop.run_in_executor(None, fetch, handle)
+                for handle in handles
+            )
+        )
+        per_shard: Dict[str, Dict] = {}
+        entries: List[Dict] = []
+        merged: Dict = {
+            "threshold_ms": None,
+            "rate": None,
+            "capacity": 0,
+            "sampled_out": 0,
+        }
+        for handle, report in zip(handles, reports):
+            if report is None:
+                per_shard[handle.shard_id] = {
+                    "port": handle.port,
+                    "reachable": False,
+                }
+                continue
+            shard_entries = report.get("entries", [])
+            per_shard[handle.shard_id] = {
+                "port": handle.port,
+                "reachable": True,
+                "sampled_out": report.get("sampled_out", 0),
+                "entries": len(shard_entries),
+            }
+            if merged["threshold_ms"] is None:
+                merged["threshold_ms"] = report.get("threshold_ms")
+                merged["rate"] = report.get("rate")
+            merged["capacity"] += report.get("capacity", 0)
+            merged["sampled_out"] += report.get("sampled_out", 0)
+            for entry in shard_entries:
+                entries.append(dict(entry, shard=handle.shard_id))
+        entries.sort(key=lambda entry: entry.get("ts", 0.0))
+        merged["entries"] = entries
+        merged["shards"] = per_shard
+        return merged
+
+    def _render_prometheus(self) -> str:
+        """One Prometheus text page from the latest pushed snapshots.
+
+        Per-shard series carry a ``shard`` label (never an unlabelled
+        merged duplicate, which would double-count under a summing
+        scraper); ``up{shard=...}`` reflects liveness *and* routing, so
+        a killed or drained shard drops to 0 within one monitor tick.
+        Router-local ``serve.cluster.*`` series export unlabelled.
+        """
+        with self._lock:
+            handles = sorted(self._shards.items())
+            routed = set(self._ring.shards)
+        labelled: Dict[str, Dict] = {}
+        for shard_id, handle in handles:
+            push = handle.latest_push or {}
+            snapshot = dict(push.get("stats", {}).get("metrics", {}))
+            snapshot["up"] = {
+                "type": "gauge",
+                "kind": "last",
+                "value": (
+                    1.0
+                    if handle.alive() and shard_id in routed
+                    else 0.0
+                ),
+            }
+            labelled[shard_id] = snapshot
+        router_metrics = {
+            name: state
+            for name, state in _MET.snapshot().items()
+            if name.startswith("serve.cluster.")
+        }
+        return render_metrics(
+            labelled, label="shard", unlabeled=router_metrics
+        )
+
     # -- shutdown ------------------------------------------------------
     def _stop_workers(self) -> None:
         with self._lock:
@@ -784,6 +1076,9 @@ class Cluster:
 
     def stop(self, timeout: float = 15.0) -> None:
         """Stop the router and gracefully drain every worker."""
+        if self.prometheus is not None:
+            self.prometheus.stop()
+            self.prometheus = None
         if self._router_loop is not None and self._stop_event is not None:
             try:
                 self._router_loop.call_soon_threadsafe(self._stop_event.set)
@@ -792,6 +1087,28 @@ class Cluster:
         if self._router_thread is not None:
             self._router_thread.join(timeout)
         self._stop_workers()
+        self._write_router_trace()
+
+    def _write_router_trace(self) -> None:
+        """Export this (router) process's spans for ``repro trace-merge``.
+
+        Workers write their own ``trace-<pid>-<port>.json`` at graceful
+        stop; this file adds the router hops — and, when load was
+        generated from this process, the client hops too.
+        """
+        trace_dir = self.config.server.trace_dir
+        tracer = get_tracer()
+        if not trace_dir or not tracer.enabled:
+            return
+        if not hasattr(tracer, "write_chrome"):
+            return
+        try:
+            os.makedirs(trace_dir, exist_ok=True)
+            tracer.write_chrome(
+                os.path.join(trace_dir, f"trace-{os.getpid()}-router.json")
+            )
+        except OSError:  # noqa: BLE001 - telemetry must not fail shutdown
+            pass
 
     def wait(self) -> None:
         """Block until the router thread exits (shutdown op or stop())."""
@@ -865,6 +1182,10 @@ class ClusterClient:
 
     def healthz(self) -> Dict:
         return self._router.call({"op": "healthz"})
+
+    def slowlog(self) -> Dict:
+        """The router's merged slow-query log (entries tagged by shard)."""
+        return self._router.call({"op": "slowlog"})
 
     def shutdown_cluster(self) -> None:
         """Ask the router to stop the whole cluster (never retried)."""
@@ -985,10 +1306,17 @@ class ClusterClient:
 class _RingCache:
     """Shared, version-coalesced ring cache for one load-generation run."""
 
-    def __init__(self, host: str, router_port: int, counters: Dict[str, int]):
+    def __init__(
+        self,
+        host: str,
+        router_port: int,
+        counters: Dict[str, int],
+        trace_root: Optional[TraceContext] = None,
+    ):
         self.host = host
         self.router_port = router_port
         self.counters = counters
+        self.trace_root = trace_root
         self.payload: Optional[Dict] = None
         self._lock = asyncio.Lock()
 
@@ -1004,13 +1332,30 @@ class _RingCache:
                 or self.payload.get("version", -1) != stale_version
             ):
                 return self.payload
+            request = {"id": 0, "op": "ring"}
+            hop = (
+                self.trace_root.child()
+                if self.trace_root is not None
+                else None
+            )
+            if hop is not None:
+                request["traceparent"] = hop.to_traceparent()
             reader, writer = await asyncio.open_connection(
                 self.host, self.router_port
             )
-            try:
-                writer.write(protocol.encode({"id": 0, "op": "ring"}))
+
+            async def roundtrip() -> bytes:
+                writer.write(protocol.encode(request))
                 await writer.drain()
-                line = await reader.readline()
+                return await reader.readline()
+
+            try:
+                if hop is not None:
+                    with use_trace_context(hop):
+                        with get_tracer().span("serve.client.ring"):
+                            line = await roundtrip()
+                else:
+                    line = await roundtrip()
             finally:
                 writer.close()
             if not line:
@@ -1030,10 +1375,12 @@ async def _cluster_load_worker(
     latencies: List[float],
     counters: Dict[str, int],
     retry: RetryPolicy,
+    trace_root: Optional[TraceContext] = None,
 ) -> None:
     import random as _random
 
     rng = _random.Random(1000003 * offset + 17)
+    tracer = get_tracer()
     reader = writer = None
     endpoint: Optional[Tuple[str, int]] = None
     bad: set = set()
@@ -1088,6 +1435,17 @@ async def _cluster_load_worker(
                 "initial": initial,
                 "final": final,
             }
+            # One trace hop per request; each *attempt* derives a fresh
+            # span id from it, so retries after a connection reset stay
+            # in the same trace but are distinguishable hops.  In
+            # propagation-only mode (no spans recorded) the request
+            # context is skipped and attempts mint wire headers straight
+            # off the root.
+            request_ctx = (
+                trace_root.child()
+                if trace_root is not None and tracer.record
+                else None
+            )
             started = time.perf_counter()
             answered = False
             first_endpoint = None
@@ -1108,10 +1466,38 @@ async def _cluster_load_worker(
                     continue
                 if first_endpoint is None:
                     first_endpoint = endpoint
+                hop = (
+                    request_ctx.child() if request_ctx is not None else None
+                )
                 try:
-                    writer.write(protocol.encode(request))
-                    await writer.drain()
-                    line = await reader.readline()
+                    if hop is not None:
+                        wire = dict(
+                            request, traceparent=hop.to_traceparent()
+                        )
+                        with use_trace_context(hop):
+                            with tracer.span(
+                                "serve.client.request",
+                                model=model,
+                                attempt=attempt,
+                            ):
+                                writer.write(protocol.encode(wire))
+                                await writer.drain()
+                                line = await reader.readline()
+                    elif trace_root is not None:
+                        # Propagation only: fresh span id per attempt
+                        # on the wire, no local span.  The request dict
+                        # is per-request, so overwriting the header in
+                        # place is attempt-safe.
+                        request["traceparent"] = (
+                            trace_root.child_traceparent()
+                        )
+                        writer.write(protocol.encode(request))
+                        await writer.drain()
+                        line = await reader.readline()
+                    else:
+                        writer.write(protocol.encode(request))
+                        await writer.drain()
+                        line = await reader.readline()
                 except (OSError, asyncio.IncompleteReadError):
                     line = b""
                 if not line:  # shard died / reset mid-request
@@ -1168,6 +1554,12 @@ def generate_cluster_load(
     answering.  The report's ``failovers``/``ring_refreshes`` count the
     recoveries; a chaos-killed shard must show up there, never in
     ``errors``.
+
+    When tracing is enabled in this process, the whole run shares one
+    ``trace_id`` (reported on the :class:`LoadReport`): every request is
+    a child hop of it and every attempt a child of its request, so
+    ``repro trace-merge`` can reassemble client → router → shard →
+    kernel timelines across processes.
     """
     if not transitions:
         raise ReproError("generate_cluster_load needs at least one transition")
@@ -1180,9 +1572,10 @@ def generate_cluster_load(
         "failovers": 0,
         "ring_refreshes": 0,
     }
+    trace_root = _trace_root()
 
     async def _run() -> float:
-        ring = _RingCache(host, router_port, counters)
+        ring = _RingCache(host, router_port, counters, trace_root=trace_root)
         await ring.fetch()
         started = time.perf_counter()
         await asyncio.gather(
@@ -1196,6 +1589,7 @@ def generate_cluster_load(
                     latencies,
                     counters,
                     retry,
+                    trace_root,
                 )
                 for worker in range(clients)
             )
@@ -1220,6 +1614,7 @@ def generate_cluster_load(
         reconnects=counters["reconnects"],
         failovers=counters["failovers"],
         ring_refreshes=counters["ring_refreshes"],
+        trace_id=trace_root.trace_id if trace_root is not None else None,
     )
 
 

@@ -16,8 +16,17 @@ Request shapes
 ``{"id": .., "op": "models"}``
     Names and metadata of the models this server holds.
 ``{"id": .., "op": "ping"}`` / ``{"id": .., "op": "stats"}`` /
-``{"id": .., "op": "shutdown"}``
-    Liveness, telemetry snapshot, graceful stop.
+``{"id": .., "op": "slowlog"}`` / ``{"id": .., "op": "shutdown"}``
+    Liveness, telemetry snapshot, slow-query log, graceful stop.
+
+Any request may additionally carry a ``traceparent`` field — a
+W3C-traceparent-shaped string (``00-<trace_id>-<span_id>-01``, see
+:class:`repro.obs.trace.TraceContext`) naming the caller's hop of a
+distributed trace.  Servers that recognise it stamp their spans with the
+same ``trace_id`` so ``repro trace-merge`` can assemble one cross-process
+timeline; servers (and versions) that don't simply ignore the field.  A
+malformed ``traceparent`` is ignored, never an error: telemetry must not
+fail a request.
 
 Responses are ``{"id": .., "ok": true, "result": ...}`` on success and
 ``{"id": .., "ok": false, "error": {"type": T, "message": M}}`` on

@@ -35,16 +35,22 @@ from __future__ import annotations
 
 import asyncio
 import os
+import random
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.models.addmodel import AddPowerModel
-from repro.obs.metrics import get_metrics
-from repro.obs.trace import get_tracer
+from repro.obs.metrics import LATENCY_BUCKETS, get_metrics
+from repro.obs.trace import (
+    TraceContext,
+    get_tracer,
+    use_trace_context,
+)
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
 from repro.testing import faults
@@ -70,6 +76,18 @@ _REQUEST_SECONDS = _MET.histogram(
     "serve.request.seconds",
     (1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
 )
+# Per-request latency anatomy: where did an evaluate's wall time go?
+# queue_wait = dispatch -> parked in a batcher, batch_wait = parked ->
+# flush start, kernel = the batch's kernel call, serialize = slicing +
+# encoding + writing this request's reply.  Log-bucketed so quantile
+# estimates carry a constant relative error across four decades.
+_QUEUE_WAIT = _MET.histogram("serve.latency.queue_wait_seconds", LATENCY_BUCKETS)
+_BATCH_WAIT = _MET.histogram("serve.latency.batch_wait_seconds", LATENCY_BUCKETS)
+_KERNEL_SECONDS = _MET.histogram("serve.latency.kernel_seconds", LATENCY_BUCKETS)
+_SERIALIZE_SECONDS = _MET.histogram(
+    "serve.latency.serialize_seconds", LATENCY_BUCKETS
+)
+_SLOWLOG_ENTRIES = _MET.counter("serve.slowlog.entries")
 
 
 @dataclass(frozen=True)
@@ -107,6 +125,19 @@ class ServerConfig:
     #: fires — simulating a shard dying mid-load.  None (the default)
     #: never consults the site, so standalone servers are immune.
     shard_fault_token: Optional[int] = None
+    #: Requests slower than this end-to-end land in the slow-query log.
+    slowlog_threshold_ms: float = 100.0
+    #: Sampling probability for over-threshold requests (1.0 = keep all;
+    #: lower it when a systemic slowdown would otherwise churn the ring
+    #: buffer faster than anyone can read it).
+    slowlog_rate: float = 1.0
+    #: Ring-buffer capacity of the slow-query log.
+    slowlog_capacity: int = 128
+    #: When set, the server writes its Chrome-trace export (if tracing
+    #: is enabled in this process) into this directory at shutdown as
+    #: ``trace-<pid>-<port>.json`` — one file per process, assembled by
+    #: ``repro trace-merge``.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kernel != "auto":
@@ -133,6 +164,19 @@ class ServerConfig:
                 f"max_parked_rows must be >= 1 or None, "
                 f"got {self.max_parked_rows}"
             )
+        if self.slowlog_threshold_ms < 0:
+            raise ValueError(
+                f"slowlog_threshold_ms must be >= 0, "
+                f"got {self.slowlog_threshold_ms}"
+            )
+        if not 0.0 <= self.slowlog_rate <= 1.0:
+            raise ValueError(
+                f"slowlog_rate must be in [0, 1], got {self.slowlog_rate}"
+            )
+        if self.slowlog_capacity < 1:
+            raise ValueError(
+                f"slowlog_capacity must be >= 1, got {self.slowlog_capacity}"
+            )
 
 
 @dataclass
@@ -146,6 +190,79 @@ class _Pending:
     single: bool  # answer with a scalar instead of a list
     arrived: float
     deadline: float
+    #: When the request was parked (== arrived for unbatched requests);
+    #: parked - arrived is its queue wait, flush - parked its batch wait.
+    parked: float = 0.0
+    #: Distributed-trace identity of the request's wire hop, if any.
+    #: On the non-recording hot path this is the *raw* traceparent
+    #: header (str) — decoded lazily by the slow-query log.
+    trace_ctx: "Union[TraceContext, str, None]" = None
+
+
+class SlowQueryLog:
+    """Sampled ring buffer of over-threshold requests' latency anatomy.
+
+    A request whose end-to-end time exceeds the threshold is (with
+    probability ``rate``) recorded as a structured entry — model, rows,
+    the queue/batch/kernel/serialize decomposition, and the trace ids
+    when the request was traced — into a bounded deque, so a burst of
+    slow queries costs O(capacity) memory and the newest evidence wins.
+    """
+
+    def __init__(self, config: "ServerConfig"):
+        self.threshold_s = config.slowlog_threshold_ms / 1e3
+        self.rate = config.slowlog_rate
+        self.capacity = config.slowlog_capacity
+        self._entries: deque = deque(maxlen=config.slowlog_capacity)
+        # Deterministic sampling stream, decoupled from user-visible rngs.
+        self._rng = random.Random(0x510)
+        self.sampled_out = 0
+
+    def consider(
+        self,
+        item: "_Pending",
+        model: AddPowerModel,
+        rows: int,
+        total_s: float,
+        queue_s: float,
+        batch_s: float,
+        kernel_s: float,
+        serialize_s: float,
+    ) -> None:
+        if total_s < self.threshold_s:
+            return
+        if self.rate < 1.0 and self._rng.random() >= self.rate:
+            self.sampled_out += 1
+            return
+        entry = {
+            "ts": time.time(),
+            "request_id": item.request_id,
+            "model": model.macro_name,
+            "rows": rows,
+            "total_ms": round(total_s * 1e3, 3),
+            "queue_wait_ms": round(queue_s * 1e3, 3),
+            "batch_wait_ms": round(batch_s * 1e3, 3),
+            "kernel_ms": round(kernel_s * 1e3, 3),
+            "serialize_ms": round(serialize_s * 1e3, 3),
+        }
+        ctx = item.trace_ctx
+        if isinstance(ctx, str):  # deferred parse off the hot path
+            ctx = TraceContext.from_traceparent(ctx)
+        if isinstance(ctx, TraceContext):
+            entry["trace_id"] = ctx.trace_id
+            entry["span_id"] = ctx.span_id
+        self._entries.append(entry)
+        _SLOWLOG_ENTRIES.inc()
+
+    def report(self) -> Dict:
+        """The ``slowlog`` op's payload: knobs + entries, oldest first."""
+        return {
+            "threshold_ms": self.threshold_s * 1e3,
+            "rate": self.rate,
+            "capacity": self.capacity,
+            "sampled_out": self.sampled_out,
+            "entries": list(self._entries),
+        }
 
 
 class _Batcher:
@@ -183,6 +300,7 @@ class PowerQueryServer:
         self._draining: set = set()
         self._stop_event: Optional[asyncio.Event] = None
         self._stopping = False
+        self.slowlog = SlowQueryLog(config)
         # Pre-compile every model and warm its evaluation backend so the
         # first query pays neither the O(model size) flattening nor a
         # backend's one-time setup (C compilation, table packing).
@@ -314,6 +432,25 @@ class PowerQueryServer:
             except Exception:  # pragma: no cover - already-broken transport
                 pass
         self._writers.clear()
+        self._write_trace_file()
+
+    def _write_trace_file(self) -> None:
+        """Export this process's spans for ``repro trace-merge`` pickup."""
+        if not self.config.trace_dir:
+            return
+        tracer = get_tracer()
+        if not tracer.enabled or not hasattr(tracer, "write_chrome"):
+            return
+        try:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
+            tracer.write_chrome(
+                os.path.join(
+                    self.config.trace_dir,
+                    f"trace-{os.getpid()}-{self.port}.json",
+                )
+            )
+        except OSError:  # noqa: BLE001 - telemetry must not fail shutdown
+            pass
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -438,34 +575,45 @@ class PowerQueryServer:
             request = protocol.decode_request(line)
             request_id = request.get("id")
             op = request["op"]
-            if op == "evaluate":
-                self._handle_evaluate(request, writer, arrived)
-            elif op == "ping":
-                self._send(writer, protocol.ok_response(request_id, "pong"))
-            elif op == "models":
-                self._send(
+            tracer = get_tracer()
+            if not tracer.record:
+                # Untraced, or propagation-only: the raw header (when
+                # present) travels *unparsed* to the slow-query log via
+                # ``_Pending.trace_ctx`` and is only decoded for the
+                # rare sampled entry — the always-on hot path neither
+                # parses nor allocates.
+                self._dispatch_op(
+                    op,
+                    request,
+                    request_id,
                     writer,
-                    protocol.ok_response(
-                        request_id,
-                        [
-                            protocol.model_summary(name, model)
-                            for name, model in sorted(self.models.items())
-                        ],
-                    ),
+                    arrived,
+                    request.get("traceparent"),
                 )
-            elif op == "stats":
-                self._send(
-                    writer, protocol.ok_response(request_id, self._stats())
-                )
-            elif op == "healthz":
-                self._send(
-                    writer, protocol.ok_response(request_id, self._healthz())
-                )
-            elif op == "shutdown":
-                self._send(writer, protocol.ok_response(request_id, "stopping"))
-                self.request_stop()
             else:
-                raise ProtocolError("bad_request", f"unknown op {op!r}")
+                context = TraceContext.from_traceparent(
+                    request.get("traceparent")
+                )
+                if context is None:
+                    self._dispatch_op(
+                        op, request, request_id, writer, arrived, None
+                    )
+                else:
+                    # Honour the caller's trace: while this context is
+                    # active, every span the tracer opens (the request
+                    # span here, per-model flush spans later via
+                    # _Pending) is stamped with the caller's trace_id,
+                    # parented on its wire hop.
+                    with use_trace_context(context):
+                        with tracer.span("serve.request", op=op):
+                            self._dispatch_op(
+                                op,
+                                request,
+                                request_id,
+                                writer,
+                                arrived,
+                                context,
+                            )
         except ProtocolError as exc:
             self._send(
                 writer,
@@ -479,11 +627,58 @@ class PowerQueryServer:
                 ),
             )
 
+    def _dispatch_op(
+        self,
+        op: str,
+        request: Dict,
+        request_id,
+        writer: asyncio.StreamWriter,
+        arrived: float,
+        context: "Union[TraceContext, str, None]" = None,
+    ) -> None:
+        if op == "evaluate":
+            self._handle_evaluate(request, writer, arrived, context)
+        elif op == "ping":
+            self._send(writer, protocol.ok_response(request_id, "pong"))
+        elif op == "models":
+            self._send(
+                writer,
+                protocol.ok_response(
+                    request_id,
+                    [
+                        protocol.model_summary(name, model)
+                        for name, model in sorted(self.models.items())
+                    ],
+                ),
+            )
+        elif op == "stats":
+            self._send(
+                writer, protocol.ok_response(request_id, self._stats())
+            )
+        elif op == "slowlog":
+            self._send(
+                writer,
+                protocol.ok_response(request_id, self.slowlog.report()),
+            )
+        elif op == "healthz":
+            self._send(
+                writer, protocol.ok_response(request_id, self._healthz())
+            )
+        elif op == "shutdown":
+            self._send(writer, protocol.ok_response(request_id, "stopping"))
+            self.request_stop()
+        else:
+            raise ProtocolError("bad_request", f"unknown op {op!r}")
+
     # ------------------------------------------------------------------
     # Evaluate path
     # ------------------------------------------------------------------
     def _handle_evaluate(
-        self, request: Dict, writer: asyncio.StreamWriter, arrived: float
+        self,
+        request: Dict,
+        writer: asyncio.StreamWriter,
+        arrived: float,
+        context: "Union[TraceContext, str, None]" = None,
     ) -> None:
         if self._stopping:
             raise ProtocolError("unavailable", "server is shutting down")
@@ -520,6 +715,8 @@ class PowerQueryServer:
             single=single,
             arrived=arrived,
             deadline=arrived + self.config.request_timeout_s,
+            parked=time.perf_counter(),
+            trace_ctx=context,
         )
         if not self.config.batching or self.config.max_batch <= 1:
             self._evaluate([pending], model)
@@ -601,9 +798,17 @@ class PowerQueryServer:
                 faults.maybe_delay("serve.eval.slow")
                 tracer = get_tracer()
                 total = sum(packed.shape[0] for _, _, packed in segments)
+                all_live = [
+                    item for _, live, _ in segments for item in live
+                ]
+                attrs = self._batch_trace_attrs(tracer, all_live)
+                flush_start = time.perf_counter()
                 try:
                     with tracer.span(
-                        "serve.eval.fused", segments=len(segments), rows=total
+                        "serve.eval.fused",
+                        segments=len(segments),
+                        rows=total,
+                        **attrs,
                     ):
                         outs = self._fused.evaluate_many(
                             [(name, packed) for name, _, packed in segments]
@@ -612,14 +817,18 @@ class PowerQueryServer:
                     for name, live, _ in segments:
                         leftover.append((live, self.models[name]))
                 else:
+                    kernel_s = time.perf_counter() - flush_start
+                    _KERNEL_SECONDS.observe(kernel_s)
                     _FUSED_BATCHES.inc()
                     _FUSED_SEGMENTS.inc(len(segments))
-                    done = time.perf_counter()
                     for (name, live, packed), values in zip(segments, outs):
                         _EVAL_BATCHES.inc()
                         _EVAL_ROWS.inc(int(packed.shape[0]))
                         _BATCH_ROWS.observe(len(live))
-                        self._respond(live, values, done)
+                        self._respond(
+                            live, values, self.models[name],
+                            flush_start, kernel_s,
+                        )
             for pending, model in leftover:
                 self._evaluate_now(pending, model)
         finally:
@@ -654,6 +863,27 @@ class PowerQueryServer:
                 live.append(item)
         return live
 
+    @staticmethod
+    def _batch_trace_attrs(tracer, live: List[_Pending]) -> Dict:
+        """``trace_ids`` attr for batch-level spans (flush, kernel calls).
+
+        A batch serves several traces at once, so batch spans carry the
+        whole id set; :func:`repro.obs.trace.merge_chrome_traces` matches
+        either a span's own ``trace_id`` or membership in ``trace_ids``.
+        """
+        if not tracer.record:
+            return {}
+        ids = set()
+        for item in live:
+            ctx = item.trace_ctx
+            if isinstance(ctx, str):
+                # Queued before recording was switched on: the header
+                # is still raw — parse it now.
+                ctx = TraceContext.from_traceparent(ctx)
+            if isinstance(ctx, TraceContext):
+                ids.add(ctx.trace_id)
+        return {"trace_ids": sorted(ids)} if ids else {}
+
     def _evaluate_now(
         self, pending: List[_Pending], model: AddPowerModel
     ) -> None:
@@ -665,31 +895,55 @@ class PowerQueryServer:
         initial = np.concatenate([item.initial for item in live])
         final = np.concatenate([item.final for item in live])
         tracer = get_tracer()
-        try:
-            with tracer.span(
-                "serve.eval", model=model.macro_name, rows=initial.shape[0]
-            ):
-                values = model.pair_capacitances(initial, final)
-        except Exception as exc:  # noqa: BLE001 - typed error per request
-            for item in live:
-                self._send(
-                    item.writer,
-                    protocol.error_response(
-                        item.request_id,
-                        "internal",
-                        f"evaluation failed: {type(exc).__name__}: {exc}",
-                    ),
-                )
-            return
-        _EVAL_BATCHES.inc()
-        _EVAL_ROWS.inc(int(initial.shape[0]))
-        _BATCH_ROWS.observe(len(live))
-        self._respond(live, values, time.perf_counter())
+        attrs = self._batch_trace_attrs(tracer, live)
+        flush_start = time.perf_counter()
+        with tracer.span(
+            "serve.batch.flush",
+            model=model.macro_name,
+            requests=len(live),
+            **attrs,
+        ):
+            try:
+                with tracer.span(
+                    "serve.eval",
+                    model=model.macro_name,
+                    rows=initial.shape[0],
+                    **attrs,
+                ):
+                    values = model.pair_capacitances(initial, final)
+            except Exception as exc:  # noqa: BLE001 - typed error per request
+                for item in live:
+                    self._send(
+                        item.writer,
+                        protocol.error_response(
+                            item.request_id,
+                            "internal",
+                            f"evaluation failed: {type(exc).__name__}: {exc}",
+                        ),
+                    )
+                return
+            kernel_s = time.perf_counter() - flush_start
+            _KERNEL_SECONDS.observe(kernel_s)
+            _EVAL_BATCHES.inc()
+            _EVAL_ROWS.inc(int(initial.shape[0]))
+            _BATCH_ROWS.observe(len(live))
+            self._respond(live, values, model, flush_start, kernel_s)
 
     def _respond(
-        self, live: List[_Pending], values: np.ndarray, done: float
+        self,
+        live: List[_Pending],
+        values: np.ndarray,
+        model: AddPowerModel,
+        flush_start: float,
+        kernel_s: float,
     ) -> None:
-        """Slice one batch result back into per-request replies."""
+        """Slice one batch result back into per-request replies.
+
+        Also the accounting point of the latency anatomy: each answered
+        request's queue/batch/serialize segments are observed here, its
+        total recorded, and over-threshold requests offered to the
+        slow-query log.
+        """
         offset = 0
         for item in live:
             count = item.initial.shape[0]
@@ -699,8 +953,21 @@ class PowerQueryServer:
                 result = {"capacitance_fF": float(chunk[0])}
             else:
                 result = {"capacitances_fF": [float(v) for v in chunk]}
+            serialize_start = time.perf_counter()
             self._send(item.writer, protocol.ok_response(item.request_id, result))
-            _REQUEST_SECONDS.observe(done - item.arrived)
+            done = time.perf_counter()
+            queue_s = max(0.0, item.parked - item.arrived)
+            batch_s = max(0.0, flush_start - item.parked)
+            serialize_s = done - serialize_start
+            total_s = done - item.arrived
+            _QUEUE_WAIT.observe(queue_s)
+            _BATCH_WAIT.observe(batch_s)
+            _SERIALIZE_SECONDS.observe(serialize_s)
+            _REQUEST_SECONDS.observe(total_s)
+            self.slowlog.consider(
+                item, model, count, total_s,
+                queue_s, batch_s, kernel_s, serialize_s,
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -721,6 +988,8 @@ class PowerQueryServer:
                 "max_parked_rows": self.config.max_parked_rows,
                 "kernel": self.config.kernel,
                 "fused": self.config.fused,
+                "slowlog_threshold_ms": self.config.slowlog_threshold_ms,
+                "slowlog_rate": self.config.slowlog_rate,
             },
             "fused_models": sorted(self._fused.keys) if self._fused else [],
             "metrics": {

@@ -30,7 +30,7 @@ _MET = get_metrics()
 _SIM_PATTERNS = _MET.counter("sim.patterns")
 _SIM_TRANSITIONS = _MET.counter("sim.transitions")
 _SIM_BATCHES = _MET.counter("sim.batches")
-_SIM_RATE = _MET.gauge("sim.patterns_per_sec")
+_SIM_RATE = _MET.gauge("sim.patterns_per_sec", kind="last")
 
 #: Default supply voltage (V); a typical 1998-era value.  Only scales the
 #: energy axis — all the paper's metrics are relative errors.

@@ -46,7 +46,7 @@ from repro.testing.shrink import shrink_case
 _MET = get_metrics()
 _FUZZ_ITERATIONS = _MET.counter("fuzz.iterations")
 _FUZZ_FAILURES = _MET.counter("fuzz.failures")
-_FUZZ_FEATURES = _MET.gauge("fuzz.feature_buckets")
+_FUZZ_FEATURES = _MET.gauge("fuzz.feature_buckets", kind="last")
 _FUZZ_APPROX = _MET.counter("fuzz.approximated_cases")
 _FUZZ_LEVELIZED = _MET.counter("fuzz.levelized_cases")
 _FUZZ_SHRINKS = _MET.counter("fuzz.shrinks")

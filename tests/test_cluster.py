@@ -252,6 +252,47 @@ class TestClusterIntegration:
                 client.evaluate("no-such-model", "0000", "1111")
 
 
+class TestRouterSlowlog:
+    def test_router_merges_shard_slowlogs(self):
+        # threshold 0 → every answered request lands in its shard's log,
+        # so the router's merged view must carry entries from the data
+        # plane, tagged with the shard that recorded them.
+        deployment = Cluster(
+            {"quad": make_model()},
+            ClusterConfig(
+                workers=2,
+                replication=2,
+                monitor_interval_s=0.05,
+                server=ServerConfig(
+                    max_batch=16,
+                    max_wait_ms=0.5,
+                    slowlog_threshold_ms=0.0,
+                ),
+            ),
+        ).start()
+        try:
+            with ClusterClient(
+                deployment.host, deployment.router_port
+            ) as client:
+                for _ in range(6):
+                    assert client.evaluate("quad", "0000", "1111") > 0.0
+                report = client.slowlog()
+        finally:
+            deployment.stop()
+        assert report["threshold_ms"] == 0.0
+        shards = report["shards"]
+        assert sorted(shards) == ["s0", "s1"]
+        assert all(info["reachable"] for info in shards.values())
+        entries = report["entries"]
+        assert len(entries) >= 6
+        assert {entry["shard"] for entry in entries} <= {"s0", "s1"}
+        assert sum(info["entries"] for info in shards.values()) == len(
+            entries
+        )
+        stamps = [entry["ts"] for entry in entries]
+        assert stamps == sorted(stamps)
+
+
 class TestClusterLifecycle:
     def test_placement_key_prefers_content_hash(self):
         model = make_model()
@@ -406,3 +447,149 @@ class TestClusterChaos:
                     requests_per_client=5,
                 )
             assert report.errors == 0
+
+
+# ---------------------------------------------------------------------------
+# Trace propagation under fault injection
+# ---------------------------------------------------------------------------
+class TestTracePropagationUnderFaults:
+    def test_connection_reset_retry_keeps_trace_id_with_fresh_span(self):
+        """A retried attempt is a new span on the *same* trace.
+
+        ``serve.connection.reset`` aborts the first connection each shard
+        accepts; the load generator reconnects and retries.  Every
+        attempt span — first try and retry alike — must carry the load
+        run's trace id, and no two attempts may reuse a span id, or the
+        merged timeline would draw the retry on top of the failure it
+        recovered from.
+        """
+        from repro.obs import disable_tracing, enable_tracing
+
+        config = ClusterConfig(
+            workers=2,
+            replication=2,
+            monitor_interval_s=0.02,
+            server=ServerConfig(max_batch=16, max_wait_ms=0.5),
+        )
+        tracer = enable_tracing()
+        try:
+            with faults.inject(
+                [FaultSpec(site="serve.connection.reset", times=1)]
+            ):
+                with Cluster(
+                    {"quad": make_model()}, config
+                ).start() as deployment:
+                    report = generate_cluster_load(
+                        deployment.host,
+                        deployment.router_port,
+                        "quad",
+                        [("0000", "1111"), ("0011", "1100")],
+                        clients=4,
+                        requests_per_client=5,
+                    )
+        finally:
+            disable_tracing()
+
+        assert report.errors == 0
+        assert report.reconnects + report.failovers > 0
+        assert report.trace_id is not None
+
+        attempts = [
+            span
+            for span in tracer.spans()
+            if span.name == "serve.client.request"
+        ]
+        assert attempts
+        # Every attempt belongs to the one trace of this load run.
+        assert {span.trace_id for span in attempts} == {report.trace_id}
+        # Retried attempts were traced: one attempt>=2 span per reconnect.
+        retries = [
+            span for span in attempts if span.attrs["attempt"] >= 2
+        ]
+        assert retries, "fault injected but no request was retried"
+        # Fresh span and parent (wire hop) ids per attempt — a retry is
+        # a new hop, never a re-send of the failed one.
+        span_ids = [span.span_id for span in attempts]
+        assert len(set(span_ids)) == len(span_ids)
+        parent_ids = [span.parent_id for span in attempts]
+        assert len(set(parent_ids)) == len(parent_ids)
+        assert None not in parent_ids
+
+    @pytest.mark.chaos
+    def test_shard_killed_mid_trace_leaves_well_formed_partial_trace(
+        self, tmp_path
+    ):
+        """SIGKILLed shards export nothing; the merge must still stand.
+
+        The dead worker never reaches its graceful-stop trace dump, so
+        the merge covers the parent (client + router spans) and the
+        surviving shards only — a *partial* trace.  It must still be
+        well-formed: one trace id, rebased non-negative timestamps, and
+        the client -> router -> shard chain present from survivors.
+        """
+        from repro.obs import disable_tracing, enable_tracing, merge_chrome_traces
+
+        model = make_model()
+        config = ClusterConfig(
+            workers=3,
+            replication=2,
+            monitor_interval_s=0.02,
+            server=ServerConfig(
+                max_batch=16, max_wait_ms=0.5, trace_dir=str(tmp_path)
+            ),
+        )
+        # Aim the kill at shard 0 and pick a serving name placed there,
+        # exactly as in test_shard_killed_mid_load_is_invisible_to_clients.
+        ring = HashRing(
+            [f"s{i}" for i in range(config.workers)], vnodes=config.vnodes
+        )
+        model.source_hash = None
+        name = next(
+            candidate
+            for candidate in (f"quad-{i}" for i in range(100))
+            if "s0" in ring.lookup(candidate, config.replication)
+        )
+        enable_tracing()
+        try:
+            with faults.inject(
+                [
+                    FaultSpec(
+                        site="serve.shard.down", after=5, times=1, max_token=0
+                    )
+                ]
+            ):
+                with Cluster({name: model}, config).start() as deployment:
+                    report = generate_cluster_load(
+                        deployment.host,
+                        deployment.router_port,
+                        name,
+                        [("0000", "1111"), ("0011", "1100")],
+                        clients=8,
+                        requests_per_client=20,
+                    )
+        finally:
+            disable_tracing()
+
+        assert report.errors == 0
+        assert report.trace_id is not None
+
+        # The killed worker wrote no file: router + two survivors only.
+        files = sorted(tmp_path.glob("trace-*.json"))
+        assert len(files) == config.workers  # 1 router + (workers - 1)
+        payloads = [json.loads(path.read_text()) for path in files]
+        merged = merge_chrome_traces(payloads, trace_id=report.trace_id)
+
+        events = merged["traceEvents"]
+        assert events
+        timestamps = [event["ts"] for event in events]
+        assert min(timestamps) >= 0.0
+        assert timestamps == sorted(timestamps)
+        names = {event["name"] for event in events}
+        assert {
+            "serve.client.request",
+            "router.request",
+            "serve.request",
+        } <= names
+        # Parent (client + router) and at least one surviving shard.
+        assert len({event["pid"] for event in events}) >= 2
+        assert merged["metadata"]["trace_id"] == report.trace_id

@@ -173,7 +173,8 @@ class TestChromeExport:
         tracer.write_json(str(path))
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-trace"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
+        assert payload["origin_epoch_s"] > 0
         (span,) = payload["spans"]
         assert span["name"] == "s" and span["attrs"] == {"k": 1}
 
@@ -549,3 +550,329 @@ class TestMergeSnapshots:
         assert merged["serve.latency"]["count"] == 3
         # 0.2, 0.3, 0.4 all land in the (0.1, 1.0] bucket.
         assert merged["serve.latency"]["counts"] == [0, 3, 0]
+
+
+# ---------------------------------------------------------------------------
+# Distributed trace context + cross-process merge
+# ---------------------------------------------------------------------------
+class TestTraceContext:
+    def test_root_child_retry_identity(self):
+        from repro.obs import TraceContext, new_trace_context
+
+        root = new_trace_context()
+        assert len(root.trace_id) == 32 and len(root.span_id) == 16
+        assert root.parent_id is None
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_id == root.span_id
+        retry = child.retry()
+        # A retry is the *same* hop tried again: same trace and parent,
+        # fresh span id.
+        assert retry.trace_id == child.trace_id
+        assert retry.parent_id == child.parent_id
+        assert retry.span_id != child.span_id
+
+    def test_traceparent_round_trip(self):
+        from repro.obs import TraceContext, new_trace_context
+
+        context = new_trace_context()
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            17,
+            "",
+            "nonsense",
+            "00-short-span-01",
+            "00-" + "g" * 32 + "-" + "0" * 16 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "0" * 15 + "-01",  # short span
+            "00-" + "0" * 32 + "-" + "0" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_traceparent_is_none_never_raises(self, header):
+        from repro.obs import TraceContext
+
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_spans_stamped_under_active_context(self, tracer):
+        from repro.obs import new_trace_context, use_trace_context
+
+        context = new_trace_context()
+        with use_trace_context(context):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        inner, outer = tracer.spans()
+        assert outer.trace_id == context.trace_id
+        # The outermost span's parent is the remote caller's hop; the
+        # nested span's parent is the enclosing local span.
+        assert outer.parent_id == context.span_id
+        assert inner.parent_id == outer.span_id
+        assert len({outer.span_id, inner.span_id}) == 2
+
+    def test_spans_untouched_without_context(self, tracer):
+        with tracer.span("bare"):
+            pass
+        (span,) = tracer.spans()
+        assert span.trace_id is None and span.span_id is None
+
+    def test_concurrent_tasks_do_not_cross_parent(self, tracer):
+        """The nesting stack is context-local, not thread-local.
+
+        Concurrent asyncio tasks share one thread and (under a load
+        generator) one trace_id; a task's span must parent on *its own*
+        context hop, never on another task's currently-open span.
+        """
+        import asyncio
+
+        from repro.obs import new_trace_context, use_trace_context
+
+        root = new_trace_context()
+
+        async def attempt(hold_s):
+            hop = root.child()
+            with use_trace_context(hop):
+                with tracer.span("attempt"):
+                    await asyncio.sleep(hold_s)
+            return hop.span_id
+
+        async def run():
+            # One long-held span overlapping several short ones that
+            # open *and close* while it is live — on a shared stack the
+            # short spans would all parent on the long one.
+            return await asyncio.gather(
+                attempt(0.2), *(attempt(0.01) for _ in range(6))
+            )
+
+        hop_ids = asyncio.run(run())
+        spans = [s for s in tracer.spans() if s.name == "attempt"]
+        assert len(spans) == 7
+        assert sorted(s.parent_id for s in spans) == sorted(hop_ids)
+        parent_ids = [s.parent_id for s in spans]
+        assert len(set(parent_ids)) == len(parent_ids)
+
+
+class TestMergeChromeTraces:
+    def _payload(self, pid, origin_us, events):
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {"origin_epoch_us": origin_us, "pid": pid},
+        }
+
+    def test_rebases_to_earliest_origin(self):
+        from repro.obs import merge_chrome_traces
+
+        merged = merge_chrome_traces(
+            [
+                self._payload(1, 1000.0, [{"name": "a", "ts": 5.0, "pid": 1}]),
+                self._payload(2, 1300.0, [{"name": "b", "ts": 5.0, "pid": 2}]),
+            ]
+        )
+        by_name = {e["name"]: e["ts"] for e in merged["traceEvents"]}
+        assert by_name == {"a": 5.0, "b": 305.0}
+        assert merged["metadata"]["pids"] == [1, 2]
+        assert merged["metadata"]["merged_from"] == 2
+
+    def test_trace_id_filter_keeps_batch_spans(self):
+        from repro.obs import merge_chrome_traces
+
+        events = [
+            {"name": "mine", "ts": 0.0, "pid": 1, "args": {"trace_id": "t"}},
+            {"name": "other", "ts": 1.0, "pid": 1, "args": {"trace_id": "x"}},
+            {
+                "name": "batch",
+                "ts": 2.0,
+                "pid": 1,
+                "args": {"trace_ids": ["x", "t"]},
+            },
+            {"name": "untraced", "ts": 3.0, "pid": 1, "args": {}},
+        ]
+        merged = merge_chrome_traces(
+            [self._payload(1, 0.0, events)], trace_id="t"
+        )
+        assert [e["name"] for e in merged["traceEvents"]] == ["mine", "batch"]
+        assert merged["metadata"]["trace_id"] == "t"
+
+    def test_foreign_payload_without_anchor_kept_unshifted(self):
+        from repro.obs import merge_chrome_traces
+
+        merged = merge_chrome_traces(
+            [
+                self._payload(1, 500.0, [{"name": "a", "ts": 1.0, "pid": 1}]),
+                {"traceEvents": [{"name": "f", "ts": 9.0, "pid": 7}]},
+            ]
+        )
+        by_name = {e["name"]: e["ts"] for e in merged["traceEvents"]}
+        assert by_name["f"] == 9.0
+
+
+# ---------------------------------------------------------------------------
+# Quantiles, log buckets, gauge kinds
+# ---------------------------------------------------------------------------
+class TestHistogramQuantiles:
+    def test_log_buckets_geometric(self):
+        from repro.obs import log_buckets
+
+        buckets = log_buckets(0.001, 1.0, factor=10.0)
+        assert buckets == (0.001, 0.01, 0.1, 1.0)
+        with pytest.raises(ObsError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ObsError):
+            log_buckets(1.0, 0.5)
+        with pytest.raises(ObsError):
+            log_buckets(0.1, 1.0, factor=1.0)
+
+    def test_quantile_exact_within_bucket_on_uniform_data(self):
+        import numpy as np
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", (0.25, 0.5, 0.75, 1.0))
+        values = [(k + 0.5) / 1000.0 * 1.0 for k in range(1000)]
+        for value in values:
+            histogram.observe(value)
+        for q in (0.25, 0.5, 0.9, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = histogram.quantile(q)
+            # Linear interpolation within a bucket is exact for data
+            # uniform inside each bucket, up to edge effects.
+            assert estimate == pytest.approx(exact, abs=0.25 / 100)
+
+    def test_quantile_edges_and_empty(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", (1.0, 2.0))
+        assert histogram.quantile(0.5) is None
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(3.0)
+        assert histogram.quantile(0.0) == 0.5  # the recorded minimum
+        assert histogram.quantile(1.0) == 3.0  # the recorded maximum
+        with pytest.raises(ObsError):
+            histogram.quantile(1.5)
+
+    def test_to_dict_carries_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", (1.0, 2.0))
+        histogram.observe(0.5)
+        state = histogram.to_dict()
+        assert {"p50", "p95", "p99"} <= set(state)
+
+
+class TestGaugeKinds:
+    def test_default_kind_is_max_merge(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.gauge("peak").set(10.0)
+        right.gauge("peak").set(3.0)
+        left.merge(right.snapshot())
+        assert left.gauge("peak").value == 10.0
+
+    def test_last_kind_takes_incoming_value(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.gauge("level", kind="last").set(10.0)
+        right.gauge("level", kind="last").set(3.0)
+        left.merge(right.snapshot())
+        # A level (rate, ring version...) is not a peak: last write wins
+        # even when it is lower.
+        assert left.gauge("level").value == 3.0
+        assert right.snapshot()["level"]["kind"] == "last"
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", kind="last")
+        with pytest.raises(ObsError):
+            registry.gauge("g", kind="max")
+
+    def test_snapshot_without_kind_defaults_to_max(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5.0)
+        old_style = {"g": {"type": "gauge", "value": 9.0}}  # pre-kind writer
+        registry.merge(old_style)
+        assert registry.gauge("g").value == 9.0
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_render_counter_gauge_histogram(self):
+        from repro.obs.promexport import render_metrics
+
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(5)
+        registry.gauge("serve.depth", kind="last").set(2.0)
+        histogram = registry.histogram("serve.lat", (0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        page = render_metrics({"s0": registry.snapshot()})
+        lines = page.splitlines()
+        assert "# TYPE serve_requests_total counter" in lines
+        assert 'serve_requests_total{shard="s0"} 5' in lines
+        assert 'serve_depth{shard="s0"} 2' in lines
+        # Cumulative buckets plus the +Inf catch-all.
+        assert 'serve_lat_bucket{shard="s0",le="0.1"} 1' in lines
+        assert 'serve_lat_bucket{shard="s0",le="1"} 1' in lines
+        assert 'serve_lat_bucket{shard="s0",le="+Inf"} 2' in lines
+        assert 'serve_lat_count{shard="s0"} 2' in lines
+
+    def test_type_header_precedes_all_family_series(self):
+        from repro.obs.promexport import render_metrics
+
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.counter("serve.requests").inc(1)
+        right.counter("serve.requests").inc(2)
+        page = render_metrics(
+            {"s0": left.snapshot(), "s1": right.snapshot()}
+        )
+        lines = page.splitlines()
+        header = lines.index("# TYPE serve_requests_total counter")
+        assert lines[header + 1 : header + 3] == [
+            'serve_requests_total{shard="s0"} 1',
+            'serve_requests_total{shard="s1"} 2',
+        ]
+
+    def test_unlabeled_block_and_name_sanitisation(self):
+        from repro.obs.promexport import prometheus_name, render_metrics
+
+        assert prometheus_name("serve.cluster.ring_version") == (
+            "serve_cluster_ring_version"
+        )
+        page = render_metrics(
+            {},
+            unlabeled={
+                "serve.cluster.shards": {
+                    "type": "gauge",
+                    "kind": "last",
+                    "value": 2,
+                }
+            },
+        )
+        assert "serve_cluster_shards 2" in page.splitlines()
+
+    def test_http_exporter_serves_and_stops(self):
+        import urllib.request
+
+        from repro.obs.promexport import MetricsExporter
+
+        exporter = MetricsExporter(lambda: "up 1\n", port=0).start()
+        try:
+            url = f"http://127.0.0.1:{exporter.port}/metrics"
+            with urllib.request.urlopen(url) as response:
+                assert response.read() == b"up 1\n"
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain"
+                )
+            with pytest.raises(Exception):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{exporter.port}/nope"
+                )
+        finally:
+            exporter.stop()
