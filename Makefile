@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-eval bench-smoke bench-serving fuzz fuzz-smoke \
-	stats-smoke serve-smoke chaos-smoke cluster-smoke obs-cluster-smoke
+	stats-smoke serve-smoke chaos-smoke cluster-smoke obs-cluster-smoke \
+	queue-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +52,14 @@ cluster-smoke:
 # processes, and the /metrics page must expose per-shard counters.
 obs-cluster-smoke:
 	$(PYTHON) scripts/obs_cluster_smoke.py
+
+# Build-queue smoke: object store + queue + 4-worker farm on ephemeral
+# ports, one SIGKILL mid-build — lease reassignment must finish every
+# job with exactly-once publishes and a hash-verified store sync — then
+# the chaos-marked queue pytest suite.
+queue-smoke:
+	$(PYTHON) scripts/queue_smoke.py
+	$(PYTHON) -m pytest -q -m chaos tests/test_queue.py
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

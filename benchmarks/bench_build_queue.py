@@ -1,0 +1,116 @@
+"""E12 — distributed build pipeline: farm scale-out and sync throughput.
+
+Two questions about the build-queue tier in ``src/repro/serve/queue.py``:
+
+1. **Farm scale-out.**  A batch of distinct ADD-model builds routed
+   through the queue to a multi-process worker farm vs the same batch
+   built sequentially in-process.  Workers are forked processes, so the
+   payoff only materialises with spare cores; the table records the
+   honest numbers together with ``cpu_count``.
+2. **Store sync throughput.**  Replicating the resulting store to a
+   fresh local backend with read-back hash verification — bytes/second
+   of verified replication, and the no-op cost of an idempotent
+   re-sync.
+
+Artifacts: ``benchmarks/results/build_queue.txt``.  This experiment is
+operational (wall-clock, not model accuracy), so it has no checked-in
+JSON at the repo root.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_build_queue.py
+
+``REPRO_BENCH_QUICK=1`` shrinks the job count for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from _common import QUICK, write_result
+
+from repro.models import build_add_model
+from repro.netlist import NetlistBuilder
+from repro.serve import (
+    BuildQueueClient,
+    ModelStore,
+    QueueConfig,
+    WorkerFarm,
+    open_backend,
+    start_queue,
+    sync_stores,
+)
+
+JOBS = 6 if QUICK else 12
+WORKERS = 4
+
+
+def make_netlist(index: int):
+    builder = NetlistBuilder(f"bench{index}")
+    a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+    net = builder.nand2(a, b)
+    for step in range(index + 4):
+        other = builder.xor2(b, c) if step % 2 else builder.nor2(a, c)
+        net = builder.nand2(net, other)
+    builder.output("y", net)
+    return builder.build()
+
+
+def main() -> None:
+    netlists = [make_netlist(i) for i in range(JOBS)]
+
+    started = time.perf_counter()
+    for netlist in netlists:
+        build_add_model(netlist, max_nodes=400)
+    sequential_s = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as root:
+        store_dir = os.path.join(root, "store")
+        with start_queue(QueueConfig(lease_s=30.0)) as queue:
+            with WorkerFarm(
+                queue.host, queue.port, store_dir, count=WORKERS
+            ):
+                with BuildQueueClient(queue.host, queue.port) as client:
+                    started = time.perf_counter()
+                    keys = [client.submit(n)["key"] for n in netlists]
+                    for key in keys:
+                        state = client.wait(key, timeout_s=300.0)
+                        assert state["state"] == "done", state
+                    farm_s = time.perf_counter() - started
+
+        store = ModelStore(store_dir)
+        total_bytes = sum(e.payload_bytes for e in store.ls())
+        replica = open_backend(os.path.join(root, "replica"))
+        started = time.perf_counter()
+        report = sync_stores(store.backend, replica)
+        sync_s = time.perf_counter() - started
+        assert report.ok and report.verified == JOBS, report.summary()
+        started = time.perf_counter()
+        resync = sync_stores(store.backend, replica)
+        resync_s = time.perf_counter() - started
+        assert resync.skipped == JOBS, resync.summary()
+
+    speedup = sequential_s / farm_s if farm_s > 0 else float("inf")
+    mb_s = (total_bytes / 1e6) / sync_s if sync_s > 0 else float("inf")
+    lines = [
+        "E12  distributed build pipeline",
+        f"jobs={JOBS}  workers={WORKERS}  cpu_count={os.cpu_count()}",
+        "",
+        f"sequential in-process builds   {sequential_s:8.3f} s",
+        f"queue + {WORKERS}-worker farm          {farm_s:8.3f} s"
+        f"   ({speedup:.2f}x)",
+        "",
+        f"sync {total_bytes} bytes, hash-verified {sync_s:8.3f} s"
+        f"   ({mb_s:.1f} MB/s)",
+        f"idempotent re-sync (all skipped)  {resync_s:8.3f} s",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    path = write_result("build_queue", text)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,8 +41,13 @@ Subcommands
     Live terminal dashboard of a running cluster: req/s, shed rate,
     per-shard p99 latency and batch occupancy, refreshed from the
     router's pushed metrics snapshots.
-``store ls|gc|prefetch``
-    Inspect and maintain a content-addressed model store directory.
+``store ls|gc|prefetch|sync``
+    Inspect, maintain and replicate a content-addressed model store —
+    a local directory or a remote ``obj://host:port`` object store.
+``serve-objects`` / ``queue serve|worker|stats``
+    The distributed build pipeline: an S3-style object server, the
+    build-queue broker, and farm workers that claim jobs under leases
+    and publish models through a shared store backend.
 ``list``
     Show the available Table-1 benchmark circuits.
 
@@ -58,6 +63,7 @@ a ``.blif`` or ISCAS-85 ``.isc`` file.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -379,7 +385,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import ModelStore, PowerQueryServer, ServerConfig
+    from repro.serve import ModelStore, PowerQueryServer, ServerConfig, open_backend
 
     netlists = [_load(identifier) for identifier in args.circuits]
     names = [netlist.name for netlist in netlists]
@@ -388,7 +394,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     build_kwargs = {"max_nodes": args.max_nodes, "strategy": args.strategy}
     if args.store is not None:
-        store = ModelStore(args.store)
+        store = ModelStore(open_backend(args.store))
         models = store.get_or_build_many(netlists, **build_kwargs)
     else:
         from repro.models import build_add_models_parallel
@@ -800,9 +806,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
-    from repro.serve import ModelStore
+    from repro.serve import ModelStore, open_backend, sync_stores
 
-    store = ModelStore(args.store)
+    store = ModelStore(open_backend(args.store))
     if args.action == "ls":
         entries = store.ls()
         if not entries:
@@ -832,16 +838,117 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"gc: removed {len(removed)} entries, "
               f"{store.disk_bytes()} bytes remain")
         return 0
+    if args.action == "sync":
+        if args.dest is None:
+            print("error: sync needs --dest", file=sys.stderr)
+            return 2
+        report = sync_stores(store.backend, open_backend(args.dest))
+        for line in report.errors:
+            print(f"error: {line}", file=sys.stderr)
+        print(report.summary())
+        return 0 if report.ok else 1
     # prefetch
     if not args.circuits:
         print("error: prefetch needs at least one circuit", file=sys.stderr)
         return 2
     netlists = [_load(identifier) for identifier in args.circuits]
-    keys = store.prefetch(
-        netlists, max_nodes=args.max_nodes, strategy=args.strategy
+    report = store.prefetch(
+        netlists,
+        max_nodes=args.max_nodes,
+        strategy=args.strategy,
+        queue=args.queue,
     )
-    for netlist, key in zip(netlists, keys):
+    for netlist, key in zip(netlists, report.keys):
         print(f"{netlist.name:12s} -> {key[:16]}")
+    print(report.summary())
+    return 0
+
+
+def _cmd_serve_objects(args: argparse.Namespace) -> int:
+    """Run the S3-style object server until interrupted."""
+    import asyncio
+
+    from repro.serve import ObjectStoreConfig, ObjectStoreServer
+
+    server = ObjectStoreServer(
+        ObjectStoreConfig(host=args.host, port=args.port, root=args.root)
+    )
+
+    async def _run() -> None:
+        await server.start()
+        where = args.root or "memory"
+        print(
+            f"object store listening on obj://{args.host}:{server.port} "
+            f"(objects in {where})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    """Build-queue service: serve / worker / stats."""
+    from repro.serve import BuildQueueClient, QueueConfig, run_worker
+    from repro.serve.queue import BuildQueueServer
+
+    if args.action == "serve":
+        import asyncio
+
+        server = BuildQueueServer(
+            QueueConfig(
+                host=args.host,
+                port=args.port,
+                lease_s=args.lease_s,
+                max_attempts=args.max_attempts,
+            )
+        )
+
+        async def _run() -> None:
+            await server.start()
+            print(
+                f"build queue listening on {args.host}:{server.port} "
+                f"(lease {args.lease_s:g}s, {args.max_attempts} attempts)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if args.queue is None:
+        print(f"error: {args.action} needs --queue host:port", file=sys.stderr)
+        return 2
+    host, _, port = args.queue.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: malformed --queue {args.queue!r}", file=sys.stderr)
+        return 2
+    if args.action == "worker":
+        if args.store is None:
+            print("error: worker needs --store", file=sys.stderr)
+            return 2
+        worker_id = args.id or f"worker-{os.getpid()}"
+        print(
+            f"worker {worker_id} building from {args.queue} "
+            f"into {args.store}",
+            flush=True,
+        )
+        try:
+            run_worker(host, int(port), args.store, worker_id)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    # stats
+    import json as _json
+
+    with BuildQueueClient(host, int(port)) as client:
+        print(_json.dumps(client.stats(), indent=2, sort_keys=True))
     return 0
 
 
@@ -1251,15 +1358,27 @@ def build_parser() -> argparse.ArgumentParser:
     store = add_command(
         "store", help="inspect / maintain a model store directory"
     )
-    store.add_argument("action", choices=("ls", "gc", "prefetch"))
+    store.add_argument("action", choices=("ls", "gc", "prefetch", "sync"))
     store.add_argument(
         "circuits", nargs="*", help="circuits to prefetch (prefetch only)"
     )
     store.add_argument(
         "--store",
         required=True,
-        metavar="DIR",
-        help="model store directory",
+        metavar="SPEC",
+        help="model store: a directory or obj://host:port",
+    )
+    store.add_argument(
+        "--dest",
+        default=None,
+        metavar="SPEC",
+        help="sync: destination store (directory or obj://host:port)",
+    )
+    store.add_argument(
+        "--queue",
+        default=None,
+        metavar="HOST:PORT",
+        help="prefetch: route builds through a build-queue service",
     )
     store.add_argument("--max-nodes", type=int, default=1000)
     store.add_argument(
@@ -1272,9 +1391,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-age-days",
         type=float,
         default=None,
-        help="gc: drop entries older than this",
+        help="gc: drop entries not accessed within this window",
     )
     store.set_defaults(func=_cmd_store)
+
+    serve_objects = add_command(
+        "serve-objects", help="run the S3-style object-store server"
+    )
+    serve_objects.add_argument("--host", default="127.0.0.1")
+    serve_objects.add_argument("--port", type=int, default=0)
+    serve_objects.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="persist objects under this directory (default: in memory)",
+    )
+    serve_objects.set_defaults(func=_cmd_serve_objects)
+
+    queue = add_command(
+        "queue", help="distributed build queue: serve / worker / stats"
+    )
+    queue.add_argument("action", choices=("serve", "worker", "stats"))
+    queue.add_argument("--host", default="127.0.0.1", help="serve: bind host")
+    queue.add_argument("--port", type=int, default=0, help="serve: bind port")
+    queue.add_argument(
+        "--lease-s", type=float, default=10.0, help="serve: job lease seconds"
+    )
+    queue.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="serve: claims a job may burn before failing",
+    )
+    queue.add_argument(
+        "--queue",
+        default=None,
+        metavar="HOST:PORT",
+        help="worker/stats: queue server to talk to",
+    )
+    queue.add_argument(
+        "--store",
+        default=None,
+        metavar="SPEC",
+        help="worker: store backend to publish into",
+    )
+    queue.add_argument(
+        "--id", default=None, help="worker: stable worker identity"
+    )
+    queue.set_defaults(func=_cmd_queue)
     return parser
 
 

@@ -17,7 +17,12 @@ from repro.netlist.library import (
 )
 from repro.netlist.iscas import parse_iscas, read_iscas
 from repro.netlist.minimize import literal_count, minimize_cover
-from repro.netlist.netlist import Gate, Netlist, NetlistStats
+from repro.netlist.netlist import (
+    Gate,
+    Netlist,
+    NetlistStats,
+    netlist_from_canonical_dict,
+)
 from repro.netlist.sop import Cover, minterm_cover
 from repro.netlist.symbolic import (
     build_node_functions,
@@ -47,6 +52,7 @@ __all__ = [
     "Netlist",
     "NetlistStats",
     "NetlistBuilder",
+    "netlist_from_canonical_dict",
     "Cover",
     "minterm_cover",
     "parse_blif",

@@ -357,3 +357,50 @@ class Netlist:
             f"Netlist({self.name!r}, inputs={self.num_inputs}, "
             f"outputs={len(self.outputs)}, gates={self.num_gates})"
         )
+
+
+def netlist_from_canonical_dict(raw: Mapping, name: str = "wire") -> Netlist:
+    """Rebuild a :class:`Netlist` from its :meth:`~Netlist.canonical_dict`.
+
+    The inverse the distributed build path needs: a queue submitter ships
+    the structure-only dict over the wire, and the worker reconstructs an
+    equivalent circuit here before building.  The canonical form drops
+    labels by design, so display and gate names are synthesised — but the
+    round trip preserves everything content addressing covers:
+    ``netlist_from_canonical_dict(n.canonical_dict()).content_hash()``
+    equals ``n.content_hash()``.
+    """
+    try:
+        inputs = list(raw["inputs"])
+        outputs = list(raw["outputs"])
+        gates = list(raw["gates"])
+        load = float(raw["output_load_fF"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise NetlistError(f"malformed canonical netlist dict: {exc}") from None
+    netlist = Netlist(name, output_load_fF=load)
+    for net in inputs:
+        netlist.add_input(str(net))
+    for index, gate in enumerate(gates):
+        try:
+            op = GateOp(gate["op"])
+            operands = [str(net) for net in gate["inputs"]]
+            output = str(gate["output"])
+            caps = gate["caps"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise NetlistError(
+                f"malformed canonical gate #{index}: {exc}"
+            ) from None
+        cell = Cell(
+            name=f"{op.value.upper()}{len(operands)}_wire",
+            op=op,
+            num_inputs=len(operands),
+            input_capacitance_fF=(
+                tuple(float(c) for c in caps)
+                if isinstance(caps, (list, tuple))
+                else float(caps)
+            ),
+        )
+        netlist.add_gate(cell, operands, output)
+    for net in outputs:
+        netlist.add_output(str(net))
+    return netlist

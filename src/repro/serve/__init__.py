@@ -19,12 +19,23 @@ operational service":
   processes, a control-plane router with liveness monitoring and
   cluster-wide metric aggregation) plus the shard-aware
   :class:`ClusterClient` / :func:`generate_cluster_load`;
+- :mod:`repro.serve.storage` — pluggable :class:`StoreBackend`\\ s
+  (:class:`LocalDirBackend`, :class:`ObjectStoreBackend`) plus
+  :func:`sync_stores`, store-to-store replication with content-hash
+  verification;
+- :mod:`repro.serve.objectstore` — :class:`ObjectStoreServer`, the
+  minimal S3-style object server the remote backend speaks to;
+- :mod:`repro.serve.queue` — the distributed build pipeline:
+  :class:`BuildQueueServer` (leases, heartbeats, content-key dedupe,
+  exactly-once publish), :func:`run_worker` / :class:`WorkerFarm`, and
+  the telemetry-driven :class:`StoreWarmer`;
 - :mod:`repro.serve.protocol` — the wire format and its structured
   errors.
 
 CLI entry points: ``repro serve`` (``--workers N`` for a cluster),
-``repro query``, ``repro cluster-stats`` and ``repro store``; the
-numbers live in ``benchmarks/bench_serving.py`` / DESIGN.md §10+§13.
+``repro query``, ``repro cluster-stats``, ``repro store`` (with
+``sync`` / ``serve-objects``) and ``repro queue``; the numbers live in
+``benchmarks/bench_serving.py`` / DESIGN.md §10+§13+§15.
 """
 
 from repro.serve.client import (
@@ -54,21 +65,74 @@ from repro.serve.server import (
     ServerHandle,
     start_in_thread,
 )
+from repro.serve.objectstore import (
+    ObjectStoreConfig,
+    ObjectStoreHandle,
+    ObjectStoreServer,
+    start_object_store,
+)
+from repro.serve.queue import (
+    BuildQueueClient,
+    BuildQueueServer,
+    QueueConfig,
+    QueueHandle,
+    StoreWarmer,
+    WorkerFarm,
+    run_worker,
+    start_queue,
+)
+from repro.serve.storage import (
+    BACKENDS,
+    LocalDirBackend,
+    ObjectStoreBackend,
+    StoreBackend,
+    SyncReport,
+    open_backend,
+    register_backend,
+    sync_stores,
+)
 from repro.serve.store import (
     DEFAULT_MEMORY_BUDGET_BYTES,
     ModelStore,
+    PrefetchReport,
     StoreEntry,
     canonical_build_config,
     store_key,
+    store_key_from_canonical,
 )
 
 __all__ = [
     # store
     "ModelStore",
     "StoreEntry",
+    "PrefetchReport",
     "store_key",
+    "store_key_from_canonical",
     "canonical_build_config",
     "DEFAULT_MEMORY_BUDGET_BYTES",
+    # storage backends
+    "StoreBackend",
+    "LocalDirBackend",
+    "ObjectStoreBackend",
+    "BACKENDS",
+    "register_backend",
+    "open_backend",
+    "sync_stores",
+    "SyncReport",
+    # object store server
+    "ObjectStoreServer",
+    "ObjectStoreConfig",
+    "ObjectStoreHandle",
+    "start_object_store",
+    # build queue
+    "BuildQueueServer",
+    "BuildQueueClient",
+    "QueueConfig",
+    "QueueHandle",
+    "WorkerFarm",
+    "run_worker",
+    "start_queue",
+    "StoreWarmer",
     # server
     "PowerQueryServer",
     "ServerConfig",

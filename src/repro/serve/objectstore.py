@@ -1,0 +1,332 @@
+"""A minimal S3-style object server over JSON lines.
+
+:class:`ObjectStoreServer` is the serving half of
+:class:`~repro.serve.storage.ObjectStoreBackend`: a small asyncio TCP
+server speaking the framing of :mod:`repro.serve.protocol` with five
+operations —
+
+``{"id": .., "op": "obj.put", "name": N, "data": B64, "sha256": H}``
+    Atomically publish an object.  The server verifies the payload
+    against the caller-supplied hash before accepting it, so a corrupted
+    upload is rejected with ``bad_request`` instead of stored.
+``{"id": .., "op": "obj.get", "name": N}``
+    ``{"data": B64, "sha256": H, "mtime": T}`` or a ``not_found`` error.
+``{"id": .., "op": "obj.head", "name": N}``
+    Metadata only: ``{"size": S, "sha256": H, "mtime": T}``.
+``{"id": .., "op": "obj.list", "prefix": P}``
+    Sorted object names under a prefix.
+``{"id": .., "op": "obj.delete", "name": N}``
+    ``{"deleted": bool}``.
+
+Plus the house ``ping`` / ``stats`` / ``shutdown`` ops.  Objects live in
+an in-memory dict by default, or under a root directory (via
+:class:`~repro.serve.storage.LocalDirBackend` semantics: temp file +
+rename) when ``root`` is given — so a test server is hermetic while a
+long-lived one survives restarts.  Either way, ``put`` replaces the
+whole value at once: readers observe complete payloads only, which is
+the atomicity contract the model store relies on.
+
+This server exists for tests, smokes and small deployments; the point of
+the backend protocol is that a real S3/GCS implementation could replace
+it without touching :class:`~repro.serve.store.ModelStore`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import get_metrics
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+_MET = get_metrics()
+_REQUESTS = _MET.counter("objstore.requests")
+_PUTS = _MET.counter("objstore.puts")
+_GETS = _MET.counter("objstore.gets")
+_DELETES = _MET.counter("objstore.deletes")
+_BYTES_IN = _MET.counter("objstore.bytes_in")
+_BYTES_OUT = _MET.counter("objstore.bytes_out")
+_REJECTED_PUTS = _MET.counter("objstore.rejected_puts")
+
+
+@dataclass(frozen=True)
+class ObjectStoreConfig:
+    """Tunables of one :class:`ObjectStoreServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (read it back from ``server.port``).
+    port: int = 0
+    #: When set, objects persist as files under this directory (atomic
+    #: writes); None keeps them in memory for hermetic tests.
+    root: Optional[str] = None
+
+
+class ObjectStoreServer:
+    """Serve put/get/list/head/delete over JSON lines."""
+
+    def __init__(self, config: ObjectStoreConfig = ObjectStoreConfig()):
+        self.config = config
+        self.port: Optional[int] = None
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stopping = False
+        # name -> (data, sha256, mtime); replaced wholesale on put, so a
+        # concurrent reader sees the old or the new tuple, never a mix.
+        self._objects: Dict[str, Tuple[bytes, str, float]] = {}
+        self._disk = None
+        if config.root is not None:
+            from repro.serve.storage import LocalDirBackend
+
+            self._disk = LocalDirBackend(config.root)
+            for name in self._disk.list():
+                data = self._disk.get(name)
+                self._objects[name] = (
+                    data,
+                    hashlib.sha256(data).hexdigest(),
+                    time.time(),
+                )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors PowerQueryServer)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None, "protocol", "request line too long"
+                            )
+                        )
+                    )
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                _BYTES_IN.inc(len(line))
+                response = self._handle(line)
+                payload = protocol.encode(response)
+                _BYTES_OUT.inc(len(payload))
+                try:
+                    writer.write(payload)
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - broken transport
+                pass
+
+    def _handle(self, line: bytes) -> Dict:
+        request_id = None
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.get("id")
+            _REQUESTS.inc()
+            return protocol.ok_response(
+                request_id, self._dispatch(request["op"], request)
+            )
+        except ProtocolError as exc:
+            return protocol.error_response(request_id, exc.error_type, str(exc))
+        except Exception as exc:  # noqa: BLE001 - answer, don't crash
+            return protocol.error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _require_object(self, name: str) -> Tuple[bytes, str, float]:
+        held = self._objects.get(name)
+        if held is None:
+            raise ProtocolError("not_found", f"no object {name!r}")
+        return held
+
+    def _dispatch(self, op: str, request: Dict):
+        if op == "obj.put":
+            name = protocol.require_field(request, "name")
+            blob = protocol.require_field(request, "data")
+            claimed = protocol.require_field(request, "sha256")
+            try:
+                data = base64.b64decode(blob, validate=True)
+            except Exception:  # noqa: BLE001 - malformed base64
+                raise ProtocolError(
+                    "bad_request", "'data' must be valid base64"
+                ) from None
+            digest = hashlib.sha256(data).hexdigest()
+            if digest != claimed:
+                _REJECTED_PUTS.inc()
+                raise ProtocolError(
+                    "bad_request",
+                    f"payload hash {digest[:12]} != claimed {claimed[:12]}; "
+                    "upload corrupted in transit",
+                )
+            if self._disk is not None:
+                self._disk.put(name, data)
+            self._objects[name] = (data, digest, time.time())
+            _PUTS.inc()
+            return {"size": len(data), "sha256": digest}
+        if op == "obj.get":
+            name = protocol.require_field(request, "name")
+            data, digest, mtime = self._require_object(name)
+            _GETS.inc()
+            return {
+                "data": base64.b64encode(data).decode("ascii"),
+                "sha256": digest,
+                "mtime": mtime,
+            }
+        if op == "obj.head":
+            name = protocol.require_field(request, "name")
+            data, digest, mtime = self._require_object(name)
+            return {"size": len(data), "sha256": digest, "mtime": mtime}
+        if op == "obj.list":
+            prefix = str(request.get("prefix") or "")
+            return {
+                "names": sorted(
+                    name for name in self._objects if name.startswith(prefix)
+                )
+            }
+        if op == "obj.delete":
+            name = protocol.require_field(request, "name")
+            existed = self._objects.pop(name, None) is not None
+            if self._disk is not None:
+                existed = self._disk.delete(name) or existed
+            if existed:
+                _DELETES.inc()
+            return {"deleted": existed}
+        if op == "ping":
+            return "pong"
+        if op == "stats":
+            return {
+                "objects": len(self._objects),
+                "bytes": sum(len(d) for d, _, _ in self._objects.values()),
+                "uptime_seconds": (
+                    time.time() - self.started_at if self.started_at else 0.0
+                ),
+            }
+        if op == "shutdown":
+            self.request_stop()
+            return "stopping"
+        raise ProtocolError("bad_request", f"unknown op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted server (tests, CLI, smokes)
+# ---------------------------------------------------------------------------
+@dataclass
+class ObjectStoreHandle:
+    """An object server running on a private loop in a daemon thread."""
+
+    server: ObjectStoreServer
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def spec(self) -> str:
+        """The ``obj://host:port`` spec clients/backends dial."""
+        return f"obj://{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self.server.request_stop)
+        except RuntimeError:  # loop already closed
+            pass
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ObjectStoreHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_object_store(
+    config: ObjectStoreConfig = ObjectStoreConfig(),
+    ready_timeout: float = 30.0,
+) -> ObjectStoreHandle:
+    """Run an :class:`ObjectStoreServer` in a daemon thread."""
+    server = ObjectStoreServer(config)
+    ready = threading.Event()
+    box: Dict[str, object] = {}
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:  # noqa: BLE001 - surface to caller
+            box["error"] = exc
+            ready.set()
+            return
+        box["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server.serve_forever()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), name="object-store", daemon=True
+    )
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise TimeoutError("object store did not start in time")
+    if "error" in box:
+        thread.join(1.0)
+        raise box["error"]  # type: ignore[misc]
+    return ObjectStoreHandle(server=server, thread=thread, loop=box["loop"])  # type: ignore[arg-type]

@@ -48,6 +48,7 @@ ERROR_TYPES = (
     "protocol",       # unparseable line / not a JSON object / line too long
     "bad_request",    # parseable but malformed request (bits, fields, op args)
     "unknown_model",  # model name the server does not hold
+    "not_found",      # object / job key the server does not hold
     "timeout",        # request expired before its batch was evaluated
     "unavailable",    # server is shutting down
     "internal",       # unexpected evaluation failure

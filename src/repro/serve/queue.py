@@ -1,0 +1,923 @@
+"""Distributed build queue: misses become leased jobs for a worker farm.
+
+:class:`~repro.serve.store.ModelStore.get_or_build_many` fans cache
+misses into a *local* process pool; this module moves that fan-out off
+the host.  A :class:`BuildQueueServer` holds ``(store_key, netlist,
+config)`` jobs; a farm of worker processes (:func:`run_worker`) claims
+them under **leases**, builds the ADD, publishes the model through a
+shared :class:`~repro.serve.storage.StoreBackend`, and reports back.
+Submitters long-poll completion and then read the published model out of
+the same backend — the queue never carries model payloads, only job
+state, so the wire stays light no matter how large the ADDs get.
+
+The protocol (JSON lines, framing of :mod:`repro.serve.protocol`):
+
+``queue.submit {netlist, config, force?}``
+    Enqueue a job; the server derives the content key itself, so two
+    submitters of the same circuit + config get **one** build (the
+    second submit is deduplicated onto the in-flight job).  ``force``
+    re-enqueues a completed job whose published artifact has vanished
+    (the warmer's case).
+``queue.claim {worker}``
+    Hand the oldest pending job to a worker with a lease of
+    ``lease_s`` seconds and an incremented attempt number; ``None``
+    when the queue is idle.
+``queue.heartbeat {key, worker}``
+    Extend a held lease; answers ``not_found`` when the lease has been
+    reassigned, telling a slow worker to abandon the job (and, crucially,
+    *not* publish).
+``queue.publish {key, worker}`` / ``queue.fail {key, worker, error}``
+    Terminal reports.  Publishes are exactly-once per key: a late or
+    duplicate publish is suppressed and counted, never double-applied.
+``queue.wait {key, timeout_s}``
+    Long-poll a job's terminal state.
+
+Failure model: a worker that dies mid-build simply stops heartbeating;
+the lease sweeper re-enqueues the job (``queue.leases.expired``) until
+``max_attempts`` claims have been burned, after which the job fails with
+the last known error.  A *zombie* worker that finishes after losing its
+lease either notices at heartbeat time and abandons, or its late publish
+is absorbed by the exactly-once rule — and since keys are
+content-addressed, even the racing backend ``put`` it may have completed
+wrote byte-identical data.  Chaos sites: ``queue.worker.crash``
+(SIGKILL self mid-build, token = attempt), ``queue.lease.expire`` (force
+expiry), ``queue.job.duplicate_claim`` (hand a running job to a second
+claimer).
+
+A :class:`StoreWarmer` closes the loop with the store's access
+telemetry: keys that stay hot (accessed recently and often) but are
+missing from the backend — evicted by gc, or a fresh replica — are
+re-submitted in the background before a client pays the miss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ModelError, ServeConnectionError
+from repro.netlist.netlist import Netlist, netlist_from_canonical_dict
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.serve import protocol
+from repro.serve.client import PowerQueryClient
+from repro.serve.protocol import ProtocolError
+from repro.testing import faults
+
+_MET = get_metrics()
+_REQUESTS = _MET.counter("queue.requests")
+_SUBMITTED = _MET.counter("queue.jobs.submitted")
+_DEDUPED = _MET.counter("queue.jobs.deduped")
+_COMPLETED = _MET.counter("queue.jobs.completed")
+_FAILED = _MET.counter("queue.jobs.failed")
+_CLAIMS = _MET.counter("queue.claims")
+_DUP_CLAIMS = _MET.counter("queue.claims.duplicate")
+_HEARTBEATS = _MET.counter("queue.heartbeats")
+_LEASES_EXPIRED = _MET.counter("queue.leases.expired")
+_PUBLISHES = _MET.counter("queue.publishes")
+_DUP_PUBLISHES = _MET.counter("queue.publishes.duplicate")
+_WORKER_BUILDS = _MET.counter("queue.worker.builds")
+_WORKER_ABANDONED = _MET.counter("queue.worker.abandoned")
+_WARM_SUBMITTED = _MET.counter("queue.warm.submitted")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Tunables of one :class:`BuildQueueServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (read it back from ``server.port``).
+    port: int = 0
+    #: Seconds a claimed job stays assigned without a heartbeat.
+    lease_s: float = 10.0
+    #: How often the sweeper looks for expired leases.
+    sweep_interval_s: float = 0.5
+    #: Claims a job may burn (crashes, lease losses) before failing.
+    max_attempts: int = 3
+    #: Longest single ``queue.wait`` long-poll the server will hold.
+    max_wait_s: float = 60.0
+
+
+@dataclass
+class _Job:
+    """Server-side state of one build job."""
+
+    key: str
+    netlist: Dict
+    config: Dict
+    state: str = "pending"  # pending | running | done | failed
+    attempts: int = 0
+    worker: Optional[str] = None
+    lease_expires_at: float = 0.0
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    waiters: List[asyncio.Future] = field(default_factory=list)
+
+    def public(self) -> Dict:
+        return {
+            "key": self.key,
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+    def settle(self) -> None:
+        """Wake every long-poller; call when the job turns terminal."""
+        for future in self.waiters:
+            if not future.done():
+                future.set_result(None)
+        self.waiters.clear()
+
+
+class BuildQueueServer:
+    """Lease-based build-job broker over JSON lines.
+
+    All job state lives on one asyncio loop (no locks); workers and
+    submitters are plain socket clients.  The server never builds and
+    never stores — it only arbitrates who builds what, which is why a
+    tiny single-threaded broker keeps an arbitrarily large farm busy.
+    """
+
+    def __init__(self, config: QueueConfig = QueueConfig()):
+        if config.lease_s <= 0 or config.max_attempts < 1:
+            raise ModelError("queue needs lease_s > 0 and max_attempts >= 1")
+        self.config = config
+        self.port: Optional[int] = None
+        self.started_at: Optional[float] = None
+        self._jobs: Dict[str, _Job] = {}
+        self._pending: deque = deque()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._sweeper: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors PowerQueryServer / ObjectStoreServer)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._sweeper = asyncio.create_task(self._sweep_leases())
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+        for job in self._jobs.values():
+            job.settle()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Lease sweeper
+    # ------------------------------------------------------------------
+    async def _sweep_leases(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.sweep_interval_s)
+            now = time.time()
+            for job in list(self._jobs.values()):
+                if job.state != "running":
+                    continue
+                expired = now > job.lease_expires_at
+                if not expired and faults.fires("queue.lease.expire"):
+                    # Chaos hook: the lease is treated as already gone,
+                    # exactly as if the worker had stalled past it.
+                    expired = True
+                if expired:
+                    self._expire(job)
+
+    def _expire(self, job: _Job) -> None:
+        _LEASES_EXPIRED.inc()
+        job.worker = None
+        if job.attempts >= self.config.max_attempts:
+            job.state = "failed"
+            job.error = job.error or (
+                f"lease expired on every attempt "
+                f"({self.config.max_attempts}); worker(s) lost"
+            )
+            _FAILED.inc()
+            job.settle()
+        else:
+            job.state = "pending"
+            self._pending.append(job.key)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None, "protocol", "request line too long"
+                            )
+                        )
+                    )
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                response = await self._handle(line)
+                try:
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - broken transport
+                pass
+
+    async def _handle(self, line: bytes) -> Dict:
+        request_id = None
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.get("id")
+            _REQUESTS.inc()
+            return protocol.ok_response(
+                request_id, await self._dispatch(request["op"], request)
+            )
+        except ProtocolError as exc:
+            return protocol.error_response(request_id, exc.error_type, str(exc))
+        except Exception as exc:  # noqa: BLE001 - answer, don't crash
+            return protocol.error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _require_job(self, request: Dict) -> _Job:
+        key = protocol.require_field(request, "key")
+        job = self._jobs.get(key)
+        if job is None:
+            raise ProtocolError("not_found", f"no job {key[:12]}…")
+        return job
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def _dispatch(self, op: str, request: Dict):
+        tracer = get_tracer()
+        if op == "queue.submit":
+            netlist = protocol.require_field(request, "netlist", dict)
+            config = request.get("config") or {}
+            if not isinstance(config, dict):
+                raise ProtocolError("bad_request", "'config' must be an object")
+            # Key derivation is the server's job so every submitter of
+            # one circuit + config agrees without trusting each other.
+            from repro.serve.store import store_key_from_canonical
+
+            try:
+                key = store_key_from_canonical(netlist, config)
+            except (ModelError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad_request", f"unkeyable job: {exc}"
+                ) from None
+            with tracer.span("queue.submit", key=key[:12]):
+                job = self._jobs.get(key)
+                if job is not None:
+                    resurrect = bool(request.get("force")) and job.state in (
+                        "done",
+                        "failed",
+                    )
+                    if not resurrect:
+                        _DEDUPED.inc()
+                        return dict(job.public(), deduped=True)
+                    # Re-enqueue a terminal job (artifact vanished, or a
+                    # caller retrying a failed build) from a clean slate.
+                    job.state = "pending"
+                    job.attempts = 0
+                    job.worker = None
+                    job.error = None
+                    self._pending.append(key)
+                    _SUBMITTED.inc()
+                    return dict(job.public(), deduped=False)
+                job = _Job(key=key, netlist=netlist, config=config)
+                self._jobs[key] = job
+                self._pending.append(key)
+                _SUBMITTED.inc()
+                return dict(job.public(), deduped=False)
+        if op == "queue.claim":
+            worker = protocol.require_field(request, "worker")
+            job = None
+            while self._pending:
+                candidate = self._jobs.get(self._pending.popleft())
+                if candidate is not None and candidate.state == "pending":
+                    job = candidate
+                    break
+            if job is None and faults.fires("queue.job.duplicate_claim"):
+                # Chaos hook: hand a *running* job to this claimer too,
+                # manufacturing the two-workers-one-job race that the
+                # exactly-once publish rule must absorb.
+                job = next(
+                    (
+                        j
+                        for j in self._jobs.values()
+                        if j.state == "running" and j.worker != worker
+                    ),
+                    None,
+                )
+                if job is not None:
+                    _DUP_CLAIMS.inc()
+            if job is None:
+                return {"job": None}
+            job.state = "running"
+            job.worker = worker
+            job.attempts += 1
+            job.lease_expires_at = time.time() + self.config.lease_s
+            _CLAIMS.inc()
+            return {
+                "job": {
+                    "key": job.key,
+                    "netlist": job.netlist,
+                    "config": job.config,
+                    "lease_s": self.config.lease_s,
+                    "attempt": job.attempts,
+                }
+            }
+        if op == "queue.heartbeat":
+            job = self._require_job(request)
+            worker = protocol.require_field(request, "worker")
+            if job.state != "running" or job.worker != worker:
+                raise ProtocolError(
+                    "not_found",
+                    f"lease on {job.key[:12]}… is no longer held by "
+                    f"{worker!r}",
+                )
+            job.lease_expires_at = time.time() + self.config.lease_s
+            _HEARTBEATS.inc()
+            return {"lease_s": self.config.lease_s}
+        if op == "queue.publish":
+            job = self._require_job(request)
+            worker = protocol.require_field(request, "worker")
+            if job.state == "done":
+                # Exactly-once: a zombie or duplicate-claimed worker's
+                # late publish is absorbed, never double-applied.
+                _DUP_PUBLISHES.inc()
+                return {"accepted": False, "duplicate": True}
+            if job.state == "failed":
+                # The job already failed terminally (all attempts
+                # burned); a straggler's success cannot resurrect it for
+                # waiters who were already answered.
+                _DUP_PUBLISHES.inc()
+                return {"accepted": False, "duplicate": True}
+            job.state = "done"
+            job.worker = worker
+            job.error = None
+            _PUBLISHES.inc()
+            _COMPLETED.inc()
+            job.settle()
+            return {"accepted": True, "duplicate": False}
+        if op == "queue.fail":
+            job = self._require_job(request)
+            worker = protocol.require_field(request, "worker")
+            error = str(request.get("error") or "build failed")
+            if job.state in ("done", "failed"):
+                return job.public()
+            job.error = error
+            if job.attempts >= self.config.max_attempts:
+                job.state = "failed"
+                job.worker = worker
+                _FAILED.inc()
+                job.settle()
+            else:
+                job.state = "pending"
+                job.worker = None
+                self._pending.append(job.key)
+            return job.public()
+        if op == "queue.wait":
+            job = self._require_job(request)
+            timeout = min(
+                float(request.get("timeout_s") or self.config.max_wait_s),
+                self.config.max_wait_s,
+            )
+            if job.state not in ("done", "failed") and timeout > 0:
+                future: asyncio.Future = asyncio.get_running_loop().create_future()
+                job.waiters.append(future)
+                try:
+                    await asyncio.wait_for(future, timeout)
+                except asyncio.TimeoutError:
+                    if future in job.waiters:
+                        job.waiters.remove(future)
+            return job.public()
+        if op == "stats":
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "jobs": states,
+                "pending_depth": len(self._pending),
+                "lease_s": self.config.lease_s,
+                "uptime_seconds": (
+                    time.time() - self.started_at if self.started_at else 0.0
+                ),
+            }
+        if op == "ping":
+            return "pong"
+        if op == "shutdown":
+            self.request_stop()
+            return "stopping"
+        raise ProtocolError("bad_request", f"unknown op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+QueueSpec = Union["BuildQueueClient", str, Tuple[str, int]]
+
+
+class BuildQueueClient(PowerQueryClient):
+    """Blocking client for the build queue (submitters *and* workers).
+
+    Inherits the JSON-lines transport, retry policy and typed connection
+    errors of :class:`~repro.serve.client.PowerQueryClient`; adds the
+    queue operations.
+    """
+
+    @classmethod
+    def resolve(cls, spec: QueueSpec) -> "BuildQueueClient":
+        """Turn a queue spec into a client.
+
+        Accepts an existing client (returned as-is; caller keeps
+        ownership), a ``"host:port"`` string, or a ``(host, port)`` pair.
+        """
+        if isinstance(spec, BuildQueueClient):
+            return spec
+        if isinstance(spec, str):
+            host, _, port = spec.rpartition(":")
+            if not host or not port.isdigit():
+                raise ModelError(
+                    f"malformed queue spec {spec!r} (want host:port)"
+                )
+            return cls(host, int(port))
+        host, port = spec
+        return cls(host, int(port))
+
+    def submit(self, netlist: Union[Netlist, Dict], config: Optional[Dict] = None,
+               force: bool = False) -> Dict:
+        """Enqueue one build job; returns the job's public state."""
+        wire = (
+            netlist.canonical_dict()
+            if isinstance(netlist, Netlist)
+            else netlist
+        )
+        payload = {
+            "op": "queue.submit",
+            "netlist": wire,
+            "config": config or {},
+        }
+        if force:
+            payload["force"] = True
+        return self.call(payload)
+
+    def wait(self, key: str, timeout_s: Optional[float] = None,
+             poll_s: float = 15.0) -> Dict:
+        """Block until a job is terminal (or ``timeout_s`` elapses).
+
+        Long-polls the server in ``poll_s`` slices so a stuck job never
+        wedges the connection past the server's per-request cap.
+        """
+        deadline = None if timeout_s is None else time.time() + timeout_s
+        while True:
+            slice_s = poll_s
+            if deadline is not None:
+                slice_s = min(slice_s, max(0.0, deadline - time.time()))
+            state = self.call(
+                {"op": "queue.wait", "key": key, "timeout_s": slice_s}
+            )
+            if state["state"] in ("done", "failed"):
+                return state
+            if deadline is not None and time.time() >= deadline:
+                return state
+
+    def claim(self, worker: str) -> Optional[Dict]:
+        """One pending job (with lease) or None when the queue is idle."""
+        return self.call({"op": "queue.claim", "worker": worker})["job"]
+
+    def heartbeat(self, key: str, worker: str) -> bool:
+        """Extend a held lease; False when the lease has been lost."""
+        try:
+            self.call(
+                {"op": "queue.heartbeat", "key": key, "worker": worker},
+                idempotent=False,
+            )
+            return True
+        except protocol.ResponseError as exc:
+            if exc.error_type == "not_found":
+                return False
+            raise
+
+    def publish(self, key: str, worker: str) -> Dict:
+        """Report a built-and-stored job; idempotent per key."""
+        return self.call({"op": "queue.publish", "key": key, "worker": worker})
+
+    def fail(self, key: str, worker: str, error: str) -> Dict:
+        """Report a failed build; the server may re-enqueue."""
+        return self.call(
+            {"op": "queue.fail", "key": key, "worker": worker, "error": error}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+def run_worker(
+    host: str,
+    port: int,
+    store_spec: str,
+    worker_id: str,
+    poll_interval_s: float = 0.05,
+    build_delay_s: float = 0.0,
+    max_idle_s: Optional[float] = None,
+) -> None:
+    """Claim-build-publish loop of one farm worker (a process entry point).
+
+    Claims jobs from the queue at ``host:port``, rebuilds the netlist
+    from its wire form, builds the ADD, publishes the model into the
+    store backend at ``store_spec``, and reports back — heartbeating on a
+    *second* connection the whole time so a long build never loses its
+    lease.  ``build_delay_s`` artificially stretches each build (chaos
+    tests use it to guarantee a kill lands mid-build).  With
+    ``max_idle_s`` the worker exits after the queue stays empty that
+    long; otherwise it runs until killed or the queue goes away.
+
+    Fault plans arm through ``REPRO_FAULTS`` as usual; the
+    ``queue.worker.crash`` site (token = attempt number) SIGKILLs this
+    process mid-build — after the claim, before the publish — which is
+    exactly the window lease reassignment must cover.
+    """
+    from repro.models.addmodel import build_add_model
+    from repro.serve.store import ModelStore
+    from repro.serve.storage import open_backend
+
+    store = ModelStore(open_backend(store_spec))
+    client = BuildQueueClient(host, port)
+    idle_since: Optional[float] = None
+    try:
+        while True:
+            try:
+                job = client.claim(worker_id)
+            except ServeConnectionError:
+                return  # queue is gone; the farm is shutting down
+            if job is None:
+                now = time.time()
+                idle_since = idle_since or now
+                if max_idle_s is not None and now - idle_since > max_idle_s:
+                    return
+                time.sleep(poll_interval_s)
+                continue
+            idle_since = None
+            key = job["key"]
+            attempt = int(job.get("attempt", 1))
+            lease_s = float(job.get("lease_s", 10.0))
+            lease_lost = threading.Event()
+            stop_beat = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(host, port, key, worker_id, lease_s, stop_beat, lease_lost),
+                daemon=True,
+            )
+            beat.start()
+            try:
+                netlist = netlist_from_canonical_dict(
+                    job["netlist"], name=f"queued-{key[:12]}"
+                )
+                if build_delay_s > 0:
+                    time.sleep(build_delay_s)
+                if faults.fires("queue.worker.crash", token=attempt):
+                    # Chaos: die the hard way, exactly mid-build — no
+                    # cleanup, no fail report, just a vanished lease.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                model = build_add_model(netlist, **job["config"])
+                _WORKER_BUILDS.inc()
+                if lease_lost.is_set():
+                    # The queue reassigned this job while we built; the
+                    # new assignee owns publishing.  (Even a racing
+                    # backend put would have written identical bytes —
+                    # keys are content-addressed.)
+                    _WORKER_ABANDONED.inc()
+                    continue
+                store.put(netlist, model, **job["config"])
+                client.publish(key, worker_id)
+            except ServeConnectionError:
+                return
+            except Exception as exc:  # noqa: BLE001 - report, keep serving
+                try:
+                    client.fail(key, worker_id, f"{type(exc).__name__}: {exc}")
+                except ServeConnectionError:
+                    return
+            finally:
+                stop_beat.set()
+                beat.join(timeout=1.0)
+    finally:
+        client.close()
+
+
+def _heartbeat_loop(
+    host: str,
+    port: int,
+    key: str,
+    worker_id: str,
+    lease_s: float,
+    stop: threading.Event,
+    lease_lost: threading.Event,
+) -> None:
+    """Extend one job's lease until told to stop (worker side-thread)."""
+    interval = max(0.05, lease_s / 3.0)
+    try:
+        client = BuildQueueClient(host, port)
+    except ServeConnectionError:
+        return
+    try:
+        while not stop.wait(interval):
+            try:
+                if not client.heartbeat(key, worker_id):
+                    lease_lost.set()
+                    return
+            except ServeConnectionError:
+                return
+    finally:
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted server + process farm (tests, CLI, smokes)
+# ---------------------------------------------------------------------------
+@dataclass
+class QueueHandle:
+    """A build-queue server running on a private loop in a daemon thread."""
+
+    server: BuildQueueServer
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def spec(self) -> str:
+        """The ``host:port`` spec clients dial."""
+        return f"{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self.server.request_stop)
+        except RuntimeError:  # loop already closed
+            pass
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "QueueHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_queue(
+    config: QueueConfig = QueueConfig(), ready_timeout: float = 30.0
+) -> QueueHandle:
+    """Run a :class:`BuildQueueServer` in a daemon thread."""
+    server = BuildQueueServer(config)
+    ready = threading.Event()
+    box: Dict[str, object] = {}
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:  # noqa: BLE001 - surface to caller
+            box["error"] = exc
+            ready.set()
+            return
+        box["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server.serve_forever()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), name="build-queue", daemon=True
+    )
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise TimeoutError("build queue did not start in time")
+    if "error" in box:
+        thread.join(1.0)
+        raise box["error"]  # type: ignore[misc]
+    return QueueHandle(server=server, thread=thread, loop=box["loop"])  # type: ignore[arg-type]
+
+
+class WorkerFarm:
+    """A set of :func:`run_worker` processes sharing one queue + backend.
+
+    Forked where the platform allows (inheriting the parent's modules
+    and fault environment), spawned otherwise — the same policy as the
+    build pool and the serving cluster.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        store_spec: str,
+        count: int = 4,
+        poll_interval_s: float = 0.05,
+        build_delay_s: float = 0.0,
+    ):
+        import multiprocessing
+
+        if count < 1:
+            raise ModelError("a worker farm needs at least one worker")
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._ctx = multiprocessing.get_context(method)
+        self.host = host
+        self.port = port
+        self.store_spec = store_spec
+        self.poll_interval_s = poll_interval_s
+        self.build_delay_s = build_delay_s
+        self.processes: List = []
+        for index in range(count):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        process = self._ctx.Process(
+            target=run_worker,
+            args=(
+                self.host,
+                self.port,
+                self.store_spec,
+                f"worker-{index}-{os.getpid()}",
+            ),
+            kwargs={
+                "poll_interval_s": self.poll_interval_s,
+                "build_delay_s": self.build_delay_s,
+            },
+            daemon=True,
+        )
+        process.start()
+        self.processes.append(process)
+
+    def alive(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for p in self.processes if p.is_alive())
+
+    def respawn_dead(self) -> int:
+        """Replace dead workers (chaos recovery); returns how many."""
+        replaced = 0
+        for index, process in enumerate(list(self.processes)):
+            if not process.is_alive():
+                self.processes.remove(process)
+                self._spawn(index)
+                replaced += 1
+        return replaced
+
+    def stop(self, timeout: float = 5.0) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout)
+
+    def __enter__(self) -> "WorkerFarm":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Telemetry-driven warming
+# ---------------------------------------------------------------------------
+class StoreWarmer:
+    """Background thread that pre-builds predicted-hot keys.
+
+    Policy: a key is *hot* when the store's access profile shows at least
+    ``min_accesses`` resolutions with the latest inside ``hot_window_s``.
+    Every ``interval_s`` the warmer scans the profile and, for each hot
+    key **missing from the backend** (evicted by gc, or a replica still
+    catching up), force-submits its build to the queue — so the next
+    client resolves a hit instead of paying the build.  Submission is
+    deduplicated by the queue itself; the warmer never waits on results.
+    """
+
+    def __init__(
+        self,
+        store,
+        queue: QueueSpec,
+        interval_s: float = 5.0,
+        min_accesses: int = 2,
+        hot_window_s: float = 300.0,
+    ):
+        self.store = store
+        self.queue = queue
+        self.interval_s = interval_s
+        self.min_accesses = min_accesses
+        self.hot_window_s = hot_window_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.submitted = 0
+
+    def warm_once(self) -> int:
+        """One scan-and-submit pass; returns how many keys were submitted."""
+        hot = [
+            record
+            for record in self.store.access_profile()
+            if record.accesses >= self.min_accesses
+            and time.time() - record.last_access_at <= self.hot_window_s
+        ]
+        count = 0
+        client = None
+        try:
+            for record in hot:
+                if self.store.contains(record.key):
+                    continue
+                if client is None:
+                    client = BuildQueueClient.resolve(self.queue)
+                client.submit(
+                    record.netlist.canonical_dict(),
+                    record.config,
+                    force=True,
+                )
+                _WARM_SUBMITTED.inc()
+                count += 1
+        except (ServeConnectionError, OSError):
+            pass  # warming is advisory; never let it fail anything
+        finally:
+            if client is not None and client is not self.queue:
+                client.close()
+        self.submitted += count
+        return count
+
+    def start(self) -> "StoreWarmer":
+        self._thread = threading.Thread(
+            target=self._loop, name="store-warmer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.warm_once()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "StoreWarmer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,524 @@
+"""Pluggable storage backends for the model store.
+
+:class:`~repro.serve.store.ModelStore` used to be hard-wired to a local
+directory; this module extracts its byte-level persistence behind the
+:class:`StoreBackend` protocol so the *same* store logic (content keys,
+manifest, quarantine, LRU) runs against any medium:
+
+- :class:`LocalDirBackend` — today's behaviour bit for bit: one file per
+  object under a root directory, every write through temp file +
+  :func:`os.replace` so concurrent readers never observe a partial
+  object, transient-``OSError`` retry, and the ``store.io.read`` /
+  ``store.io.write`` / ``store.torn_write`` chaos sites.
+- :class:`ObjectStoreBackend` — a minimal S3-style put/get/list/head/
+  delete client speaking JSON lines over TCP (the framing of
+  :mod:`repro.serve.protocol`) to an
+  :class:`~repro.serve.objectstore.ObjectStoreServer`.  Every ``get`` is
+  verified against the server-reported SHA-256 before it is believed, so
+  a corrupted wire hop surfaces as an :class:`OSError` (a retriable I/O
+  failure), never as silent bad data.
+
+Backends register themselves in :data:`BACKENDS`; the conformance suite
+(``tests/test_store_backends.py``) runs the same contract tests against
+every registered backend.  :func:`open_backend` turns a CLI-facing spec
+string (a directory path, or ``obj://host:port``) into a backend, and
+:func:`sync_stores` replicates objects store-to-store with content-hash
+verification — the ``repro store sync`` command.
+
+Object names are flat, ``/``-separated strings (``objects/<key>.json``,
+``manifest.json``); backends map them to their medium however they like,
+but must preserve the exact bytes and atomic-publish semantics: a name
+either resolves to a complete previously-put payload or does not resolve
+at all.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.obs.metrics import get_metrics
+from repro.serve import protocol
+from repro.serve.protocol import unwrap_response
+from repro.testing import faults
+
+_MET = get_metrics()
+_IO_RETRIES = _MET.counter("serve.store.io_retries")
+_REMOTE_REQUESTS = _MET.counter("serve.store.backend.remote_requests")
+_REMOTE_BYTES_OUT = _MET.counter("serve.store.backend.remote_bytes_out")
+_REMOTE_BYTES_IN = _MET.counter("serve.store.backend.remote_bytes_in")
+_REMOTE_HASH_MISMATCHES = _MET.counter(
+    "serve.store.backend.hash_mismatches"
+)
+_SYNC_COPIED = _MET.counter("serve.store.sync.copied")
+_SYNC_SKIPPED = _MET.counter("serve.store.sync.skipped")
+_SYNC_VERIFIED = _MET.counter("serve.store.sync.verified")
+_SYNC_MISMATCHES = _MET.counter("serve.store.sync.mismatches")
+
+
+def sha256_hex(data: bytes) -> str:
+    """Content hash used for object verification everywhere."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def retry_io(
+    operation: Callable[[], object],
+    attempts: int = 3,
+    base_delay_s: float = 0.01,
+):
+    """Run an I/O operation, retrying transient OSErrors.
+
+    A store shared over NFS (or a flaky network hop to an object server)
+    sees sporadic EIO/EAGAIN-style failures that succeed moments later;
+    one bounded retry loop covers every backend read and write.  A
+    FileNotFoundError is *not* transient — it propagates immediately so
+    miss detection stays exact.
+    """
+    last: Optional[OSError] = None
+    for attempt in range(attempts):
+        if attempt:
+            _IO_RETRIES.inc()
+            time.sleep(base_delay_s * (2 ** (attempt - 1)))
+        try:
+            return operation()
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            last = exc
+    assert last is not None
+    raise last
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """Metadata one ``head`` call returns for a stored object."""
+
+    name: str
+    size: int
+    sha256: str
+    mtime: float
+
+
+class StoreBackend:
+    """Byte-level persistence contract of the model store.
+
+    Implementations must make ``put`` an atomic publish: a concurrent
+    ``get`` of the same name observes either the previous complete
+    payload or the new complete payload, never a mixture or a prefix.
+    ``get`` raises :class:`FileNotFoundError` for an absent name and
+    :class:`OSError` for an unreadable-but-present one, so callers can
+    keep miss detection exact while treating disk trouble as transient.
+    """
+
+    #: Registry name ("local", "object"); set by subclasses.
+    kind: str = "abstract"
+
+    def put(self, name: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, name: str) -> bytes:
+        raise NotImplementedError
+
+    def head(self, name: str) -> Optional[ObjectInfo]:
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> List[str]:
+        raise NotImplementedError
+
+    def delete(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable location of this backend (for CLI output)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+def _check_name(name: str) -> str:
+    """Reject names that could escape a backend's namespace."""
+    if (
+        not name
+        or name.startswith("/")
+        or ".." in name.split("/")
+        or "\\" in name
+    ):
+        raise ModelError(f"malformed object name {name!r}")
+    return name
+
+
+class LocalDirBackend(StoreBackend):
+    """Objects as files under a root directory (the original store layout)."""
+
+    kind = "local"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        return self.root / _check_name(name)
+
+    def put(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+
+        def write() -> None:
+            faults.maybe_fail("store.io.write")
+            spec = faults.check("store.torn_write")
+            if spec is not None:
+                # Chaos hook: simulate a crashed writer that bypassed the
+                # atomic rename — a truncated file appears at the *final*
+                # path, exactly what quarantine/reconciliation must absorb.
+                path.write_bytes(data[: max(1, len(data) // 2)])
+                return
+            handle, temp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(data)
+                os.replace(temp, path)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+
+        retry_io(write)
+
+    def get(self, name: str) -> bytes:
+        path = self._path(name)
+
+        def read() -> bytes:
+            faults.maybe_fail("store.io.read")
+            return path.read_bytes()
+
+        return retry_io(read)
+
+    def head(self, name: str) -> Optional[ObjectInfo]:
+        path = self._path(name)
+        try:
+            data = path.read_bytes()
+            stat = path.stat()
+        except OSError:
+            return None
+        return ObjectInfo(
+            name=name,
+            size=len(data),
+            sha256=sha256_hex(data),
+            mtime=stat.st_mtime,
+        )
+
+    def list(self, prefix: str = "") -> List[str]:
+        _check_name(prefix or "x")
+        names: List[str] = []
+        for path in self.root.rglob("*"):
+            if not path.is_file() or path.suffix == ".tmp":
+                continue
+            name = path.relative_to(self.root).as_posix()
+            if name.startswith(prefix):
+                names.append(name)
+        return sorted(names)
+
+    def delete(self, name: str) -> bool:
+        try:
+            self._path(name).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def describe(self) -> str:
+        return str(self.root)
+
+
+class ObjectStoreBackend(StoreBackend):
+    """Client for the S3-style JSON-lines object server.
+
+    One blocking socket, one in-flight request at a time (the store's
+    access pattern), payloads base64-framed on the wire.  Every ``get``
+    is verified against the server-reported SHA-256; a mismatch raises
+    :class:`OSError` so the store's transient-I/O handling (retry, then
+    treat as miss) applies instead of trusting corrupt bytes.  The
+    ``store.backend.unavailable`` chaos site fires here, before the
+    socket is touched, to simulate an unreachable object server.
+    """
+
+    kind = "object"
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
+        self._next_id = 0
+        # One in-flight request per connection: concurrent store users
+        # (server thread + prefetch/warmer threads) serialise here
+        # instead of interleaving frames on the shared socket.
+        self._lock = threading.Lock()
+
+    # -- plumbing ------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise OSError(
+                f"cannot reach object store {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._stream = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        stream, sock, self._stream, self._sock = (
+            self._stream, self._sock, None, None,
+        )
+        for closable in (stream, sock):
+            if closable is None:
+                continue
+            try:
+                closable.close()
+            except OSError:  # pragma: no cover - already-dead socket
+                pass
+
+    def _call(self, payload: Dict):
+        import json
+
+        faults.maybe_fail("store.backend.unavailable")
+        with self._lock:
+            self._connect()
+            self._next_id += 1
+            payload = dict(payload, id=self._next_id)
+            _REMOTE_REQUESTS.inc()
+            try:
+                line = protocol.encode(payload)
+                _REMOTE_BYTES_OUT.inc(len(line))
+                self._stream.write(line)
+                self._stream.flush()
+                reply = self._stream.readline()
+            except (OSError, ValueError) as exc:
+                self._teardown()
+                raise OSError(f"object store connection failed: {exc}") from exc
+            if not reply:
+                self._teardown()
+                raise OSError("object store closed the connection")
+            _REMOTE_BYTES_IN.inc(len(reply))
+        response = json.loads(reply.decode("utf-8"))
+        try:
+            return unwrap_response(response)
+        except protocol.ResponseError as exc:
+            if exc.error_type == "not_found":
+                raise FileNotFoundError(str(exc)) from None
+            raise OSError(f"object store error: {exc}") from None
+
+    # -- StoreBackend --------------------------------------------------
+    def put(self, name: str, data: bytes) -> None:
+        _check_name(name)
+        spec = faults.check("store.torn_write")
+        if spec is not None:
+            # Chaos hook: ship a truncated payload as if the writer died
+            # mid-upload and a non-atomic server kept the prefix.
+            data = data[: max(1, len(data) // 2)]
+        retry_io(
+            lambda: self._call(
+                {
+                    "op": "obj.put",
+                    "name": name,
+                    "data": base64.b64encode(data).decode("ascii"),
+                    "sha256": sha256_hex(data),
+                }
+            )
+        )
+
+    def get(self, name: str) -> bytes:
+        _check_name(name)
+
+        def fetch() -> bytes:
+            result = self._call({"op": "obj.get", "name": name})
+            data = base64.b64decode(result["data"])
+            if sha256_hex(data) != result.get("sha256"):
+                _REMOTE_HASH_MISMATCHES.inc()
+                raise OSError(
+                    f"object {name!r} failed content verification in transit"
+                )
+            return data
+
+        return retry_io(fetch)
+
+    def head(self, name: str) -> Optional[ObjectInfo]:
+        _check_name(name)
+        try:
+            result = retry_io(
+                lambda: self._call({"op": "obj.head", "name": name})
+            )
+        except (FileNotFoundError, OSError):
+            return None
+        return ObjectInfo(
+            name=name,
+            size=int(result["size"]),
+            sha256=str(result["sha256"]),
+            mtime=float(result["mtime"]),
+        )
+
+    def list(self, prefix: str = "") -> List[str]:
+        result = retry_io(
+            lambda: self._call({"op": "obj.list", "prefix": prefix})
+        )
+        return list(result["names"])
+
+    def delete(self, name: str) -> bool:
+        _check_name(name)
+        try:
+            result = retry_io(
+                lambda: self._call({"op": "obj.delete", "name": name})
+            )
+        except FileNotFoundError:
+            return False
+        return bool(result["deleted"])
+
+    def describe(self) -> str:
+        return f"obj://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Close the connection (the next call redials)."""
+        self._teardown()
+
+
+# ---------------------------------------------------------------------------
+# Registry + spec parsing
+# ---------------------------------------------------------------------------
+#: kind -> spec-opening factory; the conformance suite iterates this.
+BACKENDS: Dict[str, Callable[[str], StoreBackend]] = {}
+
+
+def register_backend(kind: str, factory: Callable[[str], StoreBackend]) -> None:
+    """Register a backend kind for :func:`open_backend` and conformance."""
+    BACKENDS[kind] = factory
+
+
+def _open_object_spec(spec: str) -> StoreBackend:
+    rest = spec[len("obj://"):]
+    host, _, port = rest.partition(":")
+    if not host or not port.isdigit():
+        raise ModelError(
+            f"malformed object-store spec {spec!r} (want obj://host:port)"
+        )
+    return ObjectStoreBackend(host, int(port))
+
+
+register_backend("local", LocalDirBackend)
+register_backend("object", _open_object_spec)
+
+
+def open_backend(spec: "str | Path | StoreBackend") -> StoreBackend:
+    """Turn a store spec into a backend.
+
+    Accepts a :class:`StoreBackend` (returned unchanged), an
+    ``obj://host:port`` URL (remote object store), or anything else as a
+    local directory path — so every ``--store`` flag transparently gains
+    remote support.
+    """
+    if isinstance(spec, StoreBackend):
+        return spec
+    spec = str(spec)
+    if spec.startswith("obj://"):
+        return BACKENDS["object"](spec)
+    return BACKENDS["local"](spec)
+
+
+# ---------------------------------------------------------------------------
+# Store-to-store replication
+# ---------------------------------------------------------------------------
+@dataclass
+class SyncReport:
+    """Outcome of one :func:`sync_stores` replication pass."""
+
+    copied: int = 0
+    skipped: int = 0
+    verified: int = 0
+    mismatches: int = 0
+    bytes_copied: int = 0
+    errors: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.errors is None:
+            self.errors = []
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatches == 0 and not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"sync: {self.copied} copied ({self.bytes_copied} bytes), "
+            f"{self.skipped} up-to-date, {self.verified} hash-verified, "
+            f"{self.mismatches} mismatches"
+        )
+
+
+def sync_stores(
+    source: StoreBackend,
+    destination: StoreBackend,
+    prefix: str = "objects/",
+    verify: bool = True,
+) -> SyncReport:
+    """Replicate objects from one backend to another, hash-verified.
+
+    For every source object under ``prefix``: if the destination already
+    holds a byte-identical copy (same SHA-256 via ``head``), it is
+    skipped; otherwise the payload is copied and — with ``verify`` —
+    read back from the destination and its content hash compared against
+    the source bytes.  A mismatch counts (and is reported) rather than
+    silently shipping a corrupt replica.  The manifest is deliberately
+    *not* copied: it is a rebuildable metadata cache, and the
+    destination store reconciles its own from the objects on next load.
+    """
+    report = SyncReport()
+    for name in source.list(prefix):
+        try:
+            data = source.get(name)
+        except (FileNotFoundError, OSError) as exc:
+            report.errors.append(f"{name}: source read failed: {exc}")
+            continue
+        digest = sha256_hex(data)
+        existing = destination.head(name)
+        if existing is not None and existing.sha256 == digest:
+            _SYNC_SKIPPED.inc()
+            report.skipped += 1
+            continue
+        try:
+            destination.put(name, data)
+        except OSError as exc:
+            report.errors.append(f"{name}: destination write failed: {exc}")
+            continue
+        _SYNC_COPIED.inc()
+        report.copied += 1
+        report.bytes_copied += len(data)
+        if verify:
+            try:
+                replica = destination.get(name)
+            except (FileNotFoundError, OSError) as exc:
+                report.errors.append(f"{name}: verify read failed: {exc}")
+                continue
+            if sha256_hex(replica) != digest:
+                _SYNC_MISMATCHES.inc()
+                report.mismatches += 1
+                report.errors.append(f"{name}: replica hash mismatch")
+            else:
+                _SYNC_VERIFIED.inc()
+                report.verified += 1
+    return report

@@ -2,7 +2,7 @@
 
 The paper's economics only work if a model is *built once* and reused for
 arbitrarily many queries; :class:`ModelStore` makes that literal.  Every
-model is cached on disk under a key derived from *content*, not names:
+model is cached under a key derived from *content*, not names:
 
     key = sha256( canonical netlist structure , canonical build config )
 
@@ -11,43 +11,48 @@ it came from — resolves to the same cached model, while any change to the
 circuit or to the build parameters (``max_nodes``, ``strategy``, ...)
 produces a different key and therefore a fresh build.
 
-Layout of a store directory::
+Persistence is delegated to a :class:`~repro.serve.storage.StoreBackend`:
+the default :class:`~repro.serve.storage.LocalDirBackend` keeps the
+original on-disk layout bit for bit ::
 
     <root>/objects/<key>.json   # one store entry per model (atomic writes)
     <root>/manifest.json        # metadata cache, rebuildable from objects/
 
-The ``objects/`` directory is the source of truth.  The manifest is a
-pure metadata cache (macro name, sizes, timestamps) kept for cheap
-``ls``/``gc``; it is rewritten atomically after every mutation and, if it
-is ever missing, corrupt, or lost an entry to a concurrent writer, it is
-reconciled against ``objects/`` on the next load — so ``ls``/``gc`` are
-best-effort views that may briefly lag the object files, never the other
-way around.  All file creation goes through write-to-temp +
-:func:`os.replace`, so concurrent processes sharing one store directory
+while :class:`~repro.serve.storage.ObjectStoreBackend` puts the same
+objects behind an S3-style network server, so a farm of build workers
+can publish into one replicated store (see :mod:`repro.serve.queue`).
+
+The ``objects/`` namespace is the source of truth.  The manifest is a
+pure metadata cache (macro name, sizes, timestamps, last access) kept for
+cheap ``ls``/``gc``; it is rewritten atomically after every mutation and,
+if it is ever missing, corrupt, or lost an entry to a concurrent writer,
+it is reconciled against ``objects/`` on the next load — so ``ls``/``gc``
+are best-effort views that may briefly lag the object files, never the
+other way around.  Backends guarantee atomic publish (write-to-temp +
+:func:`os.replace` locally), so concurrent processes sharing one store
 never observe partial entries — the worst case under a build race is
 that both processes build and one atomic replace wins.  An object file
 written by a *different store version* (a newer build sharing the
 directory) is left untouched and simply skipped by this build.
 
-On top of the disk layer sits a per-process LRU of deserialised models
-bounded by an *approximate* byte budget (the serialised payload size is
-used as the estimate), so a server process keeps its hot models resident
-without unbounded growth.
+On top of the persistence layer sits a per-process LRU of deserialised
+models bounded by an *approximate* byte budget (the serialised payload
+size is used as the estimate), so a server process keeps its hot models
+resident without unbounded growth.  Every resolution is also recorded in
+a bounded access profile — the telemetry the queue's background warmer
+mines for predicted-hot keys.
 """
 
 from __future__ import annotations
 
-import hashlib
 import inspect
 import json
-import os
-import tempfile
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ModelError
 from repro.models.addmodel import (
@@ -60,7 +65,12 @@ from repro.models.serialize import model_from_dict, model_to_dict
 from repro.netlist.netlist import Netlist
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
-from repro.testing import faults
+from repro.serve.storage import (
+    LocalDirBackend,
+    StoreBackend,
+    open_backend,
+    sha256_hex,
+)
 
 ENTRY_FORMAT = "repro-model-store-entry"
 MANIFEST_FORMAT = "repro-model-store-manifest"
@@ -69,6 +79,9 @@ STORE_VERSION = 1
 #: Default in-memory budget: enough for a few hundred budget-sized
 #: (MAX=1000) models, small next to a typical server's footprint.
 DEFAULT_MEMORY_BUDGET_BYTES = 128 * 1024 * 1024
+
+#: Keys tracked in the access profile the warmer mines (LRU-bounded).
+ACCESS_PROFILE_CAPACITY = 1024
 
 _MET = get_metrics()
 _HITS = _MET.counter("serve.store.hits")
@@ -80,9 +93,12 @@ _EVICTIONS = _MET.counter("serve.store.lru_evictions")
 _CORRUPT = _MET.counter("serve.store.corrupt_entries")
 _VERSION_SKIPS = _MET.counter("serve.store.version_skips")
 _GC_REMOVED = _MET.counter("serve.store.gc_removed")
-_IO_RETRIES = _MET.counter("serve.store.io_retries")
 _IO_FAILURES = _MET.counter("serve.store.io_failures")
 _MANIFEST_RECOVERIES = _MET.counter("serve.store.manifest_recoveries")
+_WARM_HITS = _MET.counter("serve.store.warm.hits")
+_WARM_BUILDS = _MET.counter("serve.store.warm.builds")
+_QUEUE_MISSES_ROUTED = _MET.counter("serve.store.queue_routed")
+_QUEUE_FALLBACKS = _MET.counter("serve.store.queue_fallbacks")
 
 
 def _builder_defaults() -> Dict:
@@ -128,15 +144,26 @@ def canonical_build_config(config: Dict) -> Dict:
 
 def store_key(netlist: Netlist, config: Dict) -> str:
     """Content-addressed cache key for (netlist, build config)."""
+    return store_key_from_canonical(netlist.canonical_dict(), config)
+
+
+def store_key_from_canonical(netlist_dict: Dict, config: Dict) -> str:
+    """The same key, from an already-canonicalised netlist dict.
+
+    The build-queue server holds netlists only in their wire form
+    (:meth:`~repro.netlist.netlist.Netlist.canonical_dict`); keying from
+    the dict directly keeps submitter, server and worker agreeing on one
+    key without every party rebuilding a :class:`Netlist`.
+    """
     blob = json.dumps(
         {
-            "netlist": netlist.canonical_dict(),
+            "netlist": netlist_dict,
             "config": canonical_build_config(config),
         },
         sort_keys=True,
         separators=(",", ":"),
     )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return sha256_hex(blob.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -151,6 +178,14 @@ class StoreEntry:
     payload_bytes: int
     netlist_sha256: str
     created_at: float
+    #: When the entry was last served (``get``/LRU hit); equals
+    #: ``created_at`` until the first access.  Best-effort: in-memory
+    #: hits are folded into the next manifest rewrite.
+    last_access_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.last_access_at <= 0.0:
+            object.__setattr__(self, "last_access_at", self.created_at)
 
     def to_dict(self) -> Dict:
         return {
@@ -162,6 +197,7 @@ class StoreEntry:
             "payload_bytes": self.payload_bytes,
             "netlist_sha256": self.netlist_sha256,
             "created_at": self.created_at,
+            "last_access_at": self.last_access_at,
         }
 
     @classmethod
@@ -175,6 +211,35 @@ class StoreEntry:
             payload_bytes=raw["payload_bytes"],
             netlist_sha256=raw["netlist_sha256"],
             created_at=raw["created_at"],
+            # Manifests written before the field existed lack it; those
+            # entries count as last touched when they were created.
+            last_access_at=raw.get("last_access_at", raw["created_at"]),
+        )
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One key's slice of the store access profile (warmer telemetry)."""
+
+    key: str
+    netlist: Netlist
+    config: Dict
+    accesses: int
+    last_access_at: float
+
+
+@dataclass(frozen=True)
+class PrefetchReport:
+    """Outcome of one :meth:`ModelStore.prefetch` warm-up pass."""
+
+    keys: List[str]
+    hits: int
+    builds: int
+
+    def summary(self) -> str:
+        return (
+            f"prefetch: {len(self.keys)} model(s) — "
+            f"{self.hits} already cached, {self.builds} built"
         )
 
 
@@ -182,87 +247,49 @@ def _encode_json(payload: Dict) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write via temp file + rename, so readers never see partial files."""
-    faults.maybe_fail("store.io.write")
-    spec = faults.check("store.torn_write")
-    if spec is not None:
-        # Chaos hook: simulate a crashed writer that bypassed the atomic
-        # rename — a truncated file appears at the *final* path, exactly
-        # what quarantine/reconciliation must absorb.
-        path.write_bytes(data[: max(1, len(data) // 2)])
-        return
-    handle, temp = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(handle, "wb") as stream:
-            stream.write(data)
-        os.replace(temp, path)
-    except BaseException:
-        try:
-            os.unlink(temp)
-        except OSError:
-            pass
-        raise
-
-
-def _atomic_write_json(path: Path, payload: Dict) -> int:
-    """Write JSON via temp file + rename; returns the byte size written."""
-    data = _encode_json(payload)
-    _retry_io(lambda: _atomic_write_bytes(path, data))
-    return len(data)
-
-
-def _retry_io(
-    operation: Callable[[], object],
-    attempts: int = 3,
-    base_delay_s: float = 0.01,
-):
-    """Run a filesystem operation, retrying transient OSErrors.
-
-    A store shared over NFS (or hammered by an antivirus scanner) sees
-    sporadic EIO/EAGAIN-style failures that succeed moments later; one
-    bounded retry loop covers every store read and write.  A
-    FileNotFoundError is *not* transient — it propagates immediately so
-    miss detection stays exact.
-    """
-    last: Optional[OSError] = None
-    for attempt in range(attempts):
-        if attempt:
-            _IO_RETRIES.inc()
-            time.sleep(base_delay_s * (2 ** (attempt - 1)))
-        try:
-            return operation()
-        except FileNotFoundError:
-            raise
-        except OSError as exc:
-            last = exc
-    assert last is not None
-    raise last
-
-
 class ModelStore:
-    """Content-addressed on-disk + in-memory cache of ADD power models."""
+    """Content-addressed persistent + in-memory cache of ADD power models."""
 
     def __init__(
         self,
-        root: str | Path,
+        root: Union[str, Path, StoreBackend],
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
     ):
         if memory_budget_bytes < 0:
             raise ModelError("memory_budget_bytes must be >= 0")
-        self.root = Path(root)
-        self.objects_dir = self.root / "objects"
-        self.manifest_path = self.root / "manifest.json"
+        self.backend = open_backend(root)
         self.memory_budget_bytes = memory_budget_bytes
-        self.objects_dir.mkdir(parents=True, exist_ok=True)
         # key -> (model, approximate byte cost); most recently used last.
         self._lru: "OrderedDict[str, Tuple[AddPowerModel, int]]" = OrderedDict()
         self._lru_bytes = 0
         # Guards the LRU against concurrent get_or_build callers (e.g.
         # a server thread racing a prefetch thread).
         self._lock = threading.RLock()
+        #: Accesses not yet persisted to the manifest (key -> timestamp);
+        #: folded into the next manifest rewrite.
+        self._pending_touches: Dict[str, float] = {}
+        #: key -> AccessRecord, most recently accessed last (warmer feed).
+        self._access_profile: "OrderedDict[str, AccessRecord]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Local-layout compatibility accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """Root directory of a local store (errors on remote backends)."""
+        if isinstance(self.backend, LocalDirBackend):
+            return self.backend.root
+        raise ModelError(
+            f"store backend {self.backend.describe()} has no local root"
+        )
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
 
     # ------------------------------------------------------------------
     # Keying
@@ -271,10 +298,15 @@ class ModelStore:
         """The store key this netlist + build config resolves to."""
         return store_key(netlist, build_kwargs)
 
-    def _object_path(self, key: str) -> Path:
+    @staticmethod
+    def _object_name(key: str) -> str:
         if not key or any(ch not in "0123456789abcdef" for ch in key):
             raise ModelError(f"malformed store key {key!r}")
-        return self.objects_dir / f"{key}.json"
+        return f"objects/{key}.json"
+
+    def _object_path(self, key: str) -> Path:
+        """Filesystem path of one entry (local backends only; tests)."""
+        return self.root / self._object_name(key)
 
     # ------------------------------------------------------------------
     # In-memory LRU
@@ -315,33 +347,60 @@ class ModelStore:
         return len(self._lru)
 
     # ------------------------------------------------------------------
-    # Disk layer
+    # Access telemetry (gc recency + warmer feed)
+    # ------------------------------------------------------------------
+    def _touch(self, key: str) -> None:
+        with self._lock:
+            self._pending_touches[key] = time.time()
+
+    def _record_access(self, key: str, netlist: Netlist, config: Dict) -> None:
+        now = time.time()
+        with self._lock:
+            previous = self._access_profile.pop(key, None)
+            self._access_profile[key] = AccessRecord(
+                key=key,
+                netlist=netlist,
+                config=dict(config),
+                accesses=(previous.accesses + 1) if previous else 1,
+                last_access_at=now,
+            )
+            while len(self._access_profile) > ACCESS_PROFILE_CAPACITY:
+                self._access_profile.popitem(last=False)
+
+    def access_profile(self) -> List[AccessRecord]:
+        """Per-key access telemetry, most recently accessed last.
+
+        The feed of the build queue's background warmer: each record
+        carries enough (netlist + config) to re-submit the key for a
+        rebuild if it goes missing while still hot.
+        """
+        with self._lock:
+            return list(self._access_profile.values())
+
+    # ------------------------------------------------------------------
+    # Persistence layer
     # ------------------------------------------------------------------
     def _read_entry(self, key: str) -> Optional[Tuple[AddPowerModel, int]]:
-        """Load one object file; quarantines corrupt entries.
+        """Load one object; quarantines corrupt entries.
 
         Returns ``(model, payload_bytes)`` or None when the entry is
-        absent or unreadable.  A corrupt file (truncated write from a
+        absent or unreadable.  A corrupt payload (truncated write from a
         crashed process, bit rot, a payload that won't decode) is
         deleted so the caller falls through to a rebuild instead of
         failing forever.  An entry whose *store version* differs — e.g.
-        written by a newer build sharing this directory — is not ours to
-        judge: it is skipped without touching the file, and this build
+        written by a newer build sharing this store — is not ours to
+        judge: it is skipped without touching the object, and this build
         simply rebuilds in its own format.
         """
-        path = self._object_path(key)
-
-        def read() -> bytes:
-            faults.maybe_fail("store.io.read")
-            return path.read_bytes()
-
+        name = self._object_name(key)
         try:
-            data = _retry_io(read)
+            data = self.backend.get(name)
         except FileNotFoundError:
             return None
         except OSError:
-            # Persistently unreadable (disk trouble, not absence): treat
-            # as a miss so the caller rebuilds; the file stays for later.
+            # Persistently unreadable (disk/network trouble, not
+            # absence): treat as a miss so the caller rebuilds; the
+            # object stays for later.
             _IO_FAILURES.inc()
             return None
         try:
@@ -355,25 +414,25 @@ class ModelStore:
         except Exception:  # noqa: BLE001 - any undecodable entry is corrupt
             _CORRUPT.inc()
             try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing unlink
+                self.backend.delete(name)
+            except OSError:  # pragma: no cover - racing delete
                 pass
             self._drop_manifest_entries([key])
             return None
         return model, len(data)
 
     def _read_entry_meta(self, key: str) -> Optional[StoreEntry]:
-        """Manifest metadata for one object file, without rebuilding the ADD.
+        """Manifest metadata for one object, without rebuilding the ADD.
 
         Used by manifest reconciliation, which must stay cheap: ``ls``,
         ``gc`` and every ``put`` may scan entries another process wrote,
         and deserialising whole models there would make bulk inserts
-        quadratic.  Unreadable or foreign-version files simply yield
+        quadratic.  Unreadable or foreign-version objects simply yield
         None (no quarantine here — that happens on the ``get`` path).
         """
-        path = self._object_path(key)
+        name = self._object_name(key)
         try:
-            data = path.read_bytes()
+            data = self.backend.get(name)
             raw = json.loads(data)
             if not isinstance(raw, dict) or raw.get("format") != ENTRY_FORMAT:
                 return None
@@ -381,6 +440,8 @@ class ModelStore:
                 return None
             payload = raw["model"]
             config = raw.get("config") or {}
+            info = self.backend.head(name)
+            created = info.mtime if info is not None else time.time()
             return StoreEntry(
                 key=key,
                 macro_name=str(payload["macro_name"]),
@@ -389,7 +450,7 @@ class ModelStore:
                 nodes=len(payload["nodes"]),
                 payload_bytes=len(data),
                 netlist_sha256=payload.get("source_netlist_sha256") or "",
-                created_at=path.stat().st_mtime,
+                created_at=created,
             )
         except Exception:  # noqa: BLE001 - reconciliation is best-effort
             return None
@@ -407,10 +468,10 @@ class ModelStore:
         data = _encode_json(payload)
         size = len(data)
         try:
-            _retry_io(lambda: _atomic_write_bytes(self._object_path(key), data))
+            self.backend.put(self._object_name(key), data)
         except OSError:
             # Persisting is best-effort: the model is still valid and
-            # stays resident in memory; only its disk copy is missing.
+            # stays resident in memory; only its stored copy is missing.
             _IO_FAILURES.inc()
         entry = StoreEntry(
             key=key,
@@ -431,44 +492,61 @@ class ModelStore:
     def _load_manifest(self) -> Dict[str, StoreEntry]:
         present = False
         try:
-            blob = _retry_io(
-                lambda: self.manifest_path.read_text(encoding="utf-8")
-            )
+            blob = self.backend.get("manifest.json")
             present = True
-            raw = json.loads(blob)
+            raw = json.loads(blob.decode("utf-8"))
             if raw.get("format") != MANIFEST_FORMAT:
                 raise ValueError("wrong manifest format")
             entries = {
                 key: StoreEntry.from_dict(value)
                 for key, value in raw.get("entries", {}).items()
             }
+        except FileNotFoundError:
+            entries = {}
         except (OSError, ValueError, KeyError, TypeError):
             if present:
-                # A manifest file exists but would not parse — a torn
-                # write.  Reconciliation below rebuilds it from objects/.
+                # A manifest exists but would not parse — a torn write.
+                # Reconciliation below rebuilds it from objects/.
                 _MANIFEST_RECOVERIES.inc()
             entries = {}
-        # Reconcile with the objects directory: drop stale records, pick
-        # up files another process wrote.  Metadata comes straight from
+        # Reconcile with the objects namespace: drop stale records, pick
+        # up objects another process wrote.  Metadata comes straight from
         # the entry JSON (no model reconstruction), so reconciliation
-        # stays cheap even when many foreign files appear at once.
-        on_disk = {path.stem for path in self.objects_dir.glob("*.json")}
-        entries = {k: v for k, v in entries.items() if k in on_disk}
-        for key in on_disk - set(entries):
+        # stays cheap even when many foreign objects appear at once.
+        stored = {
+            name[len("objects/"):-len(".json")]
+            for name in self.backend.list("objects/")
+            if name.endswith(".json")
+        }
+        entries = {k: v for k, v in entries.items() if k in stored}
+        for key in stored - set(entries):
             meta = self._read_entry_meta(key)
             if meta is not None:
                 entries[key] = meta
         return entries
 
     def _write_manifest(self, entries: Dict[str, StoreEntry]) -> None:
+        # Fold pending access touches in while we are rewriting anyway —
+        # this is what makes ``last_access_at`` durable without paying a
+        # manifest write per in-memory hit.
+        with self._lock:
+            touches, self._pending_touches = self._pending_touches, {}
+        for key, ts in touches.items():
+            entry = entries.get(key)
+            if entry is not None and ts > entry.last_access_at:
+                entries[key] = replace(entry, last_access_at=ts)
         try:
-            _atomic_write_json(
-                self.manifest_path,
-                {
-                    "format": MANIFEST_FORMAT,
-                    "version": STORE_VERSION,
-                    "entries": {k: v.to_dict() for k, v in entries.items()},
-                },
+            self.backend.put(
+                "manifest.json",
+                _encode_json(
+                    {
+                        "format": MANIFEST_FORMAT,
+                        "version": STORE_VERSION,
+                        "entries": {
+                            k: v.to_dict() for k, v in entries.items()
+                        },
+                    }
+                ),
             )
         except OSError:
             # The manifest is a rebuildable metadata cache; a failed
@@ -481,7 +559,7 @@ class ModelStore:
         # missing the other's entry.  That is deliberate — the manifest
         # is best-effort metadata for ``ls``/``gc``/``disk_bytes``, and
         # the reconciliation pass in ``_load_manifest`` re-adopts any
-        # object file the manifest lost, so no cached *model* is ever
+        # object the manifest lost, so no cached *model* is ever
         # affected; only listings can briefly lag ``objects/``.
         entries = self._load_manifest()
         entries.update(new_entries)
@@ -501,6 +579,7 @@ class ModelStore:
         model = self._lru_get(key)
         if model is not None:
             _MEMORY_HITS.inc()
+            self._touch(key)
             return model
         loaded = self._read_entry(key)
         if loaded is None:
@@ -508,11 +587,18 @@ class ModelStore:
         model, size = loaded
         _DISK_HITS.inc()
         self._lru_put(key, model, size)
+        self._touch(key)
+        # A cold load is already on the slow path; persist the access so
+        # cross-process gc sees honest recency.
+        self._update_manifest({})
         return model
 
     def contains(self, key: str) -> bool:
-        """True if the key resolves in memory or on disk."""
-        return key in self._lru or self._object_path(key).exists()
+        """True if the key resolves in memory or in the backend."""
+        return (
+            key in self._lru
+            or self.backend.head(self._object_name(key)) is not None
+        )
 
     def put(
         self, netlist: Netlist, model: AddPowerModel, **build_kwargs
@@ -532,6 +618,7 @@ class ModelStore:
         job_timeout_s: Optional[float] = None,
         max_retries: int = 1,
         degrade_max_nodes: Optional[int] = None,
+        queue=None,
         **build_kwargs,
     ) -> AddPowerModel:
         """The main path: cached model, or build-and-cache on a miss."""
@@ -540,6 +627,7 @@ class ModelStore:
             job_timeout_s=job_timeout_s,
             max_retries=max_retries,
             degrade_max_nodes=degrade_max_nodes,
+            queue=queue,
         )[0]
 
     def get_or_build_many(
@@ -550,18 +638,28 @@ class ModelStore:
         job_timeout_s: Optional[float] = None,
         max_retries: int = 1,
         degrade_max_nodes: Optional[int] = None,
+        queue=None,
         **common_kwargs,
     ) -> List[AddPowerModel]:
         """Resolve many (netlist, config) jobs at once, in job order.
 
-        Hits are served from the cache; *all* misses are built in one
-        supervised :func:`~repro.models.addmodel.build_add_models_parallel`
-        fan-out, so a cold store pays one pool spin-up, not one per
-        model.  ``job_timeout_s``/``max_retries``/``degrade_max_nodes``
-        configure the build supervisor's recovery ladder; a job degraded
-        to a tighter ``max_nodes`` budget is cached under its *effective*
-        (degraded) configuration, never under the exact key it missed on.
-        When a job fails every rung, its siblings' models are still
+        Hits are served from the cache.  Misses are built either locally
+        — *all* of them in one supervised
+        :func:`~repro.models.addmodel.build_add_models_parallel` fan-out,
+        so a cold store pays one pool spin-up, not one per model — or,
+        with ``queue=``, remotely: each miss is submitted to a
+        :class:`~repro.serve.queue.BuildQueueServer` (a client, a
+        ``host:port`` string, or a ``(host, port)`` pair), built by the
+        worker farm, published into this store's backend, and loaded
+        back here.  A queue that cannot be reached degrades to the local
+        build path (``serve.store.queue_fallbacks``) instead of failing
+        the request.
+
+        ``job_timeout_s``/``max_retries``/``degrade_max_nodes`` configure
+        the local build supervisor's recovery ladder; a job degraded to a
+        tighter ``max_nodes`` budget is cached under its *effective*
+        (degraded) configuration, never under the exact key it missed
+        on.  When a job fails every rung, its siblings' models are still
         cached before the failure is raised.
         """
         tracer = get_tracer()
@@ -581,6 +679,7 @@ class ModelStore:
         miss_keys: Dict[str, int] = {}
         for position, (netlist, kwargs) in enumerate(normalized):
             key = keys[position] = store_key(netlist, kwargs)
+            self._record_access(key, netlist, kwargs)
             with tracer.span("serve.store.get", key=key[:12]):
                 model = self.get(key)
             if (
@@ -607,6 +706,18 @@ class ModelStore:
                 misses.append(position)
         first_failure = None
         built_by_key: Dict[str, AddPowerModel] = {}
+        if misses and queue is not None:
+            remote = self._resolve_via_queue(
+                queue,
+                [(keys[p], normalized[p][0], normalized[p][1]) for p in misses],
+            )
+            if remote is not None:
+                for position in misses:
+                    model = remote.get(keys[position])
+                    if model is not None:
+                        results[position] = model
+                        built_by_key[keys[position]] = model
+                misses = [p for p in misses if results[p] is None]
         if misses:
             with tracer.span("serve.store.build", count=len(misses)):
                 outcomes = build_add_models_parallel(
@@ -649,6 +760,57 @@ class ModelStore:
         assert all(model is not None for model in results)
         return results  # type: ignore[return-value]
 
+    def _resolve_via_queue(
+        self,
+        queue,
+        jobs: Sequence[Tuple[str, Netlist, Dict]],
+    ) -> Optional[Dict[str, AddPowerModel]]:
+        """Build misses through the distributed queue; None = degrade.
+
+        Submits every miss, long-polls completion, then loads the
+        published models back from this store's (shared) backend.  A
+        *build* failure raises — it would fail locally too; a *queue*
+        transport failure returns None so the caller can fall back to
+        the local build path.
+        """
+        from repro.errors import ServeConnectionError
+        from repro.serve.queue import BuildQueueClient
+
+        tracer = get_tracer()
+        owned = not isinstance(queue, BuildQueueClient)
+        client = None
+        try:
+            client = BuildQueueClient.resolve(queue)
+            with tracer.span("serve.store.queue_build", count=len(jobs)):
+                for key, netlist, config in jobs:
+                    client.submit(netlist, config)
+                    _QUEUE_MISSES_ROUTED.inc()
+                resolved: Dict[str, AddPowerModel] = {}
+                for key, netlist, config in jobs:
+                    state = client.wait(key)
+                    if state.get("state") != "done":
+                        raise ModelError(
+                            f"distributed build of {key[:12]} "
+                            f"{state.get('state', 'vanished')}: "
+                            f"{state.get('error') or 'no detail'}"
+                        )
+                    model = self.get(key)
+                    if model is None:
+                        raise ModelError(
+                            f"queue reported {key[:12]} done but the store "
+                            f"backend {self.backend.describe()} has no entry "
+                            "— are store and workers sharing one backend?"
+                        )
+                    _BUILDS.inc()
+                    resolved[key] = model
+                return resolved
+        except (ServeConnectionError, OSError):
+            _QUEUE_FALLBACKS.inc()
+            return None
+        finally:
+            if owned and client is not None:
+                client.close()
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
@@ -664,17 +826,17 @@ class ModelStore:
         return sum(entry.payload_bytes for entry in self._load_manifest().values())
 
     def remove(self, key: str) -> bool:
-        """Delete one entry from disk and memory; True if it existed."""
+        """Delete one entry from the backend and memory; True if it existed."""
         existed = False
         with self._lock:
             if key in self._lru:
                 self._lru_bytes -= self._lru.pop(key)[1]
                 existed = True
         try:
-            self._object_path(key).unlink()
-            existed = True
-        except FileNotFoundError:
-            pass
+            if self.backend.delete(self._object_name(key)):
+                existed = True
+        except OSError:
+            _IO_FAILURES.inc()
         self._drop_manifest_entries([key])
         return existed
 
@@ -684,20 +846,32 @@ class ModelStore:
         max_age_seconds: Optional[float] = None,
         now: Optional[float] = None,
     ) -> List[StoreEntry]:
-        """Shrink the disk cache; returns the entries removed.
+        """Shrink the persistent cache; returns the entries removed.
 
-        Entries older than ``max_age_seconds`` go first; then, if the
-        remaining total still exceeds ``max_bytes``, oldest entries are
-        dropped until it fits.
+        Eviction is by *recency of access*, not creation: entries whose
+        ``last_access_at`` is older than ``max_age_seconds`` go first;
+        then, if the remaining total still exceeds ``max_bytes``, the
+        least recently accessed entries are dropped until it fits.  A
+        model built long ago but served every minute survives; a fresh
+        build nobody asked for again does not.  In-memory hits not yet
+        flushed to the manifest are folded in before deciding, so a
+        same-process gc never evicts what it just served.
+
+        All evictions are batched into **one** manifest rewrite (plus
+        one LRU sweep), not one ``remove()`` round trip per entry.
         """
         now = time.time() if now is None else now
-        entries = sorted(
-            self._load_manifest().values(), key=lambda entry: entry.created_at
-        )
+        with self._lock:
+            pending = dict(self._pending_touches)
+
+        def last_access(entry: StoreEntry) -> float:
+            return max(entry.last_access_at, pending.get(entry.key, 0.0))
+
+        entries = sorted(self._load_manifest().values(), key=last_access)
         removed: List[StoreEntry] = []
         if max_age_seconds is not None:
             for entry in list(entries):
-                if now - entry.created_at > max_age_seconds:
+                if now - last_access(entry) > max_age_seconds:
                     removed.append(entry)
                     entries.remove(entry)
         if max_bytes is not None:
@@ -706,8 +880,19 @@ class ModelStore:
                 entry = entries.pop(0)
                 total -= entry.payload_bytes
                 removed.append(entry)
-        for entry in removed:
-            self.remove(entry.key)
+        if removed:
+            with self._lock:
+                for entry in removed:
+                    if entry.key in self._lru:
+                        self._lru_bytes -= self._lru.pop(entry.key)[1]
+            for entry in removed:
+                try:
+                    self.backend.delete(self._object_name(entry.key))
+                except OSError:
+                    _IO_FAILURES.inc()
+            # One manifest rewrite for the whole eviction set — gc used
+            # to rewrite it once per entry, N reconciliation scans deep.
+            self._drop_manifest_entries([entry.key for entry in removed])
         _GC_REMOVED.inc(len(removed))
         return removed
 
@@ -715,15 +900,31 @@ class ModelStore:
         self,
         netlists: Sequence[Netlist],
         processes: Optional[int] = None,
+        queue=None,
         **build_kwargs,
-    ) -> List[str]:
-        """Warm the store for a set of netlists; returns their keys."""
-        self.get_or_build_many(list(netlists), processes=processes, **build_kwargs)
-        return [self.key_for(n, **build_kwargs) for n in netlists]
+    ) -> PrefetchReport:
+        """Warm the store for a set of netlists.
+
+        Returns a :class:`PrefetchReport` splitting the set into models
+        that were already cached (``hits``) and models this pass had to
+        build (``builds``); the same split rides the
+        ``serve.store.warm.hits`` / ``serve.store.warm.builds`` counters
+        so ``repro stats`` shows what warming actually cost.
+        """
+        keys = [self.key_for(n, **build_kwargs) for n in netlists]
+        already = {key for key in set(keys) if self.contains(key)}
+        hits = sum(1 for key in keys if key in already)
+        builds = len(set(keys) - already)
+        _WARM_HITS.inc(hits)
+        _WARM_BUILDS.inc(builds)
+        self.get_or_build_many(
+            list(netlists), processes=processes, queue=queue, **build_kwargs
+        )
+        return PrefetchReport(keys=keys, hits=hits, builds=builds)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ModelStore(root={str(self.root)!r}, "
+            f"ModelStore(backend={self.backend.describe()!r}, "
             f"memory={self._lru_bytes}/{self.memory_budget_bytes}B, "
             f"resident={len(self._lru)})"
         )

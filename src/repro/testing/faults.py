@@ -84,6 +84,18 @@ SITES: Dict[str, str] = {
     "store.torn_write": (
         "leave a truncated file at the final path instead of an atomic write"
     ),
+    "store.backend.unavailable": (
+        "raise an OSError before a remote store-backend request is sent"
+    ),
+    "queue.worker.crash": (
+        "hard-exit a build-queue worker mid-build, after claiming a job"
+    ),
+    "queue.lease.expire": (
+        "force a claimed job's lease to be treated as already expired"
+    ),
+    "queue.job.duplicate_claim": (
+        "hand an already-running job to a second claiming worker"
+    ),
     "serve.connection.reset": (
         "abort a client connection instead of answering the request"
     ),

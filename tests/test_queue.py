@@ -1,0 +1,332 @@
+"""Distributed build queue: leases, dedupe, exactly-once publish, chaos.
+
+Unit tests drive a thread-hosted :class:`BuildQueueServer` directly
+through :class:`BuildQueueClient`; integration tests add a real
+:class:`WorkerFarm` of forked processes publishing through a shared
+backend; the chaos tier SIGKILLs a worker mid-build and requires every
+job to complete via lease reassignment with zero duplicate publishes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import NetlistBuilder, netlist_from_canonical_dict
+from repro.obs import get_metrics
+from repro.serve import (
+    BuildQueueClient,
+    ModelStore,
+    ObjectStoreConfig,
+    QueueConfig,
+    StoreWarmer,
+    WorkerFarm,
+    open_backend,
+    start_object_store,
+    start_queue,
+    sync_stores,
+)
+from repro.testing import faults
+
+
+def counter_value(name: str) -> float:
+    return get_metrics().counter(name).value
+
+
+def make_netlist(index: int):
+    """A small family of distinct circuits (distinct store keys)."""
+    builder = NetlistBuilder(f"queued{index}")
+    a, b = builder.input("a"), builder.input("b")
+    net = builder.nand2(a, b)
+    for step in range(index + 1):
+        other = builder.xor2(a, b) if step % 2 else builder.nand2(b, a)
+        net = builder.nor2(net, other)
+    builder.output("y", net)
+    return builder.build()
+
+
+@pytest.fixture
+def queue():
+    with start_queue(
+        QueueConfig(lease_s=2.0, sweep_interval_s=0.05, max_attempts=3)
+    ) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(queue):
+    c = BuildQueueClient(queue.host, queue.port)
+    yield c
+    c.close()
+
+
+class TestNetlistWireForm:
+    def test_round_trip_preserves_content_hash(self, fig2_netlist):
+        clone = netlist_from_canonical_dict(fig2_netlist.canonical_dict())
+        assert clone.content_hash() == fig2_netlist.content_hash()
+        assert clone.inputs == fig2_netlist.inputs
+        assert clone.outputs == fig2_netlist.outputs
+
+    def test_round_trip_preserves_tuple_capacitances(self):
+        netlist = make_netlist(2)
+        clone = netlist_from_canonical_dict(netlist.canonical_dict())
+        assert clone.content_hash() == netlist.content_hash()
+
+    def test_malformed_dicts_raise(self):
+        with pytest.raises(NetlistError):
+            netlist_from_canonical_dict({"inputs": ["a"]})
+        with pytest.raises(NetlistError):
+            netlist_from_canonical_dict(
+                {
+                    "inputs": ["a"],
+                    "outputs": ["y"],
+                    "gates": [{"op": "noSuchOp", "inputs": ["a"],
+                               "output": "y", "caps": 8.0}],
+                    "output_load_fF": 15.0,
+                }
+            )
+
+
+class TestQueueProtocol:
+    def test_submit_claim_publish_wait(self, client, fig2_netlist):
+        job = client.submit(fig2_netlist)
+        assert job["state"] == "pending" and not job["deduped"]
+        key = job["key"]
+        claimed = client.claim("w1")
+        assert claimed["key"] == key and claimed["attempt"] == 1
+        assert client.claim("w2") is None  # nothing else pending
+        assert client.publish(key, "w1")["accepted"]
+        state = client.wait(key, timeout_s=5.0)
+        assert state["state"] == "done"
+
+    def test_submits_dedupe_by_content_key(self, client):
+        first = client.submit(make_netlist(0))
+        deduped_before = counter_value("queue.jobs.deduped")
+        second = client.submit(make_netlist(0))
+        assert second["key"] == first["key"]
+        assert second["deduped"]
+        assert counter_value("queue.jobs.deduped") == deduped_before + 1
+        # Different config = different key = separate job.
+        third = client.submit(make_netlist(0), {"max_nodes": 5})
+        assert third["key"] != first["key"] and not third["deduped"]
+
+    def test_duplicate_publish_is_suppressed(self, client, fig2_netlist):
+        key = client.submit(fig2_netlist)["key"]
+        client.claim("w1")
+        dups_before = counter_value("queue.publishes.duplicate")
+        assert client.publish(key, "w1")["accepted"]
+        late = client.publish(key, "w-zombie")
+        assert not late["accepted"] and late["duplicate"]
+        assert counter_value("queue.publishes.duplicate") == dups_before + 1
+
+    def test_heartbeat_keeps_lease_and_reports_loss(self, client, fig2_netlist):
+        key = client.submit(fig2_netlist)["key"]
+        client.claim("w1")
+        assert client.heartbeat(key, "w1") is True
+        assert client.heartbeat(key, "somebody-else") is False
+        client.publish(key, "w1")
+        assert client.heartbeat(key, "w1") is False  # terminal = no lease
+
+    def test_fail_re_enqueues_until_attempts_exhaust(self, client, fig2_netlist):
+        key = client.submit(fig2_netlist)["key"]
+        for attempt in range(1, 4):
+            claimed = client.claim(f"w{attempt}")
+            assert claimed["attempt"] == attempt
+            state = client.fail(key, f"w{attempt}", "boom")
+        assert state["state"] == "failed"
+        assert "boom" in state["error"]
+        assert client.wait(key, timeout_s=1.0)["state"] == "failed"
+
+    def test_lease_expiry_re_enqueues_job(self, fig2_netlist):
+        with start_queue(
+            QueueConfig(lease_s=0.2, sweep_interval_s=0.05, max_attempts=3)
+        ) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                key = client.submit(fig2_netlist)["key"]
+                expired_before = counter_value("queue.leases.expired")
+                assert client.claim("w-dead")["attempt"] == 1
+                deadline = time.time() + 5.0
+                reclaimed = None
+                while reclaimed is None and time.time() < deadline:
+                    reclaimed = client.claim("w-alive")
+                    time.sleep(0.02)
+                assert reclaimed is not None and reclaimed["key"] == key
+                assert reclaimed["attempt"] == 2
+                assert (
+                    counter_value("queue.leases.expired") == expired_before + 1
+                )
+                client.publish(key, "w-alive")
+                assert client.wait(key, timeout_s=2.0)["state"] == "done"
+
+    def test_forced_lease_expiry_fault(self, client, fig2_netlist):
+        key = client.submit(fig2_netlist)["key"]
+        client.claim("w1")
+        with faults.inject([faults.FaultSpec("queue.lease.expire", times=1)]):
+            deadline = time.time() + 5.0
+            reclaimed = None
+            while reclaimed is None and time.time() < deadline:
+                reclaimed = client.claim("w2")
+                time.sleep(0.02)
+        assert reclaimed is not None and reclaimed["key"] == key
+
+    def test_duplicate_claim_fault_double_assigns(self, client, fig2_netlist):
+        key = client.submit(fig2_netlist)["key"]
+        assert client.claim("w1")["key"] == key
+        dup_before = counter_value("queue.claims.duplicate")
+        with faults.inject(
+            [faults.FaultSpec("queue.job.duplicate_claim", times=1)]
+        ):
+            second = client.claim("w2")
+        assert second is not None and second["key"] == key
+        assert counter_value("queue.claims.duplicate") == dup_before + 1
+        # Both finish; exactly one publish is accepted.
+        results = [client.publish(key, "w1"), client.publish(key, "w2")]
+        assert sorted(r["accepted"] for r in results) == [False, True]
+
+    def test_force_resubmit_resurrects_done_job(self, client, fig2_netlist):
+        key = client.submit(fig2_netlist)["key"]
+        client.claim("w1")
+        client.publish(key, "w1")
+        assert client.submit(fig2_netlist)["deduped"]  # done jobs dedupe...
+        forced = client.submit(fig2_netlist, force=True)  # ...unless forced
+        assert not forced["deduped"] and forced["state"] == "pending"
+        assert client.claim("w2")["key"] == key
+
+
+class TestFarmIntegration:
+    def test_get_or_build_many_routes_misses_through_farm(self, tmp_path, queue):
+        spec = str(tmp_path / "shared")
+        store = ModelStore(open_backend(spec))
+        netlists = [make_netlist(i) for i in range(4)]
+        routed_before = counter_value("serve.store.queue_routed")
+        with WorkerFarm(queue.host, queue.port, spec, count=2):
+            models = store.get_or_build_many(netlists, queue=queue.spec)
+        assert len(models) == 4 and all(m is not None for m in models)
+        assert counter_value("serve.store.queue_routed") == routed_before + 4
+        # All published into the shared backend: a cold store sees them.
+        cold = ModelStore(open_backend(spec))
+        for netlist, model in zip(netlists, models):
+            revived = cold.get(cold.key_for(netlist))
+            assert revived is not None
+            assert revived.source_hash == netlist.content_hash()
+
+    def test_unreachable_queue_falls_back_to_local_build(self, tmp_path,
+                                                         fig2_netlist):
+        store = ModelStore(open_backend(str(tmp_path / "solo")))
+        fallbacks_before = counter_value("serve.store.queue_fallbacks")
+        model = store.get_or_build(fig2_netlist, queue="127.0.0.1:9")
+        assert model is not None
+        assert (
+            counter_value("serve.store.queue_fallbacks") == fallbacks_before + 1
+        )
+
+    def test_warmer_resubmits_hot_missing_keys(self, tmp_path, queue):
+        spec = str(tmp_path / "warmed")
+        store = ModelStore(open_backend(spec))
+        netlist = make_netlist(1)
+        with WorkerFarm(queue.host, queue.port, spec, count=1):
+            # Two resolutions make the key hot in the access profile.
+            store.get_or_build(netlist, queue=queue.spec)
+            store.get_or_build(netlist, queue=queue.spec)
+            key = store.key_for(netlist)
+            # Evict it everywhere, then let the warmer notice.
+            store.remove(key)
+            assert not store.contains(key)
+            warm_before = counter_value("queue.warm.submitted")
+            warmer = StoreWarmer(
+                store, queue.spec, min_accesses=2, hot_window_s=60.0
+            )
+            assert warmer.warm_once() == 1
+            assert counter_value("queue.warm.submitted") == warm_before + 1
+            with BuildQueueClient(queue.host, queue.port) as client:
+                assert client.wait(key, timeout_s=20.0)["state"] == "done"
+            assert store.contains(key)
+            # Hot and present: nothing further to warm.
+            assert warmer.warm_once() == 0
+
+
+@pytest.mark.chaos
+class TestChaos:
+    def test_sigkill_mid_build_reassigns_and_publishes_once(self, tmp_path):
+        """The acceptance scenario: 4 workers, object-store backend,
+        SIGKILL one mid-build; every job completes via lease
+        reassignment, each key publishes exactly once, and sync
+        replicates the result with every hash verified."""
+        netlists = [make_netlist(i) for i in range(8)]
+        with start_object_store(ObjectStoreConfig()) as obj:
+            store = ModelStore(open_backend(obj.spec))
+            with start_queue(
+                QueueConfig(lease_s=1.0, sweep_interval_s=0.1, max_attempts=4)
+            ) as queue:
+                with WorkerFarm(
+                    queue.host, queue.port, obj.spec, count=4,
+                    build_delay_s=0.4,
+                ) as farm:
+                    with BuildQueueClient(queue.host, queue.port) as client:
+                        keys = [client.submit(n)["key"] for n in netlists]
+                        assert len(set(keys)) == 8
+                        time.sleep(0.2)  # let claims land mid-build
+                        victim = farm.processes[0]
+                        os.kill(victim.pid, signal.SIGKILL)
+                        victim.join(5.0)
+                        assert not victim.is_alive()
+                        dup_publishes_before = counter_value(
+                            "queue.publishes.duplicate"
+                        )
+                        for key in keys:
+                            state = client.wait(key, timeout_s=60.0)
+                            assert state["state"] == "done", state
+                        stats = client.stats()
+                        assert stats["jobs"].get("done") == 8
+                        # Zero duplicate publishes registered server-side.
+                        assert (
+                            counter_value("queue.publishes.duplicate")
+                            == dup_publishes_before
+                        )
+                # Zero client-visible errors: every model resolves.
+                for netlist in netlists:
+                    assert store.get(store.key_for(netlist)) is not None
+            # Exactly one object per key + one manifest on the backend.
+            names = store.backend.list("objects/")
+            assert sorted(names) == sorted(
+                f"objects/{k}.json" for k in set(keys)
+            )
+            # Replicate to a fresh backend, every content hash verified.
+            replica = open_backend(str(tmp_path / "replica"))
+            report = sync_stores(store.backend, replica)
+            assert report.ok
+            assert report.copied == 8 and report.verified == 8
+
+    def test_worker_crash_fault_site_recovers(self, tmp_path):
+        """Self-inflicted SIGKILL via the queue.worker.crash site: every
+        first-attempt build dies mid-build; respawned workers complete
+        the retries (attempt 2 is beyond max_token)."""
+        spec = str(tmp_path / "crashy")
+        store = ModelStore(open_backend(spec))
+        netlists = [make_netlist(i) for i in range(3)]
+        with start_queue(
+            QueueConfig(lease_s=0.5, sweep_interval_s=0.05, max_attempts=4)
+        ) as queue:
+            with faults.inject(
+                [faults.FaultSpec("queue.worker.crash", max_token=1)]
+            ):
+                with WorkerFarm(
+                    queue.host, queue.port, spec, count=2
+                ) as farm:
+                    with BuildQueueClient(queue.host, queue.port) as client:
+                        keys = [client.submit(n)["key"] for n in netlists]
+                        deadline = time.time() + 60.0
+                        done = set()
+                        while len(done) < len(keys) and time.time() < deadline:
+                            farm.respawn_dead()
+                            for key in set(keys) - done:
+                                state = client.wait(key, timeout_s=0.3)
+                                if state["state"] == "done":
+                                    done.add(key)
+                        assert done == set(keys)
+        for netlist in netlists:
+            assert store.get(store.key_for(netlist)) is not None

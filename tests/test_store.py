@@ -304,6 +304,100 @@ class TestMaintenance:
         assert not store.remove(key)
 
 
+class TestAccessRecency:
+    """gc evicts by last access, not creation (regression for the switch)."""
+
+    def test_gc_by_bytes_keeps_recently_accessed_over_recently_created(
+        self, tmp_path
+    ):
+        store = ModelStore(tmp_path)
+        old_net, new_net = small_netlist(flavor=0), small_netlist(flavor=1)
+        store.get_or_build(old_net, max_nodes=100)   # created first...
+        store.get_or_build(new_net, max_nodes=100)
+        old_key = store.key_for(old_net, max_nodes=100)
+        new_key = store.key_for(new_net, max_nodes=100)
+        store.get(old_key)                           # ...but touched last
+        entry_bytes = max(e.payload_bytes for e in store.ls())
+        removed = store.gc(max_bytes=entry_bytes)
+        # The created_at policy would evict old_key; recency keeps it.
+        assert [e.key for e in removed] == [new_key]
+        assert store.contains(old_key)
+
+    def test_gc_by_age_uses_last_access(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(), max_nodes=100)
+        entry = ModelStore(tmp_path).ls()[0]
+        # Forge an access long after creation, as a manifest would
+        # record it after a later process served the entry.
+        raw = json.loads(store.manifest_path.read_text())
+        raw["entries"][entry.key]["last_access_at"] = entry.created_at + 3000.0
+        store.manifest_path.write_text(json.dumps(raw))
+        fresh = ModelStore(tmp_path)
+        # 3500s after creation but only 500s after the access: survives
+        # a 600s age limit (created_at policy would have evicted it)...
+        assert fresh.gc(
+            max_age_seconds=600.0, now=entry.created_at + 3500.0
+        ) == []
+        # ...and goes once the *access* is older than the limit.
+        removed = fresh.gc(
+            max_age_seconds=600.0, now=entry.created_at + 4000.0
+        )
+        assert [e.key for e in removed] == [entry.key]
+
+    def test_disk_hit_persists_last_access(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(), max_nodes=100)
+        key = store.ls()[0].key
+        created = store.ls()[0].created_at
+        reader = ModelStore(tmp_path)
+        assert reader.get(key) is not None  # disk hit records the access
+        entry = ModelStore(tmp_path).ls()[0]
+        assert entry.last_access_at >= created
+
+    def test_older_manifest_without_field_still_reads(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.get_or_build(small_netlist(), max_nodes=100)
+        raw = json.loads(store.manifest_path.read_text())
+        for record in raw["entries"].values():
+            record.pop("last_access_at", None)  # a pre-field manifest
+        store.manifest_path.write_text(json.dumps(raw))
+        entries = ModelStore(tmp_path).ls()
+        assert len(entries) == 1
+        assert entries[0].last_access_at == entries[0].created_at
+
+    def test_gc_batches_evictions_into_one_manifest_write(self, tmp_path):
+        store = ModelStore(tmp_path)
+        for flavor in range(3):
+            store.get_or_build(small_netlist(flavor=flavor), max_nodes=100)
+        writes = []
+        original = store._write_manifest
+        store._write_manifest = lambda entries: (
+            writes.append(1), original(entries),
+        )[1]
+        removed = store.gc(max_bytes=0)
+        assert len(removed) == 3
+        assert len(writes) == 1  # used to be one rewrite per entry
+        assert store.ls() == []
+
+
+class TestPrefetchReport:
+    def test_prefetch_splits_hits_and_builds(self, tmp_path):
+        store = ModelStore(tmp_path)
+        nets = [small_netlist(flavor=0), small_netlist(flavor=1)]
+        store.get_or_build(nets[0], max_nodes=100)
+        hits_before = counter_value("serve.store.warm.hits")
+        builds_before = counter_value("serve.store.warm.builds")
+        report = store.prefetch(nets, max_nodes=100)
+        assert len(report.keys) == 2
+        assert report.hits == 1 and report.builds == 1
+        assert counter_value("serve.store.warm.hits") == hits_before + 1
+        assert counter_value("serve.store.warm.builds") == builds_before + 1
+        # Everything is warm now: a second pass is all hits.
+        again = store.prefetch(nets, max_nodes=100)
+        assert again.hits == 2 and again.builds == 0
+        assert "2 model(s)" in again.summary()
+
+
 def _worker_build(args):
     """Module-level worker so it pickles under spawn too."""
     root, flavor = args

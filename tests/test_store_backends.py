@@ -1,0 +1,243 @@
+"""Backend conformance: every registered StoreBackend honors one contract.
+
+The model store's correctness arguments (atomic publish, quarantine,
+version-skip, reconciliation) are written against the
+:class:`~repro.serve.storage.StoreBackend` contract, not against a
+filesystem — so the same test body runs parametrically against every
+registered backend kind: the local directory layout and the networked
+object store.  A new backend earns its registration by passing this file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.addmodel import build_add_model
+from repro.obs import get_metrics
+from repro.serve.objectstore import ObjectStoreConfig, start_object_store
+from repro.serve.storage import (
+    BACKENDS,
+    LocalDirBackend,
+    ObjectStoreBackend,
+    open_backend,
+    sha256_hex,
+    sync_stores,
+)
+from repro.serve.store import ENTRY_FORMAT, ModelStore, STORE_VERSION
+from repro.testing import faults
+
+
+def counter_value(name: str) -> float:
+    return get_metrics().counter(name).value
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path):
+    """One instance of every registered backend kind."""
+    if request.param == "local":
+        yield LocalDirBackend(tmp_path / "store")
+        return
+    assert request.param == "object"
+    with start_object_store(ObjectStoreConfig()) as handle:
+        client = ObjectStoreBackend(handle.host, handle.port)
+        yield client
+        client.close()
+
+
+class TestBackendContract:
+    def test_round_trip_and_overwrite(self, backend):
+        backend.put("objects/aa.json", b"first")
+        assert backend.get("objects/aa.json") == b"first"
+        backend.put("objects/aa.json", b"second, longer payload")
+        assert backend.get("objects/aa.json") == b"second, longer payload"
+
+    def test_absent_get_raises_file_not_found(self, backend):
+        with pytest.raises(FileNotFoundError):
+            backend.get("objects/missing.json")
+
+    def test_head_reports_size_and_content_hash(self, backend):
+        payload = b"x" * 1234
+        backend.put("objects/bb.json", payload)
+        info = backend.head("objects/bb.json")
+        assert info is not None
+        assert info.size == 1234
+        assert info.sha256 == sha256_hex(payload)
+        assert backend.head("objects/nope.json") is None
+
+    def test_list_is_sorted_and_prefix_filtered(self, backend):
+        backend.put("objects/b.json", b"b")
+        backend.put("objects/a.json", b"a")
+        backend.put("manifest.json", b"m")
+        names = backend.list("objects/")
+        assert names == ["objects/a.json", "objects/b.json"]
+        assert "manifest.json" in backend.list()
+
+    def test_delete_reports_existence(self, backend):
+        backend.put("objects/cc.json", b"gone soon")
+        assert backend.delete("objects/cc.json") is True
+        assert backend.delete("objects/cc.json") is False
+        with pytest.raises(FileNotFoundError):
+            backend.get("objects/cc.json")
+
+    def test_escaping_names_are_rejected(self, backend):
+        for name in ("", "/abs", "a/../b", "a\\b"):
+            with pytest.raises(ModelError):
+                backend.put(name, b"x")
+
+    def test_concurrent_put_get_sees_complete_payloads(self, backend):
+        """Atomic publish: readers observe whole payloads, never a mix."""
+        payloads = [bytes([65 + i]) * 4096 for i in range(4)]
+        stop = threading.Event()
+        torn: list = []
+        backend.put("objects/hot.json", payloads[0])
+
+        def reader():
+            while not stop.is_set():
+                data = backend.get("objects/hot.json")
+                if data not in payloads:
+                    torn.append(data)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for _ in range(20):
+            for payload in payloads:
+                backend.put("objects/hot.json", payload)
+        stop.set()
+        for thread in threads:
+            thread.join(10.0)
+        assert torn == []
+
+
+class TestModelStoreOnBackend:
+    """The store's recovery paths, replayed over each backend."""
+
+    def test_store_round_trip(self, backend, fig2_netlist):
+        store = ModelStore(backend)
+        model = store.get_or_build(fig2_netlist)
+        key = store.key_for(fig2_netlist)
+        assert store.contains(key)
+        fresh = ModelStore(backend)
+        assert fresh.get(key) is not None
+        assert [entry.key for entry in fresh.ls()] == [key]
+
+    def test_torn_write_is_quarantined_and_rebuilt(
+        self, backend, fig2_netlist
+    ):
+        store = ModelStore(backend)
+        with faults.inject([faults.FaultSpec("store.torn_write", times=1)]):
+            store.get_or_build(fig2_netlist)
+        key = store.key_for(fig2_netlist)
+        # The truncated object is on the backend; a fresh store must
+        # quarantine it and rebuild rather than serve garbage.
+        reader = ModelStore(backend)
+        corrupt_before = counter_value("serve.store.corrupt_entries")
+        model = reader.get_or_build(fig2_netlist)
+        assert model is not None
+        assert counter_value("serve.store.corrupt_entries") == corrupt_before + 1
+        assert reader.get(key) is not None
+
+    def test_foreign_version_is_skipped_not_deleted(
+        self, backend, fig2_netlist
+    ):
+        store = ModelStore(backend)
+        key = store.key_for(fig2_netlist)
+        alien = {
+            "format": ENTRY_FORMAT,
+            "version": STORE_VERSION + 7,
+            "key": key,
+            "model": {"whatever": "a future layout"},
+        }
+        name = f"objects/{key}.json"
+        backend.put(name, json.dumps(alien).encode("utf-8"))
+        skips_before = counter_value("serve.store.version_skips")
+        assert store.get(key) is None
+        assert counter_value("serve.store.version_skips") == skips_before + 1
+        # The foreign object was not touched, let alone deleted.
+        assert json.loads(backend.get(name))["version"] == STORE_VERSION + 7
+
+    def test_corrupt_entry_quarantine(self, backend, fig2_netlist):
+        store = ModelStore(backend)
+        key = store.key_for(fig2_netlist)
+        backend.put(f"objects/{key}.json", b"{ not json")
+        corrupt_before = counter_value("serve.store.corrupt_entries")
+        assert store.get(key) is None
+        assert counter_value("serve.store.corrupt_entries") == corrupt_before + 1
+        assert backend.head(f"objects/{key}.json") is None
+
+
+class TestSyncStores:
+    def test_sync_replicates_and_verifies(self, backend, tmp_path, fig2_netlist,
+                                          xor_chain_netlist):
+        source = ModelStore(backend)
+        source.get_or_build(fig2_netlist)
+        source.get_or_build(xor_chain_netlist)
+        destination = LocalDirBackend(tmp_path / "replica")
+        report = sync_stores(backend, destination)
+        assert report.ok
+        assert report.copied == 2
+        assert report.verified == 2
+        # The replica serves the same models through a fresh store.
+        replica = ModelStore(destination)
+        assert replica.get(source.key_for(fig2_netlist)) is not None
+        # A second pass copies nothing: hashes already match.
+        again = sync_stores(backend, destination)
+        assert again.ok and again.copied == 0 and again.skipped == 2
+
+    def test_sync_is_directional_and_spec_driven(self, tmp_path, fig2_netlist):
+        source_store = ModelStore(open_backend(tmp_path / "src"))
+        source_store.get_or_build(fig2_netlist)
+        report = sync_stores(
+            open_backend(tmp_path / "src"), open_backend(tmp_path / "dst")
+        )
+        assert report.ok and report.copied == 1
+        assert (
+            ModelStore(open_backend(tmp_path / "dst")).get(
+                source_store.key_for(fig2_netlist)
+            )
+            is not None
+        )
+
+
+class TestObjectStoreServer:
+    def test_rejects_corrupt_upload(self):
+        with start_object_store(ObjectStoreConfig()) as handle:
+            client = ObjectStoreBackend(handle.host, handle.port)
+            import base64 as b64
+            with pytest.raises(OSError):
+                client._call(
+                    {
+                        "op": "obj.put",
+                        "name": "objects/x.json",
+                        "data": b64.b64encode(b"payload").decode("ascii"),
+                        "sha256": "0" * 64,
+                    }
+                )
+            assert client.head("objects/x.json") is None
+            client.close()
+
+    def test_unavailable_fault_surfaces_as_oserror(self):
+        with start_object_store(ObjectStoreConfig()) as handle:
+            client = ObjectStoreBackend(handle.host, handle.port)
+            client.put("objects/y.json", b"data")
+            with faults.inject(
+                [faults.FaultSpec("store.backend.unavailable", times=5)]
+            ):
+                with pytest.raises(OSError):
+                    client.get("objects/y.json")
+            assert client.get("objects/y.json") == b"data"
+            client.close()
+
+    def test_persistent_root_survives_restart(self, tmp_path, fig2_netlist):
+        root = str(tmp_path / "objroot")
+        with start_object_store(ObjectStoreConfig(root=root)) as handle:
+            store = ModelStore(open_backend(handle.spec))
+            key = store.put(fig2_netlist, build_add_model(fig2_netlist))
+        with start_object_store(ObjectStoreConfig(root=root)) as handle:
+            revived = ModelStore(open_backend(handle.spec))
+            assert revived.get(key) is not None
