@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test bench bench-eval bench-smoke bench-serving fuzz fuzz-smoke \
 	stats-smoke serve-smoke chaos-smoke cluster-smoke obs-cluster-smoke \
-	queue-smoke
+	queue-smoke recovery-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +60,15 @@ obs-cluster-smoke:
 queue-smoke:
 	$(PYTHON) scripts/queue_smoke.py
 	$(PYTHON) -m pytest -q -m chaos tests/test_queue.py
+
+# Recovery smoke: WAL-backed queue under a Supervisor, SIGKILL the
+# *server* mid-build — supervised restart + journal replay must finish
+# every job with zero duplicate publishes (verified by an offline WAL
+# audit) — then the chaos-marked supervised-recovery pytest suite
+# (including the double-kill-during-replay drill).
+recovery-smoke:
+	$(PYTHON) scripts/recovery_smoke.py
+	$(PYTHON) -m pytest -q -m chaos tests/test_recovery.py
 
 # Full benchmark suite (pytest-benchmark experiments E1-E9).
 bench:

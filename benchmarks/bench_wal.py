@@ -1,0 +1,109 @@
+"""E14 — write-ahead log throughput: the price of fsync durability.
+
+The control plane journals every state transition before acking
+(``src/repro/serve/wal.py``).  The append path's cost is one frame
+write + flush, plus — in the default durable configuration — one
+``fsync`` per record.  This experiment measures:
+
+1. **Append throughput**, fsync on vs off, for queue-sized records
+   (~200 bytes): the fsync column is the per-transition floor of the
+   durable queue; the no-fsync column is the page-cache ceiling.
+2. **Compaction cost**: folding a 1000-record state into a snapshot.
+3. **Recovery speed**: replaying a 1000-record tail from disk.
+
+Artifacts: ``benchmarks/results/wal.txt``, the human-readable table
+(this bench is hardware-bound, so no checked-in JSON baseline).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py
+
+``REPRO_BENCH_QUICK=1`` shrinks the record counts.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from _common import QUICK, write_result
+
+from repro.serve import WriteAheadLog
+
+RECORDS = 200 if QUICK else 1000
+
+
+def sample_record(index: int) -> dict:
+    """A queue-shaped transition (~200 bytes on the wire)."""
+    return {
+        "op": "submit",
+        "key": f"{index:064x}",
+        "netlist": {"inputs": ["a", "b"], "outputs": ["y"], "seq": index},
+        "config": {"max_nodes": 20000},
+    }
+
+
+def time_appends(directory: str, fsync: bool) -> float:
+    wal = WriteAheadLog(directory, name="bench", fsync=fsync,
+                        compact_every=10 * RECORDS)
+    started = time.perf_counter()
+    for index in range(RECORDS):
+        wal.append(sample_record(index))
+    elapsed = time.perf_counter() - started
+    wal.close()
+    return elapsed
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="bench_wal_")
+    try:
+        durable_s = time_appends(os.path.join(root, "durable"), fsync=True)
+        fast_s = time_appends(os.path.join(root, "fast"), fsync=False)
+
+        # Compaction: fold RECORDS jobs of state into one snapshot.
+        wal = WriteAheadLog(os.path.join(root, "fast"), name="bench",
+                            fsync=False)
+        wal.recover()
+        state = {"jobs": [sample_record(i) for i in range(RECORDS)]}
+        started = time.perf_counter()
+        wal.compact(state)
+        compact_s = time.perf_counter() - started
+        wal.close()
+
+        # Recovery: replay a full-length tail from a cold object.
+        started = time.perf_counter()
+        _, tail = WriteAheadLog(
+            os.path.join(root, "durable"), name="bench"
+        ).recover()
+        recover_s = time.perf_counter() - started
+        assert len(tail) == RECORDS, len(tail)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    durable_rps = RECORDS / durable_s if durable_s > 0 else float("inf")
+    fast_rps = RECORDS / fast_s if fast_s > 0 else float("inf")
+    tail_rps = RECORDS / recover_s if recover_s > 0 else float("inf")
+    lines = [
+        "E14  write-ahead log throughput",
+        f"records={RECORDS}  record_bytes~200",
+        "",
+        f"append, fsync on     {durable_s:8.3f} s   "
+        f"({durable_rps:10.0f} rec/s)",
+        f"append, fsync off    {fast_s:8.3f} s   "
+        f"({fast_rps:10.0f} rec/s)",
+        f"fsync cost           {durable_s / max(fast_s, 1e-9):8.1f} x",
+        "",
+        f"compact {RECORDS}-job state {compact_s:8.3f} s",
+        f"replay {RECORDS}-record tail {recover_s:7.3f} s   "
+        f"({tail_rps:10.0f} rec/s)",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    path = write_result("wal", text)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -722,6 +722,15 @@ def format_top(
     occupancy = (
         batch["sum"] / batch["count"] if batch.get("count") else None
     )
+    router = stats.get("router_metrics", {})
+
+    def router_value(name: str) -> Optional[float]:
+        series = router.get(name)
+        return None if series is None else series.get("value")
+
+    queue_depth = router_value("queue.depth")
+    active_leases = router_value("queue.leases.active")
+    breakers_open = router_value("serve.breaker.open_count")
     lines = [
         f"cluster status={health.get('status', '?')} "
         f"ring=v{stats.get('ring_version', '?')} "
@@ -733,6 +742,11 @@ def format_top(
             shed,
             f"{shed_rate:.1f}" if shed_rate is not None else "--",
             f"{occupancy:.1f} rows" if occupancy is not None else "--",
+        ),
+        "queue-depth={}  active-leases={}  breakers-open={}".format(
+            f"{queue_depth:.0f}" if queue_depth is not None else "--",
+            f"{active_leases:.0f}" if active_leases is not None else "--",
+            f"{breakers_open:.0f}" if breakers_open is not None else "--",
         ),
         "",
         f"{'shard':6s} {'state':8s} {'port':>6s} {'requests':>10s} "
@@ -893,6 +907,7 @@ def _cmd_serve_objects(args: argparse.Namespace) -> int:
 
 def _cmd_queue(args: argparse.Namespace) -> int:
     """Build-queue service: serve / worker / stats."""
+    from repro.obs import get_metrics
     from repro.serve import BuildQueueClient, QueueConfig, run_worker
     from repro.serve.queue import BuildQueueServer
 
@@ -905,16 +920,32 @@ def _cmd_queue(args: argparse.Namespace) -> int:
                 port=args.port,
                 lease_s=args.lease_s,
                 max_attempts=args.max_attempts,
+                wal_dir=args.wal_dir,
+                wal_fsync=args.wal_fsync,
+                wal_compact_every=args.wal_compact_every,
             )
         )
 
         async def _run() -> None:
             await server.start()
+            durability = (
+                f"WAL {args.wal_dir}"
+                + ("" if args.wal_fsync else " [no fsync]")
+                if args.wal_dir
+                else "in-memory"
+            )
             print(
                 f"build queue listening on {args.host}:{server.port} "
-                f"(lease {args.lease_s:g}s, {args.max_attempts} attempts)",
+                f"(lease {args.lease_s:g}s, {args.max_attempts} attempts, "
+                f"{durability})",
                 flush=True,
             )
+            recovered = get_metrics().counter("queue.recovery.jobs").value
+            if recovered:
+                print(
+                    f"recovered {recovered:g} jobs from the journal",
+                    flush=True,
+                )
             await server.serve_forever()
 
         try:
@@ -1422,6 +1453,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="serve: claims a job may burn before failing",
+    )
+    queue.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="serve: journal state here and recover it after a crash",
+    )
+    queue.add_argument(
+        "--no-wal-fsync",
+        dest="wal_fsync",
+        action="store_false",
+        default=True,
+        help="serve: skip fsync per journal append (faster, less durable)",
+    )
+    queue.add_argument(
+        "--wal-compact-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="serve: fold the journal into a snapshot every N records",
     )
     queue.add_argument(
         "--queue",

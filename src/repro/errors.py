@@ -66,6 +66,20 @@ class ServeConnectionError(ReproError):
     """The power-query client lost its connection (reset, timeout, refusal)."""
 
 
+class CircuitOpenError(ServeConnectionError):
+    """A client short-circuited: the endpoint's circuit breaker is open.
+
+    Subclasses :class:`ServeConnectionError` so every degrade path that
+    already handles an unreachable endpoint (local-build fallback, shard
+    failover) treats a tripped breaker identically — just without the
+    connect timeout.
+    """
+
+
+class DeadlineExceededError(ServeConnectionError):
+    """An end-to-end deadline expired before the call could complete."""
+
+
 class CharacterizationError(ModelError):
     """A characterized model was used before fitting, or fit on bad data."""
 

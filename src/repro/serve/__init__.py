@@ -29,8 +29,17 @@ operational service":
   :class:`BuildQueueServer` (leases, heartbeats, content-key dedupe,
   exactly-once publish), :func:`run_worker` / :class:`WorkerFarm`, and
   the telemetry-driven :class:`StoreWarmer`;
-- :mod:`repro.serve.protocol` — the wire format and its structured
-  errors.
+- :mod:`repro.serve.wal` — :class:`WriteAheadLog`, the CRC-framed
+  append-only journal + atomic snapshots the queue and the object
+  store's persistent index recover from after SIGKILL;
+- :mod:`repro.serve.supervise` — :class:`Supervisor`, restart-with-
+  backoff process supervision for the control plane;
+- :mod:`repro.serve.breaker` — :class:`CircuitBreaker`, the shared
+  per-endpoint breaker that lets callers degrade to local builds
+  instead of hammering a dead endpoint;
+- :mod:`repro.serve.protocol` — the wire format (including the
+  end-to-end ``deadline_ms`` budget carried by :class:`Deadline`) and
+  its structured errors.
 
 CLI entry points: ``repro serve`` (``--workers N`` for a cluster),
 ``repro query``, ``repro cluster-stats``, ``repro store`` (with
@@ -53,12 +62,21 @@ from repro.serve.cluster import (
     placement_key,
     start_cluster,
 )
+from repro.serve.breaker import (
+    CircuitBreaker,
+    breaker_for,
+    breaker_states,
+    reset_breakers,
+)
 from repro.serve.protocol import (
     ERROR_TYPES,
     MAX_LINE_BYTES,
+    Deadline,
     ProtocolError,
     ResponseError,
 )
+from repro.serve.supervise import Supervisor
+from repro.serve.wal import WalError, WriteAheadLog
 from repro.serve.server import (
     PowerQueryServer,
     ServerConfig,
@@ -151,7 +169,16 @@ __all__ = [
     "start_cluster",
     "generate_cluster_load",
     "placement_key",
+    # durability & resilience
+    "WriteAheadLog",
+    "WalError",
+    "Supervisor",
+    "CircuitBreaker",
+    "breaker_for",
+    "breaker_states",
+    "reset_breakers",
     # protocol
+    "Deadline",
     "ProtocolError",
     "ResponseError",
     "ERROR_TYPES",

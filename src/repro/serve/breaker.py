@@ -1,0 +1,214 @@
+"""Shared circuit breakers: stop hammering endpoints that are down.
+
+When a control-plane process dies (queue server SIGKILLed, object store
+restarting), every client that keeps dialing it pays a connect timeout
+per call — and the degrade paths (local builds, shard failover) only
+feel fast if the *decision* to degrade is fast.  A
+:class:`CircuitBreaker` makes it one memory read:
+
+- **closed** — normal traffic; consecutive transport failures are
+  counted, and crossing ``failure_threshold`` trips the breaker open.
+- **open** — calls are short-circuited immediately (the caller raises
+  :class:`~repro.errors.CircuitOpenError` without touching the socket)
+  until ``reset_timeout_s`` has passed.
+- **half-open** — one probe call is admitted; success closes the
+  breaker, failure re-opens it for another timeout.
+
+Breakers are **shared per endpoint** through :func:`breaker_for`: the
+store backend, the queue client and the warmer all consult the same
+object for one ``host:port``, so the first client to notice an outage
+spares all the others the timeout.  All clocks are monotonic; all
+transitions are counted under ``serve.breaker.*`` and the number of
+currently-open circuits is exported as a ``serve.breaker.open_count``
+gauge for the router's Prometheus page and ``repro top``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+from repro.obs.metrics import get_metrics
+
+_MET = get_metrics()
+_OPENED = _MET.counter("serve.breaker.opened")
+_CLOSED = _MET.counter("serve.breaker.closed")
+_SHORT_CIRCUITS = _MET.counter("serve.breaker.short_circuits")
+_PROBES = _MET.counter("serve.breaker.probes")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open failure gate for one endpoint.
+
+    Thread-safe: a process's server threads, worker heartbeat threads
+    and warmer all consult one instance concurrently.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state (transitions open -> half-open lazily)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        """Lock held: open -> half-open once the reset timeout passed."""
+        if (
+            self._state == OPEN
+            and time.monotonic() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Closed: always.  Open: no (counted as a short circuit).
+        Half-open: exactly one probe at a time; everyone else is
+        short-circuited until the probe reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                _PROBES.inc()
+                return True
+        _SHORT_CIRCUITS.inc()
+        return False
+
+    def record_success(self) -> None:
+        """A call completed over the wire (any structured reply counts)."""
+        with self._lock:
+            if self._state != CLOSED:
+                self._state = CLOSED
+                _CLOSED.inc()
+                _update_open_gauge()
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A call failed at the transport (reset, refused, timeout)."""
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh timer.
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                _OPENED.inc()
+                _update_open_gauge()
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                _OPENED.inc()
+                _update_open_gauge()
+
+    def reset(self) -> None:
+        """Force-close (tests and explicit operator action)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.name!r}, state={self.state!r})"
+
+
+# ---------------------------------------------------------------------------
+# Per-endpoint registry
+# ---------------------------------------------------------------------------
+_REGISTRY: Dict[str, CircuitBreaker] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def breaker_for(
+    host: str,
+    port: int,
+    failure_threshold: int = 5,
+    reset_timeout_s: float = 1.0,
+) -> CircuitBreaker:
+    """The process-wide shared breaker for one ``host:port`` endpoint.
+
+    Tuning parameters apply on first creation only — every later caller
+    shares the breaker exactly as configured by the first.
+    """
+    name = f"{host}:{port}"
+    with _REGISTRY_LOCK:
+        breaker = _REGISTRY.get(name)
+        if breaker is None:
+            breaker = _REGISTRY[name] = CircuitBreaker(
+                name,
+                failure_threshold=failure_threshold,
+                reset_timeout_s=reset_timeout_s,
+            )
+        return breaker
+
+
+def breaker_states() -> Dict[str, str]:
+    """Endpoint -> state for every breaker this process has touched."""
+    with _REGISTRY_LOCK:
+        breakers = list(_REGISTRY.values())
+    return {breaker.name: breaker.state for breaker in breakers}
+
+
+def reset_breakers() -> None:
+    """Drop every registered breaker (test isolation).
+
+    Ephemeral test ports get recycled by the kernel; a breaker opened
+    for a dead port must not poison an unrelated later server there.
+    """
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+    _update_open_gauge()
+
+
+def _update_open_gauge() -> None:
+    """Refresh the open-circuit count gauge after a transition."""
+    with _REGISTRY_LOCK:
+        open_count = sum(
+            1 for breaker in _REGISTRY.values() if breaker._state == OPEN
+        )
+    _MET.gauge("serve.breaker.open_count", kind="last").set(open_count)
+
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "breaker_for",
+    "breaker_states",
+    "reset_breakers",
+]

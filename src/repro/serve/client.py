@@ -26,7 +26,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import OverloadError, ReproError, ServeConnectionError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadError,
+    ReproError,
+    ServeConnectionError,
+)
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import (
     TraceContext,
@@ -36,11 +42,13 @@ from repro.obs.trace import (
     use_trace_context,
 )
 from repro.serve import protocol
-from repro.serve.protocol import ResponseError, unwrap_response
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.protocol import Deadline, ResponseError, unwrap_response
 
 _MET = get_metrics()
 _CLIENT_RETRIES = _MET.counter("serve.client.retries")
 _CLIENT_RECONNECTS = _MET.counter("serve.client.reconnects")
+_CLIENT_DEADLINE_ABANDONED = _MET.counter("serve.client.deadline_abandoned")
 
 
 def _bits(pattern) -> str:
@@ -108,29 +116,53 @@ class PowerQueryClient:
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
         rng_seed: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry = retry
+        #: Shared per-endpoint circuit breaker; None disables gating.
+        self.breaker = breaker
         self._rng = random.Random(rng_seed)
         self._sock: Optional[socket.socket] = None
         self._stream = None
         self._next_id = 0
-        self._connect()
+        if retry is None:
+            self._connect()
+        else:
+            # With a retry policy the initial dial is best-effort: a
+            # server mid-restart answers "refused" for a moment, and the
+            # first call redials under the policy anyway.
+            try:
+                self._connect()
+            except ServeConnectionError:
+                pass
 
     # -- plumbing ------------------------------------------------------
     def _connect(self) -> None:
         if self._sock is not None:
             return
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit open for {self.host}:{self.port}; "
+                f"not dialing a known-dead endpoint"
+            )
         try:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
         except OSError as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise ServeConnectionError(
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
+        if self.breaker is not None:
+            # A completed TCP handshake is the probe's evidence of life;
+            # closing here keeps a connect-only client from wedging the
+            # half-open probe slot.
+            self.breaker.record_success()
         self._stream = self._sock.makefile("rwb")
 
     def _teardown(self) -> None:
@@ -146,28 +178,45 @@ class PowerQueryClient:
             except OSError:  # pragma: no cover - already-dead socket
                 pass
 
-    def request(self, payload: Dict) -> Dict:
+    def request(
+        self, payload: Dict, deadline: Optional[Deadline] = None
+    ) -> Dict:
         """Send one request object and block for its response envelope.
 
         Transport failures (timeout, reset, server gone) raise
         :class:`~repro.errors.ServeConnectionError`; use :meth:`call`
-        for policy-driven retries.
+        for policy-driven retries.  With a ``deadline``, the remainder
+        is stamped onto the wire (``deadline_ms``) and the socket wait
+        is capped at it, so a stuck server cannot hold the caller past
+        its budget.
         """
         self._connect()
         if "id" not in payload:
             self._next_id += 1
             payload = dict(payload, id=self._next_id)
+        wait_s = self.timeout
+        if deadline is not None:
+            payload = deadline.stamp(payload)
+            wait_s = min(self.timeout, max(0.001, deadline.remaining_s()))
         try:
+            if self._sock is not None and wait_s != self.timeout:
+                self._sock.settimeout(wait_s)
             self._stream.write(protocol.encode(payload))
             self._stream.flush()
             line = self._stream.readline()
         except socket.timeout as exc:
             raise ServeConnectionError(
-                f"request timed out after {self.timeout:g}s"
+                f"request timed out after {wait_s:g}s"
             ) from exc
         except (OSError, ValueError) as exc:
             # ValueError: writing to a stream another path already closed.
             raise ServeConnectionError(f"connection failed: {exc}") from exc
+        finally:
+            if self._sock is not None and wait_s != self.timeout:
+                try:
+                    self._sock.settimeout(self.timeout)
+                except OSError:  # pragma: no cover - dying socket
+                    pass
         if not line:
             raise ServeConnectionError("server closed the connection")
         return json.loads(line.decode("utf-8"))
@@ -187,25 +236,52 @@ class PowerQueryClient:
             payload, traceparent=context.child().to_traceparent()
         )
 
-    def call(self, payload: Dict, idempotent: bool = True):
+    def call(
+        self,
+        payload: Dict,
+        idempotent: bool = True,
+        deadline: Optional[Deadline] = None,
+    ):
         """Request + unwrap: returns the result or raises ResponseError.
 
         With a retry policy and ``idempotent=True``, reconnects and
         retries after transport failures, and (by policy) after
         ``unavailable`` replies — raising
         :class:`~repro.errors.OverloadError` when those exhaust the
-        attempts.
+        attempts.  A ``deadline`` bounds the *whole* call: each attempt
+        stamps the shrinking remainder onto the wire, backoff sleeps
+        never cross it, and an expired budget raises the last transport
+        error (or :class:`~repro.errors.DeadlineExceededError` when no
+        attempt even ran).
         """
         policy = self.retry if idempotent else None
         if policy is None:
-            return unwrap_response(self.request(self._traced(payload)))
+            if deadline is not None and deadline.expired:
+                _CLIENT_DEADLINE_ABANDONED.inc()
+                raise DeadlineExceededError(
+                    f"deadline expired before calling {self.host}:{self.port}"
+                )
+            return unwrap_response(
+                self.request(self._traced(payload), deadline=deadline)
+            )
         last: Optional[ReproError] = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
+                delay = policy.delay_s(attempt - 1, self._rng)
+                if deadline is not None:
+                    remaining = deadline.remaining_s()
+                    if remaining <= delay:
+                        # Sleeping past the budget helps nobody; hand
+                        # back what we know so the caller can degrade.
+                        break
                 _CLIENT_RETRIES.inc()
-                time.sleep(policy.delay_s(attempt - 1, self._rng))
+                time.sleep(delay)
+            if deadline is not None and deadline.expired:
+                break
             try:
-                return unwrap_response(self.request(self._traced(payload)))
+                return unwrap_response(
+                    self.request(self._traced(payload), deadline=deadline)
+                )
             except ServeConnectionError as exc:
                 self._teardown()
                 _CLIENT_RECONNECTS.inc()
@@ -214,6 +290,12 @@ class PowerQueryClient:
                 if exc.error_type != "unavailable" or not policy.retry_unavailable:
                     raise
                 last = OverloadError(str(exc))
+        if deadline is not None and deadline.expired:
+            _CLIENT_DEADLINE_ABANDONED.inc()
+            if last is None:
+                raise DeadlineExceededError(
+                    f"deadline expired before calling {self.host}:{self.port}"
+                )
         assert last is not None
         raise last
 

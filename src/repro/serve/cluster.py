@@ -70,7 +70,11 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError, ServeConnectionError
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServeConnectionError,
+)
 from repro.models.addmodel import AddPowerModel
 from repro.models.serialize import model_from_dict, model_to_dict
 from repro.obs.metrics import get_metrics, merge_snapshots
@@ -228,6 +232,10 @@ class ClusterConfig:
     #: Serve a Prometheus text-format ``/metrics`` endpoint on this
     #: port (0 picks an ephemeral one; None disables the exporter).
     prometheus_port: Optional[int] = None
+    #: ``host:port`` of a build queue whose depth / active leases the
+    #: router exports as gauges on its stats and Prometheus endpoints
+    #: (None: no queue polling).
+    queue_spec: Optional[str] = None
     #: Per-shard server template; ``host``/``port`` and the shard fault
     #: token are overridden per worker.
     server: ServerConfig = field(default_factory=ServerConfig)
@@ -532,6 +540,8 @@ class Cluster:
         self.started_at: Optional[float] = None
         self.prometheus: Optional[MetricsExporter] = None
         self.prometheus_port: Optional[int] = None
+        #: Last build-queue gauge refresh (rate-limits queue polling).
+        self._queue_polled_at = 0.0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "Cluster":
@@ -946,11 +956,7 @@ class Cluster:
                 "latency_p99_ms": None if p99 is None else 1000.0 * p99,
                 "pushed_at": push.get("ts"),
             }
-        cluster_metrics = {
-            name: state
-            for name, state in _MET.snapshot().items()
-            if name.startswith("serve.cluster.")
-        }
+        cluster_metrics = self._router_metrics()
         with self._lock:
             version = self._version
         return {
@@ -959,6 +965,52 @@ class Cluster:
             "metrics": merge_snapshots(snapshots),
             "router_metrics": cluster_metrics,
         }
+
+    def _router_metrics(self) -> Dict[str, Dict]:
+        """Router-local series for stats pages and scrapes.
+
+        Cluster counters, the shared circuit-breaker state
+        (``serve.breaker.*`` — how the control plane is degrading), and,
+        with ``queue_spec`` configured, the build queue's depth and
+        active leases refreshed by :meth:`_poll_queue_gauges`.
+        """
+        self._poll_queue_gauges()
+        return {
+            name: state
+            for name, state in _MET.snapshot().items()
+            if name.startswith(("serve.cluster.", "serve.breaker.", "queue."))
+        }
+
+    def _poll_queue_gauges(self) -> None:
+        """Refresh ``queue.depth`` / ``queue.leases.active`` gauges.
+
+        Rate-limited to ~2 Hz and never raising: a dead queue simply
+        leaves the gauges at their last value (the breaker makes the
+        failed dial cost microseconds, not a connect timeout).
+        """
+        spec = self.config.queue_spec
+        if not spec:
+            return
+        now = time.monotonic()
+        if now - self._queue_polled_at < 0.5:
+            return
+        self._queue_polled_at = now
+        try:
+            from repro.serve.queue import BuildQueueClient
+
+            host, _, port = str(spec).rpartition(":")
+            if not host or not port.isdigit():
+                return
+            with BuildQueueClient(host, int(port), timeout=2.0) as queue_client:
+                stats = queue_client.call({"op": "stats"})
+            _MET.gauge("queue.depth", kind="last").set(
+                float(stats.get("pending_depth", 0))
+            )
+            _MET.gauge("queue.leases.active", kind="last").set(
+                float(stats.get("active_leases", 0))
+            )
+        except (ReproError, OSError):
+            pass  # telemetry must never fail a scrape
 
     async def _cluster_slowlog(self) -> Dict:
         """Merged slow-query log: every in-ring shard's entries, by time.
@@ -1055,13 +1107,8 @@ class Cluster:
                 ),
             }
             labelled[shard_id] = snapshot
-        router_metrics = {
-            name: state
-            for name, state in _MET.snapshot().items()
-            if name.startswith("serve.cluster.")
-        }
         return render_metrics(
-            labelled, label="shard", unlabeled=router_metrics
+            labelled, label="shard", unlabeled=self._router_metrics()
         )
 
     # -- shutdown ------------------------------------------------------
@@ -1224,20 +1271,29 @@ class ClusterClient:
             client.close()
         self._dead.add(endpoint)
 
-    def _call_sharded(self, model: str, payload: Dict):
+    def _call_sharded(self, model: str, payload: Dict, deadline=None):
         last_error: Optional[Exception] = None
         for attempt in range(1, self.retry.max_attempts + 1):
             if attempt > 1:
-                time.sleep(self.retry.delay_s(attempt - 1, self._rng))
+                delay = self.retry.delay_s(attempt - 1, self._rng)
+                if deadline is not None and deadline.remaining_s() <= delay:
+                    break  # out of budget: report, don't sleep past it
+                time.sleep(delay)
                 self.ring(refresh=True)
             tried_any = False
             for nth, endpoint in enumerate(self._endpoints_for(model)):
                 if endpoint in self._dead:
                     continue
+                if deadline is not None and deadline.expired:
+                    break
                 tried_any = True
                 try:
+                    # Each hop re-stamps the *current* remainder, so one
+                    # budget spans every failover and ring sweep.
                     result = protocol.unwrap_response(
-                        self._client_for(endpoint).request(payload)
+                        self._client_for(endpoint).request(
+                            payload, deadline=deadline
+                        )
                     )
                     if nth > 0:
                         _CLIENT_FAILOVERS.inc()
@@ -1252,15 +1308,21 @@ class ClusterClient:
                         last_error = exc
                         continue
                     raise
+            if deadline is not None and deadline.expired:
+                break
             if not tried_any:
                 # Every known endpoint is marked dead: force a refresh.
                 self.ring(refresh=True)
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError(
+                f"deadline expired routing model {model!r}: {last_error}"
+            )
         raise ServeConnectionError(
             f"no shard answered for model {model!r} after "
             f"{self.retry.max_attempts} ring sweeps: {last_error}"
         )
 
-    def evaluate(self, model: str, initial, final) -> float:
+    def evaluate(self, model: str, initial, final, deadline=None) -> float:
         """Capacitance (fF) of one transition, routed to a replica."""
         result = self._call_sharded(
             model,
@@ -1270,11 +1332,13 @@ class ClusterClient:
                 "initial": _bits(initial),
                 "final": _bits(final),
             },
+            deadline=deadline,
         )
         return float(result["capacitance_fF"])
 
     def evaluate_pairs(
-        self, model: str, pairs: Sequence[Tuple[object, object]]
+        self, model: str, pairs: Sequence[Tuple[object, object]],
+        deadline=None,
     ) -> List[float]:
         """Capacitances for a client-side batch, routed to a replica."""
         result = self._call_sharded(
@@ -1284,6 +1348,7 @@ class ClusterClient:
                 "model": model,
                 "pairs": [[_bits(i), _bits(f)] for i, f in pairs],
             },
+            deadline=deadline,
         )
         return [float(v) for v in result["capacitances_fF"]]
 

@@ -26,6 +26,18 @@ long-lived one survives restarts.  Either way, ``put`` replaces the
 whole value at once: readers observe complete payloads only, which is
 the atomicity contract the model store relies on.
 
+Persistent roots carry a journal-backed index (a
+:class:`~repro.serve.wal.WriteAheadLog` under ``<root>/.index/``): every
+accepted ``put`` journals ``{name, sha256}`` *before* the file is
+written.  On restart the index is replayed and reconciled against the
+directory — a file whose bytes do not hash to its journaled digest is a
+half-written leftover of a crashed incarnation and is **deleted, never
+served** (``objstore.recovery.dropped``); files present on disk but
+absent from the index (data predating the index) are rehashed and
+adopted (``objstore.recovery.adopted``).  A SIGKILL mid-``put`` thus
+costs at most the object being written, and only until its uploader
+retries.
+
 This server exists for tests, smokes and small deployments; the point of
 the backend protocol is that a real S3/GCS implementation could replace
 it without touching :class:`~repro.serve.store.ModelStore`.
@@ -36,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import base64
 import hashlib
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -44,6 +57,7 @@ from typing import Dict, Optional, Tuple
 from repro.obs.metrics import get_metrics
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
+from repro.serve.wal import WriteAheadLog
 
 _MET = get_metrics()
 _REQUESTS = _MET.counter("objstore.requests")
@@ -53,6 +67,12 @@ _DELETES = _MET.counter("objstore.deletes")
 _BYTES_IN = _MET.counter("objstore.bytes_in")
 _BYTES_OUT = _MET.counter("objstore.bytes_out")
 _REJECTED_PUTS = _MET.counter("objstore.rejected_puts")
+_RECOVERY_DROPPED = _MET.counter("objstore.recovery.dropped")
+_RECOVERY_ADOPTED = _MET.counter("objstore.recovery.adopted")
+
+#: Directory under a persistent root holding the index journal; never
+#: listed or served as objects.
+_INDEX_DIR = ".index"
 
 
 @dataclass(frozen=True)
@@ -65,6 +85,10 @@ class ObjectStoreConfig:
     #: When set, objects persist as files under this directory (atomic
     #: writes); None keeps them in memory for hermetic tests.
     root: Optional[str] = None
+    #: fsync every index-journal append (persistent roots only).
+    wal_fsync: bool = True
+    #: Compact the index journal every this-many records.
+    wal_compact_every: int = 512
 
 
 class ObjectStoreServer:
@@ -81,17 +105,80 @@ class ObjectStoreServer:
         # concurrent reader sees the old or the new tuple, never a mix.
         self._objects: Dict[str, Tuple[bytes, str, float]] = {}
         self._disk = None
+        self._wal: Optional[WriteAheadLog] = None
         if config.root is not None:
             from repro.serve.storage import LocalDirBackend
 
             self._disk = LocalDirBackend(config.root)
-            for name in self._disk.list():
+            self._wal = WriteAheadLog(
+                os.path.join(config.root, _INDEX_DIR),
+                name="objindex",
+                fsync=config.wal_fsync,
+                compact_every=config.wal_compact_every,
+            )
+            self._recover_root()
+
+    # ------------------------------------------------------------------
+    # Durability: journal-backed index (persistent roots)
+    # ------------------------------------------------------------------
+    def _snapshot_index(self) -> Dict:
+        return {
+            "objects": {
+                name: {"sha256": digest, "mtime": mtime}
+                for name, (_, digest, mtime) in self._objects.items()
+            }
+        }
+
+    def _recover_root(self) -> None:
+        """Replay the index journal and reconcile it against the disk.
+
+        The invariant this restores: every object served has bytes that
+        hash to the digest its uploader claimed.  Three cases per file —
+        indexed and matching (serve), indexed but mismatched or missing
+        (a crashed incarnation's half-written put: delete, never serve),
+        on disk but unindexed (data predating the index: adopt).
+        """
+        assert self._disk is not None and self._wal is not None
+        state, tail = self._wal.recover()
+        index: Dict[str, Dict] = {}
+        if state is not None:
+            index = dict(state.get("objects", {}))
+        for record in tail:
+            if record.get("op") == "put":
+                index[record["name"]] = {
+                    "sha256": record.get("sha256"),
+                    "mtime": record.get("mtime", 0.0),
+                }
+            elif record.get("op") == "delete":
+                index.pop(record.get("name"), None)
+        for name in self._disk.list():
+            if name.startswith(_INDEX_DIR + "/"):
+                continue  # the journal itself is not an object
+            try:
                 data = self._disk.get(name)
+            except OSError:  # pragma: no cover - racing writer/cleaner
+                continue
+            digest = hashlib.sha256(data).hexdigest()
+            expected = index.get(name)
+            if expected is None:
+                _RECOVERY_ADOPTED.inc()
+                self._objects[name] = (data, digest, time.time())
+            elif expected.get("sha256") == digest:
                 self._objects[name] = (
                     data,
-                    hashlib.sha256(data).hexdigest(),
-                    time.time(),
+                    digest,
+                    float(expected.get("mtime") or time.time()),
                 )
+            else:
+                # Journaled intent never completed on disk (torn write
+                # at the final path).  Serving it would hand out bytes
+                # nobody ever uploaded; deleting costs one retried put.
+                _RECOVERY_DROPPED.inc()
+                self._disk.delete(name)
+        # An indexed name with no file: the put journaled but never
+        # reached the disk.  Fold a clean snapshot so the next restart
+        # replays none of this history.
+        self._wal.compact(self._snapshot_index())
 
     # ------------------------------------------------------------------
     # Lifecycle (mirrors PowerQueryServer)
@@ -125,6 +212,8 @@ class ObjectStoreServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._wal is not None:
+            self._wal.close()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -212,9 +301,25 @@ class ObjectStoreServer:
                     f"payload hash {digest[:12]} != claimed {claimed[:12]}; "
                     "upload corrupted in transit",
                 )
+            mtime = time.time()
+            if self._wal is not None:
+                # Journal the intent *before* the file write: a name on
+                # disk that is not index-matching is then provably a
+                # half-written leftover, and recovery deletes it.
+                self._wal.append(
+                    {
+                        "op": "put",
+                        "name": name,
+                        "sha256": digest,
+                        "size": len(data),
+                        "mtime": mtime,
+                    }
+                )
             if self._disk is not None:
                 self._disk.put(name, data)
-            self._objects[name] = (data, digest, time.time())
+            self._objects[name] = (data, digest, mtime)
+            if self._wal is not None:
+                self._wal.maybe_compact(self._snapshot_index())
             _PUTS.inc()
             return {"size": len(data), "sha256": digest}
         if op == "obj.get":
@@ -239,6 +344,10 @@ class ObjectStoreServer:
             }
         if op == "obj.delete":
             name = protocol.require_field(request, "name")
+            if self._wal is not None and (
+                name in self._objects or self._disk.head(name) is not None
+            ):
+                self._wal.append({"op": "delete", "name": name})
             existed = self._objects.pop(name, None) is not None
             if self._disk is not None:
                 existed = self._disk.delete(name) or existed
@@ -248,13 +357,16 @@ class ObjectStoreServer:
         if op == "ping":
             return "pong"
         if op == "stats":
-            return {
+            result = {
                 "objects": len(self._objects),
                 "bytes": sum(len(d) for d, _, _ in self._objects.values()),
                 "uptime_seconds": (
                     time.time() - self.started_at if self.started_at else 0.0
                 ),
             }
+            if self._wal is not None:
+                result["wal"] = self._wal.stats()
+            return result
         if op == "shutdown":
             self.request_stop()
             return "stopping"

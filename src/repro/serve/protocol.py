@@ -19,6 +19,18 @@ Request shapes
 ``{"id": .., "op": "slowlog"}`` / ``{"id": .., "op": "shutdown"}``
     Liveness, telemetry snapshot, slow-query log, graceful stop.
 
+Any request may additionally carry a ``deadline_ms`` field — the
+caller's **remaining** end-to-end budget in milliseconds at send time
+(relative, not absolute: wall clocks differ across machines, monotonic
+clocks differ across processes, but a duration survives the hop).  Each
+server rebases it onto its own monotonic clock on arrival
+(:class:`Deadline`), caps its own waits (long polls, batch parking) at
+the remainder, and answers an already-expired request with a structured
+``timeout`` instead of doing work nobody is waiting for.  Clients
+re-stamp the *current* remainder on every retry hop, so one budget
+covers the whole client→router→shard→queue chain, retries and breaker
+waits included.  Absent field = no deadline, exactly the old behaviour.
+
 Any request may additionally carry a ``traceparent`` field — a
 W3C-traceparent-shaped string (``00-<trace_id>-<span_id>-01``, see
 :class:`repro.obs.trace.TraceContext`) naming the caller's hop of a
@@ -37,6 +49,7 @@ even parse is answered with ``id = null`` and a ``protocol`` error.
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -104,6 +117,59 @@ def error_response(request_id, error_type: str, message: str) -> Dict:
         "ok": False,
         "error": {"type": error_type, "message": message},
     }
+
+
+class Deadline:
+    """A monotonic end-to-end budget that travels on the envelope.
+
+    Created once at the edge (``Deadline.after(seconds)``) and re-based
+    on each server's own monotonic clock as it hops
+    (``Deadline.from_request``).  All arithmetic is
+    :func:`time.monotonic` — wall-clock jumps (NTP steps, suspend)
+    neither hang nor prematurely expire a budget.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now on this process's clock."""
+        return cls(time.monotonic() + max(0.0, float(seconds)))
+
+    @classmethod
+    def from_request(cls, request: Dict) -> "Optional[Deadline]":
+        """Rebase a request's ``deadline_ms`` remainder locally.
+
+        Returns None when the field is absent.  A malformed value is
+        ignored (None), never an error — like ``traceparent``, the
+        envelope extras must not fail a request.
+        """
+        raw = request.get("deadline_ms")
+        if raw is None:
+            return None
+        try:
+            remaining = float(raw) / 1000.0
+        except (TypeError, ValueError):
+            return None
+        return cls(time.monotonic() + max(0.0, remaining))
+
+    def remaining_s(self) -> float:
+        """Seconds left (clamped at 0.0)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def stamp(self, payload: Dict) -> Dict:
+        """A copy of ``payload`` carrying the current remainder."""
+        return dict(payload, deadline_ms=round(self.remaining_s() * 1000.0, 3))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining_s():.3f}s)"
 
 
 def _parse_bits(bits, width: int, field: str) -> List[bool]:

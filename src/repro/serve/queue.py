@@ -42,7 +42,18 @@ content-addressed, even the racing backend ``put`` it may have completed
 wrote byte-identical data.  Chaos sites: ``queue.worker.crash``
 (SIGKILL self mid-build, token = attempt), ``queue.lease.expire`` (force
 expiry), ``queue.job.duplicate_claim`` (hand a running job to a second
-claimer).
+claimer), ``queue.server.crash`` (SIGKILL the *server* after a journal
+append or a replayed record, token = restart generation).
+
+Durability: with ``QueueConfig.wal_dir`` set, every state transition
+(submit, claim, publish, fail, expire — not heartbeats) is journaled to
+a :class:`~repro.serve.wal.WriteAheadLog` **before** it mutates memory
+or acks the client.  A SIGKILLed server replays snapshot + tail on
+restart, re-enqueues in-flight leases as pending (leases do not survive
+a restart; the attempt counter does), and keeps the exactly-once publish
+rule across its own death: a ``done`` job stays done, so the retried or
+straggling publish is absorbed exactly as in the live path.  Without
+``wal_dir`` the queue is in-memory only, exactly the old behaviour.
 
 A :class:`StoreWarmer` closes the loop with the store's access
 telemetry: keys that stay hot (accessed recently and often) but are
@@ -53,6 +64,7 @@ re-submitted in the background before a client pays the miss.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import signal
 import threading
@@ -66,9 +78,13 @@ from repro.netlist.netlist import Netlist, netlist_from_canonical_dict
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.serve import protocol
-from repro.serve.client import PowerQueryClient
-from repro.serve.protocol import ProtocolError
+from repro.serve.breaker import CircuitBreaker, breaker_for
+from repro.serve.client import PowerQueryClient, RetryPolicy
+from repro.serve.protocol import Deadline, ProtocolError
+from repro.serve.wal import WriteAheadLog
 from repro.testing import faults
+
+_LOG = logging.getLogger("repro.serve.queue")
 
 _MET = get_metrics()
 _REQUESTS = _MET.counter("queue.requests")
@@ -84,7 +100,10 @@ _PUBLISHES = _MET.counter("queue.publishes")
 _DUP_PUBLISHES = _MET.counter("queue.publishes.duplicate")
 _WORKER_BUILDS = _MET.counter("queue.worker.builds")
 _WORKER_ABANDONED = _MET.counter("queue.worker.abandoned")
+_WORKER_RESPAWNS = _MET.counter("queue.worker.respawns")
 _WARM_SUBMITTED = _MET.counter("queue.warm.submitted")
+_RECOVERED_JOBS = _MET.counter("queue.recovery.jobs")
+_RECOVERED_LEASES = _MET.counter("queue.recovery.requeued_leases")
 
 
 @dataclass(frozen=True)
@@ -102,6 +121,12 @@ class QueueConfig:
     max_attempts: int = 3
     #: Longest single ``queue.wait`` long-poll the server will hold.
     max_wait_s: float = 60.0
+    #: Directory for the write-ahead log; None = in-memory only.
+    wal_dir: Optional[str] = None
+    #: fsync every journal append (durability vs. throughput).
+    wal_fsync: bool = True
+    #: Compact the journal into a snapshot every this-many records.
+    wal_compact_every: int = 256
 
 
 @dataclass
@@ -128,6 +153,29 @@ class _Job:
             "error": self.error,
         }
 
+    def snapshot(self) -> Dict:
+        """Durable form of this job (no leases, no waiters — neither
+        survives a restart)."""
+        return {
+            "key": self.key,
+            "netlist": self.netlist,
+            "config": self.config,
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict) -> "_Job":
+        return cls(
+            key=data["key"],
+            netlist=data["netlist"],
+            config=data["config"],
+            state=data.get("state", "pending"),
+            attempts=int(data.get("attempts", 0)),
+            error=data.get("error"),
+        )
+
     def settle(self) -> None:
         """Wake every long-poller; call when the job turns terminal."""
         for future in self.waiters:
@@ -151,27 +199,216 @@ class BuildQueueServer:
         self.config = config
         self.port: Optional[int] = None
         self.started_at: Optional[float] = None
+        #: Restart generation (set by the supervisor child entry); the
+        #: token the ``queue.server.crash`` chaos site is consulted
+        #: with, so a fault plan can kill generation 0 after K appends,
+        #: kill generation 1 mid-replay, and let generation 2 live.
+        self.crash_token = 0
         self._jobs: Dict[str, _Job] = {}
         self._pending: deque = deque()
         self._server: Optional[asyncio.base_events.Server] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._sweeper: Optional[asyncio.Task] = None
         self._stopping = False
+        self._wal: Optional[WriteAheadLog] = None
+        if config.wal_dir:
+            self._wal = WriteAheadLog(
+                config.wal_dir,
+                name="queue",
+                fsync=config.wal_fsync,
+                compact_every=config.wal_compact_every,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle (mirrors PowerQueryServer / ObjectStoreServer)
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        # Recover *before* binding: no request may observe pre-replay
+        # state, and a crash during replay leaves the port closed so
+        # clients keep getting clean connection refusals.
+        self._recover()
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._on_connection,
             host=self.config.host,
             port=self.config.port,
             limit=protocol.MAX_LINE_BYTES,
+            reuse_address=True,
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self.started_at = time.time()
+        self.started_at = time.monotonic()
         self._sweeper = asyncio.create_task(self._sweep_leases())
+
+    # ------------------------------------------------------------------
+    # Durability: journal + recovery
+    # ------------------------------------------------------------------
+    def _journal(self, record: Dict) -> None:
+        """Append one state transition to the WAL (before it is applied).
+
+        The ``queue.server.crash`` site fires *after* the append and
+        *before* the in-memory apply/ack — the worst-case window: the
+        client sees its connection die without an answer, and recovery
+        must replay the record so the retried request dedupes onto it.
+        """
+        if self._wal is None:
+            return
+        self._wal.append(record)
+        if faults.fires("queue.server.crash", token=self.crash_token):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _commit(self, record: Dict) -> None:
+        """Journal, apply, then (maybe) checkpoint — in that order.
+
+        Compaction must run *after* the apply: the snapshot is stamped
+        with the journal's LSN, so folding pre-apply state would
+        checkpoint a world that is missing its own newest record.
+        """
+        self._journal(record)
+        self._apply_record(record)
+        if self._wal is not None:
+            self._wal.maybe_compact(self._snapshot_state())
+
+    def _snapshot_state(self) -> Dict:
+        return {
+            "jobs": [job.snapshot() for job in self._jobs.values()],
+            "pending": list(self._pending),
+        }
+
+    def _load_snapshot(self, state: Dict) -> None:
+        self._jobs = {}
+        for data in state.get("jobs", []):
+            job = _Job.from_snapshot(data)
+            self._jobs[job.key] = job
+        self._pending = deque(
+            key for key in state.get("pending", []) if key in self._jobs
+        )
+
+    def _recover(self) -> None:
+        """Rebuild job state from snapshot + journal tail.
+
+        Invariants restored: every journaled-and-applied transition is
+        visible; ``done`` stays done (exactly-once publish survives the
+        server's death); running jobs lose their lease and return to
+        pending with their attempt counter intact.
+        """
+        if self._wal is None:
+            return
+        state, tail = self._wal.recover()
+        if state is not None:
+            self._load_snapshot(state)
+        for record in tail:
+            if faults.fires("queue.server.crash", token=self.crash_token):
+                # Chaos: die *during* replay — the next generation must
+                # recover from the very same snapshot + tail.
+                os.kill(os.getpid(), signal.SIGKILL)
+            self._apply_record(record)
+        recovered = len(self._jobs)
+        if recovered:
+            _RECOVERED_JOBS.inc(recovered)
+        # Leases do not survive a restart: nobody heartbeats a dead
+        # server, and the worker may itself be gone.  Re-enqueue running
+        # jobs as pending (attempts intact, so crash loops still burn
+        # toward max_attempts) and rebuild the pending deque in stable
+        # order without duplicates.
+        pending = [
+            key
+            for key in self._pending
+            if key in self._jobs and self._jobs[key].state == "pending"
+        ]
+        seen = set(pending)
+        for key, job in self._jobs.items():
+            if job.state == "running":
+                job.state = "pending"
+                job.worker = None
+                _RECOVERED_LEASES.inc()
+            if job.state == "pending" and key not in seen:
+                pending.append(key)
+                seen.add(key)
+        self._pending = deque(pending)
+        if tail:
+            # Fold the replayed tail into a fresh snapshot so the next
+            # crash replays from here, not from the beginning.  Safe to
+            # die anywhere inside: compaction is snapshot-then-truncate
+            # and replay is idempotent.
+            self._wal.compact(self._snapshot_state())
+
+    def _apply_record(self, record: Dict) -> None:
+        """Apply one journaled transition; idempotent and defensive.
+
+        Shared by the live paths (journal → apply → ack) and replay, so
+        what recovery rebuilds is *by construction* what the live server
+        did.  Records that no longer make sense (job vanished from an
+        older snapshot, publish on an already-done job) are no-ops —
+        replaying a prefix twice must converge, not crash.
+        """
+        op = record.get("op")
+        key = record.get("key")
+        job = self._jobs.get(key) if key else None
+        if op == "submit":
+            if job is None:
+                job = _Job(
+                    key=key,
+                    netlist=record["netlist"],
+                    config=record.get("config") or {},
+                )
+                self._jobs[key] = job
+                self._pending.append(key)
+            return
+        if job is None:
+            return
+        if op == "resubmit":
+            job.state = "pending"
+            job.attempts = 0
+            job.worker = None
+            job.error = None
+            if key not in self._pending:
+                self._pending.append(key)
+            return
+        if op == "claim":
+            if job.state in ("done", "failed"):
+                return
+            job.state = "running"
+            job.worker = record.get("worker")
+            job.attempts += 1
+            job.lease_expires_at = time.monotonic() + self.config.lease_s
+            return
+        if op == "publish":
+            if job.state == "done":
+                return
+            job.state = "done"
+            job.worker = record.get("worker")
+            job.error = None
+            job.settle()
+            return
+        if op == "fail":
+            if job.state in ("done", "failed"):
+                return
+            job.error = str(record.get("error") or "build failed")
+            if job.attempts >= self.config.max_attempts:
+                job.state = "failed"
+                job.worker = record.get("worker")
+                job.settle()
+            else:
+                job.state = "pending"
+                job.worker = None
+                self._pending.append(key)
+            return
+        if op == "expire":
+            if job.state != "running":
+                return
+            job.worker = None
+            if job.attempts >= self.config.max_attempts:
+                job.state = "failed"
+                job.error = job.error or (
+                    f"lease expired on every attempt "
+                    f"({self.config.max_attempts}); worker(s) lost"
+                )
+                job.settle()
+            else:
+                job.state = "pending"
+                self._pending.append(key)
+            return
+        # Unknown op: a newer server wrote it; ignore rather than die.
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -199,6 +436,8 @@ class BuildQueueServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._wal is not None:
+            self._wal.close()
 
     # ------------------------------------------------------------------
     # Lease sweeper
@@ -206,7 +445,7 @@ class BuildQueueServer:
     async def _sweep_leases(self) -> None:
         while True:
             await asyncio.sleep(self.config.sweep_interval_s)
-            now = time.time()
+            now = time.monotonic()
             for job in list(self._jobs.values()):
                 if job.state != "running":
                     continue
@@ -217,21 +456,20 @@ class BuildQueueServer:
                     expired = True
                 if expired:
                     self._expire(job)
+            self._update_gauges()
 
     def _expire(self, job: _Job) -> None:
         _LEASES_EXPIRED.inc()
-        job.worker = None
         if job.attempts >= self.config.max_attempts:
-            job.state = "failed"
-            job.error = job.error or (
-                f"lease expired on every attempt "
-                f"({self.config.max_attempts}); worker(s) lost"
-            )
             _FAILED.inc()
-            job.settle()
-        else:
-            job.state = "pending"
-            self._pending.append(job.key)
+        self._commit({"op": "expire", "key": job.key})
+
+    def _update_gauges(self) -> None:
+        """Export queue depth and active leases for scrapes and ``top``."""
+        _MET.gauge("queue.depth", kind="last").set(len(self._pending))
+        _MET.gauge("queue.leases.active", kind="last").set(
+            sum(1 for job in self._jobs.values() if job.state == "running")
+        )
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -327,18 +565,20 @@ class BuildQueueServer:
                         return dict(job.public(), deduped=True)
                     # Re-enqueue a terminal job (artifact vanished, or a
                     # caller retrying a failed build) from a clean slate.
-                    job.state = "pending"
-                    job.attempts = 0
-                    job.worker = None
-                    job.error = None
-                    self._pending.append(key)
+                    self._commit({"op": "resubmit", "key": key})
                     _SUBMITTED.inc()
+                    self._update_gauges()
                     return dict(job.public(), deduped=False)
-                job = _Job(key=key, netlist=netlist, config=config)
-                self._jobs[key] = job
-                self._pending.append(key)
+                record = {
+                    "op": "submit",
+                    "key": key,
+                    "netlist": netlist,
+                    "config": config,
+                }
+                self._commit(record)
                 _SUBMITTED.inc()
-                return dict(job.public(), deduped=False)
+                self._update_gauges()
+                return dict(self._jobs[key].public(), deduped=False)
         if op == "queue.claim":
             worker = protocol.require_field(request, "worker")
             job = None
@@ -363,11 +603,9 @@ class BuildQueueServer:
                     _DUP_CLAIMS.inc()
             if job is None:
                 return {"job": None}
-            job.state = "running"
-            job.worker = worker
-            job.attempts += 1
-            job.lease_expires_at = time.time() + self.config.lease_s
+            self._commit({"op": "claim", "key": job.key, "worker": worker})
             _CLAIMS.inc()
+            self._update_gauges()
             return {
                 "job": {
                     "key": job.key,
@@ -386,29 +624,31 @@ class BuildQueueServer:
                     f"lease on {job.key[:12]}… is no longer held by "
                     f"{worker!r}",
                 )
-            job.lease_expires_at = time.time() + self.config.lease_s
+            # Not journaled: a lease is a promise of *this* incarnation
+            # only; recovery re-enqueues running jobs regardless.
+            job.lease_expires_at = time.monotonic() + self.config.lease_s
             _HEARTBEATS.inc()
             return {"lease_s": self.config.lease_s}
         if op == "queue.publish":
             job = self._require_job(request)
             worker = protocol.require_field(request, "worker")
-            if job.state == "done":
+            if job.state in ("done", "failed"):
                 # Exactly-once: a zombie or duplicate-claimed worker's
-                # late publish is absorbed, never double-applied.
+                # late publish is absorbed, never double-applied; and a
+                # terminally-failed job is not resurrected for waiters
+                # who were already answered.
                 _DUP_PUBLISHES.inc()
                 return {"accepted": False, "duplicate": True}
-            if job.state == "failed":
-                # The job already failed terminally (all attempts
-                # burned); a straggler's success cannot resurrect it for
-                # waiters who were already answered.
-                _DUP_PUBLISHES.inc()
-                return {"accepted": False, "duplicate": True}
-            job.state = "done"
-            job.worker = worker
-            job.error = None
+            # Journal *before* acking: if we die here, replay marks the
+            # job done, and the worker's retried publish is absorbed by
+            # the duplicate rule above — exactly-once across the
+            # server's own death.
+            self._commit(
+                {"op": "publish", "key": job.key, "worker": worker}
+            )
             _PUBLISHES.inc()
             _COMPLETED.inc()
-            job.settle()
+            self._update_gauges()
             return {"accepted": True, "duplicate": False}
         if op == "queue.fail":
             job = self._require_job(request)
@@ -416,16 +656,16 @@ class BuildQueueServer:
             error = str(request.get("error") or "build failed")
             if job.state in ("done", "failed"):
                 return job.public()
-            job.error = error
+            record = {
+                "op": "fail",
+                "key": job.key,
+                "worker": worker,
+                "error": error,
+            }
             if job.attempts >= self.config.max_attempts:
-                job.state = "failed"
-                job.worker = worker
                 _FAILED.inc()
-                job.settle()
-            else:
-                job.state = "pending"
-                job.worker = None
-                self._pending.append(job.key)
+            self._commit(record)
+            self._update_gauges()
             return job.public()
         if op == "queue.wait":
             job = self._require_job(request)
@@ -433,6 +673,14 @@ class BuildQueueServer:
                 float(request.get("timeout_s") or self.config.max_wait_s),
                 self.config.max_wait_s,
             )
+            deadline = Deadline.from_request(request)
+            if deadline is not None:
+                # Never park a poller past its end-to-end budget; an
+                # already-expired request gets the state snapshot back
+                # immediately (cheap, and the caller decides).  Stop 50ms
+                # short so the answer beats the client's socket timeout —
+                # a reply sent exactly at expiry loses that race.
+                timeout = min(timeout, max(0.0, deadline.remaining_s() - 0.05))
             if job.state not in ("done", "failed") and timeout > 0:
                 future: asyncio.Future = asyncio.get_running_loop().create_future()
                 job.waiters.append(future)
@@ -446,14 +694,25 @@ class BuildQueueServer:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
-            return {
+            active = sum(
+                1 for job in self._jobs.values() if job.state == "running"
+            )
+            result = {
                 "jobs": states,
                 "pending_depth": len(self._pending),
+                "active_leases": active,
                 "lease_s": self.config.lease_s,
+                "publishes": _PUBLISHES.value,
+                "duplicate_publishes": _DUP_PUBLISHES.value,
                 "uptime_seconds": (
-                    time.time() - self.started_at if self.started_at else 0.0
+                    time.monotonic() - self.started_at
+                    if self.started_at
+                    else 0.0
                 ),
             }
+            if self._wal is not None:
+                result["wal"] = self._wal.stats()
+            return result
         if op == "ping":
             return "pong"
         if op == "shutdown":
@@ -473,8 +732,35 @@ class BuildQueueClient(PowerQueryClient):
 
     Inherits the JSON-lines transport, retry policy and typed connection
     errors of :class:`~repro.serve.client.PowerQueryClient`; adds the
-    queue operations.
+    queue operations.  By default every instance shares the process-wide
+    per-endpoint circuit breaker (:func:`~repro.serve.breaker.breaker_for`),
+    so once the queue is known dead, submitters degrade to local builds
+    without each paying a connect timeout; pass ``breaker=False`` to opt
+    out, or a :class:`~repro.serve.breaker.CircuitBreaker` to share an
+    explicit one.
     """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        rng_seed: Optional[int] = None,
+        breaker: Union[CircuitBreaker, None, bool] = True,
+    ):
+        if breaker is True:
+            breaker = breaker_for(host, port)
+        elif breaker is False:
+            breaker = None
+        super().__init__(
+            host,
+            port,
+            timeout=timeout,
+            retry=retry,
+            rng_seed=rng_seed,
+            breaker=breaker,
+        )
 
     @classmethod
     def resolve(cls, spec: QueueSpec) -> "BuildQueueClient":
@@ -496,7 +782,7 @@ class BuildQueueClient(PowerQueryClient):
         return cls(host, int(port))
 
     def submit(self, netlist: Union[Netlist, Dict], config: Optional[Dict] = None,
-               force: bool = False) -> Dict:
+               force: bool = False, deadline: Optional[Deadline] = None) -> Dict:
         """Enqueue one build job; returns the job's public state."""
         wire = (
             netlist.canonical_dict()
@@ -510,39 +796,57 @@ class BuildQueueClient(PowerQueryClient):
         }
         if force:
             payload["force"] = True
-        return self.call(payload)
+        return self.call(payload, deadline=deadline)
 
     def wait(self, key: str, timeout_s: Optional[float] = None,
-             poll_s: float = 15.0) -> Dict:
+             poll_s: float = 15.0,
+             deadline: Optional[Deadline] = None) -> Dict:
         """Block until a job is terminal (or ``timeout_s`` elapses).
 
         Long-polls the server in ``poll_s`` slices so a stuck job never
-        wedges the connection past the server's per-request cap.
+        wedges the connection past the server's per-request cap.  An
+        end-to-end ``deadline`` caps the whole wait (and rides the wire,
+        so the server never parks this poller past the budget either).
         """
-        deadline = None if timeout_s is None else time.time() + timeout_s
+        expires = None if timeout_s is None else time.monotonic() + timeout_s
+        if deadline is not None:
+            expires = (
+                deadline.expires_at
+                if expires is None
+                else min(expires, deadline.expires_at)
+            )
         while True:
             slice_s = poll_s
-            if deadline is not None:
-                slice_s = min(slice_s, max(0.0, deadline - time.time()))
+            if expires is not None:
+                slice_s = min(slice_s, max(0.0, expires - time.monotonic()))
             state = self.call(
-                {"op": "queue.wait", "key": key, "timeout_s": slice_s}
+                {"op": "queue.wait", "key": key, "timeout_s": slice_s},
+                deadline=deadline,
             )
             if state["state"] in ("done", "failed"):
                 return state
-            if deadline is not None and time.time() >= deadline:
+            if expires is not None and time.monotonic() >= expires:
                 return state
 
     def claim(self, worker: str) -> Optional[Dict]:
-        """One pending job (with lease) or None when the queue is idle."""
-        return self.call({"op": "queue.claim", "worker": worker})["job"]
+        """One pending job (with lease) or None when the queue is idle.
+
+        Never retried by policy: a claim whose *response* is lost has
+        still leased the job server-side, and blind retries would burn
+        attempts.  Callers (the worker loop) own reconnect pacing.
+        """
+        return self.call(
+            {"op": "queue.claim", "worker": worker}, idempotent=False
+        )["job"]
 
     def heartbeat(self, key: str, worker: str) -> bool:
-        """Extend a held lease; False when the lease has been lost."""
+        """Extend a held lease; False when the lease has been lost.
+
+        Safe to retry (extending twice is harmless), so a retry policy
+        lets the beat ride out a supervised server restart.
+        """
         try:
-            self.call(
-                {"op": "queue.heartbeat", "key": key, "worker": worker},
-                idempotent=False,
-            )
+            self.call({"op": "queue.heartbeat", "key": key, "worker": worker})
             return True
         except protocol.ResponseError as exc:
             if exc.error_type == "not_found":
@@ -571,6 +875,7 @@ def run_worker(
     poll_interval_s: float = 0.05,
     build_delay_s: float = 0.0,
     max_idle_s: Optional[float] = None,
+    reconnect_grace_s: float = 10.0,
 ) -> None:
     """Claim-build-publish loop of one farm worker (a process entry point).
 
@@ -583,6 +888,11 @@ def run_worker(
     ``max_idle_s`` the worker exits after the queue stays empty that
     long; otherwise it runs until killed or the queue goes away.
 
+    A queue that stops answering is given ``reconnect_grace_s`` to come
+    back (a supervised restart takes well under a second) before the
+    worker gives up and exits — so one SIGKILL of the broker does not
+    also dissolve the whole farm.
+
     Fault plans arm through ``REPRO_FAULTS`` as usual; the
     ``queue.worker.crash`` site (token = attempt number) SIGKILLs this
     process mid-build — after the claim, before the publish — which is
@@ -593,16 +903,27 @@ def run_worker(
     from repro.serve.storage import open_backend
 
     store = ModelStore(open_backend(store_spec))
-    client = BuildQueueClient(host, port)
+    retry = RetryPolicy(max_attempts=5, base_delay_s=0.05, max_delay_s=0.5)
+    try:
+        client = BuildQueueClient(host, port, retry=retry)
+    except ServeConnectionError:
+        return  # queue never answered at all; nothing to do
     idle_since: Optional[float] = None
+    down_since: Optional[float] = None
     try:
         while True:
             try:
                 job = client.claim(worker_id)
             except ServeConnectionError:
-                return  # queue is gone; the farm is shutting down
+                now = time.monotonic()
+                down_since = down_since or now
+                if now - down_since > reconnect_grace_s:
+                    return  # the queue is really gone, not restarting
+                time.sleep(max(poll_interval_s, 0.05))
+                continue
+            down_since = None
             if job is None:
-                now = time.time()
+                now = time.monotonic()
                 idle_since = idle_since or now
                 if max_idle_s is not None and now - idle_since > max_idle_s:
                     return
@@ -667,7 +988,12 @@ def _heartbeat_loop(
     """Extend one job's lease until told to stop (worker side-thread)."""
     interval = max(0.05, lease_s / 3.0)
     try:
-        client = BuildQueueClient(host, port)
+        client = BuildQueueClient(
+            host,
+            port,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.05,
+                              max_delay_s=0.25),
+        )
     except ServeConnectionError:
         return
     try:
@@ -785,6 +1111,8 @@ class WorkerFarm:
         self.poll_interval_s = poll_interval_s
         self.build_delay_s = build_delay_s
         self.processes: List = []
+        self.respawns = 0
+        self._logged_slots: set = set()
         for index in range(count):
             self._spawn(index)
 
@@ -811,13 +1139,28 @@ class WorkerFarm:
         return sum(1 for p in self.processes if p.is_alive())
 
     def respawn_dead(self) -> int:
-        """Replace dead workers (chaos recovery); returns how many."""
+        """Replace dead workers (chaos recovery); returns how many.
+
+        Each respawn is counted (``queue.worker.respawns``); the log
+        line is emitted once per worker *slot*, not once per poll — a
+        crash-looping slot under a tight respawn poll would otherwise
+        flood the log with the same fact.
+        """
         replaced = 0
         for index, process in enumerate(list(self.processes)):
             if not process.is_alive():
                 self.processes.remove(process)
                 self._spawn(index)
                 replaced += 1
+                self.respawns += 1
+                _WORKER_RESPAWNS.inc()
+                if index not in self._logged_slots:
+                    self._logged_slots.add(index)
+                    _LOG.warning(
+                        "worker slot %d died (exitcode=%s); respawned",
+                        index,
+                        process.exitcode,
+                    )
         return replaced
 
     def stop(self, timeout: float = 5.0) -> None:

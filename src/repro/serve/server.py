@@ -52,7 +52,7 @@ from repro.obs.trace import (
     use_trace_context,
 )
 from repro.serve import protocol
-from repro.serve.protocol import ProtocolError
+from repro.serve.protocol import Deadline, ProtocolError
 from repro.testing import faults
 
 _MET = get_metrics()
@@ -707,6 +707,19 @@ class PowerQueryServer:
                 f"(budget {budget}); retry later",
             )
         _EVAL_REQUESTS.inc()
+        # An end-to-end deadline on the envelope caps this server's own
+        # parking budget: never hold a request past the moment its
+        # caller stops listening.  ``_Pending.deadline`` is on the
+        # perf_counter clock, so the wire remainder is rebased here.
+        timeout_s = self.config.request_timeout_s
+        wire_deadline = Deadline.from_request(request)
+        if wire_deadline is not None:
+            remaining = wire_deadline.remaining_s()
+            if remaining <= 0.0:
+                raise ProtocolError(
+                    "timeout", "end-to-end deadline expired on arrival"
+                )
+            timeout_s = min(timeout_s, remaining)
         pending = _Pending(
             request_id=request.get("id"),
             writer=writer,
@@ -714,7 +727,7 @@ class PowerQueryServer:
             final=final,
             single=single,
             arrived=arrived,
-            deadline=arrived + self.config.request_timeout_s,
+            deadline=arrived + timeout_s,
             parked=time.perf_counter(),
             trace_ctx=context,
         )

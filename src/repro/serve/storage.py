@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import ModelError
 from repro.obs.metrics import get_metrics
 from repro.serve import protocol
+from repro.serve.breaker import breaker_for
 from repro.serve.protocol import unwrap_response
 from repro.testing import faults
 
@@ -253,14 +254,29 @@ class ObjectStoreBackend(StoreBackend):
     treat as miss) applies instead of trusting corrupt bytes.  The
     ``store.backend.unavailable`` chaos site fires here, before the
     socket is touched, to simulate an unreachable object server.
+
+    Every instance shares the process-wide circuit breaker for its
+    endpoint (:func:`~repro.serve.breaker.breaker_for`): once the object
+    server is known dead, calls fail in microseconds (still as
+    :class:`OSError`, so every existing degrade path applies) instead of
+    each paying a connect timeout; pass ``use_breaker=False`` to opt
+    out.  Structured replies — including errors — count as life;
+    only transport failures trip the breaker.
     """
 
     kind = "object"
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        use_breaker: bool = True,
+    ):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.breaker = breaker_for(host, self.port) if use_breaker else None
         self._sock: Optional[socket.socket] = None
         self._stream = None
         self._next_id = 0
@@ -278,6 +294,8 @@ class ObjectStoreBackend(StoreBackend):
                 (self.host, self.port), timeout=self.timeout
             )
         except OSError as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise OSError(
                 f"cannot reach object store {self.host}:{self.port}: {exc}"
             ) from exc
@@ -299,6 +317,11 @@ class ObjectStoreBackend(StoreBackend):
         import json
 
         faults.maybe_fail("store.backend.unavailable")
+        if self.breaker is not None and not self.breaker.allow():
+            raise OSError(
+                f"circuit open for object store {self.host}:{self.port}; "
+                f"not dialing a known-dead endpoint"
+            )
         with self._lock:
             self._connect()
             self._next_id += 1
@@ -312,11 +335,17 @@ class ObjectStoreBackend(StoreBackend):
                 reply = self._stream.readline()
             except (OSError, ValueError) as exc:
                 self._teardown()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 raise OSError(f"object store connection failed: {exc}") from exc
             if not reply:
                 self._teardown()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 raise OSError("object store closed the connection")
             _REMOTE_BYTES_IN.inc(len(reply))
+            if self.breaker is not None:
+                self.breaker.record_success()
         response = json.loads(reply.decode("utf-8"))
         try:
             return unwrap_response(response)

@@ -99,6 +99,7 @@ _WARM_HITS = _MET.counter("serve.store.warm.hits")
 _WARM_BUILDS = _MET.counter("serve.store.warm.builds")
 _QUEUE_MISSES_ROUTED = _MET.counter("serve.store.queue_routed")
 _QUEUE_FALLBACKS = _MET.counter("serve.store.queue_fallbacks")
+_QUEUE_RESUBMITS = _MET.counter("serve.store.queue_resubmits")
 
 
 def _builder_defaults() -> Dict:
@@ -619,6 +620,7 @@ class ModelStore:
         max_retries: int = 1,
         degrade_max_nodes: Optional[int] = None,
         queue=None,
+        deadline=None,
         **build_kwargs,
     ) -> AddPowerModel:
         """The main path: cached model, or build-and-cache on a miss."""
@@ -628,6 +630,7 @@ class ModelStore:
             max_retries=max_retries,
             degrade_max_nodes=degrade_max_nodes,
             queue=queue,
+            deadline=deadline,
         )[0]
 
     def get_or_build_many(
@@ -639,6 +642,7 @@ class ModelStore:
         max_retries: int = 1,
         degrade_max_nodes: Optional[int] = None,
         queue=None,
+        deadline=None,
         **common_kwargs,
     ) -> List[AddPowerModel]:
         """Resolve many (netlist, config) jobs at once, in job order.
@@ -710,6 +714,7 @@ class ModelStore:
             remote = self._resolve_via_queue(
                 queue,
                 [(keys[p], normalized[p][0], normalized[p][1]) for p in misses],
+                deadline=deadline,
             )
             if remote is not None:
                 for position in misses:
@@ -764,6 +769,7 @@ class ModelStore:
         self,
         queue,
         jobs: Sequence[Tuple[str, Netlist, Dict]],
+        deadline=None,
     ) -> Optional[Dict[str, AddPowerModel]]:
         """Build misses through the distributed queue; None = degrade.
 
@@ -772,22 +778,75 @@ class ModelStore:
         *build* failure raises — it would fail locally too; a *queue*
         transport failure returns None so the caller can fall back to
         the local build path.
+
+        Reconnect-with-resubmit: when the connection dies mid-wait (a
+        supervised queue restart), the still-unresolved jobs are
+        re-submitted — dedupe-safe, the server keys by content — and the
+        wait resumes, up to two reconnect rounds
+        (``serve.store.queue_resubmits``) before degrading.  An optional
+        end-to-end ``deadline`` (:class:`~repro.serve.protocol.Deadline`)
+        rides every submit and wait, so the whole remote detour never
+        outlives the caller's budget.
         """
         from repro.errors import ServeConnectionError
+        from repro.serve import protocol
+        from repro.serve.client import RetryPolicy
         from repro.serve.queue import BuildQueueClient
 
         tracer = get_tracer()
         owned = not isinstance(queue, BuildQueueClient)
         client = None
+        max_reconnect_rounds = 2
         try:
-            client = BuildQueueClient.resolve(queue)
+            if owned:
+                client = BuildQueueClient.resolve(queue)
+                # Our own client gets a retry policy so one broker
+                # restart costs milliseconds, not the whole remote path.
+                if client.retry is None:
+                    client.retry = RetryPolicy(
+                        max_attempts=4, base_delay_s=0.05, max_delay_s=0.5
+                    )
+            else:
+                client = queue
             with tracer.span("serve.store.queue_build", count=len(jobs)):
                 for key, netlist, config in jobs:
-                    client.submit(netlist, config)
+                    client.submit(netlist, config, deadline=deadline)
                     _QUEUE_MISSES_ROUTED.inc()
                 resolved: Dict[str, AddPowerModel] = {}
-                for key, netlist, config in jobs:
-                    state = client.wait(key)
+                unresolved = list(jobs)
+                rounds = 0
+                while unresolved:
+                    key, netlist, config = unresolved[0]
+                    try:
+                        state = client.wait(key, deadline=deadline)
+                    except ServeConnectionError:
+                        rounds += 1
+                        if rounds > max_reconnect_rounds:
+                            raise
+                        # The broker went away mid-wait.  If it was
+                        # restarted by a supervisor, its WAL already
+                        # holds our jobs — but resubmitting is free
+                        # (content-keyed dedupe) and also covers the
+                        # broker that came back empty.
+                        _QUEUE_RESUBMITS.inc()
+                        for _, n, c in unresolved:
+                            client.submit(n, c, deadline=deadline)
+                        continue
+                    except protocol.ResponseError as exc:
+                        # A WAL-less broker restarted and forgot the
+                        # job entirely: same recovery, re-submit.
+                        if exc.error_type != "not_found":
+                            raise
+                        rounds += 1
+                        if rounds > max_reconnect_rounds:
+                            raise ModelError(
+                                f"queue keeps forgetting job {key[:12]} "
+                                f"across restarts: {exc}"
+                            )
+                        _QUEUE_RESUBMITS.inc()
+                        for _, n, c in unresolved:
+                            client.submit(n, c, deadline=deadline)
+                        continue
                     if state.get("state") != "done":
                         raise ModelError(
                             f"distributed build of {key[:12]} "
@@ -803,6 +862,7 @@ class ModelStore:
                         )
                     _BUILDS.inc()
                     resolved[key] = model
+                    unresolved.pop(0)
                 return resolved
         except (ServeConnectionError, OSError):
             _QUEUE_FALLBACKS.inc()

@@ -1,0 +1,359 @@
+"""Supervised control-plane processes: restart-with-backoff on death.
+
+The WAL (:mod:`repro.serve.wal`) makes a SIGKILLed
+:class:`~repro.serve.queue.BuildQueueServer` or
+:class:`~repro.serve.objectstore.ObjectStoreServer` *recoverable*; this
+module makes the recovery *happen*.  A :class:`Supervisor` runs each
+registered service in its own child process, watches for death, and
+relaunches with exponential backoff — each relaunch carrying an
+incremented **generation** number that the child installs as its
+``crash_token``, so a chaos plan can address incarnations individually
+(``queue.server.crash`` with ``max_token=1`` kills generation 0 after K
+journal appends and generation 1 mid-replay, then lets generation 2
+live: the canonical kill-during-recovery drill).
+
+Ports are pinned after the first bind: a service registered with
+``port=0`` gets an ephemeral port once, and every restart rebinds the
+*same* port (``SO_REUSEADDR`` absorbs the dead incarnation's TIME_WAIT
+sockets), so clients reconnect to the address they already know.
+
+Restart totals are visible as ``serve.supervisor.restarts`` and through
+:meth:`Supervisor.restarts`; a service that exceeds ``max_restarts`` is
+marked failed and left down — crash loops should page, not spin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.obs.metrics import get_metrics
+
+_LOG = logging.getLogger("repro.serve.supervise")
+
+_MET = get_metrics()
+_RESTARTS = _MET.counter("serve.supervisor.restarts")
+_LAUNCH_FAILURES = _MET.counter("serve.supervisor.launch_failures")
+
+
+# ---------------------------------------------------------------------------
+# Child entry points (module-level: spawn-safe)
+# ---------------------------------------------------------------------------
+def _queue_service_main(config_kwargs: Dict, conn, generation: int) -> None:
+    """Run one BuildQueueServer incarnation; report the bound port."""
+    from repro.serve.queue import BuildQueueServer, QueueConfig
+
+    server = BuildQueueServer(QueueConfig(**config_kwargs))
+    server.crash_token = generation
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:  # noqa: BLE001 - report, then die
+            conn.send({"error": f"{type(exc).__name__}: {exc}"})
+            conn.close()
+            raise
+        conn.send({"port": server.port})
+        conn.close()
+        await server.serve_forever()
+
+    asyncio.run(_main())
+
+
+def _objectstore_service_main(
+    config_kwargs: Dict, conn, generation: int
+) -> None:
+    """Run one ObjectStoreServer incarnation; report the bound port."""
+    from repro.serve.objectstore import ObjectStoreConfig, ObjectStoreServer
+
+    server = ObjectStoreServer(ObjectStoreConfig(**config_kwargs))
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as exc:  # noqa: BLE001 - report, then die
+            conn.send({"error": f"{type(exc).__name__}: {exc}"})
+            conn.close()
+            raise
+        conn.send({"port": server.port})
+        conn.close()
+        await server.serve_forever()
+
+    asyncio.run(_main())
+
+
+_ENTRIES = {
+    "queue": _queue_service_main,
+    "objectstore": _objectstore_service_main,
+}
+
+
+@dataclass
+class _Service:
+    """Parent-side bookkeeping for one supervised child."""
+
+    name: str
+    kind: str
+    config_kwargs: Dict
+    process: Optional[object] = None
+    port: Optional[int] = None
+    generation: int = 0
+    restarts: int = 0
+    failed: bool = False
+    last_restart_at: float = field(default=0.0)
+
+
+class Supervisor:
+    """Run control-plane servers under restart-with-backoff.
+
+    Usage::
+
+        sup = Supervisor()
+        sup.add_queue(QueueConfig(wal_dir=...))
+        sup.add_object_store(ObjectStoreConfig(root=...))
+        sup.start()
+        host, port = sup.endpoint("queue")
+        ...
+        sup.stop()
+
+    Children are forked where the platform allows (inheriting the fault
+    environment), spawned otherwise — the same policy as the worker farm
+    and the serving cluster.  The supervisor itself is a daemon-thread
+    monitor; it never builds, serves or journals.
+    """
+
+    def __init__(
+        self,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        max_restarts: int = 20,
+        ready_timeout_s: float = 30.0,
+        poll_interval_s: float = 0.05,
+    ):
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._ctx = multiprocessing.get_context(method)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.max_restarts = max_restarts
+        self.ready_timeout_s = ready_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self._services: Dict[str, _Service] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _add(self, name: str, kind: str, config_kwargs: Dict) -> str:
+        if self._started:
+            raise ModelError("register services before Supervisor.start()")
+        if name in self._services:
+            raise ModelError(f"duplicate supervised service {name!r}")
+        self._services[name] = _Service(
+            name=name, kind=kind, config_kwargs=dict(config_kwargs)
+        )
+        return name
+
+    def add_queue(self, config=None, name: str = "queue") -> str:
+        """Register a build-queue server (config: QueueConfig)."""
+        from repro.serve.queue import QueueConfig
+
+        config = config or QueueConfig()
+        return self._add(name, "queue", vars(config))
+
+    def add_object_store(self, config=None, name: str = "objectstore") -> str:
+        """Register an object-store server (config: ObjectStoreConfig)."""
+        from repro.serve.objectstore import ObjectStoreConfig
+
+        config = config or ObjectStoreConfig()
+        return self._add(name, "objectstore", vars(config))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Supervisor":
+        if self._started:
+            return self
+        self._started = True
+        for service in self._services.values():
+            if not self._launch(service):
+                self.stop()
+                raise ModelError(
+                    f"supervised service {service.name!r} failed to start"
+                )
+        self._monitor = threading.Thread(
+            target=self._watch, name="supervisor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _launch(self, service: _Service) -> bool:
+        """Spawn one incarnation and wait for its ready handshake."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_ENTRIES[service.kind],
+            args=(dict(service.config_kwargs), child_conn, service.generation),
+            daemon=True,
+            name=f"{service.name}-gen{service.generation}",
+        )
+        process.start()
+        child_conn.close()
+        service.process = process
+        expires = time.monotonic() + self.ready_timeout_s
+        message = None
+        while time.monotonic() < expires:
+            try:
+                if parent_conn.poll(0.05):
+                    message = parent_conn.recv()
+                    break
+            except (EOFError, OSError):
+                break  # child died with the pipe open
+            if not process.is_alive():
+                # One final drain: the child may have sent just before
+                # exiting (an error report) or been killed mid-replay
+                # (nothing at all — the double-kill drill's window).
+                try:
+                    if parent_conn.poll(0.05):
+                        message = parent_conn.recv()
+                except (EOFError, OSError):
+                    pass
+                break
+        parent_conn.close()
+        if not message or "port" not in message:
+            _LAUNCH_FAILURES.inc()
+            if message and "error" in message:
+                _LOG.warning(
+                    "service %r (generation %d) failed to start: %s",
+                    service.name,
+                    service.generation,
+                    message["error"],
+                )
+            return False
+        service.port = int(message["port"])
+        # Pin the port: every later incarnation rebinds the address the
+        # clients already dialed.
+        service.config_kwargs["port"] = service.port
+        return True
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            for service in list(self._services.values()):
+                process = service.process
+                if service.failed or process is None or process.is_alive():
+                    continue
+                if self._stop.is_set():
+                    return
+                if service.restarts >= self.max_restarts:
+                    service.failed = True
+                    _LOG.error(
+                        "service %r exceeded %d restarts; leaving it down",
+                        service.name,
+                        self.max_restarts,
+                    )
+                    continue
+                delay = min(
+                    self.backoff_max_s,
+                    self.backoff_base_s * (2 ** min(service.restarts, 10)),
+                )
+                if self._stop.wait(delay):
+                    return
+                service.generation += 1
+                service.restarts += 1
+                service.last_restart_at = time.monotonic()
+                _RESTARTS.inc()
+                _LOG.warning(
+                    "service %r died (exitcode=%s); restart #%d as "
+                    "generation %d",
+                    service.name,
+                    process.exitcode,
+                    service.restarts,
+                    service.generation,
+                )
+                # A failed launch (e.g. killed again mid-replay) leaves
+                # a dead process behind; the next tick relaunches as the
+                # following generation.
+                self._launch(service)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+            self._monitor = None
+        for service in self._services.values():
+            process = service.process
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck child
+                process.kill()
+                process.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection & chaos helpers
+    # ------------------------------------------------------------------
+    def _require(self, name: str) -> _Service:
+        service = self._services.get(name)
+        if service is None:
+            raise ModelError(f"no supervised service {name!r}")
+        return service
+
+    def endpoint(self, name: str) -> Tuple[str, int]:
+        """``(host, port)`` a client should dial; stable across restarts."""
+        service = self._require(name)
+        if service.port is None:
+            raise ModelError(f"service {name!r} has not bound yet")
+        return service.config_kwargs.get("host", "127.0.0.1"), service.port
+
+    def spec(self, name: str) -> str:
+        """Dialable spec: ``host:port`` (queue) / ``obj://host:port``."""
+        host, port = self.endpoint(name)
+        service = self._require(name)
+        return (
+            f"obj://{host}:{port}"
+            if service.kind == "objectstore"
+            else f"{host}:{port}"
+        )
+
+    def restarts(self, name: str) -> int:
+        """How many times this service has been relaunched."""
+        return self._require(name).restarts
+
+    def generation(self, name: str) -> int:
+        """The incarnation number currently (or last) running."""
+        return self._require(name).generation
+
+    def alive(self, name: str) -> bool:
+        process = self._require(name).process
+        return process is not None and process.is_alive()
+
+    def kill(self, name: str) -> None:
+        """SIGKILL the service's current incarnation (chaos drills)."""
+        process = self._require(name).process
+        if process is not None and process.pid and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["Supervisor"]

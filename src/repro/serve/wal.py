@@ -1,0 +1,354 @@
+"""Crash-durable state: an append-only write-ahead log with snapshots.
+
+The control plane (build queue, object store index) keeps its working
+state in memory for speed, but every state transition is journaled here
+*before* it is acknowledged — so a SIGKILL at any instant loses at most
+un-acked work, never acked work.  The design is the classic WAL +
+checkpoint pair:
+
+- ``<name>.log`` — an append-only file of CRC32-framed records.  Each
+  frame is ``<length:u32 LE> <crc32:u32 LE> <payload>`` where the
+  payload is one JSON object wrapped as ``{"lsn": N, "rec": {...}}``.
+  Appends are flushed and (by default) ``fsync``\\ ed, so an acked
+  record survives the process *and* the page cache.
+- ``<name>.snapshot`` — a JSON checkpoint of the full state at some
+  log sequence number (LSN), written atomically via temp file +
+  :func:`os.replace` (the same idiom as the store manifest) and
+  self-verified with an embedded SHA-256.  Compaction writes the
+  snapshot first, then truncates the log — a crash between the two
+  steps just replays records the snapshot already covers, and the LSN
+  ordering makes that replay a no-op.
+
+Replay (:meth:`WriteAheadLog.recover`) tolerates exactly the failure
+modes a crashed writer produces: a **torn tail** (the process died
+mid-append, leaving a partial frame) is detected by the length/CRC
+framing and truncated away; any later bytes are unreachable by
+construction, so recovery is deterministic — recovering twice yields
+byte-identical state.  A corrupt *snapshot* (torn ``os.replace`` is
+impossible, but disks lie) fails its checksum and is ignored, degrading
+to a full-log replay when the log still holds the records.
+
+Chaos sites: ``wal.torn_tail`` (an append writes only a prefix of its
+frame, then raises — the on-disk image of a crash mid-write) and
+``wal.fsync_fail`` (the durability fsync raises an OSError, as a full
+or failing disk would).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import get_metrics
+from repro.testing import faults
+
+_MET = get_metrics()
+_APPENDS = _MET.counter("wal.appends")
+_FSYNCS = _MET.counter("wal.fsyncs")
+_COMPACTIONS = _MET.counter("wal.compactions")
+_REPLAYED = _MET.counter("wal.records_replayed")
+_TRUNCATIONS = _MET.counter("wal.torn_tail_truncations")
+_TRUNCATED_BYTES = _MET.counter("wal.truncated_bytes")
+_SNAPSHOT_REJECTS = _MET.counter("wal.snapshot_rejects")
+
+#: Frame header: payload length, then CRC32 of the payload (LE u32 each).
+_HEADER = struct.Struct("<II")
+
+#: A frame's payload may not exceed this (corrupt length-field guard: a
+#: bit flip in the length must not provoke a gigabyte allocation).
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+class WalError(ReproError):
+    """The write-ahead log could not satisfy a durability guarantee."""
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """One durable log + snapshot pair under a directory.
+
+    Not thread-safe by design: the owners (asyncio control-plane
+    servers) funnel every mutation through a single event loop, so the
+    log inherits that serialisation for free.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        name: str = "wal",
+        fsync: bool = True,
+        compact_every: int = 1024,
+    ):
+        if compact_every < 1:
+            raise WalError(f"compact_every must be >= 1, got {compact_every}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self.log_path = self.directory / f"{name}.log"
+        self.snapshot_path = self.directory / f"{name}.snapshot"
+        #: LSN of the last durable record (snapshot or log tail).
+        self.lsn = 0
+        #: Appends since the last compaction (drives ``should_compact``).
+        self.records_since_compact = 0
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> Tuple[Optional[Dict], List[Dict]]:
+        """Load the snapshot and replay the log tail; returns both.
+
+        Returns ``(snapshot_state, tail_records)`` where the snapshot
+        state is ``None`` when no (valid) snapshot exists, and the tail
+        records are exactly the journaled records *after* the snapshot's
+        LSN, in append order.  A torn or corrupt log tail is truncated
+        on disk as a side effect, so a subsequent append continues from
+        the last intact frame.  Idempotent: recovering an untouched log
+        twice yields identical results.
+        """
+        self._close_handle()
+        snapshot = self._load_snapshot()
+        snapshot_lsn = int(snapshot["lsn"]) if snapshot is not None else 0
+        records, valid_bytes, total_bytes = self._scan_log()
+        if valid_bytes < total_bytes:
+            _TRUNCATIONS.inc()
+            _TRUNCATED_BYTES.inc(total_bytes - valid_bytes)
+            with open(self.log_path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        # Skip any record that does not advance the LSN: records the
+        # snapshot already covers, and duplicate frames left by an
+        # append whose fsync failed after the write landed (the caller
+        # saw an error, did not ack, and retried with the same LSN).
+        tail: List[Dict] = []
+        seen_lsn = snapshot_lsn
+        for entry in records:
+            if entry["lsn"] <= seen_lsn:
+                continue
+            seen_lsn = entry["lsn"]
+            tail.append(entry["rec"])
+        _REPLAYED.inc(len(tail))
+        self.lsn = max(
+            snapshot_lsn, records[-1]["lsn"] if records else 0
+        )
+        self.records_since_compact = len(tail)
+        state = snapshot["state"] if snapshot is not None else None
+        return state, tail
+
+    def _load_snapshot(self) -> Optional[Dict]:
+        """The snapshot envelope, or None when absent/corrupt."""
+        try:
+            raw = self.snapshot_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            _SNAPSHOT_REJECTS.inc()
+            return None
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+            body = json.dumps(
+                envelope["state"], sort_keys=True, separators=(",", ":")
+            )
+            digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+            if digest != envelope["sha256"]:
+                raise ValueError("snapshot checksum mismatch")
+            int(envelope["lsn"])
+        except (KeyError, TypeError, ValueError, UnicodeDecodeError):
+            # A lying disk, not a torn write (os.replace is atomic):
+            # reject the checkpoint and fall back to full-log replay.
+            _SNAPSHOT_REJECTS.inc()
+            return None
+        return envelope
+
+    def _scan_log(self) -> Tuple[List[Dict], int, int]:
+        """Parse frames until the first torn/corrupt one.
+
+        Returns ``(entries, valid_bytes, total_bytes)``: every intact
+        ``{"lsn", "rec"}`` envelope in order, the byte offset of the
+        end of the last intact frame, and the file size.  Anything after
+        the first bad frame is unreachable — a crash corrupts only the
+        tail, and a mid-file flip makes everything after it untrusted.
+        """
+        try:
+            blob = self.log_path.read_bytes()
+        except FileNotFoundError:
+            return [], 0, 0
+        entries: List[Dict] = []
+        offset = 0
+        while True:
+            header_end = offset + _HEADER.size
+            if header_end > len(blob):
+                break  # torn header
+            length, crc = _HEADER.unpack_from(blob, offset)
+            payload_end = header_end + length
+            if length > MAX_RECORD_BYTES or payload_end > len(blob):
+                break  # absurd length (corrupt) or torn payload
+            payload = blob[header_end:payload_end]
+            if zlib.crc32(payload) != crc:
+                break  # bit-flipped frame
+            try:
+                envelope = json.loads(payload.decode("utf-8"))
+                lsn = int(envelope["lsn"])
+                record = envelope["rec"]
+            except (KeyError, TypeError, ValueError, UnicodeDecodeError):
+                break  # CRC passed but the payload is not ours
+            if not isinstance(record, dict):
+                break
+            entries.append({"lsn": lsn, "rec": record})
+            offset = payload_end
+        return entries, offset, len(blob)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _open_handle(self):
+        if self._handle is None:
+            self._handle = open(self.log_path, "ab")
+        return self._handle
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close of a dying handle
+                pass
+            self._handle = None
+
+    def append(self, record: Dict) -> int:
+        """Durably journal one record; returns its LSN.
+
+        The record is framed, written, flushed and fsynced before this
+        method returns — the caller may ack only after it does.  On any
+        failure the in-memory LSN is *not* advanced and the connection
+        to the file is dropped, so a retry re-appends cleanly (replay
+        tolerates the torn garbage the failed attempt may have left).
+        """
+        lsn = self.lsn + 1
+        payload = json.dumps(
+            {"lsn": lsn, "rec": record}, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        if len(payload) > MAX_RECORD_BYTES:
+            raise WalError(
+                f"record of {len(payload)} bytes exceeds "
+                f"MAX_RECORD_BYTES ({MAX_RECORD_BYTES})"
+            )
+        frame = _encode_frame(payload)
+        handle = self._open_handle()
+        try:
+            spec = faults.check("wal.torn_tail")
+            if spec is not None:
+                # Chaos hook: the process "dies" mid-append — a prefix
+                # of the frame reaches the disk, then the write fails.
+                handle.write(frame[: max(1, len(frame) // 2)])
+                handle.flush()
+                raise spec.exception()
+            handle.write(frame)
+            handle.flush()
+            if self.fsync:
+                faults.maybe_fail("wal.fsync_fail")
+                os.fsync(handle.fileno())
+                _FSYNCS.inc()
+        except OSError:
+            self._close_handle()
+            raise
+        self.lsn = lsn
+        self.records_since_compact += 1
+        _APPENDS.inc()
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    @property
+    def should_compact(self) -> bool:
+        """True once enough records accumulated to warrant a checkpoint."""
+        return self.records_since_compact >= self.compact_every
+
+    def compact(self, state: Dict) -> None:
+        """Checkpoint ``state`` at the current LSN and truncate the log.
+
+        Snapshot first (atomic ``os.replace``), truncate second: a crash
+        between the two leaves snapshot + stale log, and replay skips
+        every record whose LSN the snapshot already covers.
+        """
+        body = json.dumps(state, sort_keys=True, separators=(",", ":"))
+        envelope = json.dumps(
+            {
+                "lsn": self.lsn,
+                "state": state,
+                "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        handle, temp = tempfile.mkstemp(
+            dir=str(self.directory), prefix=self.snapshot_path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(envelope)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(temp, self.snapshot_path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+        self._close_handle()
+        with open(self.log_path, "wb") as stream:
+            stream.flush()
+            os.fsync(stream.fileno())
+        self.records_since_compact = 0
+        _COMPACTIONS.inc()
+
+    def maybe_compact(self, state: Dict) -> bool:
+        """Compact iff the threshold is reached; True iff it did."""
+        if not self.should_compact:
+            return False
+        self.compact(state)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Durability corner of a server's ``stats`` payload."""
+        try:
+            log_bytes = self.log_path.stat().st_size
+        except OSError:
+            log_bytes = 0
+        return {
+            "lsn": self.lsn,
+            "records_since_compact": self.records_since_compact,
+            "compact_every": self.compact_every,
+            "fsync": self.fsync,
+            "log_bytes": log_bytes,
+            "has_snapshot": self.snapshot_path.exists(),
+        }
+
+    def close(self) -> None:
+        self._close_handle()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["MAX_RECORD_BYTES", "WalError", "WriteAheadLog"]

@@ -90,6 +90,17 @@ SITES: Dict[str, str] = {
     "queue.worker.crash": (
         "hard-exit a build-queue worker mid-build, after claiming a job"
     ),
+    "queue.server.crash": (
+        "SIGKILL a supervised build-queue server after a journal append "
+        "or a replayed record (token = restart generation)"
+    ),
+    "wal.torn_tail": (
+        "write only a prefix of a WAL frame then fail the append, leaving "
+        "the torn tail a crashed writer would"
+    ),
+    "wal.fsync_fail": (
+        "raise an OSError from the WAL's durability fsync"
+    ),
     "queue.lease.expire": (
         "force a claimed job's lease to be treated as already expired"
     ),

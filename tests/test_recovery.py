@@ -1,0 +1,334 @@
+"""Control-plane resilience: breakers, deadlines, supervised restarts.
+
+Unit tiers cover the :class:`CircuitBreaker` state machine and the
+end-to-end :class:`Deadline` budget (client abandons, server rejects
+expired-on-arrival, ``queue.wait`` parking is capped).  The chaos tier
+runs the acceptance drill: a supervised WAL-backed queue server is
+SIGKILLed mid-build with jobs in flight — the supervisor restarts it,
+recovery replays the journal, every job completes with zero duplicate
+publishes and zero client-visible errors; a second kill *during replay*
+(the ``queue.server.crash`` site keyed by restart generation) still
+recovers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServeConnectionError,
+)
+from repro.obs import get_metrics
+from repro.serve import (
+    BuildQueueClient,
+    CircuitBreaker,
+    Deadline,
+    ModelStore,
+    QueueConfig,
+    RetryPolicy,
+    Supervisor,
+    WorkerFarm,
+    breaker_for,
+    breaker_states,
+    open_backend,
+    reset_breakers,
+    start_queue,
+)
+from repro.serve import breaker as breaker_mod
+from repro.testing import faults
+
+from tests.test_queue import make_netlist
+
+
+def counter_value(name: str) -> float:
+    return get_metrics().counter(name).value
+
+
+@pytest.fixture(autouse=True)
+def _fresh_breakers():
+    # Ephemeral ports recycle across tests; a breaker opened by one
+    # test must not short-circuit the next one's dial.
+    reset_breakers()
+    yield
+    reset_breakers()
+
+
+class TestCircuitBreaker:
+    def test_trips_open_at_threshold(self):
+        breaker = CircuitBreaker("t", failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == breaker_mod.CLOSED
+            assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == breaker_mod.OPEN
+        shorted_before = counter_value("serve.breaker.short_circuits")
+        assert not breaker.allow()
+        assert counter_value("serve.breaker.short_circuits") == (
+            shorted_before + 1
+        )
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker("t", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == breaker_mod.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker("t", failure_threshold=1,
+                                 reset_timeout_s=0.05)
+        breaker.record_failure()
+        assert breaker.state == breaker_mod.OPEN
+        time.sleep(0.06)
+        assert breaker.state == breaker_mod.HALF_OPEN
+        assert breaker.allow()        # the probe slot
+        assert not breaker.allow()    # everyone else waits on the probe
+        breaker.record_success()
+        assert breaker.state == breaker_mod.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_fresh_timer(self):
+        breaker = CircuitBreaker("t", failure_threshold=1,
+                                 reset_timeout_s=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == breaker_mod.OPEN
+        assert not breaker.allow()
+
+    def test_registry_shares_one_breaker_per_endpoint(self):
+        first = breaker_for("127.0.0.1", 12345)
+        second = breaker_for("127.0.0.1", 12345)
+        other = breaker_for("127.0.0.1", 12346)
+        assert first is second and first is not other
+        first.record_failure()
+        assert breaker_states()["127.0.0.1:12345"] == breaker_mod.CLOSED
+        reset_breakers()
+        assert breaker_for("127.0.0.1", 12345) is not first
+
+    def test_open_count_gauge_tracks_transitions(self):
+        breaker = breaker_for("127.0.0.1", 23456, failure_threshold=1)
+        breaker.record_failure()
+        gauge = get_metrics().gauge("serve.breaker.open_count", kind="last")
+        assert gauge.value == 1
+        breaker.record_success()
+        assert gauge.value == 0
+
+    def test_queue_client_short_circuits_through_shared_breaker(self):
+        # Trip the endpoint's breaker by hand: the client must refuse to
+        # dial at all (CircuitOpenError, a ServeConnectionError, so every
+        # existing degrade path applies).
+        breaker = breaker_for("127.0.0.1", 9, failure_threshold=1)
+        breaker.record_failure()
+        started = time.monotonic()
+        with pytest.raises(CircuitOpenError):
+            BuildQueueClient("127.0.0.1", 9, timeout=5.0)
+        # No connect attempt was paid — with a 5s timeout, a real dial
+        # to a blackholed endpoint would be visible here.
+        assert time.monotonic() - started < 0.5
+
+
+class TestDeadline:
+    def test_stamp_and_rebase_round_trip(self):
+        deadline = Deadline.after(1.0)
+        payload = deadline.stamp({"op": "ping"})
+        assert 0 < payload["deadline_ms"] <= 1000
+        rebased = Deadline.from_request(payload)
+        assert rebased is not None
+        assert abs(rebased.remaining_s() - deadline.remaining_s()) < 0.05
+
+    def test_malformed_deadline_ignored(self):
+        assert Deadline.from_request({"op": "ping"}) is None
+        assert Deadline.from_request({"deadline_ms": "soon"}) is None
+
+    def test_expired_deadline_fails_fast_without_sending(self):
+        with start_queue(QueueConfig()) as handle:
+            with BuildQueueClient(
+                handle.host, handle.port, breaker=False
+            ) as client:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    client.call({"op": "ping"}, deadline=Deadline.after(0.0))
+                assert time.monotonic() - started < 0.5
+
+    def test_retry_loop_abandons_at_the_budget(self):
+        with start_queue(QueueConfig()) as handle:
+            client = BuildQueueClient(
+                handle.host, handle.port,
+                timeout=5.0,
+                breaker=False,
+                retry=RetryPolicy(max_attempts=1000, base_delay_s=0.05,
+                                  max_delay_s=0.1),
+            )
+        # The queue is gone now; every attempt fails at the transport.
+        abandoned_before = counter_value("serve.client.deadline_abandoned")
+        started = time.monotonic()
+        with pytest.raises(ServeConnectionError):
+            client.call({"op": "ping"}, deadline=Deadline.after(0.4))
+        elapsed = time.monotonic() - started
+        client.close()
+        # 1000 attempts would run for a minute; the budget cut it off.
+        assert elapsed < 2.0
+        assert counter_value("serve.client.deadline_abandoned") >= (
+            abandoned_before
+        )
+
+    def test_queue_wait_parking_is_capped_by_deadline(self):
+        with start_queue(QueueConfig(sweep_interval_s=0.05)) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                key = client.submit(make_netlist(0))["key"]  # never built
+                started = time.monotonic()
+                # A generous budget: the assertion is about the 30s
+                # timeout being capped, not about sub-second precision,
+                # and a loaded machine can stall this process long
+                # enough to expire a too-tight deadline before the
+                # request even leaves.
+                state = client.wait(
+                    key, timeout_s=30.0, deadline=Deadline.after(1.0)
+                )
+                elapsed = time.monotonic() - started
+        assert state["state"] == "pending"
+        assert elapsed < 8.0  # parked ~1s, nowhere near 30
+
+
+@pytest.mark.chaos
+class TestSupervisedRecovery:
+    def queue_config(self, tmp_path) -> QueueConfig:
+        return QueueConfig(
+            lease_s=2.0,
+            sweep_interval_s=0.1,
+            max_attempts=4,
+            wal_dir=str(tmp_path / "qwal"),
+        )
+
+    def resilient_client(self, host, port) -> BuildQueueClient:
+        """A client that rides through a supervised restart."""
+        return BuildQueueClient(
+            host, port,
+            timeout=10.0,
+            breaker=False,  # keep dialing through the restart window
+            retry=RetryPolicy(max_attempts=12, base_delay_s=0.1,
+                              max_delay_s=0.5),
+        )
+
+    def test_sigkill_mid_build_recovers_all_jobs(self, tmp_path):
+        """The acceptance drill: SIGKILL the queue server with 8 jobs in
+        flight; the supervisor restarts it, the WAL replays, every job
+        completes exactly once with zero client-visible errors."""
+        netlists = [make_netlist(i) for i in range(8)]
+        spec = str(tmp_path / "shared")
+        store = ModelStore(open_backend(spec))
+        sup = Supervisor(backoff_base_s=0.05)
+        sup.add_queue(self.queue_config(tmp_path))
+        sup.start()
+        try:
+            host, port = sup.endpoint("queue")
+            with WorkerFarm(host, port, spec, count=4,
+                            build_delay_s=0.4):
+                with self.resilient_client(host, port) as client:
+                    keys = [client.submit(n)["key"] for n in netlists]
+                    assert len(set(keys)) == 8
+                    time.sleep(0.3)  # let claims land mid-build
+                    sup.kill("queue")
+                    for key in keys:
+                        deadline = time.monotonic() + 90.0
+                        state = None
+                        while time.monotonic() < deadline:
+                            state = client.wait(key, timeout_s=2.0)
+                            if state["state"] in ("done", "failed"):
+                                break
+                        assert state is not None
+                        assert state["state"] == "done", state
+                    stats = client.stats()
+                    assert stats["jobs"].get("done") == 8
+                    assert stats["duplicate_publishes"] == 0
+            assert sup.restarts("queue") >= 1
+        finally:
+            sup.stop()
+        # Zero client-visible errors: every model resolves.
+        for netlist in netlists:
+            assert store.get(store.key_for(netlist)) is not None
+
+    def test_double_kill_during_replay_still_recovers(self, tmp_path):
+        """Generation 0 dies right after a journal append (before the
+        ack); generation 1 dies *mid-replay*; generation 2 recovers.
+        The ``queue.server.crash`` site is keyed by restart generation
+        (max_token=1), so the drill is deterministic."""
+        netlists = [make_netlist(i) for i in range(6)]
+        spec = str(tmp_path / "shared")
+        store = ModelStore(open_backend(spec))
+        plan = [
+            # Hits 1..4 pass; the 5th consult fires for generations 0
+            # and 1.  Gen 0: dies after journaling the 5th submit, so
+            # the submitter's ack never arrives and its retry must
+            # dedupe onto the replayed job.  Gen 1: dies replaying the
+            # 5th record.  Gen 2 (token 2 > max_token): lives.
+            faults.FaultSpec("queue.server.crash", after=4, max_token=1),
+        ]
+        with faults.inject(plan):
+            sup = Supervisor(backoff_base_s=0.05)
+            sup.add_queue(self.queue_config(tmp_path))
+            sup.start()
+            try:
+                host, port = sup.endpoint("queue")
+                with self.resilient_client(host, port) as client:
+                    keys = [client.submit(n)["key"] for n in netlists]
+                    assert len(set(keys)) == 6
+                    # Wait out both deaths: two restarts minimum.
+                    deadline = time.monotonic() + 60.0
+                    while (
+                        sup.restarts("queue") < 2
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.05)
+                    assert sup.restarts("queue") >= 2
+                    assert sup.generation("queue") >= 2
+                    # Every submitted job survived both crashes — the
+                    # one journaled-but-unacked submit included.
+                    stats = client.stats()
+                    assert stats["jobs"].get("pending") == 6
+                    with WorkerFarm(host, port, spec, count=2):
+                        for key in keys:
+                            finish = time.monotonic() + 90.0
+                            state = None
+                            while time.monotonic() < finish:
+                                state = client.wait(key, timeout_s=2.0)
+                                if state["state"] in ("done", "failed"):
+                                    break
+                            assert state["state"] == "done", state
+                    assert client.stats()["duplicate_publishes"] == 0
+            finally:
+                sup.stop()
+        for netlist in netlists:
+            assert store.get(store.key_for(netlist)) is not None
+
+    def test_port_is_pinned_across_restarts(self, tmp_path):
+        sup = Supervisor(backoff_base_s=0.05)
+        sup.add_queue(self.queue_config(tmp_path))
+        sup.start()
+        try:
+            host, port = sup.endpoint("queue")
+            generation = sup.generation("queue")
+            sup.kill("queue")
+            deadline = time.monotonic() + 30.0
+            while (
+                sup.generation("queue") == generation
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            # Wait for the relaunched incarnation to come up, then
+            # confirm it answers on the *same* address.
+            with self.resilient_client(host, port) as client:
+                assert client.call({"op": "ping"}) == "pong"
+            assert sup.endpoint("queue") == (host, port)
+            assert counter_value("serve.supervisor.restarts") >= 1
+        finally:
+            sup.stop()

@@ -1,0 +1,434 @@
+"""Write-ahead log durability: framing, torn tails, crash recovery.
+
+Unit tests exercise :class:`WriteAheadLog` directly — frame round
+trips, snapshot + tail merges, torn-tail truncation, and seed-driven
+truncation/bit-flip fuzzing (the prefix property: however the tail is
+mangled, recovery yields an unbroken prefix of the appended records,
+and recovering twice yields identical results).  Integration tests
+rebase a :class:`BuildQueueServer` and an object store root onto the
+log and kill/restart them in-thread: done stays done (never a double
+publish), running returns to pending with attempts intact, and a
+half-written object is never served.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.obs import get_metrics
+from repro.serve import (
+    BuildQueueClient,
+    ObjectStoreBackend,
+    ObjectStoreConfig,
+    QueueConfig,
+    WalError,
+    WriteAheadLog,
+    reset_breakers,
+    start_object_store,
+    start_queue,
+)
+from repro.serve.wal import MAX_RECORD_BYTES, _encode_frame
+from repro.testing import faults
+
+from tests.test_queue import make_netlist
+
+
+@pytest.fixture(autouse=True)
+def _fresh_breakers():
+    # Ephemeral ports recycle across tests; a breaker opened by one
+    # test must not short-circuit the next one's dial.
+    reset_breakers()
+    yield
+    reset_breakers()
+
+
+def counter_value(name: str) -> float:
+    return get_metrics().counter(name).value
+
+
+def records(n: int):
+    return [{"op": "put", "seq": i, "blob": "x" * (i % 7)} for i in range(n)]
+
+
+class TestFrameRoundTrip:
+    def test_append_then_recover_returns_records_in_order(self, tmp_path):
+        with WriteAheadLog(tmp_path, name="t") as wal:
+            for rec in records(5):
+                wal.append(rec)
+            assert wal.lsn == 5
+        state, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert state is None
+        assert tail == records(5)
+
+    def test_lsn_continues_across_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path, name="t") as wal:
+            wal.append({"op": "a"})
+        reopened = WriteAheadLog(tmp_path, name="t")
+        reopened.recover()
+        assert reopened.append({"op": "b"}) == 2
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert [r["op"] for r in tail] == ["a", "b"]
+
+    def test_oversized_record_rejected_without_lsn_advance(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t")
+        with pytest.raises(WalError):
+            wal.append({"blob": "x" * (MAX_RECORD_BYTES + 1)})
+        assert wal.lsn == 0
+        wal.append({"op": "ok"})
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert tail == [{"op": "ok"}]
+
+    def test_fsync_disabled_still_recovers(self, tmp_path):
+        with WriteAheadLog(tmp_path, name="t", fsync=False) as wal:
+            fsyncs_before = counter_value("wal.fsyncs")
+            for rec in records(3):
+                wal.append(rec)
+            assert counter_value("wal.fsyncs") == fsyncs_before
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert tail == records(3)
+
+
+class TestSnapshotAndCompaction:
+    def test_snapshot_plus_tail_merge_by_lsn(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t")
+        for rec in records(4):
+            wal.append(rec)
+        wal.compact({"applied": 4})
+        assert wal.log_path.stat().st_size == 0
+        wal.append({"op": "post", "seq": 99})
+        state, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert state == {"applied": 4}
+        # Only the record after the snapshot's LSN replays.
+        assert tail == [{"op": "post", "seq": 99}]
+
+    def test_maybe_compact_honours_threshold(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t", compact_every=3)
+        wal.append({"op": "a"})
+        assert not wal.should_compact
+        assert not wal.maybe_compact({"n": 1})
+        wal.append({"op": "b"})
+        wal.append({"op": "c"})
+        assert wal.should_compact
+        assert wal.maybe_compact({"n": 3})
+        assert wal.records_since_compact == 0
+        state, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert state == {"n": 3} and tail == []
+
+    def test_corrupt_snapshot_falls_back_to_log_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t")
+        for rec in records(3):
+            wal.append(rec)
+        # Forge a snapshot whose checksum lies; the log still holds
+        # everything, so recovery must reject it and replay in full.
+        wal.snapshot_path.write_text(
+            json.dumps({"lsn": 3, "state": {"evil": True}, "sha256": "0" * 64})
+        )
+        rejects_before = counter_value("wal.snapshot_rejects")
+        state, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert state is None
+        assert tail == records(3)
+        assert counter_value("wal.snapshot_rejects") == rejects_before + 1
+
+    def test_stats_reports_durability_corner(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t", compact_every=7)
+        wal.append({"op": "a"})
+        stats = wal.stats()
+        assert stats["lsn"] == 1
+        assert stats["records_since_compact"] == 1
+        assert stats["compact_every"] == 7
+        assert stats["fsync"] is True
+        assert stats["log_bytes"] > 0
+        assert stats["has_snapshot"] is False
+
+
+class TestTornTail:
+    def test_partial_frame_truncated_on_replay(self, tmp_path):
+        with WriteAheadLog(tmp_path, name="t") as wal:
+            for rec in records(3):
+                wal.append(rec)
+        # Simulate a crash mid-append: half of a valid frame lands.
+        payload = json.dumps({"lsn": 4, "rec": {"op": "torn"}}).encode()
+        frame = _encode_frame(payload)
+        with open(tmp_path / "t.log", "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        truncations_before = counter_value("wal.torn_tail_truncations")
+        wal2 = WriteAheadLog(tmp_path, name="t")
+        _, tail = wal2.recover()
+        assert tail == records(3)
+        assert counter_value("wal.torn_tail_truncations") == (
+            truncations_before + 1
+        )
+        # The torn bytes are gone from disk: appends continue cleanly.
+        assert wal2.append({"op": "after"}) == 4
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert tail == records(3) + [{"op": "after"}]
+
+    def test_crc_mismatch_cuts_the_tail(self, tmp_path):
+        with WriteAheadLog(tmp_path, name="t") as wal:
+            for rec in records(4):
+                wal.append(rec)
+        blob = bytearray((tmp_path / "t.log").read_bytes())
+        blob[-1] ^= 0xFF  # flip a byte inside the last frame's payload
+        (tmp_path / "t.log").write_bytes(bytes(blob))
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert tail == records(3)
+
+    def test_absurd_length_field_does_not_allocate(self, tmp_path):
+        with WriteAheadLog(tmp_path, name="t") as wal:
+            wal.append({"op": "a"})
+        import struct
+
+        with open(tmp_path / "t.log", "ab") as handle:
+            # A "frame" claiming 3 GiB: the guard must stop the scan.
+            handle.write(struct.pack("<II", 3 << 30, zlib.crc32(b"")))
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert tail == [{"op": "a"}]
+
+    def test_truncation_fuzz_prefix_property(self, tmp_path):
+        """Cutting the log at ANY byte offset recovers an unbroken
+        prefix, and recovering twice yields identical results."""
+        rng = random.Random(20260808)
+        base = tmp_path / "full"
+        with WriteAheadLog(base, name="t") as wal:
+            appended = records(12)
+            for rec in appended:
+                wal.append(rec)
+        blob = (base / "t.log").read_bytes()
+        for trial in range(20):
+            cut = rng.randrange(0, len(blob) + 1)
+            trial_dir = tmp_path / f"cut{trial}"
+            trial_dir.mkdir()
+            (trial_dir / "t.log").write_bytes(blob[:cut])
+            _, tail = WriteAheadLog(trial_dir, name="t").recover()
+            assert tail == appended[: len(tail)], f"cut at {cut}"
+            # Deterministic: a second recovery sees the truncated file
+            # and yields byte-identical results.
+            again_state, again = WriteAheadLog(trial_dir, name="t").recover()
+            assert again == tail and again_state is None
+
+    def test_bitflip_fuzz_prefix_property(self, tmp_path):
+        rng = random.Random(7)
+        base = tmp_path / "full"
+        with WriteAheadLog(base, name="t") as wal:
+            appended = records(10)
+            for rec in appended:
+                wal.append(rec)
+        blob = (base / "t.log").read_bytes()
+        for trial in range(20):
+            mangled = bytearray(blob)
+            mangled[rng.randrange(len(mangled))] ^= 1 << rng.randrange(8)
+            trial_dir = tmp_path / f"flip{trial}"
+            trial_dir.mkdir()
+            (trial_dir / "t.log").write_bytes(bytes(mangled))
+            _, tail = WriteAheadLog(trial_dir, name="t").recover()
+            # A flip mid-file cuts there; replayed records are still an
+            # unbroken prefix of what was appended (CRC framing means a
+            # flipped payload byte cannot masquerade as a valid record).
+            assert tail == appended[: len(tail)]
+            _, again = WriteAheadLog(trial_dir, name="t").recover()
+            assert again == tail
+
+
+class TestFaultSites:
+    def test_torn_tail_site_leaves_recoverable_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t")
+        wal.append({"op": "a"})
+        with faults.inject([faults.FaultSpec("wal.torn_tail", times=1)]):
+            with pytest.raises(OSError):
+                wal.append({"op": "lost"})
+        assert wal.lsn == 1  # the failed append did not ack
+        wal2 = WriteAheadLog(tmp_path, name="t")
+        _, tail = wal2.recover()
+        assert tail == [{"op": "a"}]
+        assert wal2.append({"op": "b"}) == 2
+
+    def test_fsync_fail_site_does_not_advance_lsn(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="t")
+        with faults.inject([faults.FaultSpec("wal.fsync_fail", times=1)]):
+            with pytest.raises(OSError):
+                wal.append({"op": "a"})
+        assert wal.lsn == 0
+        # Retry after the transient failure: clean append, lsn 1.
+        assert wal.append({"op": "a"}) == 1
+        _, tail = WriteAheadLog(tmp_path, name="t").recover()
+        assert tail == [{"op": "a"}]
+
+
+class TestQueueRecovery:
+    def wal_config(self, tmp_path, **overrides) -> QueueConfig:
+        kwargs = dict(
+            lease_s=2.0,
+            sweep_interval_s=0.05,
+            max_attempts=3,
+            wal_dir=str(tmp_path / "qwal"),
+        )
+        kwargs.update(overrides)
+        return QueueConfig(**kwargs)
+
+    def test_pending_jobs_survive_restart(self, tmp_path):
+        config = self.wal_config(tmp_path)
+        netlists = [make_netlist(i) for i in range(3)]
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                keys = [client.submit(n)["key"] for n in netlists]
+        recovered_before = counter_value("queue.recovery.jobs")
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                stats = client.stats()
+                assert stats["jobs"].get("pending") == 3
+                claimed = {client.claim("w")["key"] for _ in range(3)}
+        assert claimed == set(keys)
+        assert counter_value("queue.recovery.jobs") == recovered_before + 3
+
+    def test_done_stays_done_and_never_double_publishes(self, tmp_path):
+        config = self.wal_config(tmp_path)
+        netlist = make_netlist(0)
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                key = client.submit(netlist)["key"]
+                client.claim("w1")
+                assert client.publish(key, "w1")["accepted"]
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                assert client.wait(key, timeout_s=1.0)["state"] == "done"
+                # A zombie worker's retried publish after the restart is
+                # a duplicate, not a second accept.
+                late = client.publish(key, "w-zombie")
+                assert not late["accepted"] and late["duplicate"]
+                # The done job dedupes resubmits, so no rebuild either.
+                assert client.submit(netlist)["deduped"]
+
+    def test_running_returns_to_pending_with_attempts_intact(self, tmp_path):
+        config = self.wal_config(tmp_path)
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                key = client.submit(make_netlist(1))["key"]
+                assert client.claim("w1")["attempt"] == 1
+        requeued_before = counter_value("queue.recovery.requeued_leases")
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                claimed = client.claim("w2")
+                assert claimed["key"] == key
+                # The lease died with the server but the attempt did
+                # not: crash loops still burn toward max_attempts.
+                assert claimed["attempt"] == 2
+        assert (
+            counter_value("queue.recovery.requeued_leases")
+            == requeued_before + 1
+        )
+
+    def test_recovery_is_idempotent_across_repeated_restarts(self, tmp_path):
+        config = self.wal_config(tmp_path, wal_compact_every=4)
+        netlists = [make_netlist(i) for i in range(4)]
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                keys = [client.submit(n)["key"] for n in netlists]
+                client.claim("w1")
+                client.publish(keys[0], "w1")
+        for _ in range(3):  # restart repeatedly without touching state
+            with start_queue(config) as handle:
+                with BuildQueueClient(handle.host, handle.port) as client:
+                    stats = client.stats()
+                    assert stats["jobs"].get("done") == 1
+                    assert stats["jobs"].get("pending") == 3
+
+    def test_wal_stats_visible_in_queue_stats(self, tmp_path):
+        config = self.wal_config(tmp_path)
+        with start_queue(config) as handle:
+            with BuildQueueClient(handle.host, handle.port) as client:
+                client.submit(make_netlist(0))
+                stats = client.stats()
+                assert stats["wal"]["lsn"] >= 1
+                assert stats["wal"]["fsync"] is True
+
+
+class TestObjectStoreIndexRecovery:
+    def config(self, tmp_path) -> ObjectStoreConfig:
+        return ObjectStoreConfig(root=str(tmp_path / "objects"))
+
+    def test_objects_survive_restart(self, tmp_path):
+        config = self.config(tmp_path)
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                backend.put("objects/a.json", b"alpha")
+                backend.put("objects/b.json", b"beta")
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                assert backend.get("objects/a.json") == b"alpha"
+                assert sorted(backend.list("objects/")) == [
+                    "objects/a.json",
+                    "objects/b.json",
+                ]
+
+    def test_corrupted_object_dropped_never_served(self, tmp_path):
+        config = self.config(tmp_path)
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                backend.put("objects/x.json", b"committed payload")
+        # Corrupt the file behind the index's back — the on-disk image
+        # of a torn write that was journaled but never completed.
+        victim = tmp_path / "objects" / "objects" / "x.json"
+        victim.write_bytes(b"half-wri")
+        dropped_before = counter_value("objstore.recovery.dropped")
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                with pytest.raises(FileNotFoundError):
+                    backend.get("objects/x.json")
+                assert "objects/x.json" not in backend.list("objects/")
+        assert counter_value("objstore.recovery.dropped") == dropped_before + 1
+
+    def test_unindexed_file_adopted_on_recovery(self, tmp_path):
+        config = self.config(tmp_path)
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                backend.put("objects/old.json", b"indexed")
+        # A file that predates the index (or whose journal record was
+        # lost with fsync off): present on disk, absent from the index.
+        orphan = tmp_path / "objects" / "objects" / "orphan.json"
+        orphan.write_bytes(b"adopt me")
+        adopted_before = counter_value("objstore.recovery.adopted")
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                assert backend.get("objects/orphan.json") == b"adopt me"
+        assert counter_value("objstore.recovery.adopted") >= adopted_before + 1
+
+    def test_index_dir_never_listed(self, tmp_path):
+        config = self.config(tmp_path)
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                backend.put("objects/a.json", b"a")
+                names = backend.list("")
+                assert all(not n.startswith(".index") for n in names)
+
+    def test_delete_survives_restart(self, tmp_path):
+        config = self.config(tmp_path)
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                backend.put("objects/gone.json", b"data")
+                backend.delete("objects/gone.json")
+        with start_object_store(config) as handle:
+            with contextlib.closing(
+                ObjectStoreBackend(handle.host, handle.port)
+            ) as backend:
+                assert backend.list("objects/") == []
